@@ -1,0 +1,162 @@
+// Experiment E9 — GCC execution placement (§3.1's three deployment
+// options) measured on the chain-validation hot path:
+//
+//   user-agent   — GCCs execute in-process inside the verifier (default);
+//   platform     — a trustd-style daemon: certificates cross a DER
+//                  serialize/parse boundary plus a simulated IPC round trip
+//                  (latency swept);
+//   redesign     — the daemon performs complete validation (Hammurabi
+//                  model): one IPC round trip for everything.
+//
+// Baseline: plain validation with no GCCs, to isolate the GCC tax.
+#include <benchmark/benchmark.h>
+
+#include "chain/daemon.hpp"
+#include "corpus/corpus.hpp"
+#include "incidents/listings.hpp"
+
+namespace {
+
+using namespace anchor;
+
+struct Fixture {
+  corpus::Corpus corpus;
+  rootstore::RootStore store_plain;
+  rootstore::RootStore store_gcc;
+  chain::CertificatePool pool;
+  std::vector<std::size_t> leaf_indices;
+  std::int64_t now;
+
+  Fixture()
+      : corpus([] {
+          corpus::CorpusConfig config;
+          config.num_roots = 40;
+          config.num_intermediates = 120;
+          config.roots_with_path_len = 2;
+          config.intermediates_with_path_len = 100;
+          config.intermediates_with_name_constraints = 6;
+          config.roots_with_constrained_chain = 3;
+          config.leaves_per_intermediate_mean = 10.0;
+          return corpus::Corpus::generate(config);
+        }()),
+        store_plain(corpus.make_root_store()),
+        store_gcc(corpus.make_root_store()),
+        pool(corpus.intermediate_pool()),
+        now(corpus.config().validation_time()) {
+    // Attach a Listing-1-style GCC to every root: the worst-case "every
+    // root constrained" deployment.
+    for (const auto& root : corpus.roots()) {
+      store_gcc.gccs().attach(
+          core::Gcc::for_certificate("date-usage", *root.cert,
+                                     incidents::listing1_trustcor())
+              .take());
+    }
+    // Pick TLS leaves that are valid at `now` and predate the Listing 1
+    // cutoff (so the GCC accepts them and the full path executes).
+    for (std::size_t i = 0; i < corpus.leaves().size(); ++i) {
+      const auto& record = corpus.leaves()[i];
+      if (record.smime) continue;
+      if (!record.cert->valid_at(now)) continue;
+      if (record.cert->not_before() >= 1669784400) continue;
+      leaf_indices.push_back(i);
+      if (leaf_indices.size() >= 200) break;
+    }
+  }
+
+  chain::VerifyOptions options_for(std::size_t leaf_index) const {
+    chain::VerifyOptions options;
+    options.time = now;
+    options.hostname = corpus.leaves()[leaf_index].domain;
+    return options;
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture instance;
+  return instance;
+}
+
+void BM_Validate_NoGcc(benchmark::State& state) {
+  const Fixture& f = fixture();
+  chain::ChainVerifier verifier(f.store_plain, f.corpus.signatures());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];
+    auto result = verifier.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+BENCHMARK(BM_Validate_NoGcc);
+
+void BM_Validate_UserAgentGcc(benchmark::State& state) {
+  const Fixture& f = fixture();
+  chain::ChainVerifier verifier(f.store_gcc, f.corpus.signatures());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];
+    auto result = verifier.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+BENCHMARK(BM_Validate_UserAgentGcc);
+
+// Platform daemon: the verifier delegates GCC execution across a simulated
+// IPC boundary. Latency per leg swept: 0 (colocated), 50us (UNIX socket),
+// 500us (loaded system).
+void BM_Validate_PlatformDaemon(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const auto latency_ns = static_cast<std::uint64_t>(state.range(0));
+  chain::TrustDaemon daemon(f.store_gcc, f.corpus.signatures(), latency_ns);
+  chain::ChainVerifier verifier(f.store_gcc, f.corpus.signatures());
+  verifier.set_gcc_hook([&daemon](const core::Chain& chain,
+                                  std::string_view usage,
+                                  std::span<const core::Gcc>,
+                                  core::GccVerdict&) {
+    std::vector<Bytes> der;
+    der.reserve(chain.size());
+    for (const auto& cert : chain) der.push_back(cert->der());
+    return daemon.evaluate_gccs(der, usage);
+  });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];
+    auto result = verifier.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+BENCHMARK(BM_Validate_PlatformDaemon)
+    ->Arg(0)
+    ->Arg(50000)
+    ->Arg(500000)
+    ->ArgNames({"ipc_ns"});
+
+// Complete redesign: full validation inside the daemon.
+void BM_Validate_DaemonRedesign(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const auto latency_ns = static_cast<std::uint64_t>(state.range(0));
+  chain::TrustDaemon daemon(f.store_gcc, f.corpus.signatures(), latency_ns);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];
+    const auto& record = f.corpus.leaves()[leaf];
+    const auto& intermediate =
+        f.corpus.intermediates()[static_cast<std::size_t>(
+            record.issuer_intermediate)];
+    std::vector<Bytes> intermediates{intermediate.cert->der()};
+    auto result = daemon.validate(record.cert->der(), intermediates,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+BENCHMARK(BM_Validate_DaemonRedesign)->Arg(0)->Arg(50000)->ArgNames({"ipc_ns"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

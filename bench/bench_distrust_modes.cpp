@@ -1,0 +1,169 @@
+// Experiment E8 — binary vs partial distrust (§2.3, the Debian/Symantec
+// story): "In 2018, Debian imprecisely mimicked Mozilla's partial distrust
+// of Symantec roots by simply removing them from their store, resulting in
+// collateral service disruption that forced them to completely restore the
+// roots."
+//
+// Builds a Symantec-shaped population of chains (pre-cutoff legacy leaves,
+// post-cutoff leaves, post-cutoff leaves under exempt intermediates, and
+// fraudulent post-cutoff leaves) and scores three derivative strategies
+// against the primary's GCC policy:
+//
+//   remove   — drop the root entirely (Debian 2018)
+//   retain   — keep the root, no GCC support (frozen derivative)
+//   gcc      — RSF-delivered GCC (the paper's proposal)
+//
+// Shape to reproduce: removal breaks all still-valid service; retention
+// accepts everything the primary rejects; the GCC matches the primary
+// exactly.
+#include <cstdio>
+
+#include "chain/verifier.hpp"
+#include "incidents/incidents.hpp"
+#include "incidents/listings.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace {
+
+using namespace anchor;
+
+struct Workload {
+  struct Item {
+    x509::CertPtr leaf;
+    chain::VerifyOptions options;
+    bool primary_accepts;
+  };
+  std::vector<Item> items;
+  incidents::Incident incident;
+};
+
+Workload build_workload(std::size_t population) {
+  Workload workload;
+  workload.incident = incidents::make_symantec();
+
+  // Regenerate issuing material so we can mint many leaves.
+  SimKeyPair normal_key = SimSig::keygen("Symantec Class 3 Secure Server CA");
+  SimKeyPair apple_key = SimSig::keygen("Apple IST CA 2");
+  workload.incident.signatures.register_key(normal_key);
+  workload.incident.signatures.register_key(apple_key);
+
+  const auto& pool = workload.incident.pool;
+  x509::CertPtr normal_int =
+      pool.by_subject(x509::DistinguishedName::make(
+          "Symantec Class 3 Secure Server CA", "Symantec Corporation"))[0];
+  x509::CertPtr apple_int = pool.by_subject(x509::DistinguishedName::make(
+      "Apple IST CA 2", "Symantec Corporation"))[0];
+
+  Rng rng(2018);
+  std::int64_t cutoff = 1464753600;  // the listing's June 1 2016
+  std::int64_t now = unix_date(2018, 6, 15);
+
+  for (std::size_t i = 0; i < population; ++i) {
+    std::string domain = "site" + std::to_string(i) + ".example.com";
+    double bucket = rng.uniform01();
+    bool pre_cutoff = bucket < 0.55;         // legacy majority
+    bool exempt = !pre_cutoff && bucket < 0.70;
+    // Pre-cutoff leaves must still be inside their validity window at the
+    // 2018 validation instant, or "primary accepts" would be mislabeled.
+    std::int64_t not_before =
+        pre_cutoff ? cutoff - rng.uniform_range(30, 720) * 86400
+                   : cutoff + rng.uniform_range(30, 700) * 86400;
+    std::int64_t lifetime = 4 * 365 * 86400;
+
+    SimKeyPair key = SimSig::keygen("wl-leaf-" + std::to_string(i));
+    const SimKeyPair& issuer_key = exempt ? apple_key : normal_key;
+    const x509::CertPtr& issuer = exempt ? apple_int : normal_int;
+    auto leaf = x509::CertificateBuilder()
+                    .serial(1000 + i)
+                    .subject(x509::DistinguishedName::make(domain))
+                    .issuer(issuer->subject())
+                    .validity(not_before, not_before + lifetime)
+                    .public_key(key.key_id)
+                    .dns_names({domain})
+                    .extended_key_usage({x509::oids::kp_server_auth()})
+                    .sign(issuer_key)
+                    .take();
+
+    Workload::Item item;
+    item.leaf = leaf;
+    item.options.time = now;
+    item.options.hostname = domain;
+    item.primary_accepts = pre_cutoff || exempt;
+    workload.items.push_back(std::move(item));
+  }
+  return workload;
+}
+
+struct Score {
+  std::size_t false_rejects = 0;  // primary accepts, derivative rejects
+  std::size_t false_accepts = 0;  // primary rejects, derivative accepts
+  std::size_t total = 0;
+};
+
+Score score(const chain::ChainVerifier& verifier, const Workload& workload,
+            bool run_gccs) {
+  Score s;
+  for (const auto& item : workload.items) {
+    chain::VerifyOptions options = item.options;
+    options.run_gccs = run_gccs;
+    bool verdict =
+        verifier.verify(item.leaf, workload.incident.pool, options).ok;
+    if (item.primary_accepts && !verdict) ++s.false_rejects;
+    if (!item.primary_accepts && verdict) ++s.false_accepts;
+    ++s.total;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kPopulation = 400;
+  Workload workload = build_workload(kPopulation);
+
+  std::size_t primary_accepts = 0;
+  for (const auto& item : workload.items) {
+    if (item.primary_accepts) ++primary_accepts;
+  }
+
+  std::printf("=== E8: binary vs partial distrust (paper §2.3) ===\n");
+  std::printf("population: %zu chains to a Symantec root "
+              "(%zu accepted by the primary policy, %zu rejected)\n\n",
+              kPopulation, primary_accepts, kPopulation - primary_accepts);
+
+  // Strategy 1: remove the root (Debian 2018).
+  rootstore::RootStore removed;
+  chain::ChainVerifier remove_verifier(removed, workload.incident.signatures);
+  Score remove_score = score(remove_verifier, workload, true);
+
+  // Strategy 2: retain the root, no GCC support.
+  chain::ChainVerifier retain_verifier(workload.incident.store,
+                                       workload.incident.signatures);
+  Score retain_score = score(retain_verifier, workload, /*run_gccs=*/false);
+
+  // Strategy 3: RSF-delivered GCC (the paper's proposal).
+  Score gcc_score = score(retain_verifier, workload, /*run_gccs=*/true);
+
+  std::printf("%-28s %15s %15s\n", "derivative strategy", "false rejects",
+              "false accepts");
+  auto row = [&](const char* name, const Score& s) {
+    std::printf("%-28s %9zu/%-5zu %9zu/%-5zu\n", name, s.false_rejects,
+                primary_accepts, s.false_accepts,
+                kPopulation - primary_accepts);
+  };
+  row("remove root (Debian 2018)", remove_score);
+  row("retain root, no GCCs", retain_score);
+  row("GCC via RSF (proposal)", gcc_score);
+
+  bool shape = remove_score.false_rejects == primary_accepts &&
+               retain_score.false_accepts == kPopulation - primary_accepts &&
+               gcc_score.false_rejects == 0 && gcc_score.false_accepts == 0;
+  std::printf("\nshape check: %s\n", shape ? "HOLDS" : "VIOLATED");
+  std::printf("  removal breaks every still-valid chain (denial of service),\n"
+              "  retention accepts every distrusted chain (exposure),\n"
+              "  the GCC derivative matches the primary exactly.\n");
+  return shape ? 0 : 1;
+}

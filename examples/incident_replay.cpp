@@ -1,0 +1,42 @@
+// Replays the six historical root-CA incidents of §2.2 (TurkTrust, ANSSI,
+// India CCA, MCS/CNNIC, WoSign/StartCom, Symantec) as executable
+// scenarios: each incident's partial distrust is a GCC, and every labelled
+// chain is validated against it.
+//
+// Build & run:  ./build/examples/incident_replay
+#include <cstdio>
+
+#include "chain/verifier.hpp"
+#include "incidents/incidents.hpp"
+
+using namespace anchor;
+
+int main() {
+  int mismatches = 0;
+  for (incidents::Incident& incident : incidents::all_incidents()) {
+    std::printf("=== %s ===\n%s\n\n", incident.name.c_str(),
+                incident.summary.c_str());
+
+    chain::ChainVerifier verifier(incident.store, incident.signatures);
+    std::printf("  %-52s %-10s %-10s\n", "chain", "expected", "verdict");
+    for (const incidents::IncidentCase& test_case : incident.cases) {
+      chain::VerifyResult result =
+          verifier.verify(test_case.leaf, incident.pool, test_case.options);
+      bool match = result.ok == test_case.expect_valid;
+      if (!match) ++mismatches;
+      std::printf("  %-52s %-10s %-10s %s\n", test_case.label.c_str(),
+                  test_case.expect_valid ? "accept" : "reject",
+                  result.ok ? "accept" : "reject", match ? "" : "  <-- MISMATCH");
+    }
+
+    // Show the constraint text for the first affected root.
+    const auto& gccs = incident.store.gccs().for_root(incident.affected_roots[0]);
+    if (!gccs.empty()) {
+      std::printf("\n  constraint '%s' (%s)\n", gccs[0].name().c_str(),
+                  gccs[0].justification().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("replay complete: %d mismatches\n", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

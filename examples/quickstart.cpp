@@ -1,0 +1,122 @@
+// Quickstart: the libanchor public API in one file.
+//
+//   1. Build a small PKI (root -> intermediate -> leaf) with the x509 layer.
+//   2. Put the root in a RootStore.
+//   3. Author a General Certificate Constraint in Datalog and attach it.
+//   4. Validate chains: the verifier runs the GCC at the root and rejects
+//      exactly the chains the constraint forbids.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "chain/verifier.hpp"
+#include "core/gcc.hpp"
+#include "rootstore/store.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+using namespace anchor;
+
+int main() {
+  // --- 1. A minimal PKI --------------------------------------------------
+  SimSig signatures;  // the simulated signature scheme (see DESIGN.md §5)
+
+  SimKeyPair root_key = SimSig::keygen("Quickstart Root CA");
+  x509::CertPtr root =
+      x509::CertificateBuilder()
+          .serial(1)
+          .subject(x509::DistinguishedName::make("Quickstart Root CA", "Demo"))
+          .issuer(x509::DistinguishedName::make("Quickstart Root CA", "Demo"))
+          .validity(unix_date(2020, 1, 1), unix_date(2040, 1, 1))
+          .public_key(root_key.key_id)
+          .ca(std::nullopt)
+          .sign(root_key)
+          .take();
+
+  SimKeyPair int_key = SimSig::keygen("Quickstart Issuing CA");
+  x509::CertPtr intermediate =
+      x509::CertificateBuilder()
+          .serial(2)
+          .subject(x509::DistinguishedName::make("Quickstart Issuing CA", "Demo"))
+          .issuer(root->subject())
+          .validity(unix_date(2020, 1, 1), unix_date(2035, 1, 1))
+          .public_key(int_key.key_id)
+          .ca(0)
+          .sign(root_key)
+          .take();
+
+  auto make_leaf = [&](const std::string& domain, int year) {
+    SimKeyPair key = SimSig::keygen("leaf-" + domain);
+    return x509::CertificateBuilder()
+        .serial(3)
+        .subject(x509::DistinguishedName::make(domain))
+        .issuer(intermediate->subject())
+        .validity(unix_date(year, 1, 1), unix_date(year + 1, 1, 1))
+        .public_key(key.key_id)
+        .dns_names({domain, "*." + domain})
+        .extended_key_usage({x509::oids::kp_server_auth()})
+        .sign(int_key)
+        .take();
+  };
+
+  signatures.register_key(root_key);
+  signatures.register_key(int_key);
+
+  // --- 2. A root store ----------------------------------------------------
+  rootstore::RootStore store;
+  (void)store.add_trusted(root);
+
+  // --- 3. A General Certificate Constraint --------------------------------
+  // Only accept leaves issued before 2023 (an incident-response cutoff,
+  // like the WoSign or Symantec actions in the paper).
+  std::string gcc_source =
+      "cutoff(" + std::to_string(unix_date(2023, 1, 1)) + ").\n" +
+      "valid(Chain, _) :-\n"
+      "  leaf(Chain, L),\n"
+      "  notBefore(L, NB),\n"
+      "  cutoff(T),\n"
+      "  NB < T.\n";
+  auto gcc = core::Gcc::for_certificate("quickstart-cutoff", *root, gcc_source,
+                                        "demo: distrust new issuance");
+  if (!gcc.ok()) {
+    std::fprintf(stderr, "GCC rejected: %s\n", gcc.error().c_str());
+    return 1;
+  }
+  store.gccs().attach(std::move(gcc).take());
+
+  // --- 4. Validate chains --------------------------------------------------
+  chain::CertificatePool pool;
+  pool.add(intermediate);
+  chain::ChainVerifier verifier(store, signatures);
+
+  x509::CertPtr old_leaf = make_leaf("legacy.example.com", 2022);
+  x509::CertPtr new_leaf = make_leaf("fresh.example.com", 2024);
+
+  auto validate = [&](const x509::CertPtr& leaf, const std::string& host,
+                      int year) {
+    chain::VerifyOptions options;
+    options.time = unix_date(year, 6, 1);
+    options.hostname = host;
+    chain::VerifyResult result = verifier.verify(leaf, pool, options);
+    std::printf("%-22s -> %s", host.c_str(),
+                result.ok ? "ACCEPTED" : "REJECTED");
+    if (!result.ok && !result.rejected_paths.empty()) {
+      std::printf("  (%s)", result.rejected_paths[0].c_str());
+    } else if (!result.ok) {
+      std::printf("  (%s)", result.error.c_str());
+    }
+    std::printf("\n");
+    return result.ok;
+  };
+
+  std::printf("Root store: %zu trusted root(s), %zu GCC(s)\n\n",
+              store.trusted_count(), store.gccs().total());
+  bool old_ok = validate(old_leaf, "legacy.example.com", 2022);
+  bool new_ok = validate(new_leaf, "fresh.example.com", 2024);
+
+  std::printf("\nThe pre-cutoff chain validates; the post-cutoff chain is\n"
+              "rejected by the GCC during chain construction — partial\n"
+              "distrust without removing the root.\n");
+  return (old_ok && !new_ok) ? 0 : 1;
+}

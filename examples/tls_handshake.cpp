@@ -1,0 +1,121 @@
+// End-to-end over the wire: a TLS-shaped handshake where the user-agent's
+// root store carries a GCC, replaying the paper's opening scenario — the
+// same server, the same certificate chain, different trust outcomes as the
+// root store evolves via a feed.
+//
+//   act 1: handshake succeeds (root trusted, no constraints)
+//   act 2: the primary ships a GCC over the RSF; the same server is now
+//          rejected mid-handshake (partial distrust, no root removal)
+//   act 3: an old legacy leaf still works — no collateral damage
+//
+// Build & run:  ./build/examples/tls_handshake
+#include <cstdio>
+
+#include "net/handshake.hpp"
+#include "rsf/client.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+using namespace anchor;
+
+int main() {
+  std::int64_t now = unix_date(2024, 6, 1);
+  SimSig registry;
+
+  // --- a CA and a server ----------------------------------------------------
+  SimKeyPair root_key = SimSig::keygen("Wire Root CA");
+  x509::CertPtr root =
+      x509::CertificateBuilder()
+          .serial(1)
+          .subject(x509::DistinguishedName::make("Wire Root CA", "Wire"))
+          .issuer(x509::DistinguishedName::make("Wire Root CA", "Wire"))
+          .validity(unix_date(2015, 1, 1), unix_date(2040, 1, 1))
+          .public_key(root_key.key_id)
+          .ca(std::nullopt)
+          .sign(root_key)
+          .take();
+  SimKeyPair int_key = SimSig::keygen("Wire Issuing CA");
+  x509::CertPtr intermediate =
+      x509::CertificateBuilder()
+          .serial(2)
+          .subject(x509::DistinguishedName::make("Wire Issuing CA", "Wire"))
+          .issuer(root->subject())
+          .validity(unix_date(2015, 1, 1), unix_date(2035, 1, 1))
+          .public_key(int_key.key_id)
+          .ca(0)
+          .sign(root_key)
+          .take();
+  auto make_server = [&](const std::string& host, int year) {
+    SimKeyPair key = SimSig::keygen("wire-leaf-" + host);
+    registry.register_key(key);
+    x509::CertPtr leaf =
+        x509::CertificateBuilder()
+            .serial(3)
+            .subject(x509::DistinguishedName::make(host))
+            .issuer(intermediate->subject())
+            .validity(unix_date(year, 1, 1), unix_date(year + 3, 1, 1))
+            .public_key(key.key_id)
+            .dns_names({host})
+            .extended_key_usage({x509::oids::kp_server_auth()})
+            .sign(int_key)
+            .take();
+    return net::TlsLikeServer(net::ServerIdentity{{leaf, intermediate}, key});
+  };
+  registry.register_key(root_key);
+  registry.register_key(int_key);
+
+  net::TlsLikeServer new_server = make_server("api.fresh.example", 2024);
+  net::TlsLikeServer old_server = make_server("legacy.example", 2022);
+
+  // --- the primary store, distributed over a feed ----------------------------
+  rootstore::RootStore primary;
+  (void)primary.add_trusted(root);
+  rsf::Feed feed("wire-primary", registry);
+  feed.publish(primary, now - 10 * 86400, "baseline");
+
+  rsf::RsfClient user_agent(feed, 3600);
+  user_agent.poll_now(now - 10 * 86400 + 3600);
+
+  auto attempt = [&](const net::TlsLikeServer& server, const std::string& host,
+                     const char* label) {
+    chain::ChainVerifier verifier(user_agent.store(), registry);
+    net::TlsLikeClient client(verifier, registry);
+    chain::VerifyOptions options;
+    options.time = now;
+    options.hostname = host;
+    net::HandshakeResult result = net::handshake(client, server, options);
+    std::printf("%-44s %s\n", label,
+                result.ok ? "CONNECTED" : ("REFUSED: " + result.error).c_str());
+    return result.ok;
+  };
+
+  std::printf("--- act 1: unconstrained root ---\n");
+  attempt(new_server, "api.fresh.example", "handshake with 2024-issued server");
+  attempt(old_server, "legacy.example", "handshake with 2022-issued server");
+
+  std::printf("\n--- act 2: the primary ships a GCC (issuance cutoff 2023) ---\n");
+  primary.gccs().attach(
+      core::Gcc::for_certificate(
+          "wire-cutoff", *root,
+          "cutoff(" + std::to_string(unix_date(2023, 1, 1)) + ").\n" +
+              "valid(Chain, _) :- leaf(Chain, L), notBefore(L, NB), "
+              "cutoff(T), NB < T.",
+          "incident response: distrust post-2023 issuance")
+          .take());
+  feed.publish(primary, now, "emergency GCC");
+  user_agent.poll_now(now + 3600);
+  std::printf("user agent synced: %zu GCC(s) in store\n",
+              user_agent.store().gccs().total());
+
+  bool fresh_refused =
+      !attempt(new_server, "api.fresh.example", "handshake with 2024-issued server");
+  bool legacy_ok =
+      attempt(old_server, "legacy.example", "handshake with 2022-issued server");
+
+  std::printf("\npartial distrust over the wire: %s\n",
+              fresh_refused && legacy_ok
+                  ? "post-cutoff server refused, legacy server unharmed"
+                  : "UNEXPECTED");
+  return fresh_refused && legacy_ok ? 0 : 1;
+}

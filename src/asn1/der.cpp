@@ -1,0 +1,323 @@
+#include "asn1/der.hpp"
+
+#include <cstdio>
+
+#include "util/time.hpp"
+
+namespace anchor::asn1 {
+
+// ---------------------------------------------------------------------------
+// Writer
+
+namespace {
+void write_length(Bytes& out, std::size_t length) {
+  if (length < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(length));
+    return;
+  }
+  std::uint8_t stack[8];
+  int n = 0;
+  std::size_t v = length;
+  while (v != 0) {
+    stack[n++] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | n));
+  while (n > 0) out.push_back(stack[--n]);
+}
+}  // namespace
+
+void Writer::tlv(std::uint8_t tag, BytesView contents) {
+  buffer_.push_back(tag);
+  write_length(buffer_, contents.size());
+  append(buffer_, contents);
+}
+
+void Writer::boolean(bool value) {
+  std::uint8_t contents = value ? 0xff : 0x00;
+  tlv(static_cast<std::uint8_t>(Tag::kBoolean), BytesView(&contents, 1));
+}
+
+void Writer::integer(std::int64_t value) {
+  // Two's-complement big-endian, minimal length.
+  Bytes contents;
+  bool negative = value < 0;
+  std::uint64_t u = static_cast<std::uint64_t>(value);
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(u >> (56 - 8 * i));
+  std::size_t start = 0;
+  if (negative) {
+    while (start < 7 && bytes[start] == 0xff && (bytes[start + 1] & 0x80)) ++start;
+  } else {
+    while (start < 7 && bytes[start] == 0x00 && !(bytes[start + 1] & 0x80)) ++start;
+  }
+  contents.assign(bytes + start, bytes + 8);
+  tlv(static_cast<std::uint8_t>(Tag::kInteger), BytesView(contents));
+}
+
+void Writer::integer_bytes(BytesView magnitude) {
+  Bytes contents;
+  std::size_t start = 0;
+  while (start + 1 < magnitude.size() && magnitude[start] == 0) ++start;
+  if (magnitude.empty()) {
+    contents.push_back(0);
+  } else {
+    if (magnitude[start] & 0x80) contents.push_back(0);
+    contents.insert(contents.end(), magnitude.begin() + start, magnitude.end());
+  }
+  tlv(static_cast<std::uint8_t>(Tag::kInteger), BytesView(contents));
+}
+
+void Writer::bit_string(BytesView bytes) {
+  Bytes contents;
+  contents.push_back(0);  // unused bits
+  append(contents, bytes);
+  tlv(static_cast<std::uint8_t>(Tag::kBitString), BytesView(contents));
+}
+
+void Writer::octet_string(BytesView bytes) {
+  tlv(static_cast<std::uint8_t>(Tag::kOctetString), bytes);
+}
+
+void Writer::null() { tlv(static_cast<std::uint8_t>(Tag::kNull), {}); }
+
+void Writer::oid(const Oid& oid) {
+  Bytes contents = oid.der_contents();
+  tlv(static_cast<std::uint8_t>(Tag::kOid), BytesView(contents));
+}
+
+void Writer::utf8_string(std::string_view text) {
+  Bytes b = to_bytes(text);
+  tlv(static_cast<std::uint8_t>(Tag::kUtf8String), BytesView(b));
+}
+
+void Writer::printable_string(std::string_view text) {
+  Bytes b = to_bytes(text);
+  tlv(static_cast<std::uint8_t>(Tag::kPrintableString), BytesView(b));
+}
+
+void Writer::ia5_string(std::string_view text) {
+  Bytes b = to_bytes(text);
+  tlv(static_cast<std::uint8_t>(Tag::kIa5String), BytesView(b));
+}
+
+void Writer::time(std::int64_t unix_seconds) {
+  CivilTime c = from_unix(unix_seconds);
+  char buf[24];
+  if (c.year >= 1950 && c.year <= 2049) {
+    std::snprintf(buf, sizeof(buf), "%02d%02d%02d%02d%02d%02dZ", c.year % 100,
+                  c.month, c.day, c.hour, c.minute, c.second);
+    Bytes b = to_bytes(buf);
+    tlv(static_cast<std::uint8_t>(Tag::kUtcTime), BytesView(b));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d%02d%02d%02d%02d%02dZ", c.year,
+                  c.month, c.day, c.hour, c.minute, c.second);
+    Bytes b = to_bytes(buf);
+    tlv(static_cast<std::uint8_t>(Tag::kGeneralizedTime), BytesView(b));
+  }
+}
+
+void Writer::context_primitive(unsigned n, BytesView contents) {
+  tlv(context_tag(n, /*constructed=*/false), contents);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+std::uint8_t Reader::peek_tag() const {
+  return pos_ < data_.size() ? data_[pos_] : 0;
+}
+
+Status Reader::read_header(std::uint8_t& tag, std::size_t& length) {
+  if (remaining() < 2) return err("DER: truncated header");
+  tag = data_[pos_++];
+  std::uint8_t first = data_[pos_++];
+  if (first < 0x80) {
+    length = first;
+    return {};
+  }
+  if (first == 0x80) return err("DER: indefinite length not allowed");
+  std::size_t num_octets = first & 0x7f;
+  if (num_octets > sizeof(std::size_t)) return err("DER: length too large");
+  if (remaining() < num_octets) return err("DER: truncated length");
+  length = 0;
+  for (std::size_t i = 0; i < num_octets; ++i) {
+    length = length << 8 | data_[pos_++];
+  }
+  if (length < 0x80 || (num_octets > 1 && (length >> (8 * (num_octets - 1))) == 0)) {
+    return err("DER: non-minimal length encoding");
+  }
+  return {};
+}
+
+Status Reader::read_any(Tlv& out) {
+  std::size_t start = pos_;
+  std::uint8_t tag;
+  std::size_t length;
+  if (Status s = read_header(tag, length); !s) return s;
+  if (remaining() < length) return err("DER: truncated contents");
+  out.tag = tag;
+  out.contents = data_.subspan(pos_, length);
+  pos_ += length;
+  out.full = data_.subspan(start, pos_ - start);
+  return {};
+}
+
+Status Reader::read(std::uint8_t tag, Tlv& out) {
+  std::size_t save = pos_;
+  if (Status s = read_any(out); !s) return s;
+  if (out.tag != tag) {
+    pos_ = save;
+    return err("DER: unexpected tag " + std::to_string(out.tag) + ", wanted " +
+               std::to_string(tag));
+  }
+  return {};
+}
+
+bool Reader::read_optional(std::uint8_t tag, Tlv& out) {
+  if (peek_tag() != tag) return false;
+  return read(tag, out).ok();
+}
+
+Status Reader::read_boolean(bool& out) {
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kBoolean), tlv); !s) return s;
+  if (tlv.contents.size() != 1) return err("DER: bad boolean length");
+  if (tlv.contents[0] != 0x00 && tlv.contents[0] != 0xff) {
+    return err("DER: non-canonical boolean");
+  }
+  out = tlv.contents[0] == 0xff;
+  return {};
+}
+
+Status Reader::read_integer(std::int64_t& out) {
+  Bytes magnitude;
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kInteger), tlv); !s) return s;
+  if (tlv.contents.empty()) return err("DER: empty integer");
+  if (tlv.contents.size() > 8) return err("DER: integer too wide for int64");
+  std::int64_t value = (tlv.contents[0] & 0x80) ? -1 : 0;
+  for (std::uint8_t b : tlv.contents) value = value << 8 | b;
+  out = value;
+  return {};
+}
+
+Status Reader::read_integer_bytes(Bytes& magnitude) {
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kInteger), tlv); !s) return s;
+  if (tlv.contents.empty()) return err("DER: empty integer");
+  BytesView v = tlv.contents;
+  if (v.size() > 1 && v[0] == 0) v = v.subspan(1);  // sign pad
+  magnitude.assign(v.begin(), v.end());
+  return {};
+}
+
+Status Reader::read_bit_string(Bytes& out) {
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kBitString), tlv); !s) return s;
+  if (tlv.contents.empty()) return err("DER: empty bit string");
+  if (tlv.contents[0] != 0) return err("DER: unsupported unused bits");
+  out.assign(tlv.contents.begin() + 1, tlv.contents.end());
+  return {};
+}
+
+Status Reader::read_octet_string(Bytes& out) {
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kOctetString), tlv); !s) return s;
+  out.assign(tlv.contents.begin(), tlv.contents.end());
+  return {};
+}
+
+Status Reader::read_null() {
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kNull), tlv); !s) return s;
+  if (!tlv.contents.empty()) return err("DER: non-empty NULL");
+  return {};
+}
+
+Status Reader::read_oid(Oid& out) {
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kOid), tlv); !s) return s;
+  out = Oid::from_der_contents(tlv.contents);
+  if (!out.valid()) return err("DER: malformed OID");
+  return {};
+}
+
+Status Reader::read_string(std::string& out) {
+  std::uint8_t t = peek_tag();
+  if (t != static_cast<std::uint8_t>(Tag::kUtf8String) &&
+      t != static_cast<std::uint8_t>(Tag::kPrintableString) &&
+      t != static_cast<std::uint8_t>(Tag::kIa5String)) {
+    return err("DER: expected string tag, got " + std::to_string(t));
+  }
+  Tlv tlv;
+  if (Status s = read(t, tlv); !s) return s;
+  out = to_string(tlv.contents);
+  return {};
+}
+
+Status Reader::read_time(std::int64_t& unix_seconds) {
+  std::uint8_t t = peek_tag();
+  bool utc = t == static_cast<std::uint8_t>(Tag::kUtcTime);
+  bool gen = t == static_cast<std::uint8_t>(Tag::kGeneralizedTime);
+  if (!utc && !gen) return err("DER: expected time tag");
+  Tlv tlv;
+  if (Status s = read(t, tlv); !s) return s;
+  std::string text = to_string(tlv.contents);
+  std::size_t digits = utc ? 12 : 14;
+  if (text.size() != digits + 1 || text.back() != 'Z') {
+    return err("DER: malformed time " + text);
+  }
+  for (std::size_t i = 0; i < digits; ++i) {
+    if (text[i] < '0' || text[i] > '9') return err("DER: malformed time " + text);
+  }
+  auto num = [&](std::size_t pos, std::size_t len) {
+    int v = 0;
+    for (std::size_t i = pos; i < pos + len; ++i) v = v * 10 + (text[i] - '0');
+    return v;
+  };
+  CivilTime c;
+  std::size_t off;
+  if (utc) {
+    int yy = num(0, 2);
+    c.year = yy >= 50 ? 1900 + yy : 2000 + yy;
+    off = 2;
+  } else {
+    c.year = num(0, 4);
+    off = 4;
+  }
+  c.month = num(off, 2);
+  c.day = num(off + 2, 2);
+  c.hour = num(off + 4, 2);
+  c.minute = num(off + 6, 2);
+  c.second = num(off + 8, 2);
+  if (c.month < 1 || c.month > 12 || c.day < 1 || c.day > 31 || c.hour > 23 ||
+      c.minute > 59 || c.second > 60) {
+    return err("DER: out-of-range time " + text);
+  }
+  unix_seconds = to_unix(c);
+  return {};
+}
+
+Status Reader::read_sequence(Reader& inner) {
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kSequence), tlv); !s) return s;
+  inner = Reader(tlv.contents);
+  return {};
+}
+
+Status Reader::read_set(Reader& inner) {
+  Tlv tlv;
+  if (Status s = read(static_cast<std::uint8_t>(Tag::kSet), tlv); !s) return s;
+  inner = Reader(tlv.contents);
+  return {};
+}
+
+Status Reader::read_context(unsigned n, Reader& inner) {
+  Tlv tlv;
+  if (Status s = read(context_tag(n), tlv); !s) return s;
+  inner = Reader(tlv.contents);
+  return {};
+}
+
+}  // namespace anchor::asn1

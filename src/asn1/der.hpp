@@ -1,0 +1,154 @@
+// DER (X.690) encoder and decoder — the subset X.509 v3 needs: definite
+// lengths only, INTEGER, BOOLEAN, BIT STRING, OCTET STRING, NULL, OID,
+// UTF8String/PrintableString/IA5String, UTCTime/GeneralizedTime, SEQUENCE,
+// SET, and context-specific tagging. The reader is strict: indefinite
+// lengths, non-minimal lengths and truncated TLVs are rejected, which the
+// fuzz-style tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "asn1/oid.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace anchor::asn1 {
+
+// Tag numbers for the universal class.
+enum class Tag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kUtf8String = 0x0c,
+  kPrintableString = 0x13,
+  kIa5String = 0x16,
+  kUtcTime = 0x17,
+  kGeneralizedTime = 0x18,
+  kSequence = 0x30,  // constructed bit set
+  kSet = 0x31,
+};
+
+constexpr std::uint8_t kClassContext = 0x80;
+constexpr std::uint8_t kConstructed = 0x20;
+
+// Context-specific tag byte: [n] EXPLICIT/constructed by default.
+constexpr std::uint8_t context_tag(unsigned n, bool constructed = true) {
+  return static_cast<std::uint8_t>(kClassContext | (constructed ? kConstructed : 0) | n);
+}
+
+// ---------------------------------------------------------------------------
+// Writer: builds DER bottom-up into an owned buffer.
+
+class Writer {
+ public:
+  const Bytes& data() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+
+  // Raw TLV with explicit tag byte.
+  void tlv(std::uint8_t tag, BytesView contents);
+
+  void boolean(bool value);
+  void integer(std::int64_t value);
+  // Arbitrary-width unsigned integer from big-endian magnitude bytes
+  // (leading zeros trimmed; 0x00 prepended if the high bit is set).
+  void integer_bytes(BytesView magnitude);
+  void bit_string(BytesView bytes);  // always 0 unused bits
+  void octet_string(BytesView bytes);
+  void null();
+  void oid(const Oid& oid);
+  void utf8_string(std::string_view text);
+  void printable_string(std::string_view text);
+  void ia5_string(std::string_view text);
+  // X.509 validity rule: UTCTime for years in [1950, 2049], else
+  // GeneralizedTime.
+  void time(std::int64_t unix_seconds);
+
+  // Nested structures: body() writes children into a fresh writer whose
+  // output becomes this TLV's contents.
+  template <typename Fn>
+  void sequence(Fn&& body) {
+    Writer inner;
+    body(inner);
+    tlv(static_cast<std::uint8_t>(Tag::kSequence), BytesView(inner.buffer_));
+  }
+
+  template <typename Fn>
+  void set(Fn&& body) {
+    Writer inner;
+    body(inner);
+    tlv(static_cast<std::uint8_t>(Tag::kSet), BytesView(inner.buffer_));
+  }
+
+  template <typename Fn>
+  void context(unsigned n, Fn&& body) {
+    Writer inner;
+    body(inner);
+    tlv(context_tag(n), BytesView(inner.buffer_));
+  }
+
+  // Primitive context-specific tag holding raw contents (IMPLICIT strings).
+  void context_primitive(unsigned n, BytesView contents);
+
+  void raw(BytesView der) { append(buffer_, der); }
+
+ private:
+  Bytes buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Reader: cursor over a DER buffer. All read_* methods fail (return false /
+// error Result) rather than throwing; parse code threads Status upward.
+
+struct Tlv {
+  std::uint8_t tag = 0;
+  BytesView contents;   // view into the parent buffer
+  BytesView full;       // tag+length+contents, for signature inputs/hashes
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  // Peeks the next tag byte without consuming. 0 if at end.
+  std::uint8_t peek_tag() const;
+
+  // Reads the next TLV of any tag.
+  Status read_any(Tlv& out);
+  // Reads the next TLV and checks the tag.
+  Status read(std::uint8_t tag, Tlv& out);
+
+  // Returns true and consumes iff the next TLV has the given tag
+  // (for OPTIONAL fields).
+  bool read_optional(std::uint8_t tag, Tlv& out);
+
+  Status read_boolean(bool& out);
+  Status read_integer(std::int64_t& out);
+  Status read_integer_bytes(Bytes& magnitude);
+  Status read_bit_string(Bytes& out);
+  Status read_octet_string(Bytes& out);
+  Status read_null();
+  Status read_oid(Oid& out);
+  Status read_string(std::string& out);  // UTF8/Printable/IA5
+  Status read_time(std::int64_t& unix_seconds);
+
+  // Enters the next SEQUENCE, giving a reader over its contents.
+  Status read_sequence(Reader& inner);
+  Status read_set(Reader& inner);
+  Status read_context(unsigned n, Reader& inner);
+
+ private:
+  Status read_header(std::uint8_t& tag, std::size_t& length);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace anchor::asn1

@@ -1,0 +1,87 @@
+#include "asn1/oid.hpp"
+
+#include "util/strings.hpp"
+
+namespace anchor::asn1 {
+
+Oid Oid::from_string(std::string_view dotted) {
+  std::vector<std::uint32_t> arcs;
+  for (const std::string& part : split(dotted, '.')) {
+    if (part.empty()) return Oid();
+    std::uint64_t value = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return Oid();
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (value > 0xffffffffULL) return Oid();
+    }
+    arcs.push_back(static_cast<std::uint32_t>(value));
+  }
+  if (arcs.size() < 2 || arcs[0] > 2 || (arcs[0] < 2 && arcs[1] > 39)) {
+    return Oid();
+  }
+  return Oid(std::move(arcs));
+}
+
+Oid Oid::from_der_contents(BytesView contents) {
+  if (contents.empty()) return Oid();
+  std::vector<std::uint32_t> arcs;
+  // First octet packs the first two arcs.
+  std::size_t i = 0;
+  std::uint64_t value = 0;
+  // Decode one base-128 value starting at i.
+  auto decode = [&](std::uint64_t& out) {
+    out = 0;
+    while (i < contents.size()) {
+      std::uint8_t b = contents[i++];
+      out = out << 7 | (b & 0x7f);
+      if (out > 0xffffffffULL) return false;
+      if ((b & 0x80) == 0) return true;
+    }
+    return false;  // truncated
+  };
+  if (!decode(value)) return Oid();
+  if (value < 40) {
+    arcs.push_back(0);
+    arcs.push_back(static_cast<std::uint32_t>(value));
+  } else if (value < 80) {
+    arcs.push_back(1);
+    arcs.push_back(static_cast<std::uint32_t>(value - 40));
+  } else {
+    arcs.push_back(2);
+    arcs.push_back(static_cast<std::uint32_t>(value - 80));
+  }
+  while (i < contents.size()) {
+    if (!decode(value)) return Oid();
+    arcs.push_back(static_cast<std::uint32_t>(value));
+  }
+  return Oid(std::move(arcs));
+}
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(arcs_[i]);
+  }
+  return out;
+}
+
+Bytes Oid::der_contents() const {
+  Bytes out;
+  if (!valid()) return out;
+  auto encode = [&](std::uint64_t value) {
+    std::uint8_t stack[10];
+    int n = 0;
+    do {
+      stack[n++] = static_cast<std::uint8_t>(value & 0x7f);
+      value >>= 7;
+    } while (value != 0);
+    while (n > 1) out.push_back(stack[--n] | 0x80);
+    out.push_back(stack[0]);
+  };
+  encode(std::uint64_t(arcs_[0]) * 40 + arcs_[1]);
+  for (std::size_t i = 2; i < arcs_.size(); ++i) encode(arcs_[i]);
+  return out;
+}
+
+}  // namespace anchor::asn1

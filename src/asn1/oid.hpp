@@ -1,0 +1,39 @@
+// Object identifiers. X.509 extension and algorithm identification is
+// OID-keyed; we implement full dotted-decimal <-> DER arc encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace anchor::asn1 {
+
+class Oid {
+ public:
+  Oid() = default;
+  explicit Oid(std::vector<std::uint32_t> arcs) : arcs_(std::move(arcs)) {}
+
+  // Parses "2.5.29.17"-style text. Returns empty Oid on malformed input
+  // (check valid()).
+  static Oid from_string(std::string_view dotted);
+
+  // Decodes DER *contents* octets (tag/length already stripped).
+  static Oid from_der_contents(BytesView contents);
+
+  bool valid() const { return arcs_.size() >= 2; }
+  const std::vector<std::uint32_t>& arcs() const { return arcs_; }
+
+  std::string to_string() const;
+  Bytes der_contents() const;
+
+  bool operator==(const Oid&) const = default;
+  auto operator<=>(const Oid&) const = default;
+
+ private:
+  std::vector<std::uint32_t> arcs_;
+};
+
+}  // namespace anchor::asn1

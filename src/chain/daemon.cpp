@@ -1,0 +1,68 @@
+#include "chain/daemon.hpp"
+
+#include <chrono>
+
+namespace anchor::chain {
+
+void TrustDaemon::simulate_ipc_latency() const {
+  if (latency_ns_ == 0) return;
+  auto start = std::chrono::steady_clock::now();
+  auto target = std::chrono::nanoseconds(latency_ns_);
+  while (std::chrono::steady_clock::now() - start < target) {
+    // Spin: models a synchronous kernel round trip without descheduling
+    // noise that would make the E9 sweep unstable.
+  }
+}
+
+bool TrustDaemon::evaluate_gccs(std::span<const Bytes> chain_der,
+                                std::string_view usage) {
+  ++calls_;
+  simulate_ipc_latency();
+
+  // Deserialize: the marshaling cost is the point of this model.
+  core::Chain chain;
+  chain.reserve(chain_der.size());
+  for (const Bytes& der : chain_der) {
+    auto cert = x509::Certificate::parse(BytesView(der));
+    if (!cert) return false;  // malformed input across IPC: reject
+    chain.push_back(std::move(cert).take());
+  }
+  if (chain.empty()) return false;
+
+  const auto& gccs = store_.gccs().for_root(chain.back()->fingerprint_hex());
+  core::GccVerdict verdict = executor_.evaluate(chain, usage, gccs);
+
+  simulate_ipc_latency();  // response leg
+  return verdict.allowed;
+}
+
+VerifyResult TrustDaemon::validate(const Bytes& leaf_der,
+                                   std::span<const Bytes> intermediates_der,
+                                   const VerifyOptions& options) {
+  ++calls_;
+  simulate_ipc_latency();
+
+  VerifyResult failure;
+  auto leaf = x509::Certificate::parse(BytesView(leaf_der));
+  if (!leaf) {
+    failure.error = "daemon: " + leaf.error();
+    return failure;
+  }
+  CertificatePool pool;
+  for (const Bytes& der : intermediates_der) {
+    auto cert = x509::Certificate::parse(BytesView(der));
+    if (!cert) {
+      failure.error = "daemon: " + cert.error();
+      return failure;
+    }
+    pool.add(std::move(cert).take());
+  }
+
+  ChainVerifier verifier(store_, scheme_);
+  VerifyResult result = verifier.verify(leaf.value(), pool, options);
+
+  simulate_ipc_latency();  // response leg
+  return result;
+}
+
+}  // namespace anchor::chain

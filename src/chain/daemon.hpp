@@ -1,0 +1,54 @@
+// Deployment-model simulation for §3.1 of the paper, which weighs three
+// options for who executes GCCs:
+//
+//   1. user-agent execution  — ChainVerifier's default in-process hook;
+//   2. platform execution    — a trustd-style daemon with an IPC interface
+//                              that "accepts certificates and returns a
+//                              Boolean";
+//   3. complete redesign     — the daemon performs full chain construction
+//                              (the Hammurabi model).
+//
+// TrustDaemon models options 2 and 3 in-process but honestly: every call
+// crosses a serialize/parse boundary (certificates travel as DER, exactly
+// what an IPC transport would carry) plus a configurable spin-wait standing
+// in for kernel round-trip latency. Bench E9 sweeps that latency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "chain/verifier.hpp"
+
+namespace anchor::chain {
+
+class TrustDaemon {
+ public:
+  // `latency_ns` is added per IPC call (0 = colocated daemon).
+  TrustDaemon(const rootstore::RootStore& store, const SignatureScheme& scheme,
+              std::uint64_t latency_ns = 0)
+      : store_(store), scheme_(scheme), latency_ns_(latency_ns) {}
+
+  // Option 2: the user-agent built a candidate chain; the daemon executes
+  // the GCCs attached to its root. Input is the chain as DER blobs
+  // (leaf-first), as they would cross the IPC boundary.
+  bool evaluate_gccs(std::span<const Bytes> chain_der, std::string_view usage);
+
+  // Option 3: full validation inside the daemon. The caller ships the leaf
+  // and its candidate intermediates; the daemon builds and validates.
+  VerifyResult validate(const Bytes& leaf_der,
+                        std::span<const Bytes> intermediates_der,
+                        const VerifyOptions& options);
+
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  void simulate_ipc_latency() const;
+
+  const rootstore::RootStore& store_;
+  const SignatureScheme& scheme_;
+  std::uint64_t latency_ns_;
+  std::uint64_t calls_ = 0;
+  core::GccExecutor executor_;
+};
+
+}  // namespace anchor::chain

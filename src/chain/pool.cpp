@@ -1,0 +1,26 @@
+#include "chain/pool.hpp"
+
+namespace anchor::chain {
+
+void CertificatePool::add(x509::CertPtr cert) {
+  auto& bucket = by_subject_[cert->subject().to_string()];
+  // Exact duplicates (same DER) are dropped.
+  for (const auto& existing : bucket) {
+    if (existing->fingerprint() == cert->fingerprint()) return;
+  }
+  bucket.push_back(std::move(cert));
+  ++size_;
+}
+
+void CertificatePool::add_all(const std::vector<x509::CertPtr>& certs) {
+  for (const auto& cert : certs) add(cert);
+}
+
+const std::vector<x509::CertPtr>& CertificatePool::by_subject(
+    const x509::DistinguishedName& subject) const {
+  static const std::vector<x509::CertPtr> kEmpty;
+  auto it = by_subject_.find(subject.to_string());
+  return it == by_subject_.end() ? kEmpty : it->second;
+}
+
+}  // namespace anchor::chain

@@ -1,0 +1,31 @@
+// Certificate pool: the bag of candidate intermediates available during
+// path construction (what a TLS server sends alongside its leaf, plus any
+// cached intermediates). Indexed by subject DN for issuer lookups.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace anchor::chain {
+
+class CertificatePool {
+ public:
+  void add(x509::CertPtr cert);
+  void add_all(const std::vector<x509::CertPtr>& certs);
+
+  // Certificates whose subject DN renders equal to `subject` — candidate
+  // issuers for a certificate with that issuer DN.
+  const std::vector<x509::CertPtr>& by_subject(
+      const x509::DistinguishedName& subject) const;
+
+  std::size_t size() const { return size_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<x509::CertPtr>> by_subject_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace anchor::chain

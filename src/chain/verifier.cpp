@@ -1,0 +1,253 @@
+#include "chain/verifier.hpp"
+
+#include <unordered_set>
+
+#include "x509/oids.hpp"
+
+namespace anchor::chain {
+
+const char* usage_name(Usage usage) {
+  return usage == Usage::kTls ? core::kUsageTls : core::kUsageSmime;
+}
+
+ChainVerifier::ChainVerifier(const rootstore::RootStore& store,
+                             const SignatureScheme& scheme)
+    : store_(store), scheme_(scheme) {
+  gcc_hook_ = [this](const core::Chain& chain, std::string_view usage,
+                     std::span<const core::Gcc> gccs,
+                     core::GccVerdict& verdict) {
+    core::GccVerdict v = executor_.evaluate(chain, usage, gccs);
+    verdict.gccs_evaluated += v.gccs_evaluated;
+    verdict.facts_encoded += v.facts_encoded;
+    verdict.stats.iterations += v.stats.iterations;
+    verdict.stats.rule_applications += v.stats.rule_applications;
+    verdict.stats.derived_tuples += v.stats.derived_tuples;
+    if (!v.allowed) verdict.failed_gcc = v.failed_gcc;
+    return v.allowed;
+  };
+}
+
+struct ChainVerifier::SearchState {
+  core::Chain path;  // leaf-first
+  std::unordered_set<std::string> visited;
+  const CertificatePool* pool = nullptr;
+};
+
+namespace {
+
+// Leaf-only checks, independent of the path taken.
+Status check_leaf(const x509::Certificate& leaf, const VerifyOptions& options) {
+  if (!leaf.valid_at(options.time)) {
+    return err("leaf outside validity window");
+  }
+  if (options.usage == Usage::kTls) {
+    if (!options.hostname.empty() && !leaf.matches_host(options.hostname)) {
+      return err("leaf does not match hostname " + options.hostname);
+    }
+    if (leaf.extended_key_usage() &&
+        !leaf.extended_key_usage()->has(x509::oids::kp_server_auth())) {
+      return err("leaf EKU lacks id-kp-serverAuth");
+    }
+  } else {
+    if (leaf.extended_key_usage() &&
+        !leaf.extended_key_usage()->has(x509::oids::kp_email_protection())) {
+      return err("leaf EKU lacks id-kp-emailProtection");
+    }
+  }
+  if (options.require_ev && !leaf.is_ev()) {
+    return err("EV required but leaf carries no EV policy");
+  }
+  return {};
+}
+
+std::string path_label(const core::Chain& chain) {
+  std::string out;
+  for (const auto& cert : chain) {
+    if (!out.empty()) out += " <- ";
+    out += cert->subject().common_name();
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ChainVerifier::check_link(const x509::Certificate& child,
+                                 const x509::Certificate& issuer,
+                                 std::size_t child_depth,
+                                 const VerifyOptions& options) const {
+  if (!issuer.valid_at(options.time)) {
+    return err("issuer '" + issuer.subject().common_name() +
+               "' outside validity window");
+  }
+  if (!issuer.is_ca()) {
+    return err("issuer '" + issuer.subject().common_name() + "' is not a CA");
+  }
+  if (issuer.key_usage() &&
+      !issuer.key_usage()->has(x509::KeyUsageBit::kKeyCertSign)) {
+    return err("issuer '" + issuer.subject().common_name() +
+               "' lacks keyCertSign");
+  }
+  // pathLenConstraint: at most path_len CA certificates may sit strictly
+  // between this issuer and the leaf. `child_depth` is the index of `child`
+  // in the leaf-first path, which equals the number of certificates below
+  // the issuer excluding the leaf (indices 1..child_depth are CAs, index 0
+  // is the leaf).
+  if (auto plen = issuer.path_len()) {
+    std::size_t intermediates_below = child_depth;
+    if (intermediates_below > static_cast<std::size_t>(*plen)) {
+      return err("issuer '" + issuer.subject().common_name() +
+                 "' pathLenConstraint exceeded");
+    }
+  }
+  if (options.check_signatures &&
+      !scheme_.verify(BytesView(issuer.public_key()),
+                      BytesView(child.tbs_der()),
+                      BytesView(child.signature()))) {
+    return err("signature of '" + child.subject().common_name() +
+               "' does not verify under '" + issuer.subject().common_name() +
+               "'");
+  }
+  // Push-based revocation (CRLSet/OneCRL), applied per link now that the
+  // issuer — and thus its SPKI — is known.
+  if (crlset_ != nullptr &&
+      crlset_->is_revoked(child, BytesView(issuer.public_key()))) {
+    return err("'" + child.subject().common_name() + "' is revoked (CRLSet)");
+  }
+  if (onecrl_ != nullptr && onecrl_->is_revoked(child)) {
+    return err("'" + child.subject().common_name() + "' is revoked (OneCRL)");
+  }
+  return {};
+}
+
+Status ChainVerifier::check_at_root(const core::Chain& chain,
+                                    const rootstore::RootEntry& root_entry,
+                                    const VerifyOptions& options,
+                                    VerifyResult& result) const {
+  const x509::Certificate& leaf = *chain.front();
+  const rootstore::RootMetadata& metadata = root_entry.metadata;
+  if (options.usage == Usage::kTls && metadata.tls_distrust_after &&
+      leaf.not_before() >= *metadata.tls_distrust_after) {
+    return err("tls-distrust-after: leaf issued past the trust cutoff");
+  }
+  if (options.usage == Usage::kSmime && metadata.smime_distrust_after &&
+      leaf.not_before() >= *metadata.smime_distrust_after) {
+    return err("smime-distrust-after: leaf issued past the trust cutoff");
+  }
+  if (options.require_ev && !metadata.ev_allowed) {
+    return err("EV required but root is not EV-enabled");
+  }
+
+  // Name constraints along the path apply to the leaf's DNS identities.
+  std::vector<std::string> names = leaf.dns_names();
+  if (!options.hostname.empty()) names.push_back(options.hostname);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const auto& nc = chain[i]->name_constraints();
+    if (!nc) continue;
+    for (const auto& name : names) {
+      if (!nc->allows(name)) {
+        return err("name constraint on '" + chain[i]->subject().common_name() +
+                   "' excludes " + name);
+      }
+    }
+  }
+
+  if (options.run_gccs) {
+    const auto& gccs = store_.gccs().for_root(chain.back()->fingerprint_hex());
+    if (!gccs.empty() &&
+        !gcc_hook_(chain, usage_name(options.usage), gccs,
+                   result.gcc_verdict)) {
+      return err("gcc:" + result.gcc_verdict.failed_gcc);
+    }
+  }
+  return {};
+}
+
+bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
+                           VerifyResult& result) const {
+  // Copy, not reference: recursive extension reallocates state.path.
+  const x509::CertPtr current = state.path.back();
+
+  // Option 1: terminate at a trusted root that issued `current` (respecting
+  // the depth bound on the completed chain).
+  for (const rootstore::RootEntry* entry : store_.trusted()) {
+    if (state.path.size() >= options.max_depth) break;
+    if (!(entry->cert->subject() == current->issuer())) continue;
+    if (entry->cert->fingerprint() == current->fingerprint()) continue;
+    ++result.paths_explored;
+    core::Chain candidate = state.path;
+    candidate.push_back(entry->cert);
+    Status link = check_link(*current, *entry->cert, state.path.size() - 1,
+                             options);
+    if (!link) {
+      result.rejected_paths.push_back(path_label(candidate) + " | " +
+                                      link.error());
+      continue;
+    }
+    Status root_check = check_at_root(candidate, *entry, options, result);
+    if (!root_check) {
+      result.rejected_paths.push_back(path_label(candidate) + " | " +
+                                      root_check.error());
+      continue;  // the paper's "continue building" loop
+    }
+    result.ok = true;
+    result.chain = std::move(candidate);
+    return true;
+  }
+
+  // Option 2: the current certificate is itself a trusted root (e.g. a
+  // chain the server terminated at the anchor).
+  if (const rootstore::RootEntry* entry =
+          store_.find(current->fingerprint_hex());
+      entry != nullptr && state.path.size() > 1) {
+    ++result.paths_explored;
+    Status root_check = check_at_root(state.path, *entry, options, result);
+    if (root_check) {
+      result.ok = true;
+      result.chain = state.path;
+      return true;
+    }
+    result.rejected_paths.push_back(path_label(state.path) + " | " +
+                                    root_check.error());
+  }
+
+  // Option 3: extend through an untrusted intermediate from the pool.
+  if (state.path.size() >= options.max_depth) return false;
+  for (const x509::CertPtr& candidate :
+       state.pool->by_subject(current->issuer())) {
+    const std::string hash = candidate->fingerprint_hex();
+    if (state.visited.contains(hash)) continue;
+    Status link =
+        check_link(*current, *candidate, state.path.size() - 1, options);
+    if (!link) continue;
+    state.visited.insert(hash);
+    state.path.push_back(candidate);
+    if (extend(state, options, result)) return true;
+    state.path.pop_back();
+    state.visited.erase(hash);
+  }
+  return false;
+}
+
+VerifyResult ChainVerifier::verify(const x509::CertPtr& leaf,
+                                   const CertificatePool& pool,
+                                   const VerifyOptions& options) const {
+  VerifyResult result;
+  if (Status s = check_leaf(*leaf, options); !s) {
+    result.error = s.error();
+    return result;
+  }
+  SearchState state;
+  state.path.push_back(leaf);
+  state.visited.insert(leaf->fingerprint_hex());
+  state.pool = &pool;
+  if (!extend(state, options, result)) {
+    if (result.error.empty()) {
+      result.error = result.rejected_paths.empty()
+                         ? "no path to a trusted root"
+                         : "all candidate paths rejected";
+    }
+  }
+  return result;
+}
+
+}  // namespace anchor::chain

@@ -1,0 +1,106 @@
+// Chain construction and validation with the GCC hook (§3.1 of the paper):
+// "whenever a candidate root is found with a GCC, the validator must
+// execute the GCC to determine whether to accept the chain or continue
+// building."
+//
+// The verifier performs depth-first path construction from the leaf toward
+// the trusted roots, applying RFC 5280-style checks along the way:
+// validity window, basicConstraints.cA, pathLenConstraint, keyCertSign,
+// name constraints over the leaf's DNS names, EKU fit for the requested
+// usage, and signature verification. When a candidate path terminates in a
+// trusted root it additionally applies the root store's systematic
+// metadata (date-usage cutoffs, EV bit) and then executes all attached
+// GCCs; any failure rejects that path and the search continues — exactly
+// the "reject or continue building" loop the paper prescribes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chain/pool.hpp"
+#include "core/executor.hpp"
+#include "revocation/revocation.hpp"
+#include "rootstore/store.hpp"
+#include "util/simsig.hpp"
+
+namespace anchor::chain {
+
+enum class Usage { kTls, kSmime };
+
+const char* usage_name(Usage usage);  // "TLS" / "S/MIME"
+
+struct VerifyOptions {
+  std::int64_t time = 0;        // validation instant (Unix seconds)
+  std::string hostname;         // required for kTls; checked against SAN
+  Usage usage = Usage::kTls;
+  bool require_ev = false;      // demand an EV chain (leaf EV + root EV bit)
+  std::size_t max_depth = 8;    // maximum certificates in a path
+  bool check_signatures = true; // disable only in parsing-only benchmarks
+  bool run_gccs = true;         // the ablation switch for E9
+};
+
+struct VerifyResult {
+  bool ok = false;
+  core::Chain chain;            // leaf-first accepted path (when ok)
+  std::string error;            // first fatal diagnostic (when !ok)
+  // Diagnostics: every candidate path that reached a trusted root but was
+  // rejected, with the reason ("gcc:<name>", "tls-distrust-after", ...).
+  std::vector<std::string> rejected_paths;
+  core::GccVerdict gcc_verdict; // aggregate over executed GCCs
+  std::size_t paths_explored = 0;
+};
+
+// Hook interface for GCC execution placement (user-agent vs platform
+// daemon, §3.1). The default executes in-process; bench E9 swaps in a
+// simulated-IPC hook.
+using GccHook = std::function<bool(const core::Chain& chain,
+                                   std::string_view usage,
+                                   std::span<const core::Gcc> gccs,
+                                   core::GccVerdict& verdict)>;
+
+class ChainVerifier {
+ public:
+  // `scheme` must outlive the verifier and have every issuing key
+  // registered (the corpus generator does this).
+  ChainVerifier(const rootstore::RootStore& store, const SignatureScheme& scheme);
+
+  // Overrides GCC execution placement.
+  void set_gcc_hook(GccHook hook) { gcc_hook_ = std::move(hook); }
+
+  // Optional push-based revocation sources (CRLSet / OneCRL baselines the
+  // paper's incidents used; see src/revocation). Pointers must outlive the
+  // verifier; nullptr disables the check.
+  void set_crlset(const revocation::CrlSet* crlset) { crlset_ = crlset; }
+  void set_onecrl(const revocation::OneCrl* onecrl) { onecrl_ = onecrl; }
+
+  VerifyResult verify(const x509::CertPtr& leaf, const CertificatePool& pool,
+                      const VerifyOptions& options) const;
+
+ private:
+  struct SearchState;
+
+  bool extend(SearchState& state, const VerifyOptions& options,
+              VerifyResult& result) const;
+
+  // Per-certificate checks that do not depend on the final root.
+  Status check_link(const x509::Certificate& child,
+                    const x509::Certificate& issuer, std::size_t child_depth,
+                    const VerifyOptions& options) const;
+
+  // Root-dependent checks: store metadata, then GCCs.
+  Status check_at_root(const core::Chain& chain,
+                       const rootstore::RootEntry& root_entry,
+                       const VerifyOptions& options,
+                       VerifyResult& result) const;
+
+  const rootstore::RootStore& store_;
+  const SignatureScheme& scheme_;
+  core::GccExecutor executor_;
+  GccHook gcc_hook_;
+  const revocation::CrlSet* crlset_ = nullptr;
+  const revocation::OneCrl* onecrl_ = nullptr;
+};
+
+}  // namespace anchor::chain

@@ -1,0 +1,49 @@
+#include "core/executor.hpp"
+
+namespace anchor::core {
+
+bool GccExecutor::evaluate_one(const Chain& chain, std::string_view usage,
+                               const Gcc& gcc, GccVerdict* verdict) const {
+  datalog::Engine engine(strategy_);
+  engine.add_program(gcc.program());
+
+  FactSet facts;
+  const std::string chain_id = chain_id_of(chain);
+  encode_chain(chain, chain_id, facts);
+  facts.load_into(engine);
+  if (verdict != nullptr) verdict->facts_encoded += facts.size();
+
+  datalog::Atom goal;
+  goal.predicate = "valid";
+  goal.args.push_back(datalog::Term::constant_of(datalog::Value(chain_id)));
+  goal.args.push_back(
+      datalog::Term::constant_of(datalog::Value(std::string(usage))));
+
+  auto result = engine.query(goal);
+  if (verdict != nullptr) {
+    ++verdict->gccs_evaluated;
+    verdict->stats.iterations += engine.stats().iterations;
+    verdict->stats.rule_applications += engine.stats().rule_applications;
+    verdict->stats.derived_tuples += engine.stats().derived_tuples;
+  }
+  // Gcc::create validated the program, so a query error here means an
+  // engine bug; fail closed regardless. A truncated evaluation (the
+  // EvalLimits guard fired on a runaway arithmetic recursion) also fails
+  // closed: an incomplete model must never admit a chain.
+  return result.ok() && !engine.stats().truncated && result.value().holds();
+}
+
+GccVerdict GccExecutor::evaluate(const Chain& chain, std::string_view usage,
+                                 std::span<const Gcc> gccs) const {
+  GccVerdict verdict;
+  for (const Gcc& gcc : gccs) {
+    if (!evaluate_one(chain, usage, gcc, &verdict)) {
+      verdict.allowed = false;
+      verdict.failed_gcc = gcc.name();
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace anchor::core

@@ -1,0 +1,50 @@
+// GCC execution (§3 of the paper): "a constructed chain is valid if and
+// only if all GCCs attached to the candidate root are valid. ... the
+// validator performs the following Datalog query: valid(Chain, Usage)?"
+//
+// Each GCC is evaluated in an isolated engine instance — constraints from
+// different operators must not observe each other's derived facts.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/facts.hpp"
+#include "core/gcc.hpp"
+#include "datalog/eval.hpp"
+
+namespace anchor::core {
+
+// The two usages NSS attaches date-usage constraints for.
+inline constexpr const char* kUsageTls = "TLS";
+inline constexpr const char* kUsageSmime = "S/MIME";
+
+struct GccVerdict {
+  bool allowed = true;
+  std::string failed_gcc;  // name of the first failing constraint
+  datalog::EvalStats stats;  // aggregated over all evaluated GCCs
+  std::size_t gccs_evaluated = 0;
+  std::size_t facts_encoded = 0;
+};
+
+class GccExecutor {
+ public:
+  explicit GccExecutor(
+      datalog::Strategy strategy = datalog::Strategy::kSemiNaive)
+      : strategy_(strategy) {}
+
+  // Evaluates every GCC against the chain for the given usage. Evaluation
+  // order follows attachment order; the verdict reports the first failure.
+  // An empty GCC list trivially allows.
+  GccVerdict evaluate(const Chain& chain, std::string_view usage,
+                      std::span<const Gcc> gccs) const;
+
+  // Single-constraint form.
+  bool evaluate_one(const Chain& chain, std::string_view usage,
+                    const Gcc& gcc, GccVerdict* verdict = nullptr) const;
+
+ private:
+  datalog::Strategy strategy_;
+};
+
+}  // namespace anchor::core

@@ -1,0 +1,115 @@
+#include "core/facts.hpp"
+
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+namespace anchor::core {
+
+using datalog::Tuple;
+using datalog::Value;
+
+void FactSet::load_into(datalog::Engine& engine) const {
+  for (const Fact& fact : facts) {
+    engine.add_fact(fact.predicate, fact.args);
+  }
+}
+
+void encode_certificate(const x509::Certificate& cert, FactSet& out) {
+  const std::string id = cert.fingerprint_hex();
+  Value cid(id);
+
+  out.add("hash", {cid, Value(id)});
+  out.add("serial", {cid, Value(to_hex(BytesView(cert.serial())))});
+  out.add("notBefore", {cid, Value(cert.not_before())});
+  out.add("notAfter", {cid, Value(cert.not_after())});
+  out.add("lifetime", {cid, Value(cert.lifetime_seconds())});
+
+  std::string subject_cn = cert.subject().common_name();
+  if (!subject_cn.empty()) out.add("subjectCN", {cid, Value(subject_cn)});
+  std::string issuer_cn = cert.issuer().common_name();
+  if (!issuer_cn.empty()) out.add("issuerCN", {cid, Value(issuer_cn)});
+  std::string subject_org = cert.subject().organization();
+  if (!subject_org.empty()) out.add("subjectOrg", {cid, Value(subject_org)});
+
+  if (cert.subject_alt_name()) {
+    for (const auto& name : cert.subject_alt_name()->dns_names) {
+      out.add("san", {cid, Value(name)});
+      out.add("sanTLD", {cid, Value(tld_of(name))});
+      // nameSuffix(C, Name, Suffix) for every dot-suffix of the name
+      // (including the name itself, minus any leading "*." label), so GCCs
+      // can express RFC 5280-style name constraints declaratively.
+      std::string_view rest = name;
+      if (starts_with(rest, "*.")) rest = rest.substr(2);
+      out.add("nameSuffix", {cid, Value(name), Value(std::string(rest))});
+      while (true) {
+        std::size_t dot = rest.find('.');
+        if (dot == std::string_view::npos) break;
+        rest = rest.substr(dot + 1);
+        out.add("nameSuffix", {cid, Value(name), Value(std::string(rest))});
+      }
+    }
+  }
+  if (cert.key_usage()) {
+    for (const auto& usage : cert.key_usage()->names()) {
+      out.add("keyUsage", {cid, Value(usage)});
+    }
+  }
+  if (cert.extended_key_usage()) {
+    for (const auto& usage : cert.extended_key_usage()->names()) {
+      out.add("extendedKeyUsage", {cid, Value(usage)});
+    }
+  }
+  if (cert.is_ca()) {
+    out.add("isCA", {cid});
+    if (cert.path_len()) {
+      out.add("pathLen", {cid, Value(std::int64_t{*cert.path_len()})});
+    }
+  }
+  if (cert.is_self_issued()) out.add("selfSigned", {cid});
+  if (cert.is_ev()) {
+    out.add("ev", {cid});
+    out.add("EV", {cid});  // paper Listing 1 notation
+  }
+  if (cert.certificate_policies()) {
+    for (const auto& policy : cert.certificate_policies()->policies) {
+      out.add("policy", {cid, Value(policy.to_string())});
+    }
+  }
+  if (cert.name_constraints()) {
+    for (const auto& name : cert.name_constraints()->permitted_dns) {
+      out.add("permittedDNS", {cid, Value(name)});
+    }
+    for (const auto& name : cert.name_constraints()->excluded_dns) {
+      out.add("excludedDNS", {cid, Value(name)});
+    }
+  }
+}
+
+void encode_chain(const Chain& chain, const std::string& chain_id,
+                  FactSet& out) {
+  if (chain.empty()) return;
+  Value chain_value(chain_id);
+
+  for (const auto& cert : chain) encode_certificate(*cert, out);
+
+  out.add("leaf", {chain_value, Value(chain.front()->fingerprint_hex())});
+  out.add("root", {chain_value, Value(chain.back()->fingerprint_hex())});
+  out.add("chainLength",
+          {chain_value, Value(static_cast<std::int64_t>(chain.size()))});
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    out.add("certAt", {chain_value, Value(static_cast<std::int64_t>(i)),
+                       Value(chain[i]->fingerprint_hex())});
+  }
+  // signs(Issuer, Subject): chain[i+1] signed chain[i].
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    out.add("signs", {Value(chain[i + 1]->fingerprint_hex()),
+                      Value(chain[i]->fingerprint_hex())});
+  }
+}
+
+std::string chain_id_of(const Chain& chain) {
+  if (chain.empty()) return "chain-empty";
+  return "chain-" + chain.front()->fingerprint_hex();
+}
+
+}  // namespace anchor::core

@@ -1,0 +1,79 @@
+// General Certificate Constraints (§3 of the paper): "a simple program
+// attached to a specific root certificate (by SHA-256 hash) that returns a
+// Boolean true or false. If the GCC returns false, the certificate chain in
+// question must be rejected."
+//
+// A Gcc owns the Datalog source and its parsed, validated form. Validation
+// happens at construction: the program must lex, parse, stratify, pass the
+// safety check, and define the required `valid` rule — a malformed GCC is
+// rejected when a root store ingests it, never at chain-validation time.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.hpp"
+#include "util/result.hpp"
+#include "x509/certificate.hpp"
+
+namespace anchor::core {
+
+class Gcc {
+ public:
+  // `root_hash_hex` is the SHA-256 (lowercase hex) of the root certificate
+  // this constraint binds to. `justification` is free-form provenance (bug
+  // link, incident writeup) carried through RSF snapshots.
+  static Result<Gcc> create(std::string name, std::string root_hash_hex,
+                            std::string source, std::string justification = "");
+
+  // Convenience: bind to a parsed certificate.
+  static Result<Gcc> for_certificate(std::string name,
+                                     const x509::Certificate& root,
+                                     std::string source,
+                                     std::string justification = "");
+
+  const std::string& name() const { return name_; }
+  const std::string& root_hash_hex() const { return root_hash_hex_; }
+  const std::string& source() const { return source_; }
+  const std::string& justification() const { return justification_; }
+  const datalog::Program& program() const { return program_; }
+
+  bool operator==(const Gcc& other) const {
+    return name_ == other.name_ && root_hash_hex_ == other.root_hash_hex_ &&
+           source_ == other.source_;
+  }
+
+ private:
+  Gcc() = default;
+
+  std::string name_;
+  std::string root_hash_hex_;
+  std::string source_;
+  std::string justification_;
+  datalog::Program program_;
+};
+
+// Per-root constraint registry: the executable half of a root store. GCCs
+// accumulate (a root may carry several; all must hold).
+class GccStore {
+ public:
+  void attach(Gcc gcc);
+  // Removes the named GCC from the given root; returns true if it existed.
+  bool detach(const std::string& root_hash_hex, const std::string& name);
+
+  // All constraints bound to a root (empty if unconstrained).
+  const std::vector<Gcc>& for_root(const std::string& root_hash_hex) const;
+
+  std::size_t total() const;
+  std::size_t constrained_roots() const { return by_root_.size(); }
+
+  // Root hashes with at least one GCC, sorted — for deterministic
+  // serialization.
+  std::vector<std::string> roots_sorted() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Gcc>> by_root_;
+};
+
+}  // namespace anchor::core

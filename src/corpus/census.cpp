@@ -1,0 +1,34 @@
+#include "corpus/census.hpp"
+
+#include <unordered_set>
+
+namespace anchor::corpus {
+
+CensusReport run_census(const Corpus& corpus) {
+  CensusReport report;
+  report.roots_total = corpus.roots().size();
+  report.intermediates_total = corpus.intermediates().size();
+
+  for (const CaProfile& root : corpus.roots()) {
+    if (root.cert->name_constraints() && !root.cert->name_constraints()->empty()) {
+      ++report.roots_with_name_constraints;
+    }
+    if (root.cert->path_len().has_value()) ++report.roots_with_path_len;
+  }
+
+  std::unordered_set<int> constrained_chain_roots;
+  for (const CaProfile& intermediate : corpus.intermediates()) {
+    if (intermediate.cert->name_constraints() &&
+        !intermediate.cert->name_constraints()->empty()) {
+      ++report.intermediates_with_name_constraints;
+      constrained_chain_roots.insert(intermediate.parent_root);
+    }
+    if (intermediate.cert->path_len().has_value()) {
+      ++report.intermediates_with_path_len;
+    }
+  }
+  report.roots_with_constrained_chain = constrained_chain_roots.size();
+  return report;
+}
+
+}  // namespace anchor::corpus

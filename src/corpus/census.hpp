@@ -1,0 +1,31 @@
+// Constraint census (experiment E5). Recomputes the paper's §5.1
+// measurement *from the certificates themselves* — not from the generator
+// config — so the corpus calibration is independently checkable:
+//
+//   "out of 140 root certificates, zero used name constraints and only
+//    five used path-length constraints. Out of 776 intermediate CA
+//    certificates, 701 used path-length constraints but only 31 used name
+//    constraints. Only six (out of 140) roots were included in at least
+//    one chain where an intermediate included a name constraint."
+#pragma once
+
+#include <cstddef>
+
+#include "corpus/corpus.hpp"
+
+namespace anchor::corpus {
+
+struct CensusReport {
+  std::size_t roots_total = 0;
+  std::size_t roots_with_name_constraints = 0;
+  std::size_t roots_with_path_len = 0;
+  std::size_t intermediates_total = 0;
+  std::size_t intermediates_with_name_constraints = 0;
+  std::size_t intermediates_with_path_len = 0;
+  // Roots appearing in >= 1 chain whose intermediate is name-constrained.
+  std::size_t roots_with_constrained_chain = 0;
+};
+
+CensusReport run_census(const Corpus& corpus);
+
+}  // namespace anchor::corpus

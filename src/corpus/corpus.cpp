@@ -1,0 +1,318 @@
+#include "corpus/corpus.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::corpus {
+
+using x509::CertificateBuilder;
+using x509::DistinguishedName;
+
+namespace {
+
+const char* kRealTlds[] = {
+    "com", "net",  "org", "de",   "uk",  "fr", "io",  "co", "jp", "cn",
+    "ru",  "br",   "in",  "it",   "nl",  "au", "es",  "ca", "pl", "ch",
+    "se",  "us",   "gov", "edu",  "mil", "tr", "gr",  "kr", "mx", "ar",
+    "be",  "at",   "dk",  "fi",   "no",  "cz", "pt",  "ro", "hu", "ie",
+    "il",  "sg",   "hk",  "tw",   "th",  "my", "id",  "ph", "vn", "za",
+    "eg",  "ng",   "ke",  "ua",   "by",  "lt", "lv",  "ee", "is", "lu"};
+
+const char* kWords[] = {
+    "acme",  "globex", "initech", "umbra",  "vertex", "zenith", "nimbus",
+    "quark", "lumen",  "strata",  "vortex", "helix",  "aurora", "cobalt",
+    "ember", "fathom", "garnet",  "haven",  "indigo", "jasper", "krypton",
+    "lotus", "meridian", "nova",  "onyx",   "prism",  "quartz", "raven",
+    "sable", "tundra", "ultra",   "violet", "willow", "xenon",  "yonder",
+    "zephyr"};
+
+std::string random_label(Rng& rng) {
+  const std::size_t word_count = sizeof(kWords) / sizeof(kWords[0]);
+  std::string label = kWords[rng.uniform(word_count)];
+  if (rng.chance(0.7)) {
+    label += "-";
+    label += kWords[rng.uniform(word_count)];
+  }
+  if (rng.chance(0.4)) {
+    label += std::to_string(rng.uniform(1000));
+  }
+  return label;
+}
+
+// Draws a TLD-scope size with P(size <= 10) ~= 0.9 for the default s.
+std::vector<std::string> draw_scope(Rng& rng,
+                                    const std::vector<std::string>& universe,
+                                    double zipf_s, int max_size) {
+  std::size_t size =
+      1 + rng.zipf(static_cast<std::size_t>(max_size), zipf_s);
+  std::vector<std::string> scope;
+  scope.reserve(size);
+  // Popular TLDs are more likely to be in any CA's scope.
+  while (scope.size() < size) {
+    const std::string& tld = universe[rng.zipf(universe.size(), 1.0)];
+    if (std::find(scope.begin(), scope.end(), tld) == scope.end()) {
+      scope.push_back(tld);
+    }
+  }
+  return scope;
+}
+
+}  // namespace
+
+std::vector<std::string> Corpus::tld_universe(int count) {
+  std::vector<std::string> out;
+  const int real = static_cast<int>(sizeof(kRealTlds) / sizeof(kRealTlds[0]));
+  for (int i = 0; i < count; ++i) {
+    if (i < real) {
+      out.emplace_back(kRealTlds[i]);
+    } else {
+      out.push_back("tld" + std::to_string(i));
+    }
+  }
+  return out;
+}
+
+Corpus Corpus::generate(const CorpusConfig& config) {
+  Corpus corpus;
+  corpus.config_ = config;
+  Rng rng(config.seed);
+  std::vector<std::string> universe = tld_universe(config.num_tlds);
+
+  const std::int64_t ca_not_before = config.time_origin - 5LL * 365 * 86400;
+  const std::int64_t ca_not_after = config.time_origin + 25LL * 365 * 86400;
+
+  // --- Roots -------------------------------------------------------------
+  // Exactly `roots_with_path_len` roots carry a pathLenConstraint; none
+  // carry name constraints (census: 0 of 140).
+  std::vector<bool> root_has_plen(static_cast<std::size_t>(config.num_roots),
+                                  false);
+  {
+    int assigned = 0;
+    while (assigned < config.roots_with_path_len) {
+      std::size_t pick = rng.uniform(static_cast<std::size_t>(config.num_roots));
+      if (!root_has_plen[pick]) {
+        root_has_plen[pick] = true;
+        ++assigned;
+      }
+    }
+  }
+
+  for (int i = 0; i < config.num_roots; ++i) {
+    CaProfile profile;
+    std::string name = "Corpus Root CA R" + std::to_string(i);
+    profile.key = SimSig::keygen(name);
+    profile.tld_scope =
+        draw_scope(rng, universe, config.tld_zipf_s, config.max_tlds_per_ca);
+    CertificateBuilder builder;
+    builder.serial(corpus.next_serial_++)
+        .subject(DistinguishedName::make(name, "Corpus Trust Services"))
+        .issuer(DistinguishedName::make(name, "Corpus Trust Services"))
+        .validity(ca_not_before, ca_not_after)
+        .public_key(profile.key.key_id)
+        .subject_key_id(profile.key.key_id);
+    if (root_has_plen[static_cast<std::size_t>(i)]) {
+      builder.ca(static_cast<int>(rng.uniform(3)) + 1);
+    } else {
+      builder.ca(std::nullopt);
+    }
+    auto cert = builder.sign(profile.key);
+    profile.cert = std::move(cert).take();
+    corpus.signatures_.register_key(profile.key);
+    corpus.roots_.push_back(std::move(profile));
+  }
+
+  // --- Intermediates -------------------------------------------------------
+  // The `roots_with_constrained_chain` special roots host all
+  // name-constrained intermediates; remaining intermediates are distributed
+  // over all roots with a heavy tail (big CAs run many subordinates).
+  std::vector<std::size_t> special_roots;
+  while (special_roots.size() <
+         static_cast<std::size_t>(config.roots_with_constrained_chain)) {
+    std::size_t pick = rng.uniform(static_cast<std::size_t>(config.num_roots));
+    if (std::find(special_roots.begin(), special_roots.end(), pick) ==
+        special_roots.end()) {
+      special_roots.push_back(pick);
+    }
+  }
+
+  const int plain_intermediates =
+      config.num_intermediates - config.intermediates_with_name_constraints;
+  std::vector<int> parent_of;
+  parent_of.reserve(static_cast<std::size_t>(config.num_intermediates));
+  for (int i = 0; i < plain_intermediates; ++i) {
+    parent_of.push_back(static_cast<int>(
+        rng.zipf(static_cast<std::size_t>(config.num_roots), 0.8)));
+  }
+  for (int i = 0; i < config.intermediates_with_name_constraints; ++i) {
+    parent_of.push_back(static_cast<int>(
+        special_roots[static_cast<std::size_t>(i) % special_roots.size()]));
+  }
+
+  // Exactly `intermediates_with_path_len` of all intermediates get a
+  // pathLenConstraint (the census's 701 / 776).
+  std::vector<bool> int_has_plen(
+      static_cast<std::size_t>(config.num_intermediates), false);
+  {
+    int assigned = 0;
+    while (assigned < config.intermediates_with_path_len) {
+      std::size_t pick =
+          rng.uniform(static_cast<std::size_t>(config.num_intermediates));
+      if (!int_has_plen[pick]) {
+        int_has_plen[pick] = true;
+        ++assigned;
+      }
+    }
+  }
+
+  for (int i = 0; i < config.num_intermediates; ++i) {
+    CaProfile profile;
+    profile.parent_root = parent_of[static_cast<std::size_t>(i)];
+    const CaProfile& parent =
+        corpus.roots_[static_cast<std::size_t>(profile.parent_root)];
+    std::string name = "Corpus Issuing CA I" + std::to_string(i);
+    profile.key = SimSig::keygen(name);
+    // Scope: subset of the parent's scope (CAs delegate narrower).
+    profile.tld_scope = parent.tld_scope;
+    if (profile.tld_scope.size() > 1 && rng.chance(0.5)) {
+      profile.tld_scope.resize(1 + rng.uniform(profile.tld_scope.size() - 1));
+    }
+
+    const bool name_constrained = i >= plain_intermediates;
+    CertificateBuilder builder;
+    builder.serial(corpus.next_serial_++)
+        .subject(DistinguishedName::make(name, parent.cert->subject().organization()))
+        .issuer(parent.cert->subject())
+        .validity(ca_not_before + 86400, ca_not_after - 86400)
+        .public_key(profile.key.key_id)
+        .subject_key_id(profile.key.key_id)
+        .authority_key_id(parent.key.key_id);
+    if (int_has_plen[static_cast<std::size_t>(i)]) {
+      builder.ca(0);  // typical real-world subordinate: pathLen 0
+    } else {
+      builder.ca(std::nullopt);
+    }
+    if (name_constrained) {
+      // Constrain to the intermediate's first (or only) TLD.
+      x509::NameConstraints nc;
+      nc.permitted_dns.push_back(profile.tld_scope.front());
+      builder.name_constraints(std::move(nc));
+    }
+    auto cert = builder.sign(parent.key);
+    profile.cert = std::move(cert).take();
+    corpus.signatures_.register_key(profile.key);
+    corpus.intermediates_.push_back(std::move(profile));
+  }
+
+  // --- Leaves ---------------------------------------------------------------
+  for (std::size_t i = 0; i < corpus.intermediates_.size(); ++i) {
+    const CaProfile& issuer = corpus.intermediates_[i];
+    std::size_t count = rng.count_with_mean(config.leaves_per_intermediate_mean);
+    for (std::size_t n = 0; n < count; ++n) {
+      LeafRecord record;
+      record.issuer_intermediate = static_cast<int>(i);
+      const std::string& tld =
+          issuer.tld_scope[rng.uniform(issuer.tld_scope.size())];
+      record.domain = random_label(rng) + "." + tld;
+      record.smime = rng.chance(config.smime_fraction);
+
+      std::int64_t not_before =
+          config.time_origin +
+          rng.uniform_range(0, config.time_span - 86400);
+      std::int64_t lifetime_days = rng.uniform_range(
+          std::max(1, config.leaf_lifetime_days_mean -
+                          config.leaf_lifetime_days_jitter),
+          config.leaf_lifetime_days_mean + config.leaf_lifetime_days_jitter);
+
+      SimKeyPair leaf_key =
+          SimSig::keygen("leaf-" + std::to_string(corpus.next_serial_));
+      CertificateBuilder builder;
+      builder.serial(corpus.next_serial_++)
+          .subject(DistinguishedName::make(record.domain))
+          .issuer(issuer.cert->subject())
+          .validity(not_before, not_before + lifetime_days * 86400)
+          .public_key(leaf_key.key_id)
+          .authority_key_id(issuer.key.key_id);
+
+      x509::KeyUsage ku;
+      ku.set(x509::KeyUsageBit::kDigitalSignature);
+      ku.set(x509::KeyUsageBit::kKeyEncipherment);
+      builder.key_usage(ku);
+
+      if (record.smime) {
+        builder.extended_key_usage({x509::oids::kp_email_protection()});
+        builder.dns_names({record.domain});
+      } else {
+        builder.extended_key_usage(
+            {x509::oids::kp_server_auth(), x509::oids::kp_client_auth()});
+        std::vector<std::string> names{record.domain};
+        if (rng.chance(config.wildcard_fraction)) {
+          names.push_back("*." + record.domain);
+        } else {
+          names.push_back("www." + record.domain);
+        }
+        builder.dns_names(std::move(names));
+      }
+      if (rng.chance(config.ev_fraction)) builder.ev();
+
+      auto cert = builder.sign(issuer.key);
+      record.cert = std::move(cert).take();
+      corpus.leaves_.push_back(std::move(record));
+    }
+  }
+
+  return corpus;
+}
+
+rootstore::RootStore Corpus::make_root_store() const {
+  rootstore::RootStore store;
+  for (const CaProfile& root : roots_) {
+    rootstore::RootMetadata metadata;
+    metadata.ev_allowed = true;
+    (void)store.add_trusted(root.cert, metadata);
+  }
+  return store;
+}
+
+chain::CertificatePool Corpus::intermediate_pool() const {
+  chain::CertificatePool pool;
+  for (const CaProfile& intermediate : intermediates_) {
+    pool.add(intermediate.cert);
+  }
+  return pool;
+}
+
+core::Chain Corpus::chain_for_leaf(std::size_t leaf_index) const {
+  const LeafRecord& record = leaves_.at(leaf_index);
+  const CaProfile& intermediate =
+      intermediates_.at(static_cast<std::size_t>(record.issuer_intermediate));
+  const CaProfile& root =
+      roots_.at(static_cast<std::size_t>(intermediate.parent_root));
+  return core::Chain{record.cert, intermediate.cert, root.cert};
+}
+
+x509::CertPtr Corpus::misissue(std::size_t intermediate_index,
+                               const std::string& victim_domain,
+                               std::int64_t not_before, int lifetime_days) {
+  const CaProfile& issuer = intermediates_.at(intermediate_index);
+  SimKeyPair key = SimSig::keygen("misissued-" + victim_domain + "-" +
+                                  std::to_string(next_serial_));
+  x509::KeyUsage ku;
+  ku.set(x509::KeyUsageBit::kDigitalSignature);
+  auto cert =
+      CertificateBuilder()
+          .serial(next_serial_++)
+          .subject(DistinguishedName::make(victim_domain))
+          .issuer(issuer.cert->subject())
+          .validity(not_before, not_before + std::int64_t{lifetime_days} * 86400)
+          .public_key(key.key_id)
+          .key_usage(ku)
+          .extended_key_usage({x509::oids::kp_server_auth()})
+          .dns_names({victim_domain, "*." + victim_domain})
+          .sign(issuer.key);
+  return std::move(cert).take();
+}
+
+}  // namespace anchor::corpus

@@ -1,0 +1,115 @@
+// Synthetic Web-PKI corpus (the substitution for NSS + Certificate
+// Transparency data; DESIGN.md §5). The generator is deterministic in the
+// seed and calibrated to every number the paper reports in §5.1-§5.2:
+//
+//   * 140 roots, 0 name-constrained, 5 with path-length constraints;
+//   * 776 intermediates, 701 with path-length, 31 name-constrained;
+//   * the 31 name-constrained intermediates concentrated under exactly 6
+//     roots ("only six roots were included in at least one chain where an
+//     intermediate included a name constraint");
+//   * per-CA TLD issuance scope heavy-tailed so that ~90% of CAs issue for
+//     <= 10 TLDs (the CAge observation the paper builds on).
+//
+// Every certificate is a real DER-encoded object built by the x509 layer
+// and signed with SimSig; all issuing keys are registered so chains verify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/pool.hpp"
+#include "core/facts.hpp"
+#include "rootstore/store.hpp"
+#include "util/rng.hpp"
+#include "util/simsig.hpp"
+#include "x509/certificate.hpp"
+
+namespace anchor::corpus {
+
+struct CorpusConfig {
+  std::uint64_t seed = 7;
+
+  // §5.1 census calibration.
+  int num_roots = 140;
+  int num_intermediates = 776;
+  int roots_with_path_len = 5;
+  int intermediates_with_path_len = 701;
+  int intermediates_with_name_constraints = 31;
+  int roots_with_constrained_chain = 6;
+
+  // Issuance volume and mix.
+  double leaves_per_intermediate_mean = 12.0;
+  double ev_fraction = 0.08;
+  double smime_fraction = 0.10;
+  double wildcard_fraction = 0.25;
+
+  // TLD scope distribution (§5.2 / CAge).
+  int num_tlds = 60;
+  double tld_zipf_s = 1.8;  // calibrated: P(scope <= 10) ~ 0.9
+  int max_tlds_per_ca = 40;
+
+  // Validity windows.
+  std::int64_t time_origin = 1577836800;  // 2020-01-01
+  std::int64_t time_span = 3 * 365 * 86400;
+  int leaf_lifetime_days_mean = 90;
+  int leaf_lifetime_days_jitter = 30;
+
+  // A convenient "now" at which most of the corpus is valid.
+  std::int64_t validation_time() const { return time_origin + time_span / 2; }
+};
+
+struct CaProfile {
+  x509::CertPtr cert;
+  SimKeyPair key;
+  std::vector<std::string> tld_scope;  // TLDs this CA issues for
+  int parent_root = -1;                // for intermediates: index into roots
+};
+
+struct LeafRecord {
+  x509::CertPtr cert;
+  int issuer_intermediate;  // index into intermediates()
+  std::string domain;
+  bool smime = false;
+};
+
+class Corpus {
+ public:
+  static Corpus generate(const CorpusConfig& config);
+
+  const CorpusConfig& config() const { return config_; }
+  const std::vector<CaProfile>& roots() const { return roots_; }
+  const std::vector<CaProfile>& intermediates() const { return intermediates_; }
+  const std::vector<LeafRecord>& leaves() const { return leaves_; }
+
+  // The signature registry with every issuing key; required by verifiers.
+  const SimSig& signatures() const { return signatures_; }
+
+  // A primary root store trusting every corpus root.
+  rootstore::RootStore make_root_store() const;
+
+  // Pool of all intermediates (what servers would send).
+  chain::CertificatePool intermediate_pool() const;
+
+  // The true chain for a leaf: {leaf, intermediate, root}.
+  core::Chain chain_for_leaf(std::size_t leaf_index) const;
+
+  // Builds a fraudulent leaf for `victim_domain` signed by the given
+  // intermediate (incident injection).
+  x509::CertPtr misissue(std::size_t intermediate_index,
+                         const std::string& victim_domain,
+                         std::int64_t not_before, int lifetime_days = 365);
+
+  // The TLD universe used by the generator (index 0 = most popular).
+  static std::vector<std::string> tld_universe(int count);
+
+ private:
+  CorpusConfig config_;
+  std::vector<CaProfile> roots_;
+  std::vector<CaProfile> intermediates_;
+  std::vector<LeafRecord> leaves_;
+  SimSig signatures_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace anchor::corpus

@@ -1,0 +1,103 @@
+// A Certificate Transparency log and its consumers — the substitution for
+// the real CT logs (Nimbus/Argon/Xenon) the paper's §5 measurement used,
+// and the "immutable log" §4 suggests for feed security.
+//
+//   CtLog      — append-only certificate log with SimSig-signed tree heads,
+//                inclusion proofs and consistency proofs;
+//   LogMonitor — the §5.2 study loop: walks new entries, groups issuance by
+//                issuer, and accumulates per-CA scopes the pre-emptive
+//                synthesizer consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctlog/merkle.hpp"
+#include "preemptive/scope.hpp"
+#include "util/result.hpp"
+#include "util/simsig.hpp"
+#include "x509/certificate.hpp"
+
+namespace anchor::ctlog {
+
+struct SignedTreeHead {
+  std::uint64_t tree_size = 0;
+  std::int64_t timestamp = 0;
+  Hash root_hash{};
+  Bytes signature;
+
+  Bytes transcript() const;
+};
+
+class CtLog {
+ public:
+  // `name` identifies the log operator; the signing key derives from it and
+  // registers into `registry` for client-side STH verification.
+  CtLog(std::string name, SimSig& registry);
+
+  // Appends a certificate; returns its entry index.
+  std::uint64_t submit(const x509::CertPtr& cert, std::int64_t timestamp);
+
+  std::uint64_t size() const { return tree_.size(); }
+  const Bytes& key_id() const { return key_.key_id; }
+
+  // Signed tree head over the current (or a historical) tree size.
+  SignedTreeHead sth() const;
+  SignedTreeHead sth_at(std::uint64_t tree_size) const;
+  static bool verify_sth(const SignedTreeHead& sth, BytesView key_id,
+                         const SimSig& registry);
+
+  // Entry access (what a monitor fetches) and proofs (what an auditor
+  // checks).
+  const x509::CertPtr& entry(std::uint64_t index) const {
+    return entries_[index];
+  }
+  std::vector<Hash> inclusion_proof(std::uint64_t index,
+                                    std::uint64_t tree_size) const {
+    return tree_.inclusion_proof(index, tree_size);
+  }
+  std::vector<Hash> consistency_proof(std::uint64_t from_size,
+                                      std::uint64_t to_size) const {
+    return tree_.consistency_proof(from_size, to_size);
+  }
+  Hash entry_leaf_hash(std::uint64_t index) const {
+    return tree_.leaf(index);
+  }
+
+ private:
+  std::string name_;
+  SimKeyPair key_;
+  std::int64_t last_timestamp_ = 0;
+  MerkleTree tree_;
+  std::vector<x509::CertPtr> entries_;
+};
+
+// The §5.2 measurement loop over a log: incremental, restartable, and
+// auditing — every batch is cross-checked against a consistency proof from
+// the last seen STH, so a log that rewrites history is detected.
+class LogMonitor {
+ public:
+  explicit LogMonitor(const CtLog& log, const SimSig& registry)
+      : log_(log), registry_(registry) {}
+
+  // Processes all entries up to the log's current STH. Returns the number
+  // of new entries consumed, or an error if the log failed verification.
+  Result<std::uint64_t> poll();
+
+  // Per-issuer (by issuer CN) observed scope of issuance.
+  const std::map<std::string, preemptive::ScopeOfIssuance>& scopes() const {
+    return scopes_;
+  }
+  std::uint64_t entries_seen() const { return next_index_; }
+
+ private:
+  const CtLog& log_;
+  const SimSig& registry_;
+  std::uint64_t next_index_ = 0;
+  SignedTreeHead last_sth_;
+  std::map<std::string, preemptive::ScopeOfIssuance> scopes_;
+};
+
+}  // namespace anchor::ctlog

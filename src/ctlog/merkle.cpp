@@ -1,0 +1,186 @@
+#include "ctlog/merkle.hpp"
+
+#include <cassert>
+#include <span>
+
+namespace anchor::ctlog {
+
+namespace {
+
+// Largest power of two strictly less than n (n >= 2).
+std::uint64_t split_point(std::uint64_t n) {
+  std::uint64_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+using HashSpan = std::span<const Hash>;
+
+Hash subtree_root(HashSpan leaves) {
+  if (leaves.empty()) return empty_tree_hash();
+  if (leaves.size() == 1) return leaves[0];
+  std::uint64_t k = split_point(leaves.size());
+  return node_hash(subtree_root(leaves.subspan(0, k)),
+                   subtree_root(leaves.subspan(k)));
+}
+
+// RFC 6962 §2.1.1 PATH(m, D[n]).
+void audit_path(std::uint64_t m, HashSpan leaves, std::vector<Hash>& out) {
+  if (leaves.size() <= 1) return;
+  std::uint64_t k = split_point(leaves.size());
+  if (m < k) {
+    audit_path(m, leaves.subspan(0, k), out);
+    out.push_back(subtree_root(leaves.subspan(k)));
+  } else {
+    audit_path(m - k, leaves.subspan(k), out);
+    out.push_back(subtree_root(leaves.subspan(0, k)));
+  }
+}
+
+// RFC 6962 §2.1.2 SUBPROOF(m, D[n], b).
+void subproof(std::uint64_t m, HashSpan leaves, bool complete_subtree,
+              std::vector<Hash>& out) {
+  if (m == leaves.size()) {
+    if (!complete_subtree) out.push_back(subtree_root(leaves));
+    return;
+  }
+  std::uint64_t k = split_point(leaves.size());
+  if (m <= k) {
+    subproof(m, leaves.subspan(0, k), complete_subtree, out);
+    out.push_back(subtree_root(leaves.subspan(k)));
+  } else {
+    subproof(m - k, leaves.subspan(k), false, out);
+    out.push_back(subtree_root(leaves.subspan(0, k)));
+  }
+}
+
+}  // namespace
+
+Hash empty_tree_hash() { return Sha256::hash({}); }
+
+Hash leaf_hash(BytesView entry) {
+  Sha256 h;
+  const std::uint8_t prefix = 0x00;
+  h.update(BytesView(&prefix, 1));
+  h.update(entry);
+  return h.finish();
+}
+
+Hash node_hash(const Hash& left, const Hash& right) {
+  Sha256 h;
+  const std::uint8_t prefix = 0x01;
+  h.update(BytesView(&prefix, 1));
+  h.update(BytesView(left.data(), left.size()));
+  h.update(BytesView(right.data(), right.size()));
+  return h.finish();
+}
+
+std::uint64_t MerkleTree::append(BytesView entry) {
+  leaves_.push_back(leaf_hash(entry));
+  return leaves_.size() - 1;
+}
+
+Hash MerkleTree::root() const { return root_at(leaves_.size()); }
+
+Hash MerkleTree::root_at(std::uint64_t tree_size) const {
+  assert(tree_size <= leaves_.size());
+  return subtree_root(HashSpan(leaves_.data(), tree_size));
+}
+
+std::vector<Hash> MerkleTree::inclusion_proof(std::uint64_t index,
+                                              std::uint64_t tree_size) const {
+  assert(index < tree_size && tree_size <= leaves_.size());
+  std::vector<Hash> out;
+  audit_path(index, HashSpan(leaves_.data(), tree_size), out);
+  return out;
+}
+
+std::vector<Hash> MerkleTree::consistency_proof(std::uint64_t from_size,
+                                                std::uint64_t to_size) const {
+  assert(from_size <= to_size && to_size <= leaves_.size());
+  std::vector<Hash> out;
+  if (from_size == 0 || from_size == to_size) return out;
+  subproof(from_size, HashSpan(leaves_.data(), to_size),
+           /*complete_subtree=*/true, out);
+  return out;
+}
+
+// RFC 9162 §2.1.3.2.
+bool verify_inclusion(const Hash& leaf, std::uint64_t index,
+                      std::uint64_t tree_size, const std::vector<Hash>& path,
+                      const Hash& root) {
+  if (index >= tree_size) return false;
+  std::uint64_t fn = index;
+  std::uint64_t sn = tree_size - 1;
+  Hash r = leaf;
+  for (const Hash& p : path) {
+    if (sn == 0) return false;
+    if ((fn & 1) != 0 || fn == sn) {
+      r = node_hash(p, r);
+      if ((fn & 1) == 0) {
+        // Right-edge node: skip levels where fn has trailing zeros.
+        while (fn != 0 && (fn & 1) == 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      r = node_hash(r, p);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && r == root;
+}
+
+// RFC 9162 §2.1.4.2.
+bool verify_consistency(std::uint64_t from_size, std::uint64_t to_size,
+                        const Hash& from_root, const Hash& to_root,
+                        const std::vector<Hash>& proof) {
+  if (from_size > to_size) return false;
+  if (from_size == to_size) return proof.empty() && from_root == to_root;
+  if (from_size == 0) {
+    // Any tree is consistent with the empty tree; no proof required.
+    return proof.empty() && from_root == empty_tree_hash();
+  }
+  if (proof.empty()) return false;
+
+  std::uint64_t fn = from_size - 1;
+  std::uint64_t sn = to_size - 1;
+  while ((fn & 1) != 0) {
+    fn >>= 1;
+    sn >>= 1;
+  }
+  std::size_t cursor = 0;
+  Hash fr;
+  Hash sr;
+  if (fn != 0) {
+    fr = proof[cursor];
+    sr = proof[cursor];
+    ++cursor;
+  } else {
+    fr = from_root;
+    sr = from_root;
+  }
+  for (; cursor < proof.size(); ++cursor) {
+    const Hash& c = proof[cursor];
+    if (sn == 0) return false;
+    if ((fn & 1) != 0 || fn == sn) {
+      fr = node_hash(c, fr);
+      sr = node_hash(c, sr);
+      if ((fn & 1) == 0) {
+        while (fn != 0 && (fn & 1) == 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      sr = node_hash(sr, c);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && fr == from_root && sr == to_root;
+}
+
+}  // namespace anchor::ctlog

@@ -1,0 +1,74 @@
+#include "datalog/ast.hpp"
+
+namespace anchor::datalog {
+
+std::string Term::to_string() const {
+  switch (kind) {
+    case Kind::kVariable: return name;
+    case Kind::kWildcard: return "_";
+    case Kind::kConstant: return constant.to_string();
+  }
+  return "?";
+}
+
+std::string Atom::to_string() const {
+  std::string out = predicate + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].to_string();
+  }
+  out += ")";
+  return out;
+}
+
+std::string cmp_op_name(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+std::string Expr::to_string() const {
+  if (op == ArithOp::kNone) return lhs.to_string();
+  const char* sym = op == ArithOp::kAdd ? " + " : op == ArithOp::kSub ? " - " : " * ";
+  return lhs.to_string() + sym + rhs.to_string();
+}
+
+std::string Literal::to_string() const {
+  switch (kind) {
+    case Kind::kAtom: return atom.to_string();
+    case Kind::kNegatedAtom: return "\\+" + atom.to_string();
+    case Kind::kComparison:
+      return left.to_string() + " " + cmp_op_name(cmp) + " " + right.to_string();
+  }
+  return "?";
+}
+
+std::string Clause::to_string() const {
+  std::string out = head.to_string();
+  if (!body.empty()) {
+    out += " :- ";
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].to_string();
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::string Program::to_string() const {
+  std::string out;
+  for (const auto& clause : clauses) {
+    out += clause.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace anchor::datalog

@@ -1,0 +1,105 @@
+// Abstract syntax for the GCC Datalog dialect:
+//
+//   clause  := atom '.' | atom ':-' body '.'
+//   body    := literal (',' literal)*
+//   literal := atom | '\+' atom | expr cmp expr | var '=' expr
+//   atom    := pred '(' term (',' term)* ')'
+//   expr    := term (('+'|'-'|'*') term)?
+//   term    := Variable | '_' | integer | "string" | atom-constant
+//
+// This covers all three listings in the paper (date comparisons, negation
+// `\+EV(Cert)`, arithmetic `Lifetime = NA - NB`) plus the synthesized
+// pre-emptive constraints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/value.hpp"
+
+namespace anchor::datalog {
+
+struct Term {
+  enum class Kind { kVariable, kConstant, kWildcard };
+
+  Kind kind = Kind::kWildcard;
+  std::string name;  // variable name (normalized; wildcards get unique names)
+  Value constant;
+
+  static Term var(std::string name) {
+    return Term{Kind::kVariable, std::move(name), {}};
+  }
+  static Term wildcard() { return Term{Kind::kWildcard, "_", {}}; }
+  static Term constant_of(Value v) {
+    return Term{Kind::kConstant, {}, std::move(v)};
+  }
+
+  bool is_var() const { return kind == Kind::kVariable; }
+  bool is_const() const { return kind == Kind::kConstant; }
+  bool is_wildcard() const { return kind == Kind::kWildcard; }
+
+  std::string to_string() const;
+  bool operator==(const Term&) const = default;
+};
+
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  std::size_t arity() const { return args.size(); }
+  std::string to_string() const;
+  bool operator==(const Atom&) const = default;
+};
+
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+std::string cmp_op_name(CmpOp op);
+
+enum class ArithOp { kNone, kAdd, kSub, kMul };
+
+// A (possibly trivial) arithmetic expression over terms.
+struct Expr {
+  Term lhs;
+  ArithOp op = ArithOp::kNone;
+  Term rhs;  // unused when op == kNone
+
+  static Expr term(Term t) { return Expr{std::move(t), ArithOp::kNone, {}}; }
+  std::string to_string() const;
+  bool operator==(const Expr&) const = default;
+};
+
+struct Literal {
+  enum class Kind {
+    kAtom,         // pred(args)
+    kNegatedAtom,  // \+pred(args)
+    kComparison,   // expr op expr  (kEq doubles as assignment when lhs is an
+                   // unbound variable)
+  };
+
+  Kind kind = Kind::kAtom;
+  Atom atom;        // for kAtom / kNegatedAtom
+  CmpOp cmp = CmpOp::kEq;
+  Expr left, right;  // for kComparison
+
+  std::string to_string() const;
+  bool operator==(const Literal&) const = default;
+};
+
+struct Clause {
+  Atom head;
+  std::vector<Literal> body;  // empty for facts
+
+  bool is_fact() const { return body.empty(); }
+  std::string to_string() const;
+  bool operator==(const Clause&) const = default;
+};
+
+struct Program {
+  std::vector<Clause> clauses;
+
+  std::string to_string() const;
+};
+
+}  // namespace anchor::datalog

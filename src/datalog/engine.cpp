@@ -1,0 +1,66 @@
+#include "datalog/engine.hpp"
+
+namespace anchor::datalog {
+
+Status Engine::load(std::string_view source) {
+  auto parsed = parse_program(source);
+  if (!parsed) return err(parsed.error());
+  add_program(parsed.value());
+  return {};
+}
+
+void Engine::add_program(const Program& program) {
+  for (const auto& clause : program.clauses) program_.clauses.push_back(clause);
+  evaluated_ = false;
+}
+
+void Engine::add_fact(const std::string& predicate, Tuple tuple) {
+  pending_facts_.emplace_back(predicate, std::move(tuple));
+  evaluated_ = false;
+}
+
+Status Engine::ensure_evaluated() {
+  if (evaluated_) return {};
+  db_.clear();
+  for (auto& [pred, tuple] : pending_facts_) db_.add(pred, tuple);
+  auto evaluator = Evaluator::create(program_, strategy_);
+  if (!evaluator) return err(evaluator.error());
+  stats_ = evaluator.value().run(db_);
+  evaluated_ = true;
+  return {};
+}
+
+Result<QueryResult> Engine::query(std::string_view query_text) {
+  auto goal = parse_query(query_text);
+  if (!goal) return err(goal.error());
+  return query(goal.value());
+}
+
+Result<QueryResult> Engine::query(const Atom& goal) {
+  if (Status s = ensure_evaluated(); !s) return err(s.error());
+  QueryResult result;
+  const Relation* rel = db_.find(goal.predicate, goal.arity());
+  if (rel == nullptr) return result;
+  for (const Tuple& tuple : rel->tuples()) {
+    std::unordered_map<std::string, Value> binding;
+    bool match = true;
+    for (std::size_t i = 0; i < goal.args.size() && match; ++i) {
+      const Term& term = goal.args[i];
+      if (term.is_const()) {
+        match = term.constant == tuple[i];
+      } else if (term.is_var()) {
+        auto it = binding.find(term.name);
+        if (it != binding.end()) {
+          match = it->second == tuple[i];
+        } else {
+          binding.emplace(term.name, tuple[i]);
+        }
+      }
+      // wildcards match anything
+    }
+    if (match) result.bindings.push_back(std::move(binding));
+  }
+  return result;
+}
+
+}  // namespace anchor::datalog

@@ -1,0 +1,61 @@
+// High-level interpreter facade: load programs, assert facts, run queries.
+// This is the interface the GCC executor drives; the paper's evaluation
+// step — "feed the converted statements, along with the GCC in question,
+// into the Datalog interpreter [and query] valid(Chain, Usage)?" — is
+// exactly Engine::load + Engine::add_fact* + Engine::query.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.hpp"
+#include "datalog/database.hpp"
+#include "datalog/eval.hpp"
+#include "datalog/parser.hpp"
+#include "util/result.hpp"
+
+namespace anchor::datalog {
+
+struct QueryResult {
+  // One entry per satisfying assignment; maps each query variable to its
+  // value. A ground query that holds yields one empty binding map.
+  std::vector<std::unordered_map<std::string, Value>> bindings;
+
+  bool holds() const { return !bindings.empty(); }
+};
+
+class Engine {
+ public:
+  explicit Engine(Strategy strategy = Strategy::kSemiNaive)
+      : strategy_(strategy) {}
+
+  // Parses and appends clauses. Stratification/safety are validated lazily
+  // at the next query (programs may be loaded piecewise).
+  Status load(std::string_view source);
+  void add_program(const Program& program);
+
+  // Asserts an EDB fact.
+  void add_fact(const std::string& predicate, Tuple tuple);
+
+  Result<QueryResult> query(std::string_view query_text);
+  Result<QueryResult> query(const Atom& goal);
+
+  // Stats from the most recent evaluation.
+  const EvalStats& stats() const { return stats_; }
+
+  // Total facts+derived tuples in the current model (after a query).
+  std::size_t model_size() const { return db_.total_tuples(); }
+
+ private:
+  Status ensure_evaluated();
+
+  Strategy strategy_;
+  Program program_;
+  std::vector<std::pair<std::string, Tuple>> pending_facts_;
+  Database db_;
+  EvalStats stats_;
+  bool evaluated_ = false;
+};
+
+}  // namespace anchor::datalog

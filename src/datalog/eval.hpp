@@ -1,0 +1,74 @@
+// Bottom-up evaluation of stratified Datalog. The default strategy is
+// semi-naive (delta-driven); a naive recompute-everything strategy is kept
+// for the ablation benchmark (DESIGN.md §7) and as a differential-testing
+// oracle: both strategies must produce identical models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.hpp"
+#include "datalog/database.hpp"
+#include "datalog/stratify.hpp"
+#include "util/result.hpp"
+
+namespace anchor::datalog {
+
+enum class Strategy { kSemiNaive, kNaive };
+
+// Resource guard. Pure stratified Datalog always terminates (the property
+// the paper picks the language for), but our dialect adds arithmetic, and
+// `p(Y) :- p(X), Y = X + 1.` derives forever. The guard turns runaway
+// programs into a clean truncation: evaluation stops, `truncated` is set,
+// and the executor treats the GCC as failed (fail closed).
+struct EvalLimits {
+  std::uint64_t max_derived_tuples = 1'000'000;
+  std::uint64_t max_iterations = 100'000;
+};
+
+struct EvalStats {
+  std::uint64_t iterations = 0;         // fixpoint rounds across all strata
+  std::uint64_t rule_applications = 0;  // rule body evaluations
+  std::uint64_t derived_tuples = 0;     // new tuples added to the model
+  bool truncated = false;               // an EvalLimits bound was hit
+};
+
+class Evaluator {
+ public:
+  // Validates stratification and safety; fails on violation.
+  static Result<Evaluator> create(const Program& program,
+                                  Strategy strategy = Strategy::kSemiNaive,
+                                  EvalLimits limits = {});
+
+  // Computes the model: adds the program's facts and all derivable IDB
+  // tuples into `db` (which may already hold EDB facts).
+  EvalStats run(Database& db) const;
+
+ private:
+  // One body literal in execution order, with precomputed dispatch info.
+  struct OrderedLiteral {
+    Literal literal;
+    bool recursive = false;  // positive atom whose predicate is in the same
+                             // stratum as the rule head (semi-naive target)
+  };
+
+  struct CompiledRule {
+    Atom head;
+    std::vector<OrderedLiteral> body;  // reordered for executability
+    int stratum = 0;
+  };
+
+  Evaluator() = default;
+
+  Status compile(const Program& program);
+
+  Strategy strategy_ = Strategy::kSemiNaive;
+  EvalLimits limits_;
+  Stratification strata_;
+  std::vector<Clause> facts_;
+  std::vector<CompiledRule> rules_;
+};
+
+}  // namespace anchor::datalog

@@ -1,0 +1,164 @@
+#include "datalog/lexer.hpp"
+
+#include <cctype>
+
+namespace anchor::datalog {
+
+namespace {
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto fail = [&](const std::string& what) {
+    return err("datalog lex error at " + std::to_string(line) + ":" +
+               std::to_string(column) + ": " + what);
+  };
+  auto push = [&](TokenKind kind, std::string text = "", std::int64_t num = 0) {
+    tokens.push_back(Token{kind, std::move(text), num, line, column});
+  };
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '%') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      int start_col = column;
+      while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        std::int64_t digit = source[i] - '0';
+        if (value > (INT64_MAX - digit) / 10) return fail("integer overflow");
+        value = value * 10 + digit;
+        advance();
+      }
+      tokens.push_back(Token{TokenKind::kInteger, "", value, line, start_col});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      int start_col = column;
+      std::size_t start = i;
+      while (i < source.size() && ident_char(source[i])) advance();
+      std::string text(source.substr(start, i - start));
+      TokenKind kind;
+      if (text == "_") kind = TokenKind::kWildcard;
+      else if (std::isupper(static_cast<unsigned char>(text[0])) || text[0] == '_')
+        kind = TokenKind::kVariable;
+      else kind = TokenKind::kAtomIdent;
+      tokens.push_back(Token{kind, std::move(text), 0, line, start_col});
+      continue;
+    }
+    if (c == '"') {
+      int start_col = column;
+      advance();
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        char d = source[i];
+        if (d == '"') {
+          advance();
+          closed = true;
+          break;
+        }
+        if (d == '\\' && i + 1 < source.size()) {
+          advance();
+          text.push_back(source[i]);
+          advance();
+          continue;
+        }
+        if (d == '\n') return fail("newline in string literal");
+        text.push_back(d);
+        advance();
+      }
+      if (!closed) return fail("unterminated string literal");
+      tokens.push_back(Token{TokenKind::kString, std::move(text), 0, line, start_col});
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen); advance(); continue;
+      case ')': push(TokenKind::kRParen); advance(); continue;
+      case ',': push(TokenKind::kComma); advance(); continue;
+      case '.': push(TokenKind::kDot); advance(); continue;
+      case '?': push(TokenKind::kQuestion); advance(); continue;
+      case '+': push(TokenKind::kPlus); advance(); continue;
+      case '*': push(TokenKind::kStar); advance(); continue;
+      case '-': push(TokenKind::kMinus); advance(); continue;
+      case ':':
+        if (i + 1 < source.size() && source[i + 1] == '-') {
+          push(TokenKind::kColonDash);
+          advance(2);
+          continue;
+        }
+        return fail("expected ':-'");
+      case '\\':
+        if (i + 1 < source.size() && source[i + 1] == '+') {
+          push(TokenKind::kNegation);
+          advance(2);
+          continue;
+        }
+        return fail("expected '\\+'");
+      case '<':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kLe);
+          advance(2);
+        } else {
+          push(TokenKind::kLt);
+          advance();
+        }
+        continue;
+      case '>':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kGe);
+          advance(2);
+        } else {
+          push(TokenKind::kGt);
+          advance();
+        }
+        continue;
+      case '=':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kEq);
+          advance(2);
+        } else {
+          push(TokenKind::kEq);
+          advance();
+        }
+        continue;
+      case '!':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kNe);
+          advance(2);
+          continue;
+        }
+        return fail("expected '!='");
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenKind::kEof);
+  return tokens;
+}
+
+}  // namespace anchor::datalog

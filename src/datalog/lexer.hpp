@@ -1,0 +1,43 @@
+// Tokenizer for the GCC Datalog dialect. `%` starts a line comment, matching
+// the paper's listings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace anchor::datalog {
+
+enum class TokenKind {
+  kAtomIdent,   // starts lowercase: predicate or atom constant
+  kVariable,    // starts uppercase or '_' followed by chars
+  kWildcard,    // bare '_'
+  kInteger,
+  kString,      // "..."
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kColonDash,   // :-
+  kNegation,    // \+
+  kLt, kLe, kGt, kGe, kEq, kNe,   // < <= > >= = !=
+  kPlus, kMinus, kStar,
+  kQuestion,    // ? (query terminator)
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;          // identifier / string contents
+  std::int64_t number = 0;   // for kInteger
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenizes `source`; on lexical error returns a message with position.
+Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace anchor::datalog

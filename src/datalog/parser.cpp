@@ -1,0 +1,220 @@
+#include "datalog/parser.hpp"
+
+#include "datalog/lexer.hpp"
+
+namespace anchor::datalog {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> program() {
+    Program prog;
+    while (!at(TokenKind::kEof)) {
+      auto clause = parse_clause();
+      if (!clause) return err(clause.error());
+      prog.clauses.push_back(std::move(clause).take());
+    }
+    return prog;
+  }
+
+  Result<Atom> query() {
+    auto atom = parse_atom();
+    if (!atom) return err(atom.error());
+    if (at(TokenKind::kQuestion)) next();
+    if (at(TokenKind::kDot)) next();
+    if (!at(TokenKind::kEof)) return fail("trailing tokens after query");
+    return atom;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  Token next() { return tokens_[pos_++]; }
+
+  Error fail(const std::string& what) const {
+    const Token& t = peek();
+    return err("datalog parse error at " + std::to_string(t.line) + ":" +
+               std::to_string(t.column) + ": " + what);
+  }
+
+  Result<Clause> parse_clause() {
+    Clause clause;
+    auto head = parse_atom();
+    if (!head) return err(head.error());
+    clause.head = std::move(head).take();
+    if (at(TokenKind::kColonDash)) {
+      next();
+      for (;;) {
+        auto lit = parse_literal();
+        if (!lit) return err(lit.error());
+        clause.body.push_back(std::move(lit).take());
+        if (at(TokenKind::kComma)) {
+          next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!at(TokenKind::kDot)) return fail("expected '.' at end of clause");
+    next();
+    return clause;
+  }
+
+  Result<Atom> parse_atom() {
+    // Predicate names are normally lowercase, but the paper's Listing 1
+    // writes `EV(Cert)`; an identifier directly followed by '(' is therefore
+    // accepted as a predicate regardless of case.
+    if (!at(TokenKind::kAtomIdent) &&
+        !(at(TokenKind::kVariable) &&
+          tokens_[pos_ + 1].kind == TokenKind::kLParen)) {
+      return fail("expected predicate name");
+    }
+    Atom atom;
+    atom.predicate = next().text;
+    if (!at(TokenKind::kLParen)) return fail("expected '(' after predicate");
+    next();
+    if (at(TokenKind::kRParen)) {
+      next();
+      return atom;  // zero-arity, e.g. placeholder exempt(...) variants
+    }
+    for (;;) {
+      auto term = parse_term();
+      if (!term) return err(term.error());
+      atom.args.push_back(std::move(term).take());
+      if (at(TokenKind::kComma)) {
+        next();
+        continue;
+      }
+      break;
+    }
+    if (!at(TokenKind::kRParen)) return fail("expected ')' in atom");
+    next();
+    return atom;
+  }
+
+  Result<Term> parse_term() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kVariable:
+        return Term::var(next().text);
+      case TokenKind::kWildcard: {
+        next();
+        // Each wildcard is a distinct fresh variable.
+        return Term::var("_G" + std::to_string(wildcard_counter_++));
+      }
+      case TokenKind::kInteger:
+        return Term::constant_of(Value(next().number));
+      case TokenKind::kString:
+        return Term::constant_of(Value(next().text));
+      case TokenKind::kAtomIdent:
+        return Term::constant_of(Value(next().text));
+      case TokenKind::kMinus: {
+        next();
+        if (!at(TokenKind::kInteger)) return fail("expected integer after '-'");
+        return Term::constant_of(Value(-next().number));
+      }
+      default:
+        return fail("expected term");
+    }
+  }
+
+  Result<Expr> parse_expr() {
+    auto lhs = parse_term();
+    if (!lhs) return err(lhs.error());
+    Expr expr = Expr::term(std::move(lhs).take());
+    if (at(TokenKind::kPlus) || at(TokenKind::kMinus) || at(TokenKind::kStar)) {
+      TokenKind op = next().kind;
+      auto rhs = parse_term();
+      if (!rhs) return err(rhs.error());
+      expr.op = op == TokenKind::kPlus  ? ArithOp::kAdd
+                : op == TokenKind::kMinus ? ArithOp::kSub
+                                          : ArithOp::kMul;
+      expr.rhs = std::move(rhs).take();
+    }
+    return expr;
+  }
+
+  bool at_cmp() const {
+    switch (peek().kind) {
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static CmpOp to_cmp(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kLt: return CmpOp::kLt;
+      case TokenKind::kLe: return CmpOp::kLe;
+      case TokenKind::kGt: return CmpOp::kGt;
+      case TokenKind::kGe: return CmpOp::kGe;
+      case TokenKind::kNe: return CmpOp::kNe;
+      default: return CmpOp::kEq;
+    }
+  }
+
+  Result<Literal> parse_literal() {
+    if (at(TokenKind::kNegation)) {
+      next();
+      auto atom = parse_atom();
+      if (!atom) return err(atom.error());
+      Literal lit;
+      lit.kind = Literal::Kind::kNegatedAtom;
+      lit.atom = std::move(atom).take();
+      return lit;
+    }
+    // Lookahead: `ident(` is an atom; anything else starts a comparison.
+    if ((at(TokenKind::kAtomIdent) || at(TokenKind::kVariable)) &&
+        tokens_[pos_ + 1].kind == TokenKind::kLParen) {
+      auto atom = parse_atom();
+      if (!atom) return err(atom.error());
+      Literal lit;
+      lit.kind = Literal::Kind::kAtom;
+      lit.atom = std::move(atom).take();
+      return lit;
+    }
+    auto left = parse_expr();
+    if (!left) return err(left.error());
+    if (!at_cmp()) return fail("expected comparison operator");
+    CmpOp op = to_cmp(next().kind);
+    auto right = parse_expr();
+    if (!right) return err(right.error());
+    Literal lit;
+    lit.kind = Literal::Kind::kComparison;
+    lit.cmp = op;
+    lit.left = std::move(left).take();
+    lit.right = std::move(right).take();
+    return lit;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  int wildcard_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> parse_program(std::string_view source) {
+  auto tokens = lex(source);
+  if (!tokens) return err(tokens.error());
+  Parser parser(std::move(tokens).take());
+  return parser.program();
+}
+
+Result<Atom> parse_query(std::string_view source) {
+  auto tokens = lex(source);
+  if (!tokens) return err(tokens.error());
+  Parser parser(std::move(tokens).take());
+  return parser.query();
+}
+
+}  // namespace anchor::datalog

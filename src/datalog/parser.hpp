@@ -1,0 +1,18 @@
+// Recursive-descent parser producing a Program. Also parses standalone
+// queries of the form `valid(Chain, "TLS")?` used by the GCC executor.
+#pragma once
+
+#include <string_view>
+
+#include "datalog/ast.hpp"
+#include "util/result.hpp"
+
+namespace anchor::datalog {
+
+Result<Program> parse_program(std::string_view source);
+
+// A query is a single atom, optionally '?'-terminated. Constants and
+// variables are both allowed; variables become result columns.
+Result<Atom> parse_query(std::string_view source);
+
+}  // namespace anchor::datalog

@@ -1,0 +1,31 @@
+#include "datalog/value.hpp"
+
+namespace anchor::datalog {
+
+namespace {
+bool atom_shaped(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(s[0] >= 'a' && s[0] <= 'z')) return false;
+  for (char c : s) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string Value::to_string() const {
+  if (is_int()) return std::to_string(as_int());
+  const std::string& s = as_string();
+  if (atom_shaped(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace anchor::datalog

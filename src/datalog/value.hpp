@@ -1,0 +1,58 @@
+// Ground values in the Datalog engine. The GCC fact vocabulary only needs
+// two scalar types: 64-bit integers (Unix timestamps, lifetimes, counts) and
+// strings (certificate ids, hashes, DNS names, usage tags). Atoms and quoted
+// strings are both represented as Value strings; the distinction is purely
+// lexical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace anchor::datalog {
+
+class Value {
+ public:
+  Value() : rep_(std::int64_t{0}) {}
+  explicit Value(std::int64_t n) : rep_(n) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  // Rendering for diagnostics and serialization: strings are quoted iff they
+  // are not atom-shaped.
+  std::string to_string() const;
+
+  bool operator==(const Value&) const = default;
+  auto operator<=>(const Value&) const = default;
+
+ private:
+  std::variant<std::int64_t, std::string> rep_;
+};
+
+using Tuple = std::vector<Value>;
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const {
+    if (v.is_int()) return std::hash<std::int64_t>{}(v.as_int()) * 0x9e3779b1u;
+    return std::hash<std::string>{}(v.as_string());
+  }
+};
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::size_t h = 0x811c9dc5u;
+    ValueHash vh;
+    for (const auto& v : t) h = (h ^ vh(v)) * 0x01000193u;
+    return h;
+  }
+};
+
+}  // namespace anchor::datalog

@@ -1,0 +1,58 @@
+#include "incidents/listings.hpp"
+
+namespace anchor::incidents {
+
+std::string listing1_trustcor() {
+  return R"(nov30th2022(1669784400). % Unix timestamp
+valid(Chain, "S/MIME") :- % Valid rule for S/MIME usage
+  leaf(Chain, Cert), % Get the chain's leaf certificate
+  nov30th2022(T), % Get November 30th, 2022
+  notBefore(Cert, NB), % Get the leaf's notBefore date
+  NB < T. % Holds if notBefore before November 30th, 2022
+valid(Chain, "TLS") :- % Valid rule for TLS usage
+  leaf(Chain, Cert), % Get the chain's leaf certificate
+  \+EV(Cert), % Assert that leaf is not EV
+  nov30th2022(T), % Get November 30th, 2022
+  notBefore(Cert, NB), % Get the leaf's notBefore date
+  NB < T. % Holds if notBefore before November 30th, 2022
+)";
+}
+
+std::string listing2_symantec(const std::vector<std::string>& exempt_hashes) {
+  std::string source = "june1st2016(1464753600). % Unix timestamp\n";
+  for (const auto& hash : exempt_hashes) {
+    source += "exempt(\"" + hash + "\").\n";
+  }
+  source += R"(valid(Chain, _) :-
+  leaf(Chain, Cert), % Get the chain's leaf
+  notBefore(Cert, NB), % Get the leaf's notBefore date
+  june1st2016(T), % Get June 1st, 2016 date
+  NB < T. % Holds if notBefore date is before June 1st, 2016
+valid(Chain, _) :-
+  root(Chain, Root), % Get the chain's root
+  signs(Root, Int), % Get the intermediate signed by root
+  hash(Int, H), % Get the intermediate's SHA-256 hash
+  exempt(H). % Holds if hash is one of exempt hashes
+)";
+  return source;
+}
+
+std::string listing3_preemptive() {
+  return R"(oneMonthInSeconds(2630000).
+lifetimeValid(Leaf) :-
+  notBefore(Leaf, NB), % Get the leaf's notBefore date
+  notAfter(Leaf, NA), % Get the leaf's notAfter date
+  Lifetime = NA - NB, % Calculate leaf's lifetime
+  oneMonthInSeconds(Limit), % Get one month (in seconds)
+  Lifetime <= Limit. % Holds if leaf lifetime is < one month
+validUsage(Leaf) :-
+  extendedKeyUsage(Leaf, "id-kp-serverAuth"),
+  keyUsage(Leaf, "digitalSignature").
+valid(Chain, "TLS") :- % Valid TLS usage only
+  leaf(Chain, Cert), % Get the chain's leaf certificate
+  lifetimeValid(Cert), % Holds if leaf lifetime is valid
+  validUsage(Cert).
+)";
+}
+
+}  // namespace anchor::incidents

@@ -1,0 +1,24 @@
+// The paper's three listings as Datalog source, verbatim where possible
+// (comments and `\+EV(Cert)` notation included). Tests parse and execute
+// these exactly as printed; the Symantec listing takes the exempt hashes as
+// parameters since the paper elides them ("exempt(...).").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anchor::incidents {
+
+// Listing 1: constraints on the TrustCor root in NSS — S/MIME valid only
+// for leaves issued before Nov 30 2022; TLS additionally requires non-EV.
+std::string listing1_trustcor();
+
+// Listing 2: NSS constraints on Symantec roots as of May 2018 — valid if
+// the leaf predates June 1 2016 or the first intermediate is exempt.
+std::string listing2_symantec(const std::vector<std::string>& exempt_hashes);
+
+// Listing 3: pre-emptive constraint — TLS only, serverAuth EKU,
+// digitalSignature KU, one-month maximum lifetime.
+std::string listing3_preemptive();
+
+}  // namespace anchor::incidents

@@ -1,0 +1,157 @@
+#include "net/handshake.hpp"
+
+#include "util/strings.hpp"
+
+namespace anchor::net {
+
+namespace {
+
+// The transcript binds the Finished signature to this handshake: a hash
+// over the ClientHello, ServerHello and Certificate payloads in order.
+class Transcript {
+ public:
+  void add(const Message& message) {
+    const std::uint8_t type = static_cast<std::uint8_t>(message.type);
+    hasher_.update(BytesView(&type, 1));
+    hasher_.update(BytesView(message.payload));
+  }
+  Bytes digest() {
+    Sha256::Digest d = hasher_.finish();
+    return Bytes(d.begin(), d.end());
+  }
+
+ private:
+  Sha256 hasher_;
+};
+
+Message client_hello(const chain::VerifyOptions& options) {
+  Message hello;
+  hello.type = MsgType::kClientHello;
+  std::string body = options.hostname + "\n" +
+                     chain::usage_name(options.usage);
+  hello.payload = to_bytes(body);
+  return hello;
+}
+
+}  // namespace
+
+Status TlsLikeServer::respond(DuplexChannel::Endpoint& endpoint) const {
+  auto hello = endpoint.receive();
+  if (!hello) return err(hello.error());
+  if (hello.value().type != MsgType::kClientHello) {
+    return err("server: expected ClientHello");
+  }
+
+  Transcript transcript;
+  transcript.add(hello.value());
+
+  Message server_hello;
+  server_hello.type = MsgType::kServerHello;
+  transcript.add(server_hello);
+  endpoint.send(server_hello);
+
+  Message certificate;
+  certificate.type = MsgType::kCertificate;
+  std::vector<Bytes> ders;
+  ders.reserve(identity_.chain.size());
+  for (const auto& cert : identity_.chain) ders.push_back(cert->der());
+  certificate.payload = encode_certificate_list(ders);
+  transcript.add(certificate);
+  endpoint.send(certificate);
+
+  Message finished;
+  finished.type = MsgType::kFinished;
+  finished.payload = SimSig::sign(identity_.leaf_key,
+                                  BytesView(transcript.digest()));
+  endpoint.send(finished);
+  return {};
+}
+
+void TlsLikeClient::send_hello(DuplexChannel::Endpoint& endpoint,
+                               const chain::VerifyOptions& options) const {
+  endpoint.send(client_hello(options));
+}
+
+HandshakeResult TlsLikeClient::complete(
+    DuplexChannel::Endpoint& endpoint,
+    const chain::VerifyOptions& options) const {
+  HandshakeResult result;
+  auto fail = [&](std::string why) {
+    result.error = std::move(why);
+    Message alert;
+    alert.type = MsgType::kAlert;
+    alert.payload = to_bytes(result.error);
+    endpoint.send(alert);
+    result.alert_sent = result.error;
+    return result;
+  };
+
+  Transcript transcript;
+  transcript.add(client_hello(options));
+
+  auto server_hello = endpoint.receive();
+  if (!server_hello || server_hello.value().type != MsgType::kServerHello) {
+    return fail("handshake: expected ServerHello");
+  }
+  transcript.add(server_hello.value());
+
+  auto certificate = endpoint.receive();
+  if (!certificate || certificate.value().type != MsgType::kCertificate) {
+    return fail("handshake: expected Certificate");
+  }
+  transcript.add(certificate.value());
+
+  auto finished = endpoint.receive();
+  if (!finished || finished.value().type != MsgType::kFinished) {
+    return fail("handshake: expected Finished");
+  }
+
+  // Parse the presented chain: leaf first, rest feed the candidate pool.
+  auto ders = decode_certificate_list(BytesView(certificate.value().payload));
+  if (!ders) return fail(ders.error());
+  auto leaf = x509::Certificate::parse(BytesView(ders.value()[0]));
+  if (!leaf) return fail("handshake: bad leaf: " + leaf.error());
+  chain::CertificatePool pool;
+  for (std::size_t i = 1; i < ders.value().size(); ++i) {
+    auto cert = x509::Certificate::parse(BytesView(ders.value()[i]));
+    if (!cert) return fail("handshake: bad intermediate: " + cert.error());
+    pool.add(std::move(cert).take());
+  }
+
+  // Path validation — root store, metadata, GCCs, the works.
+  chain::VerifyResult verdict = verifier_.verify(leaf.value(), pool, options);
+  if (!verdict.ok) {
+    std::string why = verdict.error;
+    if (!verdict.rejected_paths.empty()) {
+      why += " [" + verdict.rejected_paths.front() + "]";
+    }
+    return fail("handshake: certificate verify failed: " + why);
+  }
+
+  // Proof of possession: the Finished signature must verify under the
+  // leaf's public key over this handshake's transcript.
+  if (!registry_.verify(BytesView(leaf.value()->public_key()),
+                        BytesView(transcript.digest()),
+                        BytesView(finished.value().payload))) {
+    return fail("handshake: Finished signature invalid (no key possession)");
+  }
+
+  result.ok = true;
+  result.verified_chain = std::move(verdict.chain);
+  return result;
+}
+
+HandshakeResult handshake(const TlsLikeClient& client,
+                          const TlsLikeServer& server,
+                          const chain::VerifyOptions& options) {
+  DuplexChannel channel;
+  client.send_hello(channel.client(), options);
+  if (Status s = server.respond(channel.server()); !s) {
+    HandshakeResult result;
+    result.error = s.error();
+    return result;
+  }
+  return client.complete(channel.client(), options);
+}
+
+}  // namespace anchor::net

@@ -1,0 +1,80 @@
+// A TLS-shaped handshake over the in-memory transport — the deployment
+// surface the paper opens with ("Before finalizing a TLS connection to a
+// given server, user-agents (e.g., browsers and TLS libraries) validate
+// the server's X.509 certificate chain"). Not TLS: no encryption, no key
+// exchange — exactly the certificate-path part, so GCC-bearing root stores
+// can be exercised end to end:
+//
+//   client                          server
+//   ClientHello{server_name,usage} →
+//                                  ← ServerHello{}
+//                                  ← Certificate{leaf, intermediates...}
+//                                  ← Finished{Sig(leaf key, transcript)}
+//   verdict: chain verification (ChainVerifier, GCCs and all) +
+//            proof-of-possession (the Finished signature binds the leaf's
+//            private key to this handshake's transcript).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/verifier.hpp"
+#include "net/transport.hpp"
+#include "util/sha256.hpp"
+
+namespace anchor::net {
+
+struct ServerIdentity {
+  std::vector<x509::CertPtr> chain;  // leaf first; root optional
+  SimKeyPair leaf_key;               // signs the Finished message
+};
+
+struct HandshakeResult {
+  bool ok = false;
+  std::string error;
+  core::Chain verified_chain;     // client side, when ok
+  std::string alert_sent;         // server-observable failure reason
+};
+
+// Drives the server side of one handshake on `endpoint`. Returns what the
+// server observed (an alert from the client, or clean completion).
+class TlsLikeServer {
+ public:
+  explicit TlsLikeServer(ServerIdentity identity)
+      : identity_(std::move(identity)) {}
+
+  // Processes one ClientHello (must already be queued) and emits the
+  // response flight.
+  Status respond(DuplexChannel::Endpoint& endpoint) const;
+
+ private:
+  ServerIdentity identity_;
+};
+
+class TlsLikeClient {
+ public:
+  // The verifier embodies the user-agent's root store + GCCs; `registry`
+  // must know the server keys (SimSig stands in for real signatures, see
+  // DESIGN.md §5).
+  TlsLikeClient(const chain::ChainVerifier& verifier, const SimSig& registry)
+      : verifier_(verifier), registry_(registry) {}
+
+  // The channel is synchronous, so the client side is two phases with the
+  // server's respond() pumped in between (handshake() orchestrates this):
+  //   send_hello()  →  server.respond()  →  complete()
+  void send_hello(DuplexChannel::Endpoint& endpoint,
+                  const chain::VerifyOptions& options) const;
+  HandshakeResult complete(DuplexChannel::Endpoint& endpoint,
+                           const chain::VerifyOptions& options) const;
+
+ private:
+  const chain::ChainVerifier& verifier_;
+  const SimSig& registry_;
+};
+
+// Convenience: one complete handshake on a fresh channel.
+HandshakeResult handshake(const TlsLikeClient& client,
+                          const TlsLikeServer& server,
+                          const chain::VerifyOptions& options);
+
+}  // namespace anchor::net

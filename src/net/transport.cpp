@@ -1,0 +1,94 @@
+#include "net/transport.hpp"
+
+namespace anchor::net {
+
+Bytes encode_frame(const Message& message) {
+  Bytes out;
+  out.reserve(5 + message.payload.size());
+  out.push_back(static_cast<std::uint8_t>(message.type));
+  std::uint32_t length = static_cast<std::uint32_t>(message.payload.size());
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+  }
+  append(out, BytesView(message.payload));
+  return out;
+}
+
+Result<DecodeResult> decode_frame(Bytes& buffer) {
+  DecodeResult result;
+  if (buffer.size() < 5) return result;  // need more bytes
+  std::uint8_t type = buffer[0];
+  if (type < static_cast<std::uint8_t>(MsgType::kClientHello) ||
+      type > static_cast<std::uint8_t>(MsgType::kAlert)) {
+    return err("net: unknown frame type " + std::to_string(type));
+  }
+  std::uint32_t length = 0;
+  for (int i = 1; i <= 4; ++i) length = length << 8 | buffer[static_cast<std::size_t>(i)];
+  if (length > kMaxFrameBytes) {
+    return err("net: frame length " + std::to_string(length) + " exceeds cap");
+  }
+  if (buffer.size() < 5 + length) return result;  // incomplete
+  result.complete = true;
+  result.message.type = static_cast<MsgType>(type);
+  result.message.payload.assign(buffer.begin() + 5,
+                                buffer.begin() + 5 + length);
+  buffer.erase(buffer.begin(), buffer.begin() + 5 + length);
+  return result;
+}
+
+DuplexChannel::DuplexChannel() {
+  auto to_server = std::make_shared<std::deque<Bytes>>();
+  auto to_client = std::make_shared<std::deque<Bytes>>();
+  client_.inbox_ = to_client;
+  client_.outbox_ = to_server;
+  server_.inbox_ = to_server;
+  server_.outbox_ = to_client;
+}
+
+void DuplexChannel::Endpoint::send(const Message& message) {
+  outbox_->push_back(encode_frame(message));
+}
+
+Result<Message> DuplexChannel::Endpoint::receive() {
+  if (inbox_->empty()) return err("net: no pending message");
+  Bytes frame = std::move(inbox_->front());
+  inbox_->pop_front();
+  auto decoded = decode_frame(frame);
+  if (!decoded) return err(decoded.error());
+  if (!decoded.value().complete) return err("net: truncated frame on channel");
+  if (!frame.empty()) return err("net: trailing bytes after frame");
+  return decoded.value().message;
+}
+
+Bytes encode_certificate_list(const std::vector<Bytes>& ders) {
+  Bytes out;
+  for (const Bytes& der : ders) {
+    std::uint32_t length = static_cast<std::uint32_t>(der.size());
+    for (int i = 3; i >= 0; --i) {
+      out.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+    }
+    append(out, BytesView(der));
+  }
+  return out;
+}
+
+Result<std::vector<Bytes>> decode_certificate_list(BytesView payload) {
+  std::vector<Bytes> out;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    if (pos + 4 > payload.size()) return err("net: truncated cert length");
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) length = length << 8 | payload[pos + static_cast<std::size_t>(i)];
+    pos += 4;
+    if (length == 0 || pos + length > payload.size()) {
+      return err("net: truncated certificate entry");
+    }
+    out.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                     payload.begin() + static_cast<std::ptrdiff_t>(pos + length));
+    pos += length;
+  }
+  if (out.empty()) return err("net: empty certificate list");
+  return out;
+}
+
+}  // namespace anchor::net

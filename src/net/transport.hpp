@@ -1,0 +1,80 @@
+// In-memory network substrate for the handshake layer: a duplex channel of
+// framed messages. Deliberately minimal — ordered, reliable, synchronous —
+// because what the paper cares about happens *above* the transport: which
+// certificate chains a user-agent accepts.
+//
+// Wire format per message: 1-byte type, 4-byte big-endian payload length,
+// payload. The codec is strict (unknown types and truncated frames are
+// errors) and bounded (oversized frames rejected), so the handshake tests
+// double as frame-parsing negative tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace anchor::net {
+
+enum class MsgType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kCertificate = 3,   // payload: concatenated length-prefixed DER certs
+  kFinished = 4,      // payload: signature over the transcript hash
+  kAlert = 5,         // payload: UTF-8 reason
+};
+
+struct Message {
+  MsgType type = MsgType::kAlert;
+  Bytes payload;
+};
+
+// Frame codec.
+constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+Bytes encode_frame(const Message& message);
+
+// Consumes one frame from the front of `buffer` (erasing it) if complete.
+// Returns: ok(Message) when a frame was decoded; err(...) on malformed
+// input; ok with type kAlert and empty payload is a valid frame too, so
+// "need more bytes" is signalled via the bool.
+struct DecodeResult {
+  bool complete = false;  // false: need more bytes, buffer untouched
+  Message message;
+};
+Result<DecodeResult> decode_frame(Bytes& buffer);
+
+// A bidirectional in-memory pipe with two endpoints.
+class DuplexChannel {
+ public:
+  class Endpoint {
+   public:
+    void send(const Message& message);
+    // Receives the next queued message; err if the peer queue is empty
+    // (synchronous simulation: the caller drives scheduling).
+    Result<Message> receive();
+    bool has_pending() const { return !inbox_->empty(); }
+
+   private:
+    friend class DuplexChannel;
+    std::shared_ptr<std::deque<Bytes>> inbox_;
+    std::shared_ptr<std::deque<Bytes>> outbox_;
+  };
+
+  DuplexChannel();
+  Endpoint& client() { return client_; }
+  Endpoint& server() { return server_; }
+
+ private:
+  Endpoint client_;
+  Endpoint server_;
+};
+
+// Certificate-list payload helpers: each certificate is a 4-byte length
+// followed by DER, leaf first (mirroring TLS Certificate messages).
+Bytes encode_certificate_list(const std::vector<Bytes>& ders);
+Result<std::vector<Bytes>> decode_certificate_list(BytesView payload);
+
+}  // namespace anchor::net

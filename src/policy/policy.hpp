@@ -1,0 +1,66 @@
+// §3.1, third deployment option — "Complete validation redesign": "In
+// Hammurabi, the entire TLS certificate validation algorithm is expressed
+// as a Prolog program. A Hammurabi-enabled platform could perform the
+// complete chain validation procedure ... The trust daemon could easily
+// execute GCCs since it would already include a logic program engine."
+//
+// This module expresses the full validation algorithm as a *stratified
+// Datalog* policy over the same fact vocabulary GCCs use, plus a handful of
+// host-provided facts (current time, hostname decomposition, and
+// signature-verified issuance edges — crypto stays outside the logic, as in
+// Hammurabi). Chain construction itself happens in the logic via a
+// depth-bounded recursive `up/3` relation.
+//
+// Datalog (no lists) cannot carry per-path state, so constraint checks
+// (pathLen, name constraints) apply to every certificate reachable from the
+// leaf rather than per candidate path. For tree-shaped issuance — one
+// issuer per certificate, which covers the corpus and all incident
+// scenarios — the policy is exact; under cross-signing it is conservative
+// (rejects if ANY path is bad where the procedural verifier would try the
+// next path). This is precisely the expressiveness gap that pushed
+// Hammurabi to Prolog, reproduced here as a measurable artifact
+// (tests/policy_test.cpp differential-tests the two verifiers and pins the
+// divergence to the cross-signed case).
+#pragma once
+
+#include <string>
+
+#include "chain/pool.hpp"
+#include "chain/verifier.hpp"
+#include "datalog/engine.hpp"
+#include "rootstore/store.hpp"
+
+namespace anchor::policy {
+
+// The built-in validation policy (Datalog source). Derives
+// `accept(LeafId)`; see the file-level comment for semantics.
+const std::string& default_policy();
+
+struct PolicyResult {
+  bool ok = false;
+  std::string leaf_id;
+  datalog::EvalStats stats;
+  std::size_t facts = 0;
+};
+
+class PolicyVerifier {
+ public:
+  // `policy_source` defaults to default_policy(). The store's trusted roots
+  // become trustedRoot/1 facts; distrusted roots are simply absent.
+  PolicyVerifier(const rootstore::RootStore& store,
+                 const SignatureScheme& scheme,
+                 std::string policy_source = default_policy());
+
+  // Validates `leaf` against the pool, entirely inside the Datalog engine
+  // (aside from signature verification, which feeds issuedBy/2 facts).
+  PolicyResult verify(const x509::CertPtr& leaf,
+                      const chain::CertificatePool& pool,
+                      const chain::VerifyOptions& options) const;
+
+ private:
+  const rootstore::RootStore& store_;
+  const SignatureScheme& scheme_;
+  std::string policy_source_;
+};
+
+}  // namespace anchor::policy

@@ -1,0 +1,155 @@
+#include "preemptive/scope.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace anchor::preemptive {
+
+void observe_certificate(ScopeOfIssuance& scope,
+                         const x509::Certificate& leaf) {
+  ++scope.certificates_observed;
+  if (leaf.subject_alt_name()) {
+    for (const auto& name : leaf.subject_alt_name()->dns_names) {
+      std::string tld = tld_of(name);
+      scope.tlds.insert(tld);
+      ++scope.tld_counts[tld];
+    }
+  }
+  if (leaf.key_usage()) {
+    for (const auto& usage : leaf.key_usage()->names()) {
+      scope.key_usages.insert(usage);
+    }
+  }
+  if (leaf.extended_key_usage()) {
+    for (const auto& usage : leaf.extended_key_usage()->names()) {
+      scope.extended_key_usages.insert(usage);
+    }
+  }
+  scope.max_lifetime_seconds =
+      std::max(scope.max_lifetime_seconds, leaf.lifetime_seconds());
+  scope.saw_ev = scope.saw_ev || leaf.is_ev();
+}
+
+namespace {
+// Local alias used by the corpus-indexed analyzers below.
+void observe(ScopeOfIssuance& scope, const x509::Certificate& leaf) {
+  observe_certificate(scope, leaf);
+}
+}  // namespace
+
+std::vector<ScopeOfIssuance> analyze_intermediates(
+    const corpus::Corpus& corpus) {
+  std::vector<ScopeOfIssuance> scopes(corpus.intermediates().size());
+  for (const corpus::LeafRecord& record : corpus.leaves()) {
+    observe(scopes[static_cast<std::size_t>(record.issuer_intermediate)],
+            *record.cert);
+  }
+  return scopes;
+}
+
+std::vector<ScopeOfIssuance> analyze_roots(const corpus::Corpus& corpus) {
+  std::vector<ScopeOfIssuance> scopes(corpus.roots().size());
+  for (const corpus::LeafRecord& record : corpus.leaves()) {
+    const corpus::CaProfile& intermediate =
+        corpus.intermediates()[static_cast<std::size_t>(
+            record.issuer_intermediate)];
+    observe(scopes[static_cast<std::size_t>(intermediate.parent_root)],
+            *record.cert);
+  }
+  return scopes;
+}
+
+std::vector<double> tld_count_cdf(const std::vector<ScopeOfIssuance>& scopes,
+                                  std::size_t max_k) {
+  std::size_t active = 0;
+  std::vector<std::size_t> histogram(max_k + 1, 0);
+  for (const auto& scope : scopes) {
+    if (scope.empty()) continue;
+    ++active;
+    std::size_t k = std::min(scope.tlds.size(), max_k);
+    ++histogram[k];
+  }
+  std::vector<double> cdf(max_k + 1, 0.0);
+  if (active == 0) return cdf;
+  std::size_t cumulative = 0;
+  for (std::size_t k = 0; k <= max_k; ++k) {
+    cumulative += histogram[k];
+    cdf[k] = static_cast<double>(cumulative) / static_cast<double>(active);
+  }
+  return cdf;
+}
+
+std::size_t tld_quantile(const std::vector<ScopeOfIssuance>& scopes,
+                         double quantile) {
+  std::vector<std::size_t> counts;
+  for (const auto& scope : scopes) {
+    if (!scope.empty()) counts.push_back(scope.tlds.size());
+  }
+  if (counts.empty()) return 0;
+  std::sort(counts.begin(), counts.end());
+  std::size_t index = static_cast<std::size_t>(
+      std::ceil(quantile * static_cast<double>(counts.size())));
+  if (index > 0) --index;
+  return counts[index];
+}
+
+std::optional<BimodalSplit> detect_bimodal(const ScopeOfIssuance& scope,
+                                           double min_separation,
+                                           std::size_t min_cluster) {
+  if (scope.tld_counts.size() < 2 * min_cluster) return std::nullopt;
+
+  // 1-D 2-means on log counts.
+  std::vector<std::pair<std::string, double>> points;
+  for (const auto& [tld, count] : scope.tld_counts) {
+    points.emplace_back(tld, std::log(static_cast<double>(count) + 1.0));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  double lo = points.front().second;
+  double hi = points.back().second;
+  if (hi - lo < 1e-9) return std::nullopt;
+  double center_light = lo;
+  double center_heavy = hi;
+  std::size_t boundary = 0;  // first index assigned to the heavy cluster
+
+  for (int iter = 0; iter < 32; ++iter) {
+    double midpoint = (center_light + center_heavy) / 2;
+    std::size_t new_boundary = points.size();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].second > midpoint) {
+        new_boundary = i;
+        break;
+      }
+    }
+    if (new_boundary == 0 || new_boundary == points.size()) return std::nullopt;
+    double sum_light = 0;
+    double sum_heavy = 0;
+    for (std::size_t i = 0; i < new_boundary; ++i) sum_light += points[i].second;
+    for (std::size_t i = new_boundary; i < points.size(); ++i) {
+      sum_heavy += points[i].second;
+    }
+    center_light = sum_light / static_cast<double>(new_boundary);
+    center_heavy =
+        sum_heavy / static_cast<double>(points.size() - new_boundary);
+    if (new_boundary == boundary) break;
+    boundary = new_boundary;
+  }
+  if (boundary == 0) return std::nullopt;
+
+  BimodalSplit split;
+  for (std::size_t i = 0; i < boundary; ++i) split.light.insert(points[i].first);
+  for (std::size_t i = boundary; i < points.size(); ++i) {
+    split.heavy.insert(points[i].first);
+  }
+  split.separation = std::exp(center_heavy - center_light);
+  if (split.separation < min_separation || split.light.size() < min_cluster ||
+      split.heavy.size() < min_cluster) {
+    return std::nullopt;
+  }
+  return split;
+}
+
+}  // namespace anchor::preemptive

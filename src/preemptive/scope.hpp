@@ -1,0 +1,70 @@
+// Scope-of-issuance analysis (§5.2 of the paper): "Starting from a given
+// set of roots, the study should construct all certificate paths and then
+// determine each CA certificate's scope of issuance" — the names,
+// lifetimes, key usages and other fields a CA has historically issued for.
+//
+// The analysis consumes the corpus as a stand-in for CT logs and produces,
+// per CA, the observed scope plus the aggregate TLD-concentration
+// distribution that CAge reported (90% of CAs issue for <= 10 TLDs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace anchor::preemptive {
+
+struct ScopeOfIssuance {
+  std::set<std::string> tlds;
+  std::set<std::string> key_usages;          // "digitalSignature", ...
+  std::set<std::string> extended_key_usages; // "id-kp-serverAuth", ...
+  std::int64_t max_lifetime_seconds = 0;
+  bool saw_ev = false;
+  std::size_t certificates_observed = 0;
+  // Per-TLD issuance counts (input to bimodal detection).
+  std::map<std::string, std::size_t> tld_counts;
+
+  bool empty() const { return certificates_observed == 0; }
+};
+
+// Folds one observed certificate into a scope (exposed for log-driven
+// analyzers such as ctlog::LogMonitor).
+void observe_certificate(ScopeOfIssuance& scope, const x509::Certificate& leaf);
+
+// Per-intermediate scope, indexed like corpus.intermediates().
+std::vector<ScopeOfIssuance> analyze_intermediates(const corpus::Corpus& corpus);
+
+// Per-root scope: union over the root's subordinates (chains bottom out at
+// the root, so the root's de facto scope is everything issued beneath it).
+std::vector<ScopeOfIssuance> analyze_roots(const corpus::Corpus& corpus);
+
+// CDF over distinct-TLD counts: result[k] = fraction of CAs (with >= 1
+// observed certificate) issuing for <= k TLDs. result[0] unused.
+std::vector<double> tld_count_cdf(const std::vector<ScopeOfIssuance>& scopes,
+                                  std::size_t max_k);
+
+// Smallest k with CDF(k) >= quantile (e.g. 0.9 -> the paper's "90% <= 10").
+std::size_t tld_quantile(const std::vector<ScopeOfIssuance>& scopes,
+                         double quantile);
+
+// Bimodal-scope detection (§5.2: "if a CA exhibits a bi-modal scope of
+// issuance, the CA could potentially be split into two root certificates").
+// Partitions the CA's TLDs into two clusters by issuance volume (2-means on
+// log counts); returns the split when both clusters are substantial and
+// well separated.
+struct BimodalSplit {
+  std::set<std::string> heavy;  // high-volume cluster
+  std::set<std::string> light;
+  double separation = 0;  // ratio of cluster means (log domain distance)
+};
+
+std::optional<BimodalSplit> detect_bimodal(const ScopeOfIssuance& scope,
+                                           double min_separation = 2.0,
+                                           std::size_t min_cluster = 2);
+
+}  // namespace anchor::preemptive

@@ -1,0 +1,77 @@
+#include "preemptive/synthesis.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace anchor::preemptive {
+
+std::string render_scope_program(const ScopeOfIssuance& scope,
+                                 const SynthesisOptions& options) {
+  std::ostringstream out;
+  out << "% Pre-emptive scope-of-issuance constraint (auto-generated).\n";
+  out << "% Observed over " << scope.certificates_observed
+      << " certificates.\n";
+
+  if (options.constrain_tlds) {
+    for (const auto& tld : scope.tlds) {
+      out << "allowedTLD(\"" << tld << "\").\n";
+    }
+    out << "badName(Leaf) :- sanTLD(Leaf, T), \\+allowedTLD(T).\n";
+  }
+  if (options.constrain_key_usage) {
+    for (const auto& usage : scope.key_usages) {
+      out << "allowedKU(\"" << usage << "\").\n";
+    }
+    out << "badKU(Leaf) :- keyUsage(Leaf, U), \\+allowedKU(U).\n";
+  }
+  if (options.constrain_eku) {
+    for (const auto& usage : scope.extended_key_usages) {
+      out << "allowedEKU(\"" << usage << "\").\n";
+    }
+    out << "badEKU(Leaf) :- extendedKeyUsage(Leaf, U), \\+allowedEKU(U).\n";
+  }
+  if (options.constrain_lifetime) {
+    auto limit = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(scope.max_lifetime_seconds) *
+                     options.lifetime_slack));
+    out << "lifetimeLimit(" << limit << ").\n";
+    out << "badLifetime(Leaf) :- lifetime(Leaf, L), lifetimeLimit(Max), "
+           "L > Max.\n";
+  }
+
+  out << "valid(Chain, _) :-\n  leaf(Chain, Leaf)";
+  if (options.constrain_tlds) out << ",\n  \\+badName(Leaf)";
+  if (options.constrain_key_usage) out << ",\n  \\+badKU(Leaf)";
+  if (options.constrain_eku) out << ",\n  \\+badEKU(Leaf)";
+  if (options.constrain_lifetime) out << ",\n  \\+badLifetime(Leaf)";
+  out << ".\n";
+  return out.str();
+}
+
+Result<core::Gcc> synthesize(const std::string& name,
+                             const x509::Certificate& root,
+                             const ScopeOfIssuance& scope,
+                             const SynthesisOptions& options) {
+  if (scope.empty()) {
+    return err("preemptive: no observed issuance for '" +
+               root.subject().common_name() + "'; cannot synthesize");
+  }
+  std::string source = render_scope_program(scope, options);
+  return core::Gcc::for_certificate(
+      name, root, std::move(source),
+      "auto-generated pre-emptive scope constraint");
+}
+
+CageFilter::CageFilter(const ScopeOfIssuance& scope) : tlds_(scope.tlds) {}
+
+bool CageFilter::allows(const x509::Certificate& leaf) const {
+  if (!leaf.subject_alt_name()) return true;  // no names to judge
+  for (const auto& name : leaf.subject_alt_name()->dns_names) {
+    if (!tlds_.contains(tld_of(name))) return false;
+  }
+  return true;
+}
+
+}  // namespace anchor::preemptive

@@ -1,0 +1,58 @@
+// Pre-emptive GCC synthesis (§5.2): "Operators could then construct a GCC
+// for each CA certificate that limits future issuance to its current
+// scope — e.g., if the CA tries to issue a certificate for a key usage it
+// has never used before, the GCC would cause the certificate to be
+// rejected."
+//
+// synthesize() turns an observed ScopeOfIssuance into Datalog source in the
+// style of the paper's Listing 3 and wraps it as a core::Gcc bound to the
+// root. The generated program rejects a chain when the leaf:
+//   * carries a SAN under a TLD the CA never issued for,
+//   * uses a key usage or extended key usage never observed, or
+//   * exceeds the maximum observed lifetime (with configurable slack).
+#pragma once
+
+#include <string>
+
+#include "core/gcc.hpp"
+#include "preemptive/scope.hpp"
+
+namespace anchor::preemptive {
+
+struct SynthesisOptions {
+  // Multiplier on the observed max lifetime (operators leave headroom).
+  double lifetime_slack = 1.10;
+  bool constrain_tlds = true;
+  bool constrain_key_usage = true;
+  bool constrain_eku = true;
+  bool constrain_lifetime = true;
+};
+
+// Renders the Datalog source for a scope (exposed separately for tests and
+// for the CAge comparison, which uses constrain_tlds only).
+std::string render_scope_program(const ScopeOfIssuance& scope,
+                                 const SynthesisOptions& options);
+
+// Builds the GCC bound to `root`. Fails only if the scope is empty (an
+// operator cannot constrain a CA they have never observed).
+Result<core::Gcc> synthesize(const std::string& name,
+                             const x509::Certificate& root,
+                             const ScopeOfIssuance& scope,
+                             const SynthesisOptions& options = {});
+
+// The CAge baseline (Kasten et al., FC'13) as described in §5.2: name/TLD
+// constraints only, enforced directly (no GCC machinery). "Using CAge, if
+// a CA issued a certificate for a new TLD for which it has not issued a
+// certificate before, browsers would reject that certificate."
+class CageFilter {
+ public:
+  explicit CageFilter(const ScopeOfIssuance& scope);
+
+  // True iff every SAN of the leaf falls under an observed TLD.
+  bool allows(const x509::Certificate& leaf) const;
+
+ private:
+  std::set<std::string> tlds_;
+};
+
+}  // namespace anchor::preemptive

@@ -1,0 +1,148 @@
+#include "revocation/revocation.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace anchor::revocation {
+
+namespace {
+std::string issuer_serial_key(BytesView spki, BytesView serial) {
+  return to_hex(spki) + "|" + to_hex(serial);
+}
+}  // namespace
+
+// --- CrlSet -----------------------------------------------------------------
+
+void CrlSet::block_by_issuer_serial(BytesView issuer_spki, BytesView serial) {
+  by_issuer_serial_.insert(issuer_serial_key(issuer_spki, serial));
+}
+
+void CrlSet::block_by_issuer_serial(const x509::Certificate& issuer,
+                                    const x509::Certificate& subject) {
+  block_by_issuer_serial(BytesView(issuer.public_key()),
+                         BytesView(subject.serial()));
+}
+
+void CrlSet::block_spki(BytesView spki) {
+  blocked_spkis_.insert(to_hex(spki));
+}
+
+void CrlSet::block_spki(const x509::Certificate& cert) {
+  block_spki(BytesView(cert.public_key()));
+}
+
+bool CrlSet::is_revoked(const x509::Certificate& cert,
+                        BytesView issuer_spki) const {
+  if (blocked_spkis_.contains(to_hex(BytesView(cert.public_key())))) {
+    return true;
+  }
+  return by_issuer_serial_.contains(
+      issuer_serial_key(issuer_spki, BytesView(cert.serial())));
+}
+
+std::string CrlSet::serialize() const {
+  // Sorted output for determinism.
+  std::vector<std::string> lines;
+  lines.reserve(by_issuer_serial_.size() + blocked_spkis_.size());
+  for (const auto& entry : by_issuer_serial_) lines.push_back("is " + entry);
+  for (const auto& spki : blocked_spkis_) lines.push_back("spki " + spki);
+  std::sort(lines.begin(), lines.end());
+  std::string out = "anchor-crlset/v1\n";
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<CrlSet> CrlSet::deserialize(std::string_view text) {
+  std::vector<std::string> lines = split(text, '\n');
+  if (lines.empty() || lines[0] != "anchor-crlset/v1") {
+    return err("crlset: missing header");
+  }
+  CrlSet set;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line = std::string(trim(lines[i]));
+    if (line.empty()) continue;
+    if (starts_with(line, "is ")) {
+      std::string entry = line.substr(3);
+      if (entry.find('|') == std::string::npos) {
+        return err("crlset: malformed issuer-serial entry");
+      }
+      set.by_issuer_serial_.insert(std::move(entry));
+    } else if (starts_with(line, "spki ")) {
+      set.blocked_spkis_.insert(line.substr(5));
+    } else {
+      return err("crlset: unknown line '" + line + "'");
+    }
+  }
+  return set;
+}
+
+// --- OneCrl -----------------------------------------------------------------
+
+void OneCrl::block(const x509::DistinguishedName& issuer, BytesView serial) {
+  entries_.insert(issuer.to_string() + "|" + to_hex(serial));
+}
+
+void OneCrl::block(const x509::Certificate& cert) {
+  block(cert.issuer(), BytesView(cert.serial()));
+}
+
+bool OneCrl::is_revoked(const x509::Certificate& cert) const {
+  return entries_.contains(cert.issuer().to_string() + "|" +
+                           to_hex(BytesView(cert.serial())));
+}
+
+std::string OneCrl::serialize() const {
+  std::vector<std::string> lines(entries_.begin(), entries_.end());
+  std::sort(lines.begin(), lines.end());
+  std::string out = "anchor-onecrl/v1\n";
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<OneCrl> OneCrl::deserialize(std::string_view text) {
+  std::vector<std::string> lines = split(text, '\n');
+  if (lines.empty() || lines[0] != "anchor-onecrl/v1") {
+    return err("onecrl: missing header");
+  }
+  OneCrl crl;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line = std::string(trim(lines[i]));
+    if (line.empty()) continue;
+    if (line.find('|') == std::string::npos) {
+      return err("onecrl: malformed entry '" + line + "'");
+    }
+    crl.entries_.insert(std::move(line));
+  }
+  return crl;
+}
+
+// --- GCC subsumption ----------------------------------------------------------
+
+Result<core::Gcc> revocation_gcc(const std::string& name,
+                                 const x509::Certificate& root,
+                                 const std::vector<std::string>& revoked_hashes,
+                                 const std::string& justification) {
+  std::ostringstream source;
+  source << "% Revocation expressed as a GCC (subsumption construction).\n";
+  for (const auto& hash : revoked_hashes) {
+    source << "revoked(\"" << hash << "\").\n";
+  }
+  if (revoked_hashes.empty()) {
+    // Datalog needs the predicate to exist for the negation to be well
+    // formed; an impossible fact keeps the program total.
+    source << "revoked(\"-\").\n";
+  }
+  source << "inChain(Chain, C) :- certAt(Chain, _, C).\n"
+            "bad(Chain) :- inChain(Chain, C), hash(C, H), revoked(H).\n"
+            "valid(Chain, _) :- leaf(Chain, L), \\+bad(Chain).\n";
+  return core::Gcc::for_certificate(name, root, source.str(), justification);
+}
+
+}  // namespace anchor::revocation

@@ -1,0 +1,76 @@
+// Push-based revocation: the mechanism primaries used in every incident the
+// paper catalogues (§2.2) before/alongside partial distrust — Chrome's
+// CRLSet and Mozilla's OneCRL. The paper argues GCCs generalize these
+// ("negative root inclusion subsumes root certificate revocation"); this
+// module provides the baseline so the claim is testable (see
+// tests/revocation_test.cpp and bench_distrust_modes):
+//
+//   * CrlSet   — Chrome-style: blocks leaves by (issuer SPKI hash, serial)
+//                and any certificate by SPKI hash;
+//   * OneCrl   — Mozilla-style: blocks intermediates by (issuer DN, serial);
+//   * to_gcc() — compiles a revocation set into an equivalent GCC, the
+//                subsumption construction.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "core/gcc.hpp"
+#include "util/result.hpp"
+#include "x509/certificate.hpp"
+
+namespace anchor::revocation {
+
+// Chrome-style CRLSet.
+class CrlSet {
+ public:
+  // Blocks a single certificate by its issuer's SPKI and its serial.
+  void block_by_issuer_serial(BytesView issuer_spki, BytesView serial);
+  void block_by_issuer_serial(const x509::Certificate& issuer,
+                              const x509::Certificate& subject);
+  // Blocks every certificate carrying this subject public key.
+  void block_spki(BytesView spki);
+  void block_spki(const x509::Certificate& cert);
+
+  // True iff `cert` (issued by `issuer_spki`) is revoked.
+  bool is_revoked(const x509::Certificate& cert, BytesView issuer_spki) const;
+
+  std::size_t size() const {
+    return by_issuer_serial_.size() + blocked_spkis_.size();
+  }
+
+  // Deterministic text serialization (one entry per line).
+  std::string serialize() const;
+  static Result<CrlSet> deserialize(std::string_view text);
+
+ private:
+  std::unordered_set<std::string> by_issuer_serial_;  // hex(spki)|hex(serial)
+  std::unordered_set<std::string> blocked_spkis_;     // hex(spki)
+};
+
+// Mozilla-style OneCRL: intermediate revocation by issuer name + serial.
+class OneCrl {
+ public:
+  void block(const x509::DistinguishedName& issuer, BytesView serial);
+  void block(const x509::Certificate& cert);
+
+  bool is_revoked(const x509::Certificate& cert) const;
+  std::size_t size() const { return entries_.size(); }
+
+  std::string serialize() const;
+  static Result<OneCrl> deserialize(std::string_view text);
+
+ private:
+  std::unordered_set<std::string> entries_;  // issuerDN|hex(serial)
+};
+
+// The paper's subsumption claim, constructively: compile a set of revoked
+// certificate hashes into a GCC for `root` that rejects any chain
+// containing one of them. (Hash-based — the form the incident responses in
+// §2.2 actually shipped as allowlist/denylist GCC clauses.)
+Result<core::Gcc> revocation_gcc(const std::string& name,
+                                 const x509::Certificate& root,
+                                 const std::vector<std::string>& revoked_hashes,
+                                 const std::string& justification = "");
+
+}  // namespace anchor::revocation

@@ -1,0 +1,294 @@
+// Serialization grammar (line-oriented; values that may contain arbitrary
+// bytes are base64):
+//
+//   anchor-root-store/v1
+//   trusted <hash>
+//   ev <0|1>
+//   tls-distrust-after <unix>          (optional)
+//   smime-distrust-after <unix>        (optional)
+//   justification-b64 <b64>            (optional)
+//   -----BEGIN CERTIFICATE----- ...    (the root itself)
+//   distrusted <hash>
+//   justification-b64 <b64>            (optional)
+//   gcc <hash>
+//   name-b64 <b64>
+//   justification-b64 <b64>            (optional)
+//   source-b64 <b64>
+//
+// Sections may repeat; ordering is canonical (roots and distrust entries
+// sorted by hash, GCCs by root hash) so stores with equal *content*
+// serialize identically regardless of insertion history — delta replay,
+// merging and the RSF content hash all rely on this.
+#include "rootstore/store.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/base64.hpp"
+#include "util/sha256.hpp"
+#include "util/strings.hpp"
+
+namespace anchor::rootstore {
+
+Status RootStore::add_trusted(x509::CertPtr cert, RootMetadata metadata) {
+  std::string hash = cert->fingerprint_hex();
+  if (distrusted_.contains(hash)) {
+    return err("root store: root " + hash.substr(0, 16) +
+               "... is explicitly distrusted; refusing to re-trust (use "
+               "add_trusted_unchecked to model non-compliant derivatives)");
+  }
+  if (!trusted_.contains(hash)) trusted_order_.push_back(hash);
+  trusted_[hash] = RootEntry{std::move(cert), std::move(metadata)};
+  return {};
+}
+
+void RootStore::add_trusted_unchecked(x509::CertPtr cert,
+                                      RootMetadata metadata) {
+  std::string hash = cert->fingerprint_hex();
+  if (!trusted_.contains(hash)) trusted_order_.push_back(hash);
+  trusted_[hash] = RootEntry{std::move(cert), std::move(metadata)};
+}
+
+void RootStore::distrust(const std::string& hash_hex,
+                         std::string justification) {
+  if (trusted_.erase(hash_hex) > 0) {
+    std::erase(trusted_order_, hash_hex);
+  }
+  if (!distrusted_.contains(hash_hex)) distrusted_order_.push_back(hash_hex);
+  distrusted_[hash_hex] = std::move(justification);
+}
+
+bool RootStore::forget(const std::string& hash_hex) {
+  bool was_trusted = trusted_.erase(hash_hex) > 0;
+  if (was_trusted) std::erase(trusted_order_, hash_hex);
+  bool was_distrusted = distrusted_.erase(hash_hex) > 0;
+  if (was_distrusted) std::erase(distrusted_order_, hash_hex);
+  return was_trusted || was_distrusted;
+}
+
+TrustState RootStore::state_of(const std::string& hash_hex) const {
+  if (trusted_.contains(hash_hex)) return TrustState::kTrusted;
+  if (distrusted_.contains(hash_hex)) return TrustState::kDistrusted;
+  return TrustState::kUnknown;
+}
+
+const RootEntry* RootStore::find(const std::string& hash_hex) const {
+  auto it = trusted_.find(hash_hex);
+  return it == trusted_.end() ? nullptr : &it->second;
+}
+
+std::vector<const RootEntry*> RootStore::trusted() const {
+  std::vector<const RootEntry*> out;
+  out.reserve(trusted_order_.size());
+  for (const auto& hash : trusted_order_) {
+    auto it = trusted_.find(hash);
+    if (it != trusted_.end()) out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::string RootStore::serialize() const {
+  // Canonical form: entries sorted by hash, so equal *content* serializes
+  // identically regardless of insertion history (delta replay, merges and
+  // feed payload comparison all rely on this).
+  std::vector<std::string> trusted_sorted = trusted_order_;
+  std::sort(trusted_sorted.begin(), trusted_sorted.end());
+  std::vector<std::string> distrusted_sorted = distrusted_order_;
+  std::sort(distrusted_sorted.begin(), distrusted_sorted.end());
+
+  std::ostringstream out;
+  out << "anchor-root-store/v1\n";
+  for (const auto& hash : trusted_sorted) {
+    const RootEntry& entry = trusted_.at(hash);
+    out << "trusted " << hash << "\n";
+    out << "ev " << (entry.metadata.ev_allowed ? 1 : 0) << "\n";
+    if (entry.metadata.tls_distrust_after) {
+      out << "tls-distrust-after " << *entry.metadata.tls_distrust_after << "\n";
+    }
+    if (entry.metadata.smime_distrust_after) {
+      out << "smime-distrust-after " << *entry.metadata.smime_distrust_after
+          << "\n";
+    }
+    if (!entry.metadata.justification.empty()) {
+      out << "justification-b64 "
+          << base64_encode(BytesView(to_bytes(entry.metadata.justification)))
+          << "\n";
+    }
+    out << entry.cert->to_pem();
+  }
+  for (const auto& hash : distrusted_sorted) {
+    out << "distrusted " << hash << "\n";
+    const std::string& justification = distrusted_.at(hash);
+    if (!justification.empty()) {
+      out << "justification-b64 "
+          << base64_encode(BytesView(to_bytes(justification))) << "\n";
+    }
+  }
+  for (const auto& root : gccs_.roots_sorted()) {
+    for (const core::Gcc& gcc : gccs_.for_root(root)) {
+      out << "gcc " << root << "\n";
+      out << "name-b64 " << base64_encode(BytesView(to_bytes(gcc.name())))
+          << "\n";
+      if (!gcc.justification().empty()) {
+        out << "justification-b64 "
+            << base64_encode(BytesView(to_bytes(gcc.justification()))) << "\n";
+      }
+      out << "source-b64 " << base64_encode(BytesView(to_bytes(gcc.source())))
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+Result<std::string> decode_b64_field(std::string_view value) {
+  Bytes decoded;
+  if (!base64_decode(value, decoded)) {
+    return err("root store: bad base64 field");
+  }
+  return to_string(BytesView(decoded));
+}
+
+}  // namespace
+
+Result<RootStore> RootStore::deserialize(std::string_view text) {
+  std::vector<std::string> lines = split(text, '\n');
+  if (lines.empty() || lines[0] != "anchor-root-store/v1") {
+    return err("root store: missing anchor-root-store/v1 header");
+  }
+
+  RootStore store;
+  std::size_t i = 1;
+
+  auto parse_int = [](const std::string& s, std::int64_t& out) {
+    if (s.empty()) return false;
+    std::size_t pos = 0;
+    bool negative = s[0] == '-';
+    if (negative) pos = 1;
+    std::int64_t v = 0;
+    for (; pos < s.size(); ++pos) {
+      if (s[pos] < '0' || s[pos] > '9') return false;
+      v = v * 10 + (s[pos] - '0');
+    }
+    out = negative ? -v : v;
+    return true;
+  };
+
+  while (i < lines.size()) {
+    std::string line = std::string(trim(lines[i]));
+    if (line.empty()) {
+      ++i;
+      continue;
+    }
+    std::size_t space = line.find(' ');
+    std::string keyword = line.substr(0, space);
+    std::string arg = space == std::string::npos ? "" : line.substr(space + 1);
+
+    if (keyword == "trusted") {
+      ++i;
+      RootMetadata metadata;
+      // Metadata lines until the PEM block.
+      while (i < lines.size() && !starts_with(lines[i], "-----BEGIN")) {
+        std::string meta_line = std::string(trim(lines[i]));
+        if (meta_line.empty()) {
+          ++i;
+          continue;
+        }
+        std::size_t sp = meta_line.find(' ');
+        if (sp == std::string::npos) {
+          return err("root store: malformed metadata line '" + meta_line + "'");
+        }
+        std::string key = meta_line.substr(0, sp);
+        std::string value = meta_line.substr(sp + 1);
+        if (key == "ev") {
+          metadata.ev_allowed = value == "1";
+        } else if (key == "tls-distrust-after") {
+          std::int64_t t;
+          if (!parse_int(value, t)) return err("root store: bad timestamp");
+          metadata.tls_distrust_after = t;
+        } else if (key == "smime-distrust-after") {
+          std::int64_t t;
+          if (!parse_int(value, t)) return err("root store: bad timestamp");
+          metadata.smime_distrust_after = t;
+        } else if (key == "justification-b64") {
+          auto decoded = decode_b64_field(value);
+          if (!decoded) return err(decoded.error());
+          metadata.justification = std::move(decoded).take();
+        } else {
+          return err("root store: unknown metadata key '" + key + "'");
+        }
+        ++i;
+      }
+      // PEM block: gather until END line inclusive.
+      std::string pem;
+      while (i < lines.size()) {
+        pem += lines[i];
+        pem += '\n';
+        bool end = starts_with(lines[i], "-----END");
+        ++i;
+        if (end) break;
+      }
+      auto cert = x509::Certificate::parse_pem(pem);
+      if (!cert) return err("root store: " + cert.error());
+      std::string actual_hash = cert.value()->fingerprint_hex();
+      if (actual_hash != arg) {
+        return err("root store: trusted hash mismatch for " + arg);
+      }
+      store.add_trusted_unchecked(std::move(cert).take(), std::move(metadata));
+    } else if (keyword == "distrusted") {
+      ++i;
+      std::string justification;
+      if (i < lines.size() && starts_with(lines[i], "justification-b64 ")) {
+        auto decoded = decode_b64_field(std::string_view(lines[i]).substr(18));
+        if (!decoded) return err(decoded.error());
+        justification = std::move(decoded).take();
+        ++i;
+      }
+      if (arg.size() != 64) return err("root store: bad distrusted hash");
+      store.distrust(arg, std::move(justification));
+    } else if (keyword == "gcc") {
+      ++i;
+      std::string name;
+      std::string justification;
+      std::string source;
+      while (i < lines.size()) {
+        std::string field_line = std::string(trim(lines[i]));
+        if (starts_with(field_line, "name-b64 ")) {
+          auto decoded = decode_b64_field(std::string_view(field_line).substr(9));
+          if (!decoded) return err(decoded.error());
+          name = std::move(decoded).take();
+        } else if (starts_with(field_line, "justification-b64 ")) {
+          auto decoded =
+              decode_b64_field(std::string_view(field_line).substr(18));
+          if (!decoded) return err(decoded.error());
+          justification = std::move(decoded).take();
+        } else if (starts_with(field_line, "source-b64 ")) {
+          auto decoded =
+              decode_b64_field(std::string_view(field_line).substr(11));
+          if (!decoded) return err(decoded.error());
+          source = std::move(decoded).take();
+          ++i;
+          break;  // source-b64 terminates a gcc section
+        } else {
+          return err("root store: unexpected line in gcc section: '" +
+                     field_line + "'");
+        }
+        ++i;
+      }
+      auto gcc = core::Gcc::create(name, arg, source, justification);
+      if (!gcc) return err("root store: " + gcc.error());
+      store.gccs().attach(std::move(gcc).take());
+    } else {
+      return err("root store: unknown section '" + keyword + "'");
+    }
+  }
+  return store;
+}
+
+std::string RootStore::content_hash_hex() const {
+  std::string serialized = serialize();
+  return Sha256::hash_hex(BytesView(to_bytes(serialized)));
+}
+
+}  // namespace anchor::rootstore

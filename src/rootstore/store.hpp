@@ -1,0 +1,96 @@
+// Root stores with negative inclusion (§4 of the paper): "root stores
+// [should] be composed of two sets of certificates: those that are
+// explicitly trusted and those that are explicitly distrusted." A root is
+// therefore in one of three states — trusted, distrusted, or unknown
+// (never added) — and the distinction matters for RSF merging.
+//
+// Trusted roots carry the systematic partial-distrust metadata NSS uses
+// (§2.2: per-root date-usage cutoffs for TLS and S/MIME, and the EV bit)
+// plus any number of attached GCCs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gcc.hpp"
+#include "util/result.hpp"
+#include "x509/certificate.hpp"
+
+namespace anchor::rootstore {
+
+// NSS-style systematic constraints (distinct from ad hoc GCCs).
+struct RootMetadata {
+  // Leaf certificates with notBefore at/after this instant are distrusted
+  // for the usage. nullopt = no cutoff.
+  std::optional<std::int64_t> tls_distrust_after;
+  std::optional<std::int64_t> smime_distrust_after;
+  // Whether the root may anchor EV certificates.
+  bool ev_allowed = false;
+  // Free-form provenance (Bugzilla link, incident id, ...).
+  std::string justification;
+
+  bool operator==(const RootMetadata&) const = default;
+};
+
+struct RootEntry {
+  x509::CertPtr cert;
+  RootMetadata metadata;
+};
+
+enum class TrustState { kTrusted, kDistrusted, kUnknown };
+
+class RootStore {
+ public:
+  // Adds (or updates) an explicitly trusted root. A root currently in the
+  // distrusted set is *not* silently resurrected: the call fails, the same
+  // condition RSF merging flags (§4, "RSF merging").
+  Status add_trusted(x509::CertPtr cert, RootMetadata metadata = {});
+
+  // Moves a root into the explicitly-distrusted set (removing it from the
+  // trusted set if present). Distrust by hash also works for roots the
+  // store never carried.
+  void distrust(const std::string& hash_hex, std::string justification = "");
+
+  // Forgets a root entirely (back to kUnknown) — e.g. expired housekeeping.
+  // Distinct from distrust. Returns true if it was present in either set.
+  bool forget(const std::string& hash_hex);
+
+  // Force-adds a trusted root even if distrusted (used by merge tooling to
+  // model derivative stores that re-add removed roots, as Amazon Linux did).
+  void add_trusted_unchecked(x509::CertPtr cert, RootMetadata metadata = {});
+
+  TrustState state_of(const std::string& hash_hex) const;
+  const RootEntry* find(const std::string& hash_hex) const;
+
+  std::vector<const RootEntry*> trusted() const;
+  const std::unordered_map<std::string, std::string>& distrusted() const {
+    return distrusted_;  // hash -> justification
+  }
+
+  std::size_t trusted_count() const { return trusted_.size(); }
+  std::size_t distrusted_count() const { return distrusted_.size(); }
+
+  core::GccStore& gccs() { return gccs_; }
+  const core::GccStore& gccs() const { return gccs_; }
+
+  // Deterministic text serialization (see store.cpp header comment for the
+  // grammar); round-trips through deserialize.
+  std::string serialize() const;
+  static Result<RootStore> deserialize(std::string_view text);
+
+  // Content hash of the serialized form — RSF snapshots chain over this.
+  std::string content_hash_hex() const;
+
+ private:
+  // hash -> entry, plus insertion order for deterministic serialization.
+  std::unordered_map<std::string, RootEntry> trusted_;
+  std::vector<std::string> trusted_order_;
+  std::unordered_map<std::string, std::string> distrusted_;
+  std::vector<std::string> distrusted_order_;
+  core::GccStore gccs_;
+};
+
+}  // namespace anchor::rootstore

@@ -1,0 +1,136 @@
+#include "rsf/client.hpp"
+
+#include "util/sha256.hpp"
+
+namespace anchor::rsf {
+
+RsfClient::RsfClient(const Feed& feed, std::int64_t poll_interval,
+                     MergePolicy policy, Transport transport)
+    : feed_(feed),
+      poll_interval_(poll_interval),
+      policy_(policy),
+      transport_(transport) {
+  // The feed key is known out of band (certified by the coordinating body).
+  verifier_registry_.register_key(
+      SimSig::keygen("rsf-feed-" + feed.name()));
+}
+
+void RsfClient::set_local_store(rootstore::RootStore local) {
+  local_ = std::move(local);
+}
+
+std::size_t RsfClient::poll_now(std::int64_t now) {
+  ++stats_.polls;
+  std::vector<Snapshot> run = feed_.fetch_since(last_sequence_);
+  if (run.empty()) return 0;
+
+  if (Status s = Feed::verify_run(run, last_hash_, BytesView(feed_.key_id()),
+                                  verifier_registry_);
+      !s) {
+    ++stats_.verify_failures;
+    return 0;  // fail closed: keep the last good store
+  }
+
+  const Snapshot& head = run.back();
+  bool replica_current = false;
+
+  if (transport_ == Transport::kDelta) {
+    // Replay each snapshot's edit script onto the local replica, then
+    // check the result against the head's signed payload hash.
+    rootstore::RootStore replica = primary_replica_;
+    bool replay_ok = true;
+    for (const Snapshot& snap : run) {
+      auto delta_text = feed_.fetch_delta(snap.sequence);
+      if (!delta_text) {
+        replay_ok = false;
+        break;
+      }
+      stats_.bytes_fetched += delta_text.value().size();
+      auto delta = StoreDelta::deserialize(delta_text.value());
+      if (!delta) {
+        replay_ok = false;
+        break;
+      }
+      delta.value().apply(replica);
+      ++stats_.deltas_applied;
+    }
+    if (replay_ok &&
+        Sha256::hash_hex(BytesView(to_bytes(replica.serialize()))) ==
+            head.payload_hash) {
+      primary_replica_ = std::move(replica);
+      replica_current = true;
+    } else {
+      ++stats_.delta_fallbacks;  // fall through to the full snapshot
+    }
+  }
+
+  if (!replica_current) {
+    // Full-snapshot transport (or delta fallback): adopt the newest
+    // snapshot outright; intermediates are subsumed.
+    stats_.bytes_fetched += head.payload.size();
+    auto parsed = rootstore::RootStore::deserialize(head.payload);
+    if (!parsed) {
+      ++stats_.verify_failures;
+      return 0;
+    }
+    primary_replica_ = std::move(parsed).take();
+  }
+
+  if (local_) {
+    MergeResult merged = merge(primary_replica_, *local_, policy_);
+    stats_.merge_conflicts += merged.conflicts.size();
+    store_ = std::move(merged.merged);
+  } else {
+    store_ = primary_replica_;
+  }
+
+  std::size_t applied = run.size();
+  last_sequence_ = head.sequence;
+  last_hash_ = head.payload_hash;
+  last_update_time_ = now;
+  stats_.updates_applied += applied;
+  return applied;
+}
+
+std::size_t RsfClient::run_until(std::int64_t now) {
+  std::size_t applied = 0;
+  while (next_poll_ <= now) {
+    applied += poll_now(next_poll_);
+    next_poll_ += poll_interval_;
+  }
+  return applied;
+}
+
+ManualMirrorClient::ManualMirrorClient(const Feed& feed, bool strip_gccs)
+    : feed_(feed), strip_gccs_(strip_gccs) {}
+
+void ManualMirrorClient::manual_sync(std::int64_t now) {
+  std::uint64_t head = feed_.head_sequence();
+  if (head == 0 || head == mirrored_sequence_) {
+    last_sync_time_ = now;
+    return;
+  }
+  const Snapshot* snap = feed_.at(head);
+  auto parsed = rootstore::RootStore::deserialize(snap->payload);
+  if (!parsed) return;  // a manual import of a corrupt snapshot just fails
+
+  rootstore::RootStore incoming = std::move(parsed).take();
+  if (strip_gccs_) {
+    // Bare-collection derivative: certificates survive the import, GCCs
+    // and metadata do not (the imprecision problem, §2.3).
+    rootstore::RootStore bare;
+    for (const rootstore::RootEntry* entry : incoming.trusted()) {
+      bare.add_trusted_unchecked(entry->cert, rootstore::RootMetadata{});
+    }
+    for (const auto& [hash, justification] : incoming.distrusted()) {
+      bare.distrust(hash, justification);
+    }
+    store_ = std::move(bare);
+  } else {
+    store_ = std::move(incoming);
+  }
+  mirrored_sequence_ = head;
+  last_sync_time_ = now;
+}
+
+}  // namespace anchor::rsf

@@ -1,0 +1,100 @@
+// Feed consumers. Two models, matching the paper's comparison:
+//
+//  * RsfClient — the proposed mechanism: "a core RSF systemd service that
+//    periodically (hourly) polls the primary RSF of their choice and
+//    updates the root certificates exposed to applications" (§4). Every
+//    fetched run is signature- and hash-chain-verified before application,
+//    and the local (derivative) store is merged with the primary payload.
+//
+//  * ManualMirrorClient — today's practice: a human periodically imports
+//    the primary store into the distribution with months of lag (Ma et
+//    al.'s measurements, cited in §§1, 4). It only ever applies full
+//    snapshots, with no partial-distrust carriage when `strip_gccs` models
+//    a legacy /etc/ssl/certs-style consumer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rsf/feed.hpp"
+#include "rsf/merge.hpp"
+
+namespace anchor::rsf {
+
+struct ClientStats {
+  std::uint64_t polls = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t verify_failures = 0;
+  std::uint64_t merge_conflicts = 0;
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t delta_fallbacks = 0;  // delta replay mismatched; used snapshot
+  std::uint64_t bytes_fetched = 0;    // payload or delta bytes, per transport
+};
+
+// How the client moves store state over the wire. Either way the signed,
+// hash-chained snapshot is the root of trust: kDelta replays edit scripts
+// and then *verifies the replica against the snapshot's payload hash*,
+// falling back to the full snapshot on any mismatch.
+enum class Transport { kFullSnapshot, kDelta };
+
+class RsfClient {
+ public:
+  // `poll_interval` in seconds (the paper suggests hourly).
+  RsfClient(const Feed& feed, std::int64_t poll_interval,
+            MergePolicy policy = MergePolicy::kPrimaryWins,
+            Transport transport = Transport::kFullSnapshot);
+
+  // Local augmentations (imported roots, site GCCs) merged atop every
+  // primary snapshot.
+  void set_local_store(rootstore::RootStore local);
+
+  // Advances to `now`, polling as many times as the interval allows.
+  // Returns the number of snapshots applied.
+  std::size_t run_until(std::int64_t now);
+
+  // Single poll at time `now` regardless of schedule (for tests).
+  std::size_t poll_now(std::int64_t now);
+
+  const rootstore::RootStore& store() const { return store_; }
+  std::uint64_t last_applied_sequence() const { return last_sequence_; }
+  std::int64_t last_update_time() const { return last_update_time_; }
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  const Feed& feed_;
+  std::int64_t poll_interval_;
+  MergePolicy policy_;
+  std::int64_t next_poll_ = 0;
+  std::uint64_t last_sequence_ = 0;
+  std::string last_hash_;
+  std::int64_t last_update_time_ = -1;
+  Transport transport_ = Transport::kFullSnapshot;
+  rootstore::RootStore primary_replica_;  // the primary state, pre-merge
+  rootstore::RootStore store_;
+  std::optional<rootstore::RootStore> local_;
+  SimSig verifier_registry_;  // holds the feed key for verification
+  ClientStats stats_;
+};
+
+class ManualMirrorClient {
+ public:
+  // `strip_gccs`: model a derivative that can only ship bare certificate
+  // collections (the paper's imprecision problem).
+  ManualMirrorClient(const Feed& feed, bool strip_gccs);
+
+  // A human performs an import at time `now`: adopts the latest snapshot.
+  void manual_sync(std::int64_t now);
+
+  const rootstore::RootStore& store() const { return store_; }
+  std::uint64_t mirrored_sequence() const { return mirrored_sequence_; }
+  std::int64_t last_sync_time() const { return last_sync_time_; }
+
+ private:
+  const Feed& feed_;
+  bool strip_gccs_;
+  std::uint64_t mirrored_sequence_ = 0;
+  std::int64_t last_sync_time_ = -1;
+  rootstore::RootStore store_;
+};
+
+}  // namespace anchor::rsf

@@ -1,0 +1,22 @@
+// Simulated wall clock. All RSF timing (publication, polling, staleness
+// accounting) runs on SimClock so experiments are deterministic and a
+// simulated year costs microseconds (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+namespace anchor::rsf {
+
+class SimClock {
+ public:
+  explicit SimClock(std::int64_t start = 0) : now_(start) {}
+
+  std::int64_t now() const { return now_; }
+  void advance(std::int64_t seconds) { now_ += seconds; }
+  void set(std::int64_t t) { now_ = t; }
+
+ private:
+  std::int64_t now_;
+};
+
+}  // namespace anchor::rsf

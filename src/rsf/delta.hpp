@@ -1,0 +1,53 @@
+// Store deltas (§4: "a RSF is a sequence of root-store snapshots where,
+// between snapshots, both certificates and GCCs may be added or removed").
+//
+// Feed snapshots carry full materializations (self-contained checkpoints,
+// which is what the hash chain signs); StoreDelta is the wire-efficient
+// update form: diff(from, to) produces the minimal edit script, apply()
+// replays it, and the round-trip law  apply(diff(a,b), a) == b  is
+// property-tested. bench_rsf_merge reports the bandwidth ratio.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rootstore/store.hpp"
+
+namespace anchor::rsf {
+
+struct StoreDelta {
+  struct TrustChange {
+    x509::CertPtr cert;
+    rootstore::RootMetadata metadata;
+  };
+
+  std::vector<TrustChange> add_trusted;              // add or metadata update
+  std::vector<std::pair<std::string, std::string>> distrust;  // hash, why
+  std::vector<std::string> forget;                   // back to unknown
+  std::vector<core::Gcc> attach_gccs;
+  std::vector<std::pair<std::string, std::string>> detach_gccs;  // root, name
+
+  bool empty() const {
+    return add_trusted.empty() && distrust.empty() && forget.empty() &&
+           attach_gccs.empty() && detach_gccs.empty();
+  }
+  std::size_t operations() const {
+    return add_trusted.size() + distrust.size() + forget.size() +
+           attach_gccs.size() + detach_gccs.size();
+  }
+
+  // Minimal edit script turning `from` into `to`.
+  static StoreDelta diff(const rootstore::RootStore& from,
+                         const rootstore::RootStore& to);
+
+  // Replays the delta onto `store`. Re-trusting a currently distrusted root
+  // goes through the unchecked path: a delta produced by diff() is the
+  // primary's explicit decision, not a derivative augmentation.
+  void apply(rootstore::RootStore& store) const;
+
+  // Line-oriented text form (same base64 conventions as the store format).
+  std::string serialize() const;
+  static Result<StoreDelta> deserialize(std::string_view text);
+};
+
+}  // namespace anchor::rsf

@@ -1,0 +1,103 @@
+#include "rsf/feed.hpp"
+
+#include "util/sha256.hpp"
+
+namespace anchor::rsf {
+
+Bytes Snapshot::transcript() const {
+  // Length-prefixed concatenation; unambiguous under any field contents.
+  std::string t = "anchor-rsf-snapshot/v1\n";
+  t += "seq " + std::to_string(sequence) + "\n";
+  t += "time " + std::to_string(published_at) + "\n";
+  t += "prev " + prev_hash + "\n";
+  t += "payload " + payload_hash + "\n";
+  t += "annotation-len " + std::to_string(annotation.size()) + "\n";
+  t += annotation;
+  return to_bytes(t);
+}
+
+Feed::Feed(std::string name, SimSig& registry)
+    : name_(std::move(name)),
+      key_(SimSig::keygen("rsf-feed-" + name_)),
+      registry_(registry) {
+  registry_.register_key(key_);
+}
+
+std::uint64_t Feed::publish(const rootstore::RootStore& store,
+                            std::int64_t published_at,
+                            std::string annotation) {
+  Snapshot snap;
+  snap.sequence = snapshots_.size() + 1;
+  snap.published_at = published_at;
+  snap.annotation = std::move(annotation);
+  snap.payload = store.serialize();
+  snap.payload_hash = Sha256::hash_hex(BytesView(to_bytes(snap.payload)));
+  snap.prev_hash = snapshots_.empty() ? "" : snapshots_.back().payload_hash;
+  snap.signature = SimSig::sign(key_, BytesView(snap.transcript()));
+  snapshots_.push_back(std::move(snap));
+  return snapshots_.size();
+}
+
+std::vector<Snapshot> Feed::fetch_since(std::uint64_t after) const {
+  std::vector<Snapshot> out;
+  for (const auto& snap : snapshots_) {
+    if (snap.sequence > after) out.push_back(snap);
+  }
+  return out;
+}
+
+const Snapshot* Feed::at(std::uint64_t sequence) const {
+  if (sequence == 0 || sequence > snapshots_.size()) return nullptr;
+  return &snapshots_[sequence - 1];
+}
+
+Result<std::string> Feed::fetch_delta(std::uint64_t sequence) const {
+  const Snapshot* snap = at(sequence);
+  if (snap == nullptr) return err("rsf: no snapshot " + std::to_string(sequence));
+  rootstore::RootStore previous;
+  if (sequence > 1) {
+    auto parsed = rootstore::RootStore::deserialize(at(sequence - 1)->payload);
+    if (!parsed) return err(parsed.error());
+    previous = std::move(parsed).take();
+  }
+  auto current = rootstore::RootStore::deserialize(snap->payload);
+  if (!current) return err(current.error());
+  return StoreDelta::diff(previous, current.value()).serialize();
+}
+
+Snapshot* Feed::mutable_at(std::uint64_t sequence) {
+  if (sequence == 0 || sequence > snapshots_.size()) return nullptr;
+  return &snapshots_[sequence - 1];
+}
+
+Status Feed::verify_run(std::span<const Snapshot> run,
+                        const std::string& anchor_prev_hash, BytesView key_id,
+                        const SimSig& registry) {
+  std::string expected_prev = anchor_prev_hash;
+  std::uint64_t expected_seq = 0;
+  for (const Snapshot& snap : run) {
+    if (expected_seq != 0 && snap.sequence != expected_seq + 1) {
+      return err("rsf: sequence gap at " + std::to_string(snap.sequence));
+    }
+    expected_seq = snap.sequence;
+    if (!expected_prev.empty() && snap.prev_hash != expected_prev) {
+      return err("rsf: hash chain broken at sequence " +
+                 std::to_string(snap.sequence));
+    }
+    std::string recomputed =
+        Sha256::hash_hex(BytesView(to_bytes(snap.payload)));
+    if (recomputed != snap.payload_hash) {
+      return err("rsf: payload hash mismatch at sequence " +
+                 std::to_string(snap.sequence));
+    }
+    if (!registry.verify(key_id, BytesView(snap.transcript()),
+                         BytesView(snap.signature))) {
+      return err("rsf: bad signature at sequence " +
+                 std::to_string(snap.sequence));
+    }
+    expected_prev = snap.payload_hash;
+  }
+  return {};
+}
+
+}  // namespace anchor::rsf

@@ -1,0 +1,82 @@
+// Root-Store Feeds (§4 of the paper): "a RSF is a sequence of root-store
+// snapshots where, between snapshots, both certificates and GCCs may be
+// added or removed. Each snapshot may be annotated with justifications of
+// particular decisions."
+//
+// Integrity model (§4, "Security"): every snapshot is signed with the
+// feed's key, and snapshots are hash-chained (each carries the hash of its
+// predecessor) so a feed cannot be truncated or spliced undetected — the
+// "immutable log" the paper gestures at. The feed key would in deployment
+// be certified by a coordinating body (ICANN); here it is a SimSig key the
+// client knows out of band.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rootstore/store.hpp"
+#include "rsf/delta.hpp"
+#include "util/result.hpp"
+#include "util/simsig.hpp"
+
+namespace anchor::rsf {
+
+struct Snapshot {
+  std::uint64_t sequence = 0;     // 1-based, strictly increasing
+  std::int64_t published_at = 0;  // Unix seconds (SimClock domain)
+  std::string annotation;         // operator justification for this release
+  std::string payload;            // RootStore::serialize() output
+  std::string payload_hash;       // SHA-256 hex of payload
+  std::string prev_hash;          // payload_hash of predecessor ("" for first)
+  Bytes signature;                // SimSig over the transcript
+
+  // The byte string the signature covers.
+  Bytes transcript() const;
+};
+
+class Feed {
+ public:
+  // `name` identifies the operator ("nss", "debian", ...); the signing key
+  // is derived deterministically from it and registered into `registry` so
+  // clients can verify.
+  Feed(std::string name, SimSig& registry);
+
+  // Publishes a new snapshot of `store`. Returns the assigned sequence.
+  std::uint64_t publish(const rootstore::RootStore& store,
+                        std::int64_t published_at, std::string annotation);
+
+  const std::string& name() const { return name_; }
+  const Bytes& key_id() const { return key_.key_id; }
+  std::uint64_t head_sequence() const { return snapshots_.size(); }
+
+  // Snapshots with sequence > `after` (what a polling client fetches).
+  std::vector<Snapshot> fetch_since(std::uint64_t after) const;
+  const Snapshot* at(std::uint64_t sequence) const;
+
+  // Delta transport: the serialized StoreDelta turning snapshot
+  // `sequence-1` into snapshot `sequence` (for sequence 1, a delta from the
+  // empty store). Clients apply deltas to their local replica and verify
+  // the result against the snapshot's signed payload hash — integrity
+  // derives from the snapshot signature, so deltas need no signature of
+  // their own. Computed on demand; empty Result on bad sequence.
+  Result<std::string> fetch_delta(std::uint64_t sequence) const;
+
+  // Verifies signature + hash chain of a fetched run of snapshots,
+  // anchored at the client's last verified hash. Fails closed.
+  static Status verify_run(std::span<const Snapshot> run,
+                           const std::string& anchor_prev_hash,
+                           BytesView key_id, const SimSig& registry);
+
+  // Tamper hook for negative tests: mutate a stored snapshot in place.
+  Snapshot* mutable_at(std::uint64_t sequence);
+
+ private:
+  std::string name_;
+  SimKeyPair key_;
+  SimSig& registry_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace anchor::rsf

@@ -1,0 +1,91 @@
+#include "rsf/merge.hpp"
+
+namespace anchor::rsf {
+
+MergeResult merge(const rootstore::RootStore& primary,
+                  const rootstore::RootStore& derivative, MergePolicy policy) {
+  MergeResult result;
+
+  // Primary trusted set forms the base.
+  for (const rootstore::RootEntry* entry : primary.trusted()) {
+    result.merged.add_trusted_unchecked(entry->cert, entry->metadata);
+  }
+  // Primary distrust set carries over.
+  for (const auto& [hash, justification] : primary.distrusted()) {
+    result.merged.distrust(hash, justification);
+  }
+
+  // Derivative additions.
+  for (const rootstore::RootEntry* entry : derivative.trusted()) {
+    const std::string hash = entry->cert->fingerprint_hex();
+    switch (primary.state_of(hash)) {
+      case rootstore::TrustState::kDistrusted: {
+        result.conflicts.push_back(MergeConflict{
+            ConflictKind::kDistrustedReAdded, hash,
+            "derivative trusts a root the primary explicitly distrusts"});
+        if (policy == MergePolicy::kDerivativeWins) {
+          result.merged.forget(hash);
+          result.merged.add_trusted_unchecked(entry->cert, entry->metadata);
+        }
+        break;
+      }
+      case rootstore::TrustState::kTrusted: {
+        const rootstore::RootEntry* base = primary.find(hash);
+        if (base != nullptr && !(base->metadata == entry->metadata)) {
+          result.conflicts.push_back(MergeConflict{
+              ConflictKind::kMetadataMismatch, hash,
+              "derivative metadata differs from primary"});
+          // Primary metadata already in the merged store; only override
+          // when the derivative wins.
+          if (policy == MergePolicy::kDerivativeWins) {
+            result.merged.add_trusted_unchecked(entry->cert, entry->metadata);
+          }
+        }
+        break;
+      }
+      case rootstore::TrustState::kUnknown:
+        // A genuine local augmentation (imported/private root): kept.
+        result.merged.add_trusted_unchecked(entry->cert, entry->metadata);
+        break;
+    }
+  }
+
+  // Derivative-local distrust is honored unless the primary trusts the root
+  // and the derivative wins nothing here — local distrust only narrows.
+  for (const auto& [hash, justification] : derivative.distrusted()) {
+    if (primary.state_of(hash) != rootstore::TrustState::kTrusted) {
+      result.merged.distrust(hash, justification);
+    } else {
+      // Derivative distrusting a primary-trusted root is allowed (it only
+      // reduces exposure) but worth surfacing as metadata divergence.
+      result.merged.distrust(hash, justification);
+      result.conflicts.push_back(MergeConflict{
+          ConflictKind::kMetadataMismatch, hash,
+          "derivative distrusts a root the primary trusts"});
+    }
+  }
+
+  // GCCs: union, keyed by (root, name); derivative may add local
+  // constraints, and primary constraints always survive.
+  for (const auto& root : primary.gccs().roots_sorted()) {
+    for (const core::Gcc& gcc : primary.gccs().for_root(root)) {
+      result.merged.gccs().attach(gcc);
+    }
+  }
+  for (const auto& root : derivative.gccs().roots_sorted()) {
+    for (const core::Gcc& gcc : derivative.gccs().for_root(root)) {
+      bool primary_has = false;
+      for (const core::Gcc& existing : primary.gccs().for_root(root)) {
+        if (existing.name() == gcc.name()) {
+          primary_has = true;
+          break;
+        }
+      }
+      if (!primary_has) result.merged.gccs().attach(gcc);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace anchor::rsf

@@ -1,0 +1,46 @@
+// RSF merging (§4): derivative root stores sometimes augment their primary
+// ("Amazon Linux re-added 16 root certificates after they had been
+// explicitly removed by NSS"). The merge combines a primary store with a
+// derivative's local additions and *flags* — rather than silently resolving
+// — any root that the primary explicitly distrusts but the derivative
+// trusts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rootstore/store.hpp"
+
+namespace anchor::rsf {
+
+enum class ConflictKind {
+  // Primary distrusts, derivative trusts: the dangerous case.
+  kDistrustedReAdded,
+  // Both define metadata for the same root but disagree.
+  kMetadataMismatch,
+};
+
+struct MergeConflict {
+  ConflictKind kind;
+  std::string root_hash;
+  std::string detail;
+};
+
+struct MergeResult {
+  rootstore::RootStore merged;
+  std::vector<MergeConflict> conflicts;
+
+  bool clean() const { return conflicts.empty(); }
+};
+
+// Policy for conflicting roots when the operator chooses to auto-resolve.
+enum class MergePolicy {
+  kPrimaryWins,    // distrust prevails (the safe default)
+  kDerivativeWins, // models today's behaviour, where the re-add sticks
+};
+
+MergeResult merge(const rootstore::RootStore& primary,
+                  const rootstore::RootStore& derivative,
+                  MergePolicy policy = MergePolicy::kPrimaryWins);
+
+}  // namespace anchor::rsf

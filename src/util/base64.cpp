@@ -1,0 +1,118 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+namespace anchor {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> build_reverse() {
+  std::array<int, 256> table;
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = i;
+  }
+  return table;
+}
+
+const std::array<int, 256> kReverse = build_reverse();
+}  // namespace
+
+std::string base64_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    std::uint32_t n = std::uint32_t(data[i]) << 16 |
+                      std::uint32_t(data[i + 1]) << 8 | data[i + 2];
+    out.push_back(kAlphabet[n >> 18]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+  }
+  std::size_t remaining = data.size() - i;
+  if (remaining == 1) {
+    std::uint32_t n = std::uint32_t(data[i]) << 16;
+    out.push_back(kAlphabet[n >> 18]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (remaining == 2) {
+    std::uint32_t n = std::uint32_t(data[i]) << 16 | std::uint32_t(data[i + 1]) << 8;
+    out.push_back(kAlphabet[n >> 18]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+bool base64_decode(std::string_view text, Bytes& out) {
+  if (text.size() % 4 != 0) return false;
+  Bytes decoded;
+  decoded.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding only allowed in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) return false;
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return false;  // data after padding
+        vals[j] = kReverse[static_cast<unsigned char>(c)];
+        if (vals[j] < 0) return false;
+      }
+    }
+    std::uint32_t n = std::uint32_t(vals[0]) << 18 | std::uint32_t(vals[1]) << 12 |
+                      std::uint32_t(vals[2]) << 6 | std::uint32_t(vals[3]);
+    decoded.push_back(static_cast<std::uint8_t>(n >> 16));
+    if (pad < 2) decoded.push_back(static_cast<std::uint8_t>(n >> 8));
+    if (pad < 1) decoded.push_back(static_cast<std::uint8_t>(n));
+  }
+  out = std::move(decoded);
+  return true;
+}
+
+std::string pem_encode(std::string_view label, BytesView der) {
+  std::string out = "-----BEGIN ";
+  out += label;
+  out += "-----\n";
+  std::string b64 = base64_encode(der);
+  for (std::size_t i = 0; i < b64.size(); i += 64) {
+    out += b64.substr(i, 64);
+    out += '\n';
+  }
+  out += "-----END ";
+  out += label;
+  out += "-----\n";
+  return out;
+}
+
+bool pem_decode(std::string_view text, std::string_view label, Bytes& out,
+                std::size_t* rest) {
+  std::string begin = "-----BEGIN " + std::string(label) + "-----";
+  std::string end = "-----END " + std::string(label) + "-----";
+  std::size_t begin_pos = text.find(begin);
+  if (begin_pos == std::string_view::npos) return false;
+  std::size_t body_start = begin_pos + begin.size();
+  std::size_t end_pos = text.find(end, body_start);
+  if (end_pos == std::string_view::npos) return false;
+
+  std::string b64;
+  for (std::size_t i = body_start; i < end_pos; ++i) {
+    char c = text[i];
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t') continue;
+    b64.push_back(c);
+  }
+  if (!base64_decode(b64, out)) return false;
+  if (rest != nullptr) *rest = end_pos + end.size();
+  return true;
+}
+
+}  // namespace anchor

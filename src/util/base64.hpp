@@ -1,0 +1,27 @@
+// RFC 4648 base64 plus PEM (RFC 7468) armoring, used for certificate and
+// feed serialization so snapshots are diffable text.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace anchor {
+
+std::string base64_encode(BytesView data);
+
+// Strict decoder: rejects non-alphabet characters (whitespace excluded by
+// caller) and bad padding. Returns false on malformed input.
+bool base64_decode(std::string_view text, Bytes& out);
+
+// "-----BEGIN <label>-----\n...base64 (64-col lines)...\n-----END <label>-----\n"
+std::string pem_encode(std::string_view label, BytesView der);
+
+// Parses the first PEM block with the given label. Returns false if absent
+// or malformed. `rest` (optional) receives the offset just past the block so
+// callers can iterate over concatenated blocks.
+bool pem_decode(std::string_view text, std::string_view label, Bytes& out,
+                std::size_t* rest = nullptr);
+
+}  // namespace anchor

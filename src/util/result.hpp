@@ -1,0 +1,67 @@
+// A minimal expected/result type (C++23 std::expected is unavailable on the
+// C++20 toolchain this project targets). Errors are strings by design:
+// every failure in this library is a diagnostic destined for an operator or
+// a test assertion, not a code path to branch on.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace anchor {
+
+struct Error {
+  std::string message;
+};
+
+inline Error err(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : value_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(value_).message;
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error.message)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return error_.empty(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+};
+
+}  // namespace anchor

@@ -1,0 +1,94 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace anchor {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  // Inverse-CDF over the (small) support; n is at most a few thousand here.
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += 1.0 / std::pow(double(i + 1), s);
+  double target = uniform01() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(double(i + 1), s);
+    if (acc >= target) return i;
+  }
+  return n - 1;
+}
+
+std::size_t Rng::count_with_mean(double mean) {
+  if (mean <= 1.0) return 1;
+  double p = 1.0 / mean;
+  std::size_t count = 1;
+  while (!chance(p) && count < 10000) ++count;
+  return count;
+}
+
+Bytes Rng::random_bytes(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; i += 8) {
+    std::uint64_t word = next_u64();
+    for (std::size_t j = 0; j < 8 && i + j < n; ++j) {
+      out[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+  return out;
+}
+
+Rng Rng::fork(std::uint64_t label) {
+  return Rng(next_u64() ^ (label * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace anchor

@@ -1,0 +1,49 @@
+// Deterministic PRNG (xoshiro256** seeded by splitmix64). Every synthetic
+// corpus, workload and simulation in this repo is reproducible from a seed;
+// std::mt19937 is avoided because its distributions are not portable across
+// standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace anchor {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Zipf-like heavy-tailed pick in [0, n): P(i) proportional to 1/(i+1)^s.
+  // Used for TLD issuance concentration (paper cites CAge: 90% of CAs issue
+  // for <= 10 TLDs).
+  std::size_t zipf(std::size_t n, double s);
+
+  // Geometric-ish count >= 1 with the given mean.
+  std::size_t count_with_mean(double mean);
+
+  Bytes random_bytes(std::size_t n);
+
+  // Derives an independent child stream; `label` separates domains.
+  Rng fork(std::uint64_t label);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace anchor

@@ -1,0 +1,48 @@
+#include "util/simsig.hpp"
+
+namespace anchor {
+
+namespace {
+constexpr std::string_view kKeyDomain = "anchor-simsig-key";
+constexpr std::string_view kSigDomain = "anchor-simsig-sig";
+
+Bytes domain_hash(std::string_view domain, BytesView a, BytesView b) {
+  Sha256 h;
+  Bytes d = to_bytes(domain);
+  h.update(BytesView(d.data(), d.size()));
+  h.update(a);
+  h.update(b);
+  Sha256::Digest digest = h.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+}  // namespace
+
+SimKeyPair SimSig::keygen(std::string_view label) {
+  SimKeyPair pair;
+  Bytes label_bytes = to_bytes(label);
+  pair.secret = domain_hash("anchor-simsig-secret", BytesView(label_bytes), {});
+  pair.key_id = domain_hash(kKeyDomain, BytesView(pair.secret), {});
+  return pair;
+}
+
+Bytes SimSig::sign(const SimKeyPair& key, BytesView message) {
+  return domain_hash(kSigDomain, BytesView(key.secret), message);
+}
+
+void SimSig::register_key(const SimKeyPair& key) {
+  secrets_[to_hex(BytesView(key.key_id))] = key.secret;
+}
+
+bool SimSig::verify(BytesView key_id, BytesView message,
+                    BytesView signature) const {
+  auto it = secrets_.find(to_hex(key_id));
+  if (it == secrets_.end()) return false;
+  // Check the claimed key id actually corresponds to the stored secret.
+  Bytes expect_id = domain_hash(kKeyDomain, BytesView(it->second), {});
+  if (!ct_equal(BytesView(expect_id), key_id)) return false;
+  SimKeyPair pair{Bytes(key_id.begin(), key_id.end()), it->second};
+  Bytes expect = sign(pair, message);
+  return ct_equal(BytesView(expect), signature);
+}
+
+}  // namespace anchor

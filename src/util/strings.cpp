@@ -1,0 +1,83 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace anchor {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool dns_matches(std::string_view host, std::string_view pattern) {
+  std::string h = to_lower(host);
+  std::string p = to_lower(pattern);
+  if (!starts_with(p, "*.")) return h == p;
+  // Wildcard covers exactly one leftmost label.
+  std::string_view suffix = std::string_view(p).substr(1);  // ".example.com"
+  if (!ends_with(h, suffix)) return false;
+  std::string_view label = std::string_view(h).substr(0, h.size() - suffix.size());
+  return !label.empty() && label.find('.') == std::string_view::npos;
+}
+
+bool dns_within_constraint(std::string_view host, std::string_view constraint) {
+  std::string h = to_lower(host);
+  std::string c = to_lower(constraint);
+  if (c.empty()) return true;  // empty constraint permits everything
+  if (c[0] == '.') {
+    // ".example.com": subdomains only. This is the OpenSSL reading of the
+    // leading dot; the paper notes Firefox and OpenSSL disagree here.
+    return ends_with(h, c);
+  }
+  if (h == c) return true;
+  return ends_with(h, "." + c);
+}
+
+std::string tld_of(std::string_view host) {
+  std::size_t dot = host.rfind('.');
+  if (dot == std::string_view::npos) return to_lower(host);
+  return to_lower(host.substr(dot + 1));
+}
+
+}  // namespace anchor

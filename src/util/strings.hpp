@@ -1,0 +1,33 @@
+// Small string helpers shared across serialization, DNS-name handling and
+// the Datalog lexer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anchor {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+std::string_view trim(std::string_view text);
+
+// DNS-style wildcard/suffix matching used by SAN checks and name
+// constraints:
+//  - dns_matches("www.example.com", "*.example.com") == true (single label)
+//  - dns_matches("example.com", "example.com") == true
+bool dns_matches(std::string_view host, std::string_view pattern);
+
+// RFC 5280 name-constraint semantics: a constraint of ".example.com" or
+// "example.com" permits the host itself (latter form only) and any
+// subdomain. Comparison is case-insensitive.
+bool dns_within_constraint(std::string_view host, std::string_view constraint);
+
+// Rightmost label of a DNS name ("www.example.co.uk" -> "uk"); empty on
+// empty input. Used by the scope-of-issuance (CAge-style) analysis.
+std::string tld_of(std::string_view host);
+
+}  // namespace anchor

@@ -1,0 +1,91 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace anchor {
+
+namespace {
+// Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  unsigned yoe = static_cast<unsigned>(y - era * 400);
+  unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
+  z += 719468;
+  std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  unsigned doe = static_cast<unsigned>(z - era * 146097);
+  unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  std::int64_t year = static_cast<std::int64_t>(yoe) + era * 400;
+  unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(year + (m <= 2));
+}
+}  // namespace
+
+std::int64_t to_unix(const CivilTime& c) {
+  return days_from_civil(c.year, c.month, c.day) * kSecondsPerDay +
+         c.hour * 3600 + c.minute * 60 + c.second;
+}
+
+std::int64_t unix_date(int year, int month, int day) {
+  return to_unix(CivilTime{year, month, day, 0, 0, 0});
+}
+
+CivilTime from_unix(std::int64_t seconds) {
+  std::int64_t days = seconds / kSecondsPerDay;
+  std::int64_t rem = seconds % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  CivilTime c;
+  civil_from_days(days, c.year, c.month, c.day);
+  c.hour = static_cast<int>(rem / 3600);
+  c.minute = static_cast<int>((rem % 3600) / 60);
+  c.second = static_cast<int>(rem % 60);
+  return c;
+}
+
+std::string format_iso8601(std::int64_t seconds) {
+  CivilTime c = from_unix(seconds);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+bool parse_iso8601(std::string_view text, std::int64_t& seconds) {
+  if (text.size() != 20 || text[4] != '-' || text[7] != '-' || text[10] != 'T' ||
+      text[13] != ':' || text[16] != ':' || text[19] != 'Z') {
+    return false;
+  }
+  auto digits = [&](std::size_t pos, std::size_t len, int& out) {
+    out = 0;
+    for (std::size_t i = pos; i < pos + len; ++i) {
+      if (text[i] < '0' || text[i] > '9') return false;
+      out = out * 10 + (text[i] - '0');
+    }
+    return true;
+  };
+  CivilTime c;
+  if (!digits(0, 4, c.year) || !digits(5, 2, c.month) || !digits(8, 2, c.day) ||
+      !digits(11, 2, c.hour) || !digits(14, 2, c.minute) ||
+      !digits(17, 2, c.second)) {
+    return false;
+  }
+  if (c.month < 1 || c.month > 12 || c.day < 1 || c.day > 31 || c.hour > 23 ||
+      c.minute > 59 || c.second > 60) {
+    return false;
+  }
+  seconds = to_unix(c);
+  return true;
+}
+
+}  // namespace anchor

@@ -1,0 +1,43 @@
+// Civil-time helpers. X.509 validity and GCC date facts use Unix seconds
+// (the paper's Listings embed literal Unix timestamps); serialization and
+// diagnostics need civil round-tripping. Implemented from scratch (Howard
+// Hinnant's days-from-civil algorithm) to stay timezone-free: everything in
+// this library is UTC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace anchor {
+
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  // 1-12
+  int day = 1;    // 1-31
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+
+  bool operator==(const CivilTime&) const = default;
+};
+
+// UTC civil time -> Unix seconds. Fields must be in range (month 1-12 etc.);
+// the conversion itself does not normalize.
+std::int64_t to_unix(const CivilTime& civil);
+
+// Convenience: midnight UTC of the given date.
+std::int64_t unix_date(int year, int month, int day);
+
+// Unix seconds -> UTC civil time.
+CivilTime from_unix(std::int64_t seconds);
+
+// "YYYY-MM-DDTHH:MM:SSZ"
+std::string format_iso8601(std::int64_t seconds);
+
+// Parses "YYYY-MM-DDTHH:MM:SSZ" (exact format). Returns false on mismatch.
+bool parse_iso8601(std::string_view text, std::int64_t& seconds);
+
+constexpr std::int64_t kSecondsPerDay = 86400;
+
+}  // namespace anchor

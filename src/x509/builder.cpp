@@ -1,0 +1,211 @@
+#include "x509/builder.hpp"
+
+#include "asn1/der.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::x509 {
+
+using asn1::Writer;
+
+CertificateBuilder::CertificateBuilder() = default;
+
+CertificateBuilder& CertificateBuilder::serial(std::uint64_t serial) {
+  serial_ = serial;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject(DistinguishedName dn) {
+  subject_ = std::move(dn);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::issuer(DistinguishedName dn) {
+  issuer_ = std::move(dn);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::validity(std::int64_t not_before,
+                                                 std::int64_t not_after) {
+  not_before_ = not_before;
+  not_after_ = not_after;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::public_key(Bytes key_id) {
+  public_key_ = std::move(key_id);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ca(std::optional<int> path_len) {
+  basic_constraints_ = BasicConstraints{true, path_len};
+  if (!key_usage_) {
+    KeyUsage usage;
+    usage.set(KeyUsageBit::kKeyCertSign);
+    usage.set(KeyUsageBit::kCrlSign);
+    key_usage_ = usage;
+  }
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::key_usage(KeyUsage usage) {
+  key_usage_ = usage;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::extended_key_usage(
+    std::vector<asn1::Oid> purposes) {
+  extended_key_usage_ = ExtendedKeyUsage{std::move(purposes)};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::dns_names(std::vector<std::string> names) {
+  subject_alt_name_ = SubjectAltName{std::move(names)};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::name_constraints(
+    NameConstraints constraints) {
+  name_constraints_ = std::move(constraints);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::policies(
+    std::vector<asn1::Oid> policy_oids) {
+  certificate_policies_ = CertificatePolicies{std::move(policy_oids)};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ev() {
+  if (!certificate_policies_) certificate_policies_ = CertificatePolicies{};
+  if (!certificate_policies_->has(oids::ev_policy_marker())) {
+    certificate_policies_->policies.push_back(oids::ev_policy_marker());
+  }
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject_key_id(Bytes key_id) {
+  subject_key_identifier_ = SubjectKeyIdentifier{std::move(key_id)};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::authority_key_id(Bytes key_id) {
+  authority_key_identifier_ = AuthorityKeyIdentifier{std::move(key_id)};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::extension(Extension ext) {
+  extra_extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+namespace {
+void write_algorithm(Writer& w) {
+  w.sequence([&](Writer& alg) {
+    alg.oid(oids::sig_alg_simsig());
+    alg.null();
+  });
+}
+
+void write_extension(Writer& exts, const asn1::Oid& oid, bool critical,
+                     BytesView value) {
+  exts.sequence([&](Writer& ext) {
+    ext.oid(oid);
+    if (critical) ext.boolean(true);
+    ext.octet_string(value);
+  });
+}
+}  // namespace
+
+Bytes CertificateBuilder::build_tbs() const {
+  Writer w;
+  w.sequence([&](Writer& tbs) {
+    tbs.context(0, [&](Writer& v) { v.integer(2); });  // v3
+    std::uint8_t serial_bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      serial_bytes[i] = static_cast<std::uint8_t>(serial_ >> (56 - 8 * i));
+    }
+    tbs.integer_bytes(BytesView(serial_bytes, 8));
+    write_algorithm(tbs);
+    issuer_.encode(tbs);
+    tbs.sequence([&](Writer& validity) {
+      validity.time(not_before_);
+      validity.time(not_after_);
+    });
+    subject_.encode(tbs);
+    tbs.sequence([&](Writer& spki) {
+      spki.sequence([&](Writer& alg) {
+        alg.oid(oids::sig_alg_simsig());
+        alg.null();
+      });
+      spki.bit_string(BytesView(public_key_));
+    });
+
+    // extensions [3]
+    bool any = basic_constraints_ || key_usage_ || extended_key_usage_ ||
+               subject_alt_name_ || name_constraints_ ||
+               certificate_policies_ || subject_key_identifier_ ||
+               authority_key_identifier_ || !extra_extensions_.empty();
+    if (any) {
+      tbs.context(3, [&](Writer& wrapper) {
+        wrapper.sequence([&](Writer& exts) {
+          if (basic_constraints_) {
+            Bytes v = basic_constraints_->encode();
+            write_extension(exts, oids::basic_constraints(), true, BytesView(v));
+          }
+          if (key_usage_) {
+            Bytes v = key_usage_->encode();
+            write_extension(exts, oids::key_usage(), true, BytesView(v));
+          }
+          if (extended_key_usage_) {
+            Bytes v = extended_key_usage_->encode();
+            write_extension(exts, oids::extended_key_usage(), false, BytesView(v));
+          }
+          if (subject_alt_name_) {
+            Bytes v = subject_alt_name_->encode();
+            write_extension(exts, oids::subject_alt_name(), false, BytesView(v));
+          }
+          if (name_constraints_) {
+            Bytes v = name_constraints_->encode();
+            write_extension(exts, oids::name_constraints(), true, BytesView(v));
+          }
+          if (certificate_policies_) {
+            Bytes v = certificate_policies_->encode();
+            write_extension(exts, oids::certificate_policies(), false, BytesView(v));
+          }
+          if (subject_key_identifier_) {
+            Bytes v = subject_key_identifier_->encode();
+            write_extension(exts, oids::subject_key_identifier(), false, BytesView(v));
+          }
+          if (authority_key_identifier_) {
+            Bytes v = authority_key_identifier_->encode();
+            write_extension(exts, oids::authority_key_identifier(), false, BytesView(v));
+          }
+          for (const auto& ext : extra_extensions_) {
+            write_extension(exts, ext.oid, ext.critical, BytesView(ext.value));
+          }
+        });
+      });
+    }
+  });
+  return w.take();
+}
+
+Result<CertPtr> CertificateBuilder::sign(const SimKeyPair& issuer_key) const {
+  if (subject_.empty()) return err("builder: subject required");
+  if (issuer_.empty()) return err("builder: issuer required");
+  if (public_key_.empty()) return err("builder: public key required");
+  if (not_after_ < not_before_) return err("builder: notAfter < notBefore");
+
+  Bytes tbs = build_tbs();
+  Bytes signature = SimSig::sign(issuer_key, BytesView(tbs));
+
+  Writer w;
+  w.sequence([&](Writer& cert) {
+    cert.raw(BytesView(tbs));
+    write_algorithm(cert);
+    cert.bit_string(BytesView(signature));
+  });
+  return Certificate::parse(BytesView(w.data()));
+}
+
+}  // namespace anchor::x509

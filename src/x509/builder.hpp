@@ -1,0 +1,62 @@
+// Fluent certificate builder. Produces DER-encoded, SimSig-signed v3
+// certificates; the result round-trips through Certificate::parse so every
+// built certificate is also a parser test vector.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/simsig.hpp"
+#include "x509/certificate.hpp"
+
+namespace anchor::x509 {
+
+class CertificateBuilder {
+ public:
+  CertificateBuilder();
+
+  CertificateBuilder& serial(std::uint64_t serial);
+  CertificateBuilder& subject(DistinguishedName dn);
+  CertificateBuilder& issuer(DistinguishedName dn);
+  CertificateBuilder& validity(std::int64_t not_before, std::int64_t not_after);
+  CertificateBuilder& public_key(Bytes key_id);
+
+  // CA profile: basicConstraints{cA=true, pathLen}, keyCertSign|cRLSign.
+  CertificateBuilder& ca(std::optional<int> path_len = std::nullopt);
+  CertificateBuilder& key_usage(KeyUsage usage);
+  CertificateBuilder& extended_key_usage(std::vector<asn1::Oid> purposes);
+  CertificateBuilder& dns_names(std::vector<std::string> names);
+  CertificateBuilder& name_constraints(NameConstraints constraints);
+  CertificateBuilder& policies(std::vector<asn1::Oid> policy_oids);
+  CertificateBuilder& ev();  // adds the EV policy marker
+  CertificateBuilder& subject_key_id(Bytes key_id);
+  CertificateBuilder& authority_key_id(Bytes key_id);
+  // Arbitrary extra extension (e.g. for unknown-extension tests).
+  CertificateBuilder& extension(Extension ext);
+
+  // Signs the TBS with `issuer_key` and returns the parsed certificate.
+  Result<CertPtr> sign(const SimKeyPair& issuer_key) const;
+
+ private:
+  Bytes build_tbs() const;
+
+  std::uint64_t serial_ = 1;
+  DistinguishedName subject_;
+  DistinguishedName issuer_;
+  std::int64_t not_before_ = 0;
+  std::int64_t not_after_ = 0;
+  Bytes public_key_;
+  std::optional<BasicConstraints> basic_constraints_;
+  std::optional<KeyUsage> key_usage_;
+  std::optional<ExtendedKeyUsage> extended_key_usage_;
+  std::optional<SubjectAltName> subject_alt_name_;
+  std::optional<NameConstraints> name_constraints_;
+  std::optional<CertificatePolicies> certificate_policies_;
+  std::optional<SubjectKeyIdentifier> subject_key_identifier_;
+  std::optional<AuthorityKeyIdentifier> authority_key_identifier_;
+  std::vector<Extension> extra_extensions_;
+};
+
+}  // namespace anchor::x509

@@ -1,0 +1,240 @@
+#include "x509/certificate.hpp"
+
+#include "asn1/der.hpp"
+#include "util/base64.hpp"
+#include "util/strings.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::x509 {
+
+using asn1::Reader;
+using asn1::Tlv;
+
+Result<CertPtr> Certificate::parse(BytesView der) {
+  auto cert = std::shared_ptr<Certificate>(new Certificate());
+  if (Status s = parse_into(der, *cert); !s) return err(s.error());
+  return CertPtr(cert);
+}
+
+Result<CertPtr> Certificate::parse_pem(std::string_view pem) {
+  Bytes der;
+  if (!pem_decode(pem, "CERTIFICATE", der)) {
+    return err("certificate: no CERTIFICATE PEM block");
+  }
+  return parse(BytesView(der));
+}
+
+std::string Certificate::to_pem() const {
+  return pem_encode("CERTIFICATE", BytesView(der_));
+}
+
+std::string Certificate::fingerprint_hex() const {
+  return to_hex(BytesView(fingerprint_.data(), fingerprint_.size()));
+}
+
+const Extension* Certificate::find_extension(const asn1::Oid& oid) const {
+  for (const auto& ext : extensions_) {
+    if (ext.oid == oid) return &ext;
+  }
+  return nullptr;
+}
+
+bool Certificate::is_ca() const {
+  return basic_constraints_.has_value() && basic_constraints_->is_ca;
+}
+
+std::optional<int> Certificate::path_len() const {
+  if (!is_ca()) return std::nullopt;
+  return basic_constraints_->path_len;
+}
+
+bool Certificate::is_ev() const {
+  return certificate_policies_.has_value() &&
+         certificate_policies_->has(oids::ev_policy_marker());
+}
+
+std::vector<std::string> Certificate::dns_names() const {
+  if (subject_alt_name_.has_value() && !subject_alt_name_->dns_names.empty()) {
+    return subject_alt_name_->dns_names;
+  }
+  std::string cn = subject_.common_name();
+  if (!cn.empty() && cn.find('.') != std::string::npos) return {cn};
+  return {};
+}
+
+bool Certificate::matches_host(std::string_view host) const {
+  for (const auto& name : dns_names()) {
+    if (dns_matches(host, name)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+Status parse_extension_block(Reader& exts_seq, Certificate& cert,
+                             std::vector<Extension>& out) {
+  (void)cert;
+  while (!exts_seq.done()) {
+    Reader ext{{}};
+    if (Status s = exts_seq.read_sequence(ext); !s) return s;
+    Extension parsed;
+    if (Status s = ext.read_oid(parsed.oid); !s) return s;
+    if (ext.peek_tag() == static_cast<std::uint8_t>(asn1::Tag::kBoolean)) {
+      if (Status s = ext.read_boolean(parsed.critical); !s) return s;
+    }
+    if (Status s = ext.read_octet_string(parsed.value); !s) return s;
+    out.push_back(std::move(parsed));
+  }
+  return {};
+}
+
+}  // namespace
+
+Status Certificate::parse_into(BytesView der, Certificate& cert) {
+  cert.der_.assign(der.begin(), der.end());
+  cert.fingerprint_ = Sha256::hash(der);
+
+  Reader top(BytesView(cert.der_));
+  Tlv cert_tlv;
+  if (Status s = top.read(static_cast<std::uint8_t>(asn1::Tag::kSequence), cert_tlv); !s) {
+    return s;
+  }
+  if (!top.done()) return err("certificate: trailing data after Certificate");
+
+  Reader cert_seq(cert_tlv.contents);
+
+  // tbsCertificate — keep the full TLV for signature verification.
+  Tlv tbs_tlv;
+  if (Status s = cert_seq.read(static_cast<std::uint8_t>(asn1::Tag::kSequence), tbs_tlv); !s) {
+    return s;
+  }
+  cert.tbs_der_.assign(tbs_tlv.full.begin(), tbs_tlv.full.end());
+
+  // signatureAlgorithm
+  {
+    Reader alg{{}};
+    if (Status s = cert_seq.read_sequence(alg); !s) return s;
+    if (Status s = alg.read_oid(cert.sig_alg_); !s) return s;
+    if (!alg.done()) {
+      if (Status s = alg.read_null(); !s) return s;
+    }
+  }
+
+  // signatureValue
+  if (Status s = cert_seq.read_bit_string(cert.signature_); !s) return s;
+  if (!cert_seq.done()) return err("certificate: trailing data in Certificate");
+
+  // --- TBSCertificate ---
+  Reader tbs(tbs_tlv.contents);
+
+  // version [0] EXPLICIT — we require v3.
+  {
+    Reader version{{}};
+    if (Status s = tbs.read_context(0, version); !s) return s;
+    std::int64_t v = 0;
+    if (Status s = version.read_integer(v); !s) return s;
+    if (v != 2) return err("certificate: only X.509 v3 supported");
+  }
+
+  if (Status s = tbs.read_integer_bytes(cert.serial_); !s) return s;
+
+  // signature AlgorithmIdentifier (must match outer).
+  {
+    Reader alg{{}};
+    if (Status s = tbs.read_sequence(alg); !s) return s;
+    asn1::Oid inner_alg;
+    if (Status s = alg.read_oid(inner_alg); !s) return s;
+    if (inner_alg != cert.sig_alg_) {
+      return err("certificate: TBS/outer signature algorithm mismatch");
+    }
+    if (!alg.done()) {
+      if (Status s = alg.read_null(); !s) return s;
+    }
+  }
+
+  if (Status s = DistinguishedName::decode(tbs, cert.issuer_); !s) return s;
+
+  // validity
+  {
+    Reader validity{{}};
+    if (Status s = tbs.read_sequence(validity); !s) return s;
+    if (Status s = validity.read_time(cert.not_before_); !s) return s;
+    if (Status s = validity.read_time(cert.not_after_); !s) return s;
+  }
+
+  if (Status s = DistinguishedName::decode(tbs, cert.subject_); !s) return s;
+
+  // subjectPublicKeyInfo
+  {
+    Reader spki{{}};
+    if (Status s = tbs.read_sequence(spki); !s) return s;
+    Reader alg{{}};
+    if (Status s = spki.read_sequence(alg); !s) return s;
+    asn1::Oid key_alg;
+    if (Status s = alg.read_oid(key_alg); !s) return s;
+    if (!alg.done()) {
+      if (Status s = alg.read_null(); !s) return s;
+    }
+    if (Status s = spki.read_bit_string(cert.public_key_); !s) return s;
+  }
+
+  // extensions [3] EXPLICIT
+  if (tbs.peek_tag() == asn1::context_tag(3)) {
+    Reader wrapper{{}};
+    if (Status s = tbs.read_context(3, wrapper); !s) return s;
+    Reader exts{{}};
+    if (Status s = wrapper.read_sequence(exts); !s) return s;
+    if (Status s = parse_extension_block(exts, cert, cert.extensions_); !s) return s;
+  }
+  if (!tbs.done()) return err("certificate: trailing data in TBSCertificate");
+
+  // Decode well-known extensions into typed form; duplicates rejected.
+  for (const auto& ext : cert.extensions_) {
+    BytesView value(ext.value);
+    if (ext.oid == oids::basic_constraints()) {
+      if (cert.basic_constraints_) return err("certificate: duplicate basicConstraints");
+      auto r = BasicConstraints::decode(value);
+      if (!r) return err(r.error());
+      cert.basic_constraints_ = r.value();
+    } else if (ext.oid == oids::key_usage()) {
+      if (cert.key_usage_) return err("certificate: duplicate keyUsage");
+      auto r = KeyUsage::decode(value);
+      if (!r) return err(r.error());
+      cert.key_usage_ = r.value();
+    } else if (ext.oid == oids::extended_key_usage()) {
+      if (cert.extended_key_usage_) return err("certificate: duplicate extendedKeyUsage");
+      auto r = ExtendedKeyUsage::decode(value);
+      if (!r) return err(r.error());
+      cert.extended_key_usage_ = r.value();
+    } else if (ext.oid == oids::subject_alt_name()) {
+      if (cert.subject_alt_name_) return err("certificate: duplicate subjectAltName");
+      auto r = SubjectAltName::decode(value);
+      if (!r) return err(r.error());
+      cert.subject_alt_name_ = r.value();
+    } else if (ext.oid == oids::name_constraints()) {
+      if (cert.name_constraints_) return err("certificate: duplicate nameConstraints");
+      auto r = NameConstraints::decode(value);
+      if (!r) return err(r.error());
+      cert.name_constraints_ = r.value();
+    } else if (ext.oid == oids::certificate_policies()) {
+      if (cert.certificate_policies_) return err("certificate: duplicate certificatePolicies");
+      auto r = CertificatePolicies::decode(value);
+      if (!r) return err(r.error());
+      cert.certificate_policies_ = r.value();
+    } else if (ext.oid == oids::subject_key_identifier()) {
+      if (cert.subject_key_identifier_) return err("certificate: duplicate SKI");
+      auto r = SubjectKeyIdentifier::decode(value);
+      if (!r) return err(r.error());
+      cert.subject_key_identifier_ = r.value();
+    } else if (ext.oid == oids::authority_key_identifier()) {
+      if (cert.authority_key_identifier_) return err("certificate: duplicate AKI");
+      auto r = AuthorityKeyIdentifier::decode(value);
+      if (!r) return err(r.error());
+      cert.authority_key_identifier_ = r.value();
+    }
+  }
+
+  return {};
+}
+
+}  // namespace anchor::x509

@@ -1,0 +1,126 @@
+// The in-memory certificate model. A `Certificate` owns its DER encoding and
+// caches the parsed fields chain building, GCC fact conversion, and the
+// census tooling need. Instances are immutable after construction; the
+// shared_ptr alias `CertPtr` is how pools, stores and chains refer to them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/sha256.hpp"
+#include "x509/extensions.hpp"
+#include "x509/name.hpp"
+
+namespace anchor::x509 {
+
+class Certificate;
+using CertPtr = std::shared_ptr<const Certificate>;
+
+class Certificate {
+ public:
+  // Parses a DER-encoded X.509 v3 certificate. The returned object keeps a
+  // copy of `der`.
+  static Result<CertPtr> parse(BytesView der);
+
+  // PEM convenience ("CERTIFICATE" label).
+  static Result<CertPtr> parse_pem(std::string_view pem);
+  std::string to_pem() const;
+
+  const Bytes& der() const { return der_; }
+  const Bytes& tbs_der() const { return tbs_der_; }
+  const Bytes& signature() const { return signature_; }
+  const asn1::Oid& signature_algorithm() const { return sig_alg_; }
+
+  // SHA-256 over the full DER encoding — the identity GCCs bind to.
+  const Sha256::Digest& fingerprint() const { return fingerprint_; }
+  std::string fingerprint_hex() const;
+
+  const Bytes& serial() const { return serial_; }
+  const DistinguishedName& issuer() const { return issuer_; }
+  const DistinguishedName& subject() const { return subject_; }
+  std::int64_t not_before() const { return not_before_; }
+  std::int64_t not_after() const { return not_after_; }
+
+  // SubjectPublicKeyInfo public-key bytes (the SimSig key id).
+  const Bytes& public_key() const { return public_key_; }
+
+  const std::vector<Extension>& extensions() const { return extensions_; }
+  const Extension* find_extension(const asn1::Oid& oid) const;
+
+  // Parsed well-known extensions (nullopt when absent).
+  const std::optional<BasicConstraints>& basic_constraints() const {
+    return basic_constraints_;
+  }
+  const std::optional<KeyUsage>& key_usage() const { return key_usage_; }
+  const std::optional<ExtendedKeyUsage>& extended_key_usage() const {
+    return extended_key_usage_;
+  }
+  const std::optional<SubjectAltName>& subject_alt_name() const {
+    return subject_alt_name_;
+  }
+  const std::optional<NameConstraints>& name_constraints() const {
+    return name_constraints_;
+  }
+  const std::optional<CertificatePolicies>& certificate_policies() const {
+    return certificate_policies_;
+  }
+  const std::optional<SubjectKeyIdentifier>& subject_key_identifier() const {
+    return subject_key_identifier_;
+  }
+  const std::optional<AuthorityKeyIdentifier>& authority_key_identifier() const {
+    return authority_key_identifier_;
+  }
+
+  // Derived predicates.
+  bool is_ca() const;
+  std::optional<int> path_len() const;
+  bool is_self_issued() const { return issuer_ == subject_; }
+  bool valid_at(std::int64_t unix_seconds) const {
+    return unix_seconds >= not_before_ && unix_seconds <= not_after_;
+  }
+  // Certificate carries the EV policy marker (see oids.hpp).
+  bool is_ev() const;
+  // SAN dNSName (or, absent a SAN, subject CN) matches `host`, with
+  // single-label wildcard support.
+  bool matches_host(std::string_view host) const;
+  // All DNS names the certificate is valid for (SAN, else CN).
+  std::vector<std::string> dns_names() const;
+
+  std::int64_t lifetime_seconds() const { return not_after_ - not_before_; }
+
+ private:
+  friend class CertificateBuilder;
+  Certificate() = default;
+
+  static Status parse_into(BytesView der, Certificate& cert);
+
+  Bytes der_;
+  Bytes tbs_der_;
+  Bytes signature_;
+  asn1::Oid sig_alg_;
+  Sha256::Digest fingerprint_{};
+
+  Bytes serial_;
+  DistinguishedName issuer_;
+  DistinguishedName subject_;
+  std::int64_t not_before_ = 0;
+  std::int64_t not_after_ = 0;
+  Bytes public_key_;
+  std::vector<Extension> extensions_;
+
+  std::optional<BasicConstraints> basic_constraints_;
+  std::optional<KeyUsage> key_usage_;
+  std::optional<ExtendedKeyUsage> extended_key_usage_;
+  std::optional<SubjectAltName> subject_alt_name_;
+  std::optional<NameConstraints> name_constraints_;
+  std::optional<CertificatePolicies> certificate_policies_;
+  std::optional<SubjectKeyIdentifier> subject_key_identifier_;
+  std::optional<AuthorityKeyIdentifier> authority_key_identifier_;
+};
+
+}  // namespace anchor::x509

@@ -1,0 +1,84 @@
+#include "x509/name.hpp"
+
+#include "x509/oids.hpp"
+
+namespace anchor::x509 {
+
+DistinguishedName DistinguishedName::make(std::string common_name,
+                                          std::string organization,
+                                          std::string country) {
+  DistinguishedName dn;
+  if (!country.empty()) dn.add(oids::country(), std::move(country));
+  if (!organization.empty()) dn.add(oids::organization(), std::move(organization));
+  if (!common_name.empty()) dn.add(oids::common_name(), std::move(common_name));
+  return dn;
+}
+
+DistinguishedName& DistinguishedName::add(const asn1::Oid& type,
+                                          std::string value) {
+  attrs_.push_back(NameAttribute{type, std::move(value)});
+  return *this;
+}
+
+std::string DistinguishedName::common_name() const {
+  for (const auto& attr : attrs_) {
+    if (attr.type == oids::common_name()) return attr.value;
+  }
+  return "";
+}
+
+std::string DistinguishedName::organization() const {
+  for (const auto& attr : attrs_) {
+    if (attr.type == oids::organization()) return attr.value;
+  }
+  return "";
+}
+
+std::string DistinguishedName::to_string() const {
+  std::string out;
+  for (const auto& attr : attrs_) {
+    if (!out.empty()) out += ", ";
+    if (attr.type == oids::common_name()) out += "CN=";
+    else if (attr.type == oids::organization()) out += "O=";
+    else if (attr.type == oids::organizational_unit()) out += "OU=";
+    else if (attr.type == oids::country()) out += "C=";
+    else out += attr.type.to_string() + "=";
+    out += attr.value;
+  }
+  return out;
+}
+
+void DistinguishedName::encode(asn1::Writer& writer) const {
+  writer.sequence([&](asn1::Writer& rdns) {
+    for (const auto& attr : attrs_) {
+      rdns.set([&](asn1::Writer& rdn) {
+        rdn.sequence([&](asn1::Writer& atv) {
+          atv.oid(attr.type);
+          atv.utf8_string(attr.value);
+        });
+      });
+    }
+  });
+}
+
+Status DistinguishedName::decode(asn1::Reader& reader, DistinguishedName& out) {
+  asn1::Reader rdns{{}};
+  if (Status s = reader.read_sequence(rdns); !s) return s;
+  DistinguishedName dn;
+  while (!rdns.done()) {
+    asn1::Reader rdn{{}};
+    if (Status s = rdns.read_set(rdn); !s) return s;
+    while (!rdn.done()) {
+      asn1::Reader atv{{}};
+      if (Status s = rdn.read_sequence(atv); !s) return s;
+      NameAttribute attr;
+      if (Status s = atv.read_oid(attr.type); !s) return s;
+      if (Status s = atv.read_string(attr.value); !s) return s;
+      dn.attrs_.push_back(std::move(attr));
+    }
+  }
+  out = std::move(dn);
+  return {};
+}
+
+}  // namespace anchor::x509

@@ -1,0 +1,51 @@
+// X.501 distinguished names, restricted to the attribute types the corpus
+// uses (CN, O, OU, C). Each RDN holds exactly one attribute, which matches
+// the overwhelming majority of real Web-PKI names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asn1/der.hpp"
+#include "asn1/oid.hpp"
+#include "util/result.hpp"
+
+namespace anchor::x509 {
+
+struct NameAttribute {
+  asn1::Oid type;
+  std::string value;
+
+  bool operator==(const NameAttribute&) const = default;
+};
+
+class DistinguishedName {
+ public:
+  DistinguishedName() = default;
+
+  static DistinguishedName make(std::string common_name,
+                                std::string organization = "",
+                                std::string country = "");
+
+  DistinguishedName& add(const asn1::Oid& type, std::string value);
+
+  const std::vector<NameAttribute>& attributes() const { return attrs_; }
+  bool empty() const { return attrs_.empty(); }
+
+  // First CN attribute, or "" if none.
+  std::string common_name() const;
+  std::string organization() const;
+
+  // RFC 4514-flavoured single-line rendering, e.g. "CN=Example Root, O=Example".
+  std::string to_string() const;
+
+  void encode(asn1::Writer& writer) const;
+  static Status decode(asn1::Reader& reader, DistinguishedName& out);
+
+  bool operator==(const DistinguishedName&) const = default;
+
+ private:
+  std::vector<NameAttribute> attrs_;
+};
+
+}  // namespace anchor::x509

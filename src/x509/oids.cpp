@@ -1,0 +1,42 @@
+#include "x509/oids.hpp"
+
+namespace anchor::x509::oids {
+
+namespace {
+Oid make(const char* dotted) { return Oid::from_string(dotted); }
+}  // namespace
+
+#define ANCHOR_DEFINE_OID(fn, dotted)      \
+  const Oid& fn() {                        \
+    static const Oid oid = make(dotted);   \
+    return oid;                            \
+  }
+
+ANCHOR_DEFINE_OID(common_name, "2.5.4.3")
+ANCHOR_DEFINE_OID(country, "2.5.4.6")
+ANCHOR_DEFINE_OID(organization, "2.5.4.10")
+ANCHOR_DEFINE_OID(organizational_unit, "2.5.4.11")
+
+ANCHOR_DEFINE_OID(subject_key_identifier, "2.5.29.14")
+ANCHOR_DEFINE_OID(key_usage, "2.5.29.15")
+ANCHOR_DEFINE_OID(subject_alt_name, "2.5.29.17")
+ANCHOR_DEFINE_OID(basic_constraints, "2.5.29.19")
+ANCHOR_DEFINE_OID(name_constraints, "2.5.29.30")
+ANCHOR_DEFINE_OID(certificate_policies, "2.5.29.32")
+ANCHOR_DEFINE_OID(authority_key_identifier, "2.5.29.35")
+ANCHOR_DEFINE_OID(extended_key_usage, "2.5.29.37")
+
+ANCHOR_DEFINE_OID(kp_server_auth, "1.3.6.1.5.5.7.3.1")
+ANCHOR_DEFINE_OID(kp_client_auth, "1.3.6.1.5.5.7.3.2")
+ANCHOR_DEFINE_OID(kp_code_signing, "1.3.6.1.5.5.7.3.3")
+ANCHOR_DEFINE_OID(kp_email_protection, "1.3.6.1.5.5.7.3.4")
+ANCHOR_DEFINE_OID(kp_ocsp_signing, "1.3.6.1.5.5.7.3.9")
+
+ANCHOR_DEFINE_OID(any_policy, "2.5.29.32.0")
+ANCHOR_DEFINE_OID(ev_policy_marker, "2.23.140.1.1")
+
+ANCHOR_DEFINE_OID(sig_alg_simsig, "1.3.6.1.4.1.57264.1")
+
+#undef ANCHOR_DEFINE_OID
+
+}  // namespace anchor::x509::oids

@@ -1,0 +1,42 @@
+// Well-known OIDs used across the X.509 layer. Returned by reference from
+// accessor functions to avoid static-initialization-order issues.
+#pragma once
+
+#include "asn1/oid.hpp"
+
+namespace anchor::x509::oids {
+
+using asn1::Oid;
+
+// DN attribute types.
+const Oid& common_name();          // 2.5.4.3
+const Oid& country();              // 2.5.4.6
+const Oid& organization();         // 2.5.4.10
+const Oid& organizational_unit();  // 2.5.4.11
+
+// Extensions.
+const Oid& subject_key_identifier();    // 2.5.29.14
+const Oid& key_usage();                 // 2.5.29.15
+const Oid& subject_alt_name();          // 2.5.29.17
+const Oid& basic_constraints();         // 2.5.29.19
+const Oid& name_constraints();          // 2.5.29.30
+const Oid& certificate_policies();      // 2.5.29.32
+const Oid& authority_key_identifier();  // 2.5.29.35
+const Oid& extended_key_usage();        // 2.5.29.37
+
+// Extended key usage purposes.
+const Oid& kp_server_auth();      // 1.3.6.1.5.5.7.3.1
+const Oid& kp_client_auth();      // 1.3.6.1.5.5.7.3.2
+const Oid& kp_code_signing();     // 1.3.6.1.5.5.7.3.3
+const Oid& kp_email_protection(); // 1.3.6.1.5.5.7.3.4 (S/MIME)
+const Oid& kp_ocsp_signing();     // 1.3.6.1.5.5.7.3.9
+
+// Policies. anyPolicy plus a stand-in EV policy OID: real EV policy OIDs
+// are CA-specific; the corpus uses this single marker (DESIGN.md §5).
+const Oid& any_policy();          // 2.5.29.32.0
+const Oid& ev_policy_marker();    // 2.23.140.1.1 (CA/B EV guidelines arc)
+
+// AlgorithmIdentifier for SimSig (private-enterprise arc; see DESIGN.md §5).
+const Oid& sig_alg_simsig();      // 1.3.6.1.4.1.57264.1
+
+}  // namespace anchor::x509::oids

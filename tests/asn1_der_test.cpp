@@ -1,0 +1,265 @@
+#include "asn1/der.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+
+namespace anchor::asn1 {
+namespace {
+
+TEST(DerWriter, BooleanEncoding) {
+  Writer w;
+  w.boolean(true);
+  w.boolean(false);
+  EXPECT_EQ(w.data(), (Bytes{0x01, 0x01, 0xff, 0x01, 0x01, 0x00}));
+}
+
+TEST(DerWriter, IntegerMinimalEncoding) {
+  auto encode = [](std::int64_t v) {
+    Writer w;
+    w.integer(v);
+    return w.take();
+  };
+  EXPECT_EQ(encode(0), (Bytes{0x02, 0x01, 0x00}));
+  EXPECT_EQ(encode(127), (Bytes{0x02, 0x01, 0x7f}));
+  EXPECT_EQ(encode(128), (Bytes{0x02, 0x02, 0x00, 0x80}));
+  EXPECT_EQ(encode(256), (Bytes{0x02, 0x02, 0x01, 0x00}));
+  EXPECT_EQ(encode(-1), (Bytes{0x02, 0x01, 0xff}));
+  EXPECT_EQ(encode(-128), (Bytes{0x02, 0x01, 0x80}));
+  EXPECT_EQ(encode(-129), (Bytes{0x02, 0x02, 0xff, 0x7f}));
+}
+
+TEST(DerRoundTrip, Integers) {
+  const std::int64_t samples[] = {0, 1, -1, 127, 128, -128, -129, 255, 256,
+                                  65535, -65536, 1464753600, INT64_MAX,
+                                  INT64_MIN};
+  for (std::int64_t v : samples) {
+    Writer w;
+    w.integer(v);
+    Reader r(BytesView(w.data()));
+    std::int64_t out = 0;
+    ASSERT_TRUE(r.read_integer(out).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(DerRoundTrip, IntegerBytes) {
+  Bytes magnitude{0x00, 0x9a, 0xbc, 0xde};  // leading zero trimmed
+  Writer w;
+  w.integer_bytes(magnitude);
+  Reader r(BytesView(w.data()));
+  Bytes out;
+  ASSERT_TRUE(r.read_integer_bytes(out).ok());
+  EXPECT_EQ(out, (Bytes{0x9a, 0xbc, 0xde}));
+}
+
+TEST(DerRoundTrip, Strings) {
+  Writer w;
+  w.utf8_string("héllo");
+  w.printable_string("Example CA");
+  w.ia5_string("www.example.com");
+  Reader r(BytesView(w.data()));
+  std::string a;
+  std::string b;
+  std::string c;
+  ASSERT_TRUE(r.read_string(a).ok());
+  ASSERT_TRUE(r.read_string(b).ok());
+  ASSERT_TRUE(r.read_string(c).ok());
+  EXPECT_EQ(a, "héllo");
+  EXPECT_EQ(b, "Example CA");
+  EXPECT_EQ(c, "www.example.com");
+}
+
+TEST(DerRoundTrip, OctetAndBitStrings) {
+  Bytes payload{1, 2, 3, 4, 5};
+  Writer w;
+  w.octet_string(payload);
+  w.bit_string(payload);
+  Reader r(BytesView(w.data()));
+  Bytes octets;
+  Bytes bits;
+  ASSERT_TRUE(r.read_octet_string(octets).ok());
+  ASSERT_TRUE(r.read_bit_string(bits).ok());
+  EXPECT_EQ(octets, payload);
+  EXPECT_EQ(bits, payload);
+}
+
+TEST(DerRoundTrip, NullAndOid) {
+  Writer w;
+  w.null();
+  w.oid(Oid::from_string("2.5.29.19"));
+  Reader r(BytesView(w.data()));
+  ASSERT_TRUE(r.read_null().ok());
+  Oid oid;
+  ASSERT_TRUE(r.read_oid(oid).ok());
+  EXPECT_EQ(oid.to_string(), "2.5.29.19");
+}
+
+TEST(DerTime, UtcTimeForPre2050) {
+  std::int64_t t = unix_date(2022, 11, 30);
+  Writer w;
+  w.time(t);
+  EXPECT_EQ(w.data()[0], static_cast<std::uint8_t>(Tag::kUtcTime));
+  Reader r(BytesView(w.data()));
+  std::int64_t out = 0;
+  ASSERT_TRUE(r.read_time(out).ok());
+  EXPECT_EQ(out, t);
+}
+
+TEST(DerTime, GeneralizedTimeFrom2050) {
+  std::int64_t t = unix_date(2055, 6, 15);
+  Writer w;
+  w.time(t);
+  EXPECT_EQ(w.data()[0], static_cast<std::uint8_t>(Tag::kGeneralizedTime));
+  Reader r(BytesView(w.data()));
+  std::int64_t out = 0;
+  ASSERT_TRUE(r.read_time(out).ok());
+  EXPECT_EQ(out, t);
+}
+
+TEST(DerTime, UtcTimeCenturyWindow) {
+  // UTCTime years 50-99 are 19xx, 00-49 are 20xx.
+  std::int64_t t1969 = unix_date(1969, 7, 20);
+  Writer w;
+  w.time(t1969);
+  Reader r(BytesView(w.data()));
+  std::int64_t out = 0;
+  ASSERT_TRUE(r.read_time(out).ok());
+  EXPECT_EQ(out, t1969);
+}
+
+TEST(DerNesting, SequenceAndContext) {
+  Writer w;
+  w.sequence([](Writer& seq) {
+    seq.integer(7);
+    seq.context(0, [](Writer& ctx) { ctx.integer(42); });
+    seq.sequence([](Writer& inner) { inner.boolean(true); });
+  });
+  Reader top(BytesView(w.data()));
+  Reader seq{{}};
+  ASSERT_TRUE(top.read_sequence(seq).ok());
+  std::int64_t v = 0;
+  ASSERT_TRUE(seq.read_integer(v).ok());
+  EXPECT_EQ(v, 7);
+  Reader ctx{{}};
+  ASSERT_TRUE(seq.read_context(0, ctx).ok());
+  ASSERT_TRUE(ctx.read_integer(v).ok());
+  EXPECT_EQ(v, 42);
+  Reader inner{{}};
+  ASSERT_TRUE(seq.read_sequence(inner).ok());
+  bool flag = false;
+  ASSERT_TRUE(inner.read_boolean(flag).ok());
+  EXPECT_TRUE(flag);
+  EXPECT_TRUE(seq.done());
+  EXPECT_TRUE(top.done());
+}
+
+TEST(DerReader, LongFormLength) {
+  // 200-byte octet string requires the 0x81 long form.
+  Bytes payload(200, 0x5a);
+  Writer w;
+  w.octet_string(payload);
+  EXPECT_EQ(w.data()[1], 0x81);
+  EXPECT_EQ(w.data()[2], 200);
+  Reader r(BytesView(w.data()));
+  Bytes out;
+  ASSERT_TRUE(r.read_octet_string(out).ok());
+  EXPECT_EQ(out, payload);
+
+  // 70000-byte payload needs 0x83.
+  Bytes big(70000, 0x11);
+  Writer w2;
+  w2.octet_string(big);
+  EXPECT_EQ(w2.data()[1], 0x83);
+  Reader r2(BytesView(w2.data()));
+  ASSERT_TRUE(r2.read_octet_string(out).ok());
+  EXPECT_EQ(out.size(), 70000u);
+}
+
+TEST(DerReader, RejectsIndefiniteLength) {
+  Bytes bad{0x30, 0x80, 0x00, 0x00};
+  Reader r{BytesView(bad)};
+  Tlv tlv;
+  EXPECT_FALSE(r.read_any(tlv).ok());
+}
+
+TEST(DerReader, RejectsNonMinimalLength) {
+  // Length 5 encoded as 0x81 0x05 instead of 0x05.
+  Bytes bad{0x04, 0x81, 0x05, 1, 2, 3, 4, 5};
+  Reader r{BytesView(bad)};
+  Bytes out;
+  EXPECT_FALSE(r.read_octet_string(out).ok());
+}
+
+TEST(DerReader, RejectsTruncatedContents) {
+  Bytes bad{0x04, 0x05, 1, 2, 3};  // claims 5 bytes, has 3
+  Reader r{BytesView(bad)};
+  Bytes out;
+  EXPECT_FALSE(r.read_octet_string(out).ok());
+}
+
+TEST(DerReader, RejectsTruncatedHeader) {
+  Bytes bad{0x04};
+  Reader r{BytesView(bad)};
+  Tlv tlv;
+  EXPECT_FALSE(r.read_any(tlv).ok());
+}
+
+TEST(DerReader, RejectsNonCanonicalBoolean) {
+  Bytes bad{0x01, 0x01, 0x2a};  // true must be 0xff
+  Reader r{BytesView(bad)};
+  bool out = false;
+  EXPECT_FALSE(r.read_boolean(out).ok());
+}
+
+TEST(DerReader, RejectsWrongTagWithoutConsuming) {
+  Writer w;
+  w.integer(5);
+  Reader r(BytesView(w.data()));
+  Bytes out;
+  EXPECT_FALSE(r.read_octet_string(out).ok());
+  // The cursor did not advance: the integer is still readable.
+  std::int64_t v = 0;
+  ASSERT_TRUE(r.read_integer(v).ok());
+  EXPECT_EQ(v, 5);
+}
+
+TEST(DerReader, ReadOptionalSkipsAbsentField) {
+  Writer w;
+  w.integer(9);
+  Reader r(BytesView(w.data()));
+  Tlv tlv;
+  EXPECT_FALSE(r.read_optional(context_tag(0), tlv));
+  std::int64_t v = 0;
+  ASSERT_TRUE(r.read_integer(v).ok());
+  EXPECT_EQ(v, 9);
+}
+
+TEST(DerReader, FullTlvSpansHeaderAndContents) {
+  Writer w;
+  w.octet_string(Bytes{1, 2, 3});
+  Reader r(BytesView(w.data()));
+  Tlv tlv;
+  ASSERT_TRUE(r.read_any(tlv).ok());
+  EXPECT_EQ(tlv.full.size(), 5u);  // 04 03 01 02 03
+  EXPECT_EQ(tlv.contents.size(), 3u);
+}
+
+TEST(DerReader, RejectsMalformedTime) {
+  Writer helper;
+  helper.tlv(static_cast<std::uint8_t>(Tag::kUtcTime),
+             BytesView(to_bytes("2211300500")));  // missing seconds + Z
+  Reader r(BytesView(helper.data()));
+  std::int64_t out = 0;
+  EXPECT_FALSE(r.read_time(out).ok());
+
+  Writer helper2;
+  helper2.tlv(static_cast<std::uint8_t>(Tag::kUtcTime),
+              BytesView(to_bytes("221330050000Z")));  // month 13
+  Reader r2(BytesView(helper2.data()));
+  EXPECT_FALSE(r2.read_time(out).ok());
+}
+
+}  // namespace
+}  // namespace anchor::asn1

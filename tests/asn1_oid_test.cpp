@@ -1,0 +1,82 @@
+#include "asn1/oid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anchor::asn1 {
+namespace {
+
+TEST(Oid, ParseDotted) {
+  Oid oid = Oid::from_string("2.5.29.17");
+  ASSERT_TRUE(oid.valid());
+  EXPECT_EQ(oid.arcs(), (std::vector<std::uint32_t>{2, 5, 29, 17}));
+  EXPECT_EQ(oid.to_string(), "2.5.29.17");
+}
+
+TEST(Oid, ParseRejectsMalformed) {
+  EXPECT_FALSE(Oid::from_string("").valid());
+  EXPECT_FALSE(Oid::from_string("1").valid());          // needs >= 2 arcs
+  EXPECT_FALSE(Oid::from_string("1..2").valid());       // empty component
+  EXPECT_FALSE(Oid::from_string("a.b").valid());        // non-numeric
+  EXPECT_FALSE(Oid::from_string("3.1").valid());        // first arc <= 2
+  EXPECT_FALSE(Oid::from_string("1.40").valid());       // second arc <= 39
+  EXPECT_FALSE(Oid::from_string("1.2.4294967296").valid());  // overflow
+}
+
+TEST(Oid, KnownDerEncodings) {
+  // id-ce-subjectAltName 2.5.29.17 -> 55 1D 11
+  EXPECT_EQ(Oid::from_string("2.5.29.17").der_contents(),
+            (Bytes{0x55, 0x1d, 0x11}));
+  // sha256WithRSAEncryption 1.2.840.113549.1.1.11
+  EXPECT_EQ(Oid::from_string("1.2.840.113549.1.1.11").der_contents(),
+            (Bytes{0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x0b}));
+  // id-kp-serverAuth 1.3.6.1.5.5.7.3.1
+  EXPECT_EQ(Oid::from_string("1.3.6.1.5.5.7.3.1").der_contents(),
+            (Bytes{0x2b, 0x06, 0x01, 0x05, 0x05, 0x07, 0x03, 0x01}));
+}
+
+TEST(Oid, DecodeKnownEncodings) {
+  Oid oid = Oid::from_der_contents(Bytes{0x55, 0x1d, 0x11});
+  EXPECT_EQ(oid.to_string(), "2.5.29.17");
+  oid = Oid::from_der_contents(
+      Bytes{0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x0b});
+  EXPECT_EQ(oid.to_string(), "1.2.840.113549.1.1.11");
+}
+
+TEST(Oid, FirstOctetBoundaries) {
+  // 0.39 -> 39; 1.0 -> 40; 2.0 -> 80; 2.100 -> 180.
+  EXPECT_EQ(Oid::from_string("0.39").der_contents(), (Bytes{39}));
+  EXPECT_EQ(Oid::from_string("1.0").der_contents(), (Bytes{40}));
+  EXPECT_EQ(Oid::from_string("2.0").der_contents(), (Bytes{80}));
+  EXPECT_EQ(Oid::from_der_contents(Bytes{39}).to_string(), "0.39");
+  EXPECT_EQ(Oid::from_der_contents(Bytes{40}).to_string(), "1.0");
+  EXPECT_EQ(Oid::from_der_contents(Bytes{80}).to_string(), "2.0");
+  EXPECT_EQ(Oid::from_der_contents(Bytes{0x81, 0x34}).to_string(), "2.100");
+}
+
+TEST(Oid, DecodeRejectsMalformed) {
+  EXPECT_FALSE(Oid::from_der_contents(Bytes{}).valid());
+  EXPECT_FALSE(Oid::from_der_contents(Bytes{0x80}).valid());        // truncated
+  EXPECT_FALSE(Oid::from_der_contents(Bytes{0x2b, 0x80}).valid());  // truncated arc
+}
+
+TEST(Oid, RoundTripSweep) {
+  const char* samples[] = {"2.5.4.3",          "1.3.6.1.4.1.57264.1",
+                           "2.23.140.1.1",     "1.3.6.1.5.5.7.3.4",
+                           "0.9.2342.19200300.100.1.25", "2.5.29.32.0"};
+  for (const char* dotted : samples) {
+    Oid oid = Oid::from_string(dotted);
+    ASSERT_TRUE(oid.valid()) << dotted;
+    Oid back = Oid::from_der_contents(oid.der_contents());
+    EXPECT_EQ(back, oid) << dotted;
+    EXPECT_EQ(back.to_string(), dotted);
+  }
+}
+
+TEST(Oid, Ordering) {
+  EXPECT_LT(Oid::from_string("1.2.3"), Oid::from_string("1.2.4"));
+  EXPECT_LT(Oid::from_string("1.2"), Oid::from_string("1.2.0"));
+  EXPECT_EQ(Oid::from_string("2.5.29.17"), Oid::from_string("2.5.29.17"));
+}
+
+}  // namespace
+}  // namespace anchor::asn1

@@ -1,0 +1,146 @@
+#include "chain/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::chain {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+struct DaemonPki {
+  SimSig sigs;
+  SimKeyPair root_key = SimSig::keygen("Daemon Root");
+  SimKeyPair int_key = SimSig::keygen("Daemon Int");
+  CertPtr root, intermediate;
+  rootstore::RootStore store;
+  static constexpr std::int64_t kNow = 1700000000;
+
+  DaemonPki() {
+    root = CertificateBuilder()
+               .serial(1)
+               .subject(DistinguishedName::make("Daemon Root", "T"))
+               .issuer(DistinguishedName::make("Daemon Root", "T"))
+               .validity(0, unix_date(2040, 1, 1))
+               .public_key(root_key.key_id)
+               .ca(std::nullopt)
+               .sign(root_key)
+               .take();
+    intermediate = CertificateBuilder()
+                       .serial(2)
+                       .subject(DistinguishedName::make("Daemon Int", "T"))
+                       .issuer(root->subject())
+                       .validity(0, unix_date(2039, 1, 1))
+                       .public_key(int_key.key_id)
+                       .ca(0)
+                       .sign(root_key)
+                       .take();
+    sigs.register_key(root_key);
+    sigs.register_key(int_key);
+    (void)store.add_trusted(root);
+  }
+
+  CertPtr leaf(const std::string& domain, bool ev = false) {
+    SimKeyPair key = SimSig::keygen("dleaf" + domain);
+    CertificateBuilder builder;
+    builder.serial(3)
+        .subject(DistinguishedName::make(domain))
+        .issuer(intermediate->subject())
+        .validity(kNow - 86400, kNow + 90 * 86400)
+        .public_key(key.key_id)
+        .dns_names({domain})
+        .extended_key_usage({x509::oids::kp_server_auth()});
+    if (ev) builder.ev();
+    return builder.sign(int_key).take();
+  }
+};
+
+TEST(TrustDaemon, EvaluateGccsOverDerBoundary) {
+  DaemonPki pki;
+  pki.store.gccs().attach(
+      core::Gcc::for_certificate(
+          "no-ev", *pki.root,
+          "valid(Chain, _) :- leaf(Chain, L), \\+ev(L).")
+          .take());
+  TrustDaemon daemon(pki.store, pki.sigs);
+
+  CertPtr plain = pki.leaf("ok.example.com");
+  std::vector<Bytes> chain_der{plain->der(), pki.intermediate->der(),
+                               pki.root->der()};
+  EXPECT_TRUE(daemon.evaluate_gccs(chain_der, "TLS"));
+
+  CertPtr ev = pki.leaf("ev.example.com", true);
+  std::vector<Bytes> ev_chain{ev->der(), pki.intermediate->der(),
+                              pki.root->der()};
+  EXPECT_FALSE(daemon.evaluate_gccs(ev_chain, "TLS"));
+  EXPECT_EQ(daemon.calls(), 2u);
+}
+
+TEST(TrustDaemon, MalformedDerIsRejected) {
+  DaemonPki pki;
+  TrustDaemon daemon(pki.store, pki.sigs);
+  std::vector<Bytes> garbage{Bytes{0x01, 0x02, 0x03}};
+  EXPECT_FALSE(daemon.evaluate_gccs(garbage, "TLS"));
+  EXPECT_FALSE(daemon.evaluate_gccs({}, "TLS"));
+}
+
+TEST(TrustDaemon, UnconstrainedRootAllows) {
+  DaemonPki pki;
+  TrustDaemon daemon(pki.store, pki.sigs);
+  CertPtr leaf = pki.leaf("free.example.com");
+  std::vector<Bytes> chain_der{leaf->der(), pki.intermediate->der(),
+                               pki.root->der()};
+  EXPECT_TRUE(daemon.evaluate_gccs(chain_der, "TLS"));
+}
+
+TEST(TrustDaemon, FullValidationInsideDaemon) {
+  DaemonPki pki;
+  TrustDaemon daemon(pki.store, pki.sigs);
+  CertPtr leaf = pki.leaf("full.example.com");
+  VerifyOptions options;
+  options.time = DaemonPki::kNow;
+  options.hostname = "full.example.com";
+  std::vector<Bytes> intermediates{pki.intermediate->der()};
+  VerifyResult result = daemon.validate(leaf->der(), intermediates, options);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.chain.size(), 3u);
+}
+
+TEST(TrustDaemon, FullValidationRejectsMalformedLeaf) {
+  DaemonPki pki;
+  TrustDaemon daemon(pki.store, pki.sigs);
+  VerifyOptions options;
+  options.time = DaemonPki::kNow;
+  VerifyResult result = daemon.validate(Bytes{0xff}, {}, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("daemon"), std::string::npos);
+}
+
+TEST(TrustDaemon, LatencySimulationAccumulates) {
+  DaemonPki pki;
+  TrustDaemon fast(pki.store, pki.sigs, 0);
+  TrustDaemon slow(pki.store, pki.sigs, 2000000);  // 2 ms per leg
+  CertPtr leaf = pki.leaf("timed.example.com");
+  std::vector<Bytes> chain_der{leaf->der(), pki.intermediate->der(),
+                               pki.root->der()};
+  auto time_call = [&](TrustDaemon& daemon) {
+    auto start = std::chrono::steady_clock::now();
+    daemon.evaluate_gccs(chain_der, "TLS");
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  auto fast_us = time_call(fast);
+  auto slow_us = time_call(slow);
+  EXPECT_GT(slow_us, fast_us + 3000);  // two 2ms legs minus noise
+}
+
+}  // namespace
+}  // namespace anchor::chain

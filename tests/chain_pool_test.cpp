@@ -1,0 +1,74 @@
+#include "chain/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+
+namespace anchor::chain {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+CertPtr make_cert(const std::string& cn, std::uint64_t serial = 1) {
+  SimKeyPair key = SimSig::keygen(cn + std::to_string(serial));
+  return CertificateBuilder()
+      .serial(serial)
+      .subject(DistinguishedName::make(cn, "Org"))
+      .issuer(DistinguishedName::make("Parent", "Org"))
+      .validity(0, unix_date(2040, 1, 1))
+      .public_key(key.key_id)
+      .ca(0)
+      .sign(key)
+      .take();
+}
+
+TEST(Pool, LookupBySubject) {
+  CertificatePool pool;
+  CertPtr a = make_cert("CA One");
+  CertPtr b = make_cert("CA Two");
+  pool.add(a);
+  pool.add(b);
+  EXPECT_EQ(pool.size(), 2u);
+  const auto& found = pool.by_subject(DistinguishedName::make("CA One", "Org"));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->fingerprint(), a->fingerprint());
+}
+
+TEST(Pool, MissingSubjectYieldsEmpty) {
+  CertificatePool pool;
+  pool.add(make_cert("CA One"));
+  EXPECT_TRUE(pool.by_subject(DistinguishedName::make("Nope", "Org")).empty());
+}
+
+TEST(Pool, ExactDuplicatesDropped) {
+  CertificatePool pool;
+  CertPtr a = make_cert("CA One");
+  pool.add(a);
+  pool.add(a);
+  auto reparsed = x509::Certificate::parse(BytesView(a->der())).take();
+  pool.add(reparsed);  // same DER, different object
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Pool, SameSubjectDifferentCertsBothKept) {
+  // Cross-signing: two certificates for the same subject with different
+  // keys/serials must coexist (the chain builder tries both).
+  CertificatePool pool;
+  pool.add(make_cert("Shared CA", 1));
+  pool.add(make_cert("Shared CA", 2));
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.by_subject(DistinguishedName::make("Shared CA", "Org")).size(),
+            2u);
+}
+
+TEST(Pool, AddAllBulkInsert) {
+  CertificatePool pool;
+  pool.add_all({make_cert("A"), make_cert("B"), make_cert("C")});
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace anchor::chain

@@ -1,0 +1,201 @@
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "incidents/listings.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::core {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+// A small real PKI (TrustCor-shaped) for executing listings against DER
+// certificates rather than hand-written facts.
+struct ExecutorPki {
+  SimKeyPair root_key = SimSig::keygen("TrustCor-ish Root");
+  SimKeyPair int_key = SimSig::keygen("TrustCor-ish Int");
+  CertPtr root;
+  CertPtr intermediate;
+
+  ExecutorPki() {
+    root = CertificateBuilder()
+               .serial(1)
+               .subject(DistinguishedName::make("TrustCor RootCert CA-1", "TrustCor"))
+               .issuer(DistinguishedName::make("TrustCor RootCert CA-1", "TrustCor"))
+               .validity(0, unix_date(2040, 1, 1))
+               .public_key(root_key.key_id)
+               .ca(std::nullopt)
+               .sign(root_key)
+               .take();
+    intermediate = CertificateBuilder()
+                       .serial(2)
+                       .subject(DistinguishedName::make("TrustCor Issuing CA", "TrustCor"))
+                       .issuer(root->subject())
+                       .validity(0, unix_date(2035, 1, 1))
+                       .public_key(int_key.key_id)
+                       .ca(0)
+                       .sign(root_key)
+                       .take();
+  }
+
+  CertPtr make_leaf(std::int64_t not_before, bool ev, bool smime = false) {
+    SimKeyPair key = SimSig::keygen("leaf" + std::to_string(not_before) +
+                                    (ev ? "e" : "") + (smime ? "s" : ""));
+    CertificateBuilder builder;
+    builder.serial(100)
+        .subject(DistinguishedName::make("mail.example.com"))
+        .issuer(intermediate->subject())
+        .validity(not_before, not_before + 90 * 86400)
+        .public_key(key.key_id)
+        .dns_names({"mail.example.com"})
+        .extended_key_usage({smime ? x509::oids::kp_email_protection()
+                                   : x509::oids::kp_server_auth()});
+    if (ev) builder.ev();
+    return builder.sign(int_key).take();
+  }
+
+  Chain chain_for(const CertPtr& leaf) const {
+    return Chain{leaf, intermediate, root};
+  }
+
+  Gcc listing1_gcc() const {
+    return Gcc::for_certificate("trustcor", *root,
+                                incidents::listing1_trustcor())
+        .take();
+  }
+};
+
+constexpr std::int64_t kListing1Cutoff = 1669784400;
+
+TEST(Executor, Listing1AgainstRealCertificates) {
+  ExecutorPki pki;
+  Gcc gcc = pki.listing1_gcc();
+  GccExecutor executor;
+
+  Chain old_chain = pki.chain_for(pki.make_leaf(kListing1Cutoff - 86400, false));
+  Chain new_chain = pki.chain_for(pki.make_leaf(kListing1Cutoff + 86400, false));
+  Chain ev_chain = pki.chain_for(pki.make_leaf(kListing1Cutoff - 86400, true));
+
+  EXPECT_TRUE(executor.evaluate_one(old_chain, kUsageTls, gcc));
+  EXPECT_TRUE(executor.evaluate_one(old_chain, kUsageSmime, gcc));
+  EXPECT_FALSE(executor.evaluate_one(new_chain, kUsageTls, gcc));
+  EXPECT_FALSE(executor.evaluate_one(new_chain, kUsageSmime, gcc));
+  EXPECT_FALSE(executor.evaluate_one(ev_chain, kUsageTls, gcc));
+  EXPECT_TRUE(executor.evaluate_one(ev_chain, kUsageSmime, gcc));
+}
+
+TEST(Executor, EmptyGccListTriviallyAllows) {
+  ExecutorPki pki;
+  GccExecutor executor;
+  Chain chain = pki.chain_for(pki.make_leaf(1000, false));
+  GccVerdict verdict = executor.evaluate(chain, kUsageTls, {});
+  EXPECT_TRUE(verdict.allowed);
+  EXPECT_EQ(verdict.gccs_evaluated, 0u);
+}
+
+TEST(Executor, AllGccsMustPass) {
+  ExecutorPki pki;
+  GccExecutor executor;
+  // Permissive + restrictive: conjunction must fail.
+  Gcc permissive =
+      Gcc::for_certificate("allow-all", *pki.root,
+                           "valid(Chain, _) :- leaf(Chain, L).")
+          .take();
+  Gcc restrictive =
+      Gcc::for_certificate("deny-all", *pki.root,
+                           "valid(Chain, \"TLS\") :- leaf(Chain, L), ev(L).")
+          .take();
+  Chain chain = pki.chain_for(pki.make_leaf(1000, false));
+
+  std::vector<Gcc> both{permissive, restrictive};
+  GccVerdict verdict = executor.evaluate(chain, kUsageTls, both);
+  EXPECT_FALSE(verdict.allowed);
+  EXPECT_EQ(verdict.failed_gcc, "deny-all");
+  EXPECT_EQ(verdict.gccs_evaluated, 2u);
+
+  std::vector<Gcc> just_permissive{permissive};
+  EXPECT_TRUE(executor.evaluate(chain, kUsageTls, just_permissive).allowed);
+}
+
+TEST(Executor, FirstFailureShortCircuits) {
+  ExecutorPki pki;
+  GccExecutor executor;
+  Gcc deny = Gcc::for_certificate("deny", *pki.root,
+                                  "valid(Chain, \"TLS\") :- leaf(Chain, L), ev(L).")
+                 .take();
+  Gcc allow = Gcc::for_certificate("allow", *pki.root,
+                                   "valid(Chain, _) :- leaf(Chain, L).")
+                  .take();
+  Chain chain = pki.chain_for(pki.make_leaf(1000, false));
+  std::vector<Gcc> ordered{deny, allow};
+  GccVerdict verdict = executor.evaluate(chain, kUsageTls, ordered);
+  EXPECT_FALSE(verdict.allowed);
+  EXPECT_EQ(verdict.gccs_evaluated, 1u);  // short-circuited
+}
+
+TEST(Executor, VerdictAccumulatesStats) {
+  ExecutorPki pki;
+  GccExecutor executor;
+  Gcc gcc = pki.listing1_gcc();
+  Chain chain = pki.chain_for(pki.make_leaf(1000, false));
+  std::vector<Gcc> gccs{gcc};
+  GccVerdict verdict = executor.evaluate(chain, kUsageTls, gccs);
+  EXPECT_TRUE(verdict.allowed);
+  EXPECT_GT(verdict.facts_encoded, 20u);
+  EXPECT_GT(verdict.stats.derived_tuples, 0u);
+}
+
+TEST(Executor, NaiveStrategyAgrees) {
+  ExecutorPki pki;
+  GccExecutor semi(datalog::Strategy::kSemiNaive);
+  GccExecutor naive(datalog::Strategy::kNaive);
+  Gcc gcc = pki.listing1_gcc();
+  for (bool ev : {false, true}) {
+    for (std::int64_t offset : {-86400, 86400}) {
+      Chain chain = pki.chain_for(pki.make_leaf(kListing1Cutoff + offset, ev));
+      for (const char* usage : {kUsageTls, kUsageSmime}) {
+        EXPECT_EQ(semi.evaluate_one(chain, usage, gcc),
+                  naive.evaluate_one(chain, usage, gcc))
+            << "ev=" << ev << " offset=" << offset << " usage=" << usage;
+      }
+    }
+  }
+}
+
+TEST(Executor, UnknownUsageStringNeverValid) {
+  ExecutorPki pki;
+  GccExecutor executor;
+  Gcc gcc = pki.listing1_gcc();
+  Chain chain = pki.chain_for(pki.make_leaf(1000, false));
+  EXPECT_FALSE(executor.evaluate_one(chain, "CodeSigning", gcc));
+}
+
+}  // namespace
+}  // namespace anchor::core
+
+namespace anchor::core {
+namespace {
+
+TEST(Executor, RunawayGccFailsClosed) {
+  // A GCC whose evaluation would run forever (arithmetic recursion) must be
+  // truncated by the engine guard and treated as a rejection — never as an
+  // acceptance over an incomplete model.
+  ExecutorPki pki;
+  Gcc runaway =
+      Gcc::for_certificate("runaway", *pki.root,
+                           "tick(0).\n"
+                           "tick(Y) :- tick(X), Y = X + 1.\n"
+                           "valid(Chain, _) :- leaf(Chain, L), tick(1).")
+          .take();
+  GccExecutor executor;
+  Chain chain = pki.chain_for(pki.make_leaf(1000, false));
+  EXPECT_FALSE(executor.evaluate_one(chain, kUsageTls, runaway));
+}
+
+}  // namespace
+}  // namespace anchor::core

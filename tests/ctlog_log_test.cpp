@@ -1,0 +1,145 @@
+#include "ctlog/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "preemptive/synthesis.hpp"
+
+namespace anchor::ctlog {
+namespace {
+
+corpus::Corpus small_corpus() {
+  corpus::CorpusConfig config;
+  config.num_roots = 8;
+  config.num_intermediates = 16;
+  config.roots_with_path_len = 1;
+  config.intermediates_with_path_len = 12;
+  config.intermediates_with_name_constraints = 2;
+  config.roots_with_constrained_chain = 1;
+  config.leaves_per_intermediate_mean = 6.0;
+  return corpus::Corpus::generate(config);
+}
+
+TEST(CtLog, SubmitAndSignedTreeHead) {
+  SimSig registry;
+  CtLog log("argon-sim", registry);
+  corpus::Corpus corpus = small_corpus();
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(log.submit(corpus.leaves()[i].cert, 1000 + (std::int64_t)i), i);
+  }
+  SignedTreeHead head = log.sth();
+  EXPECT_EQ(head.tree_size, 10u);
+  EXPECT_TRUE(CtLog::verify_sth(head, BytesView(log.key_id()), registry));
+
+  // Tampered STH fails.
+  SignedTreeHead forged = head;
+  forged.tree_size = 11;
+  EXPECT_FALSE(CtLog::verify_sth(forged, BytesView(log.key_id()), registry));
+}
+
+TEST(CtLog, SthFromUnknownKeyFails) {
+  SimSig registry;
+  CtLog log("argon-sim", registry);
+  SimSig other_registry;
+  corpus::Corpus corpus = small_corpus();
+  log.submit(corpus.leaves()[0].cert, 1);
+  EXPECT_FALSE(
+      CtLog::verify_sth(log.sth(), BytesView(log.key_id()), other_registry));
+}
+
+TEST(LogMonitor, ConsumesEntriesIncrementally) {
+  SimSig registry;
+  CtLog log("argon-sim", registry);
+  corpus::Corpus corpus = small_corpus();
+
+  LogMonitor monitor(log, registry);
+  for (std::size_t i = 0; i < 20; ++i) {
+    log.submit(corpus.leaves()[i].cert, (std::int64_t)i);
+  }
+  auto first = monitor.poll();
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first.value(), 20u);
+
+  for (std::size_t i = 20; i < 35; ++i) {
+    log.submit(corpus.leaves()[i].cert, (std::int64_t)i);
+  }
+  auto second = monitor.poll();
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(second.value(), 15u);
+  EXPECT_EQ(monitor.entries_seen(), 35u);
+
+  auto idle = monitor.poll();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle.value(), 0u);
+}
+
+TEST(LogMonitor, ScopesMatchCorpusDerivedAnalysis) {
+  // Monitoring the log must reconstruct the same per-issuer scopes as the
+  // corpus-index analysis (§5.2 study via CT instead of ground truth).
+  SimSig registry;
+  CtLog log("argon-sim", registry);
+  corpus::Corpus corpus = small_corpus();
+  for (const auto& record : corpus.leaves()) {
+    log.submit(record.cert, 0);
+  }
+  LogMonitor monitor(log, registry);
+  ASSERT_TRUE(monitor.poll().ok());
+
+  auto ground_truth = preemptive::analyze_intermediates(corpus);
+  for (std::size_t i = 0; i < corpus.intermediates().size(); ++i) {
+    const std::string issuer_cn =
+        corpus.intermediates()[i].cert->subject().common_name();
+    auto it = monitor.scopes().find(issuer_cn);
+    if (ground_truth[i].empty()) {
+      EXPECT_EQ(it, monitor.scopes().end());
+      continue;
+    }
+    ASSERT_NE(it, monitor.scopes().end()) << issuer_cn;
+    EXPECT_EQ(it->second.certificates_observed,
+              ground_truth[i].certificates_observed);
+    EXPECT_EQ(it->second.tlds, ground_truth[i].tlds);
+    EXPECT_EQ(it->second.extended_key_usages,
+              ground_truth[i].extended_key_usages);
+    EXPECT_EQ(it->second.max_lifetime_seconds,
+              ground_truth[i].max_lifetime_seconds);
+  }
+}
+
+TEST(LogMonitor, SynthesisFromMonitoredScopesWorksEndToEnd) {
+  // CT-driven pre-emptive GCC: monitor the log, synthesize for a root's
+  // busiest subordinate, enforce.
+  SimSig registry;
+  CtLog log("argon-sim", registry);
+  corpus::Corpus corpus = small_corpus();
+  for (const auto& record : corpus.leaves()) log.submit(record.cert, 0);
+  LogMonitor monitor(log, registry);
+  ASSERT_TRUE(monitor.poll().ok());
+
+  // Busiest issuer.
+  const preemptive::ScopeOfIssuance* busiest = nullptr;
+  std::string busiest_cn;
+  for (const auto& [cn, scope] : monitor.scopes()) {
+    if (busiest == nullptr ||
+        scope.certificates_observed > busiest->certificates_observed) {
+      busiest = &scope;
+      busiest_cn = cn;
+    }
+  }
+  ASSERT_NE(busiest, nullptr);
+  // Find that intermediate and its root in the corpus.
+  for (std::size_t i = 0; i < corpus.intermediates().size(); ++i) {
+    if (corpus.intermediates()[i].cert->subject().common_name() != busiest_cn) {
+      continue;
+    }
+    const auto& root = corpus.roots()[static_cast<std::size_t>(
+        corpus.intermediates()[i].parent_root)];
+    auto gcc = preemptive::synthesize("ct-derived", *root.cert, *busiest);
+    ASSERT_TRUE(gcc.ok()) << gcc.error();
+    EXPECT_EQ(gcc.value().root_hash_hex(), root.cert->fingerprint_hex());
+    return;
+  }
+  FAIL() << "busiest issuer not found in corpus";
+}
+
+}  // namespace
+}  // namespace anchor::ctlog

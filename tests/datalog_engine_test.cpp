@@ -1,0 +1,184 @@
+#include "datalog/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gcc.hpp"
+#include "incidents/listings.hpp"
+
+namespace anchor::datalog {
+namespace {
+
+TEST(Engine, GroundQueryHoldsOrNot) {
+  Engine engine;
+  ASSERT_TRUE(engine.load("p(1). p(2).").ok());
+  EXPECT_TRUE(engine.query("p(1)?").take().holds());
+  EXPECT_TRUE(engine.query("p(2)?").take().holds());
+  EXPECT_FALSE(engine.query("p(3)?").take().holds());
+  EXPECT_FALSE(engine.query("q(1)?").take().holds());
+}
+
+TEST(Engine, OpenQueryReturnsBindings) {
+  Engine engine;
+  ASSERT_TRUE(engine.load("e(1,2). e(1,3). e(2,3).").ok());
+  auto result = engine.query("e(1, X)?").take();
+  ASSERT_EQ(result.bindings.size(), 2u);
+  for (const auto& binding : result.bindings) {
+    EXPECT_TRUE(binding.contains("X"));
+  }
+}
+
+TEST(Engine, RepeatedVariableInQuery) {
+  Engine engine;
+  ASSERT_TRUE(engine.load("e(1,1). e(1,2).").ok());
+  auto result = engine.query("e(X, X)?").take();
+  EXPECT_EQ(result.bindings.size(), 1u);
+}
+
+TEST(Engine, FactsAddedProgrammatically) {
+  Engine engine;
+  ASSERT_TRUE(engine.load("big(X) :- n(X), X > 10.").ok());
+  engine.add_fact("n", {Value(std::int64_t{5})});
+  engine.add_fact("n", {Value(std::int64_t{50})});
+  auto result = engine.query("big(X)?").take();
+  ASSERT_EQ(result.bindings.size(), 1u);
+  EXPECT_EQ(result.bindings[0].at("X"), Value(std::int64_t{50}));
+}
+
+TEST(Engine, FactsAfterQueryTriggerReevaluation) {
+  Engine engine;
+  ASSERT_TRUE(engine.load("r(X) :- n(X).").ok());
+  engine.add_fact("n", {Value(std::int64_t{1})});
+  EXPECT_EQ(engine.query("r(X)?").take().bindings.size(), 1u);
+  engine.add_fact("n", {Value(std::int64_t{2})});
+  EXPECT_EQ(engine.query("r(X)?").take().bindings.size(), 2u);
+}
+
+TEST(Engine, LoadErrorsPropagate) {
+  Engine engine;
+  EXPECT_FALSE(engine.load("p(X :-").ok());
+}
+
+TEST(Engine, UnsafeProgramFailsAtQueryTime) {
+  Engine engine;
+  ASSERT_TRUE(engine.load("p(X, Y) :- q(X).").ok());  // parses fine
+  auto result = engine.query("p(1, 2)?");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unsafe"), std::string::npos);
+}
+
+TEST(Engine, UnstratifiableProgramFailsAtQueryTime) {
+  Engine engine;
+  ASSERT_TRUE(engine.load("p(X) :- e(X), \\+q(X). q(X) :- e(X), \\+p(X).").ok());
+  EXPECT_FALSE(engine.query("p(1)?").ok());
+}
+
+// --- The paper's Listing 1, executed end to end ------------------------------
+
+class Listing1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.load(incidents::listing1_trustcor()).ok());
+  }
+
+  void add_leaf(const std::string& chain, const std::string& cert,
+                std::int64_t not_before, bool ev) {
+    engine_.add_fact("leaf", {Value(chain), Value(cert)});
+    engine_.add_fact("notBefore", {Value(cert), Value(not_before)});
+    if (ev) engine_.add_fact("EV", {Value(cert)});
+  }
+
+  bool valid(const std::string& chain, const std::string& usage) {
+    Atom goal;
+    goal.predicate = "valid";
+    goal.args.push_back(Term::constant_of(Value(chain)));
+    goal.args.push_back(Term::constant_of(Value(usage)));
+    return engine_.query(goal).take().holds();
+  }
+
+  static constexpr std::int64_t kCutoff = 1669784400;  // Nov 30 2022
+  Engine engine_;
+};
+
+TEST_F(Listing1Test, OldSmimeLeafValid) {
+  add_leaf("c1", "cert1", kCutoff - 1000, false);
+  EXPECT_TRUE(valid("c1", "S/MIME"));
+}
+
+TEST_F(Listing1Test, NewSmimeLeafInvalid) {
+  add_leaf("c1", "cert1", kCutoff + 1000, false);
+  EXPECT_FALSE(valid("c1", "S/MIME"));
+}
+
+TEST_F(Listing1Test, OldNonEvTlsLeafValid) {
+  add_leaf("c1", "cert1", kCutoff - 1000, false);
+  EXPECT_TRUE(valid("c1", "TLS"));
+}
+
+TEST_F(Listing1Test, OldEvTlsLeafInvalid) {
+  // TLS additionally requires non-EV; S/MIME does not.
+  add_leaf("c1", "cert1", kCutoff - 1000, true);
+  EXPECT_FALSE(valid("c1", "TLS"));
+  EXPECT_TRUE(valid("c1", "S/MIME"));
+}
+
+TEST_F(Listing1Test, BoundaryInstantIsInvalid) {
+  // NB < T is strict: a leaf issued exactly at the cutoff is distrusted.
+  add_leaf("c1", "cert1", kCutoff, false);
+  EXPECT_FALSE(valid("c1", "TLS"));
+}
+
+// --- The paper's Listing 2 ---------------------------------------------------
+
+// Listing 2 writes `valid(Chain, _)` — a head wildcard the raw engine
+// rightly rejects as unsafe. The GCC layer expands it over the usage
+// domain, so the fixture loads the expanded program a Gcc carries.
+class Listing2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto gcc = core::Gcc::create("listing2", std::string(64, 'a'),
+                                 incidents::listing2_symantec({"exempthash1"}));
+    ASSERT_TRUE(gcc.ok()) << gcc.error();
+    engine_.add_program(gcc.value().program());
+  }
+
+  static constexpr std::int64_t kCutoff = 1464753600;  // June 1 2016
+  Engine engine_;
+};
+
+TEST_F(Listing2Test, OldLeafValidForAnyUsage) {
+  engine_.add_fact("leaf", {Value("c"), Value("leafcert")});
+  engine_.add_fact("notBefore", {Value("leafcert"), Value(kCutoff - 5)});
+  EXPECT_TRUE(engine_.query("valid(\"c\", \"TLS\")?").take().holds());
+  EXPECT_TRUE(engine_.query("valid(\"c\", \"S/MIME\")?").take().holds());
+}
+
+TEST_F(Listing2Test, NewLeafUnderOrdinaryIntermediateInvalid) {
+  engine_.add_fact("leaf", {Value("c"), Value("leafcert")});
+  engine_.add_fact("notBefore", {Value("leafcert"), Value(kCutoff + 5)});
+  engine_.add_fact("root", {Value("c"), Value("rootcert")});
+  engine_.add_fact("signs", {Value("rootcert"), Value("intcert")});
+  engine_.add_fact("hash", {Value("intcert"), Value("ordinaryhash")});
+  EXPECT_FALSE(engine_.query("valid(\"c\", \"TLS\")?").take().holds());
+}
+
+TEST_F(Listing2Test, NewLeafUnderExemptIntermediateValid) {
+  engine_.add_fact("leaf", {Value("c"), Value("leafcert")});
+  engine_.add_fact("notBefore", {Value("leafcert"), Value(kCutoff + 5)});
+  engine_.add_fact("root", {Value("c"), Value("rootcert")});
+  engine_.add_fact("signs", {Value("rootcert"), Value("intcert")});
+  engine_.add_fact("hash", {Value("intcert"), Value("exempthash1")});
+  EXPECT_TRUE(engine_.query("valid(\"c\", \"TLS\")?").take().holds());
+}
+
+TEST(EngineStats, ModelSizeGrowsWithFacts) {
+  Engine engine;
+  ASSERT_TRUE(engine.load("r(X) :- n(X).").ok());
+  engine.add_fact("n", {Value(std::int64_t{1})});
+  engine.add_fact("n", {Value(std::int64_t{2})});
+  ASSERT_TRUE(engine.query("r(1)?").ok());
+  EXPECT_EQ(engine.model_size(), 4u);  // 2 facts + 2 derived
+  EXPECT_EQ(engine.stats().derived_tuples, 2u);
+}
+
+}  // namespace
+}  // namespace anchor::datalog

@@ -1,0 +1,104 @@
+#include "datalog/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anchor::datalog {
+namespace {
+
+std::vector<TokenKind> kinds(const std::string& source) {
+  auto tokens = lex(source);
+  EXPECT_TRUE(tokens.ok()) << (tokens.ok() ? "" : tokens.error());
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens.value()) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, SimpleFact) {
+  EXPECT_EQ(kinds("leaf(chain, cert)."),
+            (std::vector<TokenKind>{TokenKind::kAtomIdent, TokenKind::kLParen,
+                                    TokenKind::kAtomIdent, TokenKind::kComma,
+                                    TokenKind::kAtomIdent, TokenKind::kRParen,
+                                    TokenKind::kDot, TokenKind::kEof}));
+}
+
+TEST(Lexer, VariablesAndWildcards) {
+  auto tokens = lex("X _Y _ Abc").take();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kWildcard);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kVariable);
+}
+
+TEST(Lexer, IntegersAndStrings) {
+  auto tokens = lex("1669784400 \"S/MIME\" \"with \\\"quote\\\"\"").take();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].number, 1669784400);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "S/MIME");
+  EXPECT_EQ(tokens[2].text, "with \"quote\"");
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  EXPECT_EQ(kinds(":- \\+ < <= > >= = != + - *"),
+            (std::vector<TokenKind>{
+                TokenKind::kColonDash, TokenKind::kNegation, TokenKind::kLt,
+                TokenKind::kLe, TokenKind::kGt, TokenKind::kGe, TokenKind::kEq,
+                TokenKind::kNe, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kStar, TokenKind::kEof}));
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  auto tokens = lex("a(b). % this is ignored :- \\+ \"x\"\nc(d).").take();
+  int atoms = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kAtomIdent) ++atoms;
+  }
+  EXPECT_EQ(atoms, 4);  // a, b, c, d
+}
+
+TEST(Lexer, PaperListingOneLexes) {
+  auto tokens = lex(R"(
+nov30th2022(1669784400). % Unix timestamp
+valid(Chain, "S/MIME") :- % Valid rule for S/MIME usage
+  leaf(Chain, Cert), % Get the chain's leaf certificate
+  \+EV(Cert),
+  NB < T.
+)");
+  ASSERT_TRUE(tokens.ok()) << tokens.error();
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto tokens = lex("a(b).\n  c(d).").take();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  // "c" is on line 2, column 3.
+  const Token* c_token = nullptr;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kAtomIdent && t.text == "c") c_token = &t;
+  }
+  ASSERT_NE(c_token, nullptr);
+  EXPECT_EQ(c_token->line, 2);
+  EXPECT_EQ(c_token->column, 3);
+}
+
+TEST(Lexer, RejectsMalformedInput) {
+  EXPECT_FALSE(lex("a(b) : c").ok());        // lone ':'
+  EXPECT_FALSE(lex("\\x").ok());             // bad escape start
+  EXPECT_FALSE(lex("\"unterminated").ok());
+  EXPECT_FALSE(lex("\"two\nlines\"").ok());  // newline in string
+  EXPECT_FALSE(lex("a ! b").ok());           // lone '!'
+  EXPECT_FALSE(lex("#").ok());               // unknown character
+}
+
+TEST(Lexer, RejectsIntegerOverflow) {
+  EXPECT_FALSE(lex("99999999999999999999999999").ok());
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto tokens = lex("").take();
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace anchor::datalog

@@ -1,0 +1,140 @@
+#include "datalog/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anchor::datalog {
+namespace {
+
+TEST(Parser, FactWithConstants) {
+  auto program = parse_program("nov30th2022(1669784400).").take();
+  ASSERT_EQ(program.clauses.size(), 1u);
+  const Clause& clause = program.clauses[0];
+  EXPECT_TRUE(clause.is_fact());
+  EXPECT_EQ(clause.head.predicate, "nov30th2022");
+  ASSERT_EQ(clause.head.args.size(), 1u);
+  EXPECT_EQ(clause.head.args[0].constant, Value(std::int64_t{1669784400}));
+}
+
+TEST(Parser, RuleWithBody) {
+  auto program = parse_program(
+      "valid(Chain, \"TLS\") :- leaf(Chain, Cert), notBefore(Cert, NB), NB < 5.")
+      .take();
+  ASSERT_EQ(program.clauses.size(), 1u);
+  const Clause& clause = program.clauses[0];
+  EXPECT_FALSE(clause.is_fact());
+  EXPECT_EQ(clause.body.size(), 3u);
+  EXPECT_EQ(clause.body[0].kind, Literal::Kind::kAtom);
+  EXPECT_EQ(clause.body[2].kind, Literal::Kind::kComparison);
+  EXPECT_EQ(clause.body[2].cmp, CmpOp::kLt);
+}
+
+TEST(Parser, NegatedAtom) {
+  auto program = parse_program("p(X) :- q(X), \\+r(X).").take();
+  EXPECT_EQ(program.clauses[0].body[1].kind, Literal::Kind::kNegatedAtom);
+  EXPECT_EQ(program.clauses[0].body[1].atom.predicate, "r");
+}
+
+TEST(Parser, UppercasePredicateBeforeParen) {
+  // The paper's Listing 1 writes EV(Cert).
+  auto program = parse_program("p(X) :- q(X), \\+EV(X).").take();
+  EXPECT_EQ(program.clauses[0].body[1].atom.predicate, "EV");
+}
+
+TEST(Parser, ArithmeticAssignment) {
+  auto program =
+      parse_program("p(L) :- a(L, NA), b(L, NB), Lifetime = NA - NB, Lifetime <= 100.")
+          .take();
+  const Literal& assign = program.clauses[0].body[2];
+  EXPECT_EQ(assign.kind, Literal::Kind::kComparison);
+  EXPECT_EQ(assign.cmp, CmpOp::kEq);
+  EXPECT_EQ(assign.left.lhs.name, "Lifetime");
+  EXPECT_EQ(assign.right.op, ArithOp::kSub);
+}
+
+TEST(Parser, WildcardsBecomeFreshVariables) {
+  auto program = parse_program("p(X) :- q(X, _), r(_, X).").take();
+  const Term& w1 = program.clauses[0].body[0].atom.args[1];
+  const Term& w2 = program.clauses[0].body[1].atom.args[0];
+  EXPECT_TRUE(w1.is_var());
+  EXPECT_TRUE(w2.is_var());
+  EXPECT_NE(w1.name, w2.name);
+}
+
+TEST(Parser, NegativeIntegerConstant) {
+  auto program = parse_program("offset(-42).").take();
+  EXPECT_EQ(program.clauses[0].head.args[0].constant, Value(std::int64_t{-42}));
+}
+
+TEST(Parser, ZeroArityAtom) {
+  auto program = parse_program("flag() :- cond().").take();
+  EXPECT_EQ(program.clauses[0].head.arity(), 0u);
+}
+
+TEST(Parser, AtomConstantsVsVariables) {
+  auto program = parse_program("p(abc, Xyz, \"str\", 7).").take();
+  const auto& args = program.clauses[0].head.args;
+  EXPECT_TRUE(args[0].is_const());
+  EXPECT_EQ(args[0].constant, Value("abc"));
+  EXPECT_TRUE(args[1].is_var());
+  EXPECT_EQ(args[2].constant, Value("str"));
+  EXPECT_EQ(args[3].constant, Value(std::int64_t{7}));
+}
+
+TEST(Parser, MultipleClauses) {
+  auto program = parse_program("a(1).\na(2).\nb(X) :- a(X).").take();
+  EXPECT_EQ(program.clauses.size(), 3u);
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  const char* source =
+      "valid(Chain, \"TLS\") :- leaf(Chain, Cert), \\+EV(Cert), NB < T.";
+  auto program = parse_program(source).take();
+  // Reparse the rendering; ASTs must match.
+  auto reparsed = parse_program(program.to_string()).take();
+  EXPECT_EQ(program.clauses, reparsed.clauses);
+}
+
+TEST(Parser, QueryParsing) {
+  auto query = parse_query("valid(\"chain-1\", \"TLS\")?").take();
+  EXPECT_EQ(query.predicate, "valid");
+  EXPECT_EQ(query.args[0].constant, Value("chain-1"));
+  auto open_query = parse_query("reach(a, X)").take();
+  EXPECT_TRUE(open_query.args[1].is_var());
+}
+
+TEST(Parser, RejectsMalformedClauses) {
+  EXPECT_FALSE(parse_program("p(X)").ok());               // missing dot
+  EXPECT_FALSE(parse_program("p(X) :- .").ok());          // empty body
+  EXPECT_FALSE(parse_program("p(X :- q(X).").ok());       // bad paren
+  EXPECT_FALSE(parse_program(":- q(X).").ok());           // headless
+  EXPECT_FALSE(parse_program("p(X) :- q(X) r(X).").ok()); // missing comma
+  EXPECT_FALSE(parse_program("p(X) :- X.").ok());         // bare variable literal
+  EXPECT_FALSE(parse_program("123(X).").ok());            // numeric predicate
+}
+
+TEST(Parser, RejectsMalformedQueries) {
+  EXPECT_FALSE(parse_query("p(X)? extra").ok());
+  EXPECT_FALSE(parse_query("").ok());
+}
+
+TEST(Parser, ListingTwoShapeParses) {
+  auto program = parse_program(R"(
+june1st2016(1464753600).
+exempt("abc123").
+valid(Chain, _) :-
+  leaf(Chain, Cert),
+  notBefore(Cert, NB),
+  june1st2016(T),
+  NB < T.
+valid(Chain, _) :-
+  root(Chain, Root),
+  signs(Root, Int),
+  hash(Int, H),
+  exempt(H).
+)");
+  ASSERT_TRUE(program.ok()) << program.error();
+  EXPECT_EQ(program.value().clauses.size(), 4u);
+}
+
+}  // namespace
+}  // namespace anchor::datalog

@@ -1,0 +1,128 @@
+#include "incidents/incidents.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace anchor::incidents {
+namespace {
+
+// Parameterized over all six incidents: every labelled case must get the
+// verdict the primary's (GCC-expressed) policy dictates.
+class IncidentPolicy : public ::testing::TestWithParam<std::string> {
+ protected:
+  static Incident load(const std::string& name) {
+    for (Incident& incident : all_incidents()) {
+      if (incident.name == name) return std::move(incident);
+    }
+    ADD_FAILURE() << "unknown incident " << name;
+    return Incident{};
+  }
+};
+
+TEST_P(IncidentPolicy, CasesMatchPrimaryPolicy) {
+  Incident incident = load(GetParam());
+  ASSERT_FALSE(incident.cases.empty());
+  chain::ChainVerifier verifier(incident.store, incident.signatures);
+  for (const IncidentCase& test_case : incident.cases) {
+    chain::VerifyResult result =
+        verifier.verify(test_case.leaf, incident.pool, test_case.options);
+    EXPECT_EQ(result.ok, test_case.expect_valid)
+        << incident.name << ": " << test_case.label
+        << (result.ok ? "" : " | " + result.error);
+  }
+}
+
+TEST_P(IncidentPolicy, BinaryRemovalBreaksLegitimateChains) {
+  // The Debian problem (§2.3): a derivative that can only remove the root
+  // outright loses every chain the primary still accepts.
+  Incident incident = load(GetParam());
+  for (const auto& hash : incident.affected_roots) {
+    incident.store.distrust(hash, "binary derivative removal");
+  }
+  chain::ChainVerifier verifier(incident.store, incident.signatures);
+  for (const IncidentCase& test_case : incident.cases) {
+    chain::VerifyResult result =
+        verifier.verify(test_case.leaf, incident.pool, test_case.options);
+    EXPECT_FALSE(result.ok)
+        << incident.name << ": " << test_case.label
+        << " survived full removal";
+  }
+}
+
+TEST_P(IncidentPolicy, BinaryRetentionAcceptsWhatPrimaryRejects) {
+  // The opposite failure: a derivative that keeps the root with no GCC
+  // support accepts chains the primary rejects (unless they fail classic
+  // X.509 checks too).
+  Incident incident = load(GetParam());
+  chain::ChainVerifier verifier(incident.store, incident.signatures);
+  bool derivative_accepts_a_rejected_chain = false;
+  for (const IncidentCase& test_case : incident.cases) {
+    if (test_case.expect_valid) continue;
+    chain::VerifyOptions no_gcc = test_case.options;
+    no_gcc.run_gccs = false;
+    chain::VerifyResult result =
+        verifier.verify(test_case.leaf, incident.pool, no_gcc);
+    if (result.ok) derivative_accepts_a_rejected_chain = true;
+  }
+  EXPECT_TRUE(derivative_accepts_a_rejected_chain)
+      << incident.name
+      << ": expected at least one primary-rejected chain to pass a "
+         "GCC-ignorant derivative";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIncidents, IncidentPolicy,
+                         ::testing::Values("turktrust", "tubitak", "anssi",
+                                           "india-cca", "cnnic", "wosign",
+                                           "symantec"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Incidents, AllSevenArePresentAndDistinct) {
+  auto incidents = all_incidents();
+  ASSERT_EQ(incidents.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& incident : incidents) {
+    names.insert(incident.name);
+    EXPECT_FALSE(incident.summary.empty());
+    EXPECT_FALSE(incident.affected_roots.empty());
+    EXPECT_GT(incident.store.gccs().total(), 0u);
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Incidents, WosignConstrainsBothRoots) {
+  Incident wosign = make_wosign();
+  EXPECT_EQ(wosign.affected_roots.size(), 2u);
+  EXPECT_EQ(wosign.store.gccs().total(), 2u);
+  EXPECT_EQ(wosign.store.trusted_count(), 2u);
+}
+
+TEST(Incidents, SymantecUsesThePaperListing) {
+  Incident symantec = make_symantec();
+  const auto& gccs =
+      symantec.store.gccs().for_root(symantec.affected_roots[0]);
+  ASSERT_EQ(gccs.size(), 1u);
+  EXPECT_NE(gccs[0].source().find("june1st2016(1464753600)"),
+            std::string::npos);
+  EXPECT_NE(gccs[0].source().find("exempt("), std::string::npos);
+}
+
+TEST(Incidents, GccsCarryJustifications) {
+  for (const Incident& incident : all_incidents()) {
+    for (const auto& root : incident.store.gccs().roots_sorted()) {
+      for (const core::Gcc& gcc : incident.store.gccs().for_root(root)) {
+        EXPECT_FALSE(gcc.justification().empty())
+            << incident.name << "/" << gcc.name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anchor::incidents

@@ -1,0 +1,194 @@
+#include "net/handshake.hpp"
+
+#include <gtest/gtest.h>
+
+#include "incidents/incidents.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::net {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+struct HandshakePki {
+  SimSig sigs;
+  SimKeyPair root_key = SimSig::keygen("HS Root");
+  SimKeyPair int_key = SimSig::keygen("HS Int");
+  SimKeyPair leaf_key = SimSig::keygen("HS Leaf");
+  CertPtr root, intermediate, leaf;
+  rootstore::RootStore store;
+  static constexpr std::int64_t kNow = 1700000000;
+
+  HandshakePki() {
+    root = CertificateBuilder()
+               .serial(1)
+               .subject(DistinguishedName::make("HS Root", "T"))
+               .issuer(DistinguishedName::make("HS Root", "T"))
+               .validity(0, unix_date(2040, 1, 1))
+               .public_key(root_key.key_id)
+               .ca(std::nullopt)
+               .sign(root_key)
+               .take();
+    intermediate = CertificateBuilder()
+                       .serial(2)
+                       .subject(DistinguishedName::make("HS Int", "T"))
+                       .issuer(root->subject())
+                       .validity(0, unix_date(2039, 1, 1))
+                       .public_key(int_key.key_id)
+                       .ca(0)
+                       .sign(root_key)
+                       .take();
+    leaf = CertificateBuilder()
+               .serial(3)
+               .subject(DistinguishedName::make("www.example.com"))
+               .issuer(intermediate->subject())
+               .validity(kNow - 86400, kNow + 90 * 86400)
+               .public_key(leaf_key.key_id)
+               .dns_names({"www.example.com"})
+               .extended_key_usage({x509::oids::kp_server_auth()})
+               .sign(int_key)
+               .take();
+    sigs.register_key(root_key);
+    sigs.register_key(int_key);
+    sigs.register_key(leaf_key);
+    (void)store.add_trusted(root);
+  }
+
+  ServerIdentity identity() const {
+    return ServerIdentity{{leaf, intermediate}, leaf_key};
+  }
+
+  chain::VerifyOptions tls(const std::string& host) const {
+    chain::VerifyOptions options;
+    options.time = kNow;
+    options.hostname = host;
+    return options;
+  }
+};
+
+TEST(Handshake, SucceedsWithValidChain) {
+  HandshakePki pki;
+  chain::ChainVerifier verifier(pki.store, pki.sigs);
+  TlsLikeClient client(verifier, pki.sigs);
+  TlsLikeServer server(pki.identity());
+  HandshakeResult result =
+      handshake(client, server, pki.tls("www.example.com"));
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.verified_chain.size(), 3u);
+  EXPECT_EQ(result.verified_chain[0]->fingerprint(), pki.leaf->fingerprint());
+}
+
+TEST(Handshake, FailsOnHostnameMismatch) {
+  HandshakePki pki;
+  chain::ChainVerifier verifier(pki.store, pki.sigs);
+  TlsLikeClient client(verifier, pki.sigs);
+  TlsLikeServer server(pki.identity());
+  HandshakeResult result = handshake(client, server, pki.tls("evil.com"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("verify failed"), std::string::npos);
+  EXPECT_FALSE(result.alert_sent.empty());
+}
+
+TEST(Handshake, FailsWithoutProofOfPossession) {
+  // A MITM replays the real certificate chain but holds no leaf key: the
+  // Finished signature is made with some other key and must be rejected.
+  HandshakePki pki;
+  chain::ChainVerifier verifier(pki.store, pki.sigs);
+  TlsLikeClient client(verifier, pki.sigs);
+  ServerIdentity stolen = pki.identity();
+  stolen.leaf_key = SimSig::keygen("attacker");  // not the leaf's key
+  TlsLikeServer mitm(stolen);
+  HandshakeResult result = handshake(client, mitm, pki.tls("www.example.com"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("possession"), std::string::npos);
+}
+
+TEST(Handshake, GccBlocksTheConnection) {
+  HandshakePki pki;
+  pki.store.gccs().attach(
+      core::Gcc::for_certificate(
+          "block-new", *pki.root,
+          "cutoff(" + std::to_string(HandshakePki::kNow - 10 * 86400) +
+              ").\n"
+              "valid(Chain, _) :- leaf(Chain, L), notBefore(L, NB), "
+              "cutoff(T), NB < T.")
+          .take());
+  chain::ChainVerifier verifier(pki.store, pki.sigs);
+  TlsLikeClient client(verifier, pki.sigs);
+  TlsLikeServer server(pki.identity());
+  // The leaf was issued kNow-86400, after the cutoff: the GCC kills it mid
+  // handshake.
+  HandshakeResult result =
+      handshake(client, server, pki.tls("www.example.com"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("gcc:block-new"), std::string::npos);
+}
+
+TEST(Handshake, ServerOmittingIntermediateFails) {
+  HandshakePki pki;
+  chain::ChainVerifier verifier(pki.store, pki.sigs);
+  TlsLikeClient client(verifier, pki.sigs);
+  TlsLikeServer server(ServerIdentity{{pki.leaf}, pki.leaf_key});
+  HandshakeResult result =
+      handshake(client, server, pki.tls("www.example.com"));
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Handshake, EmptyRootStoreRejectsEverything) {
+  HandshakePki pki;
+  rootstore::RootStore empty;
+  chain::ChainVerifier verifier(empty, pki.sigs);
+  TlsLikeClient client(verifier, pki.sigs);
+  TlsLikeServer server(pki.identity());
+  EXPECT_FALSE(handshake(client, server, pki.tls("www.example.com")).ok);
+}
+
+TEST(Handshake, IncidentScenarioOverTheWire) {
+  // The Symantec cases, replayed as live handshakes: each case's leaf is
+  // served with its true intermediate; the wire verdict must match the
+  // incident expectation. (Server signs Finished with a key it does not
+  // possess for the mis-issued chains, so we disable that by granting the
+  // test server the real leaf keys — possession is not what these cases
+  // test.)
+  incidents::Incident symantec = incidents::make_symantec();
+  chain::ChainVerifier verifier(symantec.store, symantec.signatures);
+  SimSig registry = symantec.signatures;
+
+  for (const auto& test_case : symantec.cases) {
+    // Recover the leaf's signing key: incident leaves derive their keys
+    // from deterministic labels, so regenerate a fresh identity instead —
+    // here we simply re-sign Finished with a registered key by rebuilding
+    // the ServerIdentity with a known key and re-registering it.
+    SimKeyPair session_key = SimSig::keygen("wire-" + test_case.label);
+    registry.register_key(session_key);
+    // Re-issue an equivalent leaf bound to session_key via the same issuer
+    // is out of scope here; instead verify possession against the real
+    // leaf public key by skipping: use the case only for chain validation.
+    std::vector<x509::CertPtr> presented{test_case.leaf};
+    for (const auto& candidate :
+         symantec.pool.by_subject(test_case.leaf->issuer())) {
+      presented.push_back(candidate);
+    }
+    TlsLikeServer server(ServerIdentity{presented, session_key});
+    TlsLikeClient client(verifier, registry);
+    HandshakeResult result = handshake(client, server, test_case.options);
+    if (test_case.expect_valid) {
+      // Chain valid but possession fails (we don't hold the real key):
+      // the error must be the possession check, proving the chain cleared.
+      EXPECT_FALSE(result.ok);
+      EXPECT_NE(result.error.find("possession"), std::string::npos)
+          << test_case.label << ": " << result.error;
+    } else {
+      EXPECT_FALSE(result.ok);
+      EXPECT_NE(result.error.find("verify failed"), std::string::npos)
+          << test_case.label << ": " << result.error;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anchor::net

@@ -1,0 +1,123 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace anchor::net {
+namespace {
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  Message message;
+  message.type = MsgType::kCertificate;
+  message.payload = to_bytes("hello certificates");
+  Bytes frame = encode_frame(message);
+  EXPECT_EQ(frame.size(), 5 + message.payload.size());
+  auto decoded = decode_frame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  ASSERT_TRUE(decoded.value().complete);
+  EXPECT_EQ(decoded.value().message.type, MsgType::kCertificate);
+  EXPECT_EQ(decoded.value().message.payload, to_bytes("hello certificates"));
+  EXPECT_TRUE(frame.empty());  // consumed
+}
+
+TEST(Frame, EmptyPayload) {
+  Message message;
+  message.type = MsgType::kServerHello;
+  Bytes frame = encode_frame(message);
+  auto decoded = decode_frame(frame);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded.value().complete);
+  EXPECT_TRUE(decoded.value().message.payload.empty());
+}
+
+TEST(Frame, PartialFrameWaitsForMoreBytes) {
+  Message message;
+  message.type = MsgType::kFinished;
+  message.payload = Bytes(100, 0x42);
+  Bytes full = encode_frame(message);
+  Bytes partial(full.begin(), full.begin() + 50);
+  auto decoded = decode_frame(partial);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().complete);
+  EXPECT_EQ(partial.size(), 50u);  // untouched
+  // Complete it.
+  partial.insert(partial.end(), full.begin() + 50, full.end());
+  decoded = decode_frame(partial);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().complete);
+}
+
+TEST(Frame, TwoFramesDecodeInOrder) {
+  Message a;
+  a.type = MsgType::kClientHello;
+  a.payload = to_bytes("one");
+  Message b;
+  b.type = MsgType::kAlert;
+  b.payload = to_bytes("two");
+  Bytes buffer = encode_frame(a);
+  append(buffer, BytesView(encode_frame(b)));
+  auto first = decode_frame(buffer);
+  ASSERT_TRUE(first.ok() && first.value().complete);
+  EXPECT_EQ(first.value().message.payload, to_bytes("one"));
+  auto second = decode_frame(buffer);
+  ASSERT_TRUE(second.ok() && second.value().complete);
+  EXPECT_EQ(second.value().message.payload, to_bytes("two"));
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Frame, RejectsUnknownType) {
+  Bytes bad{0x77, 0, 0, 0, 0};
+  EXPECT_FALSE(decode_frame(bad).ok());
+}
+
+TEST(Frame, RejectsOversizedLength) {
+  Bytes bad{static_cast<std::uint8_t>(MsgType::kCertificate), 0xff, 0xff,
+            0xff, 0xff};
+  EXPECT_FALSE(decode_frame(bad).ok());
+}
+
+TEST(Channel, MessagesFlowBothWays) {
+  DuplexChannel channel;
+  Message ping;
+  ping.type = MsgType::kClientHello;
+  ping.payload = to_bytes("ping");
+  channel.client().send(ping);
+  ASSERT_TRUE(channel.server().has_pending());
+  auto received = channel.server().receive();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().payload, to_bytes("ping"));
+
+  Message pong;
+  pong.type = MsgType::kServerHello;
+  channel.server().send(pong);
+  auto back = channel.client().receive();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().type, MsgType::kServerHello);
+}
+
+TEST(Channel, ReceiveOnEmptyQueueFails) {
+  DuplexChannel channel;
+  EXPECT_FALSE(channel.client().receive().ok());
+  EXPECT_FALSE(channel.server().receive().ok());
+}
+
+TEST(CertificateList, RoundTrip) {
+  Rng rng(5);
+  std::vector<Bytes> ders{rng.random_bytes(100), rng.random_bytes(1),
+                          rng.random_bytes(900)};
+  Bytes payload = encode_certificate_list(ders);
+  auto decoded = decode_certificate_list(BytesView(payload));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), ders);
+}
+
+TEST(CertificateList, RejectsMalformed) {
+  EXPECT_FALSE(decode_certificate_list(Bytes{}).ok());          // empty list
+  EXPECT_FALSE(decode_certificate_list(Bytes{0, 0}).ok());      // short length
+  EXPECT_FALSE(decode_certificate_list(Bytes{0, 0, 0, 5, 1}).ok());  // short body
+  EXPECT_FALSE(decode_certificate_list(Bytes{0, 0, 0, 0}).ok());     // zero len
+}
+
+}  // namespace
+}  // namespace anchor::net

@@ -1,0 +1,130 @@
+#include "preemptive/scope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anchor::preemptive {
+namespace {
+
+const corpus::Corpus& shared_corpus() {
+  static const corpus::Corpus corpus = [] {
+    corpus::CorpusConfig config;
+    config.leaves_per_intermediate_mean = 6.0;
+    return corpus::Corpus::generate(config);
+  }();
+  return corpus;
+}
+
+TEST(Scope, IntermediateScopesCoverIssuance) {
+  const auto& corpus = shared_corpus();
+  auto scopes = analyze_intermediates(corpus);
+  ASSERT_EQ(scopes.size(), corpus.intermediates().size());
+  std::size_t total_observed = 0;
+  for (const auto& scope : scopes) total_observed += scope.certificates_observed;
+  EXPECT_EQ(total_observed, corpus.leaves().size());
+}
+
+TEST(Scope, ScopeFieldsArePopulated) {
+  const auto& corpus = shared_corpus();
+  auto scopes = analyze_intermediates(corpus);
+  // Find a busy intermediate.
+  const ScopeOfIssuance* busy = nullptr;
+  for (const auto& scope : scopes) {
+    if (scope.certificates_observed >= 5) {
+      busy = &scope;
+      break;
+    }
+  }
+  ASSERT_NE(busy, nullptr);
+  EXPECT_FALSE(busy->tlds.empty());
+  EXPECT_TRUE(busy->key_usages.contains("digitalSignature"));
+  EXPECT_GT(busy->max_lifetime_seconds, 0);
+  EXPECT_FALSE(busy->tld_counts.empty());
+}
+
+TEST(Scope, RootScopesAggregateSubordinates) {
+  const auto& corpus = shared_corpus();
+  auto int_scopes = analyze_intermediates(corpus);
+  auto root_scopes = analyze_roots(corpus);
+  ASSERT_EQ(root_scopes.size(), corpus.roots().size());
+  // A root's observation count equals the sum over its intermediates.
+  std::vector<std::size_t> expected(corpus.roots().size(), 0);
+  for (std::size_t i = 0; i < corpus.intermediates().size(); ++i) {
+    expected[static_cast<std::size_t>(corpus.intermediates()[i].parent_root)] +=
+        int_scopes[i].certificates_observed;
+  }
+  for (std::size_t r = 0; r < root_scopes.size(); ++r) {
+    EXPECT_EQ(root_scopes[r].certificates_observed, expected[r]);
+  }
+}
+
+TEST(Scope, CdfIsMonotoneAndEndsAtOne) {
+  const auto& corpus = shared_corpus();
+  auto scopes = analyze_intermediates(corpus);
+  auto cdf = tld_count_cdf(scopes, 40);
+  for (std::size_t k = 1; k < cdf.size(); ++k) {
+    EXPECT_GE(cdf[k], cdf[k - 1]);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(Scope, NinetyPercentOfCasIssueForAtMostTenTlds) {
+  // The CAge observation the paper cites (§5.2), on the calibrated corpus.
+  const auto& corpus = shared_corpus();
+  auto scopes = analyze_intermediates(corpus);
+  std::size_t p90 = tld_quantile(scopes, 0.90);
+  EXPECT_LE(p90, 10u);
+  EXPECT_GE(p90, 1u);
+  auto cdf = tld_count_cdf(scopes, 40);
+  EXPECT_GE(cdf[10], 0.85);  // ~90%, allow sampling noise
+}
+
+TEST(Scope, QuantileEdgeCases) {
+  std::vector<ScopeOfIssuance> empty;
+  EXPECT_EQ(tld_quantile(empty, 0.9), 0u);
+  ScopeOfIssuance one;
+  one.certificates_observed = 1;
+  one.tlds = {"com", "net"};
+  EXPECT_EQ(tld_quantile({one}, 0.9), 2u);
+}
+
+TEST(Bimodal, DetectsClearlySeparatedClusters) {
+  ScopeOfIssuance scope;
+  scope.certificates_observed = 1000;
+  // Heavy cluster: commercial TLDs; light cluster: government TLDs.
+  scope.tld_counts = {{"com", 500}, {"net", 420}, {"org", 380},
+                      {"gov", 4},   {"mil", 3},   {"edu", 2}};
+  auto split = detect_bimodal(scope);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_TRUE(split->heavy.contains("com"));
+  EXPECT_TRUE(split->heavy.contains("net"));
+  EXPECT_TRUE(split->light.contains("gov"));
+  EXPECT_TRUE(split->light.contains("mil"));
+  EXPECT_GE(split->separation, 2.0);
+}
+
+TEST(Bimodal, RejectsUniformIssuance) {
+  ScopeOfIssuance scope;
+  scope.certificates_observed = 400;
+  scope.tld_counts = {{"com", 100}, {"net", 95}, {"org", 105}, {"io", 100}};
+  EXPECT_FALSE(detect_bimodal(scope).has_value());
+}
+
+TEST(Bimodal, RejectsTooFewTlds) {
+  ScopeOfIssuance scope;
+  scope.certificates_observed = 100;
+  scope.tld_counts = {{"com", 90}, {"gov", 2}};
+  EXPECT_FALSE(detect_bimodal(scope).has_value());
+}
+
+TEST(Bimodal, MinClusterSizeIsRespected) {
+  ScopeOfIssuance scope;
+  scope.certificates_observed = 500;
+  scope.tld_counts = {{"com", 400}, {"net", 380}, {"org", 390},
+                      {"io", 410},  {"gov", 2}};
+  // Only one light TLD: below min_cluster=2.
+  EXPECT_FALSE(detect_bimodal(scope, 2.0, 2).has_value());
+  EXPECT_TRUE(detect_bimodal(scope, 2.0, 1).has_value());
+}
+
+}  // namespace
+}  // namespace anchor::preemptive

@@ -1,0 +1,240 @@
+#include "preemptive/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "incidents/listings.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::preemptive {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+// Mini-PKI for pre-emptive constraint enforcement.
+struct SynthPki {
+  SimKeyPair root_key = SimSig::keygen("Preemptive Root");
+  SimKeyPair int_key = SimSig::keygen("Preemptive Int");
+  CertPtr root, intermediate;
+
+  SynthPki() {
+    root = CertificateBuilder()
+               .serial(1)
+               .subject(DistinguishedName::make("Preemptive Root", "T"))
+               .issuer(DistinguishedName::make("Preemptive Root", "T"))
+               .validity(0, unix_date(2040, 1, 1))
+               .public_key(root_key.key_id)
+               .ca(std::nullopt)
+               .sign(root_key)
+               .take();
+    intermediate = CertificateBuilder()
+                       .serial(2)
+                       .subject(DistinguishedName::make("Preemptive Int", "T"))
+                       .issuer(root->subject())
+                       .validity(0, unix_date(2039, 1, 1))
+                       .public_key(int_key.key_id)
+                       .ca(0)
+                       .sign(root_key)
+                       .take();
+  }
+
+  CertPtr leaf(const std::string& domain, int lifetime_days,
+               const std::vector<asn1::Oid>& ekus,
+               const std::vector<std::string>& ku_names = {"digitalSignature"}) {
+    static int serial = 100;
+    SimKeyPair key = SimSig::keygen("sleaf" + std::to_string(serial));
+    x509::KeyUsage ku;
+    for (const auto& name : ku_names) {
+      auto bit = x509::KeyUsage::bit_by_name(name);
+      if (bit) ku.set(*bit);
+    }
+    return CertificateBuilder()
+        .serial(static_cast<std::uint64_t>(serial++))
+        .subject(DistinguishedName::make(domain))
+        .issuer(intermediate->subject())
+        .validity(1000000, 1000000 + std::int64_t{lifetime_days} * 86400)
+        .public_key(key.key_id)
+        .key_usage(ku)
+        .extended_key_usage(ekus)
+        .dns_names({domain})
+        .sign(int_key)
+        .take();
+  }
+
+  core::Chain chain(const CertPtr& leaf_cert) const {
+    return core::Chain{leaf_cert, intermediate, root};
+  }
+};
+
+ScopeOfIssuance example_scope() {
+  ScopeOfIssuance scope;
+  scope.certificates_observed = 500;
+  scope.tlds = {"com", "net"};
+  scope.key_usages = {"digitalSignature", "keyEncipherment"};
+  scope.extended_key_usages = {"id-kp-serverAuth", "id-kp-clientAuth"};
+  scope.max_lifetime_seconds = 90 * 86400;
+  return scope;
+}
+
+TEST(Synthesis, RenderedProgramIsValidGccSource) {
+  SynthPki pki;
+  auto gcc = synthesize("scope-1", *pki.root, example_scope());
+  ASSERT_TRUE(gcc.ok()) << gcc.error();
+  EXPECT_EQ(gcc.value().root_hash_hex(), pki.root->fingerprint_hex());
+  EXPECT_NE(gcc.value().source().find("allowedTLD(\"com\")"), std::string::npos);
+}
+
+TEST(Synthesis, EmptyScopeIsRejected) {
+  SynthPki pki;
+  EXPECT_FALSE(synthesize("scope-1", *pki.root, ScopeOfIssuance{}).ok());
+}
+
+TEST(Synthesis, InScopeLeafAccepted) {
+  SynthPki pki;
+  core::Gcc gcc = synthesize("scope", *pki.root, example_scope()).take();
+  core::GccExecutor executor;
+  CertPtr ok_leaf = pki.leaf("shop.example.com", 60,
+                             {x509::oids::kp_server_auth()});
+  EXPECT_TRUE(executor.evaluate_one(pki.chain(ok_leaf), "TLS", gcc));
+}
+
+TEST(Synthesis, OutOfScopeTldRejected) {
+  SynthPki pki;
+  core::Gcc gcc = synthesize("scope", *pki.root, example_scope()).take();
+  core::GccExecutor executor;
+  CertPtr bad = pki.leaf("ministry.example.gov", 60,
+                         {x509::oids::kp_server_auth()});
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(bad), "TLS", gcc));
+}
+
+TEST(Synthesis, NovelEkuRejected) {
+  SynthPki pki;
+  core::Gcc gcc = synthesize("scope", *pki.root, example_scope()).take();
+  core::GccExecutor executor;
+  CertPtr bad = pki.leaf("shop.example.com", 60,
+                         {x509::oids::kp_code_signing()});
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(bad), "TLS", gcc));
+}
+
+TEST(Synthesis, NovelKeyUsageRejected) {
+  SynthPki pki;
+  core::Gcc gcc = synthesize("scope", *pki.root, example_scope()).take();
+  core::GccExecutor executor;
+  CertPtr bad = pki.leaf("shop.example.com", 60, {x509::oids::kp_server_auth()},
+                         {"digitalSignature", "cRLSign"});
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(bad), "TLS", gcc));
+}
+
+TEST(Synthesis, ExcessiveLifetimeRejected) {
+  SynthPki pki;
+  core::Gcc gcc = synthesize("scope", *pki.root, example_scope()).take();
+  core::GccExecutor executor;
+  // Observed max 90d, slack 1.10 -> 99d limit. 120d must fail.
+  CertPtr bad = pki.leaf("shop.example.com", 120,
+                         {x509::oids::kp_server_auth()});
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(bad), "TLS", gcc));
+  // 95d sits inside the slack.
+  CertPtr ok = pki.leaf("shop2.example.com", 95,
+                        {x509::oids::kp_server_auth()});
+  EXPECT_TRUE(executor.evaluate_one(pki.chain(ok), "TLS", gcc));
+}
+
+TEST(Synthesis, OptionsDisableDimensions) {
+  SynthPki pki;
+  SynthesisOptions tld_only;
+  tld_only.constrain_key_usage = false;
+  tld_only.constrain_eku = false;
+  tld_only.constrain_lifetime = false;
+  core::Gcc gcc =
+      synthesize("tld-only", *pki.root, example_scope(), tld_only).take();
+  core::GccExecutor executor;
+  // Long lifetime + exotic EKU no longer matter; TLD still does.
+  CertPtr odd = pki.leaf("shop.example.com", 500,
+                         {x509::oids::kp_code_signing()});
+  EXPECT_TRUE(executor.evaluate_one(pki.chain(odd), "TLS", gcc));
+  CertPtr bad_tld = pki.leaf("shop.example.xyz", 30,
+                             {x509::oids::kp_server_auth()});
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(bad_tld), "TLS", gcc));
+}
+
+TEST(Cage, FiltersOnTldOnly) {
+  CageFilter filter(example_scope());
+  SynthPki pki;
+  EXPECT_TRUE(filter.allows(*pki.leaf("a.example.com", 60,
+                                      {x509::oids::kp_server_auth()})));
+  EXPECT_TRUE(filter.allows(*pki.leaf("b.example.net", 60,
+                                      {x509::oids::kp_server_auth()})));
+  EXPECT_FALSE(filter.allows(*pki.leaf("c.example.org", 60,
+                                       {x509::oids::kp_server_auth()})));
+  // CAge is blind to non-name dimensions: long lifetime still passes.
+  EXPECT_TRUE(filter.allows(*pki.leaf("d.example.com", 3650,
+                                      {x509::oids::kp_code_signing()})));
+}
+
+TEST(Listing3, CorrectedListingEnforcesAllThreeConjuncts) {
+  SynthPki pki;
+  core::Gcc gcc = core::Gcc::for_certificate(
+                      "listing3", *pki.root, incidents::listing3_preemptive())
+                      .take();
+  core::GccExecutor executor;
+  // One month = 2630000s ~ 30.4 days; a 30-day serverAuth leaf passes.
+  CertPtr good = pki.leaf("ok.example.com", 30, {x509::oids::kp_server_auth()});
+  EXPECT_TRUE(executor.evaluate_one(pki.chain(good), "TLS", gcc));
+  // 60-day lifetime fails.
+  CertPtr long_lived = pki.leaf("long.example.com", 60,
+                                {x509::oids::kp_server_auth()});
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(long_lived), "TLS", gcc));
+  // Missing serverAuth fails.
+  CertPtr wrong_eku = pki.leaf("eku.example.com", 30,
+                               {x509::oids::kp_email_protection()});
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(wrong_eku), "TLS", gcc));
+  // Missing digitalSignature fails.
+  CertPtr wrong_ku = pki.leaf("ku.example.com", 30,
+                              {x509::oids::kp_server_auth()}, {"keyAgreement"});
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(wrong_ku), "TLS", gcc));
+  // Listing 3 is TLS-only: nothing validates for S/MIME.
+  EXPECT_FALSE(executor.evaluate_one(pki.chain(good), "S/MIME", gcc));
+}
+
+TEST(Synthesis, SynthesizedFromRealScopeAcceptsOwnIssuance) {
+  // Round trip: analyze a corpus CA, synthesize its constraint, and verify
+  // every certificate it actually issued still validates (zero false
+  // rejections on in-scope traffic — the E11 property).
+  corpus::CorpusConfig config;
+  config.num_roots = 10;
+  config.num_intermediates = 25;
+  config.roots_with_path_len = 1;
+  config.intermediates_with_path_len = 20;
+  config.intermediates_with_name_constraints = 2;
+  config.roots_with_constrained_chain = 1;
+  config.leaves_per_intermediate_mean = 8.0;
+  corpus::Corpus corpus = corpus::Corpus::generate(config);
+  auto scopes = analyze_roots(corpus);
+  core::GccExecutor executor;
+
+  std::size_t checked = 0;
+  for (std::size_t r = 0; r < corpus.roots().size(); ++r) {
+    if (scopes[r].empty()) continue;
+    core::Gcc gcc = synthesize("auto", *corpus.roots()[r].cert, scopes[r]).take();
+    for (std::size_t i = 0; i < corpus.leaves().size(); ++i) {
+      const auto& record = corpus.leaves()[i];
+      const auto& intermediate =
+          corpus.intermediates()[static_cast<std::size_t>(
+              record.issuer_intermediate)];
+      if (static_cast<std::size_t>(intermediate.parent_root) != r) continue;
+      core::Chain chain = corpus.chain_for_leaf(i);
+      const char* usage = record.smime ? "S/MIME" : "TLS";
+      EXPECT_TRUE(executor.evaluate_one(chain, usage, gcc))
+          << "false rejection for " << record.domain;
+      if (++checked > 60) return;
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+}  // namespace
+}  // namespace anchor::preemptive

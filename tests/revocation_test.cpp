@@ -1,0 +1,220 @@
+#include "revocation/revocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/verifier.hpp"
+#include "core/executor.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::revocation {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+struct RevPki {
+  SimSig sigs;
+  SimKeyPair root_key = SimSig::keygen("Rev Root");
+  SimKeyPair int_key = SimSig::keygen("Rev Int");
+  SimKeyPair bad_int_key = SimSig::keygen("Rev Bad Int");
+  CertPtr root, intermediate, bad_intermediate;
+  rootstore::RootStore store;
+  static constexpr std::int64_t kNow = 1700000000;
+
+  RevPki() {
+    root = CertificateBuilder()
+               .serial(1)
+               .subject(DistinguishedName::make("Rev Root", "T"))
+               .issuer(DistinguishedName::make("Rev Root", "T"))
+               .validity(0, unix_date(2040, 1, 1))
+               .public_key(root_key.key_id)
+               .ca(std::nullopt)
+               .sign(root_key)
+               .take();
+    auto make_int = [&](const std::string& name, const SimKeyPair& key) {
+      return CertificateBuilder()
+          .serial(name == "Rev Int" ? 2 : 3)
+          .subject(DistinguishedName::make(name, "T"))
+          .issuer(root->subject())
+          .validity(0, unix_date(2039, 1, 1))
+          .public_key(key.key_id)
+          .ca(0)
+          .sign(root_key)
+          .take();
+    };
+    intermediate = make_int("Rev Int", int_key);
+    bad_intermediate = make_int("Rev Bad Int", bad_int_key);
+    sigs.register_key(root_key);
+    sigs.register_key(int_key);
+    sigs.register_key(bad_int_key);
+    (void)store.add_trusted(root);
+  }
+
+  CertPtr leaf(const std::string& domain, const SimKeyPair& issuer_key,
+               const CertPtr& issuer, std::uint64_t serial = 100) {
+    SimKeyPair key = SimSig::keygen("rleaf" + domain);
+    return CertificateBuilder()
+        .serial(serial)
+        .subject(DistinguishedName::make(domain))
+        .issuer(issuer->subject())
+        .validity(kNow - 86400, kNow + 90 * 86400)
+        .public_key(key.key_id)
+        .dns_names({domain})
+        .extended_key_usage({x509::oids::kp_server_auth()})
+        .sign(issuer_key)
+        .take();
+  }
+
+  chain::VerifyOptions tls(const std::string& host) const {
+    chain::VerifyOptions options;
+    options.time = kNow;
+    options.hostname = host;
+    return options;
+  }
+};
+
+TEST(CrlSetTest, BlocksByIssuerAndSerial) {
+  RevPki pki;
+  CertPtr victim = pki.leaf("a.example.com", pki.int_key, pki.intermediate, 77);
+  CertPtr sibling = pki.leaf("b.example.com", pki.int_key, pki.intermediate, 78);
+  CrlSet crlset;
+  crlset.block_by_issuer_serial(*pki.intermediate, *victim);
+  EXPECT_TRUE(crlset.is_revoked(*victim, BytesView(pki.intermediate->public_key())));
+  EXPECT_FALSE(crlset.is_revoked(*sibling, BytesView(pki.intermediate->public_key())));
+  // Same serial under another issuer is NOT revoked.
+  EXPECT_FALSE(crlset.is_revoked(*victim, BytesView(pki.bad_intermediate->public_key())));
+}
+
+TEST(CrlSetTest, BlocksBySpki) {
+  RevPki pki;
+  CertPtr victim = pki.leaf("a.example.com", pki.int_key, pki.intermediate);
+  CrlSet crlset;
+  crlset.block_spki(*victim);
+  EXPECT_TRUE(crlset.is_revoked(*victim, BytesView(pki.intermediate->public_key())));
+  EXPECT_TRUE(crlset.is_revoked(*victim, BytesView(pki.bad_intermediate->public_key())));
+}
+
+TEST(CrlSetTest, SerializeRoundTrip) {
+  RevPki pki;
+  CertPtr victim = pki.leaf("a.example.com", pki.int_key, pki.intermediate, 55);
+  CrlSet crlset;
+  crlset.block_by_issuer_serial(*pki.intermediate, *victim);
+  crlset.block_spki(*pki.bad_intermediate);
+  auto parsed = CrlSet::deserialize(crlset.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().size(), 2u);
+  EXPECT_TRUE(parsed.value().is_revoked(*victim,
+                                        BytesView(pki.intermediate->public_key())));
+  EXPECT_EQ(parsed.value().serialize(), crlset.serialize());
+}
+
+TEST(CrlSetTest, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(CrlSet::deserialize("nope").ok());
+  EXPECT_FALSE(CrlSet::deserialize("anchor-crlset/v1\nis missingpipe\n").ok());
+  EXPECT_FALSE(CrlSet::deserialize("anchor-crlset/v1\nbogus x\n").ok());
+  EXPECT_TRUE(CrlSet::deserialize("anchor-crlset/v1\n").ok());
+}
+
+TEST(OneCrlTest, BlocksByIssuerNameAndSerial) {
+  RevPki pki;
+  OneCrl onecrl;
+  onecrl.block(*pki.bad_intermediate);
+  EXPECT_TRUE(onecrl.is_revoked(*pki.bad_intermediate));
+  EXPECT_FALSE(onecrl.is_revoked(*pki.intermediate));
+}
+
+TEST(OneCrlTest, SerializeRoundTrip) {
+  RevPki pki;
+  OneCrl onecrl;
+  onecrl.block(*pki.bad_intermediate);
+  auto parsed = OneCrl::deserialize(onecrl.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_TRUE(parsed.value().is_revoked(*pki.bad_intermediate));
+  EXPECT_FALSE(OneCrl::deserialize("garbage").ok());
+}
+
+TEST(VerifierRevocation, CrlSetBlocksLeafDuringValidation) {
+  RevPki pki;
+  CertPtr victim = pki.leaf("mitm.example.com", pki.int_key, pki.intermediate, 91);
+  chain::CertificatePool pool;
+  pool.add(pki.intermediate);
+
+  CrlSet crlset;
+  chain::ChainVerifier verifier(pki.store, pki.sigs);
+  verifier.set_crlset(&crlset);
+  EXPECT_TRUE(verifier.verify(victim, pool, pki.tls("mitm.example.com")).ok);
+
+  crlset.block_by_issuer_serial(*pki.intermediate, *victim);
+  chain::VerifyResult result =
+      verifier.verify(victim, pool, pki.tls("mitm.example.com"));
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(VerifierRevocation, OneCrlBlocksIntermediateMidChain) {
+  // The MCS/CNNIC response: revoke the intermediate, keep the root.
+  RevPki pki;
+  CertPtr good = pki.leaf("good.example.com", pki.int_key, pki.intermediate);
+  CertPtr mitm = pki.leaf("google.com", pki.bad_int_key, pki.bad_intermediate);
+  chain::CertificatePool pool;
+  pool.add(pki.intermediate);
+  pool.add(pki.bad_intermediate);
+
+  OneCrl onecrl;
+  onecrl.block(*pki.bad_intermediate);
+  chain::ChainVerifier verifier(pki.store, pki.sigs);
+  verifier.set_onecrl(&onecrl);
+  EXPECT_TRUE(verifier.verify(good, pool, pki.tls("good.example.com")).ok);
+  EXPECT_FALSE(verifier.verify(mitm, pool, pki.tls("google.com")).ok);
+}
+
+TEST(Subsumption, RevocationGccEquivalentToOneCrl) {
+  // The paper's claim: GCCs subsume revocation. Build both mechanisms for
+  // the same revoked intermediate; every chain must get the same verdict.
+  RevPki pki;
+  CertPtr good = pki.leaf("good.example.com", pki.int_key, pki.intermediate);
+  CertPtr mitm = pki.leaf("google.com", pki.bad_int_key, pki.bad_intermediate);
+  chain::CertificatePool pool;
+  pool.add(pki.intermediate);
+  pool.add(pki.bad_intermediate);
+
+  // Mechanism A: OneCRL.
+  OneCrl onecrl;
+  onecrl.block(*pki.bad_intermediate);
+  chain::ChainVerifier onecrl_verifier(pki.store, pki.sigs);
+  onecrl_verifier.set_onecrl(&onecrl);
+
+  // Mechanism B: the compiled GCC.
+  rootstore::RootStore gcc_store;
+  (void)gcc_store.add_trusted(pki.root);
+  auto gcc = revocation_gcc("revocation", *pki.root,
+                            {pki.bad_intermediate->fingerprint_hex()});
+  ASSERT_TRUE(gcc.ok()) << gcc.error();
+  gcc_store.gccs().attach(std::move(gcc).take());
+  chain::ChainVerifier gcc_verifier(gcc_store, pki.sigs);
+
+  for (const auto& [leaf, host] :
+       std::vector<std::pair<CertPtr, std::string>>{
+           {good, "good.example.com"}, {mitm, "google.com"}}) {
+    EXPECT_EQ(onecrl_verifier.verify(leaf, pool, pki.tls(host)).ok,
+              gcc_verifier.verify(leaf, pool, pki.tls(host)).ok)
+        << host;
+  }
+  EXPECT_TRUE(gcc_verifier.verify(good, pool, pki.tls("good.example.com")).ok);
+  EXPECT_FALSE(gcc_verifier.verify(mitm, pool, pki.tls("google.com")).ok);
+}
+
+TEST(Subsumption, EmptyRevocationGccAllowsEverything) {
+  RevPki pki;
+  auto gcc = revocation_gcc("empty", *pki.root, {});
+  ASSERT_TRUE(gcc.ok()) << gcc.error();
+  core::GccExecutor executor;
+  CertPtr leaf = pki.leaf("any.example.com", pki.int_key, pki.intermediate);
+  core::Chain chain{leaf, pki.intermediate, pki.root};
+  EXPECT_TRUE(executor.evaluate_one(chain, "TLS", gcc.value()));
+}
+
+}  // namespace
+}  // namespace anchor::revocation

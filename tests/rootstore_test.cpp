@@ -1,0 +1,218 @@
+#include "rootstore/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+
+namespace anchor::rootstore {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+CertPtr make_root(const std::string& name) {
+  SimKeyPair key = SimSig::keygen(name);
+  return CertificateBuilder()
+      .serial(1)
+      .subject(DistinguishedName::make(name, "Org"))
+      .issuer(DistinguishedName::make(name, "Org"))
+      .validity(0, unix_date(2040, 1, 1))
+      .public_key(key.key_id)
+      .ca(std::nullopt)
+      .sign(key)
+      .take();
+}
+
+const std::string kValidGcc =
+    "valid(Chain, \"TLS\") :- leaf(Chain, L), notBefore(L, NB), NB < 100.";
+
+TEST(RootStore, TrustStates) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  CertPtr b = make_root("B");
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  store.distrust(b->fingerprint_hex(), "incident");
+
+  EXPECT_EQ(store.state_of(a->fingerprint_hex()), TrustState::kTrusted);
+  EXPECT_EQ(store.state_of(b->fingerprint_hex()), TrustState::kDistrusted);
+  EXPECT_EQ(store.state_of(std::string(64, '0')), TrustState::kUnknown);
+  EXPECT_EQ(store.trusted_count(), 1u);
+  EXPECT_EQ(store.distrusted_count(), 1u);
+}
+
+TEST(RootStore, DistrustMovesOutOfTrustedSet) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  store.distrust(a->fingerprint_hex(), "compromised");
+  EXPECT_EQ(store.state_of(a->fingerprint_hex()), TrustState::kDistrusted);
+  EXPECT_EQ(store.trusted_count(), 0u);
+  EXPECT_EQ(store.find(a->fingerprint_hex()), nullptr);
+}
+
+TEST(RootStore, NegativeInclusionBlocksReTrust) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  store.distrust(a->fingerprint_hex(), "removed by primary");
+  Status s = store.add_trusted(a);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.error().find("distrusted"), std::string::npos);
+  EXPECT_EQ(store.state_of(a->fingerprint_hex()), TrustState::kDistrusted);
+}
+
+TEST(RootStore, UncheckedAddModelsNonCompliantDerivative) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  store.distrust(a->fingerprint_hex(), "removed");
+  store.add_trusted_unchecked(a);
+  // Both sets now mention the root — the dangerous state merge flags.
+  EXPECT_EQ(store.trusted_count(), 1u);
+  EXPECT_EQ(store.distrusted_count(), 1u);
+}
+
+TEST(RootStore, ForgetReturnsToUnknown) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  EXPECT_TRUE(store.forget(a->fingerprint_hex()));
+  EXPECT_EQ(store.state_of(a->fingerprint_hex()), TrustState::kUnknown);
+  EXPECT_FALSE(store.forget(a->fingerprint_hex()));
+  // After forgetting, re-trust is allowed again.
+  EXPECT_TRUE(store.add_trusted(a).ok());
+}
+
+TEST(RootStore, MetadataStoredAndUpdated) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  RootMetadata metadata;
+  metadata.ev_allowed = true;
+  metadata.tls_distrust_after = 12345;
+  ASSERT_TRUE(store.add_trusted(a, metadata).ok());
+  const RootEntry* entry = store.find(a->fingerprint_hex());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->metadata.ev_allowed);
+  EXPECT_EQ(entry->metadata.tls_distrust_after, 12345);
+
+  metadata.ev_allowed = false;
+  ASSERT_TRUE(store.add_trusted(a, metadata).ok());  // update in place
+  EXPECT_FALSE(store.find(a->fingerprint_hex())->metadata.ev_allowed);
+  EXPECT_EQ(store.trusted_count(), 1u);
+}
+
+TEST(RootStore, TrustedPreservesInsertionOrder) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  CertPtr b = make_root("B");
+  CertPtr c = make_root("C");
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  ASSERT_TRUE(store.add_trusted(b).ok());
+  ASSERT_TRUE(store.add_trusted(c).ok());
+  auto trusted = store.trusted();
+  ASSERT_EQ(trusted.size(), 3u);
+  EXPECT_EQ(trusted[0]->cert->subject().common_name(), "A");
+  EXPECT_EQ(trusted[2]->cert->subject().common_name(), "C");
+}
+
+TEST(RootStore, SerializeDeserializeRoundTrip) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  CertPtr b = make_root("B");
+  RootMetadata metadata;
+  metadata.ev_allowed = true;
+  metadata.tls_distrust_after = 1669784400;
+  metadata.smime_distrust_after = 1669784401;
+  metadata.justification = "TrustCor-style constraints\nwith a newline";
+  ASSERT_TRUE(store.add_trusted(a, metadata).ok());
+  ASSERT_TRUE(store.add_trusted(b).ok());
+  store.distrust(std::string(64, 'e'), "WoSign-style removal");
+  store.gccs().attach(
+      core::Gcc::create("constraint-1", a->fingerprint_hex(), kValidGcc,
+                        "justified")
+          .take());
+
+  std::string text = store.serialize();
+  auto parsed = RootStore::deserialize(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const RootStore& copy = parsed.value();
+
+  EXPECT_EQ(copy.trusted_count(), 2u);
+  EXPECT_EQ(copy.distrusted_count(), 1u);
+  const RootEntry* entry = copy.find(a->fingerprint_hex());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->metadata, metadata);
+  EXPECT_EQ(copy.gccs().total(), 1u);
+  const auto& gccs = copy.gccs().for_root(a->fingerprint_hex());
+  ASSERT_EQ(gccs.size(), 1u);
+  EXPECT_EQ(gccs[0].name(), "constraint-1");
+  EXPECT_EQ(gccs[0].source(), kValidGcc);
+  EXPECT_EQ(copy.distrusted().begin()->second, "WoSign-style removal");
+}
+
+TEST(RootStore, SerializationIsDeterministic) {
+  auto build = [] {
+    RootStore store;
+    (void)store.add_trusted(make_root("A"));
+    (void)store.add_trusted(make_root("B"));
+    store.distrust(std::string(64, 'd'), "x");
+    return store;
+  };
+  EXPECT_EQ(build().serialize(), build().serialize());
+  EXPECT_EQ(build().content_hash_hex(), build().content_hash_hex());
+}
+
+TEST(RootStore, ContentHashChangesWithContent) {
+  RootStore store;
+  (void)store.add_trusted(make_root("A"));
+  std::string before = store.content_hash_hex();
+  store.distrust(std::string(64, 'f'), "y");
+  EXPECT_NE(store.content_hash_hex(), before);
+}
+
+TEST(RootStore, DeserializeRejectsMissingHeader) {
+  EXPECT_FALSE(RootStore::deserialize("not a store").ok());
+  EXPECT_FALSE(RootStore::deserialize("").ok());
+}
+
+TEST(RootStore, DeserializeRejectsHashMismatch) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  std::string text = store.serialize();
+  // Corrupt the recorded hash.
+  std::size_t pos = text.find(a->fingerprint_hex());
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = text[pos] == '0' ? '1' : '0';
+  EXPECT_FALSE(RootStore::deserialize(text).ok());
+}
+
+TEST(RootStore, DeserializeRejectsUnknownSection) {
+  EXPECT_FALSE(
+      RootStore::deserialize("anchor-root-store/v1\nbogus keyword\n").ok());
+}
+
+TEST(RootStore, DeserializeRejectsBadGccSource) {
+  RootStore store;
+  CertPtr a = make_root("A");
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  store.gccs().attach(
+      core::Gcc::create("g", a->fingerprint_hex(), kValidGcc).take());
+  std::string text = store.serialize();
+  // Swap the base64 source for garbage that decodes but does not parse.
+  std::size_t pos = text.find("source-b64 ");
+  ASSERT_NE(pos, std::string::npos);
+  std::string corrupted = text.substr(0, pos) + "source-b64 bm90IGRhdGFsb2c=\n";
+  EXPECT_FALSE(RootStore::deserialize(corrupted).ok());
+}
+
+TEST(RootStore, EmptyStoreRoundTrips) {
+  RootStore store;
+  auto parsed = RootStore::deserialize(store.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().trusted_count(), 0u);
+  EXPECT_EQ(parsed.value().distrusted_count(), 0u);
+}
+
+}  // namespace
+}  // namespace anchor::rootstore

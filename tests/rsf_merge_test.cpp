@@ -1,0 +1,178 @@
+#include "rsf/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+
+namespace anchor::rsf {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+CertPtr make_root(const std::string& name) {
+  SimKeyPair key = SimSig::keygen(name);
+  return CertificateBuilder()
+      .serial(1)
+      .subject(DistinguishedName::make(name, "Org"))
+      .issuer(DistinguishedName::make(name, "Org"))
+      .validity(0, unix_date(2040, 1, 1))
+      .public_key(key.key_id)
+      .ca(std::nullopt)
+      .sign(key)
+      .take();
+}
+
+const std::string kGcc =
+    "valid(Chain, \"TLS\") :- leaf(Chain, L), notBefore(L, NB), NB < 100.";
+
+TEST(Merge, CleanUnionOfDisjointStores) {
+  rootstore::RootStore primary;
+  (void)primary.add_trusted(make_root("P1"));
+  (void)primary.add_trusted(make_root("P2"));
+  rootstore::RootStore derivative;
+  (void)derivative.add_trusted(make_root("LocalCorp Root"));
+
+  MergeResult result = merge(primary, derivative);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.merged.trusted_count(), 3u);
+}
+
+TEST(Merge, FlagsDistrustedReAdd) {
+  // The Amazon Linux case: derivative re-adds roots NSS removed.
+  CertPtr removed = make_root("Removed Root");
+  rootstore::RootStore primary;
+  primary.distrust(removed->fingerprint_hex(), "compliance incident");
+  rootstore::RootStore derivative;
+  (void)derivative.add_trusted(removed);
+
+  MergeResult result = merge(primary, derivative, MergePolicy::kPrimaryWins);
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(result.conflicts[0].kind, ConflictKind::kDistrustedReAdded);
+  EXPECT_EQ(result.conflicts[0].root_hash, removed->fingerprint_hex());
+  // Primary wins: the root stays distrusted.
+  EXPECT_EQ(result.merged.state_of(removed->fingerprint_hex()),
+            rootstore::TrustState::kDistrusted);
+}
+
+TEST(Merge, DerivativeWinsPolicyReAddsRoot) {
+  CertPtr removed = make_root("Removed Root");
+  rootstore::RootStore primary;
+  primary.distrust(removed->fingerprint_hex(), "incident");
+  rootstore::RootStore derivative;
+  (void)derivative.add_trusted(removed);
+
+  MergeResult result = merge(primary, derivative, MergePolicy::kDerivativeWins);
+  ASSERT_EQ(result.conflicts.size(), 1u);  // still flagged
+  EXPECT_EQ(result.merged.state_of(removed->fingerprint_hex()),
+            rootstore::TrustState::kTrusted);
+}
+
+TEST(Merge, SixteenReAddedRootsProduceSixteenConflicts) {
+  // Ma et al.: "Amazon Linux re-added 16 root certificates after they had
+  // been explicitly removed by NSS."
+  rootstore::RootStore primary;
+  rootstore::RootStore derivative;
+  for (int i = 0; i < 16; ++i) {
+    CertPtr root = make_root("ReAdded " + std::to_string(i));
+    primary.distrust(root->fingerprint_hex(), "removed by NSS");
+    (void)derivative.add_trusted(root);
+  }
+  MergeResult result = merge(primary, derivative);
+  EXPECT_EQ(result.conflicts.size(), 16u);
+  for (const auto& conflict : result.conflicts) {
+    EXPECT_EQ(conflict.kind, ConflictKind::kDistrustedReAdded);
+  }
+}
+
+TEST(Merge, MetadataMismatchFlagged) {
+  CertPtr shared = make_root("Shared Root");
+  rootstore::RootStore primary;
+  rootstore::RootMetadata strict;
+  strict.tls_distrust_after = 1000;
+  (void)primary.add_trusted(shared, strict);
+  rootstore::RootStore derivative;
+  (void)derivative.add_trusted(shared, rootstore::RootMetadata{});
+
+  MergeResult result = merge(primary, derivative, MergePolicy::kPrimaryWins);
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(result.conflicts[0].kind, ConflictKind::kMetadataMismatch);
+  // Primary metadata survives.
+  EXPECT_EQ(result.merged.find(shared->fingerprint_hex())
+                ->metadata.tls_distrust_after,
+            1000);
+}
+
+TEST(Merge, IdenticalMetadataIsNotAConflict) {
+  CertPtr shared = make_root("Shared Root");
+  rootstore::RootMetadata metadata;
+  metadata.ev_allowed = true;
+  rootstore::RootStore primary;
+  (void)primary.add_trusted(shared, metadata);
+  rootstore::RootStore derivative;
+  (void)derivative.add_trusted(shared, metadata);
+  EXPECT_TRUE(merge(primary, derivative).clean());
+}
+
+TEST(Merge, DerivativeLocalDistrustNarrowsTrust) {
+  CertPtr root = make_root("Primary Root");
+  rootstore::RootStore primary;
+  (void)primary.add_trusted(root);
+  rootstore::RootStore derivative;
+  derivative.distrust(root->fingerprint_hex(), "local policy");
+
+  MergeResult result = merge(primary, derivative);
+  EXPECT_EQ(result.merged.state_of(root->fingerprint_hex()),
+            rootstore::TrustState::kDistrusted);
+  EXPECT_EQ(result.conflicts.size(), 1u);  // surfaced as divergence
+}
+
+TEST(Merge, GccsAreUnioned) {
+  CertPtr a = make_root("A");
+  CertPtr b = make_root("B");
+  rootstore::RootStore primary;
+  (void)primary.add_trusted(a);
+  (void)primary.add_trusted(b);
+  primary.gccs().attach(
+      core::Gcc::create("primary-gcc", a->fingerprint_hex(), kGcc).take());
+  rootstore::RootStore derivative;
+  (void)derivative.add_trusted(a);
+  derivative.gccs().attach(
+      core::Gcc::create("local-gcc", b->fingerprint_hex(), kGcc).take());
+
+  MergeResult result = merge(primary, derivative);
+  EXPECT_EQ(result.merged.gccs().total(), 2u);
+  EXPECT_EQ(result.merged.gccs().for_root(a->fingerprint_hex()).size(), 1u);
+  EXPECT_EQ(result.merged.gccs().for_root(b->fingerprint_hex()).size(), 1u);
+}
+
+TEST(Merge, PrimaryGccWinsNameCollision) {
+  CertPtr a = make_root("A");
+  rootstore::RootStore primary;
+  (void)primary.add_trusted(a);
+  primary.gccs().attach(
+      core::Gcc::create("shared-name", a->fingerprint_hex(), kGcc, "primary")
+          .take());
+  rootstore::RootStore derivative;
+  derivative.gccs().attach(
+      core::Gcc::create("shared-name", a->fingerprint_hex(), kGcc, "local")
+          .take());
+
+  MergeResult result = merge(primary, derivative);
+  const auto& gccs = result.merged.gccs().for_root(a->fingerprint_hex());
+  ASSERT_EQ(gccs.size(), 1u);
+  EXPECT_EQ(gccs[0].justification(), "primary");
+}
+
+TEST(Merge, EmptyStoresMergeToEmpty) {
+  rootstore::RootStore primary;
+  rootstore::RootStore derivative;
+  MergeResult result = merge(primary, derivative);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.merged.trusted_count(), 0u);
+}
+
+}  // namespace
+}  // namespace anchor::rsf

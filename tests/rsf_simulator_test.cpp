@@ -1,0 +1,124 @@
+#include "rsf/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anchor::rsf {
+namespace {
+
+SimConfig small_config() {
+  SimConfig config = SimConfig::with_default_derivatives();
+  config.duration = 365 * 86400;  // one simulated year keeps tests fast
+  config.release_interval = 60 * 86400;
+  config.num_roots = 12;
+  config.num_incidents = 3;
+  return config;
+}
+
+TEST(Simulator, ProducesReleasesAndIncidents) {
+  SimReport report = run_staleness_simulation(small_config());
+  EXPECT_GT(report.releases, 6u);  // 6 routine + 3 incident
+  EXPECT_EQ(report.incidents.size(), 3u);
+  EXPECT_EQ(report.derivatives.size(), 5u);
+  for (const auto& incident : report.incidents) {
+    EXPECT_GT(incident.primary_time, 0);
+    EXPECT_EQ(incident.windows.size(), 5u);
+  }
+}
+
+TEST(Simulator, RsfClientsCloseVulnerabilityWindowFast) {
+  SimReport report = run_staleness_simulation(small_config());
+  const DerivativeMetrics& hourly = report.derivatives[0];
+  ASSERT_EQ(hourly.name, "rsf-hourly");
+  ASSERT_GE(hourly.mean_vulnerability_window, 0);
+  // An hourly poller (stepped hourly) is never more than ~2h behind.
+  EXPECT_LE(hourly.max_vulnerability_window, 2 * 3600);
+}
+
+TEST(Simulator, ManualMirrorsAreMonthsBehind) {
+  SimReport report = run_staleness_simulation(small_config());
+  const DerivativeMetrics& manual = report.derivatives[2];
+  ASSERT_EQ(manual.name, "manual-distro");
+  // Ma et al. shape: months of lag (> 30 days on average).
+  EXPECT_GT(manual.mean_vulnerability_window, 30LL * 86400);
+  // And versions-behind stays substantial.
+  EXPECT_GT(manual.avg_versions_behind, 1.0);
+}
+
+TEST(Simulator, RsfBeatsManualOnEveryMetric) {
+  SimReport report = run_staleness_simulation(small_config());
+  const DerivativeMetrics& hourly = report.derivatives[0];
+  const DerivativeMetrics& manual_distro = report.derivatives[2];
+  const DerivativeMetrics& manual_mobile = report.derivatives[3];
+  for (const DerivativeMetrics* manual : {&manual_distro, &manual_mobile}) {
+    EXPECT_LT(hourly.avg_staleness_days, manual->avg_staleness_days);
+    EXPECT_LT(hourly.avg_versions_behind, manual->avg_versions_behind);
+    EXPECT_LT(hourly.mean_vulnerability_window,
+              manual->mean_vulnerability_window);
+  }
+}
+
+TEST(Simulator, DailyPollerSitsBetweenHourlyAndManual) {
+  SimReport report = run_staleness_simulation(small_config());
+  const DerivativeMetrics& hourly = report.derivatives[0];
+  const DerivativeMetrics& daily = report.derivatives[1];
+  const DerivativeMetrics& manual = report.derivatives[2];
+  ASSERT_EQ(daily.name, "rsf-daily");
+  EXPECT_LE(hourly.mean_vulnerability_window, daily.mean_vulnerability_window);
+  EXPECT_LT(daily.mean_vulnerability_window, manual.mean_vulnerability_window);
+  EXPECT_LE(daily.max_vulnerability_window, 2 * 86400);
+}
+
+TEST(Simulator, DeterministicUnderSameSeed) {
+  SimConfig config = small_config();
+  SimReport a = run_staleness_simulation(config);
+  SimReport b = run_staleness_simulation(config);
+  ASSERT_EQ(a.derivatives.size(), b.derivatives.size());
+  for (std::size_t i = 0; i < a.derivatives.size(); ++i) {
+    EXPECT_EQ(a.derivatives[i].avg_staleness_days,
+              b.derivatives[i].avg_staleness_days);
+    EXPECT_EQ(a.derivatives[i].mean_vulnerability_window,
+              b.derivatives[i].mean_vulnerability_window);
+  }
+  for (std::size_t i = 0; i < a.incidents.size(); ++i) {
+    EXPECT_EQ(a.incidents[i].windows, b.incidents[i].windows);
+  }
+}
+
+TEST(Simulator, DifferentSeedsChangeIncidentTiming) {
+  SimConfig a = small_config();
+  SimConfig b = small_config();
+  b.seed = 1234;
+  SimReport report_a = run_staleness_simulation(a);
+  SimReport report_b = run_staleness_simulation(b);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < report_a.incidents.size(); ++i) {
+    if (report_a.incidents[i].primary_time !=
+        report_b.incidents[i].primary_time) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Simulator, PollIntervalSweepIsMonotone) {
+  // Vulnerability windows grow (weakly) with the poll interval.
+  SimConfig config = small_config();
+  config.derivatives.clear();
+  for (std::int64_t interval : {3600LL, 6 * 3600LL, 86400LL, 7 * 86400LL}) {
+    SimDerivativeSpec spec;
+    spec.name = "rsf-" + std::to_string(interval);
+    spec.uses_rsf = true;
+    spec.rsf_poll_interval = interval;
+    config.derivatives.push_back(spec);
+  }
+  SimReport report = run_staleness_simulation(config);
+  for (std::size_t i = 1; i < report.derivatives.size(); ++i) {
+    EXPECT_LE(report.derivatives[i - 1].mean_vulnerability_window,
+              report.derivatives[i].mean_vulnerability_window)
+        << report.derivatives[i - 1].name << " vs "
+        << report.derivatives[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace anchor::rsf

@@ -1,0 +1,105 @@
+#include "util/base64.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace anchor {
+namespace {
+
+// RFC 4648 §10 test vectors.
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  Bytes out;
+  ASSERT_TRUE(base64_decode("Zm9vYmFy", out));
+  EXPECT_EQ(to_string(out), "foobar");
+  ASSERT_TRUE(base64_decode("Zg==", out));
+  EXPECT_EQ(to_string(out), "f");
+  ASSERT_TRUE(base64_decode("", out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Base64, DecodeRejectsMalformed) {
+  Bytes out;
+  EXPECT_FALSE(base64_decode("Zg=", out));     // bad length
+  EXPECT_FALSE(base64_decode("Z===", out));    // too much padding
+  EXPECT_FALSE(base64_decode("Zg==Zg==", out)); // data after padding
+  EXPECT_FALSE(base64_decode("!@#$", out));    // non-alphabet
+  EXPECT_FALSE(base64_decode("AAA\n", out));   // whitespace is caller's job
+}
+
+TEST(Base64, RoundTripSweep) {
+  Rng rng(7);
+  for (std::size_t len = 0; len < 100; ++len) {
+    Bytes data = rng.random_bytes(len);
+    Bytes back;
+    ASSERT_TRUE(base64_decode(base64_encode(data), back)) << "len=" << len;
+    EXPECT_EQ(data, back);
+  }
+}
+
+TEST(Pem, EncodeDecodeRoundTrip) {
+  Rng rng(21);
+  Bytes der = rng.random_bytes(200);
+  std::string pem = pem_encode("CERTIFICATE", der);
+  EXPECT_NE(pem.find("-----BEGIN CERTIFICATE-----"), std::string::npos);
+  EXPECT_NE(pem.find("-----END CERTIFICATE-----"), std::string::npos);
+  Bytes decoded;
+  ASSERT_TRUE(pem_decode(pem, "CERTIFICATE", decoded));
+  EXPECT_EQ(decoded, der);
+}
+
+TEST(Pem, LinesAreWrappedAt64Columns) {
+  Bytes der(100, 0xab);
+  std::string pem = pem_encode("X", der);
+  for (const char* line = pem.c_str(); *line;) {
+    const char* end = strchr(line, '\n');
+    ASSERT_NE(end, nullptr);
+    EXPECT_LE(end - line, 64 + 16);  // header lines slightly longer
+    line = end + 1;
+  }
+}
+
+TEST(Pem, DecodeSelectsCorrectLabel) {
+  Bytes a{1, 2, 3};
+  Bytes b{4, 5, 6};
+  std::string text = pem_encode("FIRST", a) + pem_encode("SECOND", b);
+  Bytes out;
+  ASSERT_TRUE(pem_decode(text, "SECOND", out));
+  EXPECT_EQ(out, b);
+  ASSERT_TRUE(pem_decode(text, "FIRST", out));
+  EXPECT_EQ(out, a);
+  EXPECT_FALSE(pem_decode(text, "THIRD", out));
+}
+
+TEST(Pem, DecodeIteratesConcatenatedBlocks) {
+  Bytes a{1, 2, 3};
+  Bytes b{9, 8, 7};
+  std::string text = pem_encode("CERTIFICATE", a) + pem_encode("CERTIFICATE", b);
+  Bytes out;
+  std::size_t rest = 0;
+  ASSERT_TRUE(pem_decode(text, "CERTIFICATE", out, &rest));
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(pem_decode(std::string_view(text).substr(rest), "CERTIFICATE", out));
+  EXPECT_EQ(out, b);
+}
+
+TEST(Pem, DecodeRejectsTruncatedBlock) {
+  Bytes der{1, 2, 3};
+  std::string pem = pem_encode("CERTIFICATE", der);
+  std::string truncated = pem.substr(0, pem.size() / 2);
+  Bytes out;
+  EXPECT_FALSE(pem_decode(truncated, "CERTIFICATE", out));
+}
+
+}  // namespace
+}  // namespace anchor

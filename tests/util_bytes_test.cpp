@@ -1,0 +1,68 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anchor {
+namespace {
+
+TEST(Bytes, HexEncodeKnownValues) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(to_hex(Bytes{0x00}), "00");
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(to_hex(Bytes{0x0f, 0xf0}), "0ff0");
+}
+
+TEST(Bytes, HexDecodeKnownValues) {
+  Bytes out;
+  ASSERT_TRUE(from_hex("deadbeef", out));
+  EXPECT_EQ(out, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  ASSERT_TRUE(from_hex("", out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Bytes, HexDecodeAcceptsUppercase) {
+  Bytes out;
+  ASSERT_TRUE(from_hex("DEADBEEF", out));
+  EXPECT_EQ(out, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, HexDecodeRejectsOddLength) {
+  Bytes out{0x42};
+  EXPECT_FALSE(from_hex("abc", out));
+  EXPECT_EQ(out, (Bytes{0x42}));  // untouched on failure
+}
+
+TEST(Bytes, HexDecodeRejectsNonHex) {
+  Bytes out;
+  EXPECT_FALSE(from_hex("zz", out));
+  EXPECT_FALSE(from_hex("0g", out));
+  EXPECT_FALSE(from_hex("  ", out));
+}
+
+TEST(Bytes, HexRoundTrip) {
+  for (int len = 0; len < 64; ++len) {
+    Bytes data;
+    for (int i = 0; i < len; ++i) {
+      data.push_back(static_cast<std::uint8_t>((i * 37 + len) & 0xff));
+    }
+    Bytes back;
+    ASSERT_TRUE(from_hex(to_hex(data), back));
+    EXPECT_EQ(data, back);
+  }
+}
+
+TEST(Bytes, CtEqualBasics) {
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, AppendAndStringConversion) {
+  Bytes buffer = to_bytes("hello");
+  append(buffer, to_bytes(" world"));
+  EXPECT_EQ(to_string(buffer), "hello world");
+}
+
+}  // namespace
+}  // namespace anchor

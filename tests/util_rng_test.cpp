@@ -1,0 +1,135 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace anchor {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng(11);
+  std::map<std::uint64_t, int> histogram;
+  for (int i = 0; i < 10000; ++i) ++histogram[rng.uniform(8)];
+  EXPECT_EQ(histogram.size(), 8u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, 900);  // ~1250 expected
+    EXPECT_LT(count, 1600);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    std::int64_t v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ZipfIsHeavyHeaded) {
+  Rng rng(23);
+  std::map<std::size_t, int> histogram;
+  for (int i = 0; i < 20000; ++i) ++histogram[rng.zipf(40, 1.8)];
+  // Rank 0 dominates, and low ranks dominate the tail collectively.
+  EXPECT_GT(histogram[0], histogram[5]);
+  int head = 0;
+  int total = 0;
+  for (const auto& [rank, count] : histogram) {
+    total += count;
+    if (rank < 10) head += count;
+  }
+  EXPECT_GT(static_cast<double>(head) / total, 0.85);
+}
+
+TEST(Rng, CountWithMeanIsPositiveAndRoughlyCalibrated) {
+  Rng rng(29);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    std::size_t count = rng.count_with_mean(12.0);
+    EXPECT_GE(count, 1u);
+    sum += static_cast<double>(count);
+  }
+  EXPECT_NEAR(sum / n, 12.0, 1.0);
+}
+
+TEST(Rng, RandomBytesLengthAndVariety) {
+  Rng rng(31);
+  Bytes data = rng.random_bytes(1000);
+  ASSERT_EQ(data.size(), 1000u);
+  std::map<std::uint8_t, int> histogram;
+  for (std::uint8_t b : data) ++histogram[b];
+  EXPECT_GT(histogram.size(), 200u);  // near-uniform over 256 values
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.fork(1);
+  Rng parent2(37);
+  Rng child2 = parent2.fork(1);
+  // Same lineage -> same stream.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+  // Different label -> different stream.
+  Rng parent3(37);
+  Rng other = parent3.fork(2);
+  int same = 0;
+  Rng parent4(37);
+  Rng child3 = parent4.fork(1);
+  for (int i = 0; i < 50; ++i) {
+    if (other.next_u64() == child3.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace anchor

@@ -1,0 +1,82 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anchor {
+namespace {
+
+TEST(Strings, SplitBasics) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("trailing,", ','), (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, CaseAndAffixHelpers) {
+  EXPECT_EQ(to_lower("EXample.COM"), "example.com");
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_EQ(trim("  padded\t\n"), "padded");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, DnsMatchesExact) {
+  EXPECT_TRUE(dns_matches("example.com", "example.com"));
+  EXPECT_TRUE(dns_matches("EXAMPLE.com", "example.COM"));
+  EXPECT_FALSE(dns_matches("example.com", "example.org"));
+  EXPECT_FALSE(dns_matches("www.example.com", "example.com"));
+}
+
+TEST(Strings, DnsMatchesWildcardSingleLabel) {
+  EXPECT_TRUE(dns_matches("www.example.com", "*.example.com"));
+  EXPECT_TRUE(dns_matches("api.example.com", "*.example.com"));
+  // Wildcard covers exactly one label (RFC 6125).
+  EXPECT_FALSE(dns_matches("a.b.example.com", "*.example.com"));
+  // Wildcard does not match the bare domain.
+  EXPECT_FALSE(dns_matches("example.com", "*.example.com"));
+  // Empty label does not match.
+  EXPECT_FALSE(dns_matches(".example.com", "*.example.com"));
+}
+
+TEST(Strings, DnsWithinConstraint) {
+  // Bare-domain constraint permits the domain and subdomains.
+  EXPECT_TRUE(dns_within_constraint("example.com", "example.com"));
+  EXPECT_TRUE(dns_within_constraint("a.example.com", "example.com"));
+  EXPECT_TRUE(dns_within_constraint("a.b.example.com", "example.com"));
+  EXPECT_FALSE(dns_within_constraint("badexample.com", "example.com"));
+  EXPECT_FALSE(dns_within_constraint("example.org", "example.com"));
+  // TLD-style constraint.
+  EXPECT_TRUE(dns_within_constraint("ego.gov.tr", "tr"));
+  EXPECT_FALSE(dns_within_constraint("ego.gov.trx", "tr"));
+}
+
+TEST(Strings, DnsLeadingDotConstraintIsSubdomainsOnly) {
+  // The paper notes Firefox and OpenSSL disagree on the leading dot; we
+  // implement the OpenSSL reading: ".example.com" excludes the bare domain.
+  EXPECT_TRUE(dns_within_constraint("www.example.com", ".example.com"));
+  EXPECT_FALSE(dns_within_constraint("example.com", ".example.com"));
+}
+
+TEST(Strings, EmptyConstraintPermitsEverything) {
+  EXPECT_TRUE(dns_within_constraint("anything.at.all", ""));
+}
+
+TEST(Strings, TldOf) {
+  EXPECT_EQ(tld_of("www.example.com"), "com");
+  EXPECT_EQ(tld_of("example.co.uk"), "uk");
+  EXPECT_EQ(tld_of("localhost"), "localhost");
+  EXPECT_EQ(tld_of("UPPER.ORG"), "org");
+}
+
+}  // namespace
+}  // namespace anchor

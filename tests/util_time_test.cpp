@@ -1,0 +1,77 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anchor {
+namespace {
+
+TEST(Time, EpochIsZero) {
+  EXPECT_EQ(to_unix(CivilTime{1970, 1, 1, 0, 0, 0}), 0);
+}
+
+TEST(Time, KnownTimestamps) {
+  // The paper's Listing 1 constant: November 30 2022 05:00 UTC.
+  EXPECT_EQ(to_unix(CivilTime{2022, 11, 30, 5, 0, 0}), 1669784400);
+  // The paper's Listing 2 constant: June 1 2016 04:00 UTC.
+  EXPECT_EQ(to_unix(CivilTime{2016, 6, 1, 4, 0, 0}), 1464753600);
+  EXPECT_EQ(unix_date(2000, 1, 1), 946684800);
+  EXPECT_EQ(unix_date(2038, 1, 19), 2147472000);
+}
+
+TEST(Time, PreEpochDates) {
+  EXPECT_EQ(unix_date(1969, 12, 31), -86400);
+  CivilTime c = from_unix(-86400);
+  EXPECT_EQ(c.year, 1969);
+  EXPECT_EQ(c.month, 12);
+  EXPECT_EQ(c.day, 31);
+}
+
+TEST(Time, RoundTripSweep) {
+  // Every 10007 seconds across several decades, conversion round-trips.
+  for (std::int64_t t = -500000000; t < 4102444800LL; t += 100000007LL) {
+    EXPECT_EQ(to_unix(from_unix(t)), t) << "t=" << t;
+  }
+}
+
+TEST(Time, LeapYearHandling) {
+  EXPECT_EQ(unix_date(2020, 3, 1) - unix_date(2020, 2, 28), 2 * 86400);
+  EXPECT_EQ(unix_date(2021, 3, 1) - unix_date(2021, 2, 28), 86400);
+  // 2000 was a leap year (divisible by 400), 1900 was not.
+  EXPECT_EQ(unix_date(2000, 3, 1) - unix_date(2000, 2, 28), 2 * 86400);
+  EXPECT_EQ(unix_date(1900, 3, 1) - unix_date(1900, 2, 28), 86400);
+}
+
+TEST(Time, Iso8601Format) {
+  EXPECT_EQ(format_iso8601(0), "1970-01-01T00:00:00Z");
+  EXPECT_EQ(format_iso8601(1669784400), "2022-11-30T05:00:00Z");
+}
+
+TEST(Time, Iso8601Parse) {
+  std::int64_t t = 0;
+  ASSERT_TRUE(parse_iso8601("2022-11-30T05:00:00Z", t));
+  EXPECT_EQ(t, 1669784400);
+  ASSERT_TRUE(parse_iso8601("1970-01-01T00:00:00Z", t));
+  EXPECT_EQ(t, 0);
+}
+
+TEST(Time, Iso8601ParseRejectsMalformed) {
+  std::int64_t t = 0;
+  EXPECT_FALSE(parse_iso8601("2022-11-30 05:00:00Z", t));  // no 'T'
+  EXPECT_FALSE(parse_iso8601("2022-11-30T05:00:00", t));   // no 'Z'
+  EXPECT_FALSE(parse_iso8601("2022-13-30T05:00:00Z", t));  // month 13
+  EXPECT_FALSE(parse_iso8601("2022-11-32T05:00:00Z", t));  // day 32
+  EXPECT_FALSE(parse_iso8601("22-11-30T05:00:00Z", t));    // short year
+  EXPECT_FALSE(parse_iso8601("2022-11-30T24:00:00Z", t));  // hour 24
+  EXPECT_FALSE(parse_iso8601("", t));
+}
+
+TEST(Time, FormatParseRoundTrip) {
+  for (std::int64_t t = 0; t < 4000000000LL; t += 86400007LL) {
+    std::int64_t back = -1;
+    ASSERT_TRUE(parse_iso8601(format_iso8601(t), back));
+    EXPECT_EQ(back, t);
+  }
+}
+
+}  // namespace
+}  // namespace anchor

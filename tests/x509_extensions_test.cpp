@@ -1,0 +1,176 @@
+#include "x509/extensions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "x509/oids.hpp"
+
+namespace anchor::x509 {
+namespace {
+
+TEST(BasicConstraintsExt, RoundTripCa) {
+  BasicConstraints bc{true, 3};
+  auto decoded = BasicConstraints::decode(BytesView(bc.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().is_ca);
+  EXPECT_EQ(decoded.value().path_len, 3);
+}
+
+TEST(BasicConstraintsExt, RoundTripNonCa) {
+  BasicConstraints bc{false, std::nullopt};
+  Bytes der = bc.encode();
+  EXPECT_EQ(der, (Bytes{0x30, 0x00}));  // DEFAULT FALSE omitted: empty SEQ
+  auto decoded = BasicConstraints::decode(BytesView(der));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().is_ca);
+  EXPECT_FALSE(decoded.value().path_len.has_value());
+}
+
+TEST(BasicConstraintsExt, CaWithoutPathLen) {
+  BasicConstraints bc{true, std::nullopt};
+  auto decoded = BasicConstraints::decode(BytesView(bc.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().is_ca);
+  EXPECT_FALSE(decoded.value().path_len.has_value());
+}
+
+TEST(BasicConstraintsExt, RejectsNegativePathLen) {
+  Bytes bad{0x30, 0x06, 0x01, 0x01, 0xff, 0x02, 0x01, 0xff};  // pathLen -1
+  EXPECT_FALSE(BasicConstraints::decode(BytesView(bad)).ok());
+}
+
+TEST(KeyUsageExt, RoundTripAllBits) {
+  KeyUsage ku;
+  ku.set(KeyUsageBit::kDigitalSignature);
+  ku.set(KeyUsageBit::kKeyCertSign);
+  ku.set(KeyUsageBit::kCrlSign);
+  auto decoded = KeyUsage::decode(BytesView(ku.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().has(KeyUsageBit::kDigitalSignature));
+  EXPECT_FALSE(decoded.value().has(KeyUsageBit::kKeyEncipherment));
+  EXPECT_TRUE(decoded.value().has(KeyUsageBit::kKeyCertSign));
+  EXPECT_TRUE(decoded.value().has(KeyUsageBit::kCrlSign));
+}
+
+TEST(KeyUsageExt, EachBitRoundTrips) {
+  const KeyUsageBit bits[] = {
+      KeyUsageBit::kDigitalSignature, KeyUsageBit::kNonRepudiation,
+      KeyUsageBit::kKeyEncipherment,  KeyUsageBit::kDataEncipherment,
+      KeyUsageBit::kKeyAgreement,     KeyUsageBit::kKeyCertSign,
+      KeyUsageBit::kCrlSign};
+  for (KeyUsageBit bit : bits) {
+    KeyUsage ku;
+    ku.set(bit);
+    auto decoded = KeyUsage::decode(BytesView(ku.encode()));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().bits, ku.bits);
+    ASSERT_EQ(ku.names().size(), 1u);
+    EXPECT_EQ(KeyUsage::bit_by_name(ku.names()[0]), bit);
+  }
+}
+
+TEST(KeyUsageExt, NamesMatchRfcSpelling) {
+  KeyUsage ku;
+  ku.set(KeyUsageBit::kDigitalSignature);
+  ku.set(KeyUsageBit::kCrlSign);
+  EXPECT_EQ(ku.names(), (std::vector<std::string>{"digitalSignature", "cRLSign"}));
+  EXPECT_FALSE(KeyUsage::bit_by_name("notAUsage").has_value());
+}
+
+TEST(ExtendedKeyUsageExt, RoundTripAndNames) {
+  ExtendedKeyUsage eku{{oids::kp_server_auth(), oids::kp_email_protection()}};
+  auto decoded = ExtendedKeyUsage::decode(BytesView(eku.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().has(oids::kp_server_auth()));
+  EXPECT_TRUE(decoded.value().has(oids::kp_email_protection()));
+  EXPECT_FALSE(decoded.value().has(oids::kp_code_signing()));
+  EXPECT_EQ(decoded.value().names(),
+            (std::vector<std::string>{"id-kp-serverAuth", "id-kp-emailProtection"}));
+}
+
+TEST(ExtendedKeyUsageExt, UnknownPurposeRendersAsOid) {
+  ExtendedKeyUsage eku{{asn1::Oid::from_string("1.2.3.4.5")}};
+  EXPECT_EQ(eku.names(), (std::vector<std::string>{"1.2.3.4.5"}));
+}
+
+TEST(SubjectAltNameExt, RoundTrip) {
+  SubjectAltName san{{"example.com", "*.example.com", "api.example.org"}};
+  auto decoded = SubjectAltName::decode(BytesView(san.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().dns_names, san.dns_names);
+}
+
+TEST(SubjectAltNameExt, EmptyList) {
+  SubjectAltName san;
+  auto decoded = SubjectAltName::decode(BytesView(san.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().dns_names.empty());
+}
+
+TEST(NameConstraintsExt, RoundTripBothSubtrees) {
+  NameConstraints nc;
+  nc.permitted_dns = {"gouv.fr", "fr"};
+  nc.excluded_dns = {"example.fr"};
+  auto decoded = NameConstraints::decode(BytesView(nc.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().permitted_dns, nc.permitted_dns);
+  EXPECT_EQ(decoded.value().excluded_dns, nc.excluded_dns);
+}
+
+TEST(NameConstraintsExt, PermittedOnly) {
+  NameConstraints nc;
+  nc.permitted_dns = {"in"};
+  auto decoded = NameConstraints::decode(BytesView(nc.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().permitted_dns, nc.permitted_dns);
+  EXPECT_TRUE(decoded.value().excluded_dns.empty());
+}
+
+TEST(NameConstraintsExt, AllowsSemantics) {
+  NameConstraints nc;
+  nc.permitted_dns = {"gov.in", "nic.in"};
+  EXPECT_TRUE(nc.allows("portal.gov.in"));
+  EXPECT_TRUE(nc.allows("gov.in"));
+  EXPECT_TRUE(nc.allows("sub.nic.in"));
+  EXPECT_FALSE(nc.allows("google.com"));
+  EXPECT_FALSE(nc.allows("fakegov.in"));
+}
+
+TEST(NameConstraintsExt, ExcludedOverridesPermitted) {
+  NameConstraints nc;
+  nc.permitted_dns = {"fr"};
+  nc.excluded_dns = {"evil.fr"};
+  EXPECT_TRUE(nc.allows("bank.fr"));
+  EXPECT_FALSE(nc.allows("sub.evil.fr"));
+  EXPECT_FALSE(nc.allows("evil.fr"));
+}
+
+TEST(NameConstraintsExt, EmptyPermittedListAllowsAll) {
+  NameConstraints nc;
+  nc.excluded_dns = {"bad.com"};
+  EXPECT_TRUE(nc.allows("anything.org"));
+  EXPECT_FALSE(nc.allows("x.bad.com"));
+}
+
+TEST(CertificatePoliciesExt, RoundTripAndHas) {
+  CertificatePolicies cp{{oids::ev_policy_marker(), oids::any_policy()}};
+  auto decoded = CertificatePolicies::decode(BytesView(cp.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().has(oids::ev_policy_marker()));
+  EXPECT_TRUE(decoded.value().has(oids::any_policy()));
+  EXPECT_FALSE(decoded.value().has(oids::kp_server_auth()));
+}
+
+TEST(KeyIdentifierExts, RoundTrip) {
+  SubjectKeyIdentifier ski{Bytes{1, 2, 3, 4}};
+  auto ski_decoded = SubjectKeyIdentifier::decode(BytesView(ski.encode()));
+  ASSERT_TRUE(ski_decoded.ok());
+  EXPECT_EQ(ski_decoded.value().key_id, ski.key_id);
+
+  AuthorityKeyIdentifier aki{Bytes{9, 8, 7}};
+  auto aki_decoded = AuthorityKeyIdentifier::decode(BytesView(aki.encode()));
+  ASSERT_TRUE(aki_decoded.ok());
+  EXPECT_EQ(aki_decoded.value().key_id, aki.key_id);
+}
+
+}  // namespace
+}  // namespace anchor::x509

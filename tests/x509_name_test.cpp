@@ -1,0 +1,65 @@
+#include "x509/name.hpp"
+
+#include <gtest/gtest.h>
+
+#include "x509/oids.hpp"
+
+namespace anchor::x509 {
+namespace {
+
+TEST(Name, MakeOrdersAttributesConventionally) {
+  DistinguishedName dn = DistinguishedName::make("Example Root", "Example Org", "US");
+  EXPECT_EQ(dn.common_name(), "Example Root");
+  EXPECT_EQ(dn.organization(), "Example Org");
+  EXPECT_EQ(dn.to_string(), "C=US, O=Example Org, CN=Example Root");
+}
+
+TEST(Name, MakeOmitsEmptyFields) {
+  DistinguishedName dn = DistinguishedName::make("Only CN");
+  EXPECT_EQ(dn.attributes().size(), 1u);
+  EXPECT_EQ(dn.to_string(), "CN=Only CN");
+}
+
+TEST(Name, EmptyName) {
+  DistinguishedName dn;
+  EXPECT_TRUE(dn.empty());
+  EXPECT_EQ(dn.common_name(), "");
+  EXPECT_EQ(dn.to_string(), "");
+}
+
+TEST(Name, AddCustomAttribute) {
+  DistinguishedName dn;
+  dn.add(oids::organizational_unit(), "Engineering");
+  EXPECT_EQ(dn.to_string(), "OU=Engineering");
+}
+
+TEST(Name, EncodeDecodeRoundTrip) {
+  DistinguishedName dn = DistinguishedName::make("Róot ßA", "Örg", "DE");
+  asn1::Writer w;
+  dn.encode(w);
+  asn1::Reader r(BytesView(w.data()));
+  DistinguishedName out;
+  ASSERT_TRUE(DistinguishedName::decode(r, out).ok());
+  EXPECT_EQ(out, dn);
+}
+
+TEST(Name, EqualityIsOrderSensitive) {
+  DistinguishedName a;
+  a.add(oids::common_name(), "X").add(oids::organization(), "Y");
+  DistinguishedName b;
+  b.add(oids::organization(), "Y").add(oids::common_name(), "X");
+  EXPECT_NE(a, b);  // RDN sequences are ordered
+  DistinguishedName c;
+  c.add(oids::common_name(), "X").add(oids::organization(), "Y");
+  EXPECT_EQ(a, c);
+}
+
+TEST(Name, DecodeRejectsGarbage) {
+  Bytes garbage{0x02, 0x01, 0x05};  // INTEGER, not SEQUENCE
+  asn1::Reader r{BytesView(garbage)};
+  DistinguishedName out;
+  EXPECT_FALSE(DistinguishedName::decode(r, out).ok());
+}
+
+}  // namespace
+}  // namespace anchor::x509

@@ -1,0 +1,604 @@
+// anchorctl — command-line companion for libanchor.
+//
+//   anchorctl inspect <cert.pem>                 print certificate fields
+//   anchorctl chain-facts <chain.pem>            chain -> Datalog facts (§3)
+//   anchorctl gcc-check <gcc.dl> <root.pem>      validate a GCC offline
+//   anchorctl gcc-eval <gcc.dl> <chain.pem> [--usage TLS|S/MIME]
+//   anchorctl datalog <program.dl> --query "p(X)?"
+//   anchorctl store-dump <store.txt>             summarize a root store
+//   anchorctl store-hash <store.txt>             canonical content hash
+//   anchorctl store-diff <old.txt> <new.txt>     RSF delta between stores
+//   anchorctl verify <store.txt> <chain.pem> --host <h> --time <iso8601>
+//                                 [--usage TLS|S/MIME]
+//   anchorctl feed-publish <dir> <store.txt> --time <iso8601> [--note "..."]
+//   anchorctl feed-verify <dir>              check signatures + hash chain
+//   anchorctl feed-apply <dir> <out.txt>     materialize the head snapshot
+//
+// Feed directories hold `feed.name` plus `snapshot-NNNN.txt` files (a
+// header block followed by the store payload) — a file-based RSF a
+// derivative can rsync/fetch. Signing keys derive deterministically from
+// the feed name via SimSig (the DESIGN.md §5 substitution), so publisher
+// and verifier need no key exchange in this simulation.
+//
+// <chain.pem> holds concatenated CERTIFICATE blocks, leaf first.
+// `verify` runs without signature verification: PEM files carry no SimSig
+// secrets (see DESIGN.md §5); structural, temporal, constraint and GCC
+// checks all still apply.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chain/verifier.hpp"
+#include "core/executor.hpp"
+#include "core/facts.hpp"
+#include "datalog/engine.hpp"
+#include "rootstore/store.hpp"
+#include "rsf/delta.hpp"
+#include "rsf/feed.hpp"
+#include "util/base64.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+using namespace anchor;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: anchorctl <command> [args]\n"
+               "  inspect <cert.pem>\n"
+               "  chain-facts <chain.pem>\n"
+               "  gcc-check <gcc.dl> <root.pem>\n"
+               "  gcc-eval <gcc.dl> <chain.pem> [--usage TLS|S/MIME]\n"
+               "  datalog <program.dl> --query \"p(X)?\"\n"
+               "  store-dump <store.txt>\n"
+               "  store-hash <store.txt>\n"
+               "  store-diff <old.txt> <new.txt>\n"
+               "  verify <store.txt> <chain.pem> --host <h> --time <iso8601>"
+               " [--usage TLS|S/MIME]\n"
+               "  feed-publish <dir> <store.txt> --time <iso8601> [--note s]\n"
+               "  feed-verify <dir>\n"
+               "  feed-apply <dir> <out-store.txt>\n");
+  return 2;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return err("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<std::vector<x509::CertPtr>> read_chain(const std::string& path) {
+  auto text = read_file(path);
+  if (!text) return err(text.error());
+  std::vector<x509::CertPtr> chain;
+  std::string_view rest = text.value();
+  while (true) {
+    Bytes der;
+    std::size_t consumed = 0;
+    if (!pem_decode(rest, "CERTIFICATE", der, &consumed)) break;
+    auto cert = x509::Certificate::parse(BytesView(der));
+    if (!cert) return err(path + ": " + cert.error());
+    chain.push_back(std::move(cert).take());
+    rest = rest.substr(consumed);
+  }
+  if (chain.empty()) return err(path + ": no CERTIFICATE blocks");
+  return chain;
+}
+
+void print_certificate(const x509::Certificate& cert) {
+  std::printf("subject      : %s\n", cert.subject().to_string().c_str());
+  std::printf("issuer       : %s\n", cert.issuer().to_string().c_str());
+  std::printf("serial       : %s\n", to_hex(BytesView(cert.serial())).c_str());
+  std::printf("not before   : %s\n", format_iso8601(cert.not_before()).c_str());
+  std::printf("not after    : %s\n", format_iso8601(cert.not_after()).c_str());
+  std::printf("sha256       : %s\n", cert.fingerprint_hex().c_str());
+  if (cert.is_ca()) {
+    if (auto plen = cert.path_len()) {
+      std::printf("basic constr : CA, pathLen=%d\n", *plen);
+    } else {
+      std::printf("basic constr : CA\n");
+    }
+  }
+  if (cert.key_usage()) {
+    std::printf("key usage    :");
+    for (const auto& name : cert.key_usage()->names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  if (cert.extended_key_usage()) {
+    std::printf("ext key usage:");
+    for (const auto& name : cert.extended_key_usage()->names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  if (cert.subject_alt_name()) {
+    std::printf("SANs         :");
+    for (const auto& name : cert.subject_alt_name()->dns_names) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  if (cert.name_constraints()) {
+    for (const auto& permitted : cert.name_constraints()->permitted_dns) {
+      std::printf("permitted    : %s\n", permitted.c_str());
+    }
+    for (const auto& excluded : cert.name_constraints()->excluded_dns) {
+      std::printf("excluded     : %s\n", excluded.c_str());
+    }
+  }
+  if (cert.is_ev()) std::printf("EV policy    : yes\n");
+}
+
+// Fetches the value following `flag`, or `fallback`.
+std::string flag_value(int argc, char** argv, const std::string& flag,
+                       const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto chain = read_chain(argv[0]);
+  if (!chain) {
+    std::fprintf(stderr, "error: %s\n", chain.error().c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < chain.value().size(); ++i) {
+    if (i > 0) std::printf("\n--- certificate %zu ---\n", i);
+    print_certificate(*chain.value()[i]);
+  }
+  return 0;
+}
+
+int cmd_chain_facts(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto chain = read_chain(argv[0]);
+  if (!chain) {
+    std::fprintf(stderr, "error: %s\n", chain.error().c_str());
+    return 1;
+  }
+  core::FactSet facts;
+  core::encode_chain(chain.value(), core::chain_id_of(chain.value()), facts);
+  for (const core::Fact& fact : facts.facts) {
+    std::printf("%s(", fact.predicate.c_str());
+    for (std::size_t i = 0; i < fact.args.size(); ++i) {
+      if (i > 0) std::printf(", ");
+      std::printf("%s", fact.args[i].to_string().c_str());
+    }
+    std::printf(").\n");
+  }
+  std::fprintf(stderr, "%zu facts\n", facts.size());
+  return 0;
+}
+
+int cmd_gcc_check(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto source = read_file(argv[0]);
+  if (!source) {
+    std::fprintf(stderr, "error: %s\n", source.error().c_str());
+    return 1;
+  }
+  auto roots = read_chain(argv[1]);
+  if (!roots) {
+    std::fprintf(stderr, "error: %s\n", roots.error().c_str());
+    return 1;
+  }
+  auto gcc = core::Gcc::for_certificate("cli-check", *roots.value()[0],
+                                        source.value());
+  if (!gcc) {
+    std::fprintf(stderr, "INVALID: %s\n", gcc.error().c_str());
+    return 1;
+  }
+  std::printf("OK: %zu clauses, binds to root %s\n",
+              gcc.value().program().clauses.size(),
+              gcc.value().root_hash_hex().substr(0, 16).c_str());
+  return 0;
+}
+
+int cmd_gcc_eval(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto source = read_file(argv[0]);
+  auto chain = read_chain(argv[1]);
+  if (!source || !chain) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!source ? source.error() : chain.error()).c_str());
+    return 1;
+  }
+  std::string usage_name = flag_value(argc, argv, "--usage", "TLS");
+  auto gcc = core::Gcc::for_certificate("cli-eval", *chain.value().back(),
+                                        source.value());
+  if (!gcc) {
+    std::fprintf(stderr, "error: %s\n", gcc.error().c_str());
+    return 1;
+  }
+  core::GccExecutor executor;
+  core::GccVerdict verdict;
+  bool ok =
+      executor.evaluate_one(chain.value(), usage_name, gcc.value(), &verdict);
+  std::printf("%s (usage %s, %zu facts, %llu tuples derived)\n",
+              ok ? "VALID" : "INVALID", usage_name.c_str(),
+              verdict.facts_encoded,
+              static_cast<unsigned long long>(verdict.stats.derived_tuples));
+  return ok ? 0 : 1;
+}
+
+int cmd_datalog(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto source = read_file(argv[0]);
+  if (!source) {
+    std::fprintf(stderr, "error: %s\n", source.error().c_str());
+    return 1;
+  }
+  std::string query = flag_value(argc, argv, "--query", "");
+  if (query.empty()) {
+    std::fprintf(stderr, "error: --query required\n");
+    return 2;
+  }
+  datalog::Engine engine;
+  if (Status s = engine.load(source.value()); !s) {
+    std::fprintf(stderr, "error: %s\n", s.error().c_str());
+    return 1;
+  }
+  auto result = engine.query(query);
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.error().c_str());
+    return 1;
+  }
+  if (result.value().bindings.empty()) {
+    std::printf("no.\n");
+    return 1;
+  }
+  for (const auto& binding : result.value().bindings) {
+    if (binding.empty()) {
+      std::printf("yes.\n");
+      continue;
+    }
+    bool first = true;
+    for (const auto& [var, value] : binding) {
+      std::printf("%s%s = %s", first ? "" : ", ", var.c_str(),
+                  value.to_string().c_str());
+      first = false;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+Result<rootstore::RootStore> load_store(const std::string& path) {
+  auto text = read_file(path);
+  if (!text) return err(text.error());
+  return rootstore::RootStore::deserialize(text.value());
+}
+
+int cmd_store_dump(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto store = load_store(argv[0]);
+  if (!store) {
+    std::fprintf(stderr, "error: %s\n", store.error().c_str());
+    return 1;
+  }
+  std::printf("trusted    : %zu\n", store.value().trusted_count());
+  std::printf("distrusted : %zu\n", store.value().distrusted_count());
+  std::printf("gccs       : %zu (on %zu roots)\n", store.value().gccs().total(),
+              store.value().gccs().constrained_roots());
+  for (const rootstore::RootEntry* entry : store.value().trusted()) {
+    const auto& gccs =
+        store.value().gccs().for_root(entry->cert->fingerprint_hex());
+    std::printf("  + %-40s %s%s%s\n",
+                entry->cert->subject().common_name().c_str(),
+                entry->metadata.ev_allowed ? "[EV] " : "",
+                entry->metadata.tls_distrust_after ? "[tls-cutoff] " : "",
+                gccs.empty() ? "" : "[GCC]");
+  }
+  for (const auto& [hash, justification] : store.value().distrusted()) {
+    std::printf("  - %s  (%s)\n", hash.substr(0, 16).c_str(),
+                justification.c_str());
+  }
+  return 0;
+}
+
+int cmd_store_hash(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto store = load_store(argv[0]);
+  if (!store) {
+    std::fprintf(stderr, "error: %s\n", store.error().c_str());
+    return 1;
+  }
+  std::printf("%s\n", store.value().content_hash_hex().c_str());
+  return 0;
+}
+
+int cmd_store_diff(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto old_store = load_store(argv[0]);
+  auto new_store = load_store(argv[1]);
+  if (!old_store || !new_store) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!old_store ? old_store.error() : new_store.error()).c_str());
+    return 1;
+  }
+  rsf::StoreDelta delta =
+      rsf::StoreDelta::diff(old_store.value(), new_store.value());
+  std::fputs(delta.serialize().c_str(), stdout);
+  std::fprintf(stderr, "%zu operations\n", delta.operations());
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto store = load_store(argv[0]);
+  auto chain = read_chain(argv[1]);
+  if (!store || !chain) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!store ? store.error() : chain.error()).c_str());
+    return 1;
+  }
+  chain::VerifyOptions options;
+  options.hostname = flag_value(argc, argv, "--host", "");
+  options.usage = flag_value(argc, argv, "--usage", "TLS") == "S/MIME"
+                      ? chain::Usage::kSmime
+                      : chain::Usage::kTls;
+  std::string time_text = flag_value(argc, argv, "--time", "");
+  if (time_text.empty() || !parse_iso8601(time_text, options.time)) {
+    std::fprintf(stderr, "error: --time <YYYY-MM-DDTHH:MM:SSZ> required\n");
+    return 2;
+  }
+  options.check_signatures = false;  // PEMs carry no SimSig secrets
+
+  chain::CertificatePool pool;
+  for (std::size_t i = 1; i < chain.value().size(); ++i) {
+    pool.add(chain.value()[i]);
+  }
+  SimSig no_keys;
+  chain::ChainVerifier verifier(store.value(), no_keys);
+  chain::VerifyResult result =
+      verifier.verify(chain.value()[0], pool, options);
+  if (result.ok) {
+    std::printf("VALID: chain of %zu to root '%s'\n", result.chain.size(),
+                result.chain.back()->subject().common_name().c_str());
+    return 0;
+  }
+  std::printf("INVALID: %s\n", result.error.c_str());
+  for (const auto& rejected : result.rejected_paths) {
+    std::printf("  tried: %s\n", rejected.c_str());
+  }
+  return 1;
+}
+
+// --- file-based feeds --------------------------------------------------------
+
+Result<std::string> feed_name_of(const std::string& dir) {
+  auto name = read_file(dir + "/feed.name");
+  if (!name) return err(name.error());
+  return std::string(trim(name.value()));
+}
+
+std::string snapshot_path(const std::string& dir, std::uint64_t sequence) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04llu",
+                static_cast<unsigned long long>(sequence));
+  return dir + "/snapshot-" + buf + ".txt";
+}
+
+std::string serialize_snapshot(const rsf::Snapshot& snap) {
+  std::string out = "anchor-rsf-file/v1\n";
+  out += "seq " + std::to_string(snap.sequence) + "\n";
+  out += "time " + std::to_string(snap.published_at) + "\n";
+  out += "prev " + (snap.prev_hash.empty() ? "-" : snap.prev_hash) + "\n";
+  out += "payload-hash " + snap.payload_hash + "\n";
+  out += "annotation-b64 " +
+         base64_encode(BytesView(to_bytes(snap.annotation))) + "\n";
+  out += "signature-hex " + to_hex(BytesView(snap.signature)) + "\n";
+  out += "payload:\n";
+  out += snap.payload;
+  return out;
+}
+
+Result<rsf::Snapshot> parse_snapshot(const std::string& text) {
+  rsf::Snapshot snap;
+  std::size_t pos = 0;
+  auto next_line = [&]() -> std::string {
+    std::size_t end = text.find('\n', pos);
+    std::string line = text.substr(pos, end - pos);
+    pos = end == std::string::npos ? text.size() : end + 1;
+    return line;
+  };
+  if (next_line() != "anchor-rsf-file/v1") return err("feed: bad header");
+  auto field = [&](const std::string& key) -> Result<std::string> {
+    std::string line = next_line();
+    if (!starts_with(line, key + " ")) return err("feed: expected " + key);
+    return line.substr(key.size() + 1);
+  };
+  auto seq = field("seq");
+  if (!seq) return err(seq.error());
+  snap.sequence = std::strtoull(seq.value().c_str(), nullptr, 10);
+  auto time_field = field("time");
+  if (!time_field) return err(time_field.error());
+  snap.published_at = std::strtoll(time_field.value().c_str(), nullptr, 10);
+  auto prev = field("prev");
+  if (!prev) return err(prev.error());
+  snap.prev_hash = prev.value() == "-" ? "" : prev.value();
+  auto payload_hash = field("payload-hash");
+  if (!payload_hash) return err(payload_hash.error());
+  snap.payload_hash = payload_hash.value();
+  auto annotation = field("annotation-b64");
+  if (!annotation) return err(annotation.error());
+  Bytes decoded;
+  if (!base64_decode(annotation.value(), decoded)) {
+    return err("feed: bad annotation");
+  }
+  snap.annotation = to_string(BytesView(decoded));
+  auto signature = field("signature-hex");
+  if (!signature) return err(signature.error());
+  if (!from_hex(signature.value(), snap.signature)) {
+    return err("feed: bad signature hex");
+  }
+  if (next_line() != "payload:") return err("feed: missing payload marker");
+  snap.payload = text.substr(pos);
+  return snap;
+}
+
+Result<std::vector<rsf::Snapshot>> load_feed(const std::string& dir) {
+  std::vector<rsf::Snapshot> run;
+  for (std::uint64_t seq = 1;; ++seq) {
+    auto text = read_file(snapshot_path(dir, seq));
+    if (!text) break;
+    auto snap = parse_snapshot(text.value());
+    if (!snap) return err(snapshot_path(dir, seq) + ": " + snap.error());
+    if (snap.value().sequence != seq) return err("feed: sequence mismatch");
+    run.push_back(std::move(snap).take());
+  }
+  return run;
+}
+
+int cmd_feed_publish(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string dir = argv[0];
+  auto store = load_store(argv[1]);
+  if (!store) {
+    std::fprintf(stderr, "error: %s\n", store.error().c_str());
+    return 1;
+  }
+  std::string time_text = flag_value(argc, argv, "--time", "");
+  std::int64_t published_at = 0;
+  if (time_text.empty() || !parse_iso8601(time_text, published_at)) {
+    std::fprintf(stderr, "error: --time <YYYY-MM-DDTHH:MM:SSZ> required\n");
+    return 2;
+  }
+  auto name = feed_name_of(dir);
+  if (!name) {
+    std::fprintf(stderr, "error: %s (create <dir>/feed.name first)\n",
+                 name.error().c_str());
+    return 1;
+  }
+  auto existing = load_feed(dir);
+  if (!existing) {
+    std::fprintf(stderr, "error: %s\n", existing.error().c_str());
+    return 1;
+  }
+
+  rsf::Snapshot snap;
+  snap.sequence = existing.value().size() + 1;
+  snap.published_at = published_at;
+  snap.annotation = flag_value(argc, argv, "--note", "");
+  snap.payload = store.value().serialize();
+  snap.payload_hash = Sha256::hash_hex(BytesView(to_bytes(snap.payload)));
+  snap.prev_hash =
+      existing.value().empty() ? "" : existing.value().back().payload_hash;
+  SimKeyPair key = SimSig::keygen("rsf-feed-" + name.value());
+  snap.signature = SimSig::sign(key, BytesView(snap.transcript()));
+
+  std::ofstream out(snapshot_path(dir, snap.sequence), std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write snapshot\n");
+    return 1;
+  }
+  out << serialize_snapshot(snap);
+  std::printf("published snapshot %llu to %s\n",
+              static_cast<unsigned long long>(snap.sequence),
+              snapshot_path(dir, snap.sequence).c_str());
+  return 0;
+}
+
+int cmd_feed_verify(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::string dir = argv[0];
+  auto name = feed_name_of(dir);
+  if (!name) {
+    std::fprintf(stderr, "error: %s\n", name.error().c_str());
+    return 1;
+  }
+  auto run = load_feed(dir);
+  if (!run) {
+    std::fprintf(stderr, "error: %s\n", run.error().c_str());
+    return 1;
+  }
+  if (run.value().empty()) {
+    std::printf("empty feed\n");
+    return 0;
+  }
+  SimSig registry;
+  SimKeyPair key = SimSig::keygen("rsf-feed-" + name.value());
+  registry.register_key(key);
+  Status status = rsf::Feed::verify_run(run.value(), "", BytesView(key.key_id),
+                                        registry);
+  if (!status.ok()) {
+    std::printf("FEED INVALID: %s\n", status.error().c_str());
+    return 1;
+  }
+  std::printf("feed OK: %zu snapshot(s), head seq %llu, head hash %s\n",
+              run.value().size(),
+              static_cast<unsigned long long>(run.value().back().sequence),
+              run.value().back().payload_hash.substr(0, 16).c_str());
+  return 0;
+}
+
+int cmd_feed_apply(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string dir = argv[0];
+  auto name = feed_name_of(dir);
+  if (!name) {
+    std::fprintf(stderr, "error: %s\n", name.error().c_str());
+    return 1;
+  }
+  auto run = load_feed(dir);
+  if (!run || run.value().empty()) {
+    std::fprintf(stderr, "error: %s\n",
+                 run.ok() ? "empty feed" : run.error().c_str());
+    return 1;
+  }
+  SimSig registry;
+  SimKeyPair key = SimSig::keygen("rsf-feed-" + name.value());
+  registry.register_key(key);
+  if (Status s = rsf::Feed::verify_run(run.value(), "", BytesView(key.key_id),
+                                       registry);
+      !s.ok()) {
+    std::fprintf(stderr, "refusing to apply: %s\n", s.error().c_str());
+    return 1;
+  }
+  // Payload integrity is covered by verify_run; parse to confirm shape.
+  auto parsed = rootstore::RootStore::deserialize(run.value().back().payload);
+  if (!parsed) {
+    std::fprintf(stderr, "error: %s\n", parsed.error().c_str());
+    return 1;
+  }
+  std::ofstream out(argv[1], std::ios::binary);
+  out << run.value().back().payload;
+  std::printf("applied snapshot %llu: %zu trusted, %zu distrusted, %zu gccs "
+              "-> %s\n",
+              static_cast<unsigned long long>(run.value().back().sequence),
+              parsed.value().trusted_count(), parsed.value().distrusted_count(),
+              parsed.value().gccs().total(), argv[1]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string command = argv[1];
+  int rest_argc = argc - 2;
+  char** rest_argv = argv + 2;
+  if (command == "inspect") return cmd_inspect(rest_argc, rest_argv);
+  if (command == "chain-facts") return cmd_chain_facts(rest_argc, rest_argv);
+  if (command == "gcc-check") return cmd_gcc_check(rest_argc, rest_argv);
+  if (command == "gcc-eval") return cmd_gcc_eval(rest_argc, rest_argv);
+  if (command == "datalog") return cmd_datalog(rest_argc, rest_argv);
+  if (command == "store-dump") return cmd_store_dump(rest_argc, rest_argv);
+  if (command == "store-hash") return cmd_store_hash(rest_argc, rest_argv);
+  if (command == "store-diff") return cmd_store_diff(rest_argc, rest_argv);
+  if (command == "verify") return cmd_verify(rest_argc, rest_argv);
+  if (command == "feed-publish") return cmd_feed_publish(rest_argc, rest_argv);
+  if (command == "feed-verify") return cmd_feed_verify(rest_argc, rest_argv);
+  if (command == "feed-apply") return cmd_feed_apply(rest_argc, rest_argv);
+  return usage();
+}
