@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctlog.dir/bench_ctlog.cpp.o"
+  "CMakeFiles/bench_ctlog.dir/bench_ctlog.cpp.o.d"
+  "bench_ctlog"
+  "bench_ctlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distrust_modes.dir/bench_distrust_modes.cpp.o"
+  "CMakeFiles/bench_distrust_modes.dir/bench_distrust_modes.cpp.o.d"
+  "bench_distrust_modes"
+  "bench_distrust_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distrust_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gcc_eval.dir/bench_gcc_eval.cpp.o"
+  "CMakeFiles/bench_gcc_eval.dir/bench_gcc_eval.cpp.o.d"
+  "bench_gcc_eval"
+  "bench_gcc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gcc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preemptive.dir/bench_preemptive.cpp.o"
+  "CMakeFiles/bench_preemptive.dir/bench_preemptive.cpp.o.d"
+  "bench_preemptive"
+  "bench_preemptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preemptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rsf_merge.dir/bench_rsf_merge.cpp.o"
+  "CMakeFiles/bench_rsf_merge.dir/bench_rsf_merge.cpp.o.d"
+  "bench_rsf_merge"
+  "bench_rsf_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rsf_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scope.dir/bench_scope.cpp.o"
+  "CMakeFiles/bench_scope.dir/bench_scope.cpp.o.d"
+  "bench_scope"
+  "bench_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_staleness.cpp" "bench/CMakeFiles/bench_staleness.dir/bench_staleness.cpp.o" "gcc" "bench/CMakeFiles/bench_staleness.dir/bench_staleness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctlog/CMakeFiles/anchor_ctlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/anchor_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/revocation/CMakeFiles/anchor_revocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/incidents/CMakeFiles/anchor_incidents.dir/DependInfo.cmake"
+  "/root/repo/build/src/preemptive/CMakeFiles/anchor_preemptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/anchor_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsf/CMakeFiles/anchor_rsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/anchor_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/rootstore/CMakeFiles/anchor_rootstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anchor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/anchor_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/anchor_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/anchor_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anchor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_audit.dir/ct_audit.cpp.o"
+  "CMakeFiles/ct_audit.dir/ct_audit.cpp.o.d"
+  "ct_audit"
+  "ct_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

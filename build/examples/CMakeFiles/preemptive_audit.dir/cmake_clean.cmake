@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemptive_audit.dir/preemptive_audit.cpp.o"
+  "CMakeFiles/preemptive_audit.dir/preemptive_audit.cpp.o.d"
+  "preemptive_audit"
+  "preemptive_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemptive_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

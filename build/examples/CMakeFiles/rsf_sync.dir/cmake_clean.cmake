@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_sync.dir/rsf_sync.cpp.o"
+  "CMakeFiles/rsf_sync.dir/rsf_sync.cpp.o.d"
+  "rsf_sync"
+  "rsf_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

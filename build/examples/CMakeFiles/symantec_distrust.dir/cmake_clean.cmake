@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symantec_distrust.dir/symantec_distrust.cpp.o"
+  "CMakeFiles/symantec_distrust.dir/symantec_distrust.cpp.o.d"
+  "symantec_distrust"
+  "symantec_distrust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symantec_distrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

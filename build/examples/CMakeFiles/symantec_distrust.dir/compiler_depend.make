@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for symantec_distrust.
+# This may be replaced when dependencies are built.

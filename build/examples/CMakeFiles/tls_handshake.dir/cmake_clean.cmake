@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_handshake.dir/tls_handshake.cpp.o"
+  "CMakeFiles/tls_handshake.dir/tls_handshake.cpp.o.d"
+  "tls_handshake"
+  "tls_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

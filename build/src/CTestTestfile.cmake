@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("asn1")
+subdirs("x509")
+subdirs("datalog")
+subdirs("core")
+subdirs("rootstore")
+subdirs("revocation")
+subdirs("chain")
+subdirs("policy")
+subdirs("net")
+subdirs("rsf")
+subdirs("corpus")
+subdirs("preemptive")
+subdirs("ctlog")
+subdirs("incidents")

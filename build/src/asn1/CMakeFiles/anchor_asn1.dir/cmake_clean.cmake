@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_asn1.dir/der.cpp.o"
+  "CMakeFiles/anchor_asn1.dir/der.cpp.o.d"
+  "CMakeFiles/anchor_asn1.dir/oid.cpp.o"
+  "CMakeFiles/anchor_asn1.dir/oid.cpp.o.d"
+  "libanchor_asn1.a"
+  "libanchor_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_chain.dir/daemon.cpp.o"
+  "CMakeFiles/anchor_chain.dir/daemon.cpp.o.d"
+  "CMakeFiles/anchor_chain.dir/pool.cpp.o"
+  "CMakeFiles/anchor_chain.dir/pool.cpp.o.d"
+  "CMakeFiles/anchor_chain.dir/verifier.cpp.o"
+  "CMakeFiles/anchor_chain.dir/verifier.cpp.o.d"
+  "libanchor_chain.a"
+  "libanchor_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

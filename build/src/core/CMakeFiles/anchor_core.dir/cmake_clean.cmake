@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_core.dir/executor.cpp.o"
+  "CMakeFiles/anchor_core.dir/executor.cpp.o.d"
+  "CMakeFiles/anchor_core.dir/facts.cpp.o"
+  "CMakeFiles/anchor_core.dir/facts.cpp.o.d"
+  "CMakeFiles/anchor_core.dir/gcc.cpp.o"
+  "CMakeFiles/anchor_core.dir/gcc.cpp.o.d"
+  "libanchor_core.a"
+  "libanchor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_corpus.dir/census.cpp.o"
+  "CMakeFiles/anchor_corpus.dir/census.cpp.o.d"
+  "CMakeFiles/anchor_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/anchor_corpus.dir/corpus.cpp.o.d"
+  "libanchor_corpus.a"
+  "libanchor_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctlog/log.cpp" "src/ctlog/CMakeFiles/anchor_ctlog.dir/log.cpp.o" "gcc" "src/ctlog/CMakeFiles/anchor_ctlog.dir/log.cpp.o.d"
+  "/root/repo/src/ctlog/merkle.cpp" "src/ctlog/CMakeFiles/anchor_ctlog.dir/merkle.cpp.o" "gcc" "src/ctlog/CMakeFiles/anchor_ctlog.dir/merkle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/preemptive/CMakeFiles/anchor_preemptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/anchor_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anchor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/anchor_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/anchor_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/revocation/CMakeFiles/anchor_revocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/rootstore/CMakeFiles/anchor_rootstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anchor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/anchor_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/anchor_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_ctlog.dir/log.cpp.o"
+  "CMakeFiles/anchor_ctlog.dir/log.cpp.o.d"
+  "CMakeFiles/anchor_ctlog.dir/merkle.cpp.o"
+  "CMakeFiles/anchor_ctlog.dir/merkle.cpp.o.d"
+  "libanchor_ctlog.a"
+  "libanchor_ctlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_ctlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cpp" "src/datalog/CMakeFiles/anchor_datalog.dir/ast.cpp.o" "gcc" "src/datalog/CMakeFiles/anchor_datalog.dir/ast.cpp.o.d"
+  "/root/repo/src/datalog/database.cpp" "src/datalog/CMakeFiles/anchor_datalog.dir/database.cpp.o" "gcc" "src/datalog/CMakeFiles/anchor_datalog.dir/database.cpp.o.d"
+  "/root/repo/src/datalog/engine.cpp" "src/datalog/CMakeFiles/anchor_datalog.dir/engine.cpp.o" "gcc" "src/datalog/CMakeFiles/anchor_datalog.dir/engine.cpp.o.d"
+  "/root/repo/src/datalog/eval.cpp" "src/datalog/CMakeFiles/anchor_datalog.dir/eval.cpp.o" "gcc" "src/datalog/CMakeFiles/anchor_datalog.dir/eval.cpp.o.d"
+  "/root/repo/src/datalog/lexer.cpp" "src/datalog/CMakeFiles/anchor_datalog.dir/lexer.cpp.o" "gcc" "src/datalog/CMakeFiles/anchor_datalog.dir/lexer.cpp.o.d"
+  "/root/repo/src/datalog/parser.cpp" "src/datalog/CMakeFiles/anchor_datalog.dir/parser.cpp.o" "gcc" "src/datalog/CMakeFiles/anchor_datalog.dir/parser.cpp.o.d"
+  "/root/repo/src/datalog/stratify.cpp" "src/datalog/CMakeFiles/anchor_datalog.dir/stratify.cpp.o" "gcc" "src/datalog/CMakeFiles/anchor_datalog.dir/stratify.cpp.o.d"
+  "/root/repo/src/datalog/value.cpp" "src/datalog/CMakeFiles/anchor_datalog.dir/value.cpp.o" "gcc" "src/datalog/CMakeFiles/anchor_datalog.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anchor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

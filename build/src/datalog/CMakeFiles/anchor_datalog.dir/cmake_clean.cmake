@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_datalog.dir/ast.cpp.o"
+  "CMakeFiles/anchor_datalog.dir/ast.cpp.o.d"
+  "CMakeFiles/anchor_datalog.dir/database.cpp.o"
+  "CMakeFiles/anchor_datalog.dir/database.cpp.o.d"
+  "CMakeFiles/anchor_datalog.dir/engine.cpp.o"
+  "CMakeFiles/anchor_datalog.dir/engine.cpp.o.d"
+  "CMakeFiles/anchor_datalog.dir/eval.cpp.o"
+  "CMakeFiles/anchor_datalog.dir/eval.cpp.o.d"
+  "CMakeFiles/anchor_datalog.dir/lexer.cpp.o"
+  "CMakeFiles/anchor_datalog.dir/lexer.cpp.o.d"
+  "CMakeFiles/anchor_datalog.dir/parser.cpp.o"
+  "CMakeFiles/anchor_datalog.dir/parser.cpp.o.d"
+  "CMakeFiles/anchor_datalog.dir/stratify.cpp.o"
+  "CMakeFiles/anchor_datalog.dir/stratify.cpp.o.d"
+  "CMakeFiles/anchor_datalog.dir/value.cpp.o"
+  "CMakeFiles/anchor_datalog.dir/value.cpp.o.d"
+  "libanchor_datalog.a"
+  "libanchor_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

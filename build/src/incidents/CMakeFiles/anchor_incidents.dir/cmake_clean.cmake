@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_incidents.dir/incidents.cpp.o"
+  "CMakeFiles/anchor_incidents.dir/incidents.cpp.o.d"
+  "CMakeFiles/anchor_incidents.dir/listings.cpp.o"
+  "CMakeFiles/anchor_incidents.dir/listings.cpp.o.d"
+  "libanchor_incidents.a"
+  "libanchor_incidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_incidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

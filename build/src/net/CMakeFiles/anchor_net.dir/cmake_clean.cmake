@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_net.dir/handshake.cpp.o"
+  "CMakeFiles/anchor_net.dir/handshake.cpp.o.d"
+  "CMakeFiles/anchor_net.dir/transport.cpp.o"
+  "CMakeFiles/anchor_net.dir/transport.cpp.o.d"
+  "libanchor_net.a"
+  "libanchor_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

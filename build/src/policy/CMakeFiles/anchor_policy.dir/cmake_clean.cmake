@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_policy.dir/policy.cpp.o"
+  "CMakeFiles/anchor_policy.dir/policy.cpp.o.d"
+  "libanchor_policy.a"
+  "libanchor_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanchor_policy.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_preemptive.dir/scope.cpp.o"
+  "CMakeFiles/anchor_preemptive.dir/scope.cpp.o.d"
+  "CMakeFiles/anchor_preemptive.dir/synthesis.cpp.o"
+  "CMakeFiles/anchor_preemptive.dir/synthesis.cpp.o.d"
+  "libanchor_preemptive.a"
+  "libanchor_preemptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_preemptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_revocation.dir/revocation.cpp.o"
+  "CMakeFiles/anchor_revocation.dir/revocation.cpp.o.d"
+  "libanchor_revocation.a"
+  "libanchor_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rootstore/store.cpp" "src/rootstore/CMakeFiles/anchor_rootstore.dir/store.cpp.o" "gcc" "src/rootstore/CMakeFiles/anchor_rootstore.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anchor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/anchor_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anchor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/anchor_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/anchor_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_rootstore.dir/store.cpp.o"
+  "CMakeFiles/anchor_rootstore.dir/store.cpp.o.d"
+  "libanchor_rootstore.a"
+  "libanchor_rootstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_rootstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsf/client.cpp" "src/rsf/CMakeFiles/anchor_rsf.dir/client.cpp.o" "gcc" "src/rsf/CMakeFiles/anchor_rsf.dir/client.cpp.o.d"
+  "/root/repo/src/rsf/delta.cpp" "src/rsf/CMakeFiles/anchor_rsf.dir/delta.cpp.o" "gcc" "src/rsf/CMakeFiles/anchor_rsf.dir/delta.cpp.o.d"
+  "/root/repo/src/rsf/feed.cpp" "src/rsf/CMakeFiles/anchor_rsf.dir/feed.cpp.o" "gcc" "src/rsf/CMakeFiles/anchor_rsf.dir/feed.cpp.o.d"
+  "/root/repo/src/rsf/merge.cpp" "src/rsf/CMakeFiles/anchor_rsf.dir/merge.cpp.o" "gcc" "src/rsf/CMakeFiles/anchor_rsf.dir/merge.cpp.o.d"
+  "/root/repo/src/rsf/simulator.cpp" "src/rsf/CMakeFiles/anchor_rsf.dir/simulator.cpp.o" "gcc" "src/rsf/CMakeFiles/anchor_rsf.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rootstore/CMakeFiles/anchor_rootstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anchor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/anchor_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anchor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/anchor_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/anchor_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

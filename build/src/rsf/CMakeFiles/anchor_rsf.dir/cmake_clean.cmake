@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_rsf.dir/client.cpp.o"
+  "CMakeFiles/anchor_rsf.dir/client.cpp.o.d"
+  "CMakeFiles/anchor_rsf.dir/delta.cpp.o"
+  "CMakeFiles/anchor_rsf.dir/delta.cpp.o.d"
+  "CMakeFiles/anchor_rsf.dir/feed.cpp.o"
+  "CMakeFiles/anchor_rsf.dir/feed.cpp.o.d"
+  "CMakeFiles/anchor_rsf.dir/merge.cpp.o"
+  "CMakeFiles/anchor_rsf.dir/merge.cpp.o.d"
+  "CMakeFiles/anchor_rsf.dir/simulator.cpp.o"
+  "CMakeFiles/anchor_rsf.dir/simulator.cpp.o.d"
+  "libanchor_rsf.a"
+  "libanchor_rsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_rsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

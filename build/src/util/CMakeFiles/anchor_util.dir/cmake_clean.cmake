@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_util.dir/base64.cpp.o"
+  "CMakeFiles/anchor_util.dir/base64.cpp.o.d"
+  "CMakeFiles/anchor_util.dir/bytes.cpp.o"
+  "CMakeFiles/anchor_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/anchor_util.dir/rng.cpp.o"
+  "CMakeFiles/anchor_util.dir/rng.cpp.o.d"
+  "CMakeFiles/anchor_util.dir/sha256.cpp.o"
+  "CMakeFiles/anchor_util.dir/sha256.cpp.o.d"
+  "CMakeFiles/anchor_util.dir/simsig.cpp.o"
+  "CMakeFiles/anchor_util.dir/simsig.cpp.o.d"
+  "CMakeFiles/anchor_util.dir/strings.cpp.o"
+  "CMakeFiles/anchor_util.dir/strings.cpp.o.d"
+  "CMakeFiles/anchor_util.dir/time.cpp.o"
+  "CMakeFiles/anchor_util.dir/time.cpp.o.d"
+  "libanchor_util.a"
+  "libanchor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

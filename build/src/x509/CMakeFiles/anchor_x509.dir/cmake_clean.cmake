@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_x509.dir/builder.cpp.o"
+  "CMakeFiles/anchor_x509.dir/builder.cpp.o.d"
+  "CMakeFiles/anchor_x509.dir/certificate.cpp.o"
+  "CMakeFiles/anchor_x509.dir/certificate.cpp.o.d"
+  "CMakeFiles/anchor_x509.dir/extensions.cpp.o"
+  "CMakeFiles/anchor_x509.dir/extensions.cpp.o.d"
+  "CMakeFiles/anchor_x509.dir/name.cpp.o"
+  "CMakeFiles/anchor_x509.dir/name.cpp.o.d"
+  "CMakeFiles/anchor_x509.dir/oids.cpp.o"
+  "CMakeFiles/anchor_x509.dir/oids.cpp.o.d"
+  "libanchor_x509.a"
+  "libanchor_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asn1_der_test.cpp" "tests/CMakeFiles/anchor_tests.dir/asn1_der_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/asn1_der_test.cpp.o.d"
+  "/root/repo/tests/asn1_oid_test.cpp" "tests/CMakeFiles/anchor_tests.dir/asn1_oid_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/asn1_oid_test.cpp.o.d"
+  "/root/repo/tests/chain_daemon_test.cpp" "tests/CMakeFiles/anchor_tests.dir/chain_daemon_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/chain_daemon_test.cpp.o.d"
+  "/root/repo/tests/chain_pool_test.cpp" "tests/CMakeFiles/anchor_tests.dir/chain_pool_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/chain_pool_test.cpp.o.d"
+  "/root/repo/tests/chain_verifier_test.cpp" "tests/CMakeFiles/anchor_tests.dir/chain_verifier_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/chain_verifier_test.cpp.o.d"
+  "/root/repo/tests/core_executor_test.cpp" "tests/CMakeFiles/anchor_tests.dir/core_executor_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/core_executor_test.cpp.o.d"
+  "/root/repo/tests/core_facts_test.cpp" "tests/CMakeFiles/anchor_tests.dir/core_facts_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/core_facts_test.cpp.o.d"
+  "/root/repo/tests/core_gcc_test.cpp" "tests/CMakeFiles/anchor_tests.dir/core_gcc_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/core_gcc_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/anchor_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/ctlog_log_test.cpp" "tests/CMakeFiles/anchor_tests.dir/ctlog_log_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/ctlog_log_test.cpp.o.d"
+  "/root/repo/tests/ctlog_merkle_test.cpp" "tests/CMakeFiles/anchor_tests.dir/ctlog_merkle_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/ctlog_merkle_test.cpp.o.d"
+  "/root/repo/tests/datalog_engine_test.cpp" "tests/CMakeFiles/anchor_tests.dir/datalog_engine_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/datalog_engine_test.cpp.o.d"
+  "/root/repo/tests/datalog_eval_test.cpp" "tests/CMakeFiles/anchor_tests.dir/datalog_eval_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/datalog_eval_test.cpp.o.d"
+  "/root/repo/tests/datalog_lexer_test.cpp" "tests/CMakeFiles/anchor_tests.dir/datalog_lexer_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/datalog_lexer_test.cpp.o.d"
+  "/root/repo/tests/datalog_parser_test.cpp" "tests/CMakeFiles/anchor_tests.dir/datalog_parser_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/datalog_parser_test.cpp.o.d"
+  "/root/repo/tests/datalog_random_test.cpp" "tests/CMakeFiles/anchor_tests.dir/datalog_random_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/datalog_random_test.cpp.o.d"
+  "/root/repo/tests/datalog_stratify_test.cpp" "tests/CMakeFiles/anchor_tests.dir/datalog_stratify_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/datalog_stratify_test.cpp.o.d"
+  "/root/repo/tests/fuzz_der_test.cpp" "tests/CMakeFiles/anchor_tests.dir/fuzz_der_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/fuzz_der_test.cpp.o.d"
+  "/root/repo/tests/incidents_test.cpp" "tests/CMakeFiles/anchor_tests.dir/incidents_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/incidents_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/anchor_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/misc_coverage_test.cpp" "tests/CMakeFiles/anchor_tests.dir/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/net_handshake_test.cpp" "tests/CMakeFiles/anchor_tests.dir/net_handshake_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/net_handshake_test.cpp.o.d"
+  "/root/repo/tests/net_transport_test.cpp" "tests/CMakeFiles/anchor_tests.dir/net_transport_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/net_transport_test.cpp.o.d"
+  "/root/repo/tests/policy_test.cpp" "tests/CMakeFiles/anchor_tests.dir/policy_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/policy_test.cpp.o.d"
+  "/root/repo/tests/preemptive_scope_test.cpp" "tests/CMakeFiles/anchor_tests.dir/preemptive_scope_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/preemptive_scope_test.cpp.o.d"
+  "/root/repo/tests/preemptive_synthesis_test.cpp" "tests/CMakeFiles/anchor_tests.dir/preemptive_synthesis_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/preemptive_synthesis_test.cpp.o.d"
+  "/root/repo/tests/revocation_test.cpp" "tests/CMakeFiles/anchor_tests.dir/revocation_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/revocation_test.cpp.o.d"
+  "/root/repo/tests/rootstore_test.cpp" "tests/CMakeFiles/anchor_tests.dir/rootstore_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/rootstore_test.cpp.o.d"
+  "/root/repo/tests/rsf_client_test.cpp" "tests/CMakeFiles/anchor_tests.dir/rsf_client_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/rsf_client_test.cpp.o.d"
+  "/root/repo/tests/rsf_delta_test.cpp" "tests/CMakeFiles/anchor_tests.dir/rsf_delta_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/rsf_delta_test.cpp.o.d"
+  "/root/repo/tests/rsf_feed_test.cpp" "tests/CMakeFiles/anchor_tests.dir/rsf_feed_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/rsf_feed_test.cpp.o.d"
+  "/root/repo/tests/rsf_merge_test.cpp" "tests/CMakeFiles/anchor_tests.dir/rsf_merge_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/rsf_merge_test.cpp.o.d"
+  "/root/repo/tests/rsf_simulator_test.cpp" "tests/CMakeFiles/anchor_tests.dir/rsf_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/rsf_simulator_test.cpp.o.d"
+  "/root/repo/tests/util_base64_test.cpp" "tests/CMakeFiles/anchor_tests.dir/util_base64_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/util_base64_test.cpp.o.d"
+  "/root/repo/tests/util_bytes_test.cpp" "tests/CMakeFiles/anchor_tests.dir/util_bytes_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/util_bytes_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/anchor_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_sha256_test.cpp" "tests/CMakeFiles/anchor_tests.dir/util_sha256_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/util_sha256_test.cpp.o.d"
+  "/root/repo/tests/util_simsig_test.cpp" "tests/CMakeFiles/anchor_tests.dir/util_simsig_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/util_simsig_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/anchor_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/util_time_test.cpp" "tests/CMakeFiles/anchor_tests.dir/util_time_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/util_time_test.cpp.o.d"
+  "/root/repo/tests/x509_certificate_test.cpp" "tests/CMakeFiles/anchor_tests.dir/x509_certificate_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/x509_certificate_test.cpp.o.d"
+  "/root/repo/tests/x509_extensions_test.cpp" "tests/CMakeFiles/anchor_tests.dir/x509_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/x509_extensions_test.cpp.o.d"
+  "/root/repo/tests/x509_name_test.cpp" "tests/CMakeFiles/anchor_tests.dir/x509_name_test.cpp.o" "gcc" "tests/CMakeFiles/anchor_tests.dir/x509_name_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/anchor_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctlog/CMakeFiles/anchor_ctlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/anchor_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/revocation/CMakeFiles/anchor_revocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/incidents/CMakeFiles/anchor_incidents.dir/DependInfo.cmake"
+  "/root/repo/build/src/preemptive/CMakeFiles/anchor_preemptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/anchor_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsf/CMakeFiles/anchor_rsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/anchor_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/rootstore/CMakeFiles/anchor_rootstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anchor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/anchor_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/anchor_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/anchor_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anchor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

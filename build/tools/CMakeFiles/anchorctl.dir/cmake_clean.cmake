@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchorctl.dir/anchorctl.cpp.o"
+  "CMakeFiles/anchorctl.dir/anchorctl.cpp.o.d"
+  "anchorctl"
+  "anchorctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchorctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
