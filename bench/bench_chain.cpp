@@ -9,9 +9,19 @@
 //                  model): one IPC round trip for everything.
 //
 // Baseline: plain validation with no GCCs, to isolate the GCC tax.
+//
+// The service-mode runs measure the shared VerifyService (the paper's
+// machine-wide daemon made concurrent): N caller threads against one
+// service whose epoch-keyed verdict cache and DER parse cache are warm.
+// Acceptance target: >= 3x the single-threaded BM_Validate_UserAgentGcc
+// throughput at 8 threads.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <mutex>
+
 #include "chain/daemon.hpp"
+#include "chain/service.hpp"
 #include "corpus/corpus.hpp"
 #include "incidents/listings.hpp"
 
@@ -71,8 +81,11 @@ struct Fixture {
   }
 };
 
-const Fixture& fixture() {
-  static const Fixture instance;
+// Non-const: the service benchmarks hand store_gcc to VerifyService, whose
+// constructor takes a mutable reference (mutations flow through mutate()).
+// No benchmark actually mutates the stores.
+Fixture& fixture() {
+  static Fixture instance;
   return instance;
 }
 
@@ -135,6 +148,125 @@ BENCHMARK(BM_Validate_PlatformDaemon)
     ->Arg(50000)
     ->Arg(500000)
     ->ArgNames({"ipc_ns"});
+
+// One service shared by every service-mode benchmark: the point is a
+// machine-wide daemon whose caches stay warm across callers. Leaked on
+// purpose (benchmark process lifetime).
+chain::VerifyService& shared_service() {
+  static chain::VerifyService* service = [] {
+    Fixture& f = fixture();
+    chain::ServiceConfig config;
+    config.threads = 8;
+    auto* s = new chain::VerifyService(f.store_gcc, f.corpus.signatures(),
+                                       config);
+    // Warm the verdict + parse caches: one pass over the whole workload.
+    for (std::size_t leaf : f.leaf_indices) {
+      (void)s->verify(f.corpus.leaves()[leaf].cert, f.pool,
+                      f.options_for(leaf));
+    }
+    return s;
+  }();
+  return *service;
+}
+
+// Concurrency sweep: N benchmark threads call the shared service
+// synchronously on the warm-cache workload. Throughput (items/s, real
+// time) at Threads(8) vs BM_Validate_UserAgentGcc is the E9 service-mode
+// headline.
+void BM_Validate_ServiceWarm(benchmark::State& state) {
+  Fixture& f = fixture();
+  chain::VerifyService& service = shared_service();
+  std::size_t i = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];
+    auto result = service.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                 f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+    i += static_cast<std::size_t>(state.threads());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const chain::ServiceStats stats = service.stats();
+    const double lookups =
+        static_cast<double>(stats.verdict_hits + stats.verdict_misses);
+    state.counters["verdict_hit_rate"] =
+        lookups > 0 ? static_cast<double>(stats.verdict_hits) / lookups : 0.0;
+    state.counters["epoch"] = static_cast<double>(stats.epoch);
+  }
+}
+BENCHMARK(BM_Validate_ServiceWarm)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Batch front end: one caller hands the whole workload to the service,
+// which fans it across its own worker pool.
+void BM_Validate_ServiceBatch(benchmark::State& state) {
+  Fixture& f = fixture();
+  chain::VerifyService& service = shared_service();
+  std::vector<x509::CertPtr> batch;
+  batch.reserve(f.leaf_indices.size());
+  for (std::size_t leaf : f.leaf_indices) {
+    batch.push_back(f.corpus.leaves()[leaf].cert);
+  }
+  chain::VerifyOptions options;
+  options.time = f.now;
+  for (auto _ : state) {
+    auto results = service.verify_batch(batch, f.pool, options);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_Validate_ServiceBatch)->UseRealTime();
+
+// Concurrency x IPC latency: the platform daemon routes GCC execution
+// through the shared service while N user agents validate in parallel.
+void BM_Validate_PlatformDaemonService(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto latency_ns = static_cast<std::uint64_t>(state.range(0));
+  // One shared daemon per latency point, never deleted (threads from a
+  // previous measurement may still hold the pointer briefly).
+  static std::map<std::uint64_t, chain::TrustDaemon*> daemons;
+  static std::mutex daemon_mu;
+  chain::TrustDaemon* daemon;
+  {
+    std::lock_guard<std::mutex> lock(daemon_mu);
+    chain::TrustDaemon*& slot = daemons[latency_ns];
+    if (slot == nullptr) {
+      slot = new chain::TrustDaemon(f.store_gcc, f.corpus.signatures(),
+                                    latency_ns, &shared_service());
+    }
+    daemon = slot;
+  }
+  chain::ChainVerifier verifier(f.store_gcc, f.corpus.signatures());
+  verifier.set_gcc_hook([daemon](const core::Chain& chain,
+                                 std::string_view usage,
+                                 std::span<const core::Gcc>,
+                                 core::GccVerdict&) {
+    std::vector<Bytes> der;
+    der.reserve(chain.size());
+    for (const auto& cert : chain) der.push_back(cert->der());
+    return daemon->evaluate_gccs(der, usage);
+  });
+  std::size_t i = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];
+    auto result = verifier.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+    i += static_cast<std::size_t>(state.threads());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Validate_PlatformDaemonService)
+    ->ArgsProduct({{0, 50000}})
+    ->ArgNames({"ipc_ns"})
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
 
 // Complete redesign: full validation inside the daemon.
 void BM_Validate_DaemonRedesign(benchmark::State& state) {

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "chain/service.hpp"
+
 namespace anchor::chain {
 
 void TrustDaemon::simulate_ipc_latency() const {
@@ -16,8 +18,16 @@ void TrustDaemon::simulate_ipc_latency() const {
 
 bool TrustDaemon::evaluate_gccs(std::span<const Bytes> chain_der,
                                 std::string_view usage) {
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   simulate_ipc_latency();
+
+  if (service_ != nullptr) {
+    // Platform-service deployment: parsing and GCC execution are shared
+    // and cached across every client of the machine-wide service.
+    bool allowed = service_->evaluate_gccs(chain_der, usage);
+    simulate_ipc_latency();  // response leg
+    return allowed;
+  }
 
   // Deserialize: the marshaling cost is the point of this model.
   core::Chain chain;
@@ -39,8 +49,15 @@ bool TrustDaemon::evaluate_gccs(std::span<const Bytes> chain_der,
 VerifyResult TrustDaemon::validate(const Bytes& leaf_der,
                                    std::span<const Bytes> intermediates_der,
                                    const VerifyOptions& options) {
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   simulate_ipc_latency();
+
+  if (service_ != nullptr) {
+    VerifyResult result = service_->validate(leaf_der, intermediates_der,
+                                             options);
+    simulate_ipc_latency();  // response leg
+    return result;
+  }
 
   VerifyResult failure;
   auto leaf = x509::Certificate::parse(BytesView(leaf_der));

@@ -14,6 +14,7 @@
 // in for kernel round-trip latency. Bench E9 sweeps that latency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 
@@ -21,12 +22,26 @@
 
 namespace anchor::chain {
 
+class VerifyService;
+
 class TrustDaemon {
  public:
   // `latency_ns` is added per IPC call (0 = colocated daemon).
+  //
+  // When `service` is non-null the daemon routes both entry points through
+  // the shared VerifyService instead of doing its own parsing and GCC
+  // execution: certificates come out of the service's DER-hash parse cache
+  // and verdicts out of its epoch-keyed verdict cache, and the daemon
+  // becomes safe to call from concurrent clients (the in-process model is
+  // single-threaded). Bench E9 sweeps concurrency × IPC latency through
+  // this path. The service must outlive the daemon and be built over the
+  // same store.
   TrustDaemon(const rootstore::RootStore& store, const SignatureScheme& scheme,
-              std::uint64_t latency_ns = 0)
-      : store_(store), scheme_(scheme), latency_ns_(latency_ns) {}
+              std::uint64_t latency_ns = 0, VerifyService* service = nullptr)
+      : store_(store),
+        scheme_(scheme),
+        latency_ns_(latency_ns),
+        service_(service) {}
 
   // Option 2: the user-agent built a candidate chain; the daemon executes
   // the GCCs attached to its root. Input is the chain as DER blobs
@@ -39,7 +54,9 @@ class TrustDaemon {
                         std::span<const Bytes> intermediates_der,
                         const VerifyOptions& options);
 
-  std::uint64_t calls() const { return calls_; }
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
 
  private:
   void simulate_ipc_latency() const;
@@ -47,8 +64,10 @@ class TrustDaemon {
   const rootstore::RootStore& store_;
   const SignatureScheme& scheme_;
   std::uint64_t latency_ns_;
-  std::uint64_t calls_ = 0;
+  // Atomic: the service-backed daemon serves concurrent callers.
+  std::atomic<std::uint64_t> calls_{0};
   core::GccExecutor executor_;
+  VerifyService* service_ = nullptr;
 };
 
 }  // namespace anchor::chain

@@ -1,0 +1,273 @@
+#include "chain/service.hpp"
+
+#include <chrono>
+
+#include "util/sha256.hpp"
+
+namespace anchor::chain {
+
+namespace {
+
+// SHA-256 over the DER path, leaf-first. Length-prefixing each element
+// keeps concatenation unambiguous (two different splits of the same byte
+// stream cannot collide).
+std::string chain_fingerprint(const core::Chain& chain) {
+  Sha256 hasher;
+  for (const x509::CertPtr& cert : chain) {
+    const Bytes& der = cert->der();
+    std::uint64_t len = der.size();
+    std::uint8_t prefix[8];
+    for (int i = 0; i < 8; ++i) prefix[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    hasher.update(BytesView(prefix, sizeof prefix));
+    hasher.update(BytesView(der));
+  }
+  const Sha256::Digest digest = hasher.finish();
+  return to_hex(BytesView(digest));
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::size_t VerifyService::VerdictKeyHash::operator()(
+    const VerdictKey& key) const {
+  std::size_t h = std::hash<std::string>{}(key.chain_fp);
+  h ^= std::hash<std::string>{}(key.root_hash) + 0x9e3779b97f4a7c15ULL +
+       (h << 6) + (h >> 2);
+  h ^= std::hash<std::string>{}(key.usage) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<std::uint64_t>{}(key.epoch) + 0x9e3779b97f4a7c15ULL +
+       (h << 6) + (h >> 2);
+  return h;
+}
+
+// Immutable verification context: a deep copy of the store at one epoch
+// plus a verifier bound to that copy. Heap-allocated and reference-counted
+// so in-flight verifications keep "their" snapshot alive across a
+// concurrent mutate(); the verifier member must never outlive `store`,
+// which member ordering guarantees.
+struct VerifyService::Snapshot {
+  rootstore::RootStore store;
+  std::uint64_t epoch;
+  core::GccExecutor executor;
+  ChainVerifier verifier;
+
+  Snapshot(const rootstore::RootStore& source, const SignatureScheme& scheme)
+      : store(source), epoch(store.epoch()), verifier(store, scheme) {}
+
+  // Shared across threads read-only except via the gcc hook, whose only
+  // mutable state is the service's striped caches and atomics.
+  bool evaluate_gccs(VerifyService& service, const core::Chain& chain,
+                     std::string_view usage, std::span<const core::Gcc> gccs,
+                     core::GccVerdict& verdict) const {
+    VerdictKey key{epoch, chain.back()->fingerprint_hex(),
+                   chain_fingerprint(chain), std::string(usage)};
+    CachedVerdict cached;
+    if (service.verdict_cache_.get(key, cached)) {
+      service.verdict_hits_.fetch_add(1, std::memory_order_relaxed);
+      verdict.gccs_evaluated += cached.gccs_evaluated;
+      verdict.facts_encoded += cached.facts_encoded;
+      if (!cached.allowed) verdict.failed_gcc = cached.failed_gcc;
+      return cached.allowed;
+    }
+    service.verdict_misses_.fetch_add(1, std::memory_order_relaxed);
+    core::GccVerdict v = executor.evaluate(chain, usage, gccs);
+    verdict.gccs_evaluated += v.gccs_evaluated;
+    verdict.facts_encoded += v.facts_encoded;
+    verdict.stats.iterations += v.stats.iterations;
+    verdict.stats.rule_applications += v.stats.rule_applications;
+    verdict.stats.derived_tuples += v.stats.derived_tuples;
+    if (!v.allowed) verdict.failed_gcc = v.failed_gcc;
+    service.verdict_cache_.put(
+        key, CachedVerdict{v.allowed, v.failed_gcc, v.gccs_evaluated,
+                           v.facts_encoded});
+    return v.allowed;
+  }
+};
+
+VerifyService::VerifyService(rootstore::RootStore& store,
+                             const SignatureScheme& scheme,
+                             ServiceConfig config)
+    : store_(store),
+      scheme_(scheme),
+      config_(config),
+      verdict_cache_(config.verdict_capacity, config.shards),
+      cert_cache_(config.cert_capacity, config.shards),
+      pool_(config.threads) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  snapshot_ = build_snapshot();
+}
+
+VerifyService::~VerifyService() = default;
+
+std::shared_ptr<const VerifyService::Snapshot> VerifyService::build_snapshot() {
+  auto snapshot = std::make_shared<Snapshot>(store_, scheme_);
+  const Snapshot* raw = snapshot.get();
+  snapshot->verifier.set_gcc_hook(
+      [this, raw](const core::Chain& chain, std::string_view usage,
+                  std::span<const core::Gcc> gccs, core::GccVerdict& verdict) {
+        return raw->evaluate_gccs(*this, chain, usage, gccs, verdict);
+      });
+  return snapshot;
+}
+
+std::shared_ptr<const VerifyService::Snapshot> VerifyService::current_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return snapshot_;
+}
+
+std::uint64_t VerifyService::epoch() const { return current_snapshot()->epoch; }
+
+void VerifyService::mutate(
+    const std::function<void(rootstore::RootStore&)>& fn) {
+  std::shared_ptr<const Snapshot> fresh;
+  std::uint64_t fresh_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    const std::uint64_t prior = store_.epoch();
+    fn(store_);
+    // Even a mutation the store failed to count must not alias the
+    // previous snapshot in the verdict cache.
+    store_.advance_epoch_past(prior);
+    fresh = build_snapshot();
+    fresh_epoch = fresh->epoch;
+    snapshot_ = std::move(fresh);
+  }
+  epoch_flushes_.fetch_add(1, std::memory_order_relaxed);
+  // Entries under prior epochs are unreachable (lookups key on the current
+  // epoch); reclaim their slots eagerly.
+  stale_purged_.fetch_add(
+      verdict_cache_.erase_if(
+          [fresh_epoch](const VerdictKey& key) { return key.epoch != fresh_epoch; }),
+      std::memory_order_relaxed);
+}
+
+VerifyResult VerifyService::verify_on(const Snapshot& snapshot,
+                                      const x509::CertPtr& leaf,
+                                      const CertificatePool& pool,
+                                      const VerifyOptions& options) {
+  const std::uint64_t start = now_ns();
+  VerifyResult result = snapshot.verifier.verify(leaf, pool, options);
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+  return result;
+}
+
+VerifyResult VerifyService::verify(const x509::CertPtr& leaf,
+                                   const CertificatePool& pool,
+                                   const VerifyOptions& options,
+                                   std::uint64_t* observed_epoch) {
+  std::shared_ptr<const Snapshot> snapshot = current_snapshot();
+  if (observed_epoch != nullptr) *observed_epoch = snapshot->epoch;
+  return verify_on(*snapshot, leaf, pool, options);
+}
+
+std::future<VerifyResult> VerifyService::submit(x509::CertPtr leaf,
+                                                const CertificatePool* pool,
+                                                VerifyOptions options) {
+  auto task = std::make_shared<std::packaged_task<VerifyResult()>>(
+      [this, leaf = std::move(leaf), pool, options = std::move(options)] {
+        return verify(leaf, *pool, options);
+      });
+  std::future<VerifyResult> future = task->get_future();
+  pool_.post([task] { (*task)(); });
+  return future;
+}
+
+std::vector<VerifyResult> VerifyService::verify_batch(
+    std::span<const x509::CertPtr> leaves, const CertificatePool& pool,
+    const VerifyOptions& options) {
+  std::vector<std::future<VerifyResult>> futures;
+  futures.reserve(leaves.size());
+  for (const x509::CertPtr& leaf : leaves) {
+    futures.push_back(submit(leaf, &pool, options));
+  }
+  std::vector<VerifyResult> results;
+  results.reserve(leaves.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+Result<x509::CertPtr> VerifyService::parse_cached(BytesView der) {
+  const std::string key = Sha256::hash_hex(der);
+  x509::CertPtr cached;
+  if (cert_cache_.get(key, cached)) {
+    cert_hits_.fetch_add(1, std::memory_order_relaxed);
+    return cached;
+  }
+  cert_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto parsed = x509::Certificate::parse(der);
+  if (!parsed) return parsed;
+  cert_cache_.put(key, parsed.value());
+  return parsed;
+}
+
+bool VerifyService::evaluate_gccs(std::span<const Bytes> chain_der,
+                                  std::string_view usage) {
+  const std::uint64_t start = now_ns();
+  std::shared_ptr<const Snapshot> snapshot = current_snapshot();
+  core::Chain chain;
+  chain.reserve(chain_der.size());
+  for (const Bytes& der : chain_der) {
+    auto cert = parse_cached(BytesView(der));
+    if (!cert) return false;  // malformed input across IPC: reject
+    chain.push_back(std::move(cert).take());
+  }
+  if (chain.empty()) return false;
+  bool allowed = true;
+  const auto& gccs =
+      snapshot->store.gccs().for_root(chain.back()->fingerprint_hex());
+  if (!gccs.empty()) {
+    core::GccVerdict verdict;
+    allowed = snapshot->evaluate_gccs(*this, chain, usage, gccs, verdict);
+  }
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+  return allowed;
+}
+
+VerifyResult VerifyService::validate(const Bytes& leaf_der,
+                                     std::span<const Bytes> intermediates_der,
+                                     const VerifyOptions& options) {
+  std::shared_ptr<const Snapshot> snapshot = current_snapshot();
+  VerifyResult failure;
+  auto leaf = parse_cached(BytesView(leaf_der));
+  if (!leaf) {
+    failure.error = "daemon: " + leaf.error();
+    return failure;
+  }
+  CertificatePool pool;
+  for (const Bytes& der : intermediates_der) {
+    auto cert = parse_cached(BytesView(der));
+    if (!cert) {
+      failure.error = "daemon: " + cert.error();
+      return failure;
+    }
+    pool.add(std::move(cert).take());
+  }
+  return verify_on(*snapshot, leaf.value(), pool, options);
+}
+
+ServiceStats VerifyService::stats() const {
+  ServiceStats out;
+  out.verdict_hits = verdict_hits_.load(std::memory_order_relaxed);
+  out.verdict_misses = verdict_misses_.load(std::memory_order_relaxed);
+  out.cert_hits = cert_hits_.load(std::memory_order_relaxed);
+  out.cert_misses = cert_misses_.load(std::memory_order_relaxed);
+  out.evictions = verdict_cache_.evictions() + cert_cache_.evictions();
+  out.epoch_flushes = epoch_flushes_.load(std::memory_order_relaxed);
+  out.stale_purged = stale_purged_.load(std::memory_order_relaxed);
+  out.calls = calls_.load(std::memory_order_relaxed);
+  out.total_ns = total_ns_.load(std::memory_order_relaxed);
+  out.queue_depth = pool_.queue_depth();
+  out.epoch = current_snapshot()->epoch;
+  return out;
+}
+
+}  // namespace anchor::chain

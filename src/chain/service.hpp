@@ -1,0 +1,166 @@
+// VerifyService — a thread-pool-backed, cache-coherent front end over
+// ChainVerifier, modelling the deployment the paper's §3.1 argues for:
+// platform-level GCC execution via a trustd-style daemon that serves
+// *every app on the machine*. A shared verifier only pays off if it can
+// (a) serve many callers concurrently and (b) amortize repeated work, so
+// the service adds:
+//
+//   * a worker pool (util/threadpool) for async/batch submission;
+//   * a sharded, mutex-striped GCC-verdict cache keyed by
+//     (root hash, chain fingerprint = SHA-256 over the DER path, usage,
+//     store epoch) — same chain + same GCC set evaluates to the same
+//     verdict because GCCs are pure stratified Datalog over chain facts,
+//     so memoizing the Boolean is sound (DESIGN.md, "Verification service
+//     & cache coherence");
+//   * a parsed-certificate cache keyed by DER hash, shared by the
+//     DER-boundary entry points (TrustDaemon routing);
+//   * RCU-style store snapshots: verification runs against an immutable
+//     copy of the RootStore, so no lock is held during path construction
+//     or Datalog evaluation. Mutations flow through mutate(), which
+//     publishes a fresh snapshot; RootStore::epoch() (bumped by every
+//     mutation, including RSF delta application) keys the verdict cache,
+//     so a feed update invalidates stale verdicts for free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chain/verifier.hpp"
+#include "util/sharded_cache.hpp"
+#include "util/threadpool.hpp"
+
+namespace anchor::chain {
+
+struct ServiceConfig {
+  std::size_t threads = 4;             // worker pool size
+  std::size_t verdict_capacity = 8192; // GCC-verdict cache entries
+  std::size_t cert_capacity = 4096;    // parsed-certificate cache entries
+  std::size_t shards = 16;             // lock stripes per cache
+};
+
+// Point-in-time counter snapshot; see VerifyService::stats().
+struct ServiceStats {
+  std::uint64_t verdict_hits = 0;
+  std::uint64_t verdict_misses = 0;
+  std::uint64_t cert_hits = 0;
+  std::uint64_t cert_misses = 0;
+  std::uint64_t evictions = 0;       // both caches, all shards
+  std::uint64_t epoch_flushes = 0;   // snapshots published after a mutation
+  std::uint64_t stale_purged = 0;    // verdict entries dropped by flushes
+  std::uint64_t calls = 0;           // verify + evaluate_gccs + validate
+  std::uint64_t total_ns = 0;        // wall time summed over calls
+  std::size_t queue_depth = 0;       // pool backlog at snapshot time
+  std::uint64_t epoch = 0;           // store epoch at snapshot time
+};
+
+class VerifyService {
+ public:
+  // The service copies `store` into an immutable snapshot at construction;
+  // afterwards the live store must only change through mutate(), which is
+  // what keeps concurrent verification TSan-clean. `scheme` must outlive
+  // the service and is read-only after key registration.
+  VerifyService(rootstore::RootStore& store, const SignatureScheme& scheme,
+                ServiceConfig config = {});
+  ~VerifyService();
+
+  VerifyService(const VerifyService&) = delete;
+  VerifyService& operator=(const VerifyService&) = delete;
+
+  // Synchronous verification on the calling thread (thread-safe; any
+  // number of callers). If `observed_epoch` is non-null it receives the
+  // store epoch the verdict was computed under — the stress tests replay
+  // results against a cold verifier at exactly that epoch.
+  VerifyResult verify(const x509::CertPtr& leaf, const CertificatePool& pool,
+                      const VerifyOptions& options,
+                      std::uint64_t* observed_epoch = nullptr);
+
+  // Async submission onto the worker pool. The pool and pointers must stay
+  // valid until the future resolves.
+  std::future<VerifyResult> submit(x509::CertPtr leaf,
+                                   const CertificatePool* pool,
+                                   VerifyOptions options);
+
+  // Fans a batch across the pool and gathers results in input order.
+  std::vector<VerifyResult> verify_batch(
+      std::span<const x509::CertPtr> leaves, const CertificatePool& pool,
+      const VerifyOptions& options);
+
+  // DER-boundary entry points mirroring TrustDaemon's IPC surface
+  // (§3.1 options 2 and 3); both run through the parsed-certificate cache.
+  bool evaluate_gccs(std::span<const Bytes> chain_der, std::string_view usage);
+  VerifyResult validate(const Bytes& leaf_der,
+                        std::span<const Bytes> intermediates_der,
+                        const VerifyOptions& options);
+
+  // Runs `fn` on the live store under the exclusive mutation lock, then
+  // publishes a fresh snapshot and flushes verdicts cached under prior
+  // epochs. The epoch is forced to advance even if `fn` made a change the
+  // store did not count, so a published snapshot is never cache-aliased
+  // with its predecessor.
+  void mutate(const std::function<void(rootstore::RootStore&)>& fn);
+
+  // Epoch of the currently-published snapshot.
+  std::uint64_t epoch() const;
+
+  ServiceStats stats() const;
+
+ private:
+  struct Snapshot;
+
+  struct VerdictKey {
+    std::uint64_t epoch;
+    std::string root_hash;   // hex fingerprint of the candidate root
+    std::string chain_fp;    // hex SHA-256 over the chain's DER, leaf-first
+    std::string usage;
+    bool operator==(const VerdictKey&) const = default;
+  };
+  struct VerdictKeyHash {
+    std::size_t operator()(const VerdictKey& key) const;
+  };
+  // What the gcc hook needs to replay a verdict without re-evaluating.
+  struct CachedVerdict {
+    bool allowed = true;
+    std::string failed_gcc;
+    std::size_t gccs_evaluated = 0;
+    std::size_t facts_encoded = 0;
+  };
+
+  std::shared_ptr<const Snapshot> current_snapshot() const;
+  std::shared_ptr<const Snapshot> build_snapshot();
+  Result<x509::CertPtr> parse_cached(BytesView der);
+  VerifyResult verify_on(const Snapshot& snapshot, const x509::CertPtr& leaf,
+                         const CertificatePool& pool,
+                         const VerifyOptions& options);
+
+  rootstore::RootStore& store_;
+  const SignatureScheme& scheme_;
+  ServiceConfig config_;
+
+  // Guards the live store and snapshot publication; never held while a
+  // verification is running.
+  mutable std::mutex store_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;
+
+  ShardedLruCache<VerdictKey, CachedVerdict, VerdictKeyHash> verdict_cache_;
+  ShardedLruCache<std::string, x509::CertPtr> cert_cache_;
+  ThreadPool pool_;
+
+  // Counters are plain atomics: hot-path increments, no locks.
+  std::atomic<std::uint64_t> verdict_hits_{0};
+  std::atomic<std::uint64_t> verdict_misses_{0};
+  std::atomic<std::uint64_t> cert_hits_{0};
+  std::atomic<std::uint64_t> cert_misses_{0};
+  std::atomic<std::uint64_t> epoch_flushes_{0};
+  std::atomic<std::uint64_t> stale_purged_{0};
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+}  // namespace anchor::chain

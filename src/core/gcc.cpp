@@ -121,6 +121,7 @@ Result<Gcc> Gcc::for_certificate(std::string name,
 }
 
 void GccStore::attach(Gcc gcc) {
+  ++version_;
   auto& list = by_root_[gcc.root_hash_hex()];
   // Re-attaching under the same name replaces (feed updates overwrite).
   for (auto& existing : list) {
@@ -141,6 +142,7 @@ bool GccStore::detach(const std::string& root_hash_hex,
     if (list[i].name() == name) {
       list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
       if (list.empty()) by_root_.erase(it);
+      ++version_;
       return true;
     }
   }

@@ -9,6 +9,7 @@
 // rejected when a root store ingests it, never at chain-validation time.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -72,8 +73,14 @@ class GccStore {
   // serialization.
   std::vector<std::string> roots_sorted() const;
 
+  // Monotonic mutation counter (attach and successful detach). Folded into
+  // RootStore::epoch() so GCC edits invalidate cached verdicts like any
+  // other store mutation.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::unordered_map<std::string, std::vector<Gcc>> by_root_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace anchor::core

@@ -39,6 +39,7 @@ Status RootStore::add_trusted(x509::CertPtr cert, RootMetadata metadata) {
   }
   if (!trusted_.contains(hash)) trusted_order_.push_back(hash);
   trusted_[hash] = RootEntry{std::move(cert), std::move(metadata)};
+  ++epoch_;
   return {};
 }
 
@@ -47,6 +48,7 @@ void RootStore::add_trusted_unchecked(x509::CertPtr cert,
   std::string hash = cert->fingerprint_hex();
   if (!trusted_.contains(hash)) trusted_order_.push_back(hash);
   trusted_[hash] = RootEntry{std::move(cert), std::move(metadata)};
+  ++epoch_;
 }
 
 void RootStore::distrust(const std::string& hash_hex,
@@ -56,6 +58,7 @@ void RootStore::distrust(const std::string& hash_hex,
   }
   if (!distrusted_.contains(hash_hex)) distrusted_order_.push_back(hash_hex);
   distrusted_[hash_hex] = std::move(justification);
+  ++epoch_;
 }
 
 bool RootStore::forget(const std::string& hash_hex) {
@@ -63,6 +66,7 @@ bool RootStore::forget(const std::string& hash_hex) {
   if (was_trusted) std::erase(trusted_order_, hash_hex);
   bool was_distrusted = distrusted_.erase(hash_hex) > 0;
   if (was_distrusted) std::erase(distrusted_order_, hash_hex);
+  if (was_trusted || was_distrusted) ++epoch_;
   return was_trusted || was_distrusted;
 }
 

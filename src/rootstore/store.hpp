@@ -76,6 +76,20 @@ class RootStore {
   core::GccStore& gccs() { return gccs_; }
   const core::GccStore& gccs() const { return gccs_; }
 
+  // Monotonic mutation counter: every change that can alter a verification
+  // outcome — add_trusted, add_trusted_unchecked, distrust, forget, GCC
+  // attach/detach (counted via GccStore::version) — advances it. Verdict
+  // caches key on the epoch so a feed update invalidates stale entries
+  // without any cross-thread bookkeeping (chain::VerifyService).
+  std::uint64_t epoch() const { return epoch_ + gccs_.version(); }
+
+  // Forces epoch() strictly past `floor`. Used when a store is replaced
+  // wholesale (RSF snapshot adoption) so observers never see the counter
+  // move backwards.
+  void advance_epoch_past(std::uint64_t floor) {
+    if (epoch() <= floor) epoch_ += floor - epoch() + 1;
+  }
+
   // Deterministic text serialization (see store.cpp header comment for the
   // grammar); round-trips through deserialize.
   std::string serialize() const;
@@ -91,6 +105,7 @@ class RootStore {
   std::unordered_map<std::string, std::string> distrusted_;
   std::vector<std::string> distrusted_order_;
   core::GccStore gccs_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace anchor::rootstore

@@ -76,6 +76,12 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
     primary_replica_ = std::move(parsed).take();
   }
 
+  // Adopting a snapshot replaces the exposed store wholesale, which would
+  // otherwise let its epoch counter move backwards (the incoming store has
+  // its own mutation history). Observers — chain::VerifyService keys its
+  // verdict cache on epoch() — rely on strict monotonicity, so force the
+  // new store's epoch past the old one.
+  const std::uint64_t prior_epoch = store_.epoch();
   if (local_) {
     MergeResult merged = merge(primary_replica_, *local_, policy_);
     stats_.merge_conflicts += merged.conflicts.size();
@@ -83,6 +89,7 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
   } else {
     store_ = primary_replica_;
   }
+  store_.advance_epoch_past(prior_epoch);
 
   std::size_t applied = run.size();
   last_sequence_ = head.sequence;
@@ -114,6 +121,7 @@ void ManualMirrorClient::manual_sync(std::int64_t now) {
   auto parsed = rootstore::RootStore::deserialize(snap->payload);
   if (!parsed) return;  // a manual import of a corrupt snapshot just fails
 
+  const std::uint64_t prior_epoch = store_.epoch();
   rootstore::RootStore incoming = std::move(parsed).take();
   if (strip_gccs_) {
     // Bare-collection derivative: certificates survive the import, GCCs
@@ -129,6 +137,7 @@ void ManualMirrorClient::manual_sync(std::int64_t now) {
   } else {
     store_ = std::move(incoming);
   }
+  store_.advance_epoch_past(prior_epoch);
   mirrored_sequence_ = head;
   last_sync_time_ = now;
 }

@@ -1,0 +1,134 @@
+// Sharded, mutex-striped LRU cache. Keys hash to one of N shards; each
+// shard is an independent (mutex, hash map, intrusive LRU list) triple, so
+// concurrent lookups on different shards never contend and a lock is held
+// only for the map operation itself — never across anything expensive
+// (chain::VerifyService relies on this to keep Datalog evaluation outside
+// every critical section).
+//
+// Capacity is global and divided evenly across shards; eviction is
+// per-shard strict LRU, which makes the whole cache "LRU-ish": a hot shard
+// evicts while a cold one has room. That is the standard trade for striped
+// locking and is fine for verdict/parse caches where eviction only costs a
+// recompute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace anchor {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  // `capacity` is the total entry bound; `shards` the stripe count
+  // (clamped to >= 1; each shard gets at least one slot).
+  ShardedLruCache(std::size_t capacity, std::size_t shards) {
+    if (shards == 0) shards = 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    per_shard_capacity_ = capacity / shards;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  }
+
+  // Copies the value out under the shard lock (callers hold their own
+  // copy — typically a shared_ptr or a small struct — so nothing refers
+  // into the shard after the lock drops). Returns false on miss.
+  bool get(const Key& key, Value& out) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
+    out = it->second.first;
+    return true;
+  }
+
+  void put(const Key& key, Value value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second.first = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
+      return;
+    }
+    if (shard.map.size() >= per_shard_capacity_) {
+      shard.map.erase(shard.lru.back());
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+    shard.lru.push_front(key);
+    shard.map.emplace(key, std::make_pair(std::move(value), shard.lru.begin()));
+  }
+
+  // Removes every entry whose key satisfies `pred`; returns the count.
+  // Used for epoch flushes: entries tagged with a superseded store epoch
+  // are unreachable (lookups always use the current epoch) but still hold
+  // memory and LRU slots.
+  std::size_t erase_if(const std::function<bool(const Key&)>& pred) {
+    std::size_t erased = 0;
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+        if (pred(*it)) {
+          shard.map.erase(*it);
+          it = shard.lru.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard_ptr : shards_) {
+      std::lock_guard<std::mutex> lock(shard_ptr->mu);
+      total += shard_ptr->map.size();
+    }
+    return total;
+  }
+
+  std::uint64_t evictions() const {
+    std::uint64_t total = 0;
+    for (const auto& shard_ptr : shards_) {
+      std::lock_guard<std::mutex> lock(shard_ptr->mu);
+      total += shard_ptr->evictions;
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Key> lru;  // front = most recent
+    std::unordered_map<Key,
+                       std::pair<Value, typename std::list<Key>::iterator>,
+                       Hash>
+        map;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  // unique_ptr per shard: Shard owns a mutex, so it is neither movable nor
+  // copyable; the vector is sized once in the ctor and never resized.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_;
+};
+
+}  // namespace anchor

@@ -1,0 +1,58 @@
+// Fixed-size worker pool over a mutex/condvar task queue. General-purpose:
+// chain::VerifyService uses it to serve concurrent verification requests
+// (the paper's §3.1 platform daemon "accepts certificates and returns a
+// Boolean" for every app on the machine, so the verifier must multiplex
+// many callers), but nothing in here knows about certificates.
+//
+// Tasks are type-erased std::function<void()>; callers wanting results wrap
+// a std::packaged_task and keep the future. Destruction drains nothing:
+// queued-but-unstarted tasks are discarded after the stop flag is set, so
+// shut down with drain() first if completion matters.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anchor {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 is clamped to 1: a pool that can make no progress would
+  // deadlock drain() and every future wait.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Safe from any thread, including pool workers (tasks
+  // submitting tasks cannot deadlock — the queue is unbounded).
+  void post(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle.
+  void drain();
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  // Instantaneous queued-but-unstarted task count (a load signal, not a
+  // synchronization primitive).
+  std::size_t queue_depth() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for tasks
+  std::condition_variable idle_cv_;   // drain() waits here
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;            // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace anchor

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
 
+#include "chain/service.hpp"
 #include "util/time.hpp"
 #include "x509/builder.hpp"
 #include "x509/oids.hpp"
@@ -140,6 +142,90 @@ TEST(TrustDaemon, LatencySimulationAccumulates) {
   auto fast_us = time_call(fast);
   auto slow_us = time_call(slow);
   EXPECT_GT(slow_us, fast_us + 3000);  // two 2ms legs minus noise
+}
+
+// Option-3 validate() with nonzero IPC latency, routed through the shared
+// VerifyService: the two simulated kernel round trips must still be paid
+// on top of the (possibly cached) service work.
+TEST(TrustDaemon, ValidateWithLatencyThroughService) {
+  DaemonPki pki;
+  VerifyService service(pki.store, pki.sigs);
+  TrustDaemon fast(pki.store, pki.sigs, 0, &service);
+  TrustDaemon slow(pki.store, pki.sigs, 2000000, &service);  // 2 ms per leg
+
+  CertPtr leaf = pki.leaf("svc.example.com");
+  VerifyOptions options;
+  options.time = DaemonPki::kNow;
+  options.hostname = "svc.example.com";
+  std::vector<Bytes> intermediates{pki.intermediate->der()};
+
+  auto timed_validate = [&](TrustDaemon& daemon, VerifyResult& out) {
+    auto start = std::chrono::steady_clock::now();
+    out = daemon.validate(leaf->der(), intermediates, options);
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  VerifyResult fast_result, slow_result;
+  auto fast_us = timed_validate(fast, fast_result);
+  auto slow_us = timed_validate(slow, slow_result);
+  ASSERT_TRUE(fast_result.ok) << fast_result.error;
+  ASSERT_TRUE(slow_result.ok) << slow_result.error;
+  EXPECT_EQ(slow_result.chain.size(), 3u);
+  EXPECT_GT(slow_us, fast_us + 3000);  // two 2ms legs minus noise
+  EXPECT_EQ(fast.calls(), 1u);
+  EXPECT_EQ(slow.calls(), 1u);
+}
+
+// Concurrent clients of one service-backed daemon: every caller gets the
+// right Boolean / chain and no call is lost (calls_ is atomic).
+TEST(TrustDaemon, ConcurrentCallersThroughService) {
+  DaemonPki pki;
+  pki.store.gccs().attach(
+      core::Gcc::for_certificate(
+          "no-ev", *pki.root,
+          "valid(Chain, _) :- leaf(Chain, L), \\+ev(L).")
+          .take());
+  VerifyService service(pki.store, pki.sigs);
+  TrustDaemon daemon(pki.store, pki.sigs, 10000, &service);  // 10 us per leg
+
+  CertPtr plain = pki.leaf("plain.example.com");
+  CertPtr ev = pki.leaf("ev.example.com", true);
+  std::vector<Bytes> plain_chain{plain->der(), pki.intermediate->der(),
+                                 pki.root->der()};
+  std::vector<Bytes> ev_chain{ev->der(), pki.intermediate->der(),
+                              pki.root->der()};
+  VerifyOptions options;
+  options.time = DaemonPki::kNow;
+  options.hostname = "plain.example.com";
+  std::vector<Bytes> intermediates{pki.intermediate->der()};
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // Option 2 both ways, plus option 3, from every thread.
+        if (!daemon.evaluate_gccs(plain_chain, "TLS")) ++failures;
+        if (daemon.evaluate_gccs(ev_chain, "TLS")) ++failures;
+        VerifyResult result =
+            daemon.validate(plain->der(), intermediates, options);
+        if (!result.ok || result.chain.size() != 3) ++failures;
+        (void)t;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(daemon.calls(),
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread * 3);
+  // The shared service memoized the repeated work.
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.verdict_hits, 0u);
+  EXPECT_GT(stats.cert_hits, 0u);
 }
 
 }  // namespace

@@ -214,5 +214,58 @@ TEST(RootStore, EmptyStoreRoundTrips) {
   EXPECT_EQ(parsed.value().distrusted_count(), 0u);
 }
 
+// The epoch counter backs chain::VerifyService's verdict-cache coherence:
+// every mutation that can change a verification outcome must advance it,
+// and no-op calls must not have to (staleness is judged by inequality, so
+// spurious bumps are safe but missed bumps are not).
+TEST(RootStore, EpochAdvancesOnEveryMutation) {
+  RootStore store;
+  EXPECT_EQ(store.epoch(), 0u);
+  CertPtr a = make_root("A");
+  const std::string hash = a->fingerprint_hex();
+
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  std::uint64_t last = store.epoch();
+  EXPECT_GT(last, 0u);
+
+  store.distrust(hash, "incident");
+  EXPECT_GT(store.epoch(), last);
+  last = store.epoch();
+
+  EXPECT_TRUE(store.forget(hash));
+  EXPECT_GT(store.epoch(), last);
+  last = store.epoch();
+
+  EXPECT_FALSE(store.forget(std::string(64, 'f')));  // no-op: may hold still
+  EXPECT_GE(store.epoch(), last);
+  last = store.epoch();
+
+  store.add_trusted_unchecked(a);
+  EXPECT_GT(store.epoch(), last);
+  last = store.epoch();
+
+  store.gccs().attach(core::Gcc::create("g", hash, kValidGcc).take());
+  EXPECT_GT(store.epoch(), last);
+  last = store.epoch();
+
+  EXPECT_TRUE(store.gccs().detach(hash, "g"));
+  EXPECT_GT(store.epoch(), last);
+  last = store.epoch();
+
+  EXPECT_FALSE(store.gccs().detach(hash, "g"));  // no-op
+  EXPECT_GE(store.epoch(), last);
+}
+
+TEST(RootStore, AdvanceEpochPastForcesProgress) {
+  RootStore store;
+  const std::uint64_t start = store.epoch();
+  store.advance_epoch_past(start + 41);
+  EXPECT_GT(store.epoch(), start + 41);
+  // Already past: no change required, and never a move backwards.
+  const std::uint64_t current = store.epoch();
+  store.advance_epoch_past(5);
+  EXPECT_GE(store.epoch(), current);
+}
+
 }  // namespace
 }  // namespace anchor::rootstore

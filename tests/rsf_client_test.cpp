@@ -338,5 +338,37 @@ TEST(RsfClientDelta, FallsBackToSnapshotWhenReplicaDiverges) {
   EXPECT_EQ(delta.store().trusted_count(), 1u);  // last good state retained
 }
 
+// Snapshot adoption replaces the exposed store wholesale; the epoch must
+// still only move forward, because chain::VerifyService keys its verdict
+// cache on it (a backwards epoch could alias a stale cached verdict onto
+// post-update store state).
+TEST(RsfClient, StoreEpochNeverMovesBackwardAcrossPolls) {
+  SimSig registry;
+  Feed feed("nss", registry);
+  feed.publish(store_with({"A", "B", "C"}), 100, "r1");
+  RsfClient client(feed, 3600);
+  EXPECT_EQ(client.poll_now(10), 1u);
+  const std::uint64_t first = client.store().epoch();
+
+  // The second release carries *fewer* mutations in its own history than
+  // the replica has accumulated — exactly the case where naive adoption
+  // would rewind the counter.
+  feed.publish(store_with({"A"}), 200, "r2");
+  EXPECT_EQ(client.poll_now(20), 1u);
+  EXPECT_GT(client.store().epoch(), first);
+}
+
+TEST(ManualMirror, StoreEpochNeverMovesBackwardAcrossSyncs) {
+  SimSig registry;
+  Feed feed("nss", registry);
+  feed.publish(store_with({"A", "B", "C"}), 1, "r1");
+  ManualMirrorClient mirror(feed, /*strip_gccs=*/false);
+  mirror.manual_sync(10);
+  const std::uint64_t first = mirror.store().epoch();
+  feed.publish(store_with({"A"}), 2, "r2");
+  mirror.manual_sync(20);
+  EXPECT_GT(mirror.store().epoch(), first);
+}
+
 }  // namespace
 }  // namespace anchor::rsf

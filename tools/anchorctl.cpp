@@ -10,6 +10,10 @@
 //   anchorctl store-diff <old.txt> <new.txt>     RSF delta between stores
 //   anchorctl verify <store.txt> <chain.pem> --host <h> --time <iso8601>
 //                                 [--usage TLS|S/MIME]
+//   anchorctl serve-stats <store.txt> <chain.pem> --host <h> --time <t>
+//                                 [--usage TLS|S/MIME] [--threads N]
+//                                 [--repeat N]     run the chain through a
+//                                 VerifyService and print its counters
 //   anchorctl feed-publish <dir> <store.txt> --time <iso8601> [--note "..."]
 //   anchorctl feed-verify <dir>              check signatures + hash chain
 //   anchorctl feed-apply <dir> <out.txt>     materialize the head snapshot
@@ -25,11 +29,14 @@
 // secrets (see DESIGN.md §5); structural, temporal, constraint and GCC
 // checks all still apply.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "chain/service.hpp"
 #include "chain/verifier.hpp"
 #include "core/executor.hpp"
 #include "core/facts.hpp"
@@ -58,6 +65,8 @@ int usage() {
                "  store-diff <old.txt> <new.txt>\n"
                "  verify <store.txt> <chain.pem> --host <h> --time <iso8601>"
                " [--usage TLS|S/MIME]\n"
+               "  serve-stats <store.txt> <chain.pem> --host <h> --time <t>"
+               " [--usage TLS|S/MIME] [--threads N] [--repeat N]\n"
                "  feed-publish <dir> <store.txt> --time <iso8601> [--note s]\n"
                "  feed-verify <dir>\n"
                "  feed-apply <dir> <out-store.txt>\n");
@@ -374,6 +383,89 @@ int cmd_verify(int argc, char** argv) {
   return 1;
 }
 
+// Runs the chain through a VerifyService --repeat times (async, so the
+// worker pool and both caches are exercised) and prints the Stats
+// snapshot. The second and later repeats should be verdict-cache hits;
+// a hit rate far below (repeat-1)/repeat means the cache is misbehaving.
+int cmd_serve_stats(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto store = load_store(argv[0]);
+  auto chain = read_chain(argv[1]);
+  if (!store || !chain) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!store ? store.error() : chain.error()).c_str());
+    return 1;
+  }
+  chain::VerifyOptions options;
+  options.hostname = flag_value(argc, argv, "--host", "");
+  options.usage = flag_value(argc, argv, "--usage", "TLS") == "S/MIME"
+                      ? chain::Usage::kSmime
+                      : chain::Usage::kTls;
+  std::string time_text = flag_value(argc, argv, "--time", "");
+  if (time_text.empty() || !parse_iso8601(time_text, options.time)) {
+    std::fprintf(stderr, "error: --time <YYYY-MM-DDTHH:MM:SSZ> required\n");
+    return 2;
+  }
+  options.check_signatures = false;  // PEMs carry no SimSig secrets
+  const unsigned long repeat =
+      std::strtoul(flag_value(argc, argv, "--repeat", "16").c_str(), nullptr,
+                   10);
+  chain::ServiceConfig config;
+  config.threads = std::strtoul(
+      flag_value(argc, argv, "--threads", "4").c_str(), nullptr, 10);
+
+  chain::CertificatePool pool;
+  for (std::size_t i = 1; i < chain.value().size(); ++i) {
+    pool.add(chain.value()[i]);
+  }
+  SimSig no_keys;
+  chain::VerifyService service(store.value(), no_keys, config);
+  std::vector<std::future<chain::VerifyResult>> pending;
+  pending.reserve(repeat);
+  for (unsigned long i = 0; i < repeat; ++i) {
+    pending.push_back(service.submit(chain.value()[0], &pool, options));
+  }
+  bool ok = true;
+  std::string error;
+  for (auto& future : pending) {
+    chain::VerifyResult result = future.get();
+    if (!result.ok && ok) {
+      ok = false;
+      error = result.error;
+    }
+  }
+
+  const chain::ServiceStats stats = service.stats();
+  const double lookups =
+      static_cast<double>(stats.verdict_hits + stats.verdict_misses);
+  std::printf("verdict        : %s%s%s\n", ok ? "VALID" : "INVALID",
+              ok ? "" : " — ", ok ? "" : error.c_str());
+  std::printf("calls          : %llu (repeat=%lu, threads=%zu)\n",
+              static_cast<unsigned long long>(stats.calls), repeat,
+              config.threads);
+  std::printf("verdict cache  : %llu hits / %llu misses (hit rate %.3f)\n",
+              static_cast<unsigned long long>(stats.verdict_hits),
+              static_cast<unsigned long long>(stats.verdict_misses),
+              lookups > 0 ? static_cast<double>(stats.verdict_hits) / lookups
+                          : 0.0);
+  std::printf("cert cache     : %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(stats.cert_hits),
+              static_cast<unsigned long long>(stats.cert_misses));
+  std::printf("evictions      : %llu\n",
+              static_cast<unsigned long long>(stats.evictions));
+  std::printf("epoch flushes  : %llu (stale purged %llu)\n",
+              static_cast<unsigned long long>(stats.epoch_flushes),
+              static_cast<unsigned long long>(stats.stale_purged));
+  std::printf("store epoch    : %llu\n",
+              static_cast<unsigned long long>(stats.epoch));
+  std::printf("queue depth    : %zu\n", stats.queue_depth);
+  if (stats.calls > 0) {
+    std::printf("mean call time : %llu ns\n",
+                static_cast<unsigned long long>(stats.total_ns / stats.calls));
+  }
+  return ok ? 0 : 1;
+}
+
 // --- file-based feeds --------------------------------------------------------
 
 Result<std::string> feed_name_of(const std::string& dir) {
@@ -597,6 +689,7 @@ int main(int argc, char** argv) {
   if (command == "store-hash") return cmd_store_hash(rest_argc, rest_argv);
   if (command == "store-diff") return cmd_store_diff(rest_argc, rest_argv);
   if (command == "verify") return cmd_verify(rest_argc, rest_argv);
+  if (command == "serve-stats") return cmd_serve_stats(rest_argc, rest_argv);
   if (command == "feed-publish") return cmd_feed_publish(rest_argc, rest_argv);
   if (command == "feed-verify") return cmd_feed_verify(rest_argc, rest_argv);
   if (command == "feed-apply") return cmd_feed_apply(rest_argc, rest_argv);
