@@ -1,77 +1,264 @@
 #include "rsf/client.hpp"
 
+#include <algorithm>
+
 #include "util/sha256.hpp"
 
 namespace anchor::rsf {
 
+namespace {
+
+// Map a structural verification failure onto the transport-error taxonomy.
+TransportErrorKind classify(Feed::RunFault fault) {
+  switch (fault) {
+    case Feed::RunFault::kSequenceGap:
+    case Feed::RunFault::kChainBroken:
+      return TransportErrorKind::kTruncatedRun;
+    case Feed::RunFault::kPayloadHash:
+      return TransportErrorKind::kCorruptPayload;
+    case Feed::RunFault::kBadSignature:
+      return TransportErrorKind::kBadSignature;
+    case Feed::RunFault::kNone:
+      break;
+  }
+  return TransportErrorKind::kCorruptPayload;
+}
+
+}  // namespace
+
+const char* to_string(ClientHealth health) {
+  switch (health) {
+    case ClientHealth::kHealthy:
+      return "healthy";
+    case ClientHealth::kDegraded:
+      return "degraded";
+    case ClientHealth::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
 RsfClient::RsfClient(const Feed& feed, std::int64_t poll_interval,
-                     MergePolicy policy, Transport transport)
-    : feed_(feed),
+                     MergePolicy policy, Transport transport,
+                     RetryPolicy retry)
+    : owned_transport_(std::make_unique<DirectTransport>(feed)),
+      transport_(owned_transport_.get()),
       poll_interval_(poll_interval),
       policy_(policy),
-      transport_(transport) {
+      retry_(retry),
+      jitter_rng_(retry.jitter_seed),
+      mode_(transport) {
   // The feed key is known out of band (certified by the coordinating body).
   verifier_registry_.register_key(
-      SimSig::keygen("rsf-feed-" + feed.name()));
+      SimSig::keygen("rsf-feed-" + transport_->name()));
+}
+
+RsfClient::RsfClient(FeedTransport& transport, std::int64_t poll_interval,
+                     MergePolicy policy, Transport mode, RetryPolicy retry)
+    : transport_(&transport),
+      poll_interval_(poll_interval),
+      policy_(policy),
+      retry_(retry),
+      jitter_rng_(retry.jitter_seed),
+      mode_(mode) {
+  verifier_registry_.register_key(
+      SimSig::keygen("rsf-feed-" + transport_->name()));
 }
 
 void RsfClient::set_local_store(rootstore::RootStore local) {
   local_ = std::move(local);
 }
 
+std::int64_t RsfClient::next_backoff() {
+  std::int64_t backoff = retry_.base_backoff;
+  for (int i = 0; i < backoff_exp_ && backoff < retry_.max_backoff; ++i) {
+    backoff = static_cast<std::int64_t>(static_cast<double>(backoff) *
+                                        retry_.multiplier);
+  }
+  backoff = std::clamp<std::int64_t>(backoff, 1, retry_.max_backoff);
+  if (backoff_exp_ < 62) ++backoff_exp_;
+  return std::max<std::int64_t>(1, jitter_rng_.jittered(backoff, retry_.jitter));
+}
+
+std::size_t RsfClient::finish_poll(PollOutcome outcome, std::int64_t now,
+                                   std::size_t applied) {
+  switch (outcome) {
+    case PollOutcome::kSuccess:
+      backoff_exp_ = 0;
+      last_contact_ = now;
+      next_poll_ = now + poll_interval_;
+      break;
+    case PollOutcome::kFailure:
+      ++stats_.retries;
+      next_poll_ = now + next_backoff();
+      break;
+    case PollOutcome::kSkip:
+      // Quarantined head: deliberate no-op, keep the normal cadence (the
+      // next poll re-probes in case a newer, clean head was published).
+      next_poll_ = now + poll_interval_;
+      break;
+  }
+  const std::int64_t baseline = last_contact_ >= 0 ? last_contact_ : first_poll_;
+  stats_.seconds_stale = std::max<std::int64_t>(0, now - baseline);
+  stats_.quarantine_size = quarantine_.size();
+  if (stats_.seconds_stale >= retry_.stale_after) {
+    health_ = ClientHealth::kStale;
+  } else if (outcome == PollOutcome::kSuccess && quarantine_.empty()) {
+    health_ = ClientHealth::kHealthy;
+  } else {
+    health_ = ClientHealth::kDegraded;
+  }
+  return applied;
+}
+
+std::size_t RsfClient::fail_poll(TransportErrorKind kind,
+                                 std::uint64_t sequence, std::int64_t now) {
+  ++stats_.transport_errors[static_cast<std::size_t>(kind)];
+  if (sequence != 0) note_verify_failure(sequence, now);
+  return finish_poll(PollOutcome::kFailure, now, 0);
+}
+
+void RsfClient::note_verify_failure(std::uint64_t sequence, std::int64_t now) {
+  int& count = fail_counts_[sequence];
+  if (++count >= retry_.quarantine_threshold) {
+    fail_counts_.erase(sequence);
+    quarantine_[sequence] = now + retry_.quarantine_duration;
+    while (quarantine_.size() > retry_.quarantine_capacity) {
+      auto oldest = std::min_element(
+          quarantine_.begin(), quarantine_.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      quarantine_.erase(oldest);
+    }
+  }
+  // The failure tracker is bounded too: drop the oldest sequence numbers.
+  while (fail_counts_.size() > retry_.quarantine_capacity) {
+    fail_counts_.erase(fail_counts_.begin());
+  }
+}
+
+void RsfClient::prune_quarantine(std::int64_t now) {
+  for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+    if (it->second <= now) {
+      it = quarantine_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Failure counts for sequences we have since advanced past are moot.
+  fail_counts_.erase(fail_counts_.begin(),
+                     fail_counts_.upper_bound(last_sequence_));
+}
+
+bool RsfClient::is_quarantined(std::uint64_t sequence,
+                               std::int64_t now) const {
+  auto it = quarantine_.find(sequence);
+  return it != quarantine_.end() && it->second > now;
+}
+
 std::size_t RsfClient::poll_now(std::int64_t now) {
   ++stats_.polls;
-  std::vector<Snapshot> run = feed_.fetch_since(last_sequence_);
-  if (run.empty()) return 0;
+  if (first_poll_ < 0) first_poll_ = now;
+  prune_quarantine(now);
 
-  if (Status s = Feed::verify_run(run, last_hash_, BytesView(feed_.key_id()),
-                                  verifier_registry_);
-      !s) {
-    ++stats_.verify_failures;
-    return 0;  // fail closed: keep the last good store
+  auto head = transport_->head_sequence();
+  if (!head) {
+    return fail_poll(TransportErrorKind::kUnreachable, 0, now);
+  }
+  if (head.value() < last_sequence_) {
+    // The feed claims a head below what we already verified: a rollback
+    // (or a stale mirror). Never adopt; keep serving the last good store.
+    return fail_poll(TransportErrorKind::kRollback, 0, now);
+  }
+  if (head.value() == last_sequence_) {
+    return finish_poll(PollOutcome::kSuccess, now, 0);  // nothing new
+  }
+  if (is_quarantined(head.value(), now)) {
+    ++stats_.quarantine_skips;
+    return finish_poll(PollOutcome::kSkip, now, 0);
   }
 
-  const Snapshot& head = run.back();
+  auto fetched = transport_->fetch_since(last_sequence_);
+  if (!fetched) {
+    return fail_poll(TransportErrorKind::kUnreachable, 0, now);
+  }
+  std::vector<Snapshot> run = std::move(fetched).take();
+  if (run.empty()) {
+    // The head probe promised more than the fetch delivered.
+    return fail_poll(TransportErrorKind::kTruncatedRun, 0, now);
+  }
+  if (run.back().sequence <= last_sequence_) {
+    return fail_poll(TransportErrorKind::kRollback, run.back().sequence, now);
+  }
+
+  Feed::RunFault fault = Feed::RunFault::kNone;
+  if (Status s = Feed::verify_run(run, last_hash_, BytesView(transport_->key_id()),
+                                  verifier_registry_, &fault);
+      !s) {
+    ++stats_.verify_failures;
+    // Fail closed: keep the last good store. Repeated failures of the same
+    // head sequence land it in quarantine.
+    return fail_poll(classify(fault), run.back().sequence, now);
+  }
+
+  const Snapshot& head_snap = run.back();
   bool replica_current = false;
 
-  if (transport_ == Transport::kDelta) {
+  if (mode_ == Transport::kDelta) {
     // Replay each snapshot's edit script onto the local replica, then
-    // check the result against the head's signed payload hash.
+    // check the result against the head's signed payload hash. Counters
+    // are staged locally and committed only if the replica is adopted, so
+    // an abandoned replay never inflates deltas_applied.
     rootstore::RootStore replica = primary_replica_;
+    std::uint64_t replayed = 0;
+    std::uint64_t delta_bytes = 0;
     bool replay_ok = true;
+    TransportErrorKind replay_fault = TransportErrorKind::kCorruptDelta;
     for (const Snapshot& snap : run) {
-      auto delta_text = feed_.fetch_delta(snap.sequence);
+      auto delta_text = transport_->fetch_delta(snap.sequence);
       if (!delta_text) {
         replay_ok = false;
+        replay_fault = TransportErrorKind::kUnreachable;
         break;
       }
-      stats_.bytes_fetched += delta_text.value().size();
+      delta_bytes += delta_text.value().size();
       auto delta = StoreDelta::deserialize(delta_text.value());
       if (!delta) {
         replay_ok = false;
         break;
       }
       delta.value().apply(replica);
-      ++stats_.deltas_applied;
+      ++replayed;
     }
     if (replay_ok &&
         Sha256::hash_hex(BytesView(to_bytes(replica.serialize()))) ==
-            head.payload_hash) {
+            head_snap.payload_hash) {
+      stats_.bytes_fetched += delta_bytes;
+      stats_.deltas_applied += replayed;
       primary_replica_ = std::move(replica);
       replica_current = true;
     } else {
-      ++stats_.delta_fallbacks;  // fall through to the full snapshot
+      // Fall through to the full snapshot. The delta bytes crossed the
+      // wire either way, but bought nothing.
+      ++stats_.delta_fallbacks;
+      ++stats_.transport_errors[static_cast<std::size_t>(replay_fault)];
+      stats_.bytes_fetched += delta_bytes;
+      stats_.bytes_discarded += delta_bytes;
     }
   }
 
   if (!replica_current) {
     // Full-snapshot transport (or delta fallback): adopt the newest
     // snapshot outright; intermediates are subsumed.
-    stats_.bytes_fetched += head.payload.size();
-    auto parsed = rootstore::RootStore::deserialize(head.payload);
+    stats_.bytes_fetched += head_snap.payload.size();
+    auto parsed = rootstore::RootStore::deserialize(head_snap.payload);
     if (!parsed) {
-      ++stats_.verify_failures;
-      return 0;
+      // The payload was signed and hash-verified, yet does not parse: a
+      // publisher bug, not a transport tamper. Distinct counter, same
+      // fail-closed handling.
+      ++stats_.parse_failures;
+      stats_.bytes_discarded += head_snap.payload.size();
+      return fail_poll(TransportErrorKind::kCorruptPayload,
+                       head_snap.sequence, now);
     }
     primary_replica_ = std::move(parsed).take();
   }
@@ -92,20 +279,26 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
   store_.advance_epoch_past(prior_epoch);
 
   std::size_t applied = run.size();
-  last_sequence_ = head.sequence;
-  last_hash_ = head.payload_hash;
+  last_sequence_ = head_snap.sequence;
+  last_hash_ = head_snap.payload_hash;
   last_update_time_ = now;
   stats_.updates_applied += applied;
-  return applied;
+  fail_counts_.clear();
+  // A verified successor supersedes any quarantined ancestor: once the
+  // client is past a poisoned sequence it will never fetch it again, so
+  // keeping the entry would only pin health at kDegraded.
+  quarantine_.erase(quarantine_.begin(),
+                    quarantine_.upper_bound(last_sequence_));
+  return finish_poll(PollOutcome::kSuccess, now, applied);
 }
 
 std::size_t RsfClient::run_until(std::int64_t now) {
-  std::size_t applied = 0;
-  while (next_poll_ <= now) {
-    applied += poll_now(next_poll_);
-    next_poll_ += poll_interval_;
-  }
-  return applied;
+  // One catch-up poll per wake: poll_now re-anchors next_poll_ relative to
+  // `now` (interval on success, backoff on failure), so a client offline
+  // for a month issues a single poll instead of replaying every missed
+  // interval back to back.
+  if (next_poll_ > now) return 0;
+  return poll_now(now);
 }
 
 ManualMirrorClient::ManualMirrorClient(const Feed& feed, bool strip_gccs)

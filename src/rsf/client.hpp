@@ -6,6 +6,15 @@
 //    fetched run is signature- and hash-chain-verified before application,
 //    and the local (derivative) store is merged with the primary payload.
 //
+//    The client reaches the feed through a FeedTransport (transport.hpp)
+//    that can fail: polls that error or fail verification are retried on
+//    an exponential backoff with jitter; snapshots that repeatedly fail
+//    verification are quarantined for a bounded interval so a poisoned
+//    sequence number is not re-fetched every poll; and a three-state
+//    health machine (healthy / degraded / stale) reports how far behind
+//    the exposed store may be. Under every fault the client keeps serving
+//    the last verified store — faults cost freshness, never safety.
+//
 //  * ManualMirrorClient — today's practice: a human periodically imports
 //    the primary store into the distribution with months of lag (Ma et
 //    al.'s measurements, cited in §§1, 4). It only ever applies full
@@ -13,22 +22,43 @@
 //    a legacy /etc/ssl/certs-style consumer.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 
 #include "rsf/feed.hpp"
 #include "rsf/merge.hpp"
+#include "rsf/transport.hpp"
+#include "util/rng.hpp"
 
 namespace anchor::rsf {
 
 struct ClientStats {
   std::uint64_t polls = 0;
   std::uint64_t updates_applied = 0;
-  std::uint64_t verify_failures = 0;
+  std::uint64_t verify_failures = 0;  // signature / hash-chain rejections
+  std::uint64_t parse_failures = 0;   // signed payload that won't deserialize
   std::uint64_t merge_conflicts = 0;
-  std::uint64_t deltas_applied = 0;
+  std::uint64_t deltas_applied = 0;   // only deltas in the adopted replica
   std::uint64_t delta_fallbacks = 0;  // delta replay mismatched; used snapshot
   std::uint64_t bytes_fetched = 0;    // payload or delta bytes, per transport
+  std::uint64_t bytes_discarded = 0;  // fetched but thrown away (failed runs)
+  std::uint64_t retries = 0;          // backoff-scheduled re-polls
+  std::uint64_t quarantine_skips = 0; // polls skipped on a quarantined head
+  std::size_t quarantine_size = 0;    // currently quarantined sequences
+  std::int64_t seconds_stale = 0;     // now - last verified feed contact
+  std::array<std::uint64_t, kTransportErrorKindCount> transport_errors{};
+
+  std::uint64_t transport_error(TransportErrorKind kind) const {
+    return transport_errors[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t transport_errors_total() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t n : transport_errors) total += n;
+    return total;
+  }
 };
 
 // How the client moves store state over the wire. Either way the signed,
@@ -37,38 +67,95 @@ struct ClientStats {
 // falling back to the full snapshot on any mismatch.
 enum class Transport { kFullSnapshot, kDelta };
 
+// Retry / quarantine / staleness knobs. All times in seconds (SimClock
+// domain — the client is driven entirely by the `now` its caller passes).
+struct RetryPolicy {
+  std::int64_t base_backoff = 60;          // first retry delay
+  double multiplier = 2.0;                 // exponential growth per failure
+  std::int64_t max_backoff = 3600;         // backoff ceiling
+  double jitter = 0.2;                     // ± fraction applied to backoff
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  int quarantine_threshold = 3;            // verify failures before quarantine
+  std::int64_t quarantine_duration = 6 * 3600;
+  std::size_t quarantine_capacity = 8;     // bounded; oldest entry evicted
+  std::int64_t stale_after = 24 * 3600;    // degraded -> stale threshold
+};
+
+// kHealthy: the last poll reached the feed and verified. kDegraded: polls
+// are failing (or the head is quarantined) but the last good contact is
+// recent; the last verified store keeps being served. kStale: no verified
+// contact for at least `RetryPolicy::stale_after` — consumers may want to
+// alarm, the exposed store is of unknown freshness.
+enum class ClientHealth { kHealthy, kDegraded, kStale };
+
+const char* to_string(ClientHealth health);
+
 class RsfClient {
  public:
-  // `poll_interval` in seconds (the paper suggests hourly).
+  // `poll_interval` in seconds (the paper suggests hourly). This overload
+  // wires a perfect in-process DirectTransport to `feed`.
   RsfClient(const Feed& feed, std::int64_t poll_interval,
             MergePolicy policy = MergePolicy::kPrimaryWins,
-            Transport transport = Transport::kFullSnapshot);
+            Transport transport = Transport::kFullSnapshot,
+            RetryPolicy retry = RetryPolicy{});
+
+  // Consume an arbitrary transport (e.g. a FaultyTransport decorator).
+  // `transport` must outlive the client.
+  RsfClient(FeedTransport& transport, std::int64_t poll_interval,
+            MergePolicy policy = MergePolicy::kPrimaryWins,
+            Transport mode = Transport::kFullSnapshot,
+            RetryPolicy retry = RetryPolicy{});
 
   // Local augmentations (imported roots, site GCCs) merged atop every
   // primary snapshot.
   void set_local_store(rootstore::RootStore local);
 
-  // Advances to `now`, polling as many times as the interval allows.
-  // Returns the number of snapshots applied.
+  // Advances to `now`, issuing at most one catch-up poll: the next poll is
+  // re-anchored relative to `now` (interval on success, backoff on
+  // failure), so a client woken after a long offline gap does not replay
+  // thousands of missed polls. Returns the number of snapshots applied.
   std::size_t run_until(std::int64_t now);
 
-  // Single poll at time `now` regardless of schedule (for tests).
+  // Single poll at time `now` regardless of schedule (for tests). Also
+  // re-anchors the poll schedule at `now`.
   std::size_t poll_now(std::int64_t now);
 
   const rootstore::RootStore& store() const { return store_; }
   std::uint64_t last_applied_sequence() const { return last_sequence_; }
   std::int64_t last_update_time() const { return last_update_time_; }
+  std::int64_t next_poll_time() const { return next_poll_; }
+  ClientHealth health() const { return health_; }
   const ClientStats& stats() const { return stats_; }
 
  private:
-  const Feed& feed_;
+  enum class PollOutcome { kSuccess, kFailure, kSkip };
+
+  std::size_t finish_poll(PollOutcome outcome, std::int64_t now,
+                          std::size_t applied);
+  std::size_t fail_poll(TransportErrorKind kind, std::uint64_t sequence,
+                        std::int64_t now);
+  void note_verify_failure(std::uint64_t sequence, std::int64_t now);
+  void prune_quarantine(std::int64_t now);
+  bool is_quarantined(std::uint64_t sequence, std::int64_t now) const;
+  std::int64_t next_backoff();
+
+  std::unique_ptr<FeedTransport> owned_transport_;  // Feed& overload only
+  FeedTransport* transport_;
   std::int64_t poll_interval_;
   MergePolicy policy_;
+  RetryPolicy retry_;
+  Rng jitter_rng_;
   std::int64_t next_poll_ = 0;
   std::uint64_t last_sequence_ = 0;
   std::string last_hash_;
   std::int64_t last_update_time_ = -1;
-  Transport transport_ = Transport::kFullSnapshot;
+  std::int64_t last_contact_ = -1;   // last verified feed contact
+  std::int64_t first_poll_ = -1;     // staleness baseline before any contact
+  int backoff_exp_ = 0;              // consecutive-failure exponent
+  ClientHealth health_ = ClientHealth::kHealthy;
+  std::map<std::uint64_t, int> fail_counts_;          // per-head failures
+  std::map<std::uint64_t, std::int64_t> quarantine_;  // sequence -> until
+  Transport mode_ = Transport::kFullSnapshot;
   rootstore::RootStore primary_replica_;  // the primary state, pre-merge
   rootstore::RootStore store_;
   std::optional<rootstore::RootStore> local_;

@@ -72,28 +72,37 @@ Snapshot* Feed::mutable_at(std::uint64_t sequence) {
 
 Status Feed::verify_run(std::span<const Snapshot> run,
                         const std::string& anchor_prev_hash, BytesView key_id,
-                        const SimSig& registry) {
+                        const SimSig& registry, RunFault* fault) {
+  const auto fail = [&](RunFault kind, std::string message) -> Status {
+    if (fault != nullptr) *fault = kind;
+    return err(std::move(message));
+  };
+  if (fault != nullptr) *fault = RunFault::kNone;
   std::string expected_prev = anchor_prev_hash;
   std::uint64_t expected_seq = 0;
   for (const Snapshot& snap : run) {
     if (expected_seq != 0 && snap.sequence != expected_seq + 1) {
-      return err("rsf: sequence gap at " + std::to_string(snap.sequence));
+      return fail(RunFault::kSequenceGap,
+                  "rsf: sequence gap at " + std::to_string(snap.sequence));
     }
     expected_seq = snap.sequence;
     if (!expected_prev.empty() && snap.prev_hash != expected_prev) {
-      return err("rsf: hash chain broken at sequence " +
-                 std::to_string(snap.sequence));
+      return fail(RunFault::kChainBroken,
+                  "rsf: hash chain broken at sequence " +
+                      std::to_string(snap.sequence));
     }
     std::string recomputed =
         Sha256::hash_hex(BytesView(to_bytes(snap.payload)));
     if (recomputed != snap.payload_hash) {
-      return err("rsf: payload hash mismatch at sequence " +
-                 std::to_string(snap.sequence));
+      return fail(RunFault::kPayloadHash,
+                  "rsf: payload hash mismatch at sequence " +
+                      std::to_string(snap.sequence));
     }
     if (!registry.verify(key_id, BytesView(snap.transcript()),
                          BytesView(snap.signature))) {
-      return err("rsf: bad signature at sequence " +
-                 std::to_string(snap.sequence));
+      return fail(RunFault::kBadSignature,
+                  "rsf: bad signature at sequence " +
+                      std::to_string(snap.sequence));
     }
     expected_prev = snap.payload_hash;
   }

@@ -63,11 +63,25 @@ class Feed {
   // their own. Computed on demand; empty Result on bad sequence.
   Result<std::string> fetch_delta(std::uint64_t sequence) const;
 
+  // What, structurally, made a run fail verification. Lets the client
+  // classify failures for its per-kind transport-error accounting without
+  // string-matching diagnostics.
+  enum class RunFault {
+    kNone,
+    kSequenceGap,   // sequences not contiguous
+    kChainBroken,   // prev_hash does not link
+    kPayloadHash,   // payload bytes do not match the signed hash
+    kBadSignature,  // signature does not verify
+  };
+
   // Verifies signature + hash chain of a fetched run of snapshots,
-  // anchored at the client's last verified hash. Fails closed.
+  // anchored at the client's last verified hash. Fails closed. When
+  // `fault` is non-null, it receives the classified failure (kNone on
+  // success).
   static Status verify_run(std::span<const Snapshot> run,
                            const std::string& anchor_prev_hash,
-                           BytesView key_id, const SimSig& registry);
+                           BytesView key_id, const SimSig& registry,
+                           RunFault* fault = nullptr);
 
   // Tamper hook for negative tests: mutate a stored snapshot in place.
   Snapshot* mutable_at(std::uint64_t sequence);

@@ -118,6 +118,8 @@ SimReport run_staleness_simulation(const SimConfig& config) {
   // Derivative state.
   struct DerivState {
     SimDerivativeSpec spec;
+    std::unique_ptr<DirectTransport> direct;
+    std::unique_ptr<FaultyTransport> faulty;  // only when spec.faults.any()
     std::unique_ptr<RsfClient> rsf;
     std::unique_ptr<ManualMirrorClient> manual;
     std::int64_t next_sync = 0;  // next scheduled manual import
@@ -128,11 +130,24 @@ SimReport run_staleness_simulation(const SimConfig& config) {
     std::uint64_t samples = 0;
   };
   std::vector<DerivState> derivatives;
+  std::uint64_t derivative_index = 0;
   for (const auto& spec : config.derivatives) {
     DerivState state;
     state.spec = spec;
     if (spec.uses_rsf) {
-      state.rsf = std::make_unique<RsfClient>(feed, spec.rsf_poll_interval);
+      state.direct = std::make_unique<DirectTransport>(feed);
+      FeedTransport* transport = state.direct.get();
+      if (spec.faults.any()) {
+        state.faulty = std::make_unique<FaultyTransport>(
+            *state.direct, spec.faults,
+            config.seed ^ (derivative_index * 0x9e3779b97f4a7c15ULL));
+        transport = state.faulty.get();
+      }
+      RetryPolicy retry = spec.retry;
+      retry.jitter_seed ^= config.seed + derivative_index;
+      state.rsf = std::make_unique<RsfClient>(
+          *transport, spec.rsf_poll_interval, MergePolicy::kPrimaryWins,
+          Transport::kFullSnapshot, retry);
     } else {
       state.manual = std::make_unique<ManualMirrorClient>(feed, true);
       // Uniform phase: derivatives are not synchronized with the primary.
@@ -141,6 +156,7 @@ SimReport run_staleness_simulation(const SimConfig& config) {
           rng.uniform_range(0, std::max<std::int64_t>(1, spec.manual_sync_period));
     }
     derivatives.push_back(std::move(state));
+    ++derivative_index;
   }
 
   // Incident tracking.
@@ -262,6 +278,13 @@ SimReport run_staleness_simulation(const SimConfig& config) {
     if (counted > 0) {
       metrics.mean_vulnerability_window = window_sum / counted;
       metrics.max_vulnerability_window = window_max;
+    }
+    if (derivatives[d].rsf != nullptr) {
+      const ClientStats& stats = derivatives[d].rsf->stats();
+      metrics.retries = stats.retries;
+      metrics.transport_errors = stats.transport_errors_total();
+      metrics.verify_failures = stats.verify_failures;
+      metrics.delta_fallbacks = stats.delta_fallbacks;
     }
     report.derivatives.push_back(std::move(metrics));
   }

@@ -25,6 +25,13 @@ struct SimDerivativeSpec {
   std::string name;
   bool uses_rsf = false;
   std::int64_t rsf_poll_interval = 3600;  // 1 hour, per the paper
+  // RSF clients may sync over a lossy / corrupting transport: when any
+  // fault probability is set, the simulator wraps the feed in a
+  // FaultyTransport seeded from the run's seed, and the client retries on
+  // its RetryPolicy schedule. This is the fault-sweep axis of
+  // bench_staleness (staleness vs loss rate, vs corruption rate).
+  FaultProfile faults;
+  RetryPolicy retry;
   // Manual mirrors import the upstream store periodically (a human runs the
   // update as part of a release cycle), not per upstream release: one
   // import every `manual_sync_period` +- jitter seconds.
@@ -60,6 +67,11 @@ struct DerivativeMetrics {
   double max_staleness_days = 0;
   std::int64_t mean_vulnerability_window = -1;  // seconds, over incidents
   std::int64_t max_vulnerability_window = -1;
+  // RSF clients only: failure-path accounting from ClientStats.
+  std::uint64_t retries = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t verify_failures = 0;
+  std::uint64_t delta_fallbacks = 0;
 };
 
 struct SimReport {

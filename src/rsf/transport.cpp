@@ -1,0 +1,130 @@
+#include "rsf/transport.hpp"
+
+#include <algorithm>
+
+namespace anchor::rsf {
+
+const char* to_string(TransportErrorKind kind) {
+  switch (kind) {
+    case TransportErrorKind::kUnreachable:
+      return "unreachable";
+    case TransportErrorKind::kTruncatedRun:
+      return "truncated-run";
+    case TransportErrorKind::kCorruptPayload:
+      return "corrupt-payload";
+    case TransportErrorKind::kCorruptDelta:
+      return "corrupt-delta";
+    case TransportErrorKind::kBadSignature:
+      return "bad-signature";
+    case TransportErrorKind::kRollback:
+      return "rollback";
+  }
+  return "unknown";
+}
+
+FaultProfile FaultProfile::loss(double p) {
+  FaultProfile profile;
+  profile.unreachable = p;
+  return profile;
+}
+
+FaultProfile FaultProfile::corruption(double p) {
+  FaultProfile profile;
+  profile.corrupt_payload = p;
+  profile.corrupt_delta = p;
+  profile.flip_signature = p;
+  return profile;
+}
+
+FaultProfile FaultProfile::chaos(double p) {
+  FaultProfile profile;
+  profile.unreachable = p;
+  profile.truncate_run = p;
+  profile.corrupt_payload = p;
+  profile.corrupt_delta = p;
+  profile.flip_signature = p;
+  profile.rollback = p;
+  return profile;
+}
+
+FaultyTransport::FaultyTransport(FeedTransport& inner, FaultProfile profile,
+                                 std::uint64_t seed)
+    : inner_(inner), profile_(profile), rng_(seed) {}
+
+std::uint64_t FaultyTransport::injected_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t n : injected_) total += n;
+  return total;
+}
+
+Result<std::vector<Snapshot>> FaultyTransport::fetch_since(
+    std::uint64_t after) {
+  if (rng_.chance(profile_.unreachable)) {
+    count(TransportErrorKind::kUnreachable);
+    return err("transport: feed unreachable");
+  }
+  auto fetched = inner_.fetch_since(after);
+  if (!fetched) return fetched;
+  std::vector<Snapshot> run = std::move(fetched).take();
+
+  if (after > 0 && rng_.chance(profile_.rollback)) {
+    // Stale-head replay: re-serve the feed as it looked at some head at or
+    // below the client's current sequence, the way a lagging cache would.
+    auto old = inner_.fetch_since(0);
+    if (old) {
+      const std::uint64_t stale_head = 1 + rng_.uniform(after);  // [1, after]
+      run = std::move(old).take();
+      run.erase(std::remove_if(run.begin(), run.end(),
+                               [&](const Snapshot& snap) {
+                                 return snap.sequence > stale_head;
+                               }),
+                run.end());
+      count(TransportErrorKind::kRollback);
+    }
+  } else if (!run.empty() && rng_.chance(profile_.truncate_run)) {
+    // Drop the tail: a still-valid (but stale) prefix, possibly empty.
+    run.resize(rng_.uniform(run.size()));
+    count(TransportErrorKind::kTruncatedRun);
+  }
+
+  if (!run.empty() && rng_.chance(profile_.corrupt_payload)) {
+    Snapshot& victim = run[rng_.uniform(run.size())];
+    if (victim.payload.empty()) {
+      victim.payload = "?";
+    } else {
+      victim.payload[rng_.uniform(victim.payload.size())] ^= 0x01;
+    }
+    count(TransportErrorKind::kCorruptPayload);
+  }
+  if (!run.empty() && rng_.chance(profile_.flip_signature)) {
+    Snapshot& victim = run[rng_.uniform(run.size())];
+    if (victim.signature.empty()) {
+      victim.signature.push_back(0x01);
+    } else {
+      victim.signature[rng_.uniform(victim.signature.size())] ^= 0x01;
+    }
+    count(TransportErrorKind::kBadSignature);
+  }
+  return run;
+}
+
+Result<std::string> FaultyTransport::fetch_delta(std::uint64_t sequence) {
+  if (rng_.chance(profile_.unreachable)) {
+    count(TransportErrorKind::kUnreachable);
+    return err("transport: feed unreachable");
+  }
+  auto fetched = inner_.fetch_delta(sequence);
+  if (!fetched) return fetched;
+  std::string text = std::move(fetched).take();
+  if (rng_.chance(profile_.corrupt_delta)) {
+    if (text.empty()) {
+      text = "?";
+    } else {
+      text[rng_.uniform(text.size())] ^= 0x01;
+    }
+    count(TransportErrorKind::kCorruptDelta);
+  }
+  return text;
+}
+
+}  // namespace anchor::rsf

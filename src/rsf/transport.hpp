@@ -1,0 +1,142 @@
+// Feed transports: how a polling client reaches a Root-Store Feed.
+//
+// The paper's deployment story (§4) has derivatives polling a primary RSF
+// over the network, where the feed can be unreachable, truncated by a lazy
+// mirror, corrupted in flight, or rolled back by a stale cache. `Feed`
+// itself is an in-memory append-only log that can never fail, so the
+// client/feed seam is widened into `FeedTransport`: `DirectTransport` is
+// the perfect in-process wire, and `FaultyTransport` is a decorator that
+// injects deterministic, seeded faults (driven by `util/rng`) between any
+// transport and the client. The client's verification/quarantine/backoff
+// machinery (client.hpp) is exercised against the faulty decorator; the
+// feed's signatures and hash chain guarantee that no injected fault can
+// ever make an unverified snapshot adoptable — faults only cost liveness,
+// never safety (pinned by tests/rsf_fault_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rsf/feed.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::rsf {
+
+// Failure taxonomy, used both for injection (FaultyTransport) and for the
+// client's per-kind error accounting (ClientStats::transport_errors).
+enum class TransportErrorKind : int {
+  kUnreachable = 0,    // the fetch itself failed; nothing was delivered
+  kTruncatedRun = 1,   // run ends early / has gaps (stale or lazy mirror)
+  kCorruptPayload = 2, // snapshot payload bytes damaged in flight
+  kCorruptDelta = 3,   // delta text damaged in flight
+  kBadSignature = 4,   // snapshot signature bytes flipped
+  kRollback = 5,       // replay of an older feed state (stale-head)
+};
+inline constexpr std::size_t kTransportErrorKindCount = 6;
+
+const char* to_string(TransportErrorKind kind);
+
+// How the client moves snapshots over the wire. Implementations must be
+// safe to call repeatedly; they never mutate the underlying feed.
+class FeedTransport {
+ public:
+  virtual ~FeedTransport() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const Bytes& key_id() const = 0;
+
+  // Cheap head probe (an HTTP HEAD in deployment): the newest published
+  // sequence, so an up-to-date client can skip the payload fetch entirely.
+  virtual Result<std::uint64_t> head_sequence() = 0;
+
+  // Snapshots with sequence > `after`.
+  virtual Result<std::vector<Snapshot>> fetch_since(std::uint64_t after) = 0;
+
+  // Serialized StoreDelta for `sequence` (see Feed::fetch_delta).
+  virtual Result<std::string> fetch_delta(std::uint64_t sequence) = 0;
+};
+
+// The perfect wire: pass-through to an in-process Feed. Never fails.
+class DirectTransport : public FeedTransport {
+ public:
+  explicit DirectTransport(const Feed& feed) : feed_(feed) {}
+
+  const std::string& name() const override { return feed_.name(); }
+  const Bytes& key_id() const override { return feed_.key_id(); }
+  Result<std::uint64_t> head_sequence() override {
+    return feed_.head_sequence();
+  }
+  Result<std::vector<Snapshot>> fetch_since(std::uint64_t after) override {
+    return feed_.fetch_since(after);
+  }
+  Result<std::string> fetch_delta(std::uint64_t sequence) override {
+    return feed_.fetch_delta(sequence);
+  }
+
+ private:
+  const Feed& feed_;
+};
+
+// Per-call injection probabilities, each an independent Bernoulli trial.
+struct FaultProfile {
+  double unreachable = 0;      // fetch_since/fetch_delta fail outright
+  double truncate_run = 0;     // drop the tail of a fetched run
+  double corrupt_payload = 0;  // flip a byte in one snapshot payload
+  double corrupt_delta = 0;    // flip a byte in a fetched delta
+  double flip_signature = 0;   // flip a byte in one snapshot signature
+  double rollback = 0;         // serve a replay of an older feed state
+
+  bool any() const {
+    return unreachable > 0 || truncate_run > 0 || corrupt_payload > 0 ||
+           corrupt_delta > 0 || flip_signature > 0 || rollback > 0;
+  }
+
+  static FaultProfile loss(double p);        // unreachable only
+  static FaultProfile corruption(double p);  // payload + delta + signature
+  static FaultProfile chaos(double p);       // every kind at p
+};
+
+// Decorator injecting deterministic, seeded faults into another transport.
+// Faults target the payload-bearing fetches; the head probe passes through
+// untouched (it is metadata-cheap, and keeping it reliable lets tests
+// separate "cannot see the head" from "cannot fetch the run"). Mutations
+// are applied to copies — the wrapped transport and its feed are never
+// altered. Per-kind injection counters let tests and benches correlate
+// what went in with what the client observed.
+class FaultyTransport : public FeedTransport {
+ public:
+  FaultyTransport(FeedTransport& inner, FaultProfile profile,
+                  std::uint64_t seed);
+
+  const std::string& name() const override { return inner_.name(); }
+  const Bytes& key_id() const override { return inner_.key_id(); }
+  Result<std::uint64_t> head_sequence() override {
+    return inner_.head_sequence();
+  }
+  Result<std::vector<Snapshot>> fetch_since(std::uint64_t after) override;
+  Result<std::string> fetch_delta(std::uint64_t sequence) override;
+
+  // Live reconfiguration: a sweep (or a "faults clear" test phase) swaps
+  // profiles without disturbing the client's accumulated state.
+  void set_profile(const FaultProfile& profile) { profile_ = profile; }
+  const FaultProfile& profile() const { return profile_; }
+
+  std::uint64_t injected(TransportErrorKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t injected_total() const;
+
+ private:
+  void count(TransportErrorKind kind) {
+    ++injected_[static_cast<std::size_t>(kind)];
+  }
+
+  FeedTransport& inner_;
+  FaultProfile profile_;
+  Rng rng_;
+  std::array<std::uint64_t, kTransportErrorKindCount> injected_{};
+};
+
+}  // namespace anchor::rsf

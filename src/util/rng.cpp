@@ -76,6 +76,12 @@ std::size_t Rng::count_with_mean(double mean) {
   return count;
 }
 
+std::int64_t Rng::jittered(std::int64_t value, double fraction) {
+  if (fraction <= 0 || value == 0) return value;
+  const double scale = 1.0 + fraction * (2.0 * uniform01() - 1.0);
+  return static_cast<std::int64_t>(static_cast<double>(value) * scale);
+}
+
 Bytes Rng::random_bytes(std::size_t n) {
   Bytes out(n);
   for (std::size_t i = 0; i < n; i += 8) {

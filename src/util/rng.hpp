@@ -37,6 +37,11 @@ class Rng {
   // Geometric-ish count >= 1 with the given mean.
   std::size_t count_with_mean(double mean);
 
+  // `value` perturbed by a uniform factor in [1-fraction, 1+fraction].
+  // Retry backoff uses this so a fleet of clients recovering from the same
+  // outage does not stampede the feed on synchronized schedules.
+  std::int64_t jittered(std::int64_t value, double fraction);
+
   Bytes random_bytes(std::size_t n);
 
   // Derives an independent child stream; `label` separates domains.

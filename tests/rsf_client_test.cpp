@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "rsf/transport.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
 #include "util/time.hpp"
 #include "x509/builder.hpp"
 
@@ -368,6 +373,130 @@ TEST(ManualMirror, StoreEpochNeverMovesBackwardAcrossSyncs) {
   feed.publish(store_with({"A"}), 2, "r2");
   mirror.manual_sync(20);
   EXPECT_GT(mirror.store().epoch(), first);
+}
+
+// Regression: run_until used to loop once per missed poll interval, so a
+// client woken after a long offline gap (a laptop resumed after vacation)
+// replayed thousands of back-to-back polls against the feed. Post-fix it
+// issues a single catch-up poll and re-anchors the schedule at `now`.
+TEST(RsfClient, RunUntilIssuesOneCatchUpPollAfterOfflineGap) {
+  SimSig registry;
+  Feed feed("nss", registry);
+  feed.publish(store_with({"A"}), 100, "r1");
+  RsfClient client(feed, 3600);
+  client.run_until(0);
+  EXPECT_EQ(client.stats().polls, 1u);
+
+  // Offline for 100 days (2400 missed hourly intervals).
+  feed.publish(store_with({"A", "B"}), 50 * 86400, "r2");
+  const std::int64_t wake = 100 * 86400;
+  EXPECT_EQ(client.run_until(wake), 1u);
+  EXPECT_EQ(client.stats().polls, 2u);  // pre-fix: ~2401
+  EXPECT_EQ(client.last_applied_sequence(), 2u);
+  // The schedule is re-anchored relative to the wake time, not to the
+  // pre-gap grid.
+  EXPECT_EQ(client.next_poll_time(), wake + 3600);
+  EXPECT_EQ(client.run_until(wake + 3599), 0u);
+  EXPECT_EQ(client.stats().polls, 2u);
+}
+
+// Regression: a payload that is correctly signed and hash-verified but does
+// not deserialize (a publisher-side bug, not transport tamper) used to be
+// counted as a verify_failure, poisoning the metric operators alarm on for
+// integrity attacks. The two causes are now distinct counters with
+// identical fail-closed handling.
+TEST(RsfClient, SignedButUnparsablePayloadIsAParseFailureNotAVerifyFailure) {
+  SimSig registry;
+  Feed feed("nss", registry);
+  feed.publish(store_with({"A"}), 1, "r1");
+  RsfClient client(feed, 3600);
+  EXPECT_EQ(client.poll_now(10), 1u);
+
+  // The publisher ships garbage, but signs it properly: recompute the
+  // payload hash and signature exactly as Feed::publish would.
+  feed.publish(store_with({"A", "B"}), 2, "r2");
+  Snapshot* snap = feed.mutable_at(2);
+  snap->payload = "not a serialized root store";
+  snap->payload_hash = Sha256::hash_hex(BytesView(to_bytes(snap->payload)));
+  snap->signature = SimSig::sign(SimSig::keygen("rsf-feed-nss"),
+                                 BytesView(snap->transcript()));
+
+  EXPECT_EQ(client.poll_now(20), 0u);
+  EXPECT_EQ(client.stats().parse_failures, 1u);
+  EXPECT_EQ(client.stats().verify_failures, 0u);
+  // Fail-closed handling is identical to a verify failure: the last good
+  // store is retained and the fetched bytes are accounted as discarded.
+  EXPECT_EQ(client.store().trusted_count(), 1u);
+  EXPECT_EQ(client.last_applied_sequence(), 1u);
+  EXPECT_EQ(client.stats().bytes_discarded, snap->payload.size());
+  // And the converse stays true: transport tamper is a verify failure.
+  feed.publish(store_with({"A", "B", "C"}), 3, "r3");
+  feed.mutable_at(3)->payload += "garbage";
+  EXPECT_EQ(client.poll_now(30), 0u);
+  EXPECT_EQ(client.stats().verify_failures, 1u);
+  EXPECT_EQ(client.stats().parse_failures, 1u);
+}
+
+// Property-style check: under arbitrary interleavings of publishes and
+// injected transport faults, the exposed store is always some published
+// primary snapshot merged with the local store — never a torn, partial, or
+// rolled-back state — and the applied sequence is monotone.
+TEST(RsfClientProperty, ExposedStoreIsAlwaysAVerifiedPrimaryMergedWithLocal) {
+  for (std::uint64_t seed : {11u, 29u, 83u}) {
+    SimSig registry;
+    Feed feed("nss", registry);
+    rootstore::RootStore primary =
+        store_with({"P0 s" + std::to_string(seed), "P1", "P2"});
+
+    CertPtr imported = make_root("Imported s" + std::to_string(seed));
+    rootstore::RootStore local;
+    (void)local.add_trusted(imported);
+
+    DirectTransport direct(feed);
+    FaultyTransport faulty(direct, FaultProfile::chaos(0.4), seed);
+    RetryPolicy retry;
+    retry.jitter_seed = seed;
+    RsfClient client(faulty, 3600, MergePolicy::kPrimaryWins,
+                     Transport::kFullSnapshot, retry);
+    client.set_local_store(local);
+
+    std::set<std::string> legitimate;
+    legitimate.insert(rootstore::RootStore{}.serialize());
+    auto publish = [&](std::int64_t at) {
+      feed.publish(primary, at, "release");
+      legitimate.insert(
+          merge(primary, local, MergePolicy::kPrimaryWins).merged.serialize());
+    };
+    publish(0);
+
+    Rng driver(seed * 0x9e3779b97f4a7c15ULL);
+    std::uint64_t last_seq = 0;
+    std::int64_t now = 0;
+    for (int step = 0; step < 300; ++step) {
+      now += 1800;
+      if (driver.chance(0.08)) {
+        if (driver.chance(0.5)) {
+          (void)primary.add_trusted(make_root(
+              "Prop Root s" + std::to_string(seed) + " " +
+              std::to_string(step)));
+        } else if (!primary.trusted().empty()) {
+          primary.distrust(primary.trusted()[0]->cert->fingerprint_hex(),
+                           "prop incident");
+        }
+        publish(now);
+      }
+      client.run_until(now);
+      ASSERT_EQ(legitimate.count(client.store().serialize()), 1u)
+          << "seed " << seed << " step " << step
+          << ": exposed store is not a published primary state";
+      ASSERT_GE(client.last_applied_sequence(), last_seq)
+          << "seed " << seed << " step " << step;
+      last_seq = client.last_applied_sequence();
+    }
+    // The interleaving must actually have exercised both paths.
+    EXPECT_GT(client.stats().updates_applied, 0u) << "seed " << seed;
+    EXPECT_GT(faulty.injected_total(), 0u) << "seed " << seed;
+  }
 }
 
 }  // namespace

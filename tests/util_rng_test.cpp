@@ -131,5 +131,27 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(same, 3);
 }
 
+TEST(Rng, JitteredStaysWithinFractionAndVaries) {
+  Rng rng(41);
+  bool saw_below = false;
+  bool saw_above = false;
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t v = rng.jittered(1000, 0.2);
+    EXPECT_GE(v, 800);
+    EXPECT_LE(v, 1200);
+    if (v < 1000) saw_below = true;
+    if (v > 1000) saw_above = true;
+  }
+  EXPECT_TRUE(saw_below);
+  EXPECT_TRUE(saw_above);
+}
+
+TEST(Rng, JitteredIsIdentityForZeroFractionOrValue) {
+  Rng rng(43);
+  EXPECT_EQ(rng.jittered(3600, 0.0), 3600);
+  EXPECT_EQ(rng.jittered(0, 0.5), 0);
+  EXPECT_EQ(rng.jittered(-60, 0.0), -60);
+}
+
 }  // namespace
 }  // namespace anchor

@@ -17,6 +17,10 @@
 //   anchorctl feed-publish <dir> <store.txt> --time <iso8601> [--note "..."]
 //   anchorctl feed-verify <dir>              check signatures + hash chain
 //   anchorctl feed-apply <dir> <out.txt>     materialize the head snapshot
+//   anchorctl feed-status <dir> --now <iso8601> [--stale-after <seconds>]
+//                                 head, integrity, staleness and the
+//                                 healthy/degraded/stale classification a
+//                                 polling client would report
 //
 // Feed directories hold `feed.name` plus `snapshot-NNNN.txt` files (a
 // header block followed by the store payload) — a file-based RSF a
@@ -42,6 +46,7 @@
 #include "core/facts.hpp"
 #include "datalog/engine.hpp"
 #include "rootstore/store.hpp"
+#include "rsf/client.hpp"
 #include "rsf/delta.hpp"
 #include "rsf/feed.hpp"
 #include "util/base64.hpp"
@@ -69,7 +74,8 @@ int usage() {
                " [--usage TLS|S/MIME] [--threads N] [--repeat N]\n"
                "  feed-publish <dir> <store.txt> --time <iso8601> [--note s]\n"
                "  feed-verify <dir>\n"
-               "  feed-apply <dir> <out-store.txt>\n");
+               "  feed-apply <dir> <out-store.txt>\n"
+               "  feed-status <dir> --now <iso8601> [--stale-after <sec>]\n");
   return 2;
 }
 
@@ -673,6 +679,76 @@ int cmd_feed_apply(int argc, char** argv) {
   return 0;
 }
 
+// Reports what a polling RsfClient would see: head, integrity (with the
+// fault classified the way ClientStats::transport_errors buckets it), how
+// stale the head is relative to --now, and the resulting health state.
+int cmd_feed_status(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::string dir = argv[0];
+  auto name = feed_name_of(dir);
+  if (!name) {
+    std::fprintf(stderr, "error: %s\n", name.error().c_str());
+    return 1;
+  }
+  auto run = load_feed(dir);
+  if (!run) {
+    std::fprintf(stderr, "error: %s\n", run.error().c_str());
+    return 1;
+  }
+  std::printf("feed           : %s\n", name.value().c_str());
+  std::printf("snapshots      : %zu\n", run.value().size());
+  if (run.value().empty()) {
+    std::printf("health         : stale (feed is empty)\n");
+    return 1;
+  }
+
+  std::string now_text = flag_value(argc, argv, "--now", "");
+  std::int64_t now = 0;
+  if (now_text.empty() || !parse_iso8601(now_text, now)) {
+    std::fprintf(stderr, "error: --now <YYYY-MM-DDTHH:MM:SSZ> required\n");
+    return 2;
+  }
+  const std::int64_t stale_after = std::strtoll(
+      flag_value(argc, argv, "--stale-after", "86400").c_str(), nullptr, 10);
+
+  const rsf::Snapshot& head = run.value().back();
+  std::printf("head sequence  : %llu\n",
+              static_cast<unsigned long long>(head.sequence));
+  std::printf("head published : %s\n",
+              format_iso8601(head.published_at).c_str());
+
+  SimSig registry;
+  SimKeyPair key = SimSig::keygen("rsf-feed-" + name.value());
+  registry.register_key(key);
+  rsf::Feed::RunFault fault = rsf::Feed::RunFault::kNone;
+  Status integrity = rsf::Feed::verify_run(run.value(), "",
+                                           BytesView(key.key_id), registry,
+                                           &fault);
+  if (integrity.ok()) {
+    std::printf("integrity      : OK (signatures + hash chain)\n");
+  } else {
+    std::printf("integrity      : FAILED — %s\n", integrity.error().c_str());
+  }
+
+  const std::int64_t staleness = now > head.published_at
+                                     ? now - head.published_at
+                                     : 0;
+  std::printf("seconds stale  : %lld (%.1f h)\n",
+              static_cast<long long>(staleness), staleness / 3600.0);
+
+  // The classification a polling client serving this feed would report: a
+  // broken feed means the client is refusing updates (degraded, and stale
+  // once the last good snapshot ages past the threshold).
+  rsf::ClientHealth health = rsf::ClientHealth::kHealthy;
+  if (staleness >= stale_after) {
+    health = rsf::ClientHealth::kStale;
+  } else if (!integrity.ok()) {
+    health = rsf::ClientHealth::kDegraded;
+  }
+  std::printf("health         : %s\n", rsf::to_string(health));
+  return integrity.ok() && health != rsf::ClientHealth::kStale ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -693,5 +769,6 @@ int main(int argc, char** argv) {
   if (command == "feed-publish") return cmd_feed_publish(rest_argc, rest_argv);
   if (command == "feed-verify") return cmd_feed_verify(rest_argc, rest_argv);
   if (command == "feed-apply") return cmd_feed_apply(rest_argc, rest_argv);
+  if (command == "feed-status") return cmd_feed_status(rest_argc, rest_argv);
   return usage();
 }
