@@ -198,6 +198,70 @@ void BM_Ablation_RecursiveGcc(benchmark::State& state) {
 }
 BENCHMARK(BM_Ablation_RecursiveGcc)->Arg(0)->Arg(1)->ArgNames({"naive"});
 
+// In-tree baseline for the compiled pipeline: the pre-split evaluation
+// path, which built a fresh Engine per evaluation (program copy,
+// re-stratification, greedy re-ordering) and joined on string-compared
+// Values. Kept as a benchmark so the compiled/interpreted ratio is
+// measurable on any machine, not just in EXPERIMENTS.md history.
+bool interpreted_evaluate_one(const Chain& chain, std::string_view usage,
+                              const Gcc& gcc,
+                              datalog::Strategy strategy) {
+  datalog::Engine engine(strategy);
+  engine.add_program(gcc.program());
+
+  core::FactSet facts;
+  const std::string chain_id = core::chain_id_of(chain);
+  core::encode_chain(chain, chain_id, facts);
+  facts.load_into(engine);
+
+  datalog::Atom goal;
+  goal.predicate = "valid";
+  goal.args.push_back(datalog::Term::constant_of(datalog::Value(chain_id)));
+  goal.args.push_back(
+      datalog::Term::constant_of(datalog::Value(std::string(usage))));
+  auto result = engine.query(goal);
+  return result.ok() && !engine.stats().truncated && result.value().holds();
+}
+
+void BM_Interpreted_Listing1_Tls(benchmark::State& state) {
+  Chain chain = pki().chain();
+  for (auto _ : state) {
+    bool ok = interpreted_evaluate_one(chain, "TLS", pki().listing1,
+                                       datalog::Strategy::kSemiNaive);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Interpreted_Listing1_Tls);
+
+void BM_Interpreted_Listing2_ExemptIntermediate(benchmark::State& state) {
+  Chain chain = pki().chain(1500000000);
+  for (auto _ : state) {
+    bool ok = interpreted_evaluate_one(chain, "TLS", pki().listing2,
+                                       datalog::Strategy::kSemiNaive);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Interpreted_Listing2_ExemptIntermediate);
+
+// Several GCCs attached to the same root: GccExecutor::evaluate encodes
+// the chain once and runs each precompiled program against it, so the
+// per-GCC marginal cost is the evaluation alone.
+void BM_ManyGccsPerRoot(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<Gcc> gccs;
+  for (std::size_t i = 0; i < count; ++i) {
+    gccs.push_back((i % 2 == 0 ? pki().listing1 : pki().listing2));
+  }
+  GccExecutor executor;
+  Chain chain = pki().chain();
+  for (auto _ : state) {
+    core::GccVerdict verdict = executor.evaluate(chain, "S/MIME", gccs);
+    benchmark::DoNotOptimize(verdict.allowed);
+  }
+  state.counters["gccs"] = static_cast<double>(count);
+}
+BENCHMARK(BM_ManyGccsPerRoot)->Arg(1)->Arg(4)->Arg(16);
+
 }  // namespace
 
 BENCHMARK_MAIN();

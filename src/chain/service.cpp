@@ -79,9 +79,7 @@ struct VerifyService::Snapshot {
     core::GccVerdict v = executor.evaluate(chain, usage, gccs);
     verdict.gccs_evaluated += v.gccs_evaluated;
     verdict.facts_encoded += v.facts_encoded;
-    verdict.stats.iterations += v.stats.iterations;
-    verdict.stats.rule_applications += v.stats.rule_applications;
-    verdict.stats.derived_tuples += v.stats.derived_tuples;
+    verdict.stats.accumulate(v.stats);
     if (!v.allowed) verdict.failed_gcc = v.failed_gcc;
     service.verdict_cache_.put(
         key, CachedVerdict{v.allowed, v.failed_gcc, v.gccs_evaluated,

@@ -1,43 +1,72 @@
 #include "core/executor.hpp"
 
+#include "datalog/compiled.hpp"
+
 namespace anchor::core {
+
+namespace {
+
+// One execution arena per thread, reused across chains and GCCs: prepare()
+// resets content but keeps heap capacity, so steady-state evaluation does
+// not allocate. Safe because CompiledProgram is immutable and each
+// evaluation's mutable state lives entirely in the session.
+datalog::Session& tls_session() {
+  thread_local datalog::Session session;
+  return session;
+}
+
+}  // namespace
+
+bool GccExecutor::run_compiled(const FactSet& facts,
+                               const std::string& chain_id,
+                               std::string_view usage, const Gcc& gcc,
+                               GccVerdict* verdict) const {
+  const auto& program = gcc.compiled();
+  if (program == nullptr) return false;  // unvalidated Gcc: fail closed
+
+  datalog::Session& session = tls_session();
+  session.prepare(*program);
+  facts.load_into(*program, session);
+  if (verdict != nullptr) verdict->facts_encoded += facts.size();
+
+  const datalog::EvalStats stats = program->run(session, strategy_);
+
+  const datalog::Value goal_args[2] = {
+      datalog::Value(chain_id), datalog::Value(std::string(usage))};
+  const bool holds = program->query_holds(session, "valid", goal_args);
+
+  if (verdict != nullptr) {
+    ++verdict->gccs_evaluated;
+    verdict->stats.accumulate(stats);
+  }
+  // A truncated evaluation (the EvalLimits guard fired on a runaway
+  // arithmetic recursion) or an errored one (incomplete model) fails
+  // closed: an incomplete model must never admit a chain.
+  return !stats.truncated && !stats.errored && holds;
+}
 
 bool GccExecutor::evaluate_one(const Chain& chain, std::string_view usage,
                                const Gcc& gcc, GccVerdict* verdict) const {
-  datalog::Engine engine(strategy_);
-  engine.add_program(gcc.program());
-
   FactSet facts;
   const std::string chain_id = chain_id_of(chain);
   encode_chain(chain, chain_id, facts);
-  facts.load_into(engine);
-  if (verdict != nullptr) verdict->facts_encoded += facts.size();
-
-  datalog::Atom goal;
-  goal.predicate = "valid";
-  goal.args.push_back(datalog::Term::constant_of(datalog::Value(chain_id)));
-  goal.args.push_back(
-      datalog::Term::constant_of(datalog::Value(std::string(usage))));
-
-  auto result = engine.query(goal);
-  if (verdict != nullptr) {
-    ++verdict->gccs_evaluated;
-    verdict->stats.iterations += engine.stats().iterations;
-    verdict->stats.rule_applications += engine.stats().rule_applications;
-    verdict->stats.derived_tuples += engine.stats().derived_tuples;
-  }
-  // Gcc::create validated the program, so a query error here means an
-  // engine bug; fail closed regardless. A truncated evaluation (the
-  // EvalLimits guard fired on a runaway arithmetic recursion) also fails
-  // closed: an incomplete model must never admit a chain.
-  return result.ok() && !engine.stats().truncated && result.value().holds();
+  return run_compiled(facts, chain_id, usage, gcc, verdict);
 }
 
 GccVerdict GccExecutor::evaluate(const Chain& chain, std::string_view usage,
                                  std::span<const Gcc> gccs) const {
   GccVerdict verdict;
+  if (gccs.empty()) return verdict;
+
+  // The chain is encoded once; each GCC interns the same FactSet into its
+  // own session (per-program symbol tables keep GCCs isolated from each
+  // other, as the paper requires).
+  FactSet facts;
+  const std::string chain_id = chain_id_of(chain);
+  encode_chain(chain, chain_id, facts);
+
   for (const Gcc& gcc : gccs) {
-    if (!evaluate_one(chain, usage, gcc, &verdict)) {
+    if (!run_compiled(facts, chain_id, usage, gcc, &verdict)) {
       verdict.allowed = false;
       verdict.failed_gcc = gcc.name();
       return verdict;

@@ -2,8 +2,12 @@
 // only if all GCCs attached to the candidate root are valid. ... the
 // validator performs the following Datalog query: valid(Chain, Usage)?"
 //
-// Each GCC is evaluated in an isolated engine instance — constraints from
-// different operators must not observe each other's derived facts.
+// Each GCC is evaluated against its own precompiled program and a freshly
+// prepared session — constraints from different operators must not observe
+// each other's derived facts. The compiled form (symbol interning + slot
+// resolution, built once at Gcc::create) replaces the old per-evaluation
+// Engine, which re-ran stratification, safety and body ordering on every
+// (chain, usage, GCC) triple.
 #pragma once
 
 #include <span>
@@ -44,6 +48,12 @@ class GccExecutor {
                     const Gcc& gcc, GccVerdict* verdict = nullptr) const;
 
  private:
+  // Runs one precompiled GCC over an already-encoded chain (the chain is
+  // encoded once per evaluate() call and shared across GCCs).
+  bool run_compiled(const FactSet& facts, const std::string& chain_id,
+                    std::string_view usage, const Gcc& gcc,
+                    GccVerdict* verdict) const;
+
   datalog::Strategy strategy_;
 };
 

@@ -1,5 +1,6 @@
 #include "core/facts.hpp"
 
+#include "datalog/compiled.hpp"
 #include "util/bytes.hpp"
 #include "util/strings.hpp"
 
@@ -12,6 +13,18 @@ void FactSet::load_into(datalog::Engine& engine) const {
   for (const Fact& fact : facts) {
     engine.add_fact(fact.predicate, fact.args);
   }
+}
+
+std::size_t FactSet::load_into(const datalog::CompiledProgram& program,
+                               datalog::Session& session) const {
+  std::size_t loaded = 0;
+  for (const Fact& fact : facts) {
+    const int rel = program.relation_index(fact.predicate, fact.args.size());
+    if (rel < 0) continue;
+    session.add_fact(rel, fact.args);
+    ++loaded;
+  }
+  return loaded;
 }
 
 void encode_certificate(const x509::Certificate& cert, FactSet& out) {

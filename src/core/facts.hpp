@@ -40,6 +40,11 @@
 #include "datalog/value.hpp"
 #include "x509/certificate.hpp"
 
+namespace anchor::datalog {
+class CompiledProgram;
+class Session;
+}  // namespace anchor::datalog
+
 namespace anchor::core {
 
 struct Fact {
@@ -55,6 +60,13 @@ struct FactSet {
   }
   std::size_t size() const { return facts.size(); }
   void load_into(datalog::Engine& engine) const;
+
+  // Interning encoder for the compiled pipeline: facts go straight into the
+  // session's relations as tagged-id tuples. Facts whose predicate/arity the
+  // program never references are skipped (they cannot affect the model).
+  // Returns the number of facts actually loaded.
+  std::size_t load_into(const datalog::CompiledProgram& program,
+                        datalog::Session& session) const;
 };
 
 // A chain is ordered leaf-first: chain[0] is the end-entity certificate,

@@ -1,9 +1,8 @@
 #include "core/gcc.hpp"
 #include <algorithm>
 
-#include "datalog/eval.hpp"
+#include "datalog/compiled.hpp"
 #include "datalog/parser.hpp"
-#include "datalog/stratify.hpp"
 
 namespace anchor::core {
 
@@ -86,9 +85,11 @@ Result<Gcc> Gcc::create(std::string name, std::string root_hash_hex,
 
   datalog::Program program = expand_head_wildcards(parsed.value());
 
-  // Full validation: stratification + safety (via Evaluator::create).
-  auto evaluator = datalog::Evaluator::create(program);
-  if (!evaluator) return err("gcc '" + name + "': " + evaluator.error());
+  // Full validation — stratification, safety, body ordering — doubles as
+  // compilation: the interned, slot-resolved form is built once here and
+  // reused verbatim for every chain evaluated against this GCC.
+  auto compiled = datalog::CompiledProgram::compile(program);
+  if (!compiled) return err("gcc '" + name + "': " + compiled.error());
 
   // The executor queries valid/2; a GCC that never defines it would reject
   // every chain, which is never what an operator intends to ship.
@@ -109,6 +110,8 @@ Result<Gcc> Gcc::create(std::string name, std::string root_hash_hex,
   gcc.source_ = std::move(source);
   gcc.justification_ = std::move(justification);
   gcc.program_ = std::move(program);
+  gcc.compiled_ = std::make_shared<const datalog::CompiledProgram>(
+      std::move(compiled).take());
   return gcc;
 }
 

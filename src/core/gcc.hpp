@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "datalog/ast.hpp"
+#include "datalog/compiled.hpp"
 #include "util/result.hpp"
 #include "x509/certificate.hpp"
 
@@ -40,6 +42,13 @@ class Gcc {
   const std::string& justification() const { return justification_; }
   const datalog::Program& program() const { return program_; }
 
+  // The executable form, compiled once at create() (symbol interning, slot
+  // resolution, stratified rule ordering). Shared so copying a Gcc — GccStore
+  // hands out value copies, VerifyService snapshots them — never recompiles.
+  const std::shared_ptr<const datalog::CompiledProgram>& compiled() const {
+    return compiled_;
+  }
+
   bool operator==(const Gcc& other) const {
     return name_ == other.name_ && root_hash_hex_ == other.root_hash_hex_ &&
            source_ == other.source_;
@@ -53,6 +62,7 @@ class Gcc {
   std::string source_;
   std::string justification_;
   datalog::Program program_;
+  std::shared_ptr<const datalog::CompiledProgram> compiled_;
 };
 
 // Per-root constraint registry: the executable half of a root store. GCCs

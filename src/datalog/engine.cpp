@@ -11,6 +11,7 @@ Status Engine::load(std::string_view source) {
 
 void Engine::add_program(const Program& program) {
   for (const auto& clause : program.clauses) program_.clauses.push_back(clause);
+  evaluator_.reset();  // clause set changed: cached compilation is stale
   evaluated_ = false;
 }
 
@@ -23,9 +24,16 @@ Status Engine::ensure_evaluated() {
   if (evaluated_) return {};
   db_.clear();
   for (auto& [pred, tuple] : pending_facts_) db_.add(pred, tuple);
-  auto evaluator = Evaluator::create(program_, strategy_);
-  if (!evaluator) return err(evaluator.error());
-  stats_ = evaluator.value().run(db_);
+  // Facts don't change the program: stratification, safety and body
+  // ordering from the previous evaluation stay valid, so interleaved
+  // add_fact/query cycles only pay for evaluation, not recompilation.
+  if (!evaluator_) {
+    auto evaluator = Evaluator::create(program_, strategy_);
+    if (!evaluator) return err(evaluator.error());
+    evaluator_ = std::move(evaluator).take();
+    ++recompiles_;
+  }
+  stats_ = evaluator_->run(db_);
   evaluated_ = true;
   return {};
 }

@@ -5,6 +5,8 @@
 // exactly Engine::load + Engine::add_fact* + Engine::query.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +49,11 @@ class Engine {
   // Total facts+derived tuples in the current model (after a query).
   std::size_t model_size() const { return db_.total_tuples(); }
 
+  // How many times the program has been validated + body-ordered. Interleaved
+  // add_fact/query cycles must not grow this: the evaluator is cached until
+  // the program itself changes.
+  std::uint64_t recompiles() const { return recompiles_; }
+
  private:
   Status ensure_evaluated();
 
@@ -56,6 +63,8 @@ class Engine {
   Database db_;
   EvalStats stats_;
   bool evaluated_ = false;
+  std::optional<Evaluator> evaluator_;  // cached across re-evaluations
+  std::uint64_t recompiles_ = 0;
 };
 
 }  // namespace anchor::datalog

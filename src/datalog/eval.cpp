@@ -39,13 +39,17 @@ std::optional<Value> resolve(const Term& term, const Env& env) {
   return *v;
 }
 
-std::optional<Value> eval_expr(const Expr& expr, const Env& env) {
+std::optional<Value> eval_expr(const Expr& expr, const Env& env,
+                               EvalStats& stats) {
   std::optional<Value> lhs = resolve(expr.lhs, env);
   if (!lhs) return std::nullopt;
   if (expr.op == ArithOp::kNone) return lhs;
   std::optional<Value> rhs = resolve(expr.rhs, env);
   if (!rhs) return std::nullopt;
-  if (!lhs->is_int() || !rhs->is_int()) return std::nullopt;  // arith is int-only
+  if (!lhs->is_int() || !rhs->is_int()) {
+    ++stats.type_errors;  // arith is int-only; both operands resolved
+    return std::nullopt;
+  }
   std::int64_t a = lhs->as_int();
   std::int64_t b = rhs->as_int();
   switch (expr.op) {
@@ -57,10 +61,12 @@ std::optional<Value> eval_expr(const Expr& expr, const Env& env) {
   return std::nullopt;
 }
 
-bool compare(CmpOp op, const Value& a, const Value& b) {
+bool compare(CmpOp op, const Value& a, const Value& b, EvalStats& stats) {
   // Mixed-type comparisons: only equality semantics are defined (always
-  // unequal); ordered comparisons on mixed types fail.
+  // unequal); ordered comparisons on mixed types fail, and are counted so
+  // a GCC comparing a string timestamp against an int is diagnosable.
   if (a.is_int() != b.is_int()) {
+    if (op != CmpOp::kEq && op != CmpOp::kNe) ++stats.type_errors;
     return op == CmpOp::kNe;
   }
   auto ord = a <=> b;
@@ -97,6 +103,8 @@ bool unify(const std::vector<Term>& args, const Tuple& tuple, Env& env) {
 void collect_term_vars(const Term& t, std::unordered_set<std::string>& out) {
   if (t.is_var()) out.insert(t.name);
 }
+
+}  // namespace
 
 void collect_literal_vars(const Literal& lit,
                           std::unordered_set<std::string>& out) {
@@ -152,8 +160,6 @@ bool literal_ready(const Literal& lit,
   }
   return false;
 }
-
-}  // namespace
 
 Result<Evaluator> Evaluator::create(const Program& program, Strategy strategy,
                                     EvalLimits limits) {
@@ -231,6 +237,11 @@ struct JoinContext {
 template <typename Emit>
 void join_from(const std::vector<Literal>& body, std::size_t idx,
                const JoinContext& ctx, Env& env, const Emit& emit) {
+  // Prompt abort: once a limit fires, the in-flight rule application must
+  // stop joining instead of blowing past the bound (a single cross-product
+  // rule could otherwise derive far more than max_derived_tuples before
+  // the fixpoint loop's check runs).
+  if (ctx.stats->truncated) return;
   if (idx == body.size()) {
     emit(env);
     return;
@@ -292,10 +303,10 @@ void join_from(const std::vector<Literal>& body, std::size_t idx,
       return;
     }
     case Literal::Kind::kComparison: {
-      std::optional<Value> left = eval_expr(lit.left, env);
-      std::optional<Value> right = eval_expr(lit.right, env);
+      std::optional<Value> left = eval_expr(lit.left, env, *ctx.stats);
+      std::optional<Value> right = eval_expr(lit.right, env, *ctx.stats);
       if (left && right) {
-        if (compare(lit.cmp, *left, *right)) {
+        if (compare(lit.cmp, *left, *right, *ctx.stats)) {
           join_from(body, idx + 1, ctx, env, emit);
         }
         return;
@@ -360,7 +371,16 @@ EvalStats Evaluator::run(Database& db) const {
             tuple.push_back(arg.constant);
           } else {
             const Value* v = complete.lookup(arg.name);
-            tuple.push_back(v != nullptr ? *v : Value());
+            if (v == nullptr) {
+              // Head term unground at emit time: reachable only via
+              // hand-built ASTs with a wildcard/unbound variable in the
+              // head, which check_safety cannot see (it skips non-var
+              // terms). Fail closed instead of deriving a corrupt tuple.
+              ++stats.unbound_head_terms;
+              stats.errored = true;
+              return;
+            }
+            tuple.push_back(*v);
           }
         }
         if (db.add(rule.head.predicate, tuple)) {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "datalog/ast.hpp"
@@ -32,8 +33,36 @@ struct EvalStats {
   std::uint64_t iterations = 0;         // fixpoint rounds across all strata
   std::uint64_t rule_applications = 0;  // rule body evaluations
   std::uint64_t derived_tuples = 0;     // new tuples added to the model
+  // Mixed-type ordered comparisons and arithmetic over non-integers: the
+  // literal fails either way (a GCC comparing a string timestamp against an
+  // int rejects the chain), but silently — this counter is the diagnostic.
+  std::uint64_t type_errors = 0;
+  // Head terms that were not ground at emit time (reachable only through
+  // hand-built ASTs that put wildcards in a rule head, which the safety
+  // check cannot see). The tuple is NOT emitted and `errored` is set.
+  std::uint64_t unbound_head_terms = 0;
   bool truncated = false;               // an EvalLimits bound was hit
+  bool errored = false;                 // fail-closed: model is incomplete
+
+  // Folds another evaluation's counters into this one (verdict aggregation).
+  void accumulate(const EvalStats& other) {
+    iterations += other.iterations;
+    rule_applications += other.rule_applications;
+    derived_tuples += other.derived_tuples;
+    type_errors += other.type_errors;
+    unbound_head_terms += other.unbound_head_terms;
+    truncated = truncated || other.truncated;
+    errored = errored || other.errored;
+  }
 };
+
+// Body-ordering analysis shared by the interpreted Evaluator and the
+// compiled pipeline (CompiledProgram::compile): which variables a literal
+// mentions, and whether it is executable once `bound` holds.
+void collect_literal_vars(const Literal& lit,
+                          std::unordered_set<std::string>& out);
+bool literal_ready(const Literal& lit,
+                   const std::unordered_set<std::string>& bound);
 
 class Evaluator {
  public:

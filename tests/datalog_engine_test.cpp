@@ -180,5 +180,25 @@ TEST(EngineStats, ModelSizeGrowsWithFacts) {
   EXPECT_EQ(engine.stats().derived_tuples, 2u);
 }
 
+TEST(EngineStats, InterleavedFactQueryCyclesCompileOnce) {
+  // Regression: every add_fact/query cycle used to re-run Evaluator::create
+  // (stratification + safety + body ordering) on the unchanged program,
+  // making N interleaved cycles quadratic. The evaluator must be cached
+  // until the program itself changes.
+  Engine engine;
+  ASSERT_TRUE(engine.load("r(X) :- n(X).").ok());
+  for (std::int64_t i = 0; i < 10; ++i) {
+    engine.add_fact("n", {Value(i)});
+    ASSERT_TRUE(engine.query("r(X)?").ok());
+  }
+  EXPECT_EQ(engine.recompiles(), 1u);
+  EXPECT_EQ(engine.query("r(X)?").take().bindings.size(), 10u);
+
+  // Loading more clauses invalidates the cached compilation.
+  ASSERT_TRUE(engine.load("s(X) :- r(X).").ok());
+  ASSERT_TRUE(engine.query("s(X)?").ok());
+  EXPECT_EQ(engine.recompiles(), 2u);
+}
+
 }  // namespace
 }  // namespace anchor::datalog

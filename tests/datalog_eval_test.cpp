@@ -330,5 +330,103 @@ reach(X,Z) :- reach(X,Y), edge(Y,Z).
   EXPECT_FALSE(stats.truncated);
 }
 
+TEST(EvalLimits_, TupleBoundAbortsInFlightJoinPromptly) {
+  // Regression: the guard used to only *flag* truncation while the
+  // in-flight rule application kept joining, so one cross-product rule
+  // could blow arbitrarily far past max_derived_tuples. Derivation must
+  // now stop within one tuple of the bound.
+  std::string source;
+  for (int i = 0; i < 100; ++i) {
+    source += "a(" + std::to_string(i) + "). b(" + std::to_string(i) + ").\n";
+  }
+  source += "r(X, Y) :- a(X), b(Y).\n";  // 10,000-tuple cross product
+  auto program = parse_program(source).take();
+  EvalLimits limits;
+  limits.max_derived_tuples = 210;  // 200 facts + 10 derived tuples
+  auto evaluator =
+      Evaluator::create(program, Strategy::kSemiNaive, limits).take();
+  Database db;
+  EvalStats stats = evaluator.run(db);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.derived_tuples, limits.max_derived_tuples + 1);
+}
+
+}  // namespace
+}  // namespace anchor::datalog
+
+// --- Fail-closed emission and type-error accounting --------------------------
+
+namespace anchor::datalog {
+namespace {
+
+TEST(FailClosed, UnboundHeadTermErrorsInsteadOfEmitting) {
+  // The parser can't produce this (it renames `_` to a fresh variable,
+  // which safety then rejects in heads), but a hand-built AST can: a
+  // wildcard head term slips past check_safety, and the evaluator used to
+  // substitute Value() — integer 0 — and emit the corrupt tuple.
+  Program program;
+  Clause fact;
+  fact.head.predicate = "e";
+  fact.head.args = {Term::constant_of(Value(std::int64_t{1}))};
+  program.clauses.push_back(fact);
+
+  Clause rule;
+  rule.head.predicate = "r";
+  rule.head.args = {Term::var("X"), Term::wildcard()};
+  Literal body;
+  body.kind = Literal::Kind::kAtom;
+  body.atom.predicate = "e";
+  body.atom.args = {Term::var("X")};
+  rule.body = {body};
+  program.clauses.push_back(rule);
+
+  auto evaluator = Evaluator::create(program).take();
+  Database db;
+  EvalStats stats = evaluator.run(db);
+  EXPECT_TRUE(stats.errored);
+  EXPECT_EQ(stats.unbound_head_terms, 1u);
+  const Relation* rel = db.find("r", 2);
+  EXPECT_TRUE(rel == nullptr || rel->empty());  // nothing corrupt emitted
+}
+
+TEST(FailClosed, CleanProgramsDoNotError) {
+  auto program = parse_program("e(1). r(X) :- e(X).").take();
+  auto evaluator = Evaluator::create(program).take();
+  Database db;
+  EvalStats stats = evaluator.run(db);
+  EXPECT_FALSE(stats.errored);
+  EXPECT_EQ(stats.unbound_head_terms, 0u);
+}
+
+EvalStats stats_of(const std::string& source,
+                   Strategy strategy = Strategy::kSemiNaive) {
+  auto program = parse_program(source).take();
+  auto evaluator = Evaluator::create(program, strategy).take();
+  Database db;
+  return evaluator.run(db);
+}
+
+TEST(TypeErrors, MixedOrderedComparisonIsCounted) {
+  EvalStats stats =
+      stats_of("a(1). b(\"1\"). r(X) :- a(X), b(Y), X < Y.");
+  EXPECT_EQ(stats.type_errors, 1u);
+}
+
+TEST(TypeErrors, MixedEqualityIsNotAnError) {
+  // Equality semantics on mixed types are well-defined (always unequal);
+  // only ordered comparisons are diagnosable mistakes.
+  EXPECT_EQ(stats_of("a(1). b(\"1\"). r(X) :- a(X), b(Y), X = Y.")
+                .type_errors,
+            0u);
+  EXPECT_EQ(stats_of("a(1). b(\"1\"). r(X) :- a(X), b(Y), X != Y.")
+                .type_errors,
+            0u);
+}
+
+TEST(TypeErrors, ArithmeticOnStringIsCounted) {
+  EvalStats stats = stats_of("s(apple). r(Y) :- s(X), Y = X + 1.");
+  EXPECT_EQ(stats.type_errors, 1u);
+}
+
 }  // namespace
 }  // namespace anchor::datalog

@@ -243,6 +243,19 @@ int cmd_gcc_eval(int argc, char** argv) {
               ok ? "VALID" : "INVALID", usage_name.c_str(),
               verdict.facts_encoded,
               static_cast<unsigned long long>(verdict.stats.derived_tuples));
+  if (verdict.stats.type_errors > 0) {
+    std::printf("warning: %llu type error(s) — mixed-type ordered comparison "
+                "or non-integer arithmetic; affected literals failed\n",
+                static_cast<unsigned long long>(verdict.stats.type_errors));
+  }
+  if (verdict.stats.truncated) {
+    std::printf("warning: evaluation truncated (resource limits); verdict "
+                "fails closed\n");
+  }
+  if (verdict.stats.errored) {
+    std::printf("warning: evaluation errored (incomplete model); verdict "
+                "fails closed\n");
+  }
   return ok ? 0 : 1;
 }
 
