@@ -65,6 +65,52 @@ void BM_Merge_PrimaryWins(benchmark::State& state) {
 }
 BENCHMARK(BM_Merge_PrimaryWins);
 
+// CT-scale constraint load: both stores carry the same root population and
+// many GCCs per root, with half the derivative's names overlapping the
+// primary's. This is the case the per-root name-set dedup in merge() is
+// for — the old nested scan was O(primary × derivative) string compares
+// per root and dominated merge time at these counts.
+struct ManyGccsFixture {
+  rootstore::RootStore primary;
+  rootstore::RootStore derivative;
+
+  explicit ManyGccsFixture(int gccs_per_root) {
+    constexpr int kRoots = 40;
+    const std::string source =
+        "valid(Chain, Usage) :- chain(Chain), usage_allowed(Chain, Usage).\n"
+        "usage_allowed(Chain, \"TLS\") :- chain(Chain).";
+    for (int i = 0; i < kRoots; ++i) {
+      x509::CertPtr root = make_root("Gcc Root " + std::to_string(i));
+      (void)primary.add_trusted(root);
+      (void)derivative.add_trusted(root);
+      const std::string hash = root->fingerprint_hex();
+      for (int g = 0; g < gccs_per_root; ++g) {
+        auto gcc = core::Gcc::create("constraint-" + std::to_string(g), hash,
+                                     source, "bench");
+        primary.gccs().attach(gcc.value());
+        // Half overlap: even names collide with the primary's (dedup path),
+        // odd names are derivative-local (attach path).
+        auto local = core::Gcc::create(
+            g % 2 == 0 ? "constraint-" + std::to_string(g)
+                       : "local-" + std::to_string(g),
+            hash, source, "bench");
+        derivative.gccs().attach(std::move(local).take());
+      }
+    }
+  }
+};
+
+void BM_Merge_ManyGccs(benchmark::State& state) {
+  const ManyGccsFixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = rsf::merge(fixture.primary, fixture.derivative,
+                             rsf::MergePolicy::kPrimaryWins);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["gccs_per_root"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Merge_ManyGccs)->Arg(4)->Arg(32)->Arg(128);
+
 void BM_StoreSerialize(benchmark::State& state) {
   const MergeFixture& f = merge_fixture();
   for (auto _ : state) {

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "rsf/simulator.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -76,13 +77,28 @@ int main() {
 
   std::printf("=== E7: derivative staleness & vulnerability windows ===\n");
   SimConfig config = SimConfig::with_default_derivatives();
+  const anchor::metrics::Snapshot before =
+      anchor::metrics::Registry::global().snapshot();
   SimReport report = run_staleness_simulation(config);
+  const anchor::metrics::Snapshot delta = anchor::metrics::snapshot_delta(
+      before, anchor::metrics::Registry::global().snapshot());
   std::printf("simulated: %llu primary releases over %lld days, %zu distrust "
               "incidents\n\n",
               static_cast<unsigned long long>(report.releases),
               static_cast<long long>(config.duration / 86400),
               report.incidents.size());
   print_report(report);
+
+  // The same run, as the operator-visible counters: each RSF derivative's
+  // anchor_rsf_* series (labeled {feed=<name>}) and the simulator's own
+  // counters, straight from the process-wide registry rather than from
+  // SimReport's private accounting.
+  std::printf("\n--- registry delta for the E7 run "
+              "(same series anchorctl metrics serves) ---\n");
+  for (const auto& [key, value] : delta) {
+    if (key.find("_bucket{") != std::string::npos) continue;
+    std::printf("%-64s %.6g\n", key.c_str(), value);
+  }
 
   std::printf("\npaper-cited shapes:\n");
   const auto& hourly = report.derivatives[0];

@@ -46,6 +46,15 @@ bool TrustDaemon::evaluate_gccs(std::span<const Bytes> chain_der,
   return verdict.allowed;
 }
 
+std::string TrustDaemon::metrics(metrics::Registry& registry) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  simulate_ipc_latency();  // request leg
+  rootstore::export_store_metrics(store_, registry);
+  std::string exposition = registry.expose();
+  simulate_ipc_latency();  // response leg carries the exposition text
+  return exposition;
+}
+
 VerifyResult TrustDaemon::validate(const Bytes& leaf_der,
                                    std::span<const Bytes> intermediates_der,
                                    const VerifyOptions& options) {

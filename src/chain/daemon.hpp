@@ -17,8 +17,10 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "chain/verifier.hpp"
+#include "util/metrics.hpp"
 
 namespace anchor::chain {
 
@@ -53,6 +55,12 @@ class TrustDaemon {
   VerifyResult validate(const Bytes& leaf_der,
                         std::span<const Bytes> intermediates_der,
                         const VerifyOptions& options);
+
+  // Observability verb: a `trustctl metrics`-style scrape over the same
+  // IPC surface (both latency legs are simulated). Returns the registry's
+  // text exposition, refreshed with the daemon's own store gauges first so
+  // a scrape always reflects the store it is currently serving.
+  std::string metrics(metrics::Registry& registry = metrics::Registry::global());
 
   std::uint64_t calls() const {
     return calls_.load(std::memory_order_relaxed);

@@ -57,8 +57,12 @@ struct VerifyService::Snapshot {
   core::GccExecutor executor;
   ChainVerifier verifier;
 
-  Snapshot(const rootstore::RootStore& source, const SignatureScheme& scheme)
-      : store(source), epoch(store.epoch()), verifier(store, scheme) {}
+  Snapshot(const rootstore::RootStore& source, const SignatureScheme& scheme,
+           metrics::Registry& registry)
+      : store(source),
+        epoch(store.epoch()),
+        executor(datalog::Strategy::kSemiNaive, registry),
+        verifier(store, scheme) {}
 
   // Shared across threads read-only except via the gcc hook, whose only
   // mutable state is the service's striped caches and atomics.
@@ -70,12 +74,14 @@ struct VerifyService::Snapshot {
     CachedVerdict cached;
     if (service.verdict_cache_.get(key, cached)) {
       service.verdict_hits_.fetch_add(1, std::memory_order_relaxed);
+      service.m_verdict_hit_.add();
       verdict.gccs_evaluated += cached.gccs_evaluated;
       verdict.facts_encoded += cached.facts_encoded;
       if (!cached.allowed) verdict.failed_gcc = cached.failed_gcc;
       return cached.allowed;
     }
     service.verdict_misses_.fetch_add(1, std::memory_order_relaxed);
+    service.m_verdict_miss_.add();
     core::GccVerdict v = executor.evaluate(chain, usage, gccs);
     verdict.gccs_evaluated += v.gccs_evaluated;
     verdict.facts_encoded += v.facts_encoded;
@@ -90,21 +96,40 @@ struct VerifyService::Snapshot {
 
 VerifyService::VerifyService(rootstore::RootStore& store,
                              const SignatureScheme& scheme,
-                             ServiceConfig config)
+                             ServiceConfig config, metrics::Registry& registry)
     : store_(store),
       scheme_(scheme),
       config_(config),
       verdict_cache_(config.verdict_capacity, config.shards),
       cert_cache_(config.cert_capacity, config.shards),
-      pool_(config.threads) {
+      pool_(config.threads),
+      registry_(registry),
+      m_verdict_hit_(registry.counter("anchor_verify_cache_total",
+                                      {{"cache", "verdict"},
+                                       {"result", "hit"}})),
+      m_verdict_miss_(registry.counter("anchor_verify_cache_total",
+                                       {{"cache", "verdict"},
+                                        {"result", "miss"}})),
+      m_cert_hit_(registry.counter("anchor_verify_cache_total",
+                                   {{"cache", "cert"}, {"result", "hit"}})),
+      m_cert_miss_(registry.counter("anchor_verify_cache_total",
+                                    {{"cache", "cert"}, {"result", "miss"}})),
+      m_calls_(registry.counter("anchor_verify_calls_total")),
+      m_epoch_flushes_(registry.counter("anchor_verify_epoch_flushes_total")),
+      m_stale_purged_(registry.counter("anchor_verify_stale_purged_total")),
+      m_latency_(registry.histogram("anchor_verify_latency_seconds")),
+      m_queue_depth_(registry.gauge("anchor_verify_queue_depth")),
+      m_epoch_(registry.gauge("anchor_verify_epoch")) {
   std::lock_guard<std::mutex> lock(store_mu_);
   snapshot_ = build_snapshot();
+  m_epoch_.set(static_cast<std::int64_t>(snapshot_->epoch));
+  rootstore::export_store_metrics(snapshot_->store, registry_);
 }
 
 VerifyService::~VerifyService() = default;
 
 std::shared_ptr<const VerifyService::Snapshot> VerifyService::build_snapshot() {
-  auto snapshot = std::make_shared<Snapshot>(store_, scheme_);
+  auto snapshot = std::make_shared<Snapshot>(store_, scheme_, registry_);
   const Snapshot* raw = snapshot.get();
   snapshot->verifier.set_gcc_hook(
       [this, raw](const core::Chain& chain, std::string_view usage,
@@ -135,15 +160,18 @@ void VerifyService::mutate(
     store_.advance_epoch_past(prior);
     fresh = build_snapshot();
     fresh_epoch = fresh->epoch;
+    m_epoch_.set(static_cast<std::int64_t>(fresh_epoch));
+    rootstore::export_store_metrics(fresh->store, registry_);
     snapshot_ = std::move(fresh);
   }
   epoch_flushes_.fetch_add(1, std::memory_order_relaxed);
+  m_epoch_flushes_.add();
   // Entries under prior epochs are unreachable (lookups key on the current
   // epoch); reclaim their slots eagerly.
-  stale_purged_.fetch_add(
-      verdict_cache_.erase_if(
-          [fresh_epoch](const VerdictKey& key) { return key.epoch != fresh_epoch; }),
-      std::memory_order_relaxed);
+  const std::size_t purged = verdict_cache_.erase_if(
+      [fresh_epoch](const VerdictKey& key) { return key.epoch != fresh_epoch; });
+  stale_purged_.fetch_add(purged, std::memory_order_relaxed);
+  m_stale_purged_.add(purged);
 }
 
 VerifyResult VerifyService::verify_on(const Snapshot& snapshot,
@@ -152,8 +180,11 @@ VerifyResult VerifyService::verify_on(const Snapshot& snapshot,
                                       const VerifyOptions& options) {
   const std::uint64_t start = now_ns();
   VerifyResult result = snapshot.verifier.verify(leaf, pool, options);
+  const std::uint64_t elapsed = now_ns() - start;
   calls_.fetch_add(1, std::memory_order_relaxed);
-  total_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+  total_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  m_calls_.add();
+  m_latency_.observe(static_cast<double>(elapsed) * 1e-9);
   return result;
 }
 
@@ -197,9 +228,11 @@ Result<x509::CertPtr> VerifyService::parse_cached(BytesView der) {
   x509::CertPtr cached;
   if (cert_cache_.get(key, cached)) {
     cert_hits_.fetch_add(1, std::memory_order_relaxed);
+    m_cert_hit_.add();
     return cached;
   }
   cert_misses_.fetch_add(1, std::memory_order_relaxed);
+  m_cert_miss_.add();
   auto parsed = x509::Certificate::parse(der);
   if (!parsed) return parsed;
   cert_cache_.put(key, parsed.value());
@@ -225,8 +258,11 @@ bool VerifyService::evaluate_gccs(std::span<const Bytes> chain_der,
     core::GccVerdict verdict;
     allowed = snapshot->evaluate_gccs(*this, chain, usage, gccs, verdict);
   }
+  const std::uint64_t elapsed = now_ns() - start;
   calls_.fetch_add(1, std::memory_order_relaxed);
-  total_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+  total_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  m_calls_.add();
+  m_latency_.observe(static_cast<double>(elapsed) * 1e-9);
   return allowed;
 }
 
@@ -265,6 +301,7 @@ ServiceStats VerifyService::stats() const {
   out.total_ns = total_ns_.load(std::memory_order_relaxed);
   out.queue_depth = pool_.queue_depth();
   out.epoch = current_snapshot()->epoch;
+  m_queue_depth_.set(static_cast<std::int64_t>(out.queue_depth));
   return out;
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "chain/verifier.hpp"
+#include "util/metrics.hpp"
 #include "util/sharded_cache.hpp"
 #include "util/threadpool.hpp"
 
@@ -66,8 +67,11 @@ class VerifyService {
   // afterwards the live store must only change through mutate(), which is
   // what keeps concurrent verification TSan-clean. `scheme` must outlive
   // the service and is read-only after key registration.
+  // `registry` receives the service's metric series (anchor_verify_*,
+  // anchor_store_*); tests pass a private Registry for isolation.
   VerifyService(rootstore::RootStore& store, const SignatureScheme& scheme,
-                ServiceConfig config = {});
+                ServiceConfig config = {},
+                metrics::Registry& registry = metrics::Registry::global());
   ~VerifyService();
 
   VerifyService(const VerifyService&) = delete;
@@ -161,6 +165,20 @@ class VerifyService {
   std::atomic<std::uint64_t> stale_purged_{0};
   std::atomic<std::uint64_t> calls_{0};
   std::atomic<std::uint64_t> total_ns_{0};
+
+  // Registry series, resolved once at construction so hot paths touch only
+  // the cached references (registration locks, increments don't).
+  metrics::Registry& registry_;
+  metrics::Counter& m_verdict_hit_;
+  metrics::Counter& m_verdict_miss_;
+  metrics::Counter& m_cert_hit_;
+  metrics::Counter& m_cert_miss_;
+  metrics::Counter& m_calls_;
+  metrics::Counter& m_epoch_flushes_;
+  metrics::Counter& m_stale_purged_;
+  metrics::Histogram& m_latency_;
+  metrics::Gauge& m_queue_depth_;
+  metrics::Gauge& m_epoch_;
 };
 
 }  // namespace anchor::chain

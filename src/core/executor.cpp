@@ -39,6 +39,11 @@ bool GccExecutor::run_compiled(const FactSet& facts,
     ++verdict->gccs_evaluated;
     verdict->stats.accumulate(stats);
   }
+  m_gccs_evaluated_.add();
+  m_derived_tuples_.add(stats.derived_tuples);
+  if (stats.type_errors > 0) m_type_errors_.add(stats.type_errors);
+  if (stats.truncated) m_truncations_.add();
+  if (stats.errored) m_errored_.add();
   // A truncated evaluation (the EvalLimits guard fired on a runaway
   // arithmetic recursion) or an errored one (incomplete model) fails
   // closed: an incomplete model must never admit a chain.
@@ -47,16 +52,23 @@ bool GccExecutor::run_compiled(const FactSet& facts,
 
 bool GccExecutor::evaluate_one(const Chain& chain, std::string_view usage,
                                const Gcc& gcc, GccVerdict* verdict) const {
+  metrics::ScopedTimer span(m_eval_seconds_);
+  m_evaluations_.add();
   FactSet facts;
   const std::string chain_id = chain_id_of(chain);
   encode_chain(chain, chain_id, facts);
-  return run_compiled(facts, chain_id, usage, gcc, verdict);
+  const bool allowed = run_compiled(facts, chain_id, usage, gcc, verdict);
+  if (!allowed) m_denials_.add();
+  return allowed;
 }
 
 GccVerdict GccExecutor::evaluate(const Chain& chain, std::string_view usage,
                                  std::span<const Gcc> gccs) const {
   GccVerdict verdict;
   if (gccs.empty()) return verdict;
+
+  metrics::ScopedTimer span(m_eval_seconds_);
+  m_evaluations_.add();
 
   // The chain is encoded once; each GCC interns the same FactSet into its
   // own session (per-program symbol tables keep GCCs isolated from each
@@ -69,6 +81,7 @@ GccVerdict GccExecutor::evaluate(const Chain& chain, std::string_view usage,
     if (!run_compiled(facts, chain_id, usage, gcc, &verdict)) {
       verdict.allowed = false;
       verdict.failed_gcc = gcc.name();
+      m_denials_.add();
       return verdict;
     }
   }

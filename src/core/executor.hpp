@@ -16,6 +16,7 @@
 #include "core/facts.hpp"
 #include "core/gcc.hpp"
 #include "datalog/eval.hpp"
+#include "util/metrics.hpp"
 
 namespace anchor::core {
 
@@ -33,9 +34,22 @@ struct GccVerdict {
 
 class GccExecutor {
  public:
+  // Series are resolved once at construction (same name+labels always
+  // resolve to the same cells, so any number of executors share them);
+  // evaluation paths touch only the cached references.
   explicit GccExecutor(
-      datalog::Strategy strategy = datalog::Strategy::kSemiNaive)
-      : strategy_(strategy) {}
+      datalog::Strategy strategy = datalog::Strategy::kSemiNaive,
+      metrics::Registry& registry = metrics::Registry::global())
+      : strategy_(strategy),
+        m_evaluations_(registry.counter("anchor_gcc_evaluations_total")),
+        m_gccs_evaluated_(registry.counter("anchor_gcc_gccs_evaluated_total")),
+        m_denials_(registry.counter("anchor_gcc_denials_total")),
+        m_eval_seconds_(registry.histogram("anchor_gcc_eval_seconds")),
+        m_type_errors_(registry.counter("anchor_datalog_type_errors_total")),
+        m_truncations_(registry.counter("anchor_datalog_truncations_total")),
+        m_errored_(registry.counter("anchor_datalog_errored_total")),
+        m_derived_tuples_(
+            registry.counter("anchor_datalog_derived_tuples_total")) {}
 
   // Evaluates every GCC against the chain for the given usage. Evaluation
   // order follows attachment order; the verdict reports the first failure.
@@ -55,6 +69,15 @@ class GccExecutor {
                     GccVerdict* verdict) const;
 
   datalog::Strategy strategy_;
+
+  metrics::Counter& m_evaluations_;
+  metrics::Counter& m_gccs_evaluated_;
+  metrics::Counter& m_denials_;
+  metrics::Histogram& m_eval_seconds_;
+  metrics::Counter& m_type_errors_;
+  metrics::Counter& m_truncations_;
+  metrics::Counter& m_errored_;
+  metrics::Counter& m_derived_tuples_;
 };
 
 }  // namespace anchor::core

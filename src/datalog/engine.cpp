@@ -1,5 +1,7 @@
 #include "datalog/engine.hpp"
 
+#include "util/metrics.hpp"
+
 namespace anchor::datalog {
 
 Status Engine::load(std::string_view source) {
@@ -32,6 +34,12 @@ Status Engine::ensure_evaluated() {
     if (!evaluator) return err(evaluator.error());
     evaluator_ = std::move(evaluator).take();
     ++recompiles_;
+    // Engine is a value type with no registry plumbing; the process-wide
+    // recompile count is the signal operators care about (a hot loop that
+    // keeps editing programs shows up here).
+    static metrics::Counter& recompile_count =
+        metrics::Registry::global().counter("anchor_datalog_recompiles_total");
+    recompile_count.add();
   }
   stats_ = evaluator_->run(db_);
   evaluated_ = true;

@@ -37,27 +37,43 @@ Status RootStore::add_trusted(x509::CertPtr cert, RootMetadata metadata) {
                "... is explicitly distrusted; refusing to re-trust (use "
                "add_trusted_unchecked to model non-compliant derivatives)");
   }
-  if (!trusted_.contains(hash)) trusted_order_.push_back(hash);
-  trusted_[hash] = RootEntry{std::move(cert), std::move(metadata)};
-  ++epoch_;
+  add_trusted_unchecked(std::move(cert), std::move(metadata));
   return {};
 }
 
 void RootStore::add_trusted_unchecked(x509::CertPtr cert,
                                       RootMetadata metadata) {
   std::string hash = cert->fingerprint_hex();
-  if (!trusted_.contains(hash)) trusted_order_.push_back(hash);
+  auto it = trusted_.find(hash);
+  if (it != trusted_.end()) {
+    // Same fingerprint ⇒ same certificate bytes; only a metadata change can
+    // alter a verification outcome. A byte-identical re-add must not bump
+    // the epoch, or redundant delta replay flushes every verdict cache
+    // keyed on epoch() for nothing.
+    if (it->second.metadata == metadata) return;
+    it->second = RootEntry{std::move(cert), std::move(metadata)};
+    ++epoch_;
+    return;
+  }
+  trusted_order_.push_back(hash);
   trusted_[hash] = RootEntry{std::move(cert), std::move(metadata)};
   ++epoch_;
 }
 
 void RootStore::distrust(const std::string& hash_hex,
                          std::string justification) {
-  if (trusted_.erase(hash_hex) > 0) {
-    std::erase(trusted_order_, hash_hex);
+  bool was_trusted = trusted_.erase(hash_hex) > 0;
+  if (was_trusted) std::erase(trusted_order_, hash_hex);
+  auto it = distrusted_.find(hash_hex);
+  if (it != distrusted_.end()) {
+    // Already distrusted with the same justification (and not shadowed by a
+    // trusted entry): nothing observable changed, keep the epoch stable.
+    if (!was_trusted && it->second == justification) return;
+    it->second = std::move(justification);
+  } else {
+    distrusted_order_.push_back(hash_hex);
+    distrusted_[hash_hex] = std::move(justification);
   }
-  if (!distrusted_.contains(hash_hex)) distrusted_order_.push_back(hash_hex);
-  distrusted_[hash_hex] = std::move(justification);
   ++epoch_;
 }
 
@@ -293,6 +309,24 @@ Result<RootStore> RootStore::deserialize(std::string_view text) {
 std::string RootStore::content_hash_hex() const {
   std::string serialized = serialize();
   return Sha256::hash_hex(BytesView(to_bytes(serialized)));
+}
+
+void export_store_metrics(const RootStore& store, metrics::Registry& registry,
+                          const std::string& instance) {
+  metrics::Labels labels;
+  if (!instance.empty()) labels.emplace_back("store", instance);
+  std::size_t gcc_count = 0;
+  for (const auto& root : store.gccs().roots_sorted()) {
+    gcc_count += store.gccs().for_root(root).size();
+  }
+  registry.gauge("anchor_store_trusted_roots", labels)
+      .set(static_cast<std::int64_t>(store.trusted_count()));
+  registry.gauge("anchor_store_distrusted_roots", labels)
+      .set(static_cast<std::int64_t>(store.distrusted_count()));
+  registry.gauge("anchor_store_gccs", labels)
+      .set(static_cast<std::int64_t>(gcc_count));
+  registry.gauge("anchor_store_epoch", labels)
+      .set(static_cast<std::int64_t>(store.epoch()));
 }
 
 }  // namespace anchor::rootstore

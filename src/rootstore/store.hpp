@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/gcc.hpp"
+#include "util/metrics.hpp"
 #include "util/result.hpp"
 #include "x509/certificate.hpp"
 
@@ -80,7 +81,10 @@ class RootStore {
   // outcome — add_trusted, add_trusted_unchecked, distrust, forget, GCC
   // attach/detach (counted via GccStore::version) — advances it. Verdict
   // caches key on the epoch so a feed update invalidates stale entries
-  // without any cross-thread bookkeeping (chain::VerifyService).
+  // without any cross-thread bookkeeping (chain::VerifyService). Byte-
+  // identical no-op mutations (re-adding a root with equal metadata,
+  // re-distrusting with the same justification) leave it unchanged, so
+  // redundant delta replay keeps caches warm.
   std::uint64_t epoch() const { return epoch_ + gccs_.version(); }
 
   // Forces epoch() strictly past `floor`. Used when a store is replaced
@@ -107,5 +111,15 @@ class RootStore {
   core::GccStore gccs_;
   std::uint64_t epoch_ = 0;
 };
+
+// Publishes the store's current shape into `registry` as gauges
+// (anchor_store_trusted_roots, anchor_store_distrusted_roots,
+// anchor_store_gccs, anchor_store_epoch), labeled {store=<instance>} when
+// `instance` is non-empty. RootStore is a value type that is copied and
+// merged freely, so it cannot own series itself; long-lived holders
+// (VerifyService on snapshot publish, anchorctl/daemon on demand) call this
+// at well-defined points instead.
+void export_store_metrics(const RootStore& store, metrics::Registry& registry,
+                          const std::string& instance = "");
 
 }  // namespace anchor::rootstore

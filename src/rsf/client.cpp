@@ -51,6 +51,7 @@ RsfClient::RsfClient(const Feed& feed, std::int64_t poll_interval,
   // The feed key is known out of band (certified by the coordinating body).
   verifier_registry_.register_key(
       SimSig::keygen("rsf-feed-" + transport_->name()));
+  bind_metrics(metrics::Registry::global(), transport_->name());
 }
 
 RsfClient::RsfClient(FeedTransport& transport, std::int64_t poll_interval,
@@ -63,10 +64,82 @@ RsfClient::RsfClient(FeedTransport& transport, std::int64_t poll_interval,
       mode_(mode) {
   verifier_registry_.register_key(
       SimSig::keygen("rsf-feed-" + transport_->name()));
+  bind_metrics(metrics::Registry::global(), transport_->name());
 }
 
 void RsfClient::set_local_store(rootstore::RootStore local) {
   local_ = std::move(local);
+}
+
+void RsfClient::bind_metrics(metrics::Registry& registry,
+                             const std::string& instance) {
+  const metrics::Labels feed{{"feed", instance}};
+  auto outcome = [&](const char* kind) {
+    metrics::Labels labels = feed;
+    labels.emplace_back("outcome", kind);
+    return &registry.counter("anchor_rsf_polls_total", labels);
+  };
+  m_.poll_success = outcome("success");
+  m_.poll_failure = outcome("failure");
+  m_.poll_skip = outcome("skip");
+  m_.updates_applied = &registry.counter("anchor_rsf_updates_applied_total", feed);
+  m_.deltas_applied = &registry.counter("anchor_rsf_deltas_applied_total", feed);
+  m_.delta_fallbacks = &registry.counter("anchor_rsf_delta_fallbacks_total", feed);
+  m_.verify_failures = &registry.counter("anchor_rsf_verify_failures_total", feed);
+  m_.parse_failures = &registry.counter("anchor_rsf_parse_failures_total", feed);
+  m_.merge_conflicts = &registry.counter("anchor_rsf_merge_conflicts_total", feed);
+  m_.retries = &registry.counter("anchor_rsf_retries_total", feed);
+  m_.quarantine_skips =
+      &registry.counter("anchor_rsf_quarantine_skips_total", feed);
+  m_.bytes_fetched = &registry.counter("anchor_rsf_bytes_fetched_total", feed);
+  m_.bytes_discarded =
+      &registry.counter("anchor_rsf_bytes_discarded_total", feed);
+  m_.transport_errors =
+      &registry.counter("anchor_rsf_transport_errors_total", feed);
+  m_.seconds_stale = &registry.gauge("anchor_rsf_seconds_stale", feed);
+  m_.quarantine_size = &registry.gauge("anchor_rsf_quarantine_size", feed);
+  m_.backoff_exponent = &registry.gauge("anchor_rsf_backoff_exponent", feed);
+  m_.health = &registry.gauge("anchor_rsf_health", feed);
+  m_.last_sequence = &registry.gauge("anchor_rsf_last_applied_sequence", feed);
+}
+
+void RsfClient::publish_metrics(PollOutcome outcome) {
+  switch (outcome) {
+    case PollOutcome::kSuccess:
+      m_.poll_success->add();
+      break;
+    case PollOutcome::kFailure:
+      m_.poll_failure->add();
+      break;
+    case PollOutcome::kSkip:
+      m_.poll_skip->add();
+      break;
+  }
+  // Counters: publish what ClientStats accumulated since the last exit.
+  auto drain = [](metrics::Counter* sink, std::uint64_t current,
+                  std::uint64_t& exported) {
+    if (current > exported) sink->add(current - exported);
+    exported = current;
+  };
+  drain(m_.updates_applied, stats_.updates_applied, exported_.updates_applied);
+  drain(m_.deltas_applied, stats_.deltas_applied, exported_.deltas_applied);
+  drain(m_.delta_fallbacks, stats_.delta_fallbacks, exported_.delta_fallbacks);
+  drain(m_.verify_failures, stats_.verify_failures, exported_.verify_failures);
+  drain(m_.parse_failures, stats_.parse_failures, exported_.parse_failures);
+  drain(m_.merge_conflicts, stats_.merge_conflicts, exported_.merge_conflicts);
+  drain(m_.retries, stats_.retries, exported_.retries);
+  drain(m_.quarantine_skips, stats_.quarantine_skips,
+        exported_.quarantine_skips);
+  drain(m_.bytes_fetched, stats_.bytes_fetched, exported_.bytes_fetched);
+  drain(m_.bytes_discarded, stats_.bytes_discarded, exported_.bytes_discarded);
+  drain(m_.transport_errors, stats_.transport_errors_total(),
+        exported_.transport_errors[0]);  // [0] repurposed as the total mark
+  // Gauges: levels, set outright.
+  m_.seconds_stale->set(stats_.seconds_stale);
+  m_.quarantine_size->set(static_cast<std::int64_t>(stats_.quarantine_size));
+  m_.backoff_exponent->set(backoff_exp_);
+  m_.health->set(static_cast<std::int64_t>(health_));
+  m_.last_sequence->set(static_cast<std::int64_t>(last_sequence_));
 }
 
 std::int64_t RsfClient::next_backoff() {
@@ -108,6 +181,7 @@ std::size_t RsfClient::finish_poll(PollOutcome outcome, std::int64_t now,
   } else {
     health_ = ClientHealth::kDegraded;
   }
+  publish_metrics(outcome);
   return applied;
 }
 

@@ -31,6 +31,7 @@
 #include "rsf/feed.hpp"
 #include "rsf/merge.hpp"
 #include "rsf/transport.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace anchor::rsf {
@@ -110,6 +111,14 @@ class RsfClient {
   // primary snapshot.
   void set_local_store(rootstore::RootStore local);
 
+  // (Re)binds the client's metric series to `registry`, labeled
+  // {feed="<instance>"}. Construction binds to the global registry with the
+  // transport name; tests and the simulator rebind for isolation or to
+  // disambiguate multiple derivatives of the same feed. Counters publish as
+  // deltas of ClientStats at each poll exit, so rebinding mid-life never
+  // double-counts.
+  void bind_metrics(metrics::Registry& registry, const std::string& instance);
+
   // Advances to `now`, issuing at most one catch-up poll: the next poll is
   // re-anchored relative to `now` (interval on success, backoff on
   // failure), so a client woken after a long offline gap does not replay
@@ -132,6 +141,7 @@ class RsfClient {
 
   std::size_t finish_poll(PollOutcome outcome, std::int64_t now,
                           std::size_t applied);
+  void publish_metrics(PollOutcome outcome);
   std::size_t fail_poll(TransportErrorKind kind, std::uint64_t sequence,
                         std::int64_t now);
   void note_verify_failure(std::uint64_t sequence, std::int64_t now);
@@ -161,6 +171,34 @@ class RsfClient {
   std::optional<rootstore::RootStore> local_;
   SimSig verifier_registry_;  // holds the feed key for verification
   ClientStats stats_;
+
+  // Registry series (stable addresses for the registry's lifetime; see
+  // bind_metrics). Counters are published as deltas of `stats_` against
+  // `exported_` at every poll exit, so every ClientStats-counted event
+  // reaches the registry exactly once no matter which path counted it.
+  struct BoundMetrics {
+    metrics::Counter* poll_success = nullptr;
+    metrics::Counter* poll_failure = nullptr;
+    metrics::Counter* poll_skip = nullptr;
+    metrics::Counter* updates_applied = nullptr;
+    metrics::Counter* deltas_applied = nullptr;
+    metrics::Counter* delta_fallbacks = nullptr;
+    metrics::Counter* verify_failures = nullptr;
+    metrics::Counter* parse_failures = nullptr;
+    metrics::Counter* merge_conflicts = nullptr;
+    metrics::Counter* retries = nullptr;
+    metrics::Counter* quarantine_skips = nullptr;
+    metrics::Counter* bytes_fetched = nullptr;
+    metrics::Counter* bytes_discarded = nullptr;
+    metrics::Counter* transport_errors = nullptr;
+    metrics::Gauge* seconds_stale = nullptr;
+    metrics::Gauge* quarantine_size = nullptr;
+    metrics::Gauge* backoff_exponent = nullptr;
+    metrics::Gauge* health = nullptr;
+    metrics::Gauge* last_sequence = nullptr;
+  };
+  BoundMetrics m_;
+  ClientStats exported_;  // high-water marks already published
 };
 
 class ManualMirrorClient {

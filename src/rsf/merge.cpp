@@ -1,6 +1,20 @@
 #include "rsf/merge.hpp"
 
+#include <unordered_set>
+
 namespace anchor::rsf {
+
+const char* to_string(ConflictKind kind) {
+  switch (kind) {
+    case ConflictKind::kDistrustedReAdded:
+      return "distrusted-re-added";
+    case ConflictKind::kMetadataMismatch:
+      return "metadata-mismatch";
+    case ConflictKind::kLocalDistrust:
+      return "local-distrust";
+  }
+  return "unknown";
+}
 
 MergeResult merge(const rootstore::RootStore& primary,
                   const rootstore::RootStore& derivative, MergePolicy policy) {
@@ -50,18 +64,34 @@ MergeResult merge(const rootstore::RootStore& primary,
     }
   }
 
-  // Derivative-local distrust is honored unless the primary trusts the root
-  // and the derivative wins nothing here — local distrust only narrows.
+  // Derivative-local distrust is honored — local distrust only narrows.
   for (const auto& [hash, justification] : derivative.distrusted()) {
-    if (primary.state_of(hash) != rootstore::TrustState::kTrusted) {
-      result.merged.distrust(hash, justification);
-    } else {
-      // Derivative distrusting a primary-trusted root is allowed (it only
-      // reduces exposure) but worth surfacing as metadata divergence.
-      result.merged.distrust(hash, justification);
-      result.conflicts.push_back(MergeConflict{
-          ConflictKind::kMetadataMismatch, hash,
-          "derivative distrusts a root the primary trusts"});
+    switch (primary.state_of(hash)) {
+      case rootstore::TrustState::kDistrusted: {
+        // Both distrust the root: the primary's justification (already in
+        // the merged store) is authoritative provenance and must survive;
+        // the derivative's copy is at best redundant. Only a derivative
+        // justification for a root the primary left unexplained adds
+        // information.
+        const auto primary_entry = primary.distrusted().find(hash);
+        if (primary_entry != primary.distrusted().end() &&
+            primary_entry->second.empty() && !justification.empty()) {
+          result.merged.distrust(hash, justification);
+        }
+        break;
+      }
+      case rootstore::TrustState::kTrusted:
+        // Allowed (it only reduces exposure) but surfaced with its own
+        // kind: conflating it with a metadata mismatch made `anchorctl`
+        // merge reports indistinguishable from a benign EV-bit skew.
+        result.merged.distrust(hash, justification);
+        result.conflicts.push_back(MergeConflict{
+            ConflictKind::kLocalDistrust, hash,
+            "derivative distrusts a root the primary trusts"});
+        break;
+      case rootstore::TrustState::kUnknown:
+        result.merged.distrust(hash, justification);
+        break;
     }
   }
 
@@ -73,15 +103,16 @@ MergeResult merge(const rootstore::RootStore& primary,
     }
   }
   for (const auto& root : derivative.gccs().roots_sorted()) {
+    // One name probe set per root, built once: the old per-GCC rescan of
+    // the primary's list was O(primary × derivative) string compares per
+    // root, which bench_rsf_merge's many-GCCs case showed dominating merge
+    // time at CT-scale constraint counts.
+    std::unordered_set<std::string_view> primary_names;
+    for (const core::Gcc& existing : primary.gccs().for_root(root)) {
+      primary_names.insert(existing.name());
+    }
     for (const core::Gcc& gcc : derivative.gccs().for_root(root)) {
-      bool primary_has = false;
-      for (const core::Gcc& existing : primary.gccs().for_root(root)) {
-        if (existing.name() == gcc.name()) {
-          primary_has = true;
-          break;
-        }
-      }
-      if (!primary_has) result.merged.gccs().attach(gcc);
+      if (!primary_names.contains(gcc.name())) result.merged.gccs().attach(gcc);
     }
   }
 

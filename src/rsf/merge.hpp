@@ -18,7 +18,13 @@ enum class ConflictKind {
   kDistrustedReAdded,
   // Both define metadata for the same root but disagree.
   kMetadataMismatch,
+  // Derivative distrusts a root the primary trusts. Only narrows exposure
+  // (never dangerous), but operators triage it differently from a metadata
+  // disagreement, so it gets its own kind.
+  kLocalDistrust,
 };
+
+const char* to_string(ConflictKind kind);
 
 struct MergeConflict {
   ConflictKind kind;

@@ -75,6 +75,14 @@ SimReport run_staleness_simulation(const SimConfig& config) {
   Rng rng(config.seed);
   SimReport report;
 
+  metrics::Registry& metric_sink = config.registry != nullptr
+                                       ? *config.registry
+                                       : metrics::Registry::global();
+  metrics::Counter& m_releases =
+      metric_sink.counter("anchor_sim_releases_total");
+  metrics::Counter& m_incidents =
+      metric_sink.counter("anchor_sim_incidents_total");
+
   std::vector<x509::CertPtr> roots =
       make_roots(config.num_roots, config.start_time);
 
@@ -148,6 +156,9 @@ SimReport run_staleness_simulation(const SimConfig& config) {
       state.rsf = std::make_unique<RsfClient>(
           *transport, spec.rsf_poll_interval, MergePolicy::kPrimaryWins,
           Transport::kFullSnapshot, retry);
+      // Several derivatives poll the same feed; label by derivative name so
+      // their series stay distinguishable.
+      state.rsf->bind_metrics(metric_sink, spec.name);
     } else {
       state.manual = std::make_unique<ManualMirrorClient>(feed, true);
       // Uniform phase: derivatives are not synchronized with the primary.
@@ -191,6 +202,8 @@ SimReport run_staleness_simulation(const SimConfig& config) {
                    release.is_incident ? "emergency distrust" : "routine");
       publish_time_of_seq.push_back(release.time);
       ++report.releases;
+      m_releases.add();
+      if (release.is_incident) m_incidents.add();
       ++next_release;
     }
 

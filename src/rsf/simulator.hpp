@@ -47,6 +47,10 @@ struct SimConfig {
   int num_roots = 40;
   int num_incidents = 6;                      // emergency distrust events
   std::vector<SimDerivativeSpec> derivatives;
+  // Metric sink for the run: anchor_sim_* counters plus each RSF client's
+  // anchor_rsf_* series labeled {feed=<derivative name>}. nullptr = the
+  // process-wide registry (what bench_staleness snapshots).
+  metrics::Registry* registry = nullptr;
 
   static SimConfig with_default_derivatives();
 };

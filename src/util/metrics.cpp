@@ -1,0 +1,299 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace anchor::metrics {
+
+namespace {
+
+// 1-2-5 decades, 1µs .. 10s.
+constexpr double kLatencyBounds[] = {
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+    5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0};
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// `{k="v",k2="v2"}`, empty string for no labels. Values are escaped the
+// Prometheus way (backslash, quote, newline).
+std::string label_text(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Integral values print as integers (counters, bucket counts); everything
+// else with enough digits to round-trip.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  std::ostringstream out;
+  out.precision(9);
+  out << v;
+  return out.str();
+}
+
+std::string bound_text(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  return format_value(bound);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) cells_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // bounds_.size() = +Inf
+  cells_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+}
+
+std::uint64_t Histogram::cumulative(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b <= bounds_.size(); ++b) {
+    total += cells_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::span<const double> Histogram::latency_bounds() {
+  return std::span<const double>(kLatencyBounds, std::size(kLatencyBounds));
+}
+
+Snapshot snapshot_delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot delta;
+  for (const auto& [key, value] : after) {
+    auto it = before.find(key);
+    const double prior = it == before.end() ? 0.0 : it->second;
+    if (value != prior) delta[key] = value - prior;
+  }
+  return delta;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Series& Registry::find_or_create(std::string_view name,
+                                           const Labels& labels, Kind kind,
+                                           std::span<const double> bounds) {
+  const Labels canon = canonical(labels);
+  std::string key = std::string(name) + label_text(canon);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  if (it != series_.end()) {
+    if (it->second.kind == kind) return it->second;
+    // Kind conflict: hand back working-but-unexposed storage rather than
+    // corrupting the existing series or crashing a hot path.
+    detached_.push_back(std::make_unique<Series>());
+    Series& orphan = *detached_.back();
+    orphan.kind = kind;
+    orphan.name = std::string(name);
+    orphan.labels = canon;
+    it = series_.end();
+    switch (kind) {
+      case Kind::kCounter:
+        orphan.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        orphan.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        orphan.histogram = std::make_unique<Histogram>(
+            bounds.empty()
+                ? std::vector<double>(Histogram::latency_bounds().begin(),
+                                      Histogram::latency_bounds().end())
+                : std::vector<double>(bounds.begin(), bounds.end()));
+        break;
+    }
+    return orphan;
+  }
+
+  Series series;
+  series.kind = kind;
+  series.name = std::string(name);
+  series.labels = canon;
+  switch (kind) {
+    case Kind::kCounter:
+      series.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      series.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      series.histogram = std::make_unique<Histogram>(
+          bounds.empty()
+              ? std::vector<double>(Histogram::latency_bounds().begin(),
+                                    Histogram::latency_bounds().end())
+              : std::vector<double>(bounds.begin(), bounds.end()));
+      break;
+  }
+  return series_.emplace(std::move(key), std::move(series)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kCounter, {}).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kGauge, {}).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels,
+                               std::span<const double> bounds) {
+  return *find_or_create(name, labels, Kind::kHistogram, bounds).histogram;
+}
+
+std::string Registry::expose() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, series] : series_) {
+    if (series.name != last_family) {
+      last_family = series.name;
+      out += "# TYPE " + series.name + " ";
+      switch (series.kind) {
+        case Kind::kCounter:
+          out += "counter";
+          break;
+        case Kind::kGauge:
+          out += "gauge";
+          break;
+        case Kind::kHistogram:
+          out += "histogram";
+          break;
+      }
+      out += "\n";
+    }
+    const std::string labels = label_text(series.labels);
+    switch (series.kind) {
+      case Kind::kCounter:
+        out += series.name + labels + " " +
+               format_value(static_cast<double>(series.counter->value())) +
+               "\n";
+        break;
+      case Kind::kGauge:
+        out += series.name + labels + " " +
+               format_value(static_cast<double>(series.gauge->value())) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *series.histogram;
+        for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+          Labels with_le = series.labels;
+          const double bound = i < h.bounds().size()
+                                   ? h.bounds()[i]
+                                   : std::numeric_limits<double>::infinity();
+          with_le.emplace_back("le", bound_text(bound));
+          out += series.name + "_bucket" + label_text(with_le) + " " +
+                 format_value(static_cast<double>(h.cumulative(i))) + "\n";
+        }
+        out += series.name + "_sum" + labels + " " + format_value(h.sum()) +
+               "\n";
+        out += series.name + "_count" + labels + " " +
+               format_value(static_cast<double>(h.count())) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [key, series] : series_) {
+    const std::string labels = label_text(series.labels);
+    switch (series.kind) {
+      case Kind::kCounter:
+        snap[series.name + labels] =
+            static_cast<double>(series.counter->value());
+        break;
+      case Kind::kGauge:
+        snap[series.name + labels] = static_cast<double>(series.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *series.histogram;
+        for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+          Labels with_le = series.labels;
+          const double bound = i < h.bounds().size()
+                                   ? h.bounds()[i]
+                                   : std::numeric_limits<double>::infinity();
+          with_le.emplace_back("le", bound_text(bound));
+          snap[series.name + "_bucket" + label_text(with_le)] =
+              static_cast<double>(h.cumulative(i));
+        }
+        snap[series.name + "_sum" + labels] = h.sum();
+        snap[series.name + "_count" + labels] =
+            static_cast<double>(h.count());
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, series] : series_) {
+    switch (series.kind) {
+      case Kind::kCounter:
+        series.counter->reset();
+        break;
+      case Kind::kGauge:
+        series.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        series.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::size_t Registry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+}  // namespace anchor::metrics

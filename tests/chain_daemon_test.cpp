@@ -177,6 +177,29 @@ TEST(TrustDaemon, ValidateWithLatencyThroughService) {
   EXPECT_EQ(slow.calls(), 1u);
 }
 
+// The metrics verb: a trustctl-style scrape over the same IPC surface. It
+// must refresh the store gauges and return the registry's text exposition.
+TEST(TrustDaemon, MetricsVerbEmitsExposition) {
+  DaemonPki pki;
+  pki.store.distrust(std::string(64, 'a'), "incident");
+  TrustDaemon daemon(pki.store, pki.sigs);
+
+  metrics::Registry registry;  // isolated so counts are exact
+  const std::string text = daemon.metrics(registry);
+  EXPECT_NE(text.find("# TYPE anchor_store_trusted_roots gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("anchor_store_trusted_roots 1"), std::string::npos);
+  EXPECT_NE(text.find("anchor_store_distrusted_roots 1"), std::string::npos);
+  EXPECT_NE(text.find("anchor_store_epoch"), std::string::npos);
+  EXPECT_EQ(daemon.calls(), 1u);  // the scrape itself crosses the boundary
+
+  // Store changes show up on the next scrape.
+  pki.store.distrust(std::string(64, 'b'), "second incident");
+  const std::string updated = daemon.metrics(registry);
+  EXPECT_NE(updated.find("anchor_store_distrusted_roots 2"),
+            std::string::npos);
+}
+
 // Concurrent clients of one service-backed daemon: every caller gets the
 // right Boolean / chain and no call is lost (calls_ is atomic).
 TEST(TrustDaemon, ConcurrentCallersThroughService) {

@@ -1,0 +1,126 @@
+// Concurrency contract of util/metrics (run under TSan via the
+// -DANCHOR_SANITIZE=thread config, ctest -L concurrency / -L metrics):
+// hot-path increments are lock-free on cached references, registration is
+// serialized, and expose()/snapshot() may run concurrently with both.
+// Counter totals and histogram counts must come out exact — relaxed
+// ordering never loses increments, it only allows torn cross-series reads.
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace anchor::metrics {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 5000;
+
+TEST(MetricsConcurrency, CountersAreExactUnderContention) {
+  Registry registry;
+  Counter& shared = registry.counter("anchor_test_shared_total");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared] {
+      for (int i = 0; i < kIterations; ++i) shared.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(shared.value(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+TEST(MetricsConcurrency, HistogramCountAndBucketsAreExact) {
+  Registry registry;
+  const double bounds[] = {0.5, 1.5, 2.5};
+  Histogram& h = registry.histogram("anchor_test_seconds", {}, bounds);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        h.observe(static_cast<double>(t % 4));  // 0, 1, 2, 3 → one per bucket
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto total = static_cast<std::uint64_t>(kThreads) * kIterations;
+  EXPECT_EQ(h.count(), total);
+  EXPECT_EQ(h.cumulative(3), total);  // +Inf bucket
+  // kThreads/4 threads observed each distinct value.
+  EXPECT_EQ(h.cumulative(0), total / 4);      // value 0 <= 0.5
+  EXPECT_EQ(h.cumulative(1), total / 2);      // values {0,1}
+  EXPECT_EQ(h.cumulative(2), 3 * total / 4);  // values {0,1,2}
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(total) / 4 * (0 + 1 + 2 + 3));
+}
+
+TEST(MetricsConcurrency, ConcurrentRegistrationConverges) {
+  Registry registry;
+  std::vector<std::thread> threads;
+  // Every thread registers the same 4 labeled series plus one private one,
+  // interleaved with increments through the freshly returned reference.
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 200; ++i) {
+        Counter& shared = registry.counter(
+            "anchor_test_polls_total",
+            {{"outcome", (i % 4 == 0)   ? "success"
+                         : (i % 4 == 1) ? "failure"
+                         : (i % 4 == 2) ? "skip"
+                                        : "retry"}});
+        shared.add();
+        registry.gauge("anchor_test_private", {{"thread", std::to_string(t)}})
+            .add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.series_count(), 4u + kThreads);
+  std::uint64_t sum = 0;
+  for (const char* outcome : {"success", "failure", "skip", "retry"}) {
+    sum += registry.counter("anchor_test_polls_total", {{"outcome", outcome}})
+               .value();
+  }
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kThreads) * 200);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        registry.gauge("anchor_test_private", {{"thread", std::to_string(t)}})
+            .value(),
+        200);
+  }
+}
+
+TEST(MetricsConcurrency, ExposeRacesWithWrites) {
+  Registry registry;
+  Counter& c = registry.counter("anchor_test_total");
+  Histogram& h = registry.histogram("anchor_test_seconds");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads / 2; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add();
+        h.observe(1e-4);
+        registry.gauge("anchor_test_level").set(7);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = registry.expose();
+    EXPECT_NE(text.find("anchor_test_total"), std::string::npos);
+    const Snapshot snap = registry.snapshot();
+    EXPECT_TRUE(snap.contains("anchor_test_total"));
+  }
+  stop.store(true);
+  for (auto& thread : writers) thread.join();
+  // Final exposition reflects the settled totals.
+  const Snapshot final_snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(final_snap.at("anchor_test_total"),
+                   static_cast<double>(c.value()));
+  EXPECT_DOUBLE_EQ(final_snap.at("anchor_test_seconds_count"),
+                   static_cast<double>(h.count()));
+}
+
+}  // namespace
+}  // namespace anchor::metrics

@@ -256,6 +256,55 @@ TEST(RootStore, EpochAdvancesOnEveryMutation) {
   EXPECT_GE(store.epoch(), last);
 }
 
+TEST(RootStore, ByteIdenticalMutationsKeepEpoch) {
+  // The verdict cache (chain::VerifyService) keys on epoch(): a mutation
+  // that changes nothing observable must not bump it, or redundant delta
+  // replay flushes every cached verdict for free.
+  RootStore store;
+  CertPtr a = make_root("A");
+  RootMetadata metadata;
+  metadata.ev_allowed = true;
+  ASSERT_TRUE(store.add_trusted(a, metadata).ok());
+  store.distrust(std::string(64, 'd'), "incident");
+  const std::uint64_t settled = store.epoch();
+
+  // Same cert, same metadata: no-ops on both entry points.
+  ASSERT_TRUE(store.add_trusted(a, metadata).ok());
+  EXPECT_EQ(store.epoch(), settled);
+  store.add_trusted_unchecked(a, metadata);
+  EXPECT_EQ(store.epoch(), settled);
+  // Same hash, same justification: no-op distrust.
+  store.distrust(std::string(64, 'd'), "incident");
+  EXPECT_EQ(store.epoch(), settled);
+
+  // Observable changes still advance it.
+  RootMetadata stricter = metadata;
+  stricter.tls_distrust_after = 1000;
+  store.add_trusted_unchecked(a, stricter);
+  EXPECT_GT(store.epoch(), settled);
+  const std::uint64_t after_metadata = store.epoch();
+  store.distrust(std::string(64, 'd'), "new justification");
+  EXPECT_GT(store.epoch(), after_metadata);
+}
+
+TEST(RootStore, DistrustOfTrustedRootAlwaysAdvancesEpoch) {
+  // Even when the distrust set already carries the hash with the same
+  // justification, removing the root from the *trusted* set is an
+  // observable change and must invalidate caches.
+  RootStore store;
+  CertPtr a = make_root("A");
+  const std::string hash = a->fingerprint_hex();
+  store.distrust(hash, "incident");
+  store.add_trusted_unchecked(a);
+  const std::uint64_t trusted_epoch = store.epoch();
+  // The distrust entry already exists with this exact justification, but the
+  // root is also trusted — the no-op shortcut must not fire while a trusted
+  // entry is being removed.
+  store.distrust(hash, "incident");
+  EXPECT_EQ(store.state_of(hash), TrustState::kDistrusted);
+  EXPECT_GT(store.epoch(), trusted_epoch);
+}
+
 TEST(RootStore, AdvanceEpochPastForcesProgress) {
   RootStore store;
   const std::uint64_t start = store.epoch();

@@ -194,6 +194,32 @@ TEST_P(DeltaRoundTrip, DiffApplyIsIdentity) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DeltaRoundTrip,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+TEST(StoreDelta, RedundantReplayLeavesEpochUnchanged) {
+  // VerifyService's verdict cache keys on RootStore::epoch(). Replaying a
+  // delta the store has already absorbed (a re-delivered feed message, an
+  // at-least-once transport) is all byte-identical no-ops and must not move
+  // the epoch — otherwise every redundant delivery flushes a warm cache.
+  CertPtr a = make_root("A");
+  CertPtr b = make_root("B");
+  rootstore::RootStore from;
+  (void)from.add_trusted(a);
+  rootstore::RootStore to;
+  rootstore::RootMetadata metadata;
+  metadata.ev_allowed = true;
+  (void)to.add_trusted(a, metadata);     // metadata change
+  to.distrust(b->fingerprint_hex(), "incident");
+
+  StoreDelta delta = StoreDelta::diff(from, to);
+  rootstore::RootStore replayed = from;
+  delta.apply(replayed);
+  ASSERT_TRUE(stores_equal(replayed, to));
+  const std::uint64_t settled = replayed.epoch();
+
+  delta.apply(replayed);  // second delivery of the same delta
+  EXPECT_TRUE(stores_equal(replayed, to));
+  EXPECT_EQ(replayed.epoch(), settled);
+}
+
 TEST(StoreDelta, BandwidthAdvantageOverFullSnapshot) {
   // A 140-root store with a one-root emergency change: the delta should be
   // at least an order of magnitude smaller than the full snapshot.

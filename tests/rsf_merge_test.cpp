@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "util/time.hpp"
 #include "x509/builder.hpp"
 
@@ -164,6 +168,154 @@ TEST(Merge, PrimaryGccWinsNameCollision) {
   const auto& gccs = result.merged.gccs().for_root(a->fingerprint_hex());
   ASSERT_EQ(gccs.size(), 1u);
   EXPECT_EQ(gccs[0].justification(), "primary");
+}
+
+TEST(Merge, BothDistrustSameRootKeepsPrimaryJustification) {
+  // When primary and derivative agree a root is distrusted, the primary's
+  // justification is the authoritative provenance (Bugzilla link, incident
+  // id) and must survive the merge; it used to be silently overwritten by
+  // the derivative's copy.
+  CertPtr root = make_root("Twice Removed");
+  const std::string hash = root->fingerprint_hex();
+  rootstore::RootStore primary;
+  primary.distrust(hash, "CVE-2023-0001 (NSS bug 1234567)");
+  rootstore::RootStore derivative;
+  derivative.distrust(hash, "synced from upstream");
+
+  MergeResult result = merge(primary, derivative);
+  EXPECT_TRUE(result.clean());  // agreement, not a conflict
+  EXPECT_EQ(result.merged.distrusted().at(hash),
+            "CVE-2023-0001 (NSS bug 1234567)");
+}
+
+TEST(Merge, DerivativeJustificationFillsUnexplainedPrimaryDistrust) {
+  // The one both-distrust case where the derivative adds information: the
+  // primary never said why.
+  CertPtr root = make_root("Unexplained");
+  const std::string hash = root->fingerprint_hex();
+  rootstore::RootStore primary;
+  primary.distrust(hash);
+  rootstore::RootStore derivative;
+  derivative.distrust(hash, "local audit finding");
+
+  MergeResult result = merge(primary, derivative);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.merged.distrusted().at(hash), "local audit finding");
+}
+
+TEST(Merge, LocalDistrustGetsDedicatedConflictKind) {
+  // Derivative distrusting a primary-trusted root used to be reported as
+  // kMetadataMismatch, making `anchorctl` merge reports indistinguishable
+  // from a benign EV-bit skew. It has its own kind now.
+  CertPtr root = make_root("Locally Removed");
+  rootstore::RootStore primary;
+  (void)primary.add_trusted(root);
+  rootstore::RootStore derivative;
+  derivative.distrust(root->fingerprint_hex(), "local policy");
+
+  MergeResult result = merge(primary, derivative);
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(result.conflicts[0].kind, ConflictKind::kLocalDistrust);
+  EXPECT_STREQ(to_string(result.conflicts[0].kind), "local-distrust");
+  EXPECT_EQ(result.merged.state_of(root->fingerprint_hex()),
+            rootstore::TrustState::kDistrusted);
+}
+
+TEST(Merge, ConflictKindNamesAreDistinct) {
+  EXPECT_STREQ(to_string(ConflictKind::kDistrustedReAdded),
+               "distrusted-re-added");
+  EXPECT_STREQ(to_string(ConflictKind::kMetadataMismatch),
+               "metadata-mismatch");
+  EXPECT_STREQ(to_string(ConflictKind::kLocalDistrust), "local-distrust");
+}
+
+TEST(Merge, GccUnionDedupesManyOverlappingNames) {
+  // Exercises the per-root name-set dedup path (the old nested scan was
+  // quadratic; see bench_rsf_merge's many-GCCs case for the perf side).
+  CertPtr a = make_root("A");
+  const std::string hash = a->fingerprint_hex();
+  rootstore::RootStore primary;
+  (void)primary.add_trusted(a);
+  rootstore::RootStore derivative;
+  constexpr int kCount = 64;
+  for (int g = 0; g < kCount; ++g) {
+    primary.gccs().attach(
+        core::Gcc::create("constraint-" + std::to_string(g), hash, kGcc,
+                          "primary")
+            .take());
+    // Even names collide (must dedup, primary copy wins), odd are local.
+    const std::string name = g % 2 == 0 ? "constraint-" + std::to_string(g)
+                                        : "local-" + std::to_string(g);
+    derivative.gccs().attach(core::Gcc::create(name, hash, kGcc, "local").take());
+  }
+
+  MergeResult result = merge(primary, derivative);
+  const auto& merged = result.merged.gccs().for_root(hash);
+  EXPECT_EQ(merged.size(), static_cast<std::size_t>(kCount + kCount / 2));
+  for (const core::Gcc& gcc : merged) {
+    if (gcc.name().rfind("constraint-", 0) == 0) {
+      EXPECT_EQ(gcc.justification(), "primary") << gcc.name();
+    } else {
+      EXPECT_EQ(gcc.justification(), "local") << gcc.name();
+    }
+  }
+}
+
+TEST(Merge, OutputInvariantUnderInsertionOrder) {
+  // Property test for the canonical-serialization contract: two stores with
+  // equal content merge to byte-identical serializations no matter the
+  // order their entries were inserted in. Delta replay, feed content hashes
+  // and merge reports all rely on this.
+  constexpr int kRoots = 12;
+  std::vector<CertPtr> roots;
+  for (int i = 0; i < kRoots; ++i) {
+    roots.push_back(make_root("Order Root " + std::to_string(i)));
+  }
+
+  // Deterministic permutation schedule (no RNG: rotations + a reversal give
+  // distinct orders without extra machinery).
+  auto build_pair = [&](int rotation, bool reversed) {
+    std::vector<int> order;
+    for (int i = 0; i < kRoots; ++i) order.push_back((i + rotation) % kRoots);
+    if (reversed) std::reverse(order.begin(), order.end());
+
+    rootstore::RootStore primary;
+    rootstore::RootStore derivative;
+    for (int index : order) {
+      const CertPtr& root = roots[index];
+      const std::string hash = root->fingerprint_hex();
+      if (index % 3 == 0) {
+        primary.distrust(hash, "incident " + std::to_string(index));
+      } else {
+        rootstore::RootMetadata metadata;
+        metadata.ev_allowed = index % 2 == 0;
+        (void)primary.add_trusted(root, metadata);
+        primary.gccs().attach(
+            core::Gcc::create("c-" + std::to_string(index), hash, kGcc).take());
+      }
+      if (index % 4 == 0) {
+        derivative.add_trusted_unchecked(root);  // re-add / overlap mix
+      } else if (index % 4 == 1) {
+        derivative.distrust(hash, "local " + std::to_string(index));
+      } else {
+        derivative.gccs().attach(
+            core::Gcc::create("d-" + std::to_string(index), hash, kGcc).take());
+      }
+    }
+    return merge(primary, derivative);
+  };
+
+  const MergeResult reference = build_pair(0, false);
+  const std::string canonical = reference.merged.serialize();
+  ASSERT_FALSE(canonical.empty());
+  for (int rotation : {1, 3, 7}) {
+    for (bool reversed : {false, true}) {
+      MergeResult permuted = build_pair(rotation, reversed);
+      EXPECT_EQ(permuted.merged.serialize(), canonical)
+          << "rotation=" << rotation << " reversed=" << reversed;
+      EXPECT_EQ(permuted.conflicts.size(), reference.conflicts.size());
+    }
+  }
 }
 
 TEST(Merge, EmptyStoresMergeToEmpty) {

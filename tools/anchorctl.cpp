@@ -21,6 +21,12 @@
 //                                 head, integrity, staleness and the
 //                                 healthy/degraded/stale classification a
 //                                 polling client would report
+//   anchorctl metrics <store.txt> <chain.pem> --host <h> --time <iso8601>
+//                                 [--usage TLS|S/MIME] [--repeat N]
+//                                 [--threads N] [--feed <dir> --now <iso8601>]
+//                                 drive verifications (and optionally one
+//                                 feed poll) through the shared registry,
+//                                 then print the text exposition
 //
 // Feed directories hold `feed.name` plus `snapshot-NNNN.txt` files (a
 // header block followed by the store payload) — a file-based RSF a
@@ -49,7 +55,9 @@
 #include "rsf/client.hpp"
 #include "rsf/delta.hpp"
 #include "rsf/feed.hpp"
+#include "rsf/transport.hpp"
 #include "util/base64.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/time.hpp"
 
@@ -75,7 +83,10 @@ int usage() {
                "  feed-publish <dir> <store.txt> --time <iso8601> [--note s]\n"
                "  feed-verify <dir>\n"
                "  feed-apply <dir> <out-store.txt>\n"
-               "  feed-status <dir> --now <iso8601> [--stale-after <sec>]\n");
+               "  feed-status <dir> --now <iso8601> [--stale-after <sec>]\n"
+               "  metrics <store.txt> <chain.pem> --host <h> --time <t>"
+               " [--usage TLS|S/MIME] [--repeat N] [--threads N]"
+               " [--feed <dir> --now <iso8601>]\n");
   return 2;
 }
 
@@ -762,6 +773,109 @@ int cmd_feed_status(int argc, char** argv) {
   return integrity.ok() && health != rsf::ClientHealth::kStale ? 0 : 1;
 }
 
+// Adapts a file-based feed directory (already loaded into memory) to the
+// FeedTransport interface, so `anchorctl metrics` can run a *real*
+// RsfClient poll — populating the same anchor_rsf_* series a deployed
+// client would — instead of faking the counters.
+class FileFeedTransport : public rsf::FeedTransport {
+ public:
+  FileFeedTransport(std::string name, std::vector<rsf::Snapshot> run)
+      : name_(std::move(name)),
+        key_id_(SimSig::keygen("rsf-feed-" + name_).key_id),
+        run_(std::move(run)) {}
+
+  const std::string& name() const override { return name_; }
+  const Bytes& key_id() const override { return key_id_; }
+  Result<std::uint64_t> head_sequence() override {
+    if (run_.empty()) return std::uint64_t{0};
+    return run_.back().sequence;
+  }
+  Result<std::vector<rsf::Snapshot>> fetch_since(std::uint64_t after) override {
+    std::vector<rsf::Snapshot> out;
+    for (const rsf::Snapshot& snap : run_) {
+      if (snap.sequence > after) out.push_back(snap);
+    }
+    return out;
+  }
+  Result<std::string> fetch_delta(std::uint64_t) override {
+    return err("file feed carries no deltas");  // full-snapshot mode only
+  }
+
+ private:
+  std::string name_;
+  Bytes key_id_;
+  std::vector<rsf::Snapshot> run_;
+};
+
+// Operator-facing scrape: drives real work — repeated verifications, and
+// optionally one RSF poll against a feed directory — through the shared
+// registry, then prints the exposition. The same counters the TrustDaemon
+// `metrics` verb serves; EXPERIMENTS tables snapshot these series.
+int cmd_metrics(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto store = load_store(argv[0]);
+  auto chain = read_chain(argv[1]);
+  if (!store || !chain) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!store ? store.error() : chain.error()).c_str());
+    return 1;
+  }
+  chain::VerifyOptions options;
+  options.hostname = flag_value(argc, argv, "--host", "");
+  options.usage = flag_value(argc, argv, "--usage", "TLS") == "S/MIME"
+                      ? chain::Usage::kSmime
+                      : chain::Usage::kTls;
+  std::string time_text = flag_value(argc, argv, "--time", "");
+  if (time_text.empty() || !parse_iso8601(time_text, options.time)) {
+    std::fprintf(stderr, "error: --time <YYYY-MM-DDTHH:MM:SSZ> required\n");
+    return 2;
+  }
+  options.check_signatures = false;  // PEMs carry no SimSig secrets
+  const unsigned long repeat = std::strtoul(
+      flag_value(argc, argv, "--repeat", "16").c_str(), nullptr, 10);
+  chain::ServiceConfig config;
+  config.threads = std::strtoul(
+      flag_value(argc, argv, "--threads", "4").c_str(), nullptr, 10);
+
+  chain::CertificatePool pool;
+  for (std::size_t i = 1; i < chain.value().size(); ++i) {
+    pool.add(chain.value()[i]);
+  }
+  SimSig no_keys;
+  chain::VerifyService service(store.value(), no_keys, config);
+  std::vector<std::future<chain::VerifyResult>> pending;
+  pending.reserve(repeat);
+  for (unsigned long i = 0; i < repeat; ++i) {
+    pending.push_back(service.submit(chain.value()[0], &pool, options));
+  }
+  for (auto& future : pending) (void)future.get();
+
+  std::string feed_dir = flag_value(argc, argv, "--feed", "");
+  if (!feed_dir.empty()) {
+    std::string now_text = flag_value(argc, argv, "--now", "");
+    std::int64_t now = 0;
+    if (now_text.empty() || !parse_iso8601(now_text, now)) {
+      std::fprintf(stderr, "error: --feed requires --now <iso8601>\n");
+      return 2;
+    }
+    auto name = feed_name_of(feed_dir);
+    auto run = load_feed(feed_dir);
+    if (!name || !run) {
+      std::fprintf(stderr, "error: %s\n",
+                   (!name ? name.error() : run.error()).c_str());
+      return 1;
+    }
+    FileFeedTransport transport(name.value(), std::move(run).take());
+    rsf::RsfClient client(transport, /*poll_interval=*/3600);
+    client.poll_now(now);
+  }
+
+  (void)service.stats();  // refreshes the queue-depth gauge
+  const std::string exposition = metrics::Registry::global().expose();
+  std::fwrite(exposition.data(), 1, exposition.size(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -783,5 +897,6 @@ int main(int argc, char** argv) {
   if (command == "feed-verify") return cmd_feed_verify(rest_argc, rest_argv);
   if (command == "feed-apply") return cmd_feed_apply(rest_argc, rest_argv);
   if (command == "feed-status") return cmd_feed_status(rest_argc, rest_argv);
+  if (command == "metrics") return cmd_metrics(rest_argc, rest_argv);
   return usage();
 }
