@@ -20,7 +20,7 @@
 #include <map>
 #include <mutex>
 
-#include "chain/daemon.hpp"
+#include "anchord/daemon.hpp"
 #include "chain/service.hpp"
 #include "corpus/corpus.hpp"
 #include "incidents/listings.hpp"
@@ -123,7 +123,10 @@ BENCHMARK(BM_Validate_UserAgentGcc);
 void BM_Validate_PlatformDaemon(benchmark::State& state) {
   const Fixture& f = fixture();
   const auto latency_ns = static_cast<std::uint64_t>(state.range(0));
-  chain::TrustDaemon daemon(f.store_gcc, f.corpus.signatures(), latency_ns);
+  anchord::TrustDaemon daemon(anchord::TrustDaemonConfig{
+      .store = &f.store_gcc,
+      .scheme = &f.corpus.signatures(),
+      .latency_ns = latency_ns});
   chain::ChainVerifier verifier(f.store_gcc, f.corpus.signatures());
   verifier.set_gcc_hook([&daemon](const core::Chain& chain,
                                   std::string_view usage,
@@ -229,15 +232,18 @@ void BM_Validate_PlatformDaemonService(benchmark::State& state) {
   const auto latency_ns = static_cast<std::uint64_t>(state.range(0));
   // One shared daemon per latency point, never deleted (threads from a
   // previous measurement may still hold the pointer briefly).
-  static std::map<std::uint64_t, chain::TrustDaemon*> daemons;
+  static std::map<std::uint64_t, anchord::TrustDaemon*> daemons;
   static std::mutex daemon_mu;
-  chain::TrustDaemon* daemon;
+  anchord::TrustDaemon* daemon;
   {
     std::lock_guard<std::mutex> lock(daemon_mu);
-    chain::TrustDaemon*& slot = daemons[latency_ns];
+    anchord::TrustDaemon*& slot = daemons[latency_ns];
     if (slot == nullptr) {
-      slot = new chain::TrustDaemon(f.store_gcc, f.corpus.signatures(),
-                                    latency_ns, &shared_service());
+      slot = new anchord::TrustDaemon(anchord::TrustDaemonConfig{
+          .store = &f.store_gcc,
+          .scheme = &f.corpus.signatures(),
+          .latency_ns = latency_ns,
+          .service = &shared_service()});
     }
     daemon = slot;
   }
@@ -272,7 +278,10 @@ BENCHMARK(BM_Validate_PlatformDaemonService)
 void BM_Validate_DaemonRedesign(benchmark::State& state) {
   const Fixture& f = fixture();
   const auto latency_ns = static_cast<std::uint64_t>(state.range(0));
-  chain::TrustDaemon daemon(f.store_gcc, f.corpus.signatures(), latency_ns);
+  anchord::TrustDaemon daemon(anchord::TrustDaemonConfig{
+      .store = &f.store_gcc,
+      .scheme = &f.corpus.signatures(),
+      .latency_ns = latency_ns});
   std::size_t i = 0;
   for (auto _ : state) {
     std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];

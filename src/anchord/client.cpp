@@ -1,0 +1,75 @@
+#include "anchord/client.hpp"
+
+#include <chrono>
+
+#include "net/transport.hpp"
+
+namespace anchor::anchord {
+
+AnchordClient::AnchordClient(Conduit& conduit, int timeout_ms)
+    : conduit_(conduit), timeout_ms_(timeout_ms) {}
+
+Result<std::uint64_t> AnchordClient::send(Request request) {
+  request.correlation_id = next_id_++;
+  const Bytes frame = net::encode_frame(encode_request(request));
+  if (!conduit_.write(BytesView(frame))) {
+    return err("anchord: connection closed while sending");
+  }
+  return request.correlation_id;
+}
+
+Result<Response> AnchordClient::receive(std::uint64_t correlation_id) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms_);
+  for (;;) {
+    auto it = pending_.find(correlation_id);
+    if (it != pending_.end()) {
+      Response response = std::move(it->second);
+      pending_.erase(it);
+      return response;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return err("anchord: timed out waiting for response " +
+                 std::to_string(correlation_id));
+    }
+    Status pumped = pump();
+    if (!pumped) return err(pumped.error());
+  }
+}
+
+Result<Response> AnchordClient::call(Request request) {
+  auto id = send(std::move(request));
+  if (!id) return err(id.error());
+  return receive(id.value());
+}
+
+Status AnchordClient::pump() {
+  // Decode whatever is already buffered first; read only when starved.
+  for (;;) {
+    auto decoded = net::decode_frame(buffer_);
+    if (!decoded) {
+      // The server never sends malformed frames; a decode error here means
+      // the stream is unrecoverable for this client.
+      return err("anchord: broken response stream: " + decoded.error());
+    }
+    if (!decoded.value().complete) break;
+    net::Message message = std::move(decoded.value().message);
+    if (message.type == net::MsgType::kAlert) {
+      ++alerts_;
+      last_alert_ = anchor::to_string(BytesView(message.payload));
+      continue;
+    }
+    auto response = decode_response(message);
+    if (!response) {
+      return err("anchord: undecodable response: " + response.error());
+    }
+    Response r = std::move(response).take();
+    pending_[r.correlation_id] = std::move(r);
+    return Status::ok_status();
+  }
+  const int n = conduit_.read_some(buffer_, 4096, timeout_ms_);
+  if (n < 0) return err("anchord: connection closed");
+  return Status::ok_status();  // n == 0 is a timeout tick; caller re-checks
+}
+
+}  // namespace anchor::anchord

@@ -1,0 +1,55 @@
+// Client side of the anchord wire protocol: assigns correlation ids,
+// frames requests, and matches responses back to ids regardless of the
+// order the server answers in (responses to pipelined requests may
+// interleave arbitrarily).
+//
+// Not thread-safe — one AnchordClient per thread/connection, which matches
+// how anchorctl and the bench use it. kAlert frames from the server are
+// recorded (last_alert()) and skipped, mirroring the server's own
+// keep-the-session-alive stance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "anchord/conduit.hpp"
+#include "anchord/wire.hpp"
+
+namespace anchor::anchord {
+
+class AnchordClient {
+ public:
+  // `conduit` must outlive the client. `timeout_ms` bounds each receive
+  // wait (err on expiry, the connection stays usable).
+  explicit AnchordClient(Conduit& conduit, int timeout_ms = 5000);
+
+  // Fire-and-forget send for pipelining; returns the assigned correlation
+  // id (overwriting whatever id the caller set). err if the peer closed.
+  Result<std::uint64_t> send(Request request);
+
+  // Blocks until the response with `correlation_id` arrives, buffering any
+  // other responses that land first.
+  Result<Response> receive(std::uint64_t correlation_id);
+
+  // Convenience: send + receive.
+  Result<Response> call(Request request);
+
+  std::size_t pending() const { return pending_.size(); }
+  const std::string& last_alert() const { return last_alert_; }
+  std::uint64_t alerts() const { return alerts_; }
+
+ private:
+  // Reads until at least one frame decodes or the timeout expires.
+  Status pump();
+
+  Conduit& conduit_;
+  int timeout_ms_;
+  std::uint64_t next_id_ = 1;
+  Bytes buffer_;
+  std::map<std::uint64_t, Response> pending_;  // arrived, not yet claimed
+  std::string last_alert_;
+  std::uint64_t alerts_ = 0;
+};
+
+}  // namespace anchor::anchord

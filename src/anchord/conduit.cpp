@@ -1,0 +1,148 @@
+#include "anchord/conduit.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+namespace anchor::anchord {
+
+namespace {
+
+// --- in-memory pair -------------------------------------------------------
+
+// One direction of the pipe. Writers append under the lock; readers wait
+// on the condvar. `closed` means no more bytes will ever arrive (either
+// endpoint closed), but already-buffered bytes still drain.
+struct PipeDir {
+  std::mutex mu;
+  std::condition_variable cv;
+  Bytes buf;
+  bool closed = false;
+};
+
+class MemoryEndpoint final : public Conduit {
+ public:
+  MemoryEndpoint(std::shared_ptr<PipeDir> incoming,
+                 std::shared_ptr<PipeDir> outgoing)
+      : incoming_(std::move(incoming)), outgoing_(std::move(outgoing)) {}
+
+  ~MemoryEndpoint() override { close(); }
+
+  bool write(BytesView data) override {
+    std::lock_guard<std::mutex> lock(outgoing_->mu);
+    if (outgoing_->closed) return false;
+    append(outgoing_->buf, data);
+    outgoing_->cv.notify_all();
+    return true;
+  }
+
+  int read_some(Bytes& out, std::size_t max, int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(incoming_->mu);
+    incoming_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+      return !incoming_->buf.empty() || incoming_->closed;
+    });
+    if (incoming_->buf.empty()) return incoming_->closed ? -1 : 0;
+    const std::size_t n = std::min(max, incoming_->buf.size());
+    out.insert(out.end(), incoming_->buf.begin(),
+               incoming_->buf.begin() + static_cast<std::ptrdiff_t>(n));
+    incoming_->buf.erase(incoming_->buf.begin(),
+                         incoming_->buf.begin() + static_cast<std::ptrdiff_t>(n));
+    return static_cast<int>(n);
+  }
+
+  void close() override {
+    for (const auto& dir : {incoming_, outgoing_}) {
+      std::lock_guard<std::mutex> lock(dir->mu);
+      dir->closed = true;
+      dir->cv.notify_all();
+    }
+  }
+
+ private:
+  std::shared_ptr<PipeDir> incoming_;
+  std::shared_ptr<PipeDir> outgoing_;
+};
+
+// --- socketpair pair ------------------------------------------------------
+
+class FdEndpoint final : public Conduit {
+ public:
+  explicit FdEndpoint(int fd) : fd_(fd) {}
+
+  ~FdEndpoint() override {
+    close();
+    ::close(fd_);  // shutdown() in close() already unblocked any poller
+  }
+
+  bool write(BytesView data) override {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      // MSG_NOSIGNAL: a closed peer must surface as false, not SIGPIPE.
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  int read_some(Bytes& out, std::size_t max, int timeout_ms) override {
+    struct pollfd pfd {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return 0;                       // timeout
+    if (rc < 0) return errno == EINTR ? 0 : -1;  // treat EINTR as a tick
+    Bytes chunk(max);
+    const ssize_t n = ::recv(fd_, chunk.data(), max, 0);
+    if (n <= 0) return -1;  // EOF or error: end-of-stream either way
+    out.insert(out.end(), chunk.begin(),
+               chunk.begin() + static_cast<std::ptrdiff_t>(n));
+    return static_cast<int>(n);
+  }
+
+  void close() override {
+    bool expected = false;
+    if (shut_.compare_exchange_strong(expected, true)) {
+      // shutdown, not ::close: the fd stays valid (a concurrent poll()er
+      // must never see it recycled); the descriptor is released in the
+      // destructor only.
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+ private:
+  const int fd_;
+  std::atomic<bool> shut_{false};
+};
+
+}  // namespace
+
+ConduitPair make_memory_conduit() {
+  auto a_to_b = std::make_shared<PipeDir>();
+  auto b_to_a = std::make_shared<PipeDir>();
+  return {std::make_unique<MemoryEndpoint>(b_to_a, a_to_b),
+          std::make_unique<MemoryEndpoint>(a_to_b, b_to_a)};
+}
+
+Result<ConduitPair> make_socketpair_conduit() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return err(std::string("anchord: socketpair: ") + std::strerror(errno));
+  }
+  return ConduitPair{std::make_unique<FdEndpoint>(fds[0]),
+                     std::make_unique<FdEndpoint>(fds[1])};
+}
+
+}  // namespace anchor::anchord

@@ -1,0 +1,111 @@
+// Deployment-model simulation for §3.1 of the paper, which weighs three
+// options for who executes GCCs:
+//
+//   1. user-agent execution  — ChainVerifier's default in-process hook;
+//   2. platform execution    — a trustd-style daemon with an IPC interface
+//                              that "accepts certificates and returns a
+//                              Boolean";
+//   3. complete redesign     — the daemon performs full chain construction
+//                              (the Hammurabi model).
+//
+// TrustDaemon models options 2 and 3 in-process but honestly — more
+// honestly than its first incarnation: every call is now marshalled
+// through the real anchord wire codec (encode_request → frame → decode →
+// dispatch → encode_response → frame → decode), so the serialization cost
+// a deployed daemon would pay is the serialization cost the bench
+// measures, and request/response limits are the codec's limits. A
+// configurable spin-wait per leg stands in for kernel round-trip latency;
+// bench E9 sweeps it.
+//
+// With a VerifyService attached the daemon is a thin adapter over
+// VerbDispatcher — the same execution path AnchordServer serves over a
+// Conduit — and is safe for concurrent callers. Without one it falls back
+// to uncached in-process execution (fresh parse per call), preserving the
+// E9 "cold daemon" baseline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "anchord/dispatch.hpp"
+#include "anchord/wire.hpp"
+#include "chain/service.hpp"
+
+namespace anchor::anchord {
+
+struct TrustDaemonConfig {
+  const rootstore::RootStore* store = nullptr;   // required
+  const SignatureScheme* scheme = nullptr;       // required
+  // Simulated IPC latency added per call leg (0 = colocated daemon).
+  std::uint64_t latency_ns = 0;
+  // Shared machine-wide service; null selects the uncached fallback.
+  chain::VerifyService* service = nullptr;
+  // RSF client behind the feed-status verb; null answers kUnavailable.
+  rsf::RsfClient* feed = nullptr;
+  // Per-call marshalled-size limit; requests or responses whose encoded
+  // frame exceeds it fail closed as kMalformedRequest / are truncated to a
+  // diagnostic, mirroring the codec cap a real transport enforces.
+  std::size_t max_frame_bytes = net::kMaxFrameBytes;
+};
+
+class TrustDaemon {
+ public:
+  explicit TrustDaemon(TrustDaemonConfig config);
+
+  // Positional form kept for one PR so out-of-tree callers migrate on
+  // their own schedule; delegates to the config constructor.
+  [[deprecated("use TrustDaemon(TrustDaemonConfig)")]]
+  TrustDaemon(const rootstore::RootStore& store, const SignatureScheme& scheme,
+              std::uint64_t latency_ns = 0,
+              chain::VerifyService* service = nullptr)
+      : TrustDaemon(TrustDaemonConfig{&store, &scheme, latency_ns, service}) {}
+
+  // Option 2: the user-agent built a candidate chain; the daemon executes
+  // the GCCs attached to its root. Input is the chain as DER blobs
+  // (leaf-first), as they cross the wire.
+  bool evaluate_gccs(std::span<const Bytes> chain_der, std::string_view usage);
+
+  // Option 3: full validation inside the daemon. The accepted path comes
+  // back as DER and is re-parsed into VerifyResult::chain; rejected-path
+  // diagnostics do not cross the wire (kind/error do).
+  chain::VerifyResult validate(const Bytes& leaf_der,
+                               std::span<const Bytes> intermediates_der,
+                               const chain::VerifyOptions& options);
+
+  // Observability verb: `anchorctl metrics`-style scrape over the same
+  // wire surface, refreshed with the daemon's store gauges first.
+  std::string metrics(
+      metrics::Registry& registry = metrics::Registry::global());
+
+  // RSF liveness over the wire surface; kUnavailable without a feed.
+  Response feed_status();
+
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void simulate_ipc_latency() const;
+  // Marshals through the frame codec (the honesty mechanism); err when the
+  // encoded frame exceeds the configured cap or fails to re-decode.
+  Result<Request> marshal_request(const Request& request) const;
+  Result<Response> marshal_response(const Response& response) const;
+  // Runs a decoded request: dispatcher when a service is attached,
+  // uncached in-process execution otherwise.
+  Response execute(const Request& request, metrics::Registry* registry);
+  Response execute_fallback(const Request& request,
+                            metrics::Registry* registry);
+  // Full wire round trip: request leg, execute, response leg.
+  Response roundtrip(const Request& request,
+                     metrics::Registry* registry = nullptr);
+
+  TrustDaemonConfig config_;
+  std::atomic<std::uint64_t> calls_{0};
+  core::GccExecutor executor_;  // fallback mode only
+  std::optional<VerbDispatcher> dispatcher_;
+};
+
+}  // namespace anchor::anchord

@@ -1,0 +1,143 @@
+#include "anchord/dispatch.hpp"
+
+#include <cassert>
+
+namespace anchor::anchord {
+
+namespace {
+
+Response base_response(const Request& request) {
+  Response response;
+  response.correlation_id = request.correlation_id;
+  response.verb = request.verb;
+  return response;
+}
+
+Response fail(const Request& request, chain::ErrorKind kind,
+              std::string detail) {
+  Response response = base_response(request);
+  response.ok = false;
+  response.kind = kind;
+  response.detail = std::move(detail);
+  return response;
+}
+
+}  // namespace
+
+VerbDispatcher::VerbDispatcher(Backends backends)
+    : backends_(backends) {
+  assert(backends_.service != nullptr);
+  if (backends_.registry == nullptr) {
+    backends_.registry = &metrics::Registry::global();
+  }
+}
+
+Response VerbDispatcher::dispatch(const Request& request,
+                                  metrics::Registry* registry_override) {
+  switch (request.verb) {
+    case Verb::kVerify:
+      return do_verify(request);
+    case Verb::kEvaluateGccs:
+      return do_evaluate_gccs(request);
+    case Verb::kMetrics:
+      return do_metrics(request, registry_override != nullptr
+                                     ? *registry_override
+                                     : *backends_.registry);
+    case Verb::kFeedStatus:
+      return do_feed_status(request);
+  }
+  return fail(request, chain::ErrorKind::kMalformedRequest, "unknown verb");
+}
+
+Response VerbDispatcher::do_verify(const Request& request) {
+  if (request.leaf_der.empty()) {
+    return fail(request, chain::ErrorKind::kMalformedRequest,
+                "verify: empty leaf certificate");
+  }
+  chain::VerifyOptions options;
+  if (request.usage == chain::usage_name(chain::Usage::kTls)) {
+    options.usage = chain::Usage::kTls;
+  } else if (request.usage == chain::usage_name(chain::Usage::kSmime)) {
+    options.usage = chain::Usage::kSmime;
+  } else {
+    return fail(request, chain::ErrorKind::kMalformedRequest,
+                "verify: unknown usage '" + request.usage + "'");
+  }
+  options.time = request.time;
+  options.hostname = request.hostname;
+  options.max_depth = request.max_depth;
+  options.require_ev = request.require_ev;
+  options.check_signatures = request.check_signatures;
+  options.run_gccs = request.run_gccs;
+
+  chain::VerifyResult result = backends_.service->validate(
+      request.leaf_der, request.intermediates_der, options);
+
+  Response response = base_response(request);
+  response.ok = result.ok;
+  response.kind = result.kind;
+  response.detail = result.error;
+  response.stats.chain_len = static_cast<std::uint32_t>(result.chain.size());
+  response.stats.paths_explored = result.paths_explored;
+  response.stats.gccs_evaluated = result.gcc_verdict.gccs_evaluated;
+  response.stats.facts_encoded = result.gcc_verdict.facts_encoded;
+  response.stats.epoch = backends_.service->epoch();
+  response.chain_der.reserve(result.chain.size());
+  for (const auto& cert : result.chain) {
+    response.chain_der.push_back(cert->der());
+  }
+  return response;
+}
+
+Response VerbDispatcher::do_evaluate_gccs(const Request& request) {
+  // The wire carries the caller-built chain as leaf + intermediates; the
+  // service wants one leaf-first span.
+  if (request.leaf_der.empty()) {
+    return fail(request, chain::ErrorKind::kMalformedRequest,
+                "evaluate-gccs: empty leaf certificate");
+  }
+  std::vector<Bytes> chain_der;
+  chain_der.reserve(1 + request.intermediates_der.size());
+  chain_der.push_back(request.leaf_der);
+  for (const Bytes& der : request.intermediates_der) {
+    chain_der.push_back(der);
+  }
+  chain::VerifyService::GccsOutcome outcome =
+      backends_.service->evaluate_gccs_detail(chain_der, request.usage);
+
+  Response response = base_response(request);
+  response.ok = outcome.allowed;
+  response.kind = outcome.kind;
+  response.detail = outcome.detail;
+  response.stats.chain_len = static_cast<std::uint32_t>(chain_der.size());
+  response.stats.gccs_evaluated = outcome.verdict.gccs_evaluated;
+  response.stats.facts_encoded = outcome.verdict.facts_encoded;
+  response.stats.epoch = backends_.service->epoch();
+  return response;
+}
+
+Response VerbDispatcher::do_metrics(const Request& request,
+                                    metrics::Registry& registry) {
+  if (backends_.store != nullptr) {
+    rootstore::export_store_metrics(*backends_.store, registry);
+  }
+  Response response = base_response(request);
+  response.ok = true;
+  response.detail = registry.expose();
+  response.stats.epoch = backends_.service->epoch();
+  return response;
+}
+
+Response VerbDispatcher::do_feed_status(const Request& request) {
+  if (backends_.feed == nullptr) {
+    return fail(request, chain::ErrorKind::kUnavailable,
+                "feed-status: no RSF client attached to this daemon");
+  }
+  Response response = base_response(request);
+  response.ok = true;
+  response.detail = backends_.feed->feed_status().to_text();
+  response.stats.epoch = backends_.service->epoch();
+  return response;
+}
+
+}  // namespace anchor::anchord

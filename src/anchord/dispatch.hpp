@@ -1,0 +1,48 @@
+// Verb execution for anchord. One dispatcher instance is the single
+// place where a decoded wire Request turns into backend calls — the
+// session server, the in-process TrustDaemon adapter, and anchorctl's
+// client verbs all converge here, which is what makes "byte-identical
+// verdicts between the wire path and the direct VerifyService path" a
+// testable property instead of an aspiration.
+#pragma once
+
+#include <string>
+
+#include "anchord/wire.hpp"
+#include "chain/service.hpp"
+#include "rsf/client.hpp"
+#include "util/metrics.hpp"
+
+namespace anchor::anchord {
+
+class VerbDispatcher {
+ public:
+  struct Backends {
+    chain::VerifyService* service = nullptr;         // required
+    // Refreshed into the registry before a kMetrics exposition so a scrape
+    // always reflects the store currently being served. Optional.
+    const rootstore::RootStore* store = nullptr;
+    rsf::RsfClient* feed = nullptr;                  // kFeedStatus; optional
+    metrics::Registry* registry = nullptr;           // default: global()
+  };
+
+  explicit VerbDispatcher(Backends backends);
+
+  // Executes one request and always produces a response (errors are
+  // classified into ErrorKind, never thrown). Thread-safe: the backends
+  // are (VerifyService serves concurrent callers; the registry locks
+  // registration). `registry_override` lets TrustDaemon::metrics keep its
+  // per-call registry parameter; everything else uses the backend one.
+  Response dispatch(const Request& request,
+                    metrics::Registry* registry_override = nullptr);
+
+ private:
+  Response do_verify(const Request& request);
+  Response do_evaluate_gccs(const Request& request);
+  Response do_metrics(const Request& request, metrics::Registry& registry);
+  Response do_feed_status(const Request& request);
+
+  Backends backends_;
+};
+
+}  // namespace anchor::anchord

@@ -1,0 +1,210 @@
+#include "anchord/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace anchor::anchord {
+
+namespace {
+const metrics::Labels kNoLabels;
+}  // namespace
+
+// Per-connection state, living on serve()'s stack: a write lock so
+// concurrently-finishing handlers interleave whole frames (never bytes),
+// and an outstanding-count that serve() drains before returning so the
+// stack frame outlives every handler that references it.
+struct AnchordServer::Session {
+  Conduit* conduit = nullptr;
+  std::mutex write_mu;
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  std::size_t outstanding = 0;  // guarded by idle_mu
+
+  bool send(const Bytes& frame) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    return conduit->write(BytesView(frame));
+  }
+  void begin() {
+    std::lock_guard<std::mutex> lock(idle_mu);
+    ++outstanding;
+  }
+  void done() {
+    // Notify under the lock: the session is destroyed the moment
+    // wait_idle() observes outstanding == 0, so the notify must complete
+    // before this thread releases idle_mu (a post-unlock notify races the
+    // destructor).
+    std::lock_guard<std::mutex> lock(idle_mu);
+    --outstanding;
+    idle_cv.notify_all();
+  }
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(idle_mu);
+    idle_cv.wait(lock, [&] { return outstanding == 0; });
+  }
+};
+
+AnchordServer::AnchordServer(VerbDispatcher::Backends backends,
+                             AnchordConfig config,
+                             metrics::Registry& registry)
+    : dispatcher_(backends),
+      config_(std::move(config)),
+      pool_(config_.workers),
+      m_connections_(registry.counter("anchor_anchord_connections_total")),
+      m_req_verify_(registry.counter("anchor_anchord_requests_total",
+                                     {{"verb", "verify"}})),
+      m_req_gccs_(registry.counter("anchor_anchord_requests_total",
+                                   {{"verb", "evaluate-gccs"}})),
+      m_req_metrics_(registry.counter("anchor_anchord_requests_total",
+                                      {{"verb", "metrics"}})),
+      m_req_feed_(registry.counter("anchor_anchord_requests_total",
+                                   {{"verb", "feed-status"}})),
+      m_overloads_(registry.counter("anchor_anchord_overloads_total")),
+      m_timeouts_(registry.counter("anchor_anchord_timeouts_total")),
+      m_malformed_(registry.counter("anchor_anchord_malformed_total")),
+      m_alerts_(registry.counter("anchor_anchord_alerts_total")),
+      m_bytes_read_(registry.counter("anchor_anchord_bytes_read_total")),
+      m_bytes_written_(registry.counter("anchor_anchord_bytes_written_total")),
+      m_in_flight_(registry.gauge("anchor_anchord_in_flight")),
+      m_queue_depth_(registry.gauge("anchor_anchord_queue_depth")),
+      m_serve_latency_(registry.histogram("anchor_anchord_serve_seconds")) {}
+
+void AnchordServer::serve(Conduit& conduit) {
+  m_connections_.add();
+  Session session;
+  session.conduit = &conduit;
+  Bytes buffer;
+  std::size_t skip_remaining = 0;
+  for (;;) {
+    const int n =
+        conduit.read_some(buffer, config_.read_chunk, config_.idle_poll_ms);
+    if (n < 0) break;    // peer closed and drained
+    if (n == 0) continue;  // idle tick
+    m_bytes_read_.add(static_cast<std::uint64_t>(n));
+    if (!drain_buffer(session, buffer, skip_remaining)) break;
+    if (buffer.size() > config_.max_buffer_bytes) {
+      // Unframed backlog beyond the cap: framing can no longer be
+      // trusted, and this is the one condition that tears a session down.
+      send_alert(session, "anchord: session buffer limit exceeded");
+      break;
+    }
+  }
+  session.wait_idle();
+}
+
+bool AnchordServer::drain_buffer(Session& session, Bytes& buffer,
+                                 std::size_t& skip_remaining) {
+  for (;;) {
+    if (skip_remaining > 0) {
+      // Discard mode: eat the remainder of a frame we alerted on.
+      const std::size_t n = std::min(skip_remaining, buffer.size());
+      buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n));
+      skip_remaining -= n;
+      if (skip_remaining > 0) return true;  // more to discard as it arrives
+    }
+    auto decoded = net::decode_frame(buffer);
+    if (!decoded) {
+      // decode_frame consumed nothing, so the 5-byte header is still at
+      // the front: its declared length tells us exactly how many bytes to
+      // skip to stay in sync, whatever was wrong with the frame.
+      if (buffer.size() < 5) return true;  // defensive; decode can't fail here
+      std::uint32_t length = 0;
+      for (std::size_t i = 1; i <= 4; ++i) length = length << 8 | buffer[i];
+      send_alert(session, decoded.error());
+      skip_remaining = 5 + static_cast<std::size_t>(length);
+      continue;
+    }
+    if (!decoded.value().complete) return true;
+    on_message(session, std::move(decoded.value().message));
+  }
+}
+
+void AnchordServer::on_message(Session& session, net::Message message) {
+  if (message.type != net::MsgType::kRequest) {
+    // A well-framed message that is not a request (a stray handshake
+    // frame, a response echoed back): protocol violation, session lives.
+    send_alert(session, "anchord: unexpected frame type " +
+                            std::to_string(static_cast<int>(message.type)));
+    return;
+  }
+  auto request = decode_request(message);
+  if (!request) {
+    m_malformed_.add();
+    Response response;
+    response.correlation_id = peek_correlation_id(BytesView(message.payload));
+    response.kind = chain::ErrorKind::kMalformedRequest;
+    response.detail = request.error();
+    const Bytes frame = net::encode_frame(encode_response(response));
+    m_bytes_written_.add(frame.size());
+    session.send(frame);
+    return;
+  }
+  admit(session, std::move(request).take());
+}
+
+void AnchordServer::admit(Session& session, Request request) {
+  const std::size_t admitted =
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (admitted >= config_.max_in_flight) {
+    // Fail closed, synchronously: the client gets an explicit kOverloaded
+    // verdict it can retry on, not a stalled or dropped request.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    m_overloads_.add();
+    Response response;
+    response.correlation_id = request.correlation_id;
+    response.verb = request.verb;
+    response.kind = chain::ErrorKind::kOverloaded;
+    response.detail = "anchord: in-flight bound (" +
+                      std::to_string(config_.max_in_flight) + ") reached";
+    const Bytes frame = net::encode_frame(encode_response(response));
+    m_bytes_written_.add(frame.size());
+    session.send(frame);
+    return;
+  }
+  m_in_flight_.set(static_cast<std::int64_t>(admitted + 1));
+  switch (request.verb) {
+    case Verb::kVerify: m_req_verify_.add(); break;
+    case Verb::kEvaluateGccs: m_req_gccs_.add(); break;
+    case Verb::kMetrics: m_req_metrics_.add(); break;
+    case Verb::kFeedStatus: m_req_feed_.add(); break;
+  }
+  const auto deadline =
+      config_.request_timeout_ms > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(config_.request_timeout_ms)
+          : std::chrono::steady_clock::time_point::max();
+  session.begin();
+  pool_.post([this, &session, request = std::move(request), deadline] {
+    if (config_.handler_gate) config_.handler_gate();
+    Response response;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      m_timeouts_.add();
+      response.correlation_id = request.correlation_id;
+      response.verb = request.verb;
+      response.kind = chain::ErrorKind::kTimeout;
+      response.detail = "anchord: deadline expired before execution";
+    } else {
+      metrics::ScopedTimer timer(m_serve_latency_);
+      response = dispatcher_.dispatch(request);
+    }
+    const Bytes frame = net::encode_frame(encode_response(response));
+    m_bytes_written_.add(frame.size());
+    session.send(frame);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    m_in_flight_.set(static_cast<std::int64_t>(
+        in_flight_.load(std::memory_order_relaxed)));
+    session.done();
+  });
+  m_queue_depth_.set(static_cast<std::int64_t>(pool_.queue_depth()));
+}
+
+void AnchordServer::send_alert(Session& session, const std::string& reason) {
+  m_alerts_.add();
+  net::Message message;
+  message.type = net::MsgType::kAlert;
+  message.payload = to_bytes(reason);
+  const Bytes frame = net::encode_frame(message);
+  m_bytes_written_.add(frame.size());
+  session.send(frame);
+}
+
+}  // namespace anchor::anchord

@@ -1,0 +1,112 @@
+// The anchord serving layer: a concurrent session loop speaking the framed
+// wire protocol over a Conduit, executing verbs on a worker pool.
+//
+// Serving semantics (each has a dedicated test in anchord_test.cpp):
+//
+//   * Pipelining — a session decodes frames as bytes arrive and admits
+//     every complete request immediately; responses are written as their
+//     handlers finish, in any order, matched by correlation id.
+//   * Fail-closed overload — admissions are bounded by
+//     `max_in_flight` across the whole daemon. A request over the bound is
+//     answered *synchronously* with kOverloaded (and counted), never
+//     silently dropped and never queued unboundedly: a trust daemon that
+//     stalls silently under load turns every client timeout into a policy
+//     decision made by nobody.
+//   * Request timeouts — with `request_timeout_ms` set, a request whose
+//     deadline passed before its handler ran is answered kTimeout without
+//     touching the verifier (the work it would do is already worthless).
+//   * Session robustness — an oversized or unknown-type frame is answered
+//     with a kAlert frame and *skipped* (the declared length tells the
+//     loop how many bytes to discard), keeping the session alive; only a
+//     session whose buffered-but-unframed bytes exceed `max_buffer_bytes`
+//     is torn down, because at that point framing itself can't be trusted.
+//   * Bounded reads — bytes are pulled `read_chunk` at a time and complete
+//     frames are consumed eagerly, so one connection cannot force the
+//     server to buffer more than `max_buffer_bytes` + one chunk.
+//
+// Threading: serve() blocks for the life of one connection and is safe to
+// call concurrently from many threads (one per connection, as the tests
+// and bench do). Handler execution is shared: all sessions submit to one
+// worker pool. serve() returns only after every response it admitted has
+// been written, so per-session state lives on serve()'s stack.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "anchord/conduit.hpp"
+#include "anchord/dispatch.hpp"
+#include "anchord/wire.hpp"
+#include "util/metrics.hpp"
+#include "util/threadpool.hpp"
+
+namespace anchor::anchord {
+
+struct AnchordConfig {
+  std::size_t workers = 4;             // handler pool size
+  std::size_t max_in_flight = 64;      // daemon-wide admission bound
+  int request_timeout_ms = 0;          // 0 = no deadline
+  std::size_t read_chunk = 4096;       // per-read_some byte cap
+  std::size_t max_buffer_bytes = 1 << 22;  // unframed-bytes cap per session
+  int idle_poll_ms = 50;               // read_some timeout granularity
+  // Test seam: runs at the start of every handler, before the deadline
+  // check. Lets the robustness tests hold requests in flight (overload)
+  // or past their deadline (timeout) deterministically.
+  std::function<void()> handler_gate;
+};
+
+class AnchordServer {
+ public:
+  AnchordServer(VerbDispatcher::Backends backends, AnchordConfig config = {},
+                metrics::Registry& registry = metrics::Registry::global());
+
+  AnchordServer(const AnchordServer&) = delete;
+  AnchordServer& operator=(const AnchordServer&) = delete;
+
+  // Serves one connection until the peer closes (or the session is torn
+  // down); returns after all admitted responses are written. The Conduit
+  // must outlive the call. Destroy the server only after every serve()
+  // call has returned.
+  void serve(Conduit& conduit);
+
+  // Instantaneous admission level (load signal for tests and anchorctl).
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Session;
+
+  // Decodes and handles every complete frame in `buffer`. Returns false
+  // when the session must be torn down.
+  bool drain_buffer(Session& session, Bytes& buffer,
+                    std::size_t& skip_remaining);
+  void on_message(Session& session, net::Message message);
+  void admit(Session& session, Request request);
+  void send_alert(Session& session, const std::string& reason);
+
+  VerbDispatcher dispatcher_;
+  AnchordConfig config_;
+  ThreadPool pool_;
+  std::atomic<std::size_t> in_flight_{0};
+
+  metrics::Counter& m_connections_;
+  metrics::Counter& m_req_verify_;
+  metrics::Counter& m_req_gccs_;
+  metrics::Counter& m_req_metrics_;
+  metrics::Counter& m_req_feed_;
+  metrics::Counter& m_overloads_;
+  metrics::Counter& m_timeouts_;
+  metrics::Counter& m_malformed_;
+  metrics::Counter& m_alerts_;
+  metrics::Counter& m_bytes_read_;
+  metrics::Counter& m_bytes_written_;
+  metrics::Gauge& m_in_flight_;
+  metrics::Gauge& m_queue_depth_;
+  metrics::Histogram& m_serve_latency_;
+};
+
+}  // namespace anchor::anchord

@@ -1,0 +1,238 @@
+#include "anchord/wire.hpp"
+
+#include <algorithm>
+
+namespace anchor::anchord {
+
+namespace {
+
+// --- encoding -------------------------------------------------------------
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i64(Bytes& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_str(Bytes& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_blob(Bytes& out, const Bytes& b) {
+  put_u32(out, static_cast<std::uint32_t>(b.size()));
+  append(out, BytesView(b));
+}
+
+void put_list(Bytes& out, const std::vector<Bytes>& items) {
+  put_u32(out, static_cast<std::uint32_t>(items.size()));
+  for (const Bytes& item : items) put_blob(out, item);
+}
+
+// --- decoding -------------------------------------------------------------
+
+// Forward-only cursor over a payload. Every get_* fails sticky: once
+// `failed` is set nothing more is consumed and the caller reports one
+// error for the whole payload.
+struct Cursor {
+  BytesView data;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  bool take(std::size_t n) {
+    if (failed || data.size() - pos < n) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint8_t get_u8() {
+    if (!take(1)) return 0;
+    return data[pos++];
+  }
+
+  std::uint32_t get_u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = v << 8 | data[pos++];
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = v << 8 | data[pos++];
+    return v;
+  }
+
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+  std::string get_str() {
+    const std::uint32_t len = get_u32();
+    if (!take(len)) return {};
+    std::string s(reinterpret_cast<const char*>(data.data() + pos), len);
+    pos += len;
+    return s;
+  }
+
+  Bytes get_blob() {
+    const std::uint32_t len = get_u32();
+    if (!take(len)) return {};
+    Bytes b(data.begin() + static_cast<std::ptrdiff_t>(pos),
+            data.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    return b;
+  }
+
+  std::vector<Bytes> get_list() {
+    const std::uint32_t count = get_u32();
+    std::vector<Bytes> items;
+    // Cap reservation by what could plausibly fit (each entry needs its
+    // 4-byte length) so a lying count cannot drive a huge allocation.
+    items.reserve(std::min<std::size_t>(count, (data.size() - pos) / 4 + 1));
+    for (std::uint32_t i = 0; i < count && !failed; ++i) {
+      items.push_back(get_blob());
+    }
+    return items;
+  }
+
+  bool done() const { return !failed && pos == data.size(); }
+};
+
+bool valid_verb(std::uint8_t v) {
+  return v >= static_cast<std::uint8_t>(Verb::kVerify) &&
+         v <= static_cast<std::uint8_t>(Verb::kFeedStatus);
+}
+
+}  // namespace
+
+const char* to_string(Verb verb) {
+  switch (verb) {
+    case Verb::kVerify: return "verify";
+    case Verb::kEvaluateGccs: return "evaluate-gccs";
+    case Verb::kMetrics: return "metrics";
+    case Verb::kFeedStatus: return "feed-status";
+  }
+  return "unknown";
+}
+
+net::Message encode_request(const Request& request) {
+  net::Message message;
+  message.type = net::MsgType::kRequest;
+  Bytes& out = message.payload;
+  put_u64(out, request.correlation_id);
+  put_u8(out, static_cast<std::uint8_t>(request.verb));
+  put_str(out, request.usage);
+  put_i64(out, request.time);
+  put_u32(out, request.max_depth);
+  std::uint8_t flags = 0;
+  if (request.require_ev) flags |= 1;
+  if (request.check_signatures) flags |= 2;
+  if (request.run_gccs) flags |= 4;
+  put_u8(out, flags);
+  put_str(out, request.hostname);
+  put_blob(out, request.leaf_der);
+  put_list(out, request.intermediates_der);
+  return message;
+}
+
+net::Message encode_response(const Response& response) {
+  net::Message message;
+  message.type = net::MsgType::kResponse;
+  Bytes& out = message.payload;
+  put_u64(out, response.correlation_id);
+  put_u8(out, static_cast<std::uint8_t>(response.verb));
+  put_u8(out, static_cast<std::uint8_t>(response.kind));
+  put_u8(out, response.ok ? 1 : 0);
+  put_u32(out, response.stats.chain_len);
+  put_u64(out, response.stats.paths_explored);
+  put_u64(out, response.stats.gccs_evaluated);
+  put_u64(out, response.stats.facts_encoded);
+  put_u64(out, response.stats.epoch);
+  put_str(out, response.detail);
+  put_list(out, response.chain_der);
+  return message;
+}
+
+Result<Request> decode_request(const net::Message& message) {
+  if (message.type != net::MsgType::kRequest) {
+    return err("anchord: frame type is not kRequest");
+  }
+  Cursor cur{BytesView(message.payload)};
+  Request request;
+  request.correlation_id = cur.get_u64();
+  const std::uint8_t verb = cur.get_u8();
+  if (!cur.failed && !valid_verb(verb)) {
+    return err("anchord: unknown verb " + std::to_string(verb));
+  }
+  request.verb = static_cast<Verb>(verb);
+  request.usage = cur.get_str();
+  request.time = cur.get_i64();
+  request.max_depth = cur.get_u32();
+  const std::uint8_t flags = cur.get_u8();
+  request.require_ev = (flags & 1) != 0;
+  request.check_signatures = (flags & 2) != 0;
+  request.run_gccs = (flags & 4) != 0;
+  request.hostname = cur.get_str();
+  request.leaf_der = cur.get_blob();
+  request.intermediates_der = cur.get_list();
+  if (cur.failed) return err("anchord: truncated request payload");
+  if (!cur.done()) return err("anchord: trailing bytes after request");
+  return request;
+}
+
+Result<Response> decode_response(const net::Message& message) {
+  if (message.type != net::MsgType::kResponse) {
+    return err("anchord: frame type is not kResponse");
+  }
+  Cursor cur{BytesView(message.payload)};
+  Response response;
+  response.correlation_id = cur.get_u64();
+  const std::uint8_t verb = cur.get_u8();
+  if (!cur.failed && !valid_verb(verb)) {
+    return err("anchord: unknown verb " + std::to_string(verb));
+  }
+  response.verb = static_cast<Verb>(verb);
+  const std::uint8_t kind = cur.get_u8();
+  if (!cur.failed && kind >= chain::kErrorKindCount) {
+    return err("anchord: unknown error kind " + std::to_string(kind));
+  }
+  response.kind = static_cast<chain::ErrorKind>(kind);
+  const std::uint8_t ok = cur.get_u8();
+  if (!cur.failed && ok > 1) {
+    return err("anchord: verdict byte must be 0 or 1");
+  }
+  response.ok = ok == 1;
+  response.stats.chain_len = cur.get_u32();
+  response.stats.paths_explored = cur.get_u64();
+  response.stats.gccs_evaluated = cur.get_u64();
+  response.stats.facts_encoded = cur.get_u64();
+  response.stats.epoch = cur.get_u64();
+  response.detail = cur.get_str();
+  response.chain_der = cur.get_list();
+  if (cur.failed) return err("anchord: truncated response payload");
+  if (!cur.done()) return err("anchord: trailing bytes after response");
+  return response;
+}
+
+std::uint64_t peek_correlation_id(BytesView payload) {
+  if (payload.size() < 8) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | payload[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace anchor::anchord

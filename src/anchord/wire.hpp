@@ -1,0 +1,109 @@
+// The anchord wire schema: one request/response shape shared by every verb
+// surface (DESIGN.md "anchord wire protocol & unified verb schema").
+//
+// A Request or Response travels as the payload of a net::Message frame
+// (type kRequest / kResponse — the same strict, length-bounded codec the
+// handshake layer uses), so anchord inherits transport framing for free
+// and adds only the verb schema:
+//
+//   Request  := u64 correlation_id, u8 verb, str usage, i64 time,
+//               u32 max_depth, u8 flags, str hostname, blob leaf_der,
+//               list intermediates_der
+//   Response := u64 correlation_id, u8 verb, u8 error_kind, u8 ok,
+//               stats{u32 chain_len, u64 paths_explored,
+//                     u64 gccs_evaluated, u64 facts_encoded, u64 epoch},
+//               str detail, list chain_der
+//
+// where str/blob = u32 big-endian length + bytes, list = u32 count of
+// blobs, and all integers are big-endian. Decoding is strict: unknown verb
+// or error-kind bytes, truncated fields, and trailing bytes after the last
+// field are all errors — a malformed payload never half-parses.
+//
+// Correlation ids make the protocol pipelined: a client may have any
+// number of requests outstanding on one connection, and the server may
+// answer them in any order; responses are matched by id, never by arrival
+// position.
+//
+// ResponseStats is deliberately deterministic — no timings, only counts
+// and the store epoch — so a wire response is byte-identical to what the
+// direct VerifyService path would produce for the same request (the
+// acceptance test for this layer). Latency lives in metrics histograms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/error.hpp"
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace anchor::anchord {
+
+enum class Verb : std::uint8_t {
+  kVerify = 1,        // full chain construction + validation (§3.1 option 3)
+  kEvaluateGccs = 2,  // caller-built chain, daemon runs GCCs (option 2)
+  kMetrics = 3,       // registry text exposition as the response detail
+  kFeedStatus = 4,    // RSF client liveness summary as the response detail
+};
+
+const char* to_string(Verb verb);
+
+struct Request {
+  std::uint64_t correlation_id = 0;
+  Verb verb = Verb::kVerify;
+  // "TLS" / "S/MIME" for kVerify; free-form usage token for kEvaluateGccs
+  // (it flows into Datalog facts); ignored by the observability verbs.
+  std::string usage;
+  std::int64_t time = 0;           // validation instant (Unix seconds)
+  std::uint32_t max_depth = 8;
+  bool require_ev = false;
+  bool check_signatures = true;
+  bool run_gccs = true;
+  std::string hostname;
+  Bytes leaf_der;                  // kEvaluateGccs: first chain element
+  std::vector<Bytes> intermediates_der;
+
+  bool operator==(const Request&) const = default;
+};
+
+// Deterministic per-request accounting; see the header comment for why no
+// timings live here.
+struct ResponseStats {
+  std::uint32_t chain_len = 0;       // accepted path length (0 on failure)
+  std::uint64_t paths_explored = 0;
+  std::uint64_t gccs_evaluated = 0;
+  std::uint64_t facts_encoded = 0;
+  std::uint64_t epoch = 0;           // store epoch the verdict was computed under
+
+  bool operator==(const ResponseStats&) const = default;
+};
+
+struct Response {
+  std::uint64_t correlation_id = 0;
+  Verb verb = Verb::kVerify;
+  chain::ErrorKind kind = chain::ErrorKind::kOk;
+  bool ok = false;
+  ResponseStats stats;
+  std::string detail;              // diagnostic / exposition / status text
+  std::vector<Bytes> chain_der;    // kVerify: accepted path DER, leaf-first
+
+  bool operator==(const Response&) const = default;
+};
+
+// Encoders produce a framed-codec message (type kRequest / kResponse).
+net::Message encode_request(const Request& request);
+net::Message encode_response(const Response& response);
+
+// Strict decoders; err() on wrong frame type, malformed fields, unknown
+// verb/error-kind bytes, or trailing payload bytes.
+Result<Request> decode_request(const net::Message& message);
+Result<Response> decode_response(const net::Message& message);
+
+// Best-effort correlation-id peek at a payload that failed full decoding,
+// so a kMalformedRequest response can still be matched by the client.
+// Returns 0 when even the id field is truncated.
+std::uint64_t peek_correlation_id(BytesView payload);
+
+}  // namespace anchor::anchord

@@ -1,0 +1,38 @@
+#include "chain/error.hpp"
+
+namespace anchor::chain {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kOk: return "ok";
+    case ErrorKind::kMalformedRequest: return "malformed-request";
+    case ErrorKind::kExpired: return "expired";
+    case ErrorKind::kHostnameMismatch: return "hostname-mismatch";
+    case ErrorKind::kUsageViolation: return "usage-violation";
+    case ErrorKind::kConstraintViolation: return "constraint-violation";
+    case ErrorKind::kBadSignature: return "bad-signature";
+    case ErrorKind::kRevoked: return "revoked";
+    case ErrorKind::kGccDenied: return "gcc-denied";
+    case ErrorKind::kNoPath: return "no-path";
+    case ErrorKind::kOverloaded: return "overloaded";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kUnavailable: return "unavailable";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+bool error_kind_from_string(const std::string& token, ErrorKind& kind) {
+  for (std::size_t i = 0; i < kErrorKindCount; ++i) {
+    const auto candidate = static_cast<ErrorKind>(i);
+    if (token == to_string(candidate)) {
+      kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+int exit_code(ErrorKind kind) { return static_cast<int>(kind); }
+
+}  // namespace anchor::chain

@@ -241,29 +241,50 @@ Result<x509::CertPtr> VerifyService::parse_cached(BytesView der) {
 
 bool VerifyService::evaluate_gccs(std::span<const Bytes> chain_der,
                                   std::string_view usage) {
+  return evaluate_gccs_detail(chain_der, usage).allowed;
+}
+
+VerifyService::GccsOutcome VerifyService::evaluate_gccs_detail(
+    std::span<const Bytes> chain_der, std::string_view usage) {
   const std::uint64_t start = now_ns();
   std::shared_ptr<const Snapshot> snapshot = current_snapshot();
+  GccsOutcome outcome;
+  const auto finish = [&](GccsOutcome out) {
+    const std::uint64_t elapsed = now_ns() - start;
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+    m_calls_.add();
+    m_latency_.observe(static_cast<double>(elapsed) * 1e-9);
+    return out;
+  };
   core::Chain chain;
   chain.reserve(chain_der.size());
   for (const Bytes& der : chain_der) {
     auto cert = parse_cached(BytesView(der));
-    if (!cert) return false;  // malformed input across IPC: reject
+    if (!cert) {  // malformed input across IPC: reject
+      outcome.kind = ErrorKind::kMalformedRequest;
+      outcome.detail = cert.error();
+      return finish(std::move(outcome));
+    }
     chain.push_back(std::move(cert).take());
   }
-  if (chain.empty()) return false;
-  bool allowed = true;
+  if (chain.empty()) {
+    outcome.kind = ErrorKind::kMalformedRequest;
+    outcome.detail = "empty certificate chain";
+    return finish(std::move(outcome));
+  }
+  outcome.allowed = true;
   const auto& gccs =
       snapshot->store.gccs().for_root(chain.back()->fingerprint_hex());
   if (!gccs.empty()) {
-    core::GccVerdict verdict;
-    allowed = snapshot->evaluate_gccs(*this, chain, usage, gccs, verdict);
+    outcome.allowed =
+        snapshot->evaluate_gccs(*this, chain, usage, gccs, outcome.verdict);
+    if (!outcome.allowed) {
+      outcome.kind = ErrorKind::kGccDenied;
+      outcome.detail = "gcc:" + outcome.verdict.failed_gcc;
+    }
   }
-  const std::uint64_t elapsed = now_ns() - start;
-  calls_.fetch_add(1, std::memory_order_relaxed);
-  total_ns_.fetch_add(elapsed, std::memory_order_relaxed);
-  m_calls_.add();
-  m_latency_.observe(static_cast<double>(elapsed) * 1e-9);
-  return allowed;
+  return finish(std::move(outcome));
 }
 
 VerifyResult VerifyService::validate(const Bytes& leaf_der,
@@ -271,6 +292,7 @@ VerifyResult VerifyService::validate(const Bytes& leaf_der,
                                      const VerifyOptions& options) {
   std::shared_ptr<const Snapshot> snapshot = current_snapshot();
   VerifyResult failure;
+  failure.kind = ErrorKind::kMalformedRequest;
   auto leaf = parse_cached(BytesView(leaf_der));
   if (!leaf) {
     failure.error = "daemon: " + leaf.error();

@@ -96,9 +96,22 @@ class VerifyService {
       std::span<const x509::CertPtr> leaves, const CertificatePool& pool,
       const VerifyOptions& options);
 
-  // DER-boundary entry points mirroring TrustDaemon's IPC surface
-  // (§3.1 options 2 and 3); both run through the parsed-certificate cache.
+  // DER-boundary entry points mirroring the anchord IPC surface (§3.1
+  // options 2 and 3); both run through the parsed-certificate cache.
   bool evaluate_gccs(std::span<const Bytes> chain_der, std::string_view usage);
+
+  // Classified form of evaluate_gccs: the wire layer needs to distinguish
+  // "malformed DER" (kMalformedRequest) from "a GCC denied" (kGccDenied,
+  // detail = the failing constraint's name) — the bare Boolean cannot.
+  struct GccsOutcome {
+    bool allowed = false;
+    ErrorKind kind = ErrorKind::kOk;
+    std::string detail;
+    core::GccVerdict verdict;
+  };
+  GccsOutcome evaluate_gccs_detail(std::span<const Bytes> chain_der,
+                                   std::string_view usage);
+
   VerifyResult validate(const Bytes& leaf_der,
                         std::span<const Bytes> intermediates_der,
                         const VerifyOptions& options);

@@ -33,29 +33,38 @@ struct ChainVerifier::SearchState {
 
 namespace {
 
+// nullopt = pass; otherwise the classified rejection.
+std::optional<Fault> fault(ErrorKind kind, std::string detail) {
+  return Fault{kind, std::move(detail)};
+}
+
 // Leaf-only checks, independent of the path taken.
-Status check_leaf(const x509::Certificate& leaf, const VerifyOptions& options) {
+std::optional<Fault> check_leaf(const x509::Certificate& leaf,
+                                const VerifyOptions& options) {
   if (!leaf.valid_at(options.time)) {
-    return err("leaf outside validity window");
+    return fault(ErrorKind::kExpired, "leaf outside validity window");
   }
   if (options.usage == Usage::kTls) {
     if (!options.hostname.empty() && !leaf.matches_host(options.hostname)) {
-      return err("leaf does not match hostname " + options.hostname);
+      return fault(ErrorKind::kHostnameMismatch,
+                   "leaf does not match hostname " + options.hostname);
     }
     if (leaf.extended_key_usage() &&
         !leaf.extended_key_usage()->has(x509::oids::kp_server_auth())) {
-      return err("leaf EKU lacks id-kp-serverAuth");
+      return fault(ErrorKind::kUsageViolation, "leaf EKU lacks id-kp-serverAuth");
     }
   } else {
     if (leaf.extended_key_usage() &&
         !leaf.extended_key_usage()->has(x509::oids::kp_email_protection())) {
-      return err("leaf EKU lacks id-kp-emailProtection");
+      return fault(ErrorKind::kUsageViolation,
+                   "leaf EKU lacks id-kp-emailProtection");
     }
   }
   if (options.require_ev && !leaf.is_ev()) {
-    return err("EV required but leaf carries no EV policy");
+    return fault(ErrorKind::kUsageViolation,
+                 "EV required but leaf carries no EV policy");
   }
-  return {};
+  return std::nullopt;
 }
 
 std::string path_label(const core::Chain& chain) {
@@ -69,21 +78,23 @@ std::string path_label(const core::Chain& chain) {
 
 }  // namespace
 
-Status ChainVerifier::check_link(const x509::Certificate& child,
-                                 const x509::Certificate& issuer,
-                                 std::size_t child_depth,
-                                 const VerifyOptions& options) const {
+std::optional<Fault> ChainVerifier::check_link(
+    const x509::Certificate& child, const x509::Certificate& issuer,
+    std::size_t child_depth, const VerifyOptions& options) const {
   if (!issuer.valid_at(options.time)) {
-    return err("issuer '" + issuer.subject().common_name() +
-               "' outside validity window");
+    return fault(ErrorKind::kExpired, "issuer '" +
+                                          issuer.subject().common_name() +
+                                          "' outside validity window");
   }
   if (!issuer.is_ca()) {
-    return err("issuer '" + issuer.subject().common_name() + "' is not a CA");
+    return fault(ErrorKind::kConstraintViolation,
+                 "issuer '" + issuer.subject().common_name() + "' is not a CA");
   }
   if (issuer.key_usage() &&
       !issuer.key_usage()->has(x509::KeyUsageBit::kKeyCertSign)) {
-    return err("issuer '" + issuer.subject().common_name() +
-               "' lacks keyCertSign");
+    return fault(ErrorKind::kConstraintViolation,
+                 "issuer '" + issuer.subject().common_name() +
+                     "' lacks keyCertSign");
   }
   // pathLenConstraint: at most path_len CA certificates may sit strictly
   // between this issuer and the leaf. `child_depth` is the index of `child`
@@ -93,46 +104,52 @@ Status ChainVerifier::check_link(const x509::Certificate& child,
   if (auto plen = issuer.path_len()) {
     std::size_t intermediates_below = child_depth;
     if (intermediates_below > static_cast<std::size_t>(*plen)) {
-      return err("issuer '" + issuer.subject().common_name() +
-                 "' pathLenConstraint exceeded");
+      return fault(ErrorKind::kConstraintViolation,
+                   "issuer '" + issuer.subject().common_name() +
+                       "' pathLenConstraint exceeded");
     }
   }
   if (options.check_signatures &&
       !scheme_.verify(BytesView(issuer.public_key()),
                       BytesView(child.tbs_der()),
                       BytesView(child.signature()))) {
-    return err("signature of '" + child.subject().common_name() +
-               "' does not verify under '" + issuer.subject().common_name() +
-               "'");
+    return fault(ErrorKind::kBadSignature,
+                 "signature of '" + child.subject().common_name() +
+                     "' does not verify under '" +
+                     issuer.subject().common_name() + "'");
   }
   // Push-based revocation (CRLSet/OneCRL), applied per link now that the
   // issuer — and thus its SPKI — is known.
   if (crlset_ != nullptr &&
       crlset_->is_revoked(child, BytesView(issuer.public_key()))) {
-    return err("'" + child.subject().common_name() + "' is revoked (CRLSet)");
+    return fault(ErrorKind::kRevoked, "'" + child.subject().common_name() +
+                                          "' is revoked (CRLSet)");
   }
   if (onecrl_ != nullptr && onecrl_->is_revoked(child)) {
-    return err("'" + child.subject().common_name() + "' is revoked (OneCRL)");
+    return fault(ErrorKind::kRevoked, "'" + child.subject().common_name() +
+                                          "' is revoked (OneCRL)");
   }
-  return {};
+  return std::nullopt;
 }
 
-Status ChainVerifier::check_at_root(const core::Chain& chain,
-                                    const rootstore::RootEntry& root_entry,
-                                    const VerifyOptions& options,
-                                    VerifyResult& result) const {
+std::optional<Fault> ChainVerifier::check_at_root(
+    const core::Chain& chain, const rootstore::RootEntry& root_entry,
+    const VerifyOptions& options, VerifyResult& result) const {
   const x509::Certificate& leaf = *chain.front();
   const rootstore::RootMetadata& metadata = root_entry.metadata;
   if (options.usage == Usage::kTls && metadata.tls_distrust_after &&
       leaf.not_before() >= *metadata.tls_distrust_after) {
-    return err("tls-distrust-after: leaf issued past the trust cutoff");
+    return fault(ErrorKind::kUsageViolation,
+                 "tls-distrust-after: leaf issued past the trust cutoff");
   }
   if (options.usage == Usage::kSmime && metadata.smime_distrust_after &&
       leaf.not_before() >= *metadata.smime_distrust_after) {
-    return err("smime-distrust-after: leaf issued past the trust cutoff");
+    return fault(ErrorKind::kUsageViolation,
+                 "smime-distrust-after: leaf issued past the trust cutoff");
   }
   if (options.require_ev && !metadata.ev_allowed) {
-    return err("EV required but root is not EV-enabled");
+    return fault(ErrorKind::kUsageViolation,
+                 "EV required but root is not EV-enabled");
   }
 
   // Name constraints along the path apply to the leaf's DNS identities.
@@ -143,8 +160,10 @@ Status ChainVerifier::check_at_root(const core::Chain& chain,
     if (!nc) continue;
     for (const auto& name : names) {
       if (!nc->allows(name)) {
-        return err("name constraint on '" + chain[i]->subject().common_name() +
-                   "' excludes " + name);
+        return fault(ErrorKind::kConstraintViolation,
+                     "name constraint on '" +
+                         chain[i]->subject().common_name() + "' excludes " +
+                         name);
       }
     }
   }
@@ -154,10 +173,11 @@ Status ChainVerifier::check_at_root(const core::Chain& chain,
     if (!gccs.empty() &&
         !gcc_hook_(chain, usage_name(options.usage), gccs,
                    result.gcc_verdict)) {
-      return err("gcc:" + result.gcc_verdict.failed_gcc);
+      return fault(ErrorKind::kGccDenied,
+                   "gcc:" + result.gcc_verdict.failed_gcc);
     }
   }
-  return {};
+  return std::nullopt;
 }
 
 bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
@@ -174,17 +194,17 @@ bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
     ++result.paths_explored;
     core::Chain candidate = state.path;
     candidate.push_back(entry->cert);
-    Status link = check_link(*current, *entry->cert, state.path.size() - 1,
-                             options);
-    if (!link) {
+    if (auto link = check_link(*current, *entry->cert, state.path.size() - 1,
+                               options)) {
+      if (result.kind == ErrorKind::kOk) result.kind = link->kind;
       result.rejected_paths.push_back(path_label(candidate) + " | " +
-                                      link.error());
+                                      link->detail);
       continue;
     }
-    Status root_check = check_at_root(candidate, *entry, options, result);
-    if (!root_check) {
+    if (auto root_check = check_at_root(candidate, *entry, options, result)) {
+      if (result.kind == ErrorKind::kOk) result.kind = root_check->kind;
       result.rejected_paths.push_back(path_label(candidate) + " | " +
-                                      root_check.error());
+                                      root_check->detail);
       continue;  // the paper's "continue building" loop
     }
     result.ok = true;
@@ -198,14 +218,15 @@ bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
           store_.find(current->fingerprint_hex());
       entry != nullptr && state.path.size() > 1) {
     ++result.paths_explored;
-    Status root_check = check_at_root(state.path, *entry, options, result);
-    if (root_check) {
+    auto root_check = check_at_root(state.path, *entry, options, result);
+    if (!root_check) {
       result.ok = true;
       result.chain = state.path;
       return true;
     }
+    if (result.kind == ErrorKind::kOk) result.kind = root_check->kind;
     result.rejected_paths.push_back(path_label(state.path) + " | " +
-                                    root_check.error());
+                                    root_check->detail);
   }
 
   // Option 3: extend through an untrusted intermediate from the pool.
@@ -214,9 +235,13 @@ bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
        state.pool->by_subject(current->issuer())) {
     const std::string hash = candidate->fingerprint_hex();
     if (state.visited.contains(hash)) continue;
-    Status link =
-        check_link(*current, *candidate, state.path.size() - 1, options);
-    if (!link) continue;
+    if (auto link = check_link(*current, *candidate, state.path.size() - 1,
+                               options)) {
+      // Not a rejected *path* (the search just doesn't go this way), but
+      // still the first classified fault if nothing better turns up.
+      if (result.kind == ErrorKind::kOk) result.kind = link->kind;
+      continue;
+    }
     state.visited.insert(hash);
     state.path.push_back(candidate);
     if (extend(state, options, result)) return true;
@@ -230,8 +255,9 @@ VerifyResult ChainVerifier::verify(const x509::CertPtr& leaf,
                                    const CertificatePool& pool,
                                    const VerifyOptions& options) const {
   VerifyResult result;
-  if (Status s = check_leaf(*leaf, options); !s) {
-    result.error = s.error();
+  if (auto leaf_fault = check_leaf(*leaf, options)) {
+    result.kind = leaf_fault->kind;
+    result.error = std::move(leaf_fault->detail);
     return result;
   }
   SearchState state;
@@ -244,6 +270,11 @@ VerifyResult ChainVerifier::verify(const x509::CertPtr& leaf,
                          ? "no path to a trusted root"
                          : "all candidate paths rejected";
     }
+    // extend() recorded the first classified rejection's kind; a search
+    // that never hit a classifiable fault is kNoPath.
+    if (result.kind == ErrorKind::kOk) result.kind = ErrorKind::kNoPath;
+  } else {
+    result.kind = ErrorKind::kOk;
   }
   return result;
 }

@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "chain/error.hpp"
 #include "chain/pool.hpp"
 #include "core/executor.hpp"
 #include "revocation/revocation.hpp"
@@ -44,6 +46,10 @@ struct VerifyOptions {
 struct VerifyResult {
   bool ok = false;
   core::Chain chain;            // leaf-first accepted path (when ok)
+  // Classified failure cause (kOk when ok). For a chain whose candidate
+  // paths all reached a root and were rejected, this is the kind of the
+  // *first* rejection — matching `error`'s "first fatal diagnostic" rule.
+  ErrorKind kind = ErrorKind::kOk;
   std::string error;            // first fatal diagnostic (when !ok)
   // Diagnostics: every candidate path that reached a trusted root but was
   // rejected, with the reason ("gcc:<name>", "tls-distrust-after", ...).
@@ -85,15 +91,17 @@ class ChainVerifier {
               VerifyResult& result) const;
 
   // Per-certificate checks that do not depend on the final root.
-  Status check_link(const x509::Certificate& child,
-                    const x509::Certificate& issuer, std::size_t child_depth,
-                    const VerifyOptions& options) const;
+  // nullopt = pass; a Fault carries the classified rejection.
+  std::optional<Fault> check_link(const x509::Certificate& child,
+                                  const x509::Certificate& issuer,
+                                  std::size_t child_depth,
+                                  const VerifyOptions& options) const;
 
   // Root-dependent checks: store metadata, then GCCs.
-  Status check_at_root(const core::Chain& chain,
-                       const rootstore::RootEntry& root_entry,
-                       const VerifyOptions& options,
-                       VerifyResult& result) const;
+  std::optional<Fault> check_at_root(const core::Chain& chain,
+                                     const rootstore::RootEntry& root_entry,
+                                     const VerifyOptions& options,
+                                     VerifyResult& result) const;
 
   const rootstore::RootStore& store_;
   const SignatureScheme& scheme_;

@@ -19,7 +19,7 @@ Result<DecodeResult> decode_frame(Bytes& buffer) {
   if (buffer.size() < 5) return result;  // need more bytes
   std::uint8_t type = buffer[0];
   if (type < static_cast<std::uint8_t>(MsgType::kClientHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kAlert)) {
+      type > static_cast<std::uint8_t>(MsgType::kResponse)) {
     return err("net: unknown frame type " + std::to_string(type));
   }
   std::uint32_t length = 0;

@@ -24,6 +24,8 @@ enum class MsgType : std::uint8_t {
   kCertificate = 3,   // payload: concatenated length-prefixed DER certs
   kFinished = 4,      // payload: signature over the transcript hash
   kAlert = 5,         // payload: UTF-8 reason
+  kRequest = 6,       // payload: anchord::Request (anchord/wire.hpp)
+  kResponse = 7,      // payload: anchord::Response (anchord/wire.hpp)
 };
 
 struct Message {
@@ -37,9 +39,21 @@ constexpr std::size_t kMaxFrameBytes = 1 << 20;
 Bytes encode_frame(const Message& message);
 
 // Consumes one frame from the front of `buffer` (erasing it) if complete.
-// Returns: ok(Message) when a frame was decoded; err(...) on malformed
-// input; ok with type kAlert and empty payload is a valid frame too, so
-// "need more bytes" is signalled via the bool.
+//
+// Contract (anchord's session loop depends on every clause):
+//   * ok with complete=true  — exactly one frame was decoded and erased
+//     from the front of `buffer`; any following frames' bytes remain.
+//   * ok with complete=false — "need more bytes": fewer than 5 header
+//     bytes, or the declared payload has not fully arrived. `buffer` is
+//     left untouched; append more bytes and call again. This is NOT an
+//     error — a valid frame can decode to an empty payload (e.g. kAlert
+//     with no reason), so completeness is signalled by the bool, never by
+//     inspecting the message.
+//   * err(...) — malformed input: unknown type byte, or declared length
+//     exceeding kMaxFrameBytes (a length of exactly kMaxFrameBytes is
+//     accepted). `buffer` is left untouched so the caller can decide
+//     whether to resynchronise or tear down; no bytes are consumed on any
+//     error path.
 struct DecodeResult {
   bool complete = false;  // false: need more bytes, buffer untouched
   Message message;

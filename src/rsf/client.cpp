@@ -38,6 +38,35 @@ const char* to_string(ClientHealth health) {
   return "unknown";
 }
 
+std::string FeedStatus::to_text() const {
+  std::string out;
+  out += "health=";
+  out += to_string(health);
+  out += " sequence=" + std::to_string(last_applied_sequence);
+  out += " last_update=" + std::to_string(last_update_time);
+  out += " next_poll=" + std::to_string(next_poll_time);
+  out += " seconds_stale=" + std::to_string(seconds_stale);
+  out += " polls=" + std::to_string(polls);
+  out += " updates=" + std::to_string(updates_applied);
+  out += " verify_failures=" + std::to_string(verify_failures);
+  out += " quarantined=" + std::to_string(quarantine_size);
+  return out;
+}
+
+FeedStatus RsfClient::feed_status() const {
+  FeedStatus status;
+  status.health = health_;
+  status.last_applied_sequence = last_sequence_;
+  status.last_update_time = last_update_time_;
+  status.next_poll_time = next_poll_;
+  status.seconds_stale = stats_.seconds_stale;
+  status.polls = stats_.polls;
+  status.updates_applied = stats_.updates_applied;
+  status.verify_failures = stats_.verify_failures;
+  status.quarantine_size = quarantine_.size();
+  return status;
+}
+
 RsfClient::RsfClient(const Feed& feed, std::int64_t poll_interval,
                      MergePolicy policy, Transport transport,
                      RetryPolicy retry)

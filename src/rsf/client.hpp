@@ -91,6 +91,24 @@ enum class ClientHealth { kHealthy, kDegraded, kStale };
 
 const char* to_string(ClientHealth health);
 
+// Point-in-time liveness summary, the payload of anchord's FeedStatus verb
+// and `anchorctl feed-status`: what a probe needs to decide "is the store
+// this machine serves fresh", without the full ClientStats dump.
+struct FeedStatus {
+  ClientHealth health = ClientHealth::kHealthy;
+  std::uint64_t last_applied_sequence = 0;
+  std::int64_t last_update_time = -1;  // -1: no update applied yet
+  std::int64_t next_poll_time = 0;
+  std::int64_t seconds_stale = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t verify_failures = 0;
+  std::size_t quarantine_size = 0;
+
+  // Stable single-line key=value rendering (the wire detail field).
+  std::string to_text() const;
+};
+
 class RsfClient {
  public:
   // `poll_interval` in seconds (the paper suggests hourly). This overload
@@ -135,6 +153,7 @@ class RsfClient {
   std::int64_t next_poll_time() const { return next_poll_; }
   ClientHealth health() const { return health_; }
   const ClientStats& stats() const { return stats_; }
+  FeedStatus feed_status() const;
 
  private:
   enum class PollOutcome { kSuccess, kFailure, kSkip };

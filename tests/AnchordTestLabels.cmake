@@ -1,0 +1,9 @@
+# Runs at ctest time, after gtest discovery has populated
+# anchor_anchord_tests_TESTS (see tests/CMakeLists.txt). The GoogleTest
+# module flattens list-valued properties, so a two-label LABELS can't be
+# passed through gtest_discover_tests itself; this include re-applies the
+# full label set to every discovered anchord test.
+foreach(anchord_test IN LISTS anchor_anchord_tests_TESTS)
+  set_tests_properties("${anchord_test}" PROPERTIES
+    LABELS "anchord;concurrency")
+endforeach()

@@ -1,4 +1,10 @@
-#include "chain/daemon.hpp"
+// TrustDaemon as a thin adapter over the anchord wire codec: the §3.1
+// deployment-model verbs (evaluate_gccs / validate / metrics) plus the
+// feed-status verb, in both fallback (uncached) and service-backed modes.
+// Every call here round-trips encode_request → frame → decode → dispatch →
+// encode_response → frame → decode, so these tests exercise the same
+// marshaling path AnchordServer serves over a Conduit.
+#include "anchord/daemon.hpp"
 
 #include <gtest/gtest.h>
 
@@ -6,13 +12,18 @@
 #include <thread>
 
 #include "chain/service.hpp"
+#include "rsf/client.hpp"
 #include "util/time.hpp"
 #include "x509/builder.hpp"
 #include "x509/oids.hpp"
 
-namespace anchor::chain {
+namespace anchor::anchord {
 namespace {
 
+using chain::ErrorKind;
+using chain::VerifyOptions;
+using chain::VerifyResult;
+using chain::VerifyService;
 using x509::CertificateBuilder;
 using x509::CertPtr;
 using x509::DistinguishedName;
@@ -49,6 +60,10 @@ struct DaemonPki {
     (void)store.add_trusted(root);
   }
 
+  TrustDaemonConfig config() const {
+    return TrustDaemonConfig{.store = &store, .scheme = &sigs};
+  }
+
   CertPtr leaf(const std::string& domain, bool ev = false) {
     SimKeyPair key = SimSig::keygen("dleaf" + domain);
     CertificateBuilder builder;
@@ -71,7 +86,7 @@ TEST(TrustDaemon, EvaluateGccsOverDerBoundary) {
           "no-ev", *pki.root,
           "valid(Chain, _) :- leaf(Chain, L), \\+ev(L).")
           .take());
-  TrustDaemon daemon(pki.store, pki.sigs);
+  TrustDaemon daemon(pki.config());
 
   CertPtr plain = pki.leaf("ok.example.com");
   std::vector<Bytes> chain_der{plain->der(), pki.intermediate->der(),
@@ -87,7 +102,7 @@ TEST(TrustDaemon, EvaluateGccsOverDerBoundary) {
 
 TEST(TrustDaemon, MalformedDerIsRejected) {
   DaemonPki pki;
-  TrustDaemon daemon(pki.store, pki.sigs);
+  TrustDaemon daemon(pki.config());
   std::vector<Bytes> garbage{Bytes{0x01, 0x02, 0x03}};
   EXPECT_FALSE(daemon.evaluate_gccs(garbage, "TLS"));
   EXPECT_FALSE(daemon.evaluate_gccs({}, "TLS"));
@@ -95,7 +110,7 @@ TEST(TrustDaemon, MalformedDerIsRejected) {
 
 TEST(TrustDaemon, UnconstrainedRootAllows) {
   DaemonPki pki;
-  TrustDaemon daemon(pki.store, pki.sigs);
+  TrustDaemon daemon(pki.config());
   CertPtr leaf = pki.leaf("free.example.com");
   std::vector<Bytes> chain_der{leaf->der(), pki.intermediate->der(),
                                pki.root->der()};
@@ -104,7 +119,7 @@ TEST(TrustDaemon, UnconstrainedRootAllows) {
 
 TEST(TrustDaemon, FullValidationInsideDaemon) {
   DaemonPki pki;
-  TrustDaemon daemon(pki.store, pki.sigs);
+  TrustDaemon daemon(pki.config());
   CertPtr leaf = pki.leaf("full.example.com");
   VerifyOptions options;
   options.time = DaemonPki::kNow;
@@ -112,23 +127,62 @@ TEST(TrustDaemon, FullValidationInsideDaemon) {
   std::vector<Bytes> intermediates{pki.intermediate->der()};
   VerifyResult result = daemon.validate(leaf->der(), intermediates, options);
   ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.kind, ErrorKind::kOk);
+  // The accepted path crossed the wire as DER and was re-parsed.
   EXPECT_EQ(result.chain.size(), 3u);
 }
 
 TEST(TrustDaemon, FullValidationRejectsMalformedLeaf) {
   DaemonPki pki;
-  TrustDaemon daemon(pki.store, pki.sigs);
+  TrustDaemon daemon(pki.config());
   VerifyOptions options;
   options.time = DaemonPki::kNow;
   VerifyResult result = daemon.validate(Bytes{0xff}, {}, options);
   EXPECT_FALSE(result.ok);
-  EXPECT_NE(result.error.find("daemon"), std::string::npos);
+  EXPECT_EQ(result.kind, ErrorKind::kMalformedRequest);
+}
+
+// The positional constructor still works for one PR (it delegates to the
+// config form); out-of-tree callers migrate on their own schedule.
+TEST(TrustDaemon, DeprecatedPositionalConstructorStillDelegates) {
+  DaemonPki pki;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  TrustDaemon daemon(pki.store, pki.sigs);
+#pragma GCC diagnostic pop
+  CertPtr leaf = pki.leaf("legacy.example.com");
+  std::vector<Bytes> chain_der{leaf->der(), pki.intermediate->der(),
+                               pki.root->der()};
+  EXPECT_TRUE(daemon.evaluate_gccs(chain_der, "TLS"));
+  EXPECT_EQ(daemon.calls(), 1u);
+}
+
+// A request whose marshalled frame exceeds the configured cap fails closed
+// as kMalformedRequest — the daemon refuses to pretend a transport would
+// have carried it.
+TEST(TrustDaemon, OversizedRequestFailsClosed) {
+  DaemonPki pki;
+  TrustDaemonConfig config = pki.config();
+  config.max_frame_bytes = 256;
+  TrustDaemon daemon(config);
+  CertPtr leaf = pki.leaf("big.example.com");
+  VerifyOptions options;
+  options.time = DaemonPki::kNow;
+  options.hostname = "big.example.com";
+  std::vector<Bytes> intermediates{pki.intermediate->der()};
+  VerifyResult result = daemon.validate(leaf->der(), intermediates, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.kind, ErrorKind::kMalformedRequest);
+  EXPECT_NE(result.error.find("exceeds"), std::string::npos);
 }
 
 TEST(TrustDaemon, LatencySimulationAccumulates) {
   DaemonPki pki;
-  TrustDaemon fast(pki.store, pki.sigs, 0);
-  TrustDaemon slow(pki.store, pki.sigs, 2000000);  // 2 ms per leg
+  TrustDaemonConfig fast_config = pki.config();
+  TrustDaemonConfig slow_config = pki.config();
+  slow_config.latency_ns = 2000000;  // 2 ms per leg
+  TrustDaemon fast(fast_config);
+  TrustDaemon slow(slow_config);
   CertPtr leaf = pki.leaf("timed.example.com");
   std::vector<Bytes> chain_der{leaf->der(), pki.intermediate->der(),
                                pki.root->der()};
@@ -139,9 +193,13 @@ TEST(TrustDaemon, LatencySimulationAccumulates) {
                std::chrono::steady_clock::now() - start)
         .count();
   };
-  auto fast_us = time_call(fast);
-  auto slow_us = time_call(slow);
-  EXPECT_GT(slow_us, fast_us + 3000);  // two 2ms legs minus noise
+  const auto fast_us = time_call(fast);
+  const auto slow_us = time_call(slow);
+  // Two simulated 2 ms legs put a hard floor under the slow path; the
+  // fast path's wall clock is scheduling noise (unbounded under
+  // sanitizers on a loaded host), so it is exercised but not compared.
+  (void)fast_us;
+  EXPECT_GE(slow_us, 4000);
 }
 
 // Option-3 validate() with nonzero IPC latency, routed through the shared
@@ -150,8 +208,12 @@ TEST(TrustDaemon, LatencySimulationAccumulates) {
 TEST(TrustDaemon, ValidateWithLatencyThroughService) {
   DaemonPki pki;
   VerifyService service(pki.store, pki.sigs);
-  TrustDaemon fast(pki.store, pki.sigs, 0, &service);
-  TrustDaemon slow(pki.store, pki.sigs, 2000000, &service);  // 2 ms per leg
+  TrustDaemonConfig fast_config = pki.config();
+  fast_config.service = &service;
+  TrustDaemonConfig slow_config = fast_config;
+  slow_config.latency_ns = 2000000;  // 2 ms per leg
+  TrustDaemon fast(fast_config);
+  TrustDaemon slow(slow_config);
 
   CertPtr leaf = pki.leaf("svc.example.com");
   VerifyOptions options;
@@ -167,22 +229,25 @@ TEST(TrustDaemon, ValidateWithLatencyThroughService) {
         .count();
   };
   VerifyResult fast_result, slow_result;
-  auto fast_us = timed_validate(fast, fast_result);
-  auto slow_us = timed_validate(slow, slow_result);
+  const auto fast_us = timed_validate(fast, fast_result);
+  const auto slow_us = timed_validate(slow, slow_result);
   ASSERT_TRUE(fast_result.ok) << fast_result.error;
   ASSERT_TRUE(slow_result.ok) << slow_result.error;
   EXPECT_EQ(slow_result.chain.size(), 3u);
-  EXPECT_GT(slow_us, fast_us + 3000);  // two 2ms legs minus noise
+  // Guaranteed floor from the two simulated legs (see
+  // LatencySimulationAccumulates for why the fast path is not compared).
+  (void)fast_us;
+  EXPECT_GE(slow_us, 4000);
   EXPECT_EQ(fast.calls(), 1u);
   EXPECT_EQ(slow.calls(), 1u);
 }
 
-// The metrics verb: a trustctl-style scrape over the same IPC surface. It
-// must refresh the store gauges and return the registry's text exposition.
+// The metrics verb: an anchorctl-style scrape over the same wire surface.
+// It must refresh the store gauges and return the registry's exposition.
 TEST(TrustDaemon, MetricsVerbEmitsExposition) {
   DaemonPki pki;
   pki.store.distrust(std::string(64, 'a'), "incident");
-  TrustDaemon daemon(pki.store, pki.sigs);
+  TrustDaemon daemon(pki.config());
 
   metrics::Registry registry;  // isolated so counts are exact
   const std::string text = daemon.metrics(registry);
@@ -200,6 +265,31 @@ TEST(TrustDaemon, MetricsVerbEmitsExposition) {
             std::string::npos);
 }
 
+// The feed-status verb fails closed (kUnavailable) without an RSF client,
+// and reports the client's liveness line with one attached.
+TEST(TrustDaemon, FeedStatusVerb) {
+  DaemonPki pki;
+  TrustDaemon bare(pki.config());
+  Response unavailable = bare.feed_status();
+  EXPECT_FALSE(unavailable.ok);
+  EXPECT_EQ(unavailable.kind, ErrorKind::kUnavailable);
+
+  SimSig feed_registry;
+  rsf::Feed feed("nss", feed_registry);
+  feed.publish(pki.store, 100, "r1");
+  rsf::RsfClient client(feed, 3600);
+  EXPECT_EQ(client.poll_now(200), 1u);
+
+  TrustDaemonConfig config = pki.config();
+  config.feed = &client;
+  TrustDaemon daemon(config);
+  Response status = daemon.feed_status();
+  ASSERT_TRUE(status.ok) << status.detail;
+  EXPECT_EQ(status.kind, ErrorKind::kOk);
+  EXPECT_NE(status.detail.find("health=healthy"), std::string::npos);
+  EXPECT_NE(status.detail.find("sequence=1"), std::string::npos);
+}
+
 // Concurrent clients of one service-backed daemon: every caller gets the
 // right Boolean / chain and no call is lost (calls_ is atomic).
 TEST(TrustDaemon, ConcurrentCallersThroughService) {
@@ -210,7 +300,10 @@ TEST(TrustDaemon, ConcurrentCallersThroughService) {
           "valid(Chain, _) :- leaf(Chain, L), \\+ev(L).")
           .take());
   VerifyService service(pki.store, pki.sigs);
-  TrustDaemon daemon(pki.store, pki.sigs, 10000, &service);  // 10 us per leg
+  TrustDaemonConfig config = pki.config();
+  config.latency_ns = 10000;  // 10 us per leg
+  config.service = &service;
+  TrustDaemon daemon(config);
 
   CertPtr plain = pki.leaf("plain.example.com");
   CertPtr ev = pki.leaf("ev.example.com", true);
@@ -246,10 +339,10 @@ TEST(TrustDaemon, ConcurrentCallersThroughService) {
   EXPECT_EQ(daemon.calls(),
             static_cast<std::uint64_t>(kThreads) * kItersPerThread * 3);
   // The shared service memoized the repeated work.
-  const ServiceStats stats = service.stats();
+  const chain::ServiceStats stats = service.stats();
   EXPECT_GT(stats.verdict_hits, 0u);
   EXPECT_GT(stats.cert_hits, 0u);
 }
 
 }  // namespace
-}  // namespace anchor::chain
+}  // namespace anchor::anchord

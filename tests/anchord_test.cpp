@@ -1,0 +1,572 @@
+// The anchord serving layer end to end: wire codec round trips, the
+// concurrent session loop (pipelining, correlation-id matching, torn and
+// malformed frames, overload and timeout fail-closed semantics), and the
+// acceptance property that a verdict served over the wire is byte-identical
+// to one computed on the direct VerifyService path.
+#include "anchord/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "anchord/client.hpp"
+#include "rsf/client.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::anchord {
+namespace {
+
+using chain::ErrorKind;
+using chain::VerifyService;
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+struct WirePki {
+  SimSig sigs;
+  SimKeyPair root_key = SimSig::keygen("Wire Root");
+  SimKeyPair int_key = SimSig::keygen("Wire Int");
+  CertPtr root, intermediate;
+  rootstore::RootStore store;
+  static constexpr std::int64_t kNow = 1700000000;
+
+  WirePki() {
+    root = CertificateBuilder()
+               .serial(1)
+               .subject(DistinguishedName::make("Wire Root", "T"))
+               .issuer(DistinguishedName::make("Wire Root", "T"))
+               .validity(0, unix_date(2040, 1, 1))
+               .public_key(root_key.key_id)
+               .ca(std::nullopt)
+               .sign(root_key)
+               .take();
+    intermediate = CertificateBuilder()
+                       .serial(2)
+                       .subject(DistinguishedName::make("Wire Int", "T"))
+                       .issuer(root->subject())
+                       .validity(0, unix_date(2039, 1, 1))
+                       .public_key(int_key.key_id)
+                       .ca(0)
+                       .sign(root_key)
+                       .take();
+    sigs.register_key(root_key);
+    sigs.register_key(int_key);
+    (void)store.add_trusted(root);
+  }
+
+  CertPtr leaf(const std::string& domain, bool ev = false) {
+    SimKeyPair key = SimSig::keygen("wleaf" + domain);
+    CertificateBuilder builder;
+    builder.serial(3)
+        .subject(DistinguishedName::make(domain))
+        .issuer(intermediate->subject())
+        .validity(kNow - 86400, kNow + 90 * 86400)
+        .public_key(key.key_id)
+        .dns_names({domain})
+        .extended_key_usage({x509::oids::kp_server_auth()});
+    if (ev) builder.ev();
+    return builder.sign(int_key).take();
+  }
+
+  Request verify_request(const CertPtr& leaf_cert,
+                         const std::string& hostname) const {
+    Request request;
+    request.verb = Verb::kVerify;
+    request.usage = "TLS";
+    request.time = kNow;
+    request.hostname = hostname;
+    request.leaf_der = leaf_cert->der();
+    request.intermediates_der = {intermediate->der()};
+    return request;
+  }
+};
+
+// One server over one in-memory connection, with the serve loop on its own
+// thread; close() on the client end shuts everything down.
+struct Harness {
+  WirePki pki;
+  metrics::Registry registry;
+  VerifyService service;
+  VerbDispatcher::Backends backends;
+  AnchordConfig config;
+  std::unique_ptr<AnchordServer> server;
+  ConduitPair conduits = make_memory_conduit();
+  std::thread serve_thread;
+
+  explicit Harness(AnchordConfig cfg = {})
+      : service(pki.store, pki.sigs, {}, registry), config(std::move(cfg)) {
+    backends.service = &service;
+    backends.store = &pki.store;
+    backends.registry = &registry;
+    server = std::make_unique<AnchordServer>(backends, config, registry);
+    serve_thread = std::thread([this] { server->serve(*conduits.second); });
+  }
+
+  ~Harness() {
+    conduits.first->close();
+    serve_thread.join();
+  }
+
+  Conduit& client_end() { return *conduits.first; }
+};
+
+// --- wire codec -----------------------------------------------------------
+
+TEST(AnchordWire, RequestRoundTripsThroughCodec) {
+  Request request;
+  request.correlation_id = 0x1122334455667788ULL;
+  request.verb = Verb::kVerify;
+  request.usage = "TLS";
+  request.time = -12345;  // negative times must survive the i64 encoding
+  request.max_depth = 5;
+  request.require_ev = true;
+  request.check_signatures = false;
+  request.run_gccs = true;
+  request.hostname = "a.example.com";
+  request.leaf_der = Bytes{0x30, 0x01, 0x02};
+  request.intermediates_der = {Bytes{0x30, 0x00}, Bytes{}, Bytes{0xff}};
+
+  net::Message message = encode_request(request);
+  EXPECT_EQ(message.type, net::MsgType::kRequest);
+  auto decoded = decode_request(message);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), request);
+}
+
+TEST(AnchordWire, ResponseRoundTripsThroughCodec) {
+  Response response;
+  response.correlation_id = 7;
+  response.verb = Verb::kEvaluateGccs;
+  response.kind = ErrorKind::kGccDenied;
+  response.ok = false;
+  response.stats = {3, 9, 2, 140, 5};
+  response.detail = "gcc:no-ev";
+  response.chain_der = {Bytes{0x30}, Bytes{0x31, 0x32}};
+
+  net::Message message = encode_response(response);
+  EXPECT_EQ(message.type, net::MsgType::kResponse);
+  auto decoded = decode_response(message);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), response);
+}
+
+TEST(AnchordWire, StrictDecodingRejectsDamage) {
+  Request request;
+  request.verb = Verb::kMetrics;
+  net::Message good = encode_request(request);
+
+  net::Message trailing = good;
+  trailing.payload.push_back(0x00);
+  EXPECT_FALSE(decode_request(trailing).ok());
+
+  net::Message truncated = good;
+  truncated.payload.pop_back();
+  EXPECT_FALSE(decode_request(truncated).ok());
+
+  net::Message bad_verb = good;
+  bad_verb.payload[8] = 99;  // verb byte follows the 8-byte correlation id
+  EXPECT_FALSE(decode_request(bad_verb).ok());
+
+  net::Message wrong_type = good;
+  wrong_type.type = net::MsgType::kCertificate;
+  EXPECT_FALSE(decode_request(wrong_type).ok());
+
+  // Responses: an error-kind byte outside the taxonomy is rejected.
+  Response response;
+  net::Message encoded = encode_response(response);
+  encoded.payload[9] = 200;  // kind byte follows cid + verb
+  EXPECT_FALSE(decode_response(encoded).ok());
+}
+
+TEST(AnchordWire, PeekCorrelationId) {
+  Request request;
+  request.correlation_id = 424242;
+  net::Message message = encode_request(request);
+  EXPECT_EQ(peek_correlation_id(BytesView(message.payload)), 424242u);
+  EXPECT_EQ(peek_correlation_id(BytesView(Bytes{0x01, 0x02})), 0u);
+}
+
+// --- verbs over the wire --------------------------------------------------
+
+TEST(AnchordServer, AllFourVerbsRoundTrip) {
+  Harness h;
+  AnchordClient client(h.client_end());
+
+  // Verify: an accepted chain comes back ok with the path as DER.
+  CertPtr good = h.pki.leaf("ok.example.com");
+  auto verify = client.call(h.pki.verify_request(good, "ok.example.com"));
+  ASSERT_TRUE(verify.ok()) << verify.error();
+  EXPECT_TRUE(verify.value().ok);
+  EXPECT_EQ(verify.value().kind, ErrorKind::kOk);
+  EXPECT_EQ(verify.value().stats.chain_len, 3u);
+  EXPECT_EQ(verify.value().chain_der.size(), 3u);
+  EXPECT_EQ(verify.value().chain_der[0], good->der());
+
+  // EvaluateGccs against a store with no GCCs: allowed.
+  Request gccs;
+  gccs.verb = Verb::kEvaluateGccs;
+  gccs.usage = "TLS";
+  gccs.leaf_der = good->der();
+  gccs.intermediates_der = {h.pki.intermediate->der(), h.pki.root->der()};
+  auto eval = client.call(gccs);
+  ASSERT_TRUE(eval.ok()) << eval.error();
+  EXPECT_TRUE(eval.value().ok);
+  EXPECT_EQ(eval.value().stats.chain_len, 3u);
+
+  // Metrics: the exposition crosses as the detail string and includes the
+  // server's own request counters.
+  Request metrics_req;
+  metrics_req.verb = Verb::kMetrics;
+  auto metrics = client.call(metrics_req);
+  ASSERT_TRUE(metrics.ok()) << metrics.error();
+  EXPECT_TRUE(metrics.value().ok);
+  EXPECT_NE(metrics.value().detail.find("anchor_store_trusted_roots 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.value().detail.find("anchor_anchord_requests_total"),
+            std::string::npos);
+
+  // FeedStatus without a feed: explicit kUnavailable, not a dropped verb.
+  Request feed_req;
+  feed_req.verb = Verb::kFeedStatus;
+  auto feed = client.call(feed_req);
+  ASSERT_TRUE(feed.ok()) << feed.error();
+  EXPECT_FALSE(feed.value().ok);
+  EXPECT_EQ(feed.value().kind, ErrorKind::kUnavailable);
+}
+
+TEST(AnchordServer, FeedStatusWithAttachedClient) {
+  SimSig feed_registry;
+  rsf::Feed feed("nss", feed_registry);
+  Harness h;
+  feed.publish(h.pki.store, 100, "r1");
+  rsf::RsfClient rsf_client(feed, 3600);
+  rsf_client.bind_metrics(h.registry, "nss");
+  EXPECT_EQ(rsf_client.poll_now(200), 1u);
+
+  // A second server sharing the harness service, with the feed attached.
+  VerbDispatcher::Backends backends = h.backends;
+  backends.feed = &rsf_client;
+  AnchordServer server(backends, {}, h.registry);
+  ConduitPair pair = make_memory_conduit();
+  std::thread serve([&] { server.serve(*pair.second); });
+  {
+    AnchordClient client(*pair.first);
+    Request request;
+    request.verb = Verb::kFeedStatus;
+    auto status = client.call(request);
+    ASSERT_TRUE(status.ok()) << status.error();
+    EXPECT_TRUE(status.value().ok);
+    EXPECT_NE(status.value().detail.find("health=healthy"),
+              std::string::npos);
+    EXPECT_NE(status.value().detail.find("sequence=1"), std::string::npos);
+  }
+  pair.first->close();
+  serve.join();
+}
+
+TEST(AnchordServer, VerifyFailureKindsCrossTheWire) {
+  Harness h;
+  AnchordClient client(h.client_end());
+
+  // Hostname mismatch.
+  CertPtr good = h.pki.leaf("real.example.com");
+  auto mismatch =
+      client.call(h.pki.verify_request(good, "other.example.com"));
+  ASSERT_TRUE(mismatch.ok()) << mismatch.error();
+  EXPECT_FALSE(mismatch.value().ok);
+  EXPECT_EQ(mismatch.value().kind, ErrorKind::kHostnameMismatch);
+
+  // Malformed leaf DER is classified, not stringly-typed.
+  Request malformed = h.pki.verify_request(good, "real.example.com");
+  malformed.leaf_der = Bytes{0xde, 0xad};
+  auto bad = client.call(malformed);
+  ASSERT_TRUE(bad.ok()) << bad.error();
+  EXPECT_EQ(bad.value().kind, ErrorKind::kMalformedRequest);
+
+  // Unknown usage token.
+  Request weird = h.pki.verify_request(good, "real.example.com");
+  weird.usage = "CODE-SIGNING";
+  auto unknown = client.call(weird);
+  ASSERT_TRUE(unknown.ok()) << unknown.error();
+  EXPECT_EQ(unknown.value().kind, ErrorKind::kMalformedRequest);
+}
+
+// Acceptance: the wire path and the direct VerifyService path produce
+// byte-identical responses for the same request.
+TEST(AnchordServer, WireVerdictMatchesDirectPathByteForByte) {
+  Harness h;
+  VerbDispatcher direct(h.backends);
+  AnchordClient client(h.client_end());
+
+  const std::vector<std::pair<std::string, bool>> cases = {
+      {"match.example.com", true},    // accepted chain
+      {"mismatch.example.com", false} // hostname rejection
+  };
+  for (const auto& [domain, accept] : cases) {
+    CertPtr leaf = h.pki.leaf(domain);
+    Request request = h.pki.verify_request(
+        leaf, accept ? domain : "elsewhere.example.com");
+    auto wire = client.call(request);
+    ASSERT_TRUE(wire.ok()) << wire.error();
+    EXPECT_EQ(wire.value().ok, accept);
+
+    Request mirror = request;
+    mirror.correlation_id = wire.value().correlation_id;
+    Response direct_response = direct.dispatch(mirror);
+    EXPECT_EQ(encode_response(wire.value()).payload,
+              encode_response(direct_response).payload)
+        << "wire and direct responses diverge for " << domain;
+  }
+}
+
+// --- session robustness ---------------------------------------------------
+
+TEST(AnchordServer, TornFramesByteByByte) {
+  Harness h;
+  AnchordClient client(h.client_end());
+
+  CertPtr leaf = h.pki.leaf("torn.example.com");
+  Request request = h.pki.verify_request(leaf, "torn.example.com");
+  request.correlation_id = 1;
+  const Bytes frame = net::encode_frame(encode_request(request));
+  for (std::uint8_t byte : frame) {
+    ASSERT_TRUE(h.client_end().write(BytesView(&byte, 1)));
+  }
+  auto response = client.receive(1);
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_TRUE(response.value().ok);
+  EXPECT_EQ(response.value().stats.chain_len, 3u);
+}
+
+TEST(AnchordServer, ResponsesInterleaveByCorrelationId) {
+  AnchordConfig config;
+  config.workers = 2;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> handlers_started{0};
+  config.handler_gate = [&] {
+    if (handlers_started.fetch_add(1) == 0) {
+      // Hold the FIRST handler until the second one has answered, forcing
+      // responses onto the wire out of submission order.
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+  };
+  Harness h(config);
+  AnchordClient client(h.client_end());
+
+  CertPtr first = h.pki.leaf("first.example.com");
+  CertPtr second = h.pki.leaf("second.example.com");
+  auto id1 = client.send(h.pki.verify_request(first, "first.example.com"));
+  ASSERT_TRUE(id1.ok());
+  // Ensure request 1's handler is the one the gate holds.
+  while (handlers_started.load() == 0) std::this_thread::yield();
+  auto id2 = client.send(h.pki.verify_request(second, "second.example.com"));
+  ASSERT_TRUE(id2.ok());
+
+  auto response2 = client.receive(id2.value());  // arrives while 1 is held
+  ASSERT_TRUE(response2.ok()) << response2.error();
+  EXPECT_TRUE(response2.value().ok);
+  EXPECT_EQ(response2.value().correlation_id, id2.value());
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  auto response1 = client.receive(id1.value());
+  ASSERT_TRUE(response1.ok()) << response1.error();
+  EXPECT_TRUE(response1.value().ok);
+  EXPECT_EQ(response1.value().correlation_id, id1.value());
+}
+
+TEST(AnchordServer, OversizedAndUnknownFramesAlertWithoutKillingSession) {
+  Harness h;
+  AnchordClient client(h.client_end());
+
+  // Unknown frame type, well-formed length: alert + skip.
+  Bytes unknown{99, 0x00, 0x00, 0x00, 0x02, 0xaa, 0xbb};
+  ASSERT_TRUE(h.client_end().write(BytesView(unknown)));
+
+  // Oversized frame: header declares kMaxFrameBytes + 1; the server alerts
+  // and discards exactly that many payload bytes as they stream in.
+  const std::uint32_t big = static_cast<std::uint32_t>(net::kMaxFrameBytes) + 1;
+  Bytes oversized{static_cast<std::uint8_t>(net::MsgType::kRequest),
+                  static_cast<std::uint8_t>(big >> 24),
+                  static_cast<std::uint8_t>(big >> 16),
+                  static_cast<std::uint8_t>(big >> 8),
+                  static_cast<std::uint8_t>(big)};
+  oversized.resize(5 + big, 0x5a);
+  ASSERT_TRUE(h.client_end().write(BytesView(oversized)));
+
+  // A garbage kRequest payload: answered kMalformedRequest by peeked id.
+  net::Message garbage;
+  garbage.type = net::MsgType::kRequest;
+  garbage.payload = Bytes{0, 0, 0, 0, 0, 0, 0, 42, 0xff};
+  ASSERT_TRUE(h.client_end().write(BytesView(net::encode_frame(garbage))));
+  auto malformed = client.receive(42);
+  ASSERT_TRUE(malformed.ok()) << malformed.error();
+  EXPECT_EQ(malformed.value().kind, ErrorKind::kMalformedRequest);
+
+  // The session survived all three: a real request still round-trips.
+  CertPtr leaf = h.pki.leaf("alive.example.com");
+  auto response = client.call(h.pki.verify_request(leaf, "alive.example.com"));
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_TRUE(response.value().ok);
+
+  EXPECT_GE(client.alerts(), 2u);
+  EXPECT_EQ(h.registry.counter("anchor_anchord_alerts_total").value(), 2u);
+  EXPECT_EQ(h.registry.counter("anchor_anchord_malformed_total").value(), 1u);
+}
+
+TEST(AnchordServer, OverloadFailsClosedWithExplicitResponse) {
+  AnchordConfig config;
+  config.workers = 2;
+  config.max_in_flight = 1;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> handlers_started{0};
+  config.handler_gate = [&] {
+    handlers_started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  Harness h(config);
+  AnchordClient client(h.client_end());
+
+  CertPtr leaf = h.pki.leaf("load.example.com");
+  auto id1 = client.send(h.pki.verify_request(leaf, "load.example.com"));
+  ASSERT_TRUE(id1.ok());
+  while (handlers_started.load() == 0) std::this_thread::yield();
+
+  // The bound is taken: the next request is rejected synchronously.
+  auto id2 = client.send(h.pki.verify_request(leaf, "load.example.com"));
+  ASSERT_TRUE(id2.ok());
+  auto rejected = client.receive(id2.value());
+  ASSERT_TRUE(rejected.ok()) << rejected.error();
+  EXPECT_FALSE(rejected.value().ok);
+  EXPECT_EQ(rejected.value().kind, ErrorKind::kOverloaded);
+  EXPECT_EQ(h.registry.counter("anchor_anchord_overloads_total").value(), 1u);
+
+  // The admitted request still completes once released — overload sheds
+  // new load, it never cancels accepted work.
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  auto accepted = client.receive(id1.value());
+  ASSERT_TRUE(accepted.ok()) << accepted.error();
+  EXPECT_TRUE(accepted.value().ok);
+}
+
+TEST(AnchordServer, ExpiredDeadlineAnswersTimeoutWithoutVerifying) {
+  AnchordConfig config;
+  config.request_timeout_ms = 20;
+  config.handler_gate = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  };
+  Harness h(config);
+  AnchordClient client(h.client_end());
+
+  CertPtr leaf = h.pki.leaf("late.example.com");
+  auto response = client.call(h.pki.verify_request(leaf, "late.example.com"));
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().kind, ErrorKind::kTimeout);
+  EXPECT_EQ(h.registry.counter("anchor_anchord_timeouts_total").value(), 1u);
+  // The verifier never ran: no verify call was recorded by the service.
+  EXPECT_EQ(h.service.stats().calls, 0u);
+}
+
+// --- transports and concurrency -------------------------------------------
+
+TEST(AnchordServer, RoundTripOverSocketpair) {
+  Harness h;  // serve thread on the memory pair is idle; we add a real one
+  auto pair = make_socketpair_conduit();
+  ASSERT_TRUE(pair.ok()) << pair.error();
+  ConduitPair fds = std::move(pair).take();
+  std::thread serve([&] { h.server->serve(*fds.second); });
+  {
+    AnchordClient client(*fds.first);
+    CertPtr leaf = h.pki.leaf("unix.example.com");
+    auto response =
+        client.call(h.pki.verify_request(leaf, "unix.example.com"));
+    ASSERT_TRUE(response.ok()) << response.error();
+    EXPECT_TRUE(response.value().ok);
+    EXPECT_EQ(response.value().stats.chain_len, 3u);
+  }
+  fds.first->close();
+  serve.join();
+}
+
+// Many connections, each pipelining a mix of accepting and rejecting
+// requests: every response must match its request's expected verdict (the
+// TSan target for this suite).
+TEST(AnchordServer, ConcurrentConnectionsWithPipelining) {
+  AnchordConfig config;
+  config.workers = 4;
+  Harness h(config);
+
+  constexpr int kConnections = 4;
+  constexpr int kRequestsPerConnection = 12;
+  CertPtr good = h.pki.leaf("good.example.com");
+  CertPtr other = h.pki.leaf("bad.example.com");
+
+  std::vector<std::thread> serve_threads;
+  std::vector<ConduitPair> pairs;
+  pairs.reserve(kConnections);
+  for (int c = 0; c < kConnections; ++c) {
+    pairs.push_back(make_memory_conduit());
+    serve_threads.emplace_back(
+        [&, c] { h.server->serve(*pairs[static_cast<std::size_t>(c)].second); });
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kConnections; ++c) {
+    clients.emplace_back([&, c] {
+      AnchordClient client(*pairs[static_cast<std::size_t>(c)].first);
+      std::vector<std::pair<std::uint64_t, bool>> expect;
+      for (int i = 0; i < kRequestsPerConnection; ++i) {
+        const bool accept = i % 2 == 0;
+        Request request =
+            h.pki.verify_request(accept ? good : other, "good.example.com");
+        auto id = client.send(std::move(request));
+        if (!id.ok()) {
+          ++mismatches;
+          continue;
+        }
+        expect.emplace_back(id.value(), accept);
+      }
+      // Claim in reverse submission order to exercise out-of-order match.
+      for (auto it = expect.rbegin(); it != expect.rend(); ++it) {
+        auto response = client.receive(it->first);
+        if (!response.ok() || response.value().ok != it->second ||
+            response.value().correlation_id != it->first) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kConnections; ++c) {
+    pairs[static_cast<std::size_t>(c)].first->close();
+  }
+  for (auto& t : serve_threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(
+      h.registry.counter("anchor_anchord_requests_total", {{"verb", "verify"}})
+          .value(),
+      static_cast<std::uint64_t>(kConnections) * kRequestsPerConnection);
+}
+
+}  // namespace
+}  // namespace anchor::anchord

@@ -77,6 +77,44 @@ TEST(Frame, RejectsOversizedLength) {
   EXPECT_FALSE(decode_frame(bad).ok());
 }
 
+TEST(Frame, MaxFrameBoundaryIsInclusive) {
+  // A payload of exactly kMaxFrameBytes is legal and round-trips…
+  Message message;
+  message.type = MsgType::kRequest;
+  message.payload = Bytes(kMaxFrameBytes, 0x5a);
+  Bytes frame = encode_frame(message);
+  auto decoded = decode_frame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  ASSERT_TRUE(decoded.value().complete);
+  EXPECT_EQ(decoded.value().message.payload.size(), kMaxFrameBytes);
+  EXPECT_TRUE(frame.empty());
+
+  // …while one byte more is rejected, and the rejection consumes nothing:
+  // the caller still holds the full header and can resynchronise from it.
+  const std::uint32_t over = static_cast<std::uint32_t>(kMaxFrameBytes) + 1;
+  Bytes bad{static_cast<std::uint8_t>(MsgType::kRequest),
+            static_cast<std::uint8_t>(over >> 24),
+            static_cast<std::uint8_t>(over >> 16),
+            static_cast<std::uint8_t>(over >> 8),
+            static_cast<std::uint8_t>(over)};
+  const Bytes before = bad;
+  EXPECT_FALSE(decode_frame(bad).ok());
+  EXPECT_EQ(bad, before);
+}
+
+TEST(Frame, RequestResponseTypesAreValid) {
+  for (MsgType type : {MsgType::kRequest, MsgType::kResponse}) {
+    Message message;
+    message.type = type;
+    message.payload = to_bytes("rpc");
+    Bytes frame = encode_frame(message);
+    auto decoded = decode_frame(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    ASSERT_TRUE(decoded.value().complete);
+    EXPECT_EQ(decoded.value().message.type, type);
+  }
+}
+
 TEST(Channel, MessagesFlowBothWays) {
   DuplexChannel channel;
   Message ping;

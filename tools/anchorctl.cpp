@@ -25,8 +25,19 @@
 //                                 [--usage TLS|S/MIME] [--repeat N]
 //                                 [--threads N] [--feed <dir> --now <iso8601>]
 //                                 drive verifications (and optionally one
-//                                 feed poll) through the shared registry,
+//                                 feed poll) through the shared registry —
+//                                 half direct, half through an in-process
+//                                 anchord server so the daemon's own
+//                                 queue-depth/overload series populate —
 //                                 then print the text exposition
+//   anchorctl daemon <store.txt> <verb> [chain.pem] [--host <h>]
+//                                 [--time <iso8601>] [--usage TLS|S/MIME]
+//                                 [--transport memory|unix]
+//                                 speak the framed wire protocol to an
+//                                 in-process anchord server; <verb> is one
+//                                 of verify, evaluate-gccs, metrics,
+//                                 feed-status. Exit code = the response's
+//                                 ErrorKind value (0 = ok).
 //
 // Feed directories hold `feed.name` plus `snapshot-NNNN.txt` files (a
 // header block followed by the store payload) — a file-based RSF a
@@ -44,8 +55,11 @@
 #include <future>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "anchord/client.hpp"
+#include "anchord/server.hpp"
 #include "chain/service.hpp"
 #include "chain/verifier.hpp"
 #include "core/executor.hpp"
@@ -86,7 +100,10 @@ int usage() {
                "  feed-status <dir> --now <iso8601> [--stale-after <sec>]\n"
                "  metrics <store.txt> <chain.pem> --host <h> --time <t>"
                " [--usage TLS|S/MIME] [--repeat N] [--threads N]"
-               " [--feed <dir> --now <iso8601>]\n");
+               " [--feed <dir> --now <iso8601>]\n"
+               "  daemon <store.txt> <verb> [chain.pem] [--host <h>]"
+               " [--time <t>] [--usage TLS|S/MIME] [--transport memory|unix]\n"
+               "      verb: verify | evaluate-gccs | metrics | feed-status\n");
   return 2;
 }
 
@@ -406,11 +423,13 @@ int cmd_verify(int argc, char** argv) {
                 result.chain.back()->subject().common_name().c_str());
     return 0;
   }
-  std::printf("INVALID: %s\n", result.error.c_str());
+  std::printf("INVALID (%s): %s\n", chain::to_string(result.kind),
+              result.error.c_str());
   for (const auto& rejected : result.rejected_paths) {
     std::printf("  tried: %s\n", rejected.c_str());
   }
-  return 1;
+  // Scripts branch on the taxonomy, not on scraping the message.
+  return chain::exit_code(result.kind);
 }
 
 // Runs the chain through a VerifyService --repeat times (async, so the
@@ -807,6 +826,131 @@ class FileFeedTransport : public rsf::FeedTransport {
   std::vector<rsf::Snapshot> run_;
 };
 
+// Builds the wire request for `verb` against a PEM chain (leaf first).
+// check_signatures stays off: PEMs carry no SimSig secrets (DESIGN.md §5).
+anchord::Request wire_request(anchord::Verb verb,
+                              const std::vector<x509::CertPtr>& chain,
+                              const chain::VerifyOptions& options) {
+  anchord::Request request;
+  request.verb = verb;
+  request.usage = chain::usage_name(options.usage);
+  request.time = options.time;
+  request.hostname = options.hostname;
+  request.max_depth = static_cast<std::uint32_t>(options.max_depth);
+  request.check_signatures = false;
+  if (!chain.empty()) {
+    request.leaf_der = chain.front()->der();
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      request.intermediates_der.push_back(chain[i]->der());
+    }
+  }
+  return request;
+}
+
+// anchorctl as a wire client: one request/response round trip through a
+// real AnchordServer session — framed codec, correlation ids, the works —
+// over an in-memory conduit or an AF_UNIX socketpair. The same four verbs
+// a deployed daemon serves; exit code is the response's ErrorKind.
+int cmd_daemon(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto store = load_store(argv[0]);
+  if (!store) {
+    std::fprintf(stderr, "error: %s\n", store.error().c_str());
+    return 1;
+  }
+  const std::string verb_name = argv[1];
+  anchord::Verb verb;
+  if (verb_name == "verify") {
+    verb = anchord::Verb::kVerify;
+  } else if (verb_name == "evaluate-gccs") {
+    verb = anchord::Verb::kEvaluateGccs;
+  } else if (verb_name == "metrics") {
+    verb = anchord::Verb::kMetrics;
+  } else if (verb_name == "feed-status") {
+    verb = anchord::Verb::kFeedStatus;
+  } else {
+    std::fprintf(stderr, "error: unknown daemon verb '%s'\n",
+                 verb_name.c_str());
+    return 2;
+  }
+
+  chain::VerifyOptions options;
+  options.hostname = flag_value(argc, argv, "--host", "");
+  options.usage = flag_value(argc, argv, "--usage", "TLS") == "S/MIME"
+                      ? chain::Usage::kSmime
+                      : chain::Usage::kTls;
+  std::vector<x509::CertPtr> certs;
+  const bool needs_chain =
+      verb == anchord::Verb::kVerify || verb == anchord::Verb::kEvaluateGccs;
+  if (needs_chain) {
+    if (argc < 3) return usage();
+    auto chain_file = read_chain(argv[2]);
+    if (!chain_file) {
+      std::fprintf(stderr, "error: %s\n", chain_file.error().c_str());
+      return 1;
+    }
+    certs = std::move(chain_file).take();
+    std::string time_text = flag_value(argc, argv, "--time", "");
+    if (time_text.empty() || !parse_iso8601(time_text, options.time)) {
+      std::fprintf(stderr, "error: --time <YYYY-MM-DDTHH:MM:SSZ> required\n");
+      return 2;
+    }
+  }
+
+  SimSig no_keys;
+  metrics::Registry registry;
+  chain::VerifyService service(store.value(), no_keys, {}, registry);
+  anchord::VerbDispatcher::Backends backends;
+  backends.service = &service;
+  backends.store = &store.value();
+  backends.registry = &registry;
+  anchord::AnchordServer server(backends, {}, registry);
+
+  anchord::ConduitPair conduits;
+  const std::string transport =
+      flag_value(argc, argv, "--transport", "memory");
+  if (transport == "unix") {
+    auto pair = anchord::make_socketpair_conduit();
+    if (!pair.ok()) {
+      std::fprintf(stderr, "error: %s\n", pair.error().c_str());
+      return 1;
+    }
+    conduits = std::move(pair).take();
+  } else {
+    conduits = anchord::make_memory_conduit();
+  }
+  std::thread serve([&] { server.serve(*conduits.second); });
+  int code;
+  {
+    anchord::AnchordClient client(*conduits.first);
+    auto response = client.call(wire_request(verb, certs, options));
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n", response.error().c_str());
+      code = exit_code(chain::ErrorKind::kInternal);
+    } else {
+      const anchord::Response& r = response.value();
+      if (verb == anchord::Verb::kMetrics ||
+          verb == anchord::Verb::kFeedStatus) {
+        std::printf("%s%s", r.detail.c_str(),
+                    r.detail.empty() || r.detail.back() == '\n' ? "" : "\n");
+      } else {
+        std::printf("verdict : %s\n", r.ok ? "VALID" : "INVALID");
+        std::printf("kind    : %s\n", chain::to_string(r.kind));
+        if (!r.detail.empty()) std::printf("detail  : %s\n", r.detail.c_str());
+        std::printf("chain   : %u certificate(s), %llu path(s) explored, "
+                    "epoch %llu\n",
+                    r.stats.chain_len,
+                    static_cast<unsigned long long>(r.stats.paths_explored),
+                    static_cast<unsigned long long>(r.stats.epoch));
+      }
+      code = exit_code(r.kind);
+    }
+  }
+  conduits.first->close();
+  serve.join();
+  return code;
+}
+
 // Operator-facing scrape: drives real work — repeated verifications, and
 // optionally one RSF poll against a feed directory — through the shared
 // registry, then prints the exposition. The same counters the TrustDaemon
@@ -849,6 +993,41 @@ int cmd_metrics(int argc, char** argv) {
     pending.push_back(service.submit(chain.value()[0], &pool, options));
   }
   for (auto& future : pending) (void)future.get();
+
+  // Same workload once more through an in-process anchord server, so the
+  // exposition includes the daemon's own serving counters — queue depth,
+  // in-flight gauge, per-verb requests, overloads/timeouts (zero here, but
+  // present: an operator dashboard needs the series to exist before the
+  // first incident).
+  {
+    anchord::VerbDispatcher::Backends backends;
+    backends.service = &service;
+    backends.store = &store.value();
+    anchord::AnchordServer server(backends, {});
+    anchord::ConduitPair conduits = anchord::make_memory_conduit();
+    std::thread serve([&] { server.serve(*conduits.second); });
+    {
+      anchord::AnchordClient client(*conduits.first);
+      anchord::Request request;
+      request.usage = chain::usage_name(options.usage);
+      request.time = options.time;
+      request.hostname = options.hostname;
+      request.check_signatures = false;
+      request.leaf_der = chain.value()[0]->der();
+      for (std::size_t i = 1; i < chain.value().size(); ++i) {
+        request.intermediates_der.push_back(chain.value()[i]->der());
+      }
+      std::vector<std::uint64_t> ids;
+      ids.reserve(repeat);
+      for (unsigned long i = 0; i < repeat; ++i) {
+        auto id = client.send(request);
+        if (id.ok()) ids.push_back(id.value());
+      }
+      for (std::uint64_t id : ids) (void)client.receive(id);
+    }
+    conduits.first->close();
+    serve.join();
+  }
 
   std::string feed_dir = flag_value(argc, argv, "--feed", "");
   if (!feed_dir.empty()) {
@@ -898,5 +1077,6 @@ int main(int argc, char** argv) {
   if (command == "feed-apply") return cmd_feed_apply(rest_argc, rest_argv);
   if (command == "feed-status") return cmd_feed_status(rest_argc, rest_argv);
   if (command == "metrics") return cmd_metrics(rest_argc, rest_argv);
+  if (command == "daemon") return cmd_daemon(rest_argc, rest_argv);
   return usage();
 }
