@@ -131,6 +131,7 @@ void BM_Validate_PlatformDaemon(benchmark::State& state) {
   verifier.set_gcc_hook([&daemon](const core::Chain& chain,
                                   std::string_view usage,
                                   std::span<const core::Gcc>,
+                                  const core::FactSet*,
                                   core::GccVerdict&) {
     std::vector<Bytes> der;
     der.reserve(chain.size());
@@ -251,6 +252,7 @@ void BM_Validate_PlatformDaemonService(benchmark::State& state) {
   verifier.set_gcc_hook([daemon](const core::Chain& chain,
                                  std::string_view usage,
                                  std::span<const core::Gcc>,
+                                 const core::FactSet*,
                                  core::GccVerdict&) {
     std::vector<Bytes> der;
     der.reserve(chain.size());

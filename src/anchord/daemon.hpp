@@ -55,14 +55,6 @@ class TrustDaemon {
  public:
   explicit TrustDaemon(TrustDaemonConfig config);
 
-  // Positional form kept for one PR so out-of-tree callers migrate on
-  // their own schedule; delegates to the config constructor.
-  [[deprecated("use TrustDaemon(TrustDaemonConfig)")]]
-  TrustDaemon(const rootstore::RootStore& store, const SignatureScheme& scheme,
-              std::uint64_t latency_ns = 0,
-              chain::VerifyService* service = nullptr)
-      : TrustDaemon(TrustDaemonConfig{&store, &scheme, latency_ns, service}) {}
-
   // Option 2: the user-agent built a candidate chain; the daemon executes
   // the GCCs attached to its root. Input is the chain as DER blobs
   // (leaf-first), as they cross the wire.

@@ -65,10 +65,23 @@ struct VerifyService::Snapshot {
         verifier(store, scheme) {}
 
   // Shared across threads read-only except via the gcc hook, whose only
-  // mutable state is the service's striped caches and atomics.
+  // mutable state is the service's striped caches and atomics. Calls that
+  // carry chain-external context facts bypass the verdict cache entirely:
+  // the cache key covers only (epoch, root, chain, usage), so a verdict
+  // that also depended on caller-supplied context would be unsound to
+  // memoize or to replay for a caller with different context.
   bool evaluate_gccs(VerifyService& service, const core::Chain& chain,
                      std::string_view usage, std::span<const core::Gcc> gccs,
+                     const core::FactSet* context,
                      core::GccVerdict& verdict) const {
+    if (context != nullptr) {
+      core::GccVerdict v = executor.evaluate(chain, usage, gccs, context);
+      verdict.gccs_evaluated += v.gccs_evaluated;
+      verdict.facts_encoded += v.facts_encoded;
+      verdict.stats.accumulate(v.stats);
+      if (!v.allowed) verdict.failed_gcc = v.failed_gcc;
+      return v.allowed;
+    }
     VerdictKey key{epoch, chain.back()->fingerprint_hex(),
                    chain_fingerprint(chain), std::string(usage)};
     CachedVerdict cached;
@@ -133,8 +146,9 @@ std::shared_ptr<const VerifyService::Snapshot> VerifyService::build_snapshot() {
   const Snapshot* raw = snapshot.get();
   snapshot->verifier.set_gcc_hook(
       [this, raw](const core::Chain& chain, std::string_view usage,
-                  std::span<const core::Gcc> gccs, core::GccVerdict& verdict) {
-        return raw->evaluate_gccs(*this, chain, usage, gccs, verdict);
+                  std::span<const core::Gcc> gccs,
+                  const core::FactSet* context, core::GccVerdict& verdict) {
+        return raw->evaluate_gccs(*this, chain, usage, gccs, context, verdict);
       });
   return snapshot;
 }
@@ -277,8 +291,8 @@ VerifyService::GccsOutcome VerifyService::evaluate_gccs_detail(
   const auto& gccs =
       snapshot->store.gccs().for_root(chain.back()->fingerprint_hex());
   if (!gccs.empty()) {
-    outcome.allowed =
-        snapshot->evaluate_gccs(*this, chain, usage, gccs, outcome.verdict);
+    outcome.allowed = snapshot->evaluate_gccs(*this, chain, usage, gccs,
+                                              nullptr, outcome.verdict);
     if (!outcome.allowed) {
       outcome.kind = ErrorKind::kGccDenied;
       outcome.detail = "gcc:" + outcome.verdict.failed_gcc;

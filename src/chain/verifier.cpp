@@ -15,8 +15,9 @@ ChainVerifier::ChainVerifier(const rootstore::RootStore& store,
     : store_(store), scheme_(scheme) {
   gcc_hook_ = [this](const core::Chain& chain, std::string_view usage,
                      std::span<const core::Gcc> gccs,
+                     const core::FactSet* context,
                      core::GccVerdict& verdict) {
-    core::GccVerdict v = executor_.evaluate(chain, usage, gccs);
+    core::GccVerdict v = executor_.evaluate(chain, usage, gccs, context);
     verdict.gccs_evaluated += v.gccs_evaluated;
     verdict.facts_encoded += v.facts_encoded;
     verdict.stats.accumulate(v.stats);
@@ -172,7 +173,7 @@ std::optional<Fault> ChainVerifier::check_at_root(
     const auto& gccs = store_.gccs().for_root(chain.back()->fingerprint_hex());
     if (!gccs.empty() &&
         !gcc_hook_(chain, usage_name(options.usage), gccs,
-                   result.gcc_verdict)) {
+                   options.gcc_context, result.gcc_verdict)) {
       return fault(ErrorKind::kGccDenied,
                    "gcc:" + result.gcc_verdict.failed_gcc);
     }

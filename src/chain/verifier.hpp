@@ -41,6 +41,12 @@ struct VerifyOptions {
   std::size_t max_depth = 8;    // maximum certificates in a path
   bool check_signatures = true; // disable only in parsing-only benchmarks
   bool run_gccs = true;         // the ablation switch for E9
+  // Chain-external facts for GCC evaluation (SCT timestamps, client
+  // version, validation instant — the Chrome Root Store constraint
+  // vocabulary; see rootstore/constraint_compile.hpp). Must outlive the
+  // verify() call; nullptr when the store carries no context-dependent
+  // constraints.
+  const core::FactSet* gcc_context = nullptr;
 };
 
 struct VerifyResult {
@@ -64,6 +70,7 @@ struct VerifyResult {
 using GccHook = std::function<bool(const core::Chain& chain,
                                    std::string_view usage,
                                    std::span<const core::Gcc> gccs,
+                                   const core::FactSet* context,
                                    core::GccVerdict& verdict)>;
 
 class ChainVerifier {

@@ -17,7 +17,7 @@ datalog::Session& tls_session() {
 
 }  // namespace
 
-bool GccExecutor::run_compiled(const FactSet& facts,
+bool GccExecutor::run_compiled(const FactSet& facts, const FactSet* context,
                                const std::string& chain_id,
                                std::string_view usage, const Gcc& gcc,
                                GccVerdict* verdict) const {
@@ -27,7 +27,11 @@ bool GccExecutor::run_compiled(const FactSet& facts,
   datalog::Session& session = tls_session();
   session.prepare(*program);
   facts.load_into(*program, session);
-  if (verdict != nullptr) verdict->facts_encoded += facts.size();
+  if (context != nullptr) context->load_into(*program, session);
+  if (verdict != nullptr) {
+    verdict->facts_encoded +=
+        facts.size() + (context != nullptr ? context->size() : 0);
+  }
 
   const datalog::EvalStats stats = program->run(session, strategy_);
 
@@ -51,19 +55,22 @@ bool GccExecutor::run_compiled(const FactSet& facts,
 }
 
 bool GccExecutor::evaluate_one(const Chain& chain, std::string_view usage,
-                               const Gcc& gcc, GccVerdict* verdict) const {
+                               const Gcc& gcc, GccVerdict* verdict,
+                               const FactSet* context) const {
   metrics::ScopedTimer span(m_eval_seconds_);
   m_evaluations_.add();
   FactSet facts;
   const std::string chain_id = chain_id_of(chain);
   encode_chain(chain, chain_id, facts);
-  const bool allowed = run_compiled(facts, chain_id, usage, gcc, verdict);
+  const bool allowed =
+      run_compiled(facts, context, chain_id, usage, gcc, verdict);
   if (!allowed) m_denials_.add();
   return allowed;
 }
 
 GccVerdict GccExecutor::evaluate(const Chain& chain, std::string_view usage,
-                                 std::span<const Gcc> gccs) const {
+                                 std::span<const Gcc> gccs,
+                                 const FactSet* context) const {
   GccVerdict verdict;
   if (gccs.empty()) return verdict;
 
@@ -78,7 +85,7 @@ GccVerdict GccExecutor::evaluate(const Chain& chain, std::string_view usage,
   encode_chain(chain, chain_id, facts);
 
   for (const Gcc& gcc : gccs) {
-    if (!run_compiled(facts, chain_id, usage, gcc, &verdict)) {
+    if (!run_compiled(facts, context, chain_id, usage, gcc, &verdict)) {
       verdict.allowed = false;
       verdict.failed_gcc = gcc.name();
       m_denials_.add();

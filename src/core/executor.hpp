@@ -53,20 +53,25 @@ class GccExecutor {
 
   // Evaluates every GCC against the chain for the given usage. Evaluation
   // order follows attachment order; the verdict reports the first failure.
-  // An empty GCC list trivially allows.
+  // An empty GCC list trivially allows. `context` optionally supplies
+  // chain-external facts (SCT timestamps, client version, validation
+  // instant — see rootstore/constraint_compile.hpp); its facts load after
+  // the chain encoding into every GCC's session.
   GccVerdict evaluate(const Chain& chain, std::string_view usage,
-                      std::span<const Gcc> gccs) const;
+                      std::span<const Gcc> gccs,
+                      const FactSet* context = nullptr) const;
 
   // Single-constraint form.
   bool evaluate_one(const Chain& chain, std::string_view usage,
-                    const Gcc& gcc, GccVerdict* verdict = nullptr) const;
+                    const Gcc& gcc, GccVerdict* verdict = nullptr,
+                    const FactSet* context = nullptr) const;
 
  private:
   // Runs one precompiled GCC over an already-encoded chain (the chain is
   // encoded once per evaluate() call and shared across GCCs).
-  bool run_compiled(const FactSet& facts, const std::string& chain_id,
-                    std::string_view usage, const Gcc& gcc,
-                    GccVerdict* verdict) const;
+  bool run_compiled(const FactSet& facts, const FactSet* context,
+                    const std::string& chain_id, std::string_view usage,
+                    const Gcc& gcc, GccVerdict* verdict) const;
 
   datalog::Strategy strategy_;
 

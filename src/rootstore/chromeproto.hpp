@@ -1,0 +1,145 @@
+// Chrome Root Store textproto ingestion (ROADMAP item 3). The deployed
+// Chrome root store ships as a protobuf text file of the shape
+//
+//   trust_anchors {
+//     sha256_hex: "...64 lowercase hex chars..."
+//     ev_policy_oids: "2.23.140.1.1"          # repeated
+//     constraints {                            # repeated; blocks are OR'd
+//       sct_not_after_sec: 0x5AF
+//       sct_all_after_sec: 9593
+//       permitted_dns_names: "foo.example.com" # repeated
+//       min_version: "128"
+//       max_version_exclusive: "125.0.6368.2"
+//       enforce_anchor_expiry: true
+//       enforce_anchor_constraints: true
+//     }
+//   }
+//   additional_certs { sha256_hex: "..." }
+//
+// This parser is deliberately fail-closed: unknown fields, duplicate
+// scalar fields, malformed or oversized hex, out-of-range timestamps,
+// malformed versions/OIDs/DNS names and empty constraint blocks are all
+// hard rejections with a classified error — a root store is a trust
+// decision, and a field the ingester does not understand might be the
+// field that was supposed to constrain an anchor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anchor::rootstore::chromeproto {
+
+// Rejection taxonomy. Tests (and `anchorctl compile-store`) branch on the
+// class, not the message text.
+enum class ErrorClass {
+  kSyntax,          // lexical/structural textproto error
+  kUnknownField,    // field name the schema does not define
+  kDuplicateField,  // singular field written twice in one message
+  kBadHex,          // sha256_hex not exactly 64 lowercase hex chars
+  kOutOfRange,      // integer overflow / negative where unsigned expected
+  kBadVersion,      // version string not 1-4 dotted components < 32768
+  kBadDnsName,      // empty / uppercase / wildcard / malformed DNS name
+  kBadOid,          // ev_policy_oids entry not a dotted OID
+  kEmptyBlock,      // constraints {} with no fields (would OR-in "always")
+  kMissingHash,     // trust_anchors/additional_certs without sha256_hex
+  kDuplicateAnchor, // two trust_anchors with the same sha256_hex
+  kLimitExceeded,   // input or repeated-field count above ParseLimits
+};
+
+const char* to_string(ErrorClass cls);
+
+struct ParseError {
+  ErrorClass cls = ErrorClass::kSyntax;
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  // "bad-hex at 12:3: sha256_hex must be 64 lowercase hex chars"
+  std::string to_string() const;
+};
+
+// A dotted browser version, e.g. "125.0.6368.2". At most 4 components,
+// each < 32768 so the packed form (15 bits per component, missing
+// components zero) fits signed 64-bit Datalog integers with room to
+// spare; comparison on packed() is exactly lexicographic comparison on
+// the zero-extended quad.
+struct Version {
+  std::array<std::uint16_t, 4> parts{};
+  int written = 0;  // how many components the source spelled out
+
+  std::int64_t packed() const {
+    return (static_cast<std::int64_t>(parts[0]) << 45) |
+           (static_cast<std::int64_t>(parts[1]) << 30) |
+           (static_cast<std::int64_t>(parts[2]) << 15) |
+           static_cast<std::int64_t>(parts[3]);
+  }
+  std::string to_string() const;
+  bool operator==(const Version&) const = default;
+
+  // nullopt on malformed input (empty, >4 components, non-digit,
+  // component >= 32768, leading '+'/'-', empty component).
+  static std::optional<Version> parse(std::string_view text);
+};
+
+// One `constraints { ... }` block. Within a block every present field
+// must hold (AND); across blocks on the same anchor any block suffices
+// (OR) — the deployed Chrome semantics.
+struct ConstraintBlock {
+  std::optional<std::int64_t> sct_not_after_sec;
+  std::optional<std::int64_t> sct_all_after_sec;
+  std::vector<std::string> permitted_dns_names;
+  std::optional<Version> min_version;
+  std::optional<Version> max_version_exclusive;
+  bool enforce_anchor_expiry = false;
+  bool enforce_anchor_constraints = false;
+
+  bool empty() const {
+    return !sct_not_after_sec && !sct_all_after_sec &&
+           permitted_dns_names.empty() && !min_version &&
+           !max_version_exclusive && !enforce_anchor_expiry &&
+           !enforce_anchor_constraints;
+  }
+};
+
+struct TrustAnchor {
+  std::string sha256_hex;  // required, 64 lowercase hex chars
+  std::vector<std::string> ev_policy_oids;
+  bool eutl = false;
+  std::vector<ConstraintBlock> constraints;
+  int line = 0;  // source line of the opening `trust_anchors`
+};
+
+struct AdditionalCert {
+  std::string sha256_hex;
+  bool eutl = false;
+};
+
+struct StoreFile {
+  std::optional<std::int64_t> version_major;
+  std::vector<TrustAnchor> trust_anchors;
+  std::vector<AdditionalCert> additional_certs;
+};
+
+// Hard resource bounds; exceeding any is kLimitExceeded, not best-effort
+// truncation.
+struct ParseLimits {
+  std::size_t max_bytes = 4u << 20;
+  std::size_t max_anchors = 8192;
+  std::size_t max_blocks_per_anchor = 64;
+  std::size_t max_list_entries = 512;  // per repeated string field
+};
+
+struct ParseResult {
+  std::optional<StoreFile> store;
+  ParseError error;  // meaningful iff !ok()
+
+  bool ok() const { return store.has_value(); }
+};
+
+ParseResult parse_store(std::string_view text, const ParseLimits& limits = {});
+
+}  // namespace anchor::rootstore::chromeproto

@@ -142,21 +142,6 @@ TEST(TrustDaemon, FullValidationRejectsMalformedLeaf) {
   EXPECT_EQ(result.kind, ErrorKind::kMalformedRequest);
 }
 
-// The positional constructor still works for one PR (it delegates to the
-// config form); out-of-tree callers migrate on their own schedule.
-TEST(TrustDaemon, DeprecatedPositionalConstructorStillDelegates) {
-  DaemonPki pki;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  TrustDaemon daemon(pki.store, pki.sigs);
-#pragma GCC diagnostic pop
-  CertPtr leaf = pki.leaf("legacy.example.com");
-  std::vector<Bytes> chain_der{leaf->der(), pki.intermediate->der(),
-                               pki.root->der()};
-  EXPECT_TRUE(daemon.evaluate_gccs(chain_der, "TLS"));
-  EXPECT_EQ(daemon.calls(), 1u);
-}
-
 // A request whose marshalled frame exceeds the configured cap fails closed
 // as kMalformedRequest — the daemon refuses to pretend a transport would
 // have carried it.

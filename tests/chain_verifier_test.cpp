@@ -342,6 +342,7 @@ TEST(Verifier, CustomGccHookIsInvoked) {
   int hook_calls = 0;
   verifier.set_gcc_hook([&hook_calls](const core::Chain&, std::string_view,
                                       std::span<const core::Gcc>,
+                                      const core::FactSet*,
                                       core::GccVerdict&) {
     ++hook_calls;
     return false;  // veto everything

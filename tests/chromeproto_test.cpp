@@ -1,0 +1,298 @@
+// Chrome Root Store textproto parser: accepted shapes, the classified
+// rejection taxonomy, and the resource limits. The companion fuzz file
+// (chromeproto_fuzz_test.cpp) covers mutated/truncated inputs; here every
+// case is a hand-written vector with an exact expected ErrorClass.
+#include "rootstore/chromeproto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace anchor::rootstore::chromeproto {
+namespace {
+
+// 64 lowercase hex chars, distinct per call site via the leading digit.
+std::string hash_of(char lead) {
+  std::string hex(64, 'a');
+  hex[0] = lead;
+  return hex;
+}
+
+std::string anchor_with(const std::string& body) {
+  return "trust_anchors {\n  sha256_hex: \"" + hash_of('0') + "\"\n" + body +
+         "\n}\n";
+}
+
+ParseError error_of(const std::string& text) {
+  ParseResult result = parse_store(text);
+  EXPECT_FALSE(result.ok()) << text;
+  return result.error;
+}
+
+TEST(ChromeProto, ParsesTheDeployedShape) {
+  const std::string text =
+      "version_major: 42\n"
+      "trust_anchors {\n"
+      "  sha256_hex: \"" + hash_of('0') + "\"\n"
+      "  ev_policy_oids: \"2.23.140.1.1\"\n"
+      "  ev_policy_oids: \"1.3.6.1.4.1.6334.1.100.1\"\n"
+      "  constraints {\n"
+      "    sct_not_after_sec: 0x5AF\n"
+      "    max_version_exclusive: \"125.0.6368.2\"\n"
+      "    permitted_dns_names: \"foo.example.com\"\n"
+      "    permitted_dns_names: \"bar.example.com\"\n"
+      "  }\n"
+      "  constraints: {\n"   // colon form is equally legal textproto
+      "    sct_all_after_sec: 9593\n"
+      "    min_version: \"128\"\n"
+      "    enforce_anchor_expiry: true\n"
+      "    enforce_anchor_constraints: true\n"
+      "  }\n"
+      "  eutl: true\n"
+      "}\n"
+      "additional_certs {\n"
+      "  sha256_hex: \"" + hash_of('1') + "\"\n"
+      "  eutl: false\n"
+      "}\n"
+      "# trailing comment\n";
+  ParseResult result = parse_store(text);
+  ASSERT_TRUE(result.ok()) << result.error.to_string();
+  const StoreFile& store = *result.store;
+  EXPECT_EQ(store.version_major, 42);
+  ASSERT_EQ(store.trust_anchors.size(), 1u);
+  ASSERT_EQ(store.additional_certs.size(), 1u);
+
+  const TrustAnchor& anchor = store.trust_anchors[0];
+  EXPECT_EQ(anchor.sha256_hex, hash_of('0'));
+  EXPECT_TRUE(anchor.eutl);
+  ASSERT_EQ(anchor.ev_policy_oids.size(), 2u);
+  EXPECT_EQ(anchor.ev_policy_oids[0], "2.23.140.1.1");
+  ASSERT_EQ(anchor.constraints.size(), 2u);
+
+  const ConstraintBlock& first = anchor.constraints[0];
+  EXPECT_EQ(first.sct_not_after_sec, 0x5AF);
+  ASSERT_TRUE(first.max_version_exclusive.has_value());
+  EXPECT_EQ(first.max_version_exclusive->to_string(), "125.0.6368.2");
+  EXPECT_EQ(first.permitted_dns_names,
+            (std::vector<std::string>{"foo.example.com", "bar.example.com"}));
+  EXPECT_FALSE(first.enforce_anchor_expiry);
+
+  const ConstraintBlock& second = anchor.constraints[1];
+  EXPECT_EQ(second.sct_all_after_sec, 9593);
+  ASSERT_TRUE(second.min_version.has_value());
+  EXPECT_EQ(second.min_version->to_string(), "128");
+  EXPECT_TRUE(second.enforce_anchor_expiry);
+  EXPECT_TRUE(second.enforce_anchor_constraints);
+
+  EXPECT_EQ(store.additional_certs[0].sha256_hex, hash_of('1'));
+  EXPECT_FALSE(store.additional_certs[0].eutl);
+}
+
+TEST(ChromeProto, EmptyInputIsAnEmptyStore) {
+  ParseResult result = parse_store("  # nothing but a comment\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.store->trust_anchors.empty());
+  EXPECT_FALSE(result.store->version_major.has_value());
+}
+
+TEST(ChromeProto, UnknownFieldsAreFatal) {
+  EXPECT_EQ(error_of("surprise: 1\n").cls, ErrorClass::kUnknownField);
+  EXPECT_EQ(error_of(anchor_with("  sct_not_after_sec: 5")).cls,
+            ErrorClass::kUnknownField);  // constraint field outside a block
+  EXPECT_EQ(error_of(anchor_with("  constraints { mystery: true }")).cls,
+            ErrorClass::kUnknownField);
+  EXPECT_EQ(error_of("additional_certs { sha256_hex: \"" + hash_of('2') +
+                     "\" constraints {} }")
+                .cls,
+            ErrorClass::kUnknownField);
+}
+
+TEST(ChromeProto, DuplicateSingularFieldsAreFatal) {
+  EXPECT_EQ(error_of("version_major: 1\nversion_major: 2\n").cls,
+            ErrorClass::kDuplicateField);
+  EXPECT_EQ(error_of(anchor_with("  sha256_hex: \"" + hash_of('3') + "\"")).cls,
+            ErrorClass::kDuplicateField);
+  EXPECT_EQ(error_of(anchor_with("  eutl: false\n  eutl: true")).cls,
+            ErrorClass::kDuplicateField);
+  EXPECT_EQ(
+      error_of(anchor_with(
+                   "  constraints { sct_not_after_sec: 1 sct_not_after_sec: 2 }"))
+          .cls,
+      ErrorClass::kDuplicateField);
+  // `false` then `true` must still count as a duplicate: the second write
+  // flips the trust decision, which is exactly what the check is for.
+  EXPECT_EQ(error_of(anchor_with("  constraints {\n"
+                                 "    enforce_anchor_expiry: false\n"
+                                 "    enforce_anchor_expiry: true\n"
+                                 "  }"))
+                .cls,
+            ErrorClass::kDuplicateField);
+}
+
+TEST(ChromeProto, HexValidationIsExact) {
+  // Wrong length, uppercase, and non-hex characters all classify kBadHex.
+  EXPECT_EQ(error_of("trust_anchors { sha256_hex: \"abc\" }").cls,
+            ErrorClass::kBadHex);
+  std::string upper = hash_of('4');
+  upper[10] = 'A';
+  EXPECT_EQ(error_of("trust_anchors { sha256_hex: \"" + upper + "\" }").cls,
+            ErrorClass::kBadHex);
+  std::string wide = hash_of('5') + "00";
+  EXPECT_EQ(error_of("trust_anchors { sha256_hex: \"" + wide + "\" }").cls,
+            ErrorClass::kBadHex);
+  std::string nonhex = hash_of('6');
+  nonhex[63] = 'g';
+  EXPECT_EQ(error_of("trust_anchors { sha256_hex: \"" + nonhex + "\" }").cls,
+            ErrorClass::kBadHex);
+}
+
+TEST(ChromeProto, MissingHashIsFatal) {
+  EXPECT_EQ(error_of("trust_anchors { eutl: true }").cls,
+            ErrorClass::kMissingHash);
+  EXPECT_EQ(error_of("additional_certs { eutl: true }").cls,
+            ErrorClass::kMissingHash);
+}
+
+TEST(ChromeProto, DuplicateAnchorHashIsFatal) {
+  const std::string one = "trust_anchors { sha256_hex: \"" + hash_of('7') +
+                          "\" }\n";
+  EXPECT_EQ(error_of(one + one).cls, ErrorClass::kDuplicateAnchor);
+}
+
+TEST(ChromeProto, IntegerRangesFailClosed) {
+  // INT64_MAX parses; one more overflows; negatives are schema violations.
+  ParseResult max = parse_store(
+      anchor_with("  constraints { sct_not_after_sec: 9223372036854775807 }"));
+  ASSERT_TRUE(max.ok()) << max.error.to_string();
+  EXPECT_EQ(max.store->trust_anchors[0].constraints[0].sct_not_after_sec,
+            INT64_MAX);
+  EXPECT_EQ(
+      error_of(
+          anchor_with("  constraints { sct_not_after_sec: 9223372036854775808 }"))
+          .cls,
+      ErrorClass::kOutOfRange);
+  EXPECT_EQ(error_of(anchor_with("  constraints { sct_not_after_sec: -5 }")).cls,
+            ErrorClass::kOutOfRange);
+  EXPECT_EQ(error_of(anchor_with("  constraints { sct_not_after_sec: 0x }")).cls,
+            ErrorClass::kSyntax);
+}
+
+TEST(ChromeProto, VersionValidation) {
+  EXPECT_EQ(
+      error_of(anchor_with("  constraints { min_version: \"1.2.3.4.5\" }")).cls,
+      ErrorClass::kBadVersion);
+  EXPECT_EQ(error_of(anchor_with("  constraints { min_version: \"1..2\" }")).cls,
+            ErrorClass::kBadVersion);
+  EXPECT_EQ(
+      error_of(anchor_with("  constraints { min_version: \"32768\" }")).cls,
+      ErrorClass::kBadVersion);
+  EXPECT_EQ(error_of(anchor_with("  constraints { min_version: \"\" }")).cls,
+            ErrorClass::kBadVersion);
+  ParseResult edge =
+      parse_store(anchor_with("  constraints { min_version: \"32767.0.0.1\" }"));
+  ASSERT_TRUE(edge.ok());
+}
+
+TEST(ChromeProto, VersionPackingIsLexicographic) {
+  auto packed = [](std::string_view text) {
+    auto version = Version::parse(text);
+    EXPECT_TRUE(version.has_value()) << text;
+    return version->packed();
+  };
+  // Missing components zero-extend: "125" == "125.0.0.0".
+  EXPECT_EQ(packed("125"), packed("125.0.0.0"));
+  EXPECT_LT(packed("124.9999"), packed("125"));
+  EXPECT_LT(packed("125.0.6368.2"), packed("125.0.6369.0"));
+  EXPECT_LT(packed("125.0.6368.2"), packed("126"));
+  EXPECT_LT(packed("9.9.9.9"), packed("10"));
+  EXPECT_GT(packed("32767.32767.32767.32767"), packed("32767.32767.32767.32766"));
+}
+
+TEST(ChromeProto, DnsNameValidation) {
+  for (const char* bad : {"", "UPPER.example.com", "*.example.com",
+                          "foo..example.com", ".example.com", "example.com.",
+                          "exa mple.com", "exämple.com"}) {
+    EXPECT_EQ(error_of(anchor_with(std::string("  constraints { "
+                                               "permitted_dns_names: \"") +
+                                   bad + "\" }"))
+                  .cls,
+              ErrorClass::kBadDnsName)
+        << "'" << bad << "'";
+  }
+  ParseResult ok = parse_store(anchor_with(
+      "  constraints { permitted_dns_names: \"xn--nxasmq6b.example\" }"));
+  ASSERT_TRUE(ok.ok()) << ok.error.to_string();
+}
+
+TEST(ChromeProto, OidValidation) {
+  for (const char* bad : {"", "2", "2.", ".2.3", "2..3", "2.23.x"}) {
+    EXPECT_EQ(
+        error_of(anchor_with(std::string("  ev_policy_oids: \"") + bad + "\""))
+            .cls,
+        ErrorClass::kBadOid)
+        << "'" << bad << "'";
+  }
+}
+
+TEST(ChromeProto, EmptyConstraintsBlockIsFatal) {
+  // OR-of-blocks semantics: an empty block would trust unconditionally.
+  EXPECT_EQ(error_of(anchor_with("  constraints { }")).cls,
+            ErrorClass::kEmptyBlock);
+  // enforce flags written `false` contribute nothing, so a block of only
+  // those is empty too.
+  EXPECT_EQ(
+      error_of(anchor_with("  constraints { enforce_anchor_expiry: false }"))
+          .cls,
+      ErrorClass::kEmptyBlock);
+}
+
+TEST(ChromeProto, LimitsAreHardRejections) {
+  ParseLimits tight;
+  tight.max_anchors = 1;
+  std::string two = "trust_anchors { sha256_hex: \"" + hash_of('8') +
+                    "\" }\ntrust_anchors { sha256_hex: \"" + hash_of('9') +
+                    "\" }\n";
+  EXPECT_EQ(parse_store(two, tight).error.cls, ErrorClass::kLimitExceeded);
+
+  tight = ParseLimits{};
+  tight.max_bytes = 8;
+  EXPECT_EQ(parse_store("version_major: 1\n", tight).error.cls,
+            ErrorClass::kLimitExceeded);
+
+  tight = ParseLimits{};
+  tight.max_list_entries = 1;
+  EXPECT_EQ(parse_store(anchor_with("  constraints {\n"
+                                    "    permitted_dns_names: \"a.example\"\n"
+                                    "    permitted_dns_names: \"b.example\"\n"
+                                    "  }"),
+                        tight)
+                .error.cls,
+            ErrorClass::kLimitExceeded);
+
+  tight = ParseLimits{};
+  tight.max_blocks_per_anchor = 1;
+  EXPECT_EQ(parse_store(anchor_with("  constraints { sct_not_after_sec: 1 }\n"
+                                    "  constraints { sct_not_after_sec: 2 }"),
+                        tight)
+                .error.cls,
+            ErrorClass::kLimitExceeded);
+}
+
+TEST(ChromeProto, SyntaxErrorsCarryPosition) {
+  ParseError error = error_of("trust_anchors {\n  sha256_hex 5\n}\n");
+  EXPECT_EQ(error.cls, ErrorClass::kSyntax);
+  EXPECT_EQ(error.line, 2);
+  EXPECT_GT(error.column, 1);
+  EXPECT_NE(error.to_string().find("syntax at 2:"), std::string::npos);
+}
+
+TEST(ChromeProto, StringEscapesAreRestricted) {
+  // Only \" and \\ are understood; \n could smuggle bytes past review.
+  EXPECT_EQ(error_of("trust_anchors { sha256_hex: \"a\\nb\" }").cls,
+            ErrorClass::kSyntax);
+  EXPECT_EQ(error_of("trust_anchors { sha256_hex: \"unterminated").cls,
+            ErrorClass::kSyntax);
+}
+
+}  // namespace
+}  // namespace anchor::rootstore::chromeproto

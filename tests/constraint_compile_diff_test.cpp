@@ -1,0 +1,605 @@
+// Differential oracle suite for the Chrome Root Store constraint compiler
+// (rootstore/constraint_compile.*): per constraint kind, a hand-coded C++
+// oracle implementing the documented semantics is compared verdict-for-
+// verdict against the compiled GCC, over >= 1000 seeded randomized chains
+// per kind, including the boundary cases (the exact sct_not_after_sec
+// instant, version-range endpoints, empty permit lists, absent context).
+// The oracle deliberately re-implements the lowering table from the header
+// comment — not the generated Datalog — so a bug in the lowering and a bug
+// in the oracle would have to agree to slip through.
+#include "rootstore/constraint_compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/facts.hpp"
+#include "rootstore/chromeproto.hpp"
+#include "util/rng.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::rootstore {
+namespace {
+
+using chromeproto::ConstraintBlock;
+using chromeproto::TrustAnchor;
+using chromeproto::Version;
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+// ---------------------------------------------------------------------------
+// Randomized PKI material.
+
+constexpr const char* kSanPool[] = {
+    "example.com",         "foo.example.com",  "bar.example.com",
+    "api.foo.example.com", "example.org",      "www.example.org",
+    "test.net",            "deep.sub.test.net"};
+
+constexpr const char* kPermitPool[] = {
+    "example.com", "foo.example.com", "example.org",
+    "test.net",    "sub.test.net",    "nomatch.invalid"};
+
+constexpr const char* kEvOidPool[] = {
+    "2.23.140.1.1",             // the corpus EV marker itself
+    "1.3.6.1.4.1.6334.1.100.1", // CA-specific EV arcs
+    "2.16.840.1.114412.2.1"};
+
+std::string random_hash(Rng& rng) {
+  static const char* hex = "0123456789abcdef";
+  std::string out(64, '0');
+  for (char& c : out) c = hex[rng.uniform(16)];
+  return out;
+}
+
+Version random_version(Rng& rng) {
+  Version v;
+  v.written = 1 + static_cast<int>(rng.uniform(4));
+  for (int i = 0; i < v.written; ++i) {
+    // Mostly small components, occasionally the 15-bit endpoint.
+    v.parts[static_cast<std::size_t>(i)] =
+        rng.chance(0.1) ? 32767 : static_cast<std::uint16_t>(rng.uniform(200));
+  }
+  return v;
+}
+
+CertPtr make_root(Rng& rng) {
+  SimKeyPair key = SimSig::keygen("diff-root-" + std::to_string(rng.next_u64()));
+  const std::int64_t nb = rng.uniform_range(0, 2'000'000'000);
+  const std::int64_t na = nb + rng.uniform_range(1, 1'000'000'000);
+  CertificateBuilder builder;
+  builder.serial(1)
+      .subject(DistinguishedName::make("Diff Root", "Diff Org"))
+      .issuer(DistinguishedName::make("Diff Root", "Diff Org"))
+      .validity(nb, na)
+      .public_key(key.key_id)
+      .ca(rng.chance(0.5) ? std::optional<int>(static_cast<int>(rng.uniform(3)))
+                          : std::nullopt);
+  x509::NameConstraints nc;
+  const std::size_t permits = rng.uniform(3);
+  for (std::size_t i = 0; i < permits; ++i) {
+    nc.permitted_dns.push_back(kPermitPool[rng.uniform(std::size(kPermitPool))]);
+  }
+  const std::size_t excludes = rng.uniform(2);
+  for (std::size_t i = 0; i < excludes; ++i) {
+    nc.excluded_dns.push_back(kPermitPool[rng.uniform(std::size(kPermitPool))]);
+  }
+  if (!nc.empty()) builder.name_constraints(nc);
+  return builder.sign(key).take();
+}
+
+CertPtr make_intermediate(Rng& rng, const DistinguishedName& issuer, int index) {
+  SimKeyPair key =
+      SimSig::keygen("diff-int-" + std::to_string(rng.next_u64()));
+  return CertificateBuilder()
+      .serial(static_cast<std::uint64_t>(10 + index))
+      .subject(DistinguishedName::make("Diff Int " + std::to_string(index)))
+      .issuer(issuer)
+      .validity(0, 4'000'000'000)
+      .public_key(key.key_id)
+      .ca(std::nullopt)
+      .sign(key)
+      .take();
+}
+
+CertPtr make_leaf(Rng& rng, const DistinguishedName& issuer) {
+  SimKeyPair key = SimSig::keygen("diff-leaf-" + std::to_string(rng.next_u64()));
+  CertificateBuilder builder;
+  builder.serial(100)
+      .subject(DistinguishedName::make("leaf.example.com"))
+      .issuer(issuer)
+      .validity(0, 4'000'000'000)
+      .public_key(key.key_id);
+  std::vector<std::string> sans;
+  const std::size_t count = rng.uniform(4);  // 0..3; zero SANs is a boundary
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = kSanPool[rng.uniform(std::size(kSanPool))];
+    if (rng.chance(0.15)) name = "*." + name;
+    sans.push_back(std::move(name));
+  }
+  if (!sans.empty()) builder.dns_names(sans);
+  if (rng.chance(0.3)) {
+    builder.policies(
+        {asn1::Oid::from_string(kEvOidPool[rng.uniform(std::size(kEvOidPool))])});
+  }
+  if (rng.chance(0.5)) builder.ev();
+  return builder.sign(key).take();
+}
+
+// Chain of length 2..4, leaf-first. Signatures are irrelevant here — GCC
+// evaluation sees only the encoded facts.
+core::Chain make_chain(Rng& rng) {
+  CertPtr root = make_root(rng);
+  const std::size_t length = 2 + rng.uniform(3);
+  core::Chain chain;
+  chain.push_back(make_leaf(rng, root->subject()));
+  for (std::size_t i = 0; i + 2 < length; ++i) {
+    chain.push_back(make_intermediate(rng, root->subject(), static_cast<int>(i)));
+  }
+  chain.push_back(std::move(root));
+  return chain;
+}
+
+// ---------------------------------------------------------------------------
+// The oracle: the lowering table from constraint_compile.hpp, in plain C++.
+
+std::vector<std::string> suffixes_of(std::string_view name) {
+  std::string_view rest = name;
+  if (rest.size() >= 2 && rest.substr(0, 2) == "*.") rest = rest.substr(2);
+  std::vector<std::string> out;
+  out.emplace_back(rest);
+  while (true) {
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string_view::npos) break;
+    rest = rest.substr(dot + 1);
+    out.emplace_back(rest);
+  }
+  return out;
+}
+
+bool any_suffix_in(std::string_view name, const std::vector<std::string>& set) {
+  for (const std::string& suffix : suffixes_of(name)) {
+    for (const std::string& candidate : set) {
+      if (suffix == candidate) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> leaf_sans(const x509::Certificate& leaf) {
+  // SAN facts only — no CN fallback; mirrors encode_certificate.
+  if (!leaf.subject_alt_name()) return {};
+  return leaf.subject_alt_name()->dns_names;
+}
+
+bool oracle_block(const ConstraintBlock& block, const core::Chain& chain,
+                  const ChainContext& ctx) {
+  const x509::Certificate& leaf = *chain.front();
+  const x509::Certificate& root = *chain.back();
+
+  if (block.sct_not_after_sec) {  // some SCT at or before the instant
+    bool any = false;
+    for (std::int64_t t : ctx.sct_timestamps) {
+      if (t <= *block.sct_not_after_sec) any = true;
+    }
+    if (!any) return false;
+  }
+  if (block.sct_all_after_sec) {  // non-empty, and none at or before
+    if (ctx.sct_timestamps.empty()) return false;
+    for (std::int64_t t : ctx.sct_timestamps) {
+      if (t <= *block.sct_all_after_sec) return false;
+    }
+  }
+  if (!block.permitted_dns_names.empty()) {
+    for (const std::string& san : leaf_sans(leaf)) {
+      if (!any_suffix_in(san, block.permitted_dns_names)) return false;
+    }
+  }
+  if (block.min_version || block.max_version_exclusive) {
+    if (!ctx.client_version) return false;  // absent context fails closed
+    const std::int64_t packed = ctx.client_version->packed();
+    if (block.min_version && packed < block.min_version->packed()) return false;
+    if (block.max_version_exclusive &&
+        packed >= block.max_version_exclusive->packed()) {
+      return false;
+    }
+  }
+  if (block.enforce_anchor_expiry) {
+    if (!ctx.validation_time) return false;
+    if (*ctx.validation_time < root.not_before() ||
+        *ctx.validation_time > root.not_after()) {
+      return false;
+    }
+  }
+  if (block.enforce_anchor_constraints) {
+    const auto& nc = root.name_constraints();
+    if (nc && !nc->permitted_dns.empty()) {
+      for (const std::string& san : leaf_sans(leaf)) {
+        if (!any_suffix_in(san, nc->permitted_dns)) return false;
+      }
+    }
+    if (nc) {
+      for (const std::string& san : leaf_sans(leaf)) {
+        for (const std::string& excluded : nc->excluded_dns) {
+          for (const std::string& suffix : suffixes_of(san)) {
+            if (suffix == excluded) return false;
+          }
+        }
+      }
+    }
+    if (root.path_len() &&
+        static_cast<std::int64_t>(chain.size()) > *root.path_len() + 2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool oracle_anchor(const TrustAnchor& anchor, const core::Chain& chain,
+                   const ChainContext& ctx) {
+  for (const ConstraintBlock& block : anchor.constraints) {
+    if (oracle_block(block, chain, ctx)) return true;  // OR across blocks
+  }
+  return false;
+}
+
+bool oracle_ev(const TrustAnchor& anchor, const core::Chain& chain) {
+  const x509::Certificate& leaf = *chain.front();
+  if (!leaf.is_ev()) return true;
+  if (!leaf.certificate_policies()) return false;
+  for (const auto& policy : leaf.certificate_policies()->policies) {
+    for (const std::string& oid : anchor.ev_policy_oids) {
+      if (policy.to_string() == oid) return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Harness: compile an anchor, run its constraints GCC against the chain
+// with context facts, compare with the oracle.
+
+bool run_gcc(core::GccExecutor& executor, const core::Gcc& gcc,
+             const core::Chain& chain, const ChainContext& ctx) {
+  const core::FactSet context = ctx.to_facts(core::chain_id_of(chain));
+  return executor.evaluate_one(chain, core::kUsageTls, gcc, nullptr, &context);
+}
+
+core::Gcc compile_block(Rng& rng, const ConstraintBlock& block) {
+  TrustAnchor anchor;
+  anchor.sha256_hex = random_hash(rng);
+  anchor.constraints.push_back(block);
+  auto gccs = compile_anchor(anchor);
+  EXPECT_TRUE(gccs.ok()) << gccs.error();
+  EXPECT_EQ(gccs.value().size(), 1u);
+  return std::move(gccs.value()[0]);
+}
+
+// One program, `chains_per_program` random (chain, context) pairs; the
+// caller's `shape` fills in the constraint under test and may bias the
+// context toward its boundaries. 40 programs x 25 chains = 1000 verdict
+// pairs per kind.
+constexpr int kPrograms = 40;
+constexpr int kChainsPerProgram = 25;
+
+using ShapeFn = void (*)(Rng&, ConstraintBlock&, ChainContext&);
+
+void run_kind_diff(std::uint64_t seed, ShapeFn shape) {
+  Rng rng(seed);
+  core::GccExecutor executor;
+  int checked = 0;
+  for (int p = 0; p < kPrograms; ++p) {
+    ConstraintBlock block;
+    ChainContext proto_ctx;  // shape() may pin context values per program
+    shape(rng, block, proto_ctx);
+    const core::Gcc gcc = compile_block(rng, block);
+    for (int c = 0; c < kChainsPerProgram; ++c) {
+      core::Chain chain = make_chain(rng);
+      ChainContext ctx = proto_ctx;
+      // Re-roll the context parts the shape left unpinned.
+      shape(rng, block, ctx);
+      const bool expected = oracle_block(block, chain, ctx);
+      const bool actual = run_gcc(executor, gcc, chain, ctx);
+      ASSERT_EQ(actual, expected)
+          << "seed=" << seed << " program=" << p << " chain=" << c
+          << " scts=" << ctx.sct_timestamps.size() << " version="
+          << (ctx.client_version ? ctx.client_version->to_string() : "none");
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 1000);
+}
+
+// Context randomizers. The boundary bias is the point: a uniform draw over
+// int64 would never land on the exact constraint instant.
+std::int64_t near(Rng& rng, std::int64_t pivot) {
+  switch (rng.uniform(4)) {
+    case 0: return pivot;                           // the exact instant
+    case 1: return pivot + 1;
+    case 2: return pivot - 1;
+    default: return rng.uniform_range(0, 4'000'000'000LL);
+  }
+}
+
+void random_scts(Rng& rng, std::int64_t pivot, ChainContext& ctx) {
+  ctx.sct_timestamps.clear();
+  const std::size_t count = rng.uniform(4);  // 0..3; zero is a boundary
+  for (std::size_t i = 0; i < count; ++i) {
+    ctx.sct_timestamps.push_back(near(rng, pivot));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-kind differential tests.
+
+TEST(ConstraintDiff, SctNotAfter) {
+  run_kind_diff(0x5c71, [](Rng& rng, ConstraintBlock& block, ChainContext& ctx) {
+    if (!block.sct_not_after_sec) {
+      block.sct_not_after_sec = rng.uniform_range(1, 4'000'000'000LL);
+    }
+    random_scts(rng, *block.sct_not_after_sec, ctx);
+  });
+}
+
+TEST(ConstraintDiff, SctAllAfter) {
+  run_kind_diff(0x5c72, [](Rng& rng, ConstraintBlock& block, ChainContext& ctx) {
+    if (!block.sct_all_after_sec) {
+      block.sct_all_after_sec = rng.uniform_range(1, 4'000'000'000LL);
+    }
+    random_scts(rng, *block.sct_all_after_sec, ctx);
+  });
+}
+
+TEST(ConstraintDiff, PermittedDnsNames) {
+  run_kind_diff(0xd45, [](Rng& rng, ConstraintBlock& block, ChainContext&) {
+    if (!block.permitted_dns_names.empty()) return;  // context has no role
+    const std::size_t count = 1 + rng.uniform(3);
+    for (std::size_t i = 0; i < count; ++i) {
+      block.permitted_dns_names.push_back(
+          kPermitPool[rng.uniform(std::size(kPermitPool))]);
+    }
+  });
+}
+
+TEST(ConstraintDiff, MinVersion) {
+  run_kind_diff(0x312e, [](Rng& rng, ConstraintBlock& block, ChainContext& ctx) {
+    if (!block.min_version) block.min_version = random_version(rng);
+    ctx.client_version.reset();
+    if (rng.chance(0.85)) {
+      // Bias onto the endpoint: the exact constraint version must pass
+      // min_version (inclusive) — a classic off-by-one site.
+      ctx.client_version =
+          rng.chance(0.35) ? *block.min_version : random_version(rng);
+    }
+  });
+}
+
+TEST(ConstraintDiff, MaxVersionExclusive) {
+  run_kind_diff(0x3a78, [](Rng& rng, ConstraintBlock& block, ChainContext& ctx) {
+    if (!block.max_version_exclusive) {
+      block.max_version_exclusive = random_version(rng);
+    }
+    ctx.client_version.reset();
+    if (rng.chance(0.85)) {
+      // The exact constraint version must FAIL max_version_exclusive.
+      ctx.client_version = rng.chance(0.35) ? *block.max_version_exclusive
+                                            : random_version(rng);
+    }
+  });
+}
+
+TEST(ConstraintDiff, AnchorExpiry) {
+  run_kind_diff(0xe791, [](Rng& rng, ConstraintBlock& block, ChainContext& ctx) {
+    block.enforce_anchor_expiry = true;
+    ctx.validation_time.reset();
+    if (rng.chance(0.85)) {
+      // make_chain() draws root windows from [0, 3e9]; sampling the same
+      // range lands inside, at, and outside the window. Window endpoints
+      // themselves are exercised by the deterministic test below.
+      ctx.validation_time = rng.uniform_range(0, 3'000'000'000LL);
+    }
+  });
+}
+
+TEST(ConstraintDiff, AnchorConstraints) {
+  run_kind_diff(0xac0, [](Rng&, ConstraintBlock& block, ChainContext&) {
+    block.enforce_anchor_constraints = true;
+  });
+}
+
+TEST(ConstraintDiff, EvPolicy) {
+  Rng rng(0xe9);
+  core::GccExecutor executor;
+  int checked = 0;
+  for (int p = 0; p < kPrograms; ++p) {
+    TrustAnchor anchor;
+    anchor.sha256_hex = random_hash(rng);
+    const std::size_t count = 1 + rng.uniform(3);
+    for (std::size_t i = 0; i < count; ++i) {
+      anchor.ev_policy_oids.push_back(
+          kEvOidPool[rng.uniform(std::size(kEvOidPool))]);
+    }
+    auto gccs = compile_anchor(anchor);
+    ASSERT_TRUE(gccs.ok()) << gccs.error();
+    ASSERT_EQ(gccs.value().size(), 1u);  // no constraints blocks: EV only
+    for (int c = 0; c < kChainsPerProgram; ++c) {
+      core::Chain chain = make_chain(rng);
+      const bool expected = oracle_ev(anchor, chain);
+      const bool actual =
+          run_gcc(executor, gccs.value()[0], chain, ChainContext{});
+      ASSERT_EQ(actual, expected)
+          << "program=" << p << " chain=" << c
+          << " leaf_ev=" << chain.front()->is_ev();
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 1000);
+}
+
+// Multi-kind blocks AND'd within a block, OR'd across blocks — the
+// combination the per-kind loops cannot reach.
+TEST(ConstraintDiff, RandomAnchorsOrOfAndBlocks) {
+  Rng rng(0xab5);
+  core::GccExecutor executor;
+  int checked = 0;
+  for (int p = 0; p < 100; ++p) {
+    TrustAnchor anchor;
+    anchor.sha256_hex = random_hash(rng);
+    const std::size_t blocks = 1 + rng.uniform(3);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      ConstraintBlock block;
+      if (rng.chance(0.4)) {
+        block.sct_not_after_sec = rng.uniform_range(1, 4'000'000'000LL);
+      }
+      if (rng.chance(0.3)) {
+        block.sct_all_after_sec = rng.uniform_range(1, 4'000'000'000LL);
+      }
+      if (rng.chance(0.4)) {
+        block.permitted_dns_names.push_back(
+            kPermitPool[rng.uniform(std::size(kPermitPool))]);
+      }
+      if (rng.chance(0.3)) block.min_version = random_version(rng);
+      if (rng.chance(0.3)) block.max_version_exclusive = random_version(rng);
+      if (rng.chance(0.3)) block.enforce_anchor_expiry = true;
+      if (rng.chance(0.3)) block.enforce_anchor_constraints = true;
+      if (block.empty()) block.enforce_anchor_expiry = true;
+      anchor.constraints.push_back(std::move(block));
+    }
+    auto gccs = compile_anchor(anchor);
+    ASSERT_TRUE(gccs.ok()) << gccs.error();
+    ASSERT_GE(gccs.value().size(), 1u);
+    for (int c = 0; c < 10; ++c) {
+      core::Chain chain = make_chain(rng);
+      ChainContext ctx;
+      random_scts(rng, rng.uniform_range(0, 4'000'000'000LL), ctx);
+      if (rng.chance(0.8)) ctx.client_version = random_version(rng);
+      if (rng.chance(0.8)) {
+        ctx.validation_time = rng.uniform_range(0, 3'000'000'000LL);
+      }
+      const bool expected = oracle_anchor(anchor, chain, ctx);
+      const bool actual = run_gcc(executor, gccs.value()[0], chain, ctx);
+      ASSERT_EQ(actual, expected) << "program=" << p << " chain=" << c;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic boundary vectors (the ISSUE-named cases, pinned exactly).
+
+struct BoundaryFixture {
+  Rng rng{0xb0c1};
+  core::GccExecutor executor;
+  core::Chain chain = make_chain(rng);
+};
+
+TEST(ConstraintDiffBoundary, ExactSctInstant) {
+  BoundaryFixture f;
+  ConstraintBlock block;
+  block.sct_not_after_sec = 1'700'000'000;
+  const core::Gcc gcc = compile_block(f.rng, block);
+
+  ChainContext at;
+  at.sct_timestamps = {1'700'000'000};  // T == S is inclusive: pass
+  EXPECT_TRUE(run_gcc(f.executor, gcc, f.chain, at));
+
+  ChainContext after;
+  after.sct_timestamps = {1'700'000'001};  // one past: fail
+  EXPECT_FALSE(run_gcc(f.executor, gcc, f.chain, after));
+
+  ChainContext none;  // no SCTs at all: fail closed
+  EXPECT_FALSE(run_gcc(f.executor, gcc, f.chain, none));
+
+  // sct_all_after flips all three: T == S counts as "too old".
+  ConstraintBlock all;
+  all.sct_all_after_sec = 1'700'000'000;
+  const core::Gcc all_gcc = compile_block(f.rng, all);
+  EXPECT_FALSE(run_gcc(f.executor, all_gcc, f.chain, at));
+  EXPECT_TRUE(run_gcc(f.executor, all_gcc, f.chain, after));
+  EXPECT_FALSE(run_gcc(f.executor, all_gcc, f.chain, none));
+}
+
+TEST(ConstraintDiffBoundary, VersionRangeEndpoints) {
+  BoundaryFixture f;
+  ConstraintBlock block;
+  block.min_version = Version::parse("125.0.6368.2");
+  block.max_version_exclusive = Version::parse("126");
+  const core::Gcc gcc = compile_block(f.rng, block);
+
+  auto with_version = [](const char* text) {
+    ChainContext ctx;
+    ctx.client_version = Version::parse(text);
+    return ctx;
+  };
+  // min endpoint is inclusive; max endpoint is exclusive.
+  EXPECT_TRUE(run_gcc(f.executor, gcc, f.chain, with_version("125.0.6368.2")));
+  EXPECT_FALSE(run_gcc(f.executor, gcc, f.chain, with_version("125.0.6368.1")));
+  EXPECT_TRUE(run_gcc(f.executor, gcc, f.chain, with_version("125.32767.0.0")));
+  EXPECT_FALSE(run_gcc(f.executor, gcc, f.chain, with_version("126")));
+  EXPECT_FALSE(run_gcc(f.executor, gcc, f.chain, with_version("126.0.0.1")));
+  EXPECT_FALSE(run_gcc(f.executor, gcc, f.chain, ChainContext{}));  // absent
+}
+
+TEST(ConstraintDiffBoundary, EmptyPermitListIsNoConstraint) {
+  // A block whose permitted_dns_names list is empty simply has no DNS
+  // conjunct (the parser can't produce this shape, but the compiler API
+  // can): verdict must reduce to the remaining fields.
+  BoundaryFixture f;
+  ConstraintBlock block;
+  block.permitted_dns_names.clear();
+  block.sct_not_after_sec = 1'700'000'000;
+  const core::Gcc gcc = compile_block(f.rng, block);
+  ChainContext ctx;
+  ctx.sct_timestamps = {1'000};
+  EXPECT_TRUE(run_gcc(f.executor, gcc, f.chain, ctx));
+}
+
+TEST(ConstraintDiffBoundary, SanlessLeafVacuouslyPassesDnsPermits) {
+  BoundaryFixture f;
+  SimKeyPair key = SimSig::keygen("sanless");
+  CertPtr root = make_root(f.rng);
+  CertPtr leaf = CertificateBuilder()
+                     .serial(7)
+                     .subject(DistinguishedName::make("no-san.example"))
+                     .issuer(root->subject())
+                     .validity(0, 4'000'000'000)
+                     .public_key(key.key_id)
+                     .sign(key)
+                     .take();
+  core::Chain chain{leaf, root};
+  ConstraintBlock block;
+  block.permitted_dns_names = {"permitted.example"};
+  const core::Gcc gcc = compile_block(f.rng, block);
+  // No san facts -> the universal quantification is vacuous -> pass; the
+  // oracle agrees by construction (loop over zero SANs).
+  EXPECT_TRUE(run_gcc(f.executor, gcc, chain, ChainContext{}));
+  EXPECT_TRUE(oracle_block(block, chain, ChainContext{}));
+}
+
+TEST(ConstraintDiffBoundary, AnchorExpiryWindowEndpoints) {
+  Rng rng(0xe1);
+  core::GccExecutor executor;
+  CertPtr root = make_root(rng);
+  core::Chain chain{make_leaf(rng, root->subject()), root};
+  ConstraintBlock block;
+  block.enforce_anchor_expiry = true;
+  const core::Gcc gcc = compile_block(rng, block);
+  auto at = [&](std::int64_t t) {
+    ChainContext ctx;
+    ctx.validation_time = t;
+    return run_gcc(executor, gcc, chain, ctx);
+  };
+  EXPECT_TRUE(at(root->not_before()));       // inclusive lower bound
+  EXPECT_TRUE(at(root->not_after()));        // inclusive upper bound
+  EXPECT_FALSE(at(root->not_before() - 1));
+  EXPECT_FALSE(at(root->not_after() + 1));
+  EXPECT_FALSE(run_gcc(executor, gcc, chain, ChainContext{}));  // absent
+}
+
+}  // namespace
+}  // namespace anchor::rootstore

@@ -6,6 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "chain/pool.hpp"
+#include "chain/verifier.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 #include "x509/builder.hpp"
 
@@ -314,6 +317,119 @@ TEST(Merge, OutputInvariantUnderInsertionOrder) {
       EXPECT_EQ(permuted.merged.serialize(), canonical)
           << "rotation=" << rotation << " reversed=" << reversed;
       EXPECT_EQ(permuted.conflicts.size(), reference.conflicts.size());
+    }
+  }
+}
+
+TEST(Merge, ThreeStoreFoldOrderIsVerdictInvariant) {
+  // Property test over randomized three-primary topologies (the E15 census
+  // shape): folding two derivatives into a primary with kPrimaryWins must
+  // yield the same *verdict* for every chain regardless of fold order —
+  //
+  //     merge(merge(A, B), C)  ≡v  merge(merge(A, C), B)
+  //
+  // Conflict lists and justifications may differ between orders (they
+  // record the path taken); trust decisions may not. Derivative metadata
+  // and GCCs are deterministic per root, mirroring real derivatives that
+  // sync from the same upstream — with *conflicting* derivative metadata
+  // the fold is genuinely order-dependent, which is exactly why
+  // kPrimaryWins pins the primary's copy whenever the primary carries the
+  // root at all.
+  constexpr int kRoots = 24;
+  const std::string reject_late =
+      "valid(Chain, \"TLS\") :- leaf(Chain, L), notBefore(L, NB), NB < 100.";
+
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(0x3f01d + seed);
+
+    // Shared PKI: every root signs one leaf; half the leaves are "late"
+    // (notBefore 200) so attached GCCs change verdicts, not just shape.
+    SimSig registry;
+    std::vector<CertPtr> roots;
+    std::vector<CertPtr> leaves;
+    for (int i = 0; i < kRoots; ++i) {
+      const std::string name = "Fold Root " + std::to_string(i);
+      SimKeyPair key = SimSig::keygen(name);
+      registry.register_key(key);
+      roots.push_back(make_root(name));
+      const std::int64_t not_before = rng.chance(0.5) ? 0 : 200;
+      leaves.push_back(
+          CertificateBuilder()
+              .serial(100 + static_cast<std::uint64_t>(i))
+              .subject(DistinguishedName::make("leaf" + std::to_string(i),
+                                               "Org"))
+              .issuer(DistinguishedName::make(name, "Org"))
+              .validity(not_before, unix_date(2040, 1, 1))
+              .public_key(SimSig::keygen("leaf" + std::to_string(i)).key_id)
+              .dns_names({"host" + std::to_string(i) + ".test"})
+              .sign(key)
+              .take());
+    }
+
+    // Derivative metadata/GCC as deterministic functions of the root index.
+    auto derivative_metadata = [](int i) {
+      rootstore::RootMetadata metadata;
+      metadata.ev_allowed = i % 2 == 0;
+      return metadata;
+    };
+
+    rootstore::RootStore a, b, c;
+    for (int i = 0; i < kRoots; ++i) {
+      const std::string hash = roots[static_cast<std::size_t>(i)]
+                                   ->fingerprint_hex();
+      // Primary: trusts most roots, distrusts a few, skips a few.
+      if (rng.chance(0.15)) {
+        a.distrust(hash, "primary incident");
+      } else if (!rng.chance(0.15)) {
+        rootstore::RootMetadata metadata;
+        metadata.ev_allowed = true;
+        if (rng.chance(0.25)) metadata.tls_distrust_after = 150;
+        (void)a.add_trusted(roots[static_cast<std::size_t>(i)], metadata);
+        if (rng.chance(0.3)) {
+          a.gccs().attach(
+              core::Gcc::create("a-" + std::to_string(i), hash, reject_late)
+                  .take());
+        }
+      }
+      // Derivatives: independent carry/distrust decisions, shared metadata.
+      for (auto* derivative : {&b, &c}) {
+        if (rng.chance(0.2)) {
+          derivative->distrust(hash, "derivative policy");
+        } else if (rng.chance(0.75)) {
+          derivative->add_trusted_unchecked(
+              roots[static_cast<std::size_t>(i)], derivative_metadata(i));
+          if (rng.chance(0.4)) {
+            const char* prefix = derivative == &b ? "b-" : "c-";
+            derivative->gccs().attach(
+                core::Gcc::create(prefix + std::to_string(i), hash,
+                                  reject_late)
+                    .take());
+          }
+        }
+      }
+    }
+
+    const rootstore::RootStore abc =
+        merge(merge(a, b).merged, c).merged;
+    const rootstore::RootStore acb =
+        merge(merge(a, c).merged, b).merged;
+
+    chain::ChainVerifier verify_abc(abc, registry);
+    chain::ChainVerifier verify_acb(acb, registry);
+    chain::CertificatePool empty_pool;
+    for (int i = 0; i < kRoots; ++i) {
+      chain::VerifyOptions options;
+      options.time = 250;
+      options.hostname = "host" + std::to_string(i) + ".test";
+      const bool ok_abc =
+          verify_abc
+              .verify(leaves[static_cast<std::size_t>(i)], empty_pool, options)
+              .ok;
+      const bool ok_acb =
+          verify_acb
+              .verify(leaves[static_cast<std::size_t>(i)], empty_pool, options)
+              .ok;
+      EXPECT_EQ(ok_abc, ok_acb) << "seed=" << seed << " root=" << i;
     }
   }
 }

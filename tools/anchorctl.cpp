@@ -38,6 +38,14 @@
 //                                 of verify, evaluate-gccs, metrics,
 //                                 feed-status. Exit code = the response's
 //                                 ErrorKind value (0 = ok).
+//   anchorctl compile-store <store.textproto> [--out <store.txt>]
+//                                 [--roots <roots.pem>] [--prefix crs]
+//                                 parse a Chrome Root Store textproto
+//                                 (fail-closed; classified errors) and
+//                                 lower every constraints block to GCCs.
+//                                 --roots supplies certificates matched to
+//                                 anchors by SHA-256; --out writes the
+//                                 compiled store in the native format.
 //
 // Feed directories hold `feed.name` plus `snapshot-NNNN.txt` files (a
 // header block followed by the store payload) — a file-based RSF a
@@ -56,6 +64,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "anchord/client.hpp"
@@ -65,6 +74,8 @@
 #include "core/executor.hpp"
 #include "core/facts.hpp"
 #include "datalog/engine.hpp"
+#include "rootstore/chromeproto.hpp"
+#include "rootstore/constraint_compile.hpp"
 #include "rootstore/store.hpp"
 #include "rsf/client.hpp"
 #include "rsf/delta.hpp"
@@ -103,7 +114,9 @@ int usage() {
                " [--feed <dir> --now <iso8601>]\n"
                "  daemon <store.txt> <verb> [chain.pem] [--host <h>]"
                " [--time <t>] [--usage TLS|S/MIME] [--transport memory|unix]\n"
-               "      verb: verify | evaluate-gccs | metrics | feed-status\n");
+               "      verb: verify | evaluate-gccs | metrics | feed-status\n"
+               "  compile-store <store.textproto> [--out <store.txt>]"
+               " [--roots <roots.pem>] [--prefix crs]\n");
   return 2;
 }
 
@@ -1055,6 +1068,91 @@ int cmd_metrics(int argc, char** argv) {
   return 0;
 }
 
+// Chrome Root Store textproto -> native RootStore, through the same
+// fail-closed parser + GCC compiler the library uses (rootstore/chromeproto
+// + rootstore/constraint_compile). Anchors whose certificate appears in
+// --roots (matched by SHA-256) become trusted roots; every anchor's GCCs
+// attach by hash either way, so constraints are never dropped just because
+// the certificate has not arrived yet.
+int cmd_compile_store(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "error: %s\n", text.error().c_str());
+    return 1;
+  }
+
+  rootstore::chromeproto::ParseResult parsed =
+      rootstore::chromeproto::parse_store(text.value());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "REJECTED: %s\n", parsed.error.to_string().c_str());
+    return 1;
+  }
+  const rootstore::chromeproto::StoreFile& file = *parsed.store;
+  std::printf("parsed         : %zu trust anchor(s), %zu additional cert(s)"
+              ", version_major %lld\n",
+              file.trust_anchors.size(), file.additional_certs.size(),
+              static_cast<long long>(file.version_major.value_or(0)));
+
+  // Optional certificate material, matched to anchors by fingerprint.
+  std::unordered_map<std::string, x509::CertPtr> by_hash;
+  std::string roots_path = flag_value(argc, argv, "--roots", "");
+  if (!roots_path.empty()) {
+    auto roots = read_chain(roots_path);
+    if (!roots) {
+      std::fprintf(stderr, "error: %s\n", roots.error().c_str());
+      return 1;
+    }
+    for (const x509::CertPtr& cert : roots.value()) {
+      by_hash.emplace(cert->fingerprint_hex(), cert);
+    }
+  }
+
+  rootstore::CompileOptions compile_options;
+  compile_options.name_prefix = flag_value(argc, argv, "--prefix", "crs");
+  rootstore::RootStore store;
+  auto resolver = [&by_hash](const std::string& sha256_hex) -> x509::CertPtr {
+    auto it = by_hash.find(sha256_hex);
+    return it == by_hash.end() ? nullptr : it->second;
+  };
+  auto compiled =
+      rootstore::compile_store(file, resolver, store, compile_options);
+  if (!compiled) {
+    std::fprintf(stderr, "compile error: %s\n", compiled.error().c_str());
+    return 1;
+  }
+  const rootstore::StoreCompileResult& result = compiled.value();
+  std::printf("compiled       : %zu block(s) -> %zu gcc(s), %zu clause(s)\n",
+              result.stats.blocks, result.stats.gccs, result.stats.clauses);
+  std::printf("certificates   : %zu resolved, %zu constraint-only\n",
+              result.anchors_with_cert, result.anchors_without_cert);
+  for (std::size_t k = 0; k < rootstore::kConstraintKindCount; ++k) {
+    if (result.stats.kind_counts[k] == 0) continue;
+    std::printf("  %-28s %zu\n",
+                rootstore::to_string(static_cast<rootstore::ConstraintKind>(k)),
+                result.stats.kind_counts[k]);
+  }
+  for (const std::string& root : store.gccs().roots_sorted()) {
+    for (const core::Gcc& gcc : store.gccs().for_root(root)) {
+      std::printf("  gcc %-44s -> root %s\n", gcc.name().c_str(),
+                  root.substr(0, 16).c_str());
+    }
+  }
+
+  std::string out_path = flag_value(argc, argv, "--out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << store.serialize();
+    std::printf("wrote          : %s (%zu trusted, %zu gccs)\n",
+                out_path.c_str(), store.trusted_count(), store.gccs().total());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1078,5 +1176,8 @@ int main(int argc, char** argv) {
   if (command == "feed-status") return cmd_feed_status(rest_argc, rest_argv);
   if (command == "metrics") return cmd_metrics(rest_argc, rest_argv);
   if (command == "daemon") return cmd_daemon(rest_argc, rest_argv);
+  if (command == "compile-store") {
+    return cmd_compile_store(rest_argc, rest_argv);
+  }
   return usage();
 }
