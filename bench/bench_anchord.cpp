@@ -135,14 +135,15 @@ void report_registry_deltas(benchmark::State& state,
       sample("anchor_anchord_requests_total{verb=\"verify\"}");
 }
 
-void run_throughput(benchmark::State& state, bool socketpair) {
+void run_throughput(benchmark::State& state, bool socketpair,
+                    std::size_t workers = 8) {
   Fixture& f = fixture();
   const auto connections = static_cast<std::size_t>(state.range(0));
   const auto depth = static_cast<std::size_t>(state.range(1));
 
   metrics::Registry registry;
   chain::ServiceConfig service_config;
-  service_config.threads = 8;
+  service_config.threads = workers;
   chain::VerifyService service(f.store, f.corpus.signatures(), service_config,
                                registry);
   anchord::VerbDispatcher::Backends backends;
@@ -150,7 +151,7 @@ void run_throughput(benchmark::State& state, bool socketpair) {
   backends.store = &f.store;
   backends.registry = &registry;
   anchord::AnchordConfig config;
-  config.workers = 8;
+  config.workers = workers;
   config.max_in_flight = 512;  // headroom: this sweep prices throughput,
                                // not the overload path (counted anyway)
   anchord::AnchordServer server(backends, config, registry);
@@ -213,6 +214,95 @@ void BM_Anchord_Socketpair(benchmark::State& state) {
 BENCHMARK(BM_Anchord_Socketpair)
     ->ArgsProduct({{1, 4}, {8}})
     ->ArgNames({"conns", "depth"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Worker-count sweep at a fixed offered load (4 connections × depth 8):
+// prices how daemon throughput scales with the shared VerifyService pool.
+// On a single-vCPU host the sweep measures scheduling overhead rather
+// than parallel speedup; the point is the trend line on real hardware.
+void BM_Anchord_WorkerSweep(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(2));
+  run_throughput(state, /*socketpair=*/false, workers);
+}
+BENCHMARK(BM_Anchord_WorkerSweep)
+    ->ArgsProduct({{4}, {8}, {1, 2, 4, 8}})
+    ->ArgNames({"conns", "depth", "workers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Batch verb: one kVerifyBatch frame carrying `batch` leaves that share an
+// intermediate pool and one fact-interning arena per dispatch. Items/s
+// counts leaf verifications, directly comparable to the single-verb sweep
+// at depth ≥ batch (same offered work, one frame instead of N).
+void BM_Anchord_Batch(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+
+  anchord::Request request;
+  request.verb = anchord::Verb::kVerifyBatch;
+  request.usage = "TLS";
+  request.time = f.now;
+  std::vector<Bytes> intermediates;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const anchord::Request& single = f.requests[i % f.requests.size()];
+    anchord::BatchEntry entry;
+    entry.hostname = single.hostname;
+    entry.leaf_der = single.leaf_der;
+    request.batch.push_back(std::move(entry));
+    for (const Bytes& der : single.intermediates_der) {
+      bool seen = false;
+      for (const Bytes& have : intermediates) seen = seen || have == der;
+      if (!seen) intermediates.push_back(der);
+    }
+  }
+  request.intermediates_der = std::move(intermediates);
+
+  metrics::Registry registry;
+  chain::VerifyService service(f.store, f.corpus.signatures(), {}, registry);
+  anchord::VerbDispatcher::Backends backends;
+  backends.service = &service;
+  backends.store = &f.store;
+  backends.registry = &registry;
+  anchord::AnchordServer server(backends, {}, registry);
+
+  auto pair = anchord::make_memory_conduit();
+  std::thread serve_thread([&server, &pair] { server.serve(*pair.second); });
+  anchord::AnchordClient client(*pair.first, /*timeout_ms=*/30000);
+
+  const metrics::Snapshot before = registry.snapshot();
+  double total_leaves = 0;
+  for (auto _ : state) {
+    auto response = client.call(request);
+    if (!response.ok() || !response.value().ok ||
+        response.value().batch.size() != batch) {
+      state.SkipWithError("batch response not ok");
+      break;
+    }
+    total_leaves += static_cast<double>(batch);
+  }
+  pair.first->close();
+  serve_thread.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_leaves));
+
+  const metrics::Snapshot delta =
+      metrics::snapshot_delta(before, registry.snapshot());
+  auto sample = [&](const std::string& key) {
+    auto it = delta.find(key);
+    return it == delta.end() ? 0.0 : it->second;
+  };
+  state.counters["wire_bytes_per_leaf"] =
+      (sample("anchor_anchord_bytes_read_total") +
+       sample("anchor_anchord_bytes_written_total")) /
+      (total_leaves > 0 ? total_leaves : 1.0);
+  state.counters["served_batch"] =
+      sample("anchor_anchord_requests_total{verb=\"verify-batch\"}");
+}
+BENCHMARK(BM_Anchord_Batch)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->ArgNames({"batch"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

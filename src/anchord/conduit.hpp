@@ -35,6 +35,30 @@ class Conduit {
   // Half-close is not modelled: close() ends both directions. Idempotent
   // and safe to call concurrently with a blocked read (which unblocks).
   virtual void close() = 0;
+
+  // --- event-driven hooks (anchord's epoll reactor) -----------------------
+  //
+  // A readiness-driven server never blocks in read_some/write; instead it
+  // epolls readiness_fd() and drains with read_some(..., timeout_ms=0)
+  // until 0 is returned. The fd is level-triggered in spirit: it reads
+  // ready whenever bytes *may* be available or the stream has closed
+  // (spurious wakeups are allowed; lost wakeups are not). Endpoints that
+  // cannot supply one return -1 and the server falls back to its blocking
+  // per-session loop.
+  virtual int readiness_fd() const { return -1; }
+
+  // Non-blocking write: accepts up to data.size() bytes and returns the
+  // count actually taken (0 = flow-controlled, try again on writability),
+  // or -1 once the stream is closed. The default delegates to the blocking
+  // write(), which is correct for endpoints whose writes cannot block.
+  virtual int write_some(BytesView data) {
+    return write(data) ? static_cast<int>(data.size()) : -1;
+  }
+
+  // Fd to watch (EPOLLOUT) after a short write_some; -1 when writes never
+  // flow-control (in-memory pipes), in which case write_some always takes
+  // everything or fails.
+  virtual int writable_fd() const { return -1; }
 };
 
 using ConduitPair = std::pair<std::unique_ptr<Conduit>, std::unique_ptr<Conduit>>;

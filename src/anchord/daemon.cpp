@@ -239,6 +239,14 @@ Response TrustDaemon::execute_fallback(const Request& request,
       response.stats.epoch = config_.store->epoch();
       return response;
     }
+    case Verb::kVerifyBatch: {
+      // The fallback path exists for daemons wired without a VerifyService;
+      // batch verification leans on the service's shared-arena path, so
+      // without one the verb is simply not served.
+      response.kind = chain::ErrorKind::kUnavailable;
+      response.detail = "verify-batch: requires an attached VerifyService";
+      return response;
+    }
   }
   response.kind = chain::ErrorKind::kMalformedRequest;
   response.detail = "unknown verb";

@@ -22,6 +22,31 @@ Response fail(const Request& request, chain::ErrorKind kind,
   return response;
 }
 
+// Maps the request's usage token onto VerifyOptions, or returns false for
+// a token neither verify verb accepts.
+bool parse_usage(const Request& request, chain::VerifyOptions& options) {
+  if (request.usage == chain::usage_name(chain::Usage::kTls)) {
+    options.usage = chain::Usage::kTls;
+    return true;
+  }
+  if (request.usage == chain::usage_name(chain::Usage::kSmime)) {
+    options.usage = chain::Usage::kSmime;
+    return true;
+  }
+  return false;
+}
+
+chain::VerifyOptions options_from(const Request& request) {
+  chain::VerifyOptions options;
+  options.time = request.time;
+  options.hostname = request.hostname;
+  options.max_depth = request.max_depth;
+  options.require_ev = request.require_ev;
+  options.check_signatures = request.check_signatures;
+  options.run_gccs = request.run_gccs;
+  return options;
+}
+
 }  // namespace
 
 VerbDispatcher::VerbDispatcher(Backends backends)
@@ -45,6 +70,8 @@ Response VerbDispatcher::dispatch(const Request& request,
                                      : *backends_.registry);
     case Verb::kFeedStatus:
       return do_feed_status(request);
+    case Verb::kVerifyBatch:
+      return do_verify_batch(request);
   }
   return fail(request, chain::ErrorKind::kMalformedRequest, "unknown verb");
 }
@@ -54,21 +81,11 @@ Response VerbDispatcher::do_verify(const Request& request) {
     return fail(request, chain::ErrorKind::kMalformedRequest,
                 "verify: empty leaf certificate");
   }
-  chain::VerifyOptions options;
-  if (request.usage == chain::usage_name(chain::Usage::kTls)) {
-    options.usage = chain::Usage::kTls;
-  } else if (request.usage == chain::usage_name(chain::Usage::kSmime)) {
-    options.usage = chain::Usage::kSmime;
-  } else {
+  chain::VerifyOptions options = options_from(request);
+  if (!parse_usage(request, options)) {
     return fail(request, chain::ErrorKind::kMalformedRequest,
                 "verify: unknown usage '" + request.usage + "'");
   }
-  options.time = request.time;
-  options.hostname = request.hostname;
-  options.max_depth = request.max_depth;
-  options.require_ev = request.require_ev;
-  options.check_signatures = request.check_signatures;
-  options.run_gccs = request.run_gccs;
 
   chain::VerifyResult result = backends_.service->validate(
       request.leaf_der, request.intermediates_der, options);
@@ -85,6 +102,57 @@ Response VerbDispatcher::do_verify(const Request& request) {
   response.chain_der.reserve(result.chain.size());
   for (const auto& cert : result.chain) {
     response.chain_der.push_back(cert->der());
+  }
+  return response;
+}
+
+Response VerbDispatcher::do_verify_batch(const Request& request) {
+  if (request.batch.empty()) {
+    return fail(request, chain::ErrorKind::kMalformedRequest,
+                "verify-batch: empty batch");
+  }
+  chain::VerifyOptions options = options_from(request);
+  if (!parse_usage(request, options)) {
+    return fail(request, chain::ErrorKind::kMalformedRequest,
+                "verify-batch: unknown usage '" + request.usage + "'");
+  }
+
+  std::vector<Bytes> leaf_ders;
+  std::vector<std::string> hostnames;
+  leaf_ders.reserve(request.batch.size());
+  hostnames.reserve(request.batch.size());
+  for (const BatchEntry& entry : request.batch) {
+    leaf_ders.push_back(entry.leaf_der);
+    hostnames.push_back(entry.hostname);
+  }
+  std::vector<chain::VerifyResult> results = backends_.service->validate_batch(
+      leaf_ders, hostnames, request.intermediates_der, options);
+
+  Response response = base_response(request);
+  response.ok = true;
+  response.stats.epoch = backends_.service->epoch();
+  response.batch.reserve(results.size());
+  for (const chain::VerifyResult& result : results) {
+    BatchVerdict verdict;
+    verdict.kind = result.kind;
+    verdict.ok = result.ok;
+    verdict.chain_len = static_cast<std::uint32_t>(result.chain.size());
+    verdict.paths_explored = result.paths_explored;
+    verdict.gccs_evaluated = result.gcc_verdict.gccs_evaluated;
+    verdict.facts_encoded = result.gcc_verdict.facts_encoded;
+    verdict.detail = result.error;
+    response.batch.push_back(std::move(verdict));
+    // Top-level view: counters sum over entries; ok only if every entry
+    // passed; kind/detail report the first failing entry.
+    response.stats.chain_len += response.batch.back().chain_len;
+    response.stats.paths_explored += result.paths_explored;
+    response.stats.gccs_evaluated += result.gcc_verdict.gccs_evaluated;
+    response.stats.facts_encoded += result.gcc_verdict.facts_encoded;
+    if (!result.ok && response.ok) {
+      response.ok = false;
+      response.kind = result.kind;
+      response.detail = result.error;
+    }
   }
   return response;
 }

@@ -38,6 +38,7 @@ class VerbDispatcher {
 
  private:
   Response do_verify(const Request& request);
+  Response do_verify_batch(const Request& request);
   Response do_evaluate_gccs(const Request& request);
   Response do_metrics(const Request& request, metrics::Registry& registry);
   Response do_feed_status(const Request& request);

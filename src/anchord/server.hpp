@@ -1,8 +1,16 @@
-// The anchord serving layer: a concurrent session loop speaking the framed
+// The anchord serving layer: readiness-driven sessions speaking the framed
 // wire protocol over a Conduit, executing verbs on a worker pool.
 //
 // Serving semantics (each has a dedicated test in anchord_test.cpp):
 //
+//   * Event-driven sessions — one epoll Reactor drives every connection
+//     whose Conduit exposes a readiness fd: frames are decoded zero-copy
+//     out of the session's read buffer (net::decode_frame_view), handler
+//     completions enqueue their response and flush with non-blocking
+//     writes, and a flow-controlled peer parks the frame on the session's
+//     write queue until the reactor reports writability — no thread ever
+//     blocks inside a session. Conduits without a readiness fd are served
+//     on the legacy blocking per-session loop with identical semantics.
 //   * Pipelining — a session decodes frames as bytes arrive and admits
 //     every complete request immediately; responses are written as their
 //     handlers finish, in any order, matched by correlation id.
@@ -15,30 +23,37 @@
 //   * Request timeouts — with `request_timeout_ms` set, a request whose
 //     deadline passed before its handler ran is answered kTimeout without
 //     touching the verifier (the work it would do is already worthless).
-//   * Session robustness — an oversized or unknown-type frame is answered
-//     with a kAlert frame and *skipped* (the declared length tells the
-//     loop how many bytes to discard), keeping the session alive; only a
-//     session whose buffered-but-unframed bytes exceed `max_buffer_bytes`
-//     is torn down, because at that point framing itself can't be trusted.
+//   * Session robustness — an unknown-type frame with a credible declared
+//     length is answered with a kAlert frame and skipped, keeping the
+//     session alive. A frame whose declared length exceeds the codec cap
+//     is different: that length is attacker-controlled garbage, and using
+//     it as a skip count would silently swallow up to 4 GiB of valid
+//     frames — so the session is alerted and torn down instead. The same
+//     teardown applies when buffered-but-unframed bytes exceed
+//     `max_buffer_bytes`, because at that point framing can't be trusted.
 //   * Bounded reads — bytes are pulled `read_chunk` at a time and complete
 //     frames are consumed eagerly, so one connection cannot force the
 //     server to buffer more than `max_buffer_bytes` + one chunk.
 //
 // Threading: serve() blocks for the life of one connection and is safe to
 // call concurrently from many threads (one per connection, as the tests
-// and bench do). Handler execution is shared: all sessions submit to one
-// worker pool. serve() returns only after every response it admitted has
-// been written, so per-session state lives on serve()'s stack.
+// and bench do); under the reactor it is a registration + wait, not a
+// loop. Handler execution is shared: all sessions submit to one worker
+// pool. serve() returns only after every response it admitted has been
+// written (or the stream died), so the caller may destroy the Conduit as
+// soon as serve() returns.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 
 #include "anchord/conduit.hpp"
 #include "anchord/dispatch.hpp"
+#include "anchord/reactor.hpp"
 #include "anchord/wire.hpp"
 #include "util/metrics.hpp"
 #include "util/threadpool.hpp"
@@ -51,7 +66,7 @@ struct AnchordConfig {
   int request_timeout_ms = 0;          // 0 = no deadline
   std::size_t read_chunk = 4096;       // per-read_some byte cap
   std::size_t max_buffer_bytes = 1 << 22;  // unframed-bytes cap per session
-  int idle_poll_ms = 50;               // read_some timeout granularity
+  int idle_poll_ms = 50;               // blocking-path read_some granularity
   // Test seam: runs at the start of every handler, before the deadline
   // check. Lets the robustness tests hold requests in flight (overload)
   // or past their deadline (timeout) deterministically.
@@ -80,17 +95,23 @@ class AnchordServer {
  private:
   struct Session;
 
-  // Decodes and handles every complete frame in `buffer`. Returns false
-  // when the session must be torn down.
-  bool drain_buffer(Session& session, Bytes& buffer,
-                    std::size_t& skip_remaining);
-  void on_message(Session& session, net::Message message);
+  // Legacy per-session pump for conduits with no readiness fd (or when
+  // reactor setup failed): blocks in read_some, shares every other code
+  // path with the reactor.
+  void serve_blocking(Conduit& conduit, const std::shared_ptr<Session>& session);
+
+  // Decodes and handles every complete frame buffered on `session`,
+  // zero-copy, with one batched erase of the consumed prefix. Returns
+  // false when the session must be torn down.
+  bool drain_session(Session& session);
+  void on_frame(Session& session, net::MsgType type, BytesView payload);
   void admit(Session& session, Request request);
   void send_alert(Session& session, const std::string& reason);
 
   VerbDispatcher dispatcher_;
   AnchordConfig config_;
   ThreadPool pool_;
+  Reactor reactor_;
   std::atomic<std::size_t> in_flight_{0};
 
   metrics::Counter& m_connections_;
@@ -98,6 +119,7 @@ class AnchordServer {
   metrics::Counter& m_req_gccs_;
   metrics::Counter& m_req_metrics_;
   metrics::Counter& m_req_feed_;
+  metrics::Counter& m_req_batch_;
   metrics::Counter& m_overloads_;
   metrics::Counter& m_timeouts_;
   metrics::Counter& m_malformed_;

@@ -114,7 +114,7 @@ struct Cursor {
 
 bool valid_verb(std::uint8_t v) {
   return v >= static_cast<std::uint8_t>(Verb::kVerify) &&
-         v <= static_cast<std::uint8_t>(Verb::kFeedStatus);
+         v <= static_cast<std::uint8_t>(Verb::kVerifyBatch);
 }
 
 }  // namespace
@@ -125,6 +125,7 @@ const char* to_string(Verb verb) {
     case Verb::kEvaluateGccs: return "evaluate-gccs";
     case Verb::kMetrics: return "metrics";
     case Verb::kFeedStatus: return "feed-status";
+    case Verb::kVerifyBatch: return "verify-batch";
   }
   return "unknown";
 }
@@ -146,6 +147,13 @@ net::Message encode_request(const Request& request) {
   put_str(out, request.hostname);
   put_blob(out, request.leaf_der);
   put_list(out, request.intermediates_der);
+  if (request.verb == Verb::kVerifyBatch) {
+    put_u32(out, static_cast<std::uint32_t>(request.batch.size()));
+    for (const BatchEntry& entry : request.batch) {
+      put_str(out, entry.hostname);
+      put_blob(out, entry.leaf_der);
+    }
+  }
   return message;
 }
 
@@ -164,14 +172,26 @@ net::Message encode_response(const Response& response) {
   put_u64(out, response.stats.epoch);
   put_str(out, response.detail);
   put_list(out, response.chain_der);
+  if (response.verb == Verb::kVerifyBatch) {
+    put_u32(out, static_cast<std::uint32_t>(response.batch.size()));
+    for (const BatchVerdict& verdict : response.batch) {
+      put_u8(out, static_cast<std::uint8_t>(verdict.kind));
+      put_u8(out, verdict.ok ? 1 : 0);
+      put_u32(out, verdict.chain_len);
+      put_u64(out, verdict.paths_explored);
+      put_u64(out, verdict.gccs_evaluated);
+      put_u64(out, verdict.facts_encoded);
+      put_str(out, verdict.detail);
+    }
+  }
   return message;
 }
 
-Result<Request> decode_request(const net::Message& message) {
-  if (message.type != net::MsgType::kRequest) {
+Result<Request> decode_request(net::MsgType type, BytesView payload) {
+  if (type != net::MsgType::kRequest) {
     return err("anchord: frame type is not kRequest");
   }
-  Cursor cur{BytesView(message.payload)};
+  Cursor cur{payload};
   Request request;
   request.correlation_id = cur.get_u64();
   const std::uint8_t verb = cur.get_u8();
@@ -189,16 +209,31 @@ Result<Request> decode_request(const net::Message& message) {
   request.hostname = cur.get_str();
   request.leaf_der = cur.get_blob();
   request.intermediates_der = cur.get_list();
+  if (request.verb == Verb::kVerifyBatch) {
+    const std::uint32_t count = cur.get_u32();
+    request.batch.reserve(
+        std::min<std::size_t>(count, (cur.data.size() - cur.pos) / 8 + 1));
+    for (std::uint32_t i = 0; i < count && !cur.failed; ++i) {
+      BatchEntry entry;
+      entry.hostname = cur.get_str();
+      entry.leaf_der = cur.get_blob();
+      request.batch.push_back(std::move(entry));
+    }
+  }
   if (cur.failed) return err("anchord: truncated request payload");
   if (!cur.done()) return err("anchord: trailing bytes after request");
   return request;
 }
 
-Result<Response> decode_response(const net::Message& message) {
-  if (message.type != net::MsgType::kResponse) {
+Result<Request> decode_request(const net::Message& message) {
+  return decode_request(message.type, BytesView(message.payload));
+}
+
+Result<Response> decode_response(net::MsgType type, BytesView payload) {
+  if (type != net::MsgType::kResponse) {
     return err("anchord: frame type is not kResponse");
   }
-  Cursor cur{BytesView(message.payload)};
+  Cursor cur{payload};
   Response response;
   response.correlation_id = cur.get_u64();
   const std::uint8_t verb = cur.get_u8();
@@ -223,9 +258,37 @@ Result<Response> decode_response(const net::Message& message) {
   response.stats.epoch = cur.get_u64();
   response.detail = cur.get_str();
   response.chain_der = cur.get_list();
+  if (response.verb == Verb::kVerifyBatch) {
+    const std::uint32_t count = cur.get_u32();
+    response.batch.reserve(
+        std::min<std::size_t>(count, (cur.data.size() - cur.pos) / 34 + 1));
+    for (std::uint32_t i = 0; i < count && !cur.failed; ++i) {
+      BatchVerdict verdict;
+      const std::uint8_t vk = cur.get_u8();
+      if (!cur.failed && vk >= chain::kErrorKindCount) {
+        return err("anchord: unknown batch error kind " + std::to_string(vk));
+      }
+      verdict.kind = static_cast<chain::ErrorKind>(vk);
+      const std::uint8_t vok = cur.get_u8();
+      if (!cur.failed && vok > 1) {
+        return err("anchord: batch verdict byte must be 0 or 1");
+      }
+      verdict.ok = vok == 1;
+      verdict.chain_len = cur.get_u32();
+      verdict.paths_explored = cur.get_u64();
+      verdict.gccs_evaluated = cur.get_u64();
+      verdict.facts_encoded = cur.get_u64();
+      verdict.detail = cur.get_str();
+      response.batch.push_back(std::move(verdict));
+    }
+  }
   if (cur.failed) return err("anchord: truncated response payload");
   if (!cur.done()) return err("anchord: trailing bytes after response");
   return response;
+}
+
+Result<Response> decode_response(const net::Message& message) {
+  return decode_response(message.type, BytesView(message.payload));
 }
 
 std::uint64_t peek_correlation_id(BytesView payload) {

@@ -46,9 +46,20 @@ enum class Verb : std::uint8_t {
   kEvaluateGccs = 2,  // caller-built chain, daemon runs GCCs (option 2)
   kMetrics = 3,       // registry text exposition as the response detail
   kFeedStatus = 4,    // RSF client liveness summary as the response detail
+  kVerifyBatch = 5,   // N verify chains in one frame, one interning arena
 };
 
 const char* to_string(Verb verb);
+
+// One chain of a kVerifyBatch request. Batch entries share the request's
+// intermediates_der pool, usage, time, and option flags; only the leaf and
+// its hostname vary per entry.
+struct BatchEntry {
+  std::string hostname;
+  Bytes leaf_der;
+
+  bool operator==(const BatchEntry&) const = default;
+};
 
 struct Request {
   std::uint64_t correlation_id = 0;
@@ -64,6 +75,11 @@ struct Request {
   std::string hostname;
   Bytes leaf_der;                  // kEvaluateGccs: first chain element
   std::vector<Bytes> intermediates_der;
+  // kVerifyBatch only: the chains to verify. Encoded after the fields
+  // above (u32 count, then each entry as str hostname + blob leaf_der), so
+  // the byte layout of every other verb is exactly what it was before the
+  // batch verb existed.
+  std::vector<BatchEntry> batch;
 
   bool operator==(const Request&) const = default;
 };
@@ -80,14 +96,33 @@ struct ResponseStats {
   bool operator==(const ResponseStats&) const = default;
 };
 
+// One verdict of a kVerifyBatch response, index-aligned with the request's
+// batch entries. Same determinism rule as ResponseStats: counts only.
+struct BatchVerdict {
+  chain::ErrorKind kind = chain::ErrorKind::kOk;
+  bool ok = false;
+  std::uint32_t chain_len = 0;
+  std::uint64_t paths_explored = 0;
+  std::uint64_t gccs_evaluated = 0;
+  std::uint64_t facts_encoded = 0;
+  std::string detail;
+
+  bool operator==(const BatchVerdict&) const = default;
+};
+
 struct Response {
   std::uint64_t correlation_id = 0;
   Verb verb = Verb::kVerify;
   chain::ErrorKind kind = chain::ErrorKind::kOk;
-  bool ok = false;
-  ResponseStats stats;
+  bool ok = false;                 // kVerifyBatch: every entry verified ok
+  ResponseStats stats;             // kVerifyBatch: counters summed over items
   std::string detail;              // diagnostic / exposition / status text
   std::vector<Bytes> chain_der;    // kVerify: accepted path DER, leaf-first
+  // kVerifyBatch only: per-entry verdicts, encoded after chain_der as
+  // u32 count + entries (u8 kind, u8 ok, u32 chain_len, u64 paths_explored,
+  // u64 gccs_evaluated, u64 facts_encoded, str detail). Other verbs keep
+  // their original byte layout.
+  std::vector<BatchVerdict> batch;
 
   bool operator==(const Response&) const = default;
 };
@@ -97,8 +132,12 @@ net::Message encode_request(const Request& request);
 net::Message encode_response(const Response& response);
 
 // Strict decoders; err() on wrong frame type, malformed fields, unknown
-// verb/error-kind bytes, or trailing payload bytes.
+// verb/error-kind bytes, or trailing payload bytes. The BytesView overloads
+// decode straight out of a session read buffer (the reactor's zero-copy
+// path); the Message overloads wrap them.
+Result<Request> decode_request(net::MsgType type, BytesView payload);
 Result<Request> decode_request(const net::Message& message);
+Result<Response> decode_response(net::MsgType type, BytesView payload);
 Result<Response> decode_response(const net::Message& message);
 
 // Best-effort correlation-id peek at a payload that failed full decoding,

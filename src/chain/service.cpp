@@ -90,6 +90,9 @@ struct VerifyService::Snapshot {
       service.m_verdict_hit_.add();
       verdict.gccs_evaluated += cached.gccs_evaluated;
       verdict.facts_encoded += cached.facts_encoded;
+      // Replay the evaluator accounting captured at miss time: a caller
+      // must not be able to tell a hit from a miss by looking at stats.
+      verdict.stats.accumulate(cached.stats);
       if (!cached.allowed) verdict.failed_gcc = cached.failed_gcc;
       return cached.allowed;
     }
@@ -102,7 +105,7 @@ struct VerifyService::Snapshot {
     if (!v.allowed) verdict.failed_gcc = v.failed_gcc;
     service.verdict_cache_.put(
         key, CachedVerdict{v.allowed, v.failed_gcc, v.gccs_evaluated,
-                           v.facts_encoded});
+                           v.facts_encoded, v.stats});
     return v.allowed;
   }
 };
@@ -211,13 +214,12 @@ VerifyResult VerifyService::verify(const x509::CertPtr& leaf,
   return verify_on(*snapshot, leaf, pool, options);
 }
 
-std::future<VerifyResult> VerifyService::submit(x509::CertPtr leaf,
-                                                const CertificatePool* pool,
-                                                VerifyOptions options) {
+std::future<VerifyResult> VerifyService::submit(
+    x509::CertPtr leaf, std::shared_ptr<const CertificatePool> pool,
+    VerifyOptions options) {
   auto task = std::make_shared<std::packaged_task<VerifyResult()>>(
-      [this, leaf = std::move(leaf), pool, options = std::move(options)] {
-        return verify(leaf, *pool, options);
-      });
+      [this, leaf = std::move(leaf), pool = std::move(pool),
+       options = std::move(options)] { return verify(leaf, *pool, options); });
   std::future<VerifyResult> future = task->get_future();
   pool_.post([task] { (*task)(); });
   return future;
@@ -226,10 +228,14 @@ std::future<VerifyResult> VerifyService::submit(x509::CertPtr leaf,
 std::vector<VerifyResult> VerifyService::verify_batch(
     std::span<const x509::CertPtr> leaves, const CertificatePool& pool,
     const VerifyOptions& options) {
+  // Non-owning alias: safe because every future is joined before return,
+  // so no task outlives the caller's `pool` reference.
+  std::shared_ptr<const CertificatePool> alias(
+      std::shared_ptr<const CertificatePool>{}, &pool);
   std::vector<std::future<VerifyResult>> futures;
   futures.reserve(leaves.size());
   for (const x509::CertPtr& leaf : leaves) {
-    futures.push_back(submit(leaf, &pool, options));
+    futures.push_back(submit(leaf, alias, options));
   }
   std::vector<VerifyResult> results;
   results.reserve(leaves.size());
@@ -322,6 +328,44 @@ VerifyResult VerifyService::validate(const Bytes& leaf_der,
     pool.add(std::move(cert).take());
   }
   return verify_on(*snapshot, leaf.value(), pool, options);
+}
+
+std::vector<VerifyResult> VerifyService::validate_batch(
+    std::span<const Bytes> leaf_ders, std::span<const std::string> hostnames,
+    std::span<const Bytes> intermediates_der, const VerifyOptions& options) {
+  std::shared_ptr<const Snapshot> snapshot = current_snapshot();
+  std::vector<VerifyResult> results(leaf_ders.size());
+
+  // Parse the shared intermediates once for the whole batch. A malformed
+  // shared intermediate poisons every entry: the caller vouched for one
+  // pool, so no chain built from it can be trusted.
+  CertificatePool pool;
+  for (const Bytes& der : intermediates_der) {
+    auto cert = parse_cached(BytesView(der));
+    if (!cert) {
+      for (VerifyResult& result : results) {
+        result.kind = ErrorKind::kMalformedRequest;
+        result.error = "daemon: " + cert.error();
+      }
+      return results;
+    }
+    pool.add(std::move(cert).take());
+  }
+
+  // Sequential on purpose: one thread means one thread-local Datalog
+  // interning arena shared by every chain in the batch.
+  for (std::size_t i = 0; i < leaf_ders.size(); ++i) {
+    auto leaf = parse_cached(BytesView(leaf_ders[i]));
+    if (!leaf) {
+      results[i].kind = ErrorKind::kMalformedRequest;
+      results[i].error = "daemon: " + leaf.error();
+      continue;
+    }
+    VerifyOptions entry_options = options;
+    if (i < hostnames.size()) entry_options.hostname = hostnames[i];
+    results[i] = verify_on(*snapshot, leaf.value(), pool, entry_options);
+  }
+  return results;
 }
 
 ServiceStats VerifyService::stats() const {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "chain/verifier.hpp"
+#include "datalog/eval.hpp"
 #include "util/metrics.hpp"
 #include "util/sharded_cache.hpp"
 #include "util/threadpool.hpp"
@@ -85,10 +86,13 @@ class VerifyService {
                       const VerifyOptions& options,
                       std::uint64_t* observed_epoch = nullptr);
 
-  // Async submission onto the worker pool. The pool and pointers must stay
-  // valid until the future resolves.
+  // Async submission onto the worker pool. The task shares ownership of
+  // `pool`, so the caller may drop its reference (or destroy its last
+  // shared_ptr) before the future resolves — the pool lives until the
+  // worker is done with it. The pool must still not be *mutated* while the
+  // future is outstanding; the pointee is const for exactly that reason.
   std::future<VerifyResult> submit(x509::CertPtr leaf,
-                                   const CertificatePool* pool,
+                                   std::shared_ptr<const CertificatePool> pool,
                                    VerifyOptions options);
 
   // Fans a batch across the pool and gathers results in input order.
@@ -116,6 +120,18 @@ class VerifyService {
                         std::span<const Bytes> intermediates_der,
                         const VerifyOptions& options);
 
+  // Batch form of validate() for anchord's kVerifyBatch verb: N leaves that
+  // share one intermediate pool, one usage, and one options block (only the
+  // hostname varies per entry; hostnames[i] pairs with leaf_ders[i] and
+  // `hostnames` may be empty to reuse options.hostname throughout). The
+  // batch runs sequentially on the calling thread so every chain hits the
+  // same thread-local Datalog interning arena, and the shared intermediates
+  // are parsed once, not once per chain. A malformed leaf fails only its
+  // own entry; a malformed shared intermediate fails every entry.
+  std::vector<VerifyResult> validate_batch(
+      std::span<const Bytes> leaf_ders, std::span<const std::string> hostnames,
+      std::span<const Bytes> intermediates_der, const VerifyOptions& options);
+
   // Runs `fn` on the live store under the exclusive mutation lock, then
   // publishes a fresh snapshot and flushes verdicts cached under prior
   // epochs. The epoch is forced to advance even if `fn` made a change the
@@ -142,11 +158,15 @@ class VerifyService {
     std::size_t operator()(const VerdictKey& key) const;
   };
   // What the gcc hook needs to replay a verdict without re-evaluating.
+  // `stats` rides along so a cache hit accumulates the same evaluator
+  // accounting the original miss did — hit and miss paths must be
+  // observationally identical to the caller.
   struct CachedVerdict {
     bool allowed = true;
     std::string failed_gcc;
     std::size_t gccs_evaluated = 0;
     std::size_t facts_encoded = 0;
+    datalog::EvalStats stats;
   };
 
   std::shared_ptr<const Snapshot> current_snapshot() const;

@@ -14,8 +14,8 @@ Bytes encode_frame(const Message& message) {
   return out;
 }
 
-Result<DecodeResult> decode_frame(Bytes& buffer) {
-  DecodeResult result;
+Result<FrameView> decode_frame_view(BytesView buffer) {
+  FrameView result;
   if (buffer.size() < 5) return result;  // need more bytes
   std::uint8_t type = buffer[0];
   if (type < static_cast<std::uint8_t>(MsgType::kClientHello) ||
@@ -27,12 +27,25 @@ Result<DecodeResult> decode_frame(Bytes& buffer) {
   if (length > kMaxFrameBytes) {
     return err("net: frame length " + std::to_string(length) + " exceeds cap");
   }
-  if (buffer.size() < 5 + length) return result;  // incomplete
+  if (buffer.size() < 5 + static_cast<std::size_t>(length)) return result;
   result.complete = true;
-  result.message.type = static_cast<MsgType>(type);
-  result.message.payload.assign(buffer.begin() + 5,
-                                buffer.begin() + 5 + length);
-  buffer.erase(buffer.begin(), buffer.begin() + 5 + length);
+  result.type = static_cast<MsgType>(type);
+  result.payload = buffer.subspan(5, length);
+  result.consumed = 5 + static_cast<std::size_t>(length);
+  return result;
+}
+
+Result<DecodeResult> decode_frame(Bytes& buffer) {
+  auto view = decode_frame_view(BytesView(buffer));
+  if (!view) return err(view.error());
+  DecodeResult result;
+  if (!view.value().complete) return result;
+  result.complete = true;
+  result.message.type = view.value().type;
+  result.message.payload.assign(view.value().payload.begin(),
+                                view.value().payload.end());
+  buffer.erase(buffer.begin(),
+               buffer.begin() + static_cast<std::ptrdiff_t>(view.value().consumed));
   return result;
 }
 

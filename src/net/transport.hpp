@@ -60,6 +60,22 @@ struct DecodeResult {
 };
 Result<DecodeResult> decode_frame(Bytes& buffer);
 
+// Zero-copy variant for event-driven session loops: decodes one frame at
+// the front of `buffer` without materializing the payload. On success with
+// complete=true, `payload` is a view into `buffer` (valid only until the
+// caller mutates the buffer) and `consumed` is the frame's full wire size
+// (5 + payload length) — the caller erases consumed bytes itself, which
+// lets it batch one erase across a whole pipelined burst instead of one
+// per frame. Error and need-more-bytes semantics are identical to
+// decode_frame: nothing is consumed on either.
+struct FrameView {
+  bool complete = false;      // false: need more bytes
+  MsgType type = MsgType::kAlert;
+  BytesView payload;          // borrowed from the caller's buffer
+  std::size_t consumed = 0;   // 5 + payload.size() when complete
+};
+Result<FrameView> decode_frame_view(BytesView buffer);
+
 // A bidirectional in-memory pipe with two endpoints.
 class DuplexChannel {
  public:

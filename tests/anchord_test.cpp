@@ -155,6 +155,47 @@ TEST(AnchordWire, ResponseRoundTripsThroughCodec) {
   EXPECT_EQ(decoded.value(), response);
 }
 
+TEST(AnchordWire, BatchRequestAndResponseRoundTripThroughCodec) {
+  Request request;
+  request.correlation_id = 11;
+  request.verb = Verb::kVerifyBatch;
+  request.usage = "TLS";
+  request.time = 1700000000;
+  request.intermediates_der = {Bytes{0x30, 0x00}};
+  request.batch = {{"a.example.com", Bytes{0x30, 0x01}},
+                   {"", Bytes{}},
+                   {"b.example.com", Bytes{0xff}}};
+  auto decoded = decode_request(encode_request(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), request);
+
+  Response response;
+  response.correlation_id = 11;
+  response.verb = Verb::kVerifyBatch;
+  response.ok = false;
+  response.kind = ErrorKind::kHostnameMismatch;
+  response.stats = {6, 4, 2, 80, 3};
+  response.batch = {{ErrorKind::kOk, true, 3, 2, 1, 40, ""},
+                    {ErrorKind::kHostnameMismatch, false, 0, 2, 1, 40,
+                     "hostname mismatch"}};
+  auto round = decode_response(encode_response(response));
+  ASSERT_TRUE(round.ok()) << round.error();
+  EXPECT_EQ(round.value(), response);
+
+  // The batch section exists only for the batch verb: bytes appended to a
+  // non-batch response stay trailing garbage, exactly as before the verb
+  // existed.
+  net::Message plain = encode_response(Response{});
+  plain.payload.push_back(0x00);
+  EXPECT_FALSE(decode_response(plain).ok());
+
+  // Truncated batch section and out-of-taxonomy per-entry kind byte are
+  // both strict errors.
+  net::Message truncated = encode_response(response);
+  truncated.payload.pop_back();
+  EXPECT_FALSE(decode_response(truncated).ok());
+}
+
 TEST(AnchordWire, StrictDecodingRejectsDamage) {
   Request request;
   request.verb = Verb::kMetrics;
@@ -324,6 +365,110 @@ TEST(AnchordServer, WireVerdictMatchesDirectPathByteForByte) {
   }
 }
 
+// --- the batch verb -------------------------------------------------------
+
+// One kVerifyBatch frame carrying N chains: per-entry verdicts come back
+// index-aligned, a bad entry fails alone, and the whole response is
+// byte-identical to what direct dispatch produces for the same request.
+TEST(AnchordServer, BatchVerbVerdictsMatchDirectDispatchByteForByte) {
+  Harness h;
+  VerbDispatcher direct(h.backends);
+  AnchordClient client(h.client_end());
+
+  CertPtr a = h.pki.leaf("a.example.com");
+  CertPtr b = h.pki.leaf("b.example.com");
+  CertPtr c = h.pki.leaf("c.example.com");
+  Request request;
+  request.verb = Verb::kVerifyBatch;
+  request.usage = "TLS";
+  request.time = WirePki::kNow;
+  request.intermediates_der = {h.pki.intermediate->der()};
+  request.batch = {{"a.example.com", a->der()},
+                   {"wrong.example.com", b->der()},  // hostname mismatch
+                   {"c.example.com", c->der()},
+                   {"d.example.com", Bytes{0xde, 0xad}}};  // malformed leaf
+
+  auto wire = client.call(request);
+  ASSERT_TRUE(wire.ok()) << wire.error();
+  const Response& response = wire.value();
+  ASSERT_EQ(response.batch.size(), 4u);
+  EXPECT_TRUE(response.batch[0].ok);
+  EXPECT_EQ(response.batch[0].chain_len, 3u);
+  EXPECT_FALSE(response.batch[1].ok);
+  EXPECT_EQ(response.batch[1].kind, ErrorKind::kHostnameMismatch);
+  EXPECT_TRUE(response.batch[2].ok);
+  EXPECT_FALSE(response.batch[3].ok);
+  EXPECT_EQ(response.batch[3].kind, ErrorKind::kMalformedRequest);
+  // Top level: not all entries passed; kind mirrors the first failure;
+  // counters sum over entries.
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.kind, ErrorKind::kHostnameMismatch);
+  EXPECT_EQ(response.stats.chain_len, 6u);  // 3 + 0 + 3 + 0
+  EXPECT_EQ(h.registry
+                .counter("anchor_anchord_requests_total",
+                         {{"verb", "verify-batch"}})
+                .value(),
+            1u);
+
+  Request mirror = request;
+  mirror.correlation_id = response.correlation_id;
+  Response direct_response = direct.dispatch(mirror);
+  EXPECT_EQ(encode_response(response).payload,
+            encode_response(direct_response).payload)
+      << "wire and direct batch responses diverge";
+}
+
+TEST(AnchordServer, EmptyBatchIsMalformed) {
+  Harness h;
+  AnchordClient client(h.client_end());
+  Request request;
+  request.verb = Verb::kVerifyBatch;
+  request.usage = "TLS";
+  auto response = client.call(request);
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().kind, ErrorKind::kMalformedRequest);
+}
+
+// Batch and single-chain verbs pipelined on one session: responses match
+// by correlation id regardless of claim order.
+TEST(AnchordServer, BatchAndSingleVerbsInterleaveOnOneSession) {
+  Harness h;
+  AnchordClient client(h.client_end());
+
+  CertPtr solo = h.pki.leaf("solo.example.com");
+  CertPtr one = h.pki.leaf("one.example.com");
+  CertPtr two = h.pki.leaf("two.example.com");
+  auto id1 = client.send(h.pki.verify_request(solo, "solo.example.com"));
+  ASSERT_TRUE(id1.ok());
+
+  Request batch;
+  batch.verb = Verb::kVerifyBatch;
+  batch.usage = "TLS";
+  batch.time = WirePki::kNow;
+  batch.intermediates_der = {h.pki.intermediate->der()};
+  batch.batch = {{"one.example.com", one->der()},
+                 {"two.example.com", two->der()}};
+  auto id2 = client.send(batch);
+  ASSERT_TRUE(id2.ok());
+
+  auto id3 = client.send(h.pki.verify_request(solo, "wrong.example.com"));
+  ASSERT_TRUE(id3.ok());
+
+  auto r3 = client.receive(id3.value());
+  ASSERT_TRUE(r3.ok()) << r3.error();
+  EXPECT_EQ(r3.value().kind, ErrorKind::kHostnameMismatch);
+  auto r2 = client.receive(id2.value());
+  ASSERT_TRUE(r2.ok()) << r2.error();
+  EXPECT_TRUE(r2.value().ok);
+  ASSERT_EQ(r2.value().batch.size(), 2u);
+  EXPECT_TRUE(r2.value().batch[0].ok);
+  EXPECT_TRUE(r2.value().batch[1].ok);
+  auto r1 = client.receive(id1.value());
+  ASSERT_TRUE(r1.ok()) << r1.error();
+  EXPECT_TRUE(r1.value().ok);
+}
+
 // --- session robustness ---------------------------------------------------
 
 TEST(AnchordServer, TornFramesByteByByte) {
@@ -386,24 +531,13 @@ TEST(AnchordServer, ResponsesInterleaveByCorrelationId) {
   EXPECT_EQ(response1.value().correlation_id, id1.value());
 }
 
-TEST(AnchordServer, OversizedAndUnknownFramesAlertWithoutKillingSession) {
+TEST(AnchordServer, UnknownAndMalformedFramesAlertWithoutKillingSession) {
   Harness h;
   AnchordClient client(h.client_end());
 
-  // Unknown frame type, well-formed length: alert + skip.
+  // Unknown frame type, credible length: alert + skip, session lives.
   Bytes unknown{99, 0x00, 0x00, 0x00, 0x02, 0xaa, 0xbb};
   ASSERT_TRUE(h.client_end().write(BytesView(unknown)));
-
-  // Oversized frame: header declares kMaxFrameBytes + 1; the server alerts
-  // and discards exactly that many payload bytes as they stream in.
-  const std::uint32_t big = static_cast<std::uint32_t>(net::kMaxFrameBytes) + 1;
-  Bytes oversized{static_cast<std::uint8_t>(net::MsgType::kRequest),
-                  static_cast<std::uint8_t>(big >> 24),
-                  static_cast<std::uint8_t>(big >> 16),
-                  static_cast<std::uint8_t>(big >> 8),
-                  static_cast<std::uint8_t>(big)};
-  oversized.resize(5 + big, 0x5a);
-  ASSERT_TRUE(h.client_end().write(BytesView(oversized)));
 
   // A garbage kRequest payload: answered kMalformedRequest by peeked id.
   net::Message garbage;
@@ -414,15 +548,63 @@ TEST(AnchordServer, OversizedAndUnknownFramesAlertWithoutKillingSession) {
   ASSERT_TRUE(malformed.ok()) << malformed.error();
   EXPECT_EQ(malformed.value().kind, ErrorKind::kMalformedRequest);
 
-  // The session survived all three: a real request still round-trips.
+  // The session survived both: a real request still round-trips.
   CertPtr leaf = h.pki.leaf("alive.example.com");
   auto response = client.call(h.pki.verify_request(leaf, "alive.example.com"));
   ASSERT_TRUE(response.ok()) << response.error();
   EXPECT_TRUE(response.value().ok);
 
-  EXPECT_GE(client.alerts(), 2u);
-  EXPECT_EQ(h.registry.counter("anchor_anchord_alerts_total").value(), 2u);
+  EXPECT_GE(client.alerts(), 1u);
+  EXPECT_EQ(h.registry.counter("anchor_anchord_alerts_total").value(), 1u);
   EXPECT_EQ(h.registry.counter("anchor_anchord_malformed_total").value(), 1u);
+}
+
+// Regression for the drain-buffer skip bug: a frame header declaring a
+// length over the codec cap used to set skip_remaining = 5 + length from
+// the untrusted header, silently swallowing up to ~4 GiB of valid frames
+// that followed. The declared length is garbage by definition (the codec
+// caps real frames at kMaxFrameBytes), so the session must alert and tear
+// down instead of trusting it as a skip count.
+TEST(AnchordServer, GarbageDeclaredLengthTearsSessionDown) {
+  Harness h;
+  AnchordClient client(h.client_end());
+
+  // A healthy request first: the teardown below must be attributable to
+  // the garbage header, not to a session that never worked.
+  CertPtr leaf = h.pki.leaf("pre.example.com");
+  auto first = client.call(h.pki.verify_request(leaf, "pre.example.com"));
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_TRUE(first.value().ok);
+
+  // Header declares ~4 GiB; then a perfectly valid request follows. The
+  // old skip logic would treat the valid frame's bytes as "payload" of the
+  // garbage frame and discard them for hours of traffic.
+  Bytes header{static_cast<std::uint8_t>(net::MsgType::kRequest),
+               0xff, 0xff, 0xff, 0xff};
+  ASSERT_TRUE(h.client_end().write(BytesView(header)));
+  Bytes valid = net::encode_frame(
+      encode_request(h.pki.verify_request(leaf, "pre.example.com")));
+  (void)h.client_end().write(BytesView(valid));  // may race the close
+
+  // Teardown is observable: the alert arrives, then end-of-stream (the
+  // pre-fix server kept the session open, so the read below would report
+  // an idle 0, never -1).
+  Bytes drained;
+  int n;
+  while ((n = h.client_end().read_some(drained, 4096, 500)) > 0) {
+  }
+  EXPECT_EQ(n, -1) << "session was not torn down";
+  auto alert = net::decode_frame(drained);
+  ASSERT_TRUE(alert.ok()) << alert.error();
+  ASSERT_TRUE(alert.value().complete);
+  EXPECT_EQ(alert.value().message.type, net::MsgType::kAlert);
+
+  // Nothing after the garbage header was executed.
+  EXPECT_EQ(h.registry
+                .counter("anchor_anchord_requests_total", {{"verb", "verify"}})
+                .value(),
+            1u);
+  EXPECT_EQ(h.registry.counter("anchor_anchord_alerts_total").value(), 1u);
 }
 
 TEST(AnchordServer, OverloadFailsClosedWithExplicitResponse) {
@@ -486,6 +668,58 @@ TEST(AnchordServer, ExpiredDeadlineAnswersTimeoutWithoutVerifying) {
   EXPECT_EQ(h.service.stats().calls, 0u);
 }
 
+// The in-flight gauge must be exact, not last-writer-approximate: with N
+// handlers held in flight it reads exactly N, and it returns to exactly 0
+// at quiescence. The pre-fix set(load()) publication could interleave a
+// stale re-read over a newer value and leave the gauge stuck non-zero
+// forever (TSan runs this via the concurrency label).
+TEST(AnchordServer, InFlightGaugeIsExactUnderConcurrentCompletions) {
+  constexpr int kHeld = 4;
+  AnchordConfig config;
+  config.workers = kHeld;
+  config.max_in_flight = 2 * kHeld;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> handlers_started{0};
+  config.handler_gate = [&] {
+    handlers_started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  Harness h(config);
+  AnchordClient client(h.client_end());
+  metrics::Gauge& gauge = h.registry.gauge("anchor_anchord_in_flight");
+
+  CertPtr leaf = h.pki.leaf("gauge.example.com");
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kHeld; ++i) {
+    auto id = client.send(h.pki.verify_request(leaf, "gauge.example.com"));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  while (handlers_started.load() < kHeld) std::this_thread::yield();
+  EXPECT_EQ(gauge.value(), kHeld);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (std::uint64_t id : ids) {
+    auto response = client.receive(id);
+    ASSERT_TRUE(response.ok()) << response.error();
+    EXPECT_TRUE(response.value().ok);
+  }
+  // Completions race each other; the gauge must still settle on exactly 0.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (gauge.value() != 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(gauge.value(), 0);
+}
+
 // --- transports and concurrency -------------------------------------------
 
 TEST(AnchordServer, RoundTripOverSocketpair) {
@@ -505,6 +739,76 @@ TEST(AnchordServer, RoundTripOverSocketpair) {
   }
   fds.first->close();
   serve.join();
+}
+
+// A frame trickled one byte per write over a real socket: every byte can
+// land as its own readiness wakeup and the reactor must reassemble the
+// frame across them.
+TEST(AnchordServer, TornFramesAcrossWakeupsOverSocketpair) {
+  Harness h;
+  auto pair = make_socketpair_conduit();
+  ASSERT_TRUE(pair.ok()) << pair.error();
+  ConduitPair fds = std::move(pair).take();
+  std::thread serve([&] { h.server->serve(*fds.second); });
+  {
+    AnchordClient client(*fds.first);
+    CertPtr leaf = h.pki.leaf("shred.example.com");
+    Request request = h.pki.verify_request(leaf, "shred.example.com");
+    request.correlation_id = 9;
+    const Bytes frame = net::encode_frame(encode_request(request));
+    for (std::uint8_t byte : frame) {
+      ASSERT_TRUE(fds.first->write(BytesView(&byte, 1)));
+    }
+    auto response = client.receive(9);
+    ASSERT_TRUE(response.ok()) << response.error();
+    EXPECT_TRUE(response.value().ok);
+    EXPECT_EQ(response.value().stats.chain_len, 3u);
+  }
+  fds.first->close();
+  serve.join();
+}
+
+// A peer that pipelines hundreds of requests without reading a single
+// response: the kernel socket buffer fills, write_some flow-controls, and
+// every parked response must flush through writability events — without a
+// worker or the reactor ever blocking on the slow reader.
+TEST(AnchordServer, SlowReaderBackpressureFlushesOnWritability) {
+  AnchordConfig config;
+  config.workers = 2;
+  config.max_in_flight = 512;
+  Harness h(config);
+  auto pair = make_socketpair_conduit();
+  ASSERT_TRUE(pair.ok()) << pair.error();
+  ConduitPair fds = std::move(pair).take();
+  std::thread serve([&] { h.server->serve(*fds.second); });
+  {
+    AnchordClient client(*fds.first, /*timeout_ms=*/30000);
+    CertPtr leaf = h.pki.leaf("firehose.example.com");
+    const Request request =
+        h.pki.verify_request(leaf, "firehose.example.com");
+    constexpr int kPipelined = 256;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(kPipelined);
+    for (int i = 0; i < kPipelined; ++i) {
+      auto id = client.send(request);
+      ASSERT_TRUE(id.ok()) << id.error();
+      ids.push_back(id.value());
+    }
+    // Only now start reading; claim newest-first so the client buffers the
+    // backlog too.
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+      auto response = client.receive(*it);
+      ASSERT_TRUE(response.ok()) << response.error();
+      EXPECT_TRUE(response.value().ok);
+      EXPECT_EQ(response.value().correlation_id, *it);
+    }
+  }
+  fds.first->close();
+  serve.join();
+  EXPECT_EQ(h.registry
+                .counter("anchor_anchord_requests_total", {{"verb", "verify"}})
+                .value(),
+            256u);
 }
 
 // Many connections, each pipelining a mix of accepting and rejecting

@@ -353,5 +353,104 @@ TEST(VerifyService, DerEntryPointsShareParseCache) {
   EXPECT_GE(service.stats().cert_hits, 5u);
 }
 
+// Regression: the verdict-cache hit path used to drop the evaluator's
+// EvalStats on the floor (only miss and context paths accumulated them),
+// so a warm call was observably different from the cold call it replayed.
+// Hit-path accounting must equal miss-path accounting, field by field.
+TEST(VerifyService, CachedVerdictReplaysEvalStatsOnHit) {
+  ServicePki pki;
+  for (const CertPtr& root : pki.roots) {
+    pki.store.gccs().attach(
+        core::Gcc::for_certificate("stats", *root, kAcceptGcc).take());
+  }
+  VerifyService service(pki.store, pki.sigs);
+
+  VerifyResult miss = service.verify(pki.leaves[0], pki.pool,
+                                     pki.options_for(0));
+  ASSERT_TRUE(miss.ok) << miss.error;
+  // The regression is only meaningful if the evaluator actually did work.
+  ASSERT_GT(miss.gcc_verdict.stats.derived_tuples, 0u);
+
+  VerifyResult hit = service.verify(pki.leaves[0], pki.pool,
+                                    pki.options_for(0));
+  ASSERT_TRUE(hit.ok) << hit.error;
+  ASSERT_GE(service.stats().verdict_hits, 1u);
+
+  const datalog::EvalStats& a = miss.gcc_verdict.stats;
+  const datalog::EvalStats& b = hit.gcc_verdict.stats;
+  EXPECT_EQ(b.iterations, a.iterations);
+  EXPECT_EQ(b.rule_applications, a.rule_applications);
+  EXPECT_EQ(b.derived_tuples, a.derived_tuples);
+  EXPECT_EQ(b.type_errors, a.type_errors);
+  EXPECT_EQ(b.unbound_head_terms, a.unbound_head_terms);
+  EXPECT_EQ(b.truncated, a.truncated);
+  EXPECT_EQ(b.errored, a.errored);
+  EXPECT_EQ(hit.gcc_verdict.gccs_evaluated, miss.gcc_verdict.gccs_evaluated);
+  EXPECT_EQ(hit.gcc_verdict.facts_encoded, miss.gcc_verdict.facts_encoded);
+}
+
+// Regression (run under -DANCHOR_SANITIZE=address): submit() used to
+// capture a raw CertificatePool*, so a caller that destroyed the pool
+// before the future resolved handed the worker a dangling pointer. The
+// task now shares ownership.
+TEST(VerifyService, SubmitSharesPoolOwnershipWithWorker) {
+  ServicePki pki;
+  ServiceConfig config;
+  config.threads = 1;  // serialize: the second task cannot start early
+  VerifyService service(pki.store, pki.sigs, config);
+
+  auto pool_a = std::make_shared<const CertificatePool>(pki.pool);
+  auto future_a = service.submit(pki.leaves[0], pool_a, pki.options_for(0));
+  // Queue a second verification behind the first on the single worker,
+  // then drop the caller's only reference to its pool before the worker
+  // can possibly have reached it.
+  auto pool_b = std::make_shared<const CertificatePool>(pki.pool);
+  auto future_b = service.submit(pki.leaves[1], pool_b, pki.options_for(1));
+  pool_b.reset();
+
+  VerifyResult a = future_a.get();
+  VerifyResult b = future_b.get();
+  EXPECT_TRUE(a.ok) << a.error;
+  EXPECT_TRUE(b.ok) << b.error;
+}
+
+// validate_batch (anchord's kVerifyBatch backend) must agree entry-by-entry
+// with validate(), with a malformed leaf failing only its own slot.
+TEST(VerifyService, ValidateBatchMatchesValidatePerEntry) {
+  ServicePki pki;
+  VerifyService service(pki.store, pki.sigs);
+
+  std::vector<Bytes> intermediates;
+  for (const CertPtr& intermediate : pki.intermediates) {
+    intermediates.push_back(intermediate->der());
+  }
+  std::vector<Bytes> leaf_ders;
+  std::vector<std::string> hostnames;
+  for (std::size_t i = 0; i < pki.leaves.size(); ++i) {
+    leaf_ders.push_back(pki.leaves[i]->der());
+    hostnames.push_back(pki.domains[i]);
+  }
+  leaf_ders.push_back(Bytes{0xde, 0xad});  // malformed, fails alone
+  hostnames.push_back("broken.example.com");
+
+  VerifyOptions options;
+  options.time = kNow;
+  std::vector<VerifyResult> batch =
+      service.validate_batch(leaf_ders, hostnames, intermediates, options);
+  ASSERT_EQ(batch.size(), leaf_ders.size());
+
+  for (std::size_t i = 0; i + 1 < leaf_ders.size(); ++i) {
+    VerifyOptions entry_options = options;
+    entry_options.hostname = hostnames[i];
+    VerifyResult expected =
+        service.validate(leaf_ders[i], intermediates, entry_options);
+    EXPECT_EQ(batch[i].ok, expected.ok) << "entry " << i;
+    EXPECT_EQ(batch[i].error, expected.error) << "entry " << i;
+    EXPECT_EQ(chain_hashes(batch[i]), chain_hashes(expected)) << "entry " << i;
+  }
+  EXPECT_FALSE(batch.back().ok);
+  EXPECT_EQ(batch.back().kind, ErrorKind::kMalformedRequest);
+}
+
 }  // namespace
 }  // namespace anchor::chain

@@ -423,14 +423,14 @@ int cmd_verify(int argc, char** argv) {
   }
   options.check_signatures = false;  // PEMs carry no SimSig secrets
 
-  chain::CertificatePool pool;
+  auto pool = std::make_shared<chain::CertificatePool>();
   for (std::size_t i = 1; i < chain.value().size(); ++i) {
-    pool.add(chain.value()[i]);
+    pool->add(chain.value()[i]);
   }
   SimSig no_keys;
   chain::ChainVerifier verifier(store.value(), no_keys);
   chain::VerifyResult result =
-      verifier.verify(chain.value()[0], pool, options);
+      verifier.verify(chain.value()[0], *pool, options);
   if (result.ok) {
     std::printf("VALID: chain of %zu to root '%s'\n", result.chain.size(),
                 result.chain.back()->subject().common_name().c_str());
@@ -476,16 +476,16 @@ int cmd_serve_stats(int argc, char** argv) {
   config.threads = std::strtoul(
       flag_value(argc, argv, "--threads", "4").c_str(), nullptr, 10);
 
-  chain::CertificatePool pool;
+  auto pool = std::make_shared<chain::CertificatePool>();
   for (std::size_t i = 1; i < chain.value().size(); ++i) {
-    pool.add(chain.value()[i]);
+    pool->add(chain.value()[i]);
   }
   SimSig no_keys;
   chain::VerifyService service(store.value(), no_keys, config);
   std::vector<std::future<chain::VerifyResult>> pending;
   pending.reserve(repeat);
   for (unsigned long i = 0; i < repeat; ++i) {
-    pending.push_back(service.submit(chain.value()[0], &pool, options));
+    pending.push_back(service.submit(chain.value()[0], pool, options));
   }
   bool ok = true;
   std::string error;
@@ -994,16 +994,16 @@ int cmd_metrics(int argc, char** argv) {
   config.threads = std::strtoul(
       flag_value(argc, argv, "--threads", "4").c_str(), nullptr, 10);
 
-  chain::CertificatePool pool;
+  auto pool = std::make_shared<chain::CertificatePool>();
   for (std::size_t i = 1; i < chain.value().size(); ++i) {
-    pool.add(chain.value()[i]);
+    pool->add(chain.value()[i]);
   }
   SimSig no_keys;
   chain::VerifyService service(store.value(), no_keys, config);
   std::vector<std::future<chain::VerifyResult>> pending;
   pending.reserve(repeat);
   for (unsigned long i = 0; i < repeat; ++i) {
-    pending.push_back(service.submit(chain.value()[0], &pool, options));
+    pending.push_back(service.submit(chain.value()[0], pool, options));
   }
   for (auto& future : pending) (void)future.get();
 
