@@ -15,15 +15,48 @@
 // service whose epoch-keyed verdict cache and DER parse cache are warm.
 // Acceptance target: >= 3x the single-threaded BM_Validate_UserAgentGcc
 // throughput at 8 threads.
+// Experiment E16 — warm start from an mmap snapshot (ColdStart / SteadyAllocs
+// benchmarks below): time from "store on disk" to first verdict, text-parse
+// vs snapshot-mmap, plus steady-state allocation-per-verify for heap store
+// vs StoreView. Cold-start runs print the operator-visible registry gauges
+// (anchor_store_*) the started store would expose, so the numbers in
+// EXPERIMENTS.md are the counters an operator would scrape.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <new>
 
 #include "anchord/daemon.hpp"
 #include "chain/service.hpp"
 #include "corpus/corpus.hpp"
 #include "incidents/listings.hpp"
+#include "rootstore/snapshot/view.hpp"
+#include "rootstore/snapshot/writer.hpp"
+
+// Allocation probe for the SteadyAllocs benchmarks: every operator new in
+// the process bumps one relaxed counter. Deltas are read around
+// single-threaded measurement loops, so cross-benchmark noise is nil.
+std::atomic<std::uint64_t> g_alloc_calls{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -56,7 +89,7 @@ struct Fixture {
     // Attach a Listing-1-style GCC to every root: the worst-case "every
     // root constrained" deployment.
     for (const auto& root : corpus.roots()) {
-      store_gcc.gccs().attach(
+      store_gcc.attach_gcc(
           core::Gcc::for_certificate("date-usage", *root.cert,
                                      incidents::listing1_trustcor())
               .take());
@@ -299,6 +332,132 @@ void BM_Validate_DaemonRedesign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Validate_DaemonRedesign)->Arg(0)->Arg(50000)->ArgNames({"ipc_ns"});
+
+// ---------------------------------------------------------------------------
+// E16 — warm start from an mmap snapshot.
+
+struct ColdStartAssets {
+  std::string text;       // RSF-grammar text form (what a mirror stores)
+  std::string snap_path;  // mmap snapshot written from the same store
+};
+
+ColdStartAssets& cold_start_assets() {
+  static ColdStartAssets assets = [] {
+    Fixture& f = fixture();
+    ColdStartAssets a;
+    a.text = f.store_gcc.serialize();
+    const char* tmp = std::getenv("TMPDIR");
+    a.snap_path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                  "/anchor-bench-e16.snap";
+    auto status =
+        rootstore::snapshot::write_snapshot_file(f.store_gcc, a.snap_path);
+    if (!status.ok()) {
+      fprintf(stderr, "E16: snapshot write failed: %s\n",
+              status.error().c_str());
+      std::abort();
+    }
+    return a;
+  }();
+  return assets;
+}
+
+// The registry delta a cold start produces: the anchor_store_* gauges the
+// freshly started store would expose to the first scrape.
+void report_cold_start_registry(benchmark::State& state,
+                                const rootstore::StoreReader& store) {
+  metrics::Registry registry;
+  rootstore::export_store_metrics(store, registry);
+  state.counters["trusted_roots"] = static_cast<double>(
+      registry.gauge("anchor_store_trusted_roots").value());
+  state.counters["gccs"] =
+      static_cast<double>(registry.gauge("anchor_store_gccs").value());
+  state.counters["store_epoch"] =
+      static_cast<double>(registry.gauge("anchor_store_epoch").value());
+}
+
+// Baseline cold start: parse the text serialization — which re-parses and
+// re-compiles every GCC's Datalog source — then serve one verdict.
+void BM_ColdStart_TextParse(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const ColdStartAssets& assets = cold_start_assets();
+  const std::size_t leaf = f.leaf_indices[0];
+  for (auto _ : state) {
+    auto store = rootstore::RootStore::deserialize(assets.text);
+    if (!store) std::abort();
+    chain::ChainVerifier verifier(store.value(), f.corpus.signatures());
+    auto result = verifier.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+  }
+  report_cold_start_registry(state, f.store_gcc);
+}
+BENCHMARK(BM_ColdStart_TextParse);
+
+// Snapshot cold start: mmap the snapshot — compiled GCC programs
+// deserialize without touching the Datalog front end, certificates load
+// from DER — then serve the same verdict through the StoreView.
+void BM_ColdStart_SnapshotMmap(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const ColdStartAssets& assets = cold_start_assets();
+  const std::size_t leaf = f.leaf_indices[0];
+  for (auto _ : state) {
+    auto opened = rootstore::snapshot::StoreView::open(assets.snap_path);
+    if (!opened.ok()) std::abort();
+    chain::ChainVerifier verifier(*opened.view, f.corpus.signatures());
+    auto result = verifier.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+  }
+  auto opened = rootstore::snapshot::StoreView::open(assets.snap_path);
+  if (opened.ok()) report_cold_start_registry(state, *opened.view);
+}
+BENCHMARK(BM_ColdStart_SnapshotMmap);
+
+// Steady state: allocations per verify through the heap store vs through
+// the mmap StoreView. The snapshot claim is that the *start* gets cheap
+// without the *serving* path paying for it — allocs_per_verify must match.
+void BM_SteadyAllocs_HeapStore(benchmark::State& state) {
+  const Fixture& f = fixture();
+  chain::ChainVerifier verifier(f.store_gcc, f.corpus.signatures());
+  std::size_t i = 0;
+  const std::uint64_t before = g_alloc_calls.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];
+    auto result = verifier.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  const auto delta =
+      g_alloc_calls.load(std::memory_order_relaxed) - before;
+  state.counters["allocs_per_verify"] =
+      static_cast<double>(delta) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+}
+BENCHMARK(BM_SteadyAllocs_HeapStore);
+
+void BM_SteadyAllocs_SnapshotView(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const ColdStartAssets& assets = cold_start_assets();
+  auto opened = rootstore::snapshot::StoreView::open(assets.snap_path);
+  if (!opened.ok()) std::abort();
+  chain::ChainVerifier verifier(*opened.view, f.corpus.signatures());
+  std::size_t i = 0;
+  const std::uint64_t before = g_alloc_calls.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    std::size_t leaf = f.leaf_indices[i % f.leaf_indices.size()];
+    auto result = verifier.verify(f.corpus.leaves()[leaf].cert, f.pool,
+                                  f.options_for(leaf));
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  const auto delta =
+      g_alloc_calls.load(std::memory_order_relaxed) - before;
+  state.counters["allocs_per_verify"] =
+      static_cast<double>(delta) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+}
+BENCHMARK(BM_SteadyAllocs_SnapshotView);
 
 }  // namespace
 

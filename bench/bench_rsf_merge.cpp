@@ -87,14 +87,14 @@ struct ManyGccsFixture {
       for (int g = 0; g < gccs_per_root; ++g) {
         auto gcc = core::Gcc::create("constraint-" + std::to_string(g), hash,
                                      source, "bench");
-        primary.gccs().attach(gcc.value());
+        primary.attach_gcc(gcc.value());
         // Half overlap: even names collide with the primary's (dedup path),
         // odd names are derivative-local (attach path).
         auto local = core::Gcc::create(
             g % 2 == 0 ? "constraint-" + std::to_string(g)
                        : "local-" + std::to_string(g),
             hash, source, "bench");
-        derivative.gccs().attach(std::move(local).take());
+        derivative.attach_gcc(std::move(local).take());
       }
     }
   }

@@ -83,7 +83,7 @@ int main() {
     std::fprintf(stderr, "GCC rejected: %s\n", gcc.error().c_str());
     return 1;
   }
-  store.gccs().attach(std::move(gcc).take());
+  store.attach_gcc(std::move(gcc).take());
 
   // --- 4. Validate chains --------------------------------------------------
   chain::CertificatePool pool;

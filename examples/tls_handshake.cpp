@@ -95,7 +95,7 @@ int main() {
   attempt(old_server, "legacy.example", "handshake with 2022-issued server");
 
   std::printf("\n--- act 2: the primary ships a GCC (issuance cutoff 2023) ---\n");
-  primary.gccs().attach(
+  primary.attach_gcc(
       core::Gcc::for_certificate(
           "wire-cutoff", *root,
           "cutoff(" + std::to_string(unix_date(2023, 1, 1)) + ").\n" +

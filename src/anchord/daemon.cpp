@@ -203,8 +203,8 @@ Response TrustDaemon::execute_fallback(const Request& request,
       }
       response.stats.chain_len = static_cast<std::uint32_t>(chain.size());
       response.stats.epoch = config_.store->epoch();
-      const auto& gccs =
-          config_.store->gccs().for_root(chain.back()->fingerprint_hex());
+      const auto gccs =
+          config_.store->gccs_for_root(chain.back()->fingerprint_hex());
       response.ok = true;
       if (!gccs.empty()) {
         core::GccVerdict verdict =

@@ -37,7 +37,9 @@
 namespace anchor::anchord {
 
 struct TrustDaemonConfig {
-  const rootstore::RootStore* store = nullptr;   // required
+  // Required. Any StoreReader: a live RootStore, or an mmap-backed
+  // snapshot StoreView when the daemon warm-starts from --snapshot.
+  const rootstore::StoreReader* store = nullptr;
   const SignatureScheme* scheme = nullptr;       // required
   // Simulated IPC latency added per call leg (0 = colocated daemon).
   std::uint64_t latency_ns = 0;

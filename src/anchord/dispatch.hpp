@@ -20,8 +20,9 @@ class VerbDispatcher {
   struct Backends {
     chain::VerifyService* service = nullptr;         // required
     // Refreshed into the registry before a kMetrics exposition so a scrape
-    // always reflects the store currently being served. Optional.
-    const rootstore::RootStore* store = nullptr;
+    // always reflects the store currently being served. Optional. Any
+    // StoreReader works — a live RootStore or an mmap-backed StoreView.
+    const rootstore::StoreReader* store = nullptr;
     rsf::RsfClient* feed = nullptr;                  // kFeedStatus; optional
     metrics::Registry* registry = nullptr;           // default: global()
   };

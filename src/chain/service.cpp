@@ -1,5 +1,6 @@
 #include "chain/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/sha256.hpp"
@@ -46,13 +47,17 @@ std::size_t VerifyService::VerdictKeyHash::operator()(
   return h;
 }
 
-// Immutable verification context: a deep copy of the store at one epoch
-// plus a verifier bound to that copy. Heap-allocated and reference-counted
-// so in-flight verifications keep "their" snapshot alive across a
-// concurrent mutate(); the verifier member must never outlive `store`,
-// which member ordering guarantees.
+// Immutable verification context: either a deep copy of the live store
+// (mutate path) or a shared mmap-backed StoreView (adopt_view path), plus
+// a verifier bound to whichever one `reader` points at. Heap-allocated and
+// reference-counted so in-flight verifications keep "their" snapshot —
+// including the underlying mapping, in view mode — alive across a
+// concurrent swap; the verifier member must never outlive the store/view
+// members, which member ordering guarantees.
 struct VerifyService::Snapshot {
-  rootstore::RootStore store;
+  rootstore::RootStore store;  // heap mode; empty in view mode
+  std::shared_ptr<const rootstore::snapshot::StoreView> view;  // view mode
+  const rootstore::StoreReader* reader;  // whichever of the two serves
   std::uint64_t epoch;
   core::GccExecutor executor;
   ChainVerifier verifier;
@@ -60,9 +65,22 @@ struct VerifyService::Snapshot {
   Snapshot(const rootstore::RootStore& source, const SignatureScheme& scheme,
            metrics::Registry& registry)
       : store(source),
+        reader(&store),
         epoch(store.epoch()),
         executor(datalog::Strategy::kSemiNaive, registry),
         verifier(store, scheme) {}
+
+  // `effective_epoch` may exceed the view's own counter: a view adoption
+  // is a wholesale replacement, so the published epoch is forced past the
+  // predecessor's (see VerifyService::adopt_view).
+  Snapshot(std::shared_ptr<const rootstore::snapshot::StoreView> source,
+           std::uint64_t effective_epoch, const SignatureScheme& scheme,
+           metrics::Registry& registry)
+      : view(std::move(source)),
+        reader(view.get()),
+        epoch(effective_epoch),
+        executor(datalog::Strategy::kSemiNaive, registry),
+        verifier(*view, scheme) {}
 
   // Shared across threads read-only except via the gcc hook, whose only
   // mutable state is the service's striped caches and atomics. Calls that
@@ -75,6 +93,11 @@ struct VerifyService::Snapshot {
                      const core::FactSet* context,
                      core::GccVerdict& verdict) const {
     if (context != nullptr) {
+      // Deliberate bypass, but a silent one until it was counted: a fleet
+      // whose callers all pass context sees hits+misses flatline while
+      // evaluation cost climbs, and nothing explained where the work went.
+      service.verdict_bypass_.fetch_add(1, std::memory_order_relaxed);
+      service.m_verdict_bypass_.add();
       core::GccVerdict v = executor.evaluate(chain, usage, gccs, context);
       verdict.gccs_evaluated += v.gccs_evaluated;
       verdict.facts_encoded += v.facts_encoded;
@@ -130,6 +153,7 @@ VerifyService::VerifyService(rootstore::RootStore& store,
                                    {{"cache", "cert"}, {"result", "hit"}})),
       m_cert_miss_(registry.counter("anchor_verify_cache_total",
                                     {{"cache", "cert"}, {"result", "miss"}})),
+      m_verdict_bypass_(registry.counter("anchor_verify_cache_bypass_total")),
       m_calls_(registry.counter("anchor_verify_calls_total")),
       m_epoch_flushes_(registry.counter("anchor_verify_epoch_flushes_total")),
       m_stale_purged_(registry.counter("anchor_verify_stale_purged_total")),
@@ -139,13 +163,12 @@ VerifyService::VerifyService(rootstore::RootStore& store,
   std::lock_guard<std::mutex> lock(store_mu_);
   snapshot_ = build_snapshot();
   m_epoch_.set(static_cast<std::int64_t>(snapshot_->epoch));
-  rootstore::export_store_metrics(snapshot_->store, registry_);
+  rootstore::export_store_metrics(*snapshot_->reader, registry_);
 }
 
 VerifyService::~VerifyService() = default;
 
-std::shared_ptr<const VerifyService::Snapshot> VerifyService::build_snapshot() {
-  auto snapshot = std::make_shared<Snapshot>(store_, scheme_, registry_);
+void VerifyService::attach_hook(const std::shared_ptr<Snapshot>& snapshot) {
   const Snapshot* raw = snapshot.get();
   snapshot->verifier.set_gcc_hook(
       [this, raw](const core::Chain& chain, std::string_view usage,
@@ -153,6 +176,11 @@ std::shared_ptr<const VerifyService::Snapshot> VerifyService::build_snapshot() {
                   const core::FactSet* context, core::GccVerdict& verdict) {
         return raw->evaluate_gccs(*this, chain, usage, gccs, context, verdict);
       });
+}
+
+std::shared_ptr<const VerifyService::Snapshot> VerifyService::build_snapshot() {
+  auto snapshot = std::make_shared<Snapshot>(store_, scheme_, registry_);
+  attach_hook(snapshot);
   return snapshot;
 }
 
@@ -164,23 +192,13 @@ std::shared_ptr<const VerifyService::Snapshot> VerifyService::current_snapshot()
 
 std::uint64_t VerifyService::epoch() const { return current_snapshot()->epoch; }
 
-void VerifyService::mutate(
-    const std::function<void(rootstore::RootStore&)>& fn) {
-  std::shared_ptr<const Snapshot> fresh;
-  std::uint64_t fresh_epoch = 0;
-  {
-    std::lock_guard<std::mutex> lock(store_mu_);
-    const std::uint64_t prior = store_.epoch();
-    fn(store_);
-    // Even a mutation the store failed to count must not alias the
-    // previous snapshot in the verdict cache.
-    store_.advance_epoch_past(prior);
-    fresh = build_snapshot();
-    fresh_epoch = fresh->epoch;
-    m_epoch_.set(static_cast<std::int64_t>(fresh_epoch));
-    rootstore::export_store_metrics(fresh->store, registry_);
-    snapshot_ = std::move(fresh);
-  }
+void VerifyService::publish(std::shared_ptr<const Snapshot> fresh,
+                            std::unique_lock<std::mutex> lock) {
+  const std::uint64_t fresh_epoch = fresh->epoch;
+  m_epoch_.set(static_cast<std::int64_t>(fresh_epoch));
+  rootstore::export_store_metrics(*fresh->reader, registry_);
+  snapshot_ = std::move(fresh);
+  lock.unlock();
   epoch_flushes_.fetch_add(1, std::memory_order_relaxed);
   m_epoch_flushes_.add();
   // Entries under prior epochs are unreachable (lookups key on the current
@@ -189,6 +207,37 @@ void VerifyService::mutate(
       [fresh_epoch](const VerdictKey& key) { return key.epoch != fresh_epoch; });
   stale_purged_.fetch_add(purged, std::memory_order_relaxed);
   m_stale_purged_.add(purged);
+}
+
+void VerifyService::mutate(
+    const std::function<void(rootstore::RootStore&)>& fn) {
+  std::unique_lock<std::mutex> lock(store_mu_);
+  const std::uint64_t prior = snapshot_->epoch;
+  if (snapshot_->view != nullptr) {
+    // The service is serving an adopted view; the caller's live store may
+    // be arbitrarily stale. Rebuild it from the view (same content, same
+    // order, same epoch) so the mutation applies to what is served.
+    store_ = snapshot_->view->materialize();
+  }
+  fn(store_);
+  // Even a mutation the store failed to count must not alias the previous
+  // snapshot in the verdict cache. `prior` is the *published* epoch, which
+  // in view mode can sit above the store's own counter.
+  store_.advance_epoch_past(prior);
+  publish(build_snapshot(), std::move(lock));
+}
+
+void VerifyService::adopt_view(
+    std::shared_ptr<const rootstore::snapshot::StoreView> view) {
+  std::unique_lock<std::mutex> lock(store_mu_);
+  // Never move backwards and never alias the predecessor, even when the
+  // view was written at an epoch at or below the one being served.
+  const std::uint64_t effective =
+      std::max(view->epoch(), snapshot_->epoch + 1);
+  auto fresh =
+      std::make_shared<Snapshot>(std::move(view), effective, scheme_, registry_);
+  attach_hook(fresh);
+  publish(std::move(fresh), std::move(lock));
 }
 
 VerifyResult VerifyService::verify_on(const Snapshot& snapshot,
@@ -294,8 +343,8 @@ VerifyService::GccsOutcome VerifyService::evaluate_gccs_detail(
     return finish(std::move(outcome));
   }
   outcome.allowed = true;
-  const auto& gccs =
-      snapshot->store.gccs().for_root(chain.back()->fingerprint_hex());
+  const auto gccs =
+      snapshot->reader->gccs_for_root(chain.back()->fingerprint_hex());
   if (!gccs.empty()) {
     outcome.allowed = snapshot->evaluate_gccs(*this, chain, usage, gccs,
                                               nullptr, outcome.verdict);
@@ -374,6 +423,7 @@ ServiceStats VerifyService::stats() const {
   out.verdict_misses = verdict_misses_.load(std::memory_order_relaxed);
   out.cert_hits = cert_hits_.load(std::memory_order_relaxed);
   out.cert_misses = cert_misses_.load(std::memory_order_relaxed);
+  out.verdict_bypass = verdict_bypass_.load(std::memory_order_relaxed);
   out.evictions = verdict_cache_.evictions() + cert_cache_.evictions();
   out.epoch_flushes = epoch_flushes_.load(std::memory_order_relaxed);
   out.stale_purged = stale_purged_.load(std::memory_order_relaxed);

@@ -34,6 +34,7 @@
 
 #include "chain/verifier.hpp"
 #include "datalog/eval.hpp"
+#include "rootstore/snapshot/view.hpp"
 #include "util/metrics.hpp"
 #include "util/sharded_cache.hpp"
 #include "util/threadpool.hpp"
@@ -54,6 +55,7 @@ struct ServiceStats {
   std::uint64_t cert_hits = 0;
   std::uint64_t cert_misses = 0;
   std::uint64_t evictions = 0;       // both caches, all shards
+  std::uint64_t verdict_bypass = 0;  // context-carrying verifies (uncacheable)
   std::uint64_t epoch_flushes = 0;   // snapshots published after a mutation
   std::uint64_t stale_purged = 0;    // verdict entries dropped by flushes
   std::uint64_t calls = 0;           // verify + evaluate_gccs + validate
@@ -136,8 +138,18 @@ class VerifyService {
   // publishes a fresh snapshot and flushes verdicts cached under prior
   // epochs. The epoch is forced to advance even if `fn` made a change the
   // store did not count, so a published snapshot is never cache-aliased
-  // with its predecessor.
+  // with its predecessor. If the current snapshot is view-backed (see
+  // adopt_view), the live store is first rebuilt from the view so the
+  // mutation applies to what is actually being served.
   void mutate(const std::function<void(rootstore::RootStore&)>& fn);
+
+  // Atomically swaps the served snapshot to an mmap-backed StoreView — no
+  // deep copy, no reparse, no GCC recompile; in-flight verifications keep
+  // the previous snapshot (and the previous mapping) alive until they
+  // drain. The published epoch is max(view->epoch(), current + 1): a view
+  // is a wholesale replacement, so even one whose own counter lags must
+  // never alias the predecessor in the verdict cache.
+  void adopt_view(std::shared_ptr<const rootstore::snapshot::StoreView> view);
 
   // Epoch of the currently-published snapshot.
   std::uint64_t epoch() const;
@@ -171,6 +183,11 @@ class VerifyService {
 
   std::shared_ptr<const Snapshot> current_snapshot() const;
   std::shared_ptr<const Snapshot> build_snapshot();
+  void attach_hook(const std::shared_ptr<Snapshot>& snapshot);
+  // Publishes `fresh` (store_mu_ must be held by the caller's scope exit)
+  // and flushes verdict-cache entries from prior epochs.
+  void publish(std::shared_ptr<const Snapshot> fresh,
+               std::unique_lock<std::mutex> lock);
   Result<x509::CertPtr> parse_cached(BytesView der);
   VerifyResult verify_on(const Snapshot& snapshot, const x509::CertPtr& leaf,
                          const CertificatePool& pool,
@@ -194,6 +211,7 @@ class VerifyService {
   std::atomic<std::uint64_t> verdict_misses_{0};
   std::atomic<std::uint64_t> cert_hits_{0};
   std::atomic<std::uint64_t> cert_misses_{0};
+  std::atomic<std::uint64_t> verdict_bypass_{0};
   std::atomic<std::uint64_t> epoch_flushes_{0};
   std::atomic<std::uint64_t> stale_purged_{0};
   std::atomic<std::uint64_t> calls_{0};
@@ -206,6 +224,7 @@ class VerifyService {
   metrics::Counter& m_verdict_miss_;
   metrics::Counter& m_cert_hit_;
   metrics::Counter& m_cert_miss_;
+  metrics::Counter& m_verdict_bypass_;
   metrics::Counter& m_calls_;
   metrics::Counter& m_epoch_flushes_;
   metrics::Counter& m_stale_purged_;

@@ -10,7 +10,7 @@ const char* usage_name(Usage usage) {
   return usage == Usage::kTls ? core::kUsageTls : core::kUsageSmime;
 }
 
-ChainVerifier::ChainVerifier(const rootstore::RootStore& store,
+ChainVerifier::ChainVerifier(const rootstore::StoreReader& store,
                              const SignatureScheme& scheme)
     : store_(store), scheme_(scheme) {
   gcc_hook_ = [this](const core::Chain& chain, std::string_view usage,
@@ -170,7 +170,7 @@ std::optional<Fault> ChainVerifier::check_at_root(
   }
 
   if (options.run_gccs) {
-    const auto& gccs = store_.gccs().for_root(chain.back()->fingerprint_hex());
+    const auto& gccs = store_.gccs_for_root(chain.back()->fingerprint_hex());
     if (!gccs.empty() &&
         !gcc_hook_(chain, usage_name(options.usage), gccs,
                    options.gcc_context, result.gcc_verdict)) {

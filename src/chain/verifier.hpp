@@ -75,9 +75,12 @@ using GccHook = std::function<bool(const core::Chain& chain,
 
 class ChainVerifier {
  public:
-  // `scheme` must outlive the verifier and have every issuing key
-  // registered (the corpus generator does this).
-  ChainVerifier(const rootstore::RootStore& store, const SignatureScheme& scheme);
+  // `store` is any StoreReader — the mutable heap RootStore or an
+  // mmap-backed snapshot StoreView; verdicts are byte-identical either way
+  // (the StoreReader ordering contract). `scheme` must outlive the verifier
+  // and have every issuing key registered (the corpus generator does this).
+  ChainVerifier(const rootstore::StoreReader& store,
+                const SignatureScheme& scheme);
 
   // Overrides GCC execution placement.
   void set_gcc_hook(GccHook hook) { gcc_hook_ = std::move(hook); }
@@ -110,7 +113,7 @@ class ChainVerifier {
                                      const VerifyOptions& options,
                                      VerifyResult& result) const;
 
-  const rootstore::RootStore& store_;
+  const rootstore::StoreReader& store_;
   const SignatureScheme& scheme_;
   core::GccExecutor executor_;
   GccHook gcc_hook_;

@@ -123,17 +123,45 @@ Result<Gcc> Gcc::for_certificate(std::string name,
                 std::move(justification));
 }
 
-void GccStore::attach(Gcc gcc) {
-  ++version_;
+Result<Gcc> Gcc::from_compiled(
+    std::string name, std::string root_hash_hex, std::string source,
+    std::string justification,
+    std::shared_ptr<const datalog::CompiledProgram> compiled) {
+  if (name.empty()) return err("gcc: name required");
+  if (root_hash_hex.size() != 64) {
+    return err("gcc '" + name + "': root hash must be SHA-256 hex (64 chars)");
+  }
+  if (compiled == nullptr) {
+    return err("gcc '" + name + "': compiled program required");
+  }
+  Gcc gcc;
+  gcc.name_ = std::move(name);
+  gcc.root_hash_hex_ = std::move(root_hash_hex);
+  gcc.source_ = std::move(source);
+  gcc.justification_ = std::move(justification);
+  gcc.compiled_ = std::move(compiled);
+  return gcc;
+}
+
+bool GccStore::attach(Gcc gcc) {
   auto& list = by_root_[gcc.root_hash_hex()];
   // Re-attaching under the same name replaces (feed updates overwrite).
   for (auto& existing : list) {
     if (existing.name() == gcc.name()) {
+      // Byte-identical re-attach (same source *and* justification — the
+      // serialized form) changes nothing observable: no version bump.
+      if (existing.source() == gcc.source() &&
+          existing.justification() == gcc.justification()) {
+        return false;
+      }
       existing = std::move(gcc);
-      return;
+      ++version_;
+      return true;
     }
   }
   list.push_back(std::move(gcc));
+  ++version_;
+  return true;
 }
 
 bool GccStore::detach(const std::string& root_hash_hex,

@@ -36,6 +36,18 @@ class Gcc {
                                      std::string source,
                                      std::string justification = "");
 
+  // Restores a Gcc from an already-compiled program (mmap snapshot load:
+  // rootstore/snapshot/view.cpp) — no parse, no recompile. The source text
+  // rides along for provenance and re-serialization but is NOT re-validated
+  // here; the snapshot reader is responsible for having obtained `compiled`
+  // from a trusted serialization of a program that passed create(). The
+  // parsed AST (`program()`) is left empty — nothing on the verdict path
+  // reads it (GccExecutor evaluates compiled() only).
+  static Result<Gcc> from_compiled(
+      std::string name, std::string root_hash_hex, std::string source,
+      std::string justification,
+      std::shared_ptr<const datalog::CompiledProgram> compiled);
+
   const std::string& name() const { return name_; }
   const std::string& root_hash_hex() const { return root_hash_hex_; }
   const std::string& source() const { return source_; }
@@ -69,7 +81,12 @@ class Gcc {
 // accumulate (a root may carry several; all must hold).
 class GccStore {
  public:
-  void attach(Gcc gcc);
+  // Attaches (re-attaching under the same name replaces). Returns true if
+  // anything observable changed; attaching a byte-identical copy of an
+  // already-attached GCC is a no-op that leaves version() unchanged, so
+  // redundant feed replay does not invalidate verdict caches keyed on
+  // RootStore::epoch().
+  bool attach(Gcc gcc);
   // Removes the named GCC from the given root; returns true if it existed.
   bool detach(const std::string& root_hash_hex, const std::string& name);
 
@@ -83,9 +100,10 @@ class GccStore {
   // serialization.
   std::vector<std::string> roots_sorted() const;
 
-  // Monotonic mutation counter (attach and successful detach). Folded into
-  // RootStore::epoch() so GCC edits invalidate cached verdicts like any
-  // other store mutation.
+  // Monotonic mutation counter (effective attach and successful detach).
+  // RootStore::attach_gcc/detach_gcc consult the attach/detach return
+  // values — not this counter — to bump the store epoch; version() remains
+  // for callers tracking a GccStore in isolation.
   std::uint64_t version() const { return version_; }
 
  private:

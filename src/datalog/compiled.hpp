@@ -28,6 +28,7 @@
 #include "datalog/database.hpp"
 #include "datalog/eval.hpp"
 #include "datalog/interned.hpp"
+#include "util/bytes.hpp"
 #include "util/result.hpp"
 
 namespace anchor::datalog {
@@ -93,6 +94,19 @@ class CompiledProgram {
   // Dense relation id for "predicate/arity", or -1 if the program never
   // mentions it.
   int relation_index(std::string_view predicate, std::size_t arity) const;
+
+  // Deterministic binary encoding of the full compiled form — symbol
+  // pools, relations, facts, slot-resolved rules, strata — appended to
+  // `out`. deserialize() rebuilds an equivalent program without parsing,
+  // stratifying or re-interning source text; the derived structures
+  // (relation index, per-stratum rule lists) are recomputed, everything
+  // else is validated fail-closed (tags, pool ids, relation ids, arities,
+  // slots, strata must all be in range). serialize(deserialize(b)) == b.
+  // Integers are written in native byte order: the snapshot container
+  // (rootstore/snapshot) carries an endianness tag and rejects foreign
+  // bytes, so no swizzling layer is needed here.
+  void serialize(Bytes& out) const;
+  static Result<CompiledProgram> deserialize(BytesView bytes);
 
   std::size_t num_relations() const { return relations_.size(); }
   std::uint32_t relation_arity(std::size_t i) const {

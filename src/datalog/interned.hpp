@@ -54,6 +54,14 @@ class IValue {
     return IValue((std::uint64_t{id} << 2) | std::uint64_t{2});
   }
 
+  // Reconstructs an IValue from bits() — snapshot deserialization
+  // (datalog/compiled_serialize.cpp). The caller must validate the tag and
+  // pool bounds against the table the value will be decoded through; the
+  // raw constructor itself cannot.
+  static constexpr IValue from_bits(std::uint64_t bits) {
+    return IValue(bits);
+  }
+
   Tag tag() const { return static_cast<Tag>(bits_ & 3); }
   bool is_symbol() const { return tag() == Tag::kSymbol; }
   bool is_int() const { return !is_symbol(); }

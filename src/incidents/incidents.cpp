@@ -97,7 +97,7 @@ void attach(Incident& incident, const std::string& gcc_name,
   auto gcc = core::Gcc::for_certificate(gcc_name, *root, source, justification);
   // Incident GCCs are library-authored; a failure here is a programming
   // error surfaced loudly in tests.
-  incident.store.gccs().attach(std::move(gcc).take());
+  incident.store.attach_gcc(std::move(gcc).take());
 }
 
 }  // namespace

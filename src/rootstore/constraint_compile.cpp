@@ -259,7 +259,7 @@ Result<StoreCompileResult> compile_store(const chromeproto::StoreFile& file,
     auto gccs = compile_anchor(anchor, options, &result.stats);
     if (!gccs) return err(gccs.error());
     for (core::Gcc& gcc : gccs.value()) {
-      out.gccs().attach(std::move(gcc));
+      out.attach_gcc(std::move(gcc));
     }
   }
   return result;

@@ -1,0 +1,40 @@
+#include "rootstore/snapshot/format.hpp"
+
+#include <cstring>
+
+#include "util/sha256.hpp"
+
+namespace anchor::rootstore::snapshot {
+
+const char* to_string(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::kIo: return "io";
+    case ErrorClass::kTruncated: return "truncated";
+    case ErrorClass::kBadMagic: return "bad-magic";
+    case ErrorClass::kBadEndian: return "bad-endian";
+    case ErrorClass::kBadVersion: return "bad-version";
+    case ErrorClass::kChecksumMismatch: return "checksum-mismatch";
+    case ErrorClass::kLimitExceeded: return "limit-exceeded";
+    case ErrorClass::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+std::string SnapshotError::to_string() const {
+  std::string out = snapshot::to_string(cls);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+void reseal(Bytes& bytes) {
+  if (bytes.size() < kHeaderSize) return;
+  const std::size_t digest_off = offsetof(Header, digest);
+  std::memset(bytes.data() + digest_off, 0, Sha256::kDigestSize);
+  const Sha256::Digest digest = Sha256::hash(BytesView(bytes));
+  std::memcpy(bytes.data() + digest_off, digest.data(), digest.size());
+}
+
+}  // namespace anchor::rootstore::snapshot

@@ -1,0 +1,109 @@
+// Flat snapshot container for root stores (DESIGN.md "Snapshot format &
+// swap protocol"). A snapshot is everything a verifying worker needs —
+// trusted roots with metadata and DER, distrusted hashes, and every GCC's
+// *compiled* Datalog program — laid out flat so a daemon start is an mmap
+// plus one linear validated pass: no text parsing, no PEM decoding, no GCC
+// recompilation, and one in-memory image shared by all workers.
+//
+// Layout (all integers in the writer's native byte order — the header
+// carries an endianness tag and readers reject foreign bytes rather than
+// swapping them):
+//
+//   Header (80 bytes)
+//     magic            "ANCHSNAP"                   8 bytes
+//     endian_tag       0x01020304                   u32
+//     format_version   1                            u16
+//     header_size      80                           u16
+//     file_size        total bytes incl. header     u64
+//     epoch            RootStore::epoch() at write  u64
+//     trusted_count                                 u32
+//     distrusted_count                              u32
+//     gcc_count                                     u32
+//     reserved         0                            u32
+//     digest           SHA-256 over the whole file  32 bytes
+//                      with this field zeroed
+//   Section kTrusted    (records in *insertion order* — path search tries
+//                        candidate roots in this order, so preserving it is
+//                        what makes StoreView verdicts byte-identical to
+//                        the source store's)
+//   Section kDistrusted (records sorted by hash — order is not observable
+//                        on the verdict path, so the canonical order wins)
+//   Section kGccs       (grouped by root hash ascending; attachment order
+//                        within a root — diagnostics name the first failing
+//                        GCC, so per-root order is part of the contract)
+//
+// Each section is framed {kind u32, count u32, body_size u64} and its body
+// opens with a u64 offset table (one entry per record, relative to the end
+// of the table): record i lives at a computed address, not behind a scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace anchor::rootstore::snapshot {
+
+inline constexpr char kMagic[8] = {'A', 'N', 'C', 'H', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::uint16_t kHeaderSize = 80;
+
+// Section kinds, in required file order.
+inline constexpr std::uint32_t kSectionTrusted = 1;
+inline constexpr std::uint32_t kSectionDistrusted = 2;
+inline constexpr std::uint32_t kSectionGccs = 3;
+
+// Hard ceilings enforced before any count-driven allocation. The digest
+// authenticates accidental corruption, not hostile files, so a reader
+// never trusts a count further than these.
+inline constexpr std::uint32_t kMaxRecords = 1u << 22;
+inline constexpr std::uint64_t kMaxSnapshotBytes = 1ull << 32;
+
+struct Header {
+  char magic[8];
+  std::uint32_t endian_tag;
+  std::uint16_t format_version;
+  std::uint16_t header_size;
+  std::uint64_t file_size;
+  std::uint64_t epoch;
+  std::uint32_t trusted_count;
+  std::uint32_t distrusted_count;
+  std::uint32_t gcc_count;
+  std::uint32_t reserved;
+  std::uint8_t digest[32];
+};
+static_assert(sizeof(Header) == kHeaderSize);
+static_assert(offsetof(Header, digest) == 48);
+
+// Rejection taxonomy. Tests (and operators reading anchorctl output)
+// branch on the class, not the message text.
+enum class ErrorClass {
+  kIo,                // open/stat/mmap failed
+  kTruncated,         // shorter than the header or its declared file_size
+  kBadMagic,          // not a snapshot file
+  kBadEndian,         // written on a foreign-endian machine; not swizzled
+  kBadVersion,        // format_version this reader does not speak
+  kChecksumMismatch,  // bit rot: digest over the file does not match
+  kLimitExceeded,     // a count or size above the reader's hard ceilings
+  kMalformed,         // structural damage past the header
+};
+
+const char* to_string(ErrorClass cls);
+
+struct SnapshotError {
+  ErrorClass cls = ErrorClass::kMalformed;
+  std::string message;
+
+  // "checksum-mismatch: snapshot digest does not match file contents"
+  std::string to_string() const;
+};
+
+// Recomputes and stores the header digest of a complete snapshot image:
+// SHA-256 over all of `bytes` with the digest field zeroed. The writer
+// calls this last; tests call it to re-seal deliberately patched images so
+// a specific later check (bad version, bad section) is what fires.
+void reseal(Bytes& bytes);
+
+}  // namespace anchor::rootstore::snapshot

@@ -1,0 +1,21 @@
+// Snapshot writer: serializes a live RootStore (or a loaded StoreView —
+// the round-trip tests re-emit views and demand byte equality) into the
+// flat container format.hpp describes.
+#pragma once
+
+#include <string>
+
+#include "rootstore/snapshot/format.hpp"
+#include "rootstore/store.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace anchor::rootstore::snapshot {
+
+// Complete snapshot image, header sealed (digest computed). Deterministic:
+// equal store content and epoch produce identical bytes.
+Bytes write_snapshot(const RootStore& store);
+
+Status write_snapshot_file(const RootStore& store, const std::string& path);
+
+}  // namespace anchor::rootstore::snapshot

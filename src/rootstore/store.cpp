@@ -86,6 +86,17 @@ bool RootStore::forget(const std::string& hash_hex) {
   return was_trusted || was_distrusted;
 }
 
+void RootStore::attach_gcc(core::Gcc gcc) {
+  if (gccs_.attach(std::move(gcc))) ++epoch_;
+}
+
+bool RootStore::detach_gcc(const std::string& root_hash_hex,
+                           const std::string& name) {
+  if (!gccs_.detach(root_hash_hex, name)) return false;
+  ++epoch_;
+  return true;
+}
+
 TrustState RootStore::state_of(const std::string& hash_hex) const {
   if (trusted_.contains(hash_hex)) return TrustState::kTrusted;
   if (distrusted_.contains(hash_hex)) return TrustState::kDistrusted;
@@ -298,7 +309,7 @@ Result<RootStore> RootStore::deserialize(std::string_view text) {
       }
       auto gcc = core::Gcc::create(name, arg, source, justification);
       if (!gcc) return err("root store: " + gcc.error());
-      store.gccs().attach(std::move(gcc).take());
+      store.attach_gcc(std::move(gcc).take());
     } else {
       return err("root store: unknown section '" + keyword + "'");
     }
@@ -311,20 +322,17 @@ std::string RootStore::content_hash_hex() const {
   return Sha256::hash_hex(BytesView(to_bytes(serialized)));
 }
 
-void export_store_metrics(const RootStore& store, metrics::Registry& registry,
+void export_store_metrics(const StoreReader& store,
+                          metrics::Registry& registry,
                           const std::string& instance) {
   metrics::Labels labels;
   if (!instance.empty()) labels.emplace_back("store", instance);
-  std::size_t gcc_count = 0;
-  for (const auto& root : store.gccs().roots_sorted()) {
-    gcc_count += store.gccs().for_root(root).size();
-  }
   registry.gauge("anchor_store_trusted_roots", labels)
       .set(static_cast<std::int64_t>(store.trusted_count()));
   registry.gauge("anchor_store_distrusted_roots", labels)
       .set(static_cast<std::int64_t>(store.distrusted_count()));
   registry.gauge("anchor_store_gccs", labels)
-      .set(static_cast<std::int64_t>(gcc_count));
+      .set(static_cast<std::int64_t>(store.gcc_count()));
   registry.gauge("anchor_store_epoch", labels)
       .set(static_cast<std::int64_t>(store.epoch()));
 }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,7 +44,36 @@ struct RootEntry {
 
 enum class TrustState { kTrusted, kDistrusted, kUnknown };
 
-class RootStore {
+// The read surface chain::ChainVerifier (and anything else on the verdict
+// path) needs from a root store. Two implementations exist: the mutable
+// heap `RootStore` below, and the mmap-backed `StoreView`
+// (rootstore/snapshot/view.hpp) that serves the same answers out of a
+// flat snapshot without per-worker parsing or GCC recompilation. The
+// pinned contract: for equal content, both implementations return the
+// same entries in the same order — `trusted()` in insertion order,
+// `gccs_for_root()` in attachment order — so verdicts computed through
+// either are byte-identical.
+class StoreReader {
+ public:
+  virtual ~StoreReader() = default;
+
+  virtual TrustState state_of(const std::string& hash_hex) const = 0;
+  virtual const RootEntry* find(const std::string& hash_hex) const = 0;
+  // Insertion order — path search tries candidate roots in this order, so
+  // the order is part of the verdict contract (first accepted path wins).
+  virtual std::vector<const RootEntry*> trusted() const = 0;
+  // Attachment order (all must hold, but diagnostics name the first
+  // failure, so order is observable).
+  virtual std::span<const core::Gcc> gccs_for_root(
+      const std::string& hash_hex) const = 0;
+
+  virtual std::size_t trusted_count() const = 0;
+  virtual std::size_t distrusted_count() const = 0;
+  virtual std::size_t gcc_count() const = 0;
+  virtual std::uint64_t epoch() const = 0;
+};
+
+class RootStore : public StoreReader {
  public:
   // Adds (or updates) an explicitly trusted root. A root currently in the
   // distrusted set is *not* silently resurrected: the call fails, the same
@@ -63,35 +93,54 @@ class RootStore {
   // model derivative stores that re-add removed roots, as Amazon Linux did).
   void add_trusted_unchecked(x509::CertPtr cert, RootMetadata metadata = {});
 
-  TrustState state_of(const std::string& hash_hex) const;
-  const RootEntry* find(const std::string& hash_hex) const;
+  TrustState state_of(const std::string& hash_hex) const override;
+  const RootEntry* find(const std::string& hash_hex) const override;
 
-  std::vector<const RootEntry*> trusted() const;
+  std::vector<const RootEntry*> trusted() const override;
   const std::unordered_map<std::string, std::string>& distrusted() const {
     return distrusted_;  // hash -> justification
   }
 
-  std::size_t trusted_count() const { return trusted_.size(); }
-  std::size_t distrusted_count() const { return distrusted_.size(); }
+  std::size_t trusted_count() const override { return trusted_.size(); }
+  std::size_t distrusted_count() const override { return distrusted_.size(); }
+  std::size_t gcc_count() const override { return gccs_.total(); }
 
-  core::GccStore& gccs() { return gccs_; }
+  // Attaches a GCC (replacing any same-named GCC on the same root) and
+  // bumps the epoch. Attaching a byte-identical copy of a GCC already
+  // present is a no-op that leaves the epoch unchanged — the same
+  // redundant-delta-replay guarantee add_trusted_unchecked/distrust give.
+  void attach_gcc(core::Gcc gcc);
+  // Removes the named GCC from the given root; returns true (and bumps the
+  // epoch) only if it existed.
+  bool detach_gcc(const std::string& root_hash_hex, const std::string& name);
+
+  // Read-only: all GCC mutation routes through attach_gcc/detach_gcc so
+  // the epoch counter below sees every effective change. (A mutable
+  // accessor used to exist; it let callers swap the GccStore wholesale,
+  // which could pair a higher epoch_ with a lower GccStore version and
+  // repeat a composite epoch value — silently reviving stale verdict-cache
+  // entries.)
   const core::GccStore& gccs() const { return gccs_; }
+  std::span<const core::Gcc> gccs_for_root(
+      const std::string& hash_hex) const override {
+    return gccs_.for_root(hash_hex);
+  }
 
-  // Monotonic mutation counter: every change that can alter a verification
-  // outcome — add_trusted, add_trusted_unchecked, distrust, forget, GCC
-  // attach/detach (counted via GccStore::version) — advances it. Verdict
-  // caches key on the epoch so a feed update invalidates stale entries
-  // without any cross-thread bookkeeping (chain::VerifyService). Byte-
-  // identical no-op mutations (re-adding a root with equal metadata,
-  // re-distrusting with the same justification) leave it unchanged, so
-  // redundant delta replay keeps caches warm.
-  std::uint64_t epoch() const { return epoch_ + gccs_.version(); }
+  // Single strictly-monotonic mutation counter: every change that can
+  // alter a verification outcome — add_trusted, add_trusted_unchecked,
+  // distrust, forget, attach_gcc, detach_gcc — advances it. Verdict caches
+  // key on the epoch so a feed update invalidates stale entries without
+  // any cross-thread bookkeeping (chain::VerifyService). Byte-identical
+  // no-op mutations (re-adding a root with equal metadata, re-distrusting
+  // with the same justification, re-attaching an identical GCC) leave it
+  // unchanged, so redundant delta replay keeps caches warm.
+  std::uint64_t epoch() const override { return epoch_; }
 
   // Forces epoch() strictly past `floor`. Used when a store is replaced
   // wholesale (RSF snapshot adoption) so observers never see the counter
   // move backwards.
   void advance_epoch_past(std::uint64_t floor) {
-    if (epoch() <= floor) epoch_ += floor - epoch() + 1;
+    if (epoch_ <= floor) epoch_ = floor + 1;
   }
 
   // Deterministic text serialization (see store.cpp header comment for the
@@ -118,8 +167,10 @@ class RootStore {
 // `instance` is non-empty. RootStore is a value type that is copied and
 // merged freely, so it cannot own series itself; long-lived holders
 // (VerifyService on snapshot publish, anchorctl/daemon on demand) call this
-// at well-defined points instead.
-void export_store_metrics(const RootStore& store, metrics::Registry& registry,
+// at well-defined points instead. Takes the read interface so mmap-backed
+// StoreViews export the same series.
+void export_store_metrics(const StoreReader& store,
+                          metrics::Registry& registry,
                           const std::string& instance = "");
 
 }  // namespace anchor::rootstore

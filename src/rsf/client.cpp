@@ -380,6 +380,7 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
     store_ = primary_replica_;
   }
   store_.advance_epoch_past(prior_epoch);
+  if (adoption_hook_) adoption_hook_(store_);
 
   std::size_t applied = run.size();
   last_sequence_ = head_snap.sequence;
@@ -434,6 +435,7 @@ void ManualMirrorClient::manual_sync(std::int64_t now) {
     store_ = std::move(incoming);
   }
   store_.advance_epoch_past(prior_epoch);
+  if (adoption_hook_) adoption_hook_(store_);
   mirrored_sequence_ = head;
   last_sync_time_ = now;
 }

@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -35,6 +36,13 @@
 #include "util/rng.hpp"
 
 namespace anchor::rsf {
+
+// Fires after a client adopts a new exposed store — epoch already advanced
+// past the predecessor's. This is where serving infrastructure reacts to a
+// feed update: anchord publishes a fresh mmap snapshot and swaps its
+// VerifyService onto it (rootstore/snapshot), so the O(1)-warm-start image
+// on disk tracks the feed instead of going stale at daemon start.
+using AdoptionHook = std::function<void(const rootstore::RootStore&)>;
 
 struct ClientStats {
   std::uint64_t polls = 0;
@@ -129,6 +137,12 @@ class RsfClient {
   // primary snapshot.
   void set_local_store(rootstore::RootStore local);
 
+  // Invoked with the freshly adopted store at the end of every successful
+  // update poll (after the epoch guard). At most one hook; empty clears.
+  void set_adoption_hook(AdoptionHook hook) {
+    adoption_hook_ = std::move(hook);
+  }
+
   // (Re)binds the client's metric series to `registry`, labeled
   // {feed="<instance>"}. Construction binds to the global registry with the
   // transport name; tests and the simulator rebind for isolation or to
@@ -188,6 +202,7 @@ class RsfClient {
   rootstore::RootStore primary_replica_;  // the primary state, pre-merge
   rootstore::RootStore store_;
   std::optional<rootstore::RootStore> local_;
+  AdoptionHook adoption_hook_;
   SimSig verifier_registry_;  // holds the feed key for verification
   ClientStats stats_;
 
@@ -229,6 +244,11 @@ class ManualMirrorClient {
   // A human performs an import at time `now`: adopts the latest snapshot.
   void manual_sync(std::int64_t now);
 
+  // Same contract as RsfClient::set_adoption_hook.
+  void set_adoption_hook(AdoptionHook hook) {
+    adoption_hook_ = std::move(hook);
+  }
+
   const rootstore::RootStore& store() const { return store_; }
   std::uint64_t mirrored_sequence() const { return mirrored_sequence_; }
   std::int64_t last_sync_time() const { return last_sync_time_; }
@@ -239,6 +259,7 @@ class ManualMirrorClient {
   std::uint64_t mirrored_sequence_ = 0;
   std::int64_t last_sync_time_ = -1;
   rootstore::RootStore store_;
+  AdoptionHook adoption_hook_;
 };
 
 }  // namespace anchor::rsf

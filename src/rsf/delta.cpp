@@ -83,10 +83,10 @@ void StoreDelta::apply(rootstore::RootStore& store) const {
     store.add_trusted_unchecked(change.cert, change.metadata);
   }
   for (const auto& [root, name] : detach_gccs) {
-    store.gccs().detach(root, name);
+    store.detach_gcc(root, name);
   }
   for (const core::Gcc& gcc : attach_gccs) {
-    store.gccs().attach(gcc);
+    store.attach_gcc(gcc);
   }
 }
 

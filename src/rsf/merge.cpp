@@ -99,7 +99,7 @@ MergeResult merge(const rootstore::RootStore& primary,
   // constraints, and primary constraints always survive.
   for (const auto& root : primary.gccs().roots_sorted()) {
     for (const core::Gcc& gcc : primary.gccs().for_root(root)) {
-      result.merged.gccs().attach(gcc);
+      result.merged.attach_gcc(gcc);
     }
   }
   for (const auto& root : derivative.gccs().roots_sorted()) {
@@ -112,7 +112,7 @@ MergeResult merge(const rootstore::RootStore& primary,
       primary_names.insert(existing.name());
     }
     for (const core::Gcc& gcc : derivative.gccs().for_root(root)) {
-      if (!primary_names.contains(gcc.name())) result.merged.gccs().attach(gcc);
+      if (!primary_names.contains(gcc.name())) result.merged.attach_gcc(gcc);
     }
   }
 

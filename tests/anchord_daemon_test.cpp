@@ -81,7 +81,7 @@ struct DaemonPki {
 
 TEST(TrustDaemon, EvaluateGccsOverDerBoundary) {
   DaemonPki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate(
           "no-ev", *pki.root,
           "valid(Chain, _) :- leaf(Chain, L), \\+ev(L).")
@@ -279,7 +279,7 @@ TEST(TrustDaemon, FeedStatusVerb) {
 // right Boolean / chain and no call is lost (calls_ is atomic).
 TEST(TrustDaemon, ConcurrentCallersThroughService) {
   DaemonPki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate(
           "no-ev", *pki.root,
           "valid(Chain, _) :- leaf(Chain, L), \\+ev(L).")

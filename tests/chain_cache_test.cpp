@@ -124,7 +124,7 @@ TEST(VerifyServiceCache, RandomizedMutationsNeverServeStaleVerdicts) {
     switch (rng.uniform(6)) {
       case 0:  // attach (or re-attach) the rejecting GCC
         service.mutate([&](rootstore::RootStore& store) {
-          store.gccs().attach(
+          store.attach_gcc(
               core::Gcc::for_certificate("flip", *pki.root, kRejectGcc)
                   .take());
         });
@@ -132,7 +132,7 @@ TEST(VerifyServiceCache, RandomizedMutationsNeverServeStaleVerdicts) {
         break;
       case 1:  // detach it
         service.mutate([&](rootstore::RootStore& store) {
-          store.gccs().detach(root_hash, "flip");
+          store.detach_gcc(root_hash, "flip");
         });
         reject_attached = false;
         break;
@@ -173,7 +173,7 @@ TEST(VerifyServiceCache, RandomizedMutationsNeverServeStaleVerdicts) {
 // only leaf and root).
 TEST(VerifyServiceCache, FingerprintDistinguishesIntermediates) {
   CachePki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate("accept", *pki.root, kAcceptGcc).take());
   VerifyService service(pki.store, pki.sigs);
 
@@ -211,7 +211,7 @@ TEST(VerifyServiceCache, FingerprintDistinguishesIntermediates) {
 // not grow, and eviction must never change answers.
 TEST(VerifyServiceCache, EvictionBoundedAndHarmless) {
   CachePki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate("accept", *pki.root, kAcceptGcc).take());
   ServiceConfig config;
   config.verdict_capacity = 2;  // tiny: every shard holds one entry

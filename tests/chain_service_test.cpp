@@ -11,9 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <thread>
 
+#include "core/facts.hpp"
+#include "rootstore/snapshot/view.hpp"
+#include "rootstore/snapshot/writer.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 #include "x509/builder.hpp"
@@ -206,13 +210,13 @@ TEST(VerifyService, StressConcurrentVerifyWithMutations) {
       service.mutate([&](rootstore::RootStore& store) {
         switch (m % 6) {
           case 0:
-            store.gccs().attach(
+            store.attach_gcc(
                 core::Gcc::for_certificate("stress-reject", *pki.roots[r],
                                            kRejectGcc)
                     .take());
             break;
           case 1:
-            store.gccs().detach(hash, "stress-reject");
+            store.detach_gcc(hash, "stress-reject");
             break;
           case 2:
             store.distrust(hash, "stress");
@@ -222,13 +226,13 @@ TEST(VerifyService, StressConcurrentVerifyWithMutations) {
             ASSERT_TRUE(store.add_trusted(pki.roots[r]).ok());
             break;
           case 4:
-            store.gccs().attach(
+            store.attach_gcc(
                 core::Gcc::for_certificate("stress-accept", *pki.roots[r],
                                            kAcceptGcc)
                     .take());
             break;
           default:
-            store.gccs().detach(hash, "stress-accept");
+            store.detach_gcc(hash, "stress-accept");
             break;
         }
       });
@@ -294,7 +298,7 @@ TEST(VerifyService, WarmCacheHitsAndEpochFlush) {
   ServicePki pki;
   // Attach an accepting GCC so the verdict cache is actually exercised.
   for (const CertPtr& root : pki.roots) {
-    pki.store.gccs().attach(
+    pki.store.attach_gcc(
         core::Gcc::for_certificate("warm", *root, kAcceptGcc).take());
   }
   VerifyService service(pki.store, pki.sigs);
@@ -315,7 +319,7 @@ TEST(VerifyService, WarmCacheHitsAndEpochFlush) {
 
   // A mutation flushes: the same chain re-evaluates under the new epoch.
   service.mutate([&](rootstore::RootStore& store) {
-    store.gccs().attach(
+    store.attach_gcc(
         core::Gcc::for_certificate("warm2", *pki.roots[1], kAcceptGcc).take());
   });
   ServiceStats after_mutate = service.stats();
@@ -360,7 +364,7 @@ TEST(VerifyService, DerEntryPointsShareParseCache) {
 TEST(VerifyService, CachedVerdictReplaysEvalStatsOnHit) {
   ServicePki pki;
   for (const CertPtr& root : pki.roots) {
-    pki.store.gccs().attach(
+    pki.store.attach_gcc(
         core::Gcc::for_certificate("stats", *root, kAcceptGcc).take());
   }
   VerifyService service(pki.store, pki.sigs);
@@ -450,6 +454,108 @@ TEST(VerifyService, ValidateBatchMatchesValidatePerEntry) {
   }
   EXPECT_FALSE(batch.back().ok);
   EXPECT_EQ(batch.back().kind, ErrorKind::kMalformedRequest);
+}
+
+// Regression: context-carrying verifies (VerifyOptions::gcc_context) were
+// silently exempt from the verdict cache — correct, since context facts
+// are not part of the cache key, but invisible to operators tuning cache
+// capacity from hit/miss ratios. They must be counted as bypasses, and
+// they must neither read nor populate the cache.
+TEST(VerifyService, ContextVerifiesBypassCacheAndAreCounted) {
+  ServicePki pki;
+  for (const CertPtr& root : pki.roots) {
+    pki.store.attach_gcc(
+        core::Gcc::for_certificate("ctx", *root, kAcceptGcc).take());
+  }
+  metrics::Registry registry;
+  VerifyService service(pki.store, pki.sigs, {}, registry);
+
+  core::FactSet facts;
+  VerifyOptions with_context = pki.options_for(0);
+  with_context.gcc_context = &facts;
+
+  ASSERT_TRUE(service.verify(pki.leaves[0], pki.pool, with_context).ok);
+  ASSERT_TRUE(service.verify(pki.leaves[0], pki.pool, with_context).ok);
+  ServiceStats after_context = service.stats();
+  EXPECT_EQ(after_context.verdict_bypass, 2u);
+  EXPECT_EQ(after_context.verdict_hits, 0u);
+  EXPECT_EQ(after_context.verdict_misses, 0u);
+  // The counter is operator-visible under the registry name the anchorctl
+  // metrics verb exposes.
+  EXPECT_EQ(registry.counter("anchor_verify_cache_bypass_total").value(), 2u);
+
+  // The context calls populated nothing: the first context-free verify of
+  // the same chain is a miss, not a hit.
+  ASSERT_TRUE(service.verify(pki.leaves[0], pki.pool, pki.options_for(0)).ok);
+  ServiceStats after_plain = service.stats();
+  EXPECT_EQ(after_plain.verdict_hits, 0u);
+  EXPECT_GE(after_plain.verdict_misses, 1u);
+
+  // And a later context call must not read the now-warm cache either.
+  ASSERT_TRUE(service.verify(pki.leaves[0], pki.pool, with_context).ok);
+  ServiceStats final_stats = service.stats();
+  EXPECT_EQ(final_stats.verdict_bypass, 3u);
+  EXPECT_EQ(final_stats.verdict_hits, 0u);
+}
+
+// TSan property for the advance_epoch_past audit: under interleaved
+// mutate() and adopt_view() — including adoption of *stale* snapshots
+// whose own epoch is far behind the service's — every publication lands a
+// strictly larger epoch, and no concurrent reader ever observes the epoch
+// move backwards. A repeated epoch would let a verdict cached under its
+// first occurrence be served against different trust content.
+TEST(VerifyService, InterleavedAdoptAndMutateKeepEpochStrictlyIncreasing) {
+  ServicePki pki;
+  ServiceConfig config;
+  config.threads = 2;
+  metrics::Registry registry;
+  VerifyService service(pki.store, pki.sigs, config, registry);
+
+  // Snapshot the store *before* any service-side mutation: every adopted
+  // view is deliberately stale, so the max(view-epoch, prior+1) rule is
+  // what keeps the published epoch moving.
+  const rootstore::RootStore frozen = pki.store;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> regressions{0};
+  std::vector<std::thread> readers;
+  for (int w = 0; w < 3; ++w) {
+    readers.emplace_back([&, w] {
+      std::uint64_t seen = 0;
+      std::size_t leaf = static_cast<std::size_t>(w);
+      while (!done.load(std::memory_order_relaxed)) {
+        const std::uint64_t epoch = service.epoch();
+        if (epoch < seen) regressions.fetch_add(1, std::memory_order_relaxed);
+        seen = epoch;
+        leaf = (leaf + 1) % pki.leaves.size();
+        (void)service.verify(pki.leaves[leaf], pki.pool,
+                             pki.options_for(leaf));
+      }
+    });
+  }
+
+  std::uint64_t published = service.epoch();
+  for (int round = 0; round < 24; ++round) {
+    if (round % 2 == 0) {
+      std::string hash(62, 'e');
+      hash += static_cast<char>('0' + round / 10);
+      hash += static_cast<char>('0' + round % 10);
+      service.mutate([&](rootstore::RootStore& live) {
+        live.distrust(hash, "round");
+      });
+    } else {
+      auto opened = rootstore::snapshot::StoreView::from_bytes(
+          rootstore::snapshot::write_snapshot(frozen));
+      ASSERT_TRUE(opened.ok()) << opened.error.to_string();
+      service.adopt_view(opened.view);
+    }
+    const std::uint64_t now = service.epoch();
+    EXPECT_GT(now, published) << "round " << round;
+    published = now;
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(regressions.load(), 0u);
 }
 
 }  // namespace

@@ -284,7 +284,7 @@ TEST(Verifier, GccRejectionTriggersContinuedBuilding) {
   VerifierPki pki;
   // Attach a deny-all GCC to root A; the verifier must fall through to B
   // (the paper's "reject or continue building" loop).
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate(
           "deny-a", *pki.root_a,
           "valid(Chain, \"TLS\") :- leaf(Chain, L), ev(L).")
@@ -304,7 +304,7 @@ TEST(Verifier, GccRejectionTriggersContinuedBuilding) {
 
 TEST(Verifier, GccAllowPassesThrough) {
   VerifierPki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate("allow-a", *pki.root_a,
                                  "valid(Chain, _) :- leaf(Chain, L).")
           .take());
@@ -317,7 +317,7 @@ TEST(Verifier, GccAllowPassesThrough) {
 
 TEST(Verifier, GccsCanBeDisabledForAblation) {
   VerifierPki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate(
           "deny-a", *pki.root_a,
           "valid(Chain, \"TLS\") :- leaf(Chain, L), ev(L).")
@@ -334,7 +334,7 @@ TEST(Verifier, GccsCanBeDisabledForAblation) {
 
 TEST(Verifier, CustomGccHookIsInvoked) {
   VerifierPki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate("any", *pki.root_a,
                                  "valid(Chain, _) :- leaf(Chain, L).")
           .take());

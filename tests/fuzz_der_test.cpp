@@ -107,7 +107,7 @@ TEST_P(TextFormatMutation, StoreDeserializeSurvivesMutations) {
   rootstore::RootStore store;
   (void)store.add_trusted(rich_cert());
   store.distrust(std::string(64, 'a'), "why");
-  store.gccs().attach(
+  store.attach_gcc(
       core::Gcc::create("g", std::string(64, 'b'),
                         "valid(C, \"TLS\") :- leaf(C, L).")
           .take());

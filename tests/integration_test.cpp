@@ -178,7 +178,7 @@ TEST(Integration, PartialDistrustViaGccAvoidsCollateralDamage) {
   std::string cutoff_gcc =
       "cutoff(" + std::to_string(now - 7 * 86400) + ").\n" +
       "valid(Chain, _) :- leaf(Chain, L), notBefore(L, NB), cutoff(T), NB < T.";
-  store.gccs().attach(
+  store.attach_gcc(
       core::Gcc::for_certificate("incident-cutoff", root, cutoff_gcc).take());
 
   chain::ChainVerifier verifier(store, corpus.signatures());

@@ -106,7 +106,7 @@ TEST(VerifierMetadata, GccOnDistrustedRootNeverRuns) {
   // Distrust beats GCCs: once the root leaves the trusted set, its GCCs
   // are unreachable (no candidate path exists at all).
   SmimePki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate("allow-everything", *pki.root,
                                  "valid(Chain, _) :- leaf(Chain, L).")
           .take());
@@ -125,11 +125,11 @@ TEST(VerifierMetadata, GccOnDistrustedRootNeverRuns) {
 
 TEST(VerifierMetadata, MultipleGccsOnOneRootAllRun) {
   SmimePki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate("c1", *pki.root,
                                  "valid(Chain, _) :- leaf(Chain, L).")
           .take());
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate(
           "c2", *pki.root,
           "valid(Chain, _) :- leaf(Chain, L), \\+ev(L).")
@@ -185,7 +185,7 @@ TEST(RootStoreEdge, GccsSurviveDistrustAndForget) {
   // serializes) constraints for roots it no longer trusts, which matters
   // when the root is later re-added by a delta.
   SmimePki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate("sticky", *pki.root,
                                  "valid(Chain, _) :- leaf(Chain, L).")
           .take());

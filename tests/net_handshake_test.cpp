@@ -109,7 +109,7 @@ TEST(Handshake, FailsWithoutProofOfPossession) {
 
 TEST(Handshake, GccBlocksTheConnection) {
   HandshakePki pki;
-  pki.store.gccs().attach(
+  pki.store.attach_gcc(
       core::Gcc::for_certificate(
           "block-new", *pki.root,
           "cutoff(" + std::to_string(HandshakePki::kNow - 10 * 86400) +

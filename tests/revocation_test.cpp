@@ -192,7 +192,7 @@ TEST(Subsumption, RevocationGccEquivalentToOneCrl) {
   auto gcc = revocation_gcc("revocation", *pki.root,
                             {pki.bad_intermediate->fingerprint_hex()});
   ASSERT_TRUE(gcc.ok()) << gcc.error();
-  gcc_store.gccs().attach(std::move(gcc).take());
+  gcc_store.attach_gcc(std::move(gcc).take());
   chain::ChainVerifier gcc_verifier(gcc_store, pki.sigs);
 
   for (const auto& [leaf, host] :

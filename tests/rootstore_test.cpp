@@ -127,7 +127,7 @@ TEST(RootStore, SerializeDeserializeRoundTrip) {
   ASSERT_TRUE(store.add_trusted(a, metadata).ok());
   ASSERT_TRUE(store.add_trusted(b).ok());
   store.distrust(std::string(64, 'e'), "WoSign-style removal");
-  store.gccs().attach(
+  store.attach_gcc(
       core::Gcc::create("constraint-1", a->fingerprint_hex(), kValidGcc,
                         "justified")
           .take());
@@ -196,7 +196,7 @@ TEST(RootStore, DeserializeRejectsBadGccSource) {
   RootStore store;
   CertPtr a = make_root("A");
   ASSERT_TRUE(store.add_trusted(a).ok());
-  store.gccs().attach(
+  store.attach_gcc(
       core::Gcc::create("g", a->fingerprint_hex(), kValidGcc).take());
   std::string text = store.serialize();
   // Swap the base64 source for garbage that decodes but does not parse.
@@ -244,15 +244,15 @@ TEST(RootStore, EpochAdvancesOnEveryMutation) {
   EXPECT_GT(store.epoch(), last);
   last = store.epoch();
 
-  store.gccs().attach(core::Gcc::create("g", hash, kValidGcc).take());
+  store.attach_gcc(core::Gcc::create("g", hash, kValidGcc).take());
   EXPECT_GT(store.epoch(), last);
   last = store.epoch();
 
-  EXPECT_TRUE(store.gccs().detach(hash, "g"));
+  EXPECT_TRUE(store.detach_gcc(hash, "g"));
   EXPECT_GT(store.epoch(), last);
   last = store.epoch();
 
-  EXPECT_FALSE(store.gccs().detach(hash, "g"));  // no-op
+  EXPECT_FALSE(store.detach_gcc(hash, "g"));  // no-op
   EXPECT_GE(store.epoch(), last);
 }
 
@@ -303,6 +303,65 @@ TEST(RootStore, DistrustOfTrustedRootAlwaysAdvancesEpoch) {
   store.distrust(hash, "incident");
   EXPECT_EQ(store.state_of(hash), TrustState::kDistrusted);
   EXPECT_GT(store.epoch(), trusted_epoch);
+}
+
+TEST(RootStore, ByteIdenticalGccReattachLeavesEpochUnchanged) {
+  // Regression: GCC attach used to bump a separate GccStore version
+  // counter unconditionally, so re-attaching the exact constraint already
+  // present (routine in RSF delta replay) flushed every cached verdict.
+  RootStore store;
+  CertPtr a = make_root("A");
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  const std::string hash = a->fingerprint_hex();
+  core::Gcc gcc = core::Gcc::create("g", hash, kValidGcc, "why").take();
+  store.attach_gcc(gcc);
+  const std::uint64_t settled = store.epoch();
+
+  store.attach_gcc(gcc);  // byte-identical re-attach: a no-op
+  EXPECT_EQ(store.epoch(), settled);
+  EXPECT_EQ(store.gcc_count(), 1u);
+
+  // Same name, different source: an observable replacement.
+  store.attach_gcc(
+      core::Gcc::create("g", hash, kValidGcc, "revised").take());
+  EXPECT_GT(store.epoch(), settled);
+  const std::uint64_t replaced = store.epoch();
+  // Detaching something that is not attached is a no-op too.
+  EXPECT_FALSE(store.detach_gcc(hash, "absent"));
+  EXPECT_EQ(store.epoch(), replaced);
+  EXPECT_TRUE(store.detach_gcc(hash, "g"));
+  EXPECT_GT(store.epoch(), replaced);
+}
+
+TEST(RootStore, EpochNeverRepeatsAcrossMixedMutations) {
+  // Regression for the epoch-aliasing bug: the epoch was once the *sum* of
+  // a store counter and a GCC-layer counter, so interleaved root and GCC
+  // mutations could revisit an earlier value and a verdict cached under
+  // the first occurrence would be served after the second — against
+  // different trust content. One strictly monotonic counter may never
+  // repeat under any interleaving.
+  RootStore store;
+  CertPtr a = make_root("A");
+  CertPtr b = make_root("B");
+  ASSERT_TRUE(store.add_trusted(a).ok());
+  const std::string hash = a->fingerprint_hex();
+  std::uint64_t last = store.epoch();
+  auto expect_advanced = [&](const char* what) {
+    EXPECT_GT(store.epoch(), last) << "epoch repeated after " << what;
+    last = store.epoch();
+  };
+  for (int round = 0; round < 5; ++round) {
+    store.attach_gcc(
+        core::Gcc::create("g" + std::to_string(round), hash, kValidGcc)
+            .take());
+    expect_advanced("attach");
+    ASSERT_TRUE(store.add_trusted(b).ok());
+    expect_advanced("add_trusted");
+    EXPECT_TRUE(store.detach_gcc(hash, "g" + std::to_string(round)));
+    expect_advanced("detach");
+    store.forget(b->fingerprint_hex());
+    expect_advanced("forget");
+  }
 }
 
 TEST(RootStore, AdvanceEpochPastForcesProgress) {

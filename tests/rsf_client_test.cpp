@@ -166,7 +166,7 @@ TEST(RsfClient, GccsArriveThroughTheFeed) {
   CertPtr root = make_root("A");
   rootstore::RootStore primary;
   (void)primary.add_trusted(root);
-  primary.gccs().attach(
+  primary.attach_gcc(
       core::Gcc::create("c1", root->fingerprint_hex(), kGcc, "why").take());
   feed.publish(primary, 1, "with gcc");
 
@@ -198,7 +198,7 @@ TEST(ManualMirror, StripGccsModelsBareCollectionDerivative) {
   rootstore::RootMetadata metadata;
   metadata.tls_distrust_after = 123;
   (void)primary.add_trusted(root, metadata);
-  primary.gccs().attach(
+  primary.attach_gcc(
       core::Gcc::create("c1", root->fingerprint_hex(), kGcc).take());
   feed.publish(primary, 1, "release");
 
@@ -264,7 +264,7 @@ TEST(RsfClientDelta, DeltaTransportTracksFullTransport) {
   // A sequence of evolutions; the delta client must stay byte-identical.
   primary.distrust(roots[3]->fingerprint_hex(), "incident A");
   feed.publish(primary, 300, "r2");
-  primary.gccs().attach(core::Gcc::create("g", roots[5]->fingerprint_hex(),
+  primary.attach_gcc(core::Gcc::create("g", roots[5]->fingerprint_hex(),
                                           "valid(C, _) :- leaf(C, L).")
                             .take());
   feed.publish(primary, 400, "r3");

@@ -49,7 +49,7 @@ TEST(StoreDelta, DiffDetectsAllChangeKinds) {
   rootstore::RootStore from;
   (void)from.add_trusted(a);
   (void)from.add_trusted(b);
-  from.gccs().attach(core::Gcc::create("old", a->fingerprint_hex(), kGcc).take());
+  from.attach_gcc(core::Gcc::create("old", a->fingerprint_hex(), kGcc).take());
 
   rootstore::RootStore to;
   rootstore::RootMetadata strict;
@@ -57,7 +57,7 @@ TEST(StoreDelta, DiffDetectsAllChangeKinds) {
   (void)to.add_trusted(a, strict);          // metadata change
   to.distrust(b->fingerprint_hex(), "bad"); // trusted -> distrusted
   (void)to.add_trusted(c);                  // new root
-  to.gccs().attach(core::Gcc::create("new", c->fingerprint_hex(), kGcc).take());
+  to.attach_gcc(core::Gcc::create("new", c->fingerprint_hex(), kGcc).take());
   // "old" gcc dropped
 
   StoreDelta delta = StoreDelta::diff(from, to);
@@ -76,14 +76,14 @@ TEST(StoreDelta, ApplyReplaysDiff) {
   (void)from.add_trusted(a);
   (void)from.add_trusted(b);
   from.distrust(std::string(64, 'd'), "old removal");
-  from.gccs().attach(core::Gcc::create("g1", a->fingerprint_hex(), kGcc).take());
+  from.attach_gcc(core::Gcc::create("g1", a->fingerprint_hex(), kGcc).take());
 
   rootstore::RootStore to;
   (void)to.add_trusted(a);
   to.distrust(b->fingerprint_hex(), "incident");
   (void)to.add_trusted(c);
   // the old distrust entry is forgotten (expired housekeeping)
-  to.gccs().attach(core::Gcc::create("g2", c->fingerprint_hex(), kGcc).take());
+  to.attach_gcc(core::Gcc::create("g2", c->fingerprint_hex(), kGcc).take());
 
   StoreDelta delta = StoreDelta::diff(from, to);
   rootstore::RootStore replayed = from;
@@ -163,7 +163,7 @@ TEST_P(DeltaRoundTrip, DiffApplyIsIdentity) {
         }
         (void)store.add_trusted(root, metadata);
         if (rng.chance(0.4)) {
-          store.gccs().attach(core::Gcc::create(
+          store.attach_gcc(core::Gcc::create(
                                   "g" + std::to_string(rng.uniform(3)),
                                   root->fingerprint_hex(), kGcc)
                                   .take());

@@ -142,11 +142,11 @@ TEST(Merge, GccsAreUnioned) {
   rootstore::RootStore primary;
   (void)primary.add_trusted(a);
   (void)primary.add_trusted(b);
-  primary.gccs().attach(
+  primary.attach_gcc(
       core::Gcc::create("primary-gcc", a->fingerprint_hex(), kGcc).take());
   rootstore::RootStore derivative;
   (void)derivative.add_trusted(a);
-  derivative.gccs().attach(
+  derivative.attach_gcc(
       core::Gcc::create("local-gcc", b->fingerprint_hex(), kGcc).take());
 
   MergeResult result = merge(primary, derivative);
@@ -159,11 +159,11 @@ TEST(Merge, PrimaryGccWinsNameCollision) {
   CertPtr a = make_root("A");
   rootstore::RootStore primary;
   (void)primary.add_trusted(a);
-  primary.gccs().attach(
+  primary.attach_gcc(
       core::Gcc::create("shared-name", a->fingerprint_hex(), kGcc, "primary")
           .take());
   rootstore::RootStore derivative;
-  derivative.gccs().attach(
+  derivative.attach_gcc(
       core::Gcc::create("shared-name", a->fingerprint_hex(), kGcc, "local")
           .take());
 
@@ -242,14 +242,14 @@ TEST(Merge, GccUnionDedupesManyOverlappingNames) {
   rootstore::RootStore derivative;
   constexpr int kCount = 64;
   for (int g = 0; g < kCount; ++g) {
-    primary.gccs().attach(
+    primary.attach_gcc(
         core::Gcc::create("constraint-" + std::to_string(g), hash, kGcc,
                           "primary")
             .take());
     // Even names collide (must dedup, primary copy wins), odd are local.
     const std::string name = g % 2 == 0 ? "constraint-" + std::to_string(g)
                                         : "local-" + std::to_string(g);
-    derivative.gccs().attach(core::Gcc::create(name, hash, kGcc, "local").take());
+    derivative.attach_gcc(core::Gcc::create(name, hash, kGcc, "local").take());
   }
 
   MergeResult result = merge(primary, derivative);
@@ -293,7 +293,7 @@ TEST(Merge, OutputInvariantUnderInsertionOrder) {
         rootstore::RootMetadata metadata;
         metadata.ev_allowed = index % 2 == 0;
         (void)primary.add_trusted(root, metadata);
-        primary.gccs().attach(
+        primary.attach_gcc(
             core::Gcc::create("c-" + std::to_string(index), hash, kGcc).take());
       }
       if (index % 4 == 0) {
@@ -301,7 +301,7 @@ TEST(Merge, OutputInvariantUnderInsertionOrder) {
       } else if (index % 4 == 1) {
         derivative.distrust(hash, "local " + std::to_string(index));
       } else {
-        derivative.gccs().attach(
+        derivative.attach_gcc(
             core::Gcc::create("d-" + std::to_string(index), hash, kGcc).take());
       }
     }
@@ -386,7 +386,7 @@ TEST(Merge, ThreeStoreFoldOrderIsVerdictInvariant) {
         if (rng.chance(0.25)) metadata.tls_distrust_after = 150;
         (void)a.add_trusted(roots[static_cast<std::size_t>(i)], metadata);
         if (rng.chance(0.3)) {
-          a.gccs().attach(
+          a.attach_gcc(
               core::Gcc::create("a-" + std::to_string(i), hash, reject_late)
                   .take());
         }
@@ -400,7 +400,7 @@ TEST(Merge, ThreeStoreFoldOrderIsVerdictInvariant) {
               roots[static_cast<std::size_t>(i)], derivative_metadata(i));
           if (rng.chance(0.4)) {
             const char* prefix = derivative == &b ? "b-" : "c-";
-            derivative->gccs().attach(
+            derivative->attach_gcc(
                 core::Gcc::create(prefix + std::to_string(i), hash,
                                   reject_late)
                     .take());

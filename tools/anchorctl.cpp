@@ -38,6 +38,19 @@
 //                                 of verify, evaluate-gccs, metrics,
 //                                 feed-status. Exit code = the response's
 //                                 ErrorKind value (0 = ok).
+//   anchorctl daemon --snapshot <store.snap> <verb> [...]
+//                                 same, but the daemon warm-starts from an
+//                                 mmap'd snapshot image: no text parse, no
+//                                 GCC recompilation (O(1) warm start).
+//   anchorctl snapshot-write <store.txt> <out.snap>
+//                                 compile a text store into the flat mmap
+//                                 snapshot format, then re-open and verify
+//                                 the written image before reporting it
+//   anchorctl snapshot-info <store.snap>
+//                                 validate a snapshot fail-closed and print
+//                                 its header facts (epoch, counts, digest);
+//                                 a rejected image prints the classified
+//                                 error (truncated, checksum-mismatch, ...)
 //   anchorctl compile-store <store.textproto> [--out <store.txt>]
 //                                 [--roots <roots.pem>] [--prefix crs]
 //                                 parse a Chrome Root Store textproto
@@ -76,6 +89,8 @@
 #include "datalog/engine.hpp"
 #include "rootstore/chromeproto.hpp"
 #include "rootstore/constraint_compile.hpp"
+#include "rootstore/snapshot/view.hpp"
+#include "rootstore/snapshot/writer.hpp"
 #include "rootstore/store.hpp"
 #include "rsf/client.hpp"
 #include "rsf/delta.hpp"
@@ -115,6 +130,9 @@ int usage() {
                "  daemon <store.txt> <verb> [chain.pem] [--host <h>]"
                " [--time <t>] [--usage TLS|S/MIME] [--transport memory|unix]\n"
                "      verb: verify | evaluate-gccs | metrics | feed-status\n"
+               "  daemon --snapshot <store.snap> <verb> [...]\n"
+               "  snapshot-write <store.txt> <out.snap>\n"
+               "  snapshot-info <store.snap>\n"
                "  compile-store <store.textproto> [--out <store.txt>]"
                " [--roots <roots.pem>] [--prefix crs]\n");
   return 2;
@@ -839,6 +857,58 @@ class FileFeedTransport : public rsf::FeedTransport {
   std::vector<rsf::Snapshot> run_;
 };
 
+void print_snapshot_info(const rootstore::snapshot::StoreView& view) {
+  const rootstore::snapshot::StoreView::Info& info = view.info();
+  std::printf("format version : %u\n", info.format_version);
+  std::printf("source         : %s\n", info.source.c_str());
+  std::printf("file size      : %llu bytes\n",
+              static_cast<unsigned long long>(info.file_size));
+  std::printf("epoch          : %llu\n",
+              static_cast<unsigned long long>(info.epoch));
+  std::printf("trusted        : %u\n", info.trusted_count);
+  std::printf("distrusted     : %u\n", info.distrusted_count);
+  std::printf("gccs           : %u\n", info.gcc_count);
+  std::printf("digest         : %s\n", info.digest_hex.c_str());
+}
+
+// Text store -> flat snapshot image on disk, then re-open the written file
+// through the real mmap reader so "wrote OK" means "a daemon can serve
+// this" — a write that cannot be read back fails here, not at warm start.
+int cmd_snapshot_write(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto store = load_store(argv[0]);
+  if (!store) {
+    std::fprintf(stderr, "error: %s\n", store.error().c_str());
+    return 1;
+  }
+  if (Status s = rootstore::snapshot::write_snapshot_file(store.value(),
+                                                          argv[1]);
+      !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.error().c_str());
+    return 1;
+  }
+  auto opened = rootstore::snapshot::StoreView::open(argv[1]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: written image failed to re-open: %s\n",
+                 opened.error.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote          : %s\n", argv[1]);
+  print_snapshot_info(*opened.view);
+  return 0;
+}
+
+int cmd_snapshot_info(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto opened = rootstore::snapshot::StoreView::open(argv[0]);
+  if (!opened.ok()) {
+    std::printf("REJECTED: %s\n", opened.error.to_string().c_str());
+    return 1;
+  }
+  print_snapshot_info(*opened.view);
+  return 0;
+}
+
 // Builds the wire request for `verb` against a PEM chain (leaf first).
 // check_signatures stays off: PEMs carry no SimSig secrets (DESIGN.md §5).
 anchord::Request wire_request(anchord::Verb verb,
@@ -865,13 +935,33 @@ anchord::Request wire_request(anchord::Verb verb,
 // over an in-memory conduit or an AF_UNIX socketpair. The same four verbs
 // a deployed daemon serves; exit code is the response's ErrorKind.
 int cmd_daemon(int argc, char** argv) {
-  if (argc < 2) return usage();
-  auto store = load_store(argv[0]);
-  if (!store) {
-    std::fprintf(stderr, "error: %s\n", store.error().c_str());
-    return 1;
+  // --snapshot as the first argument switches the store source from the
+  // text grammar to an mmap'd snapshot image: the daemon's warm start
+  // never parses PEM/text or recompiles a GCC.
+  const bool from_snapshot =
+      argc >= 1 && std::string_view(argv[0]) == "--snapshot";
+  const int base = from_snapshot ? 1 : 0;
+  if (argc < base + 2) return usage();
+
+  rootstore::RootStore heap_store;  // snapshot mode leaves this empty
+  std::shared_ptr<const rootstore::snapshot::StoreView> view;
+  if (from_snapshot) {
+    auto opened = rootstore::snapshot::StoreView::open(argv[base]);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", argv[base],
+                   opened.error.to_string().c_str());
+      return 1;
+    }
+    view = opened.view;
+  } else {
+    auto store = load_store(argv[base]);
+    if (!store) {
+      std::fprintf(stderr, "error: %s\n", store.error().c_str());
+      return 1;
+    }
+    heap_store = std::move(store).take();
   }
-  const std::string verb_name = argv[1];
+  const std::string verb_name = argv[base + 1];
   anchord::Verb verb;
   if (verb_name == "verify") {
     verb = anchord::Verb::kVerify;
@@ -896,8 +986,8 @@ int cmd_daemon(int argc, char** argv) {
   const bool needs_chain =
       verb == anchord::Verb::kVerify || verb == anchord::Verb::kEvaluateGccs;
   if (needs_chain) {
-    if (argc < 3) return usage();
-    auto chain_file = read_chain(argv[2]);
+    if (argc < base + 3) return usage();
+    auto chain_file = read_chain(argv[base + 2]);
     if (!chain_file) {
       std::fprintf(stderr, "error: %s\n", chain_file.error().c_str());
       return 1;
@@ -912,10 +1002,15 @@ int cmd_daemon(int argc, char** argv) {
 
   SimSig no_keys;
   metrics::Registry registry;
-  chain::VerifyService service(store.value(), no_keys, {}, registry);
+  chain::VerifyService service(heap_store, no_keys, {}, registry);
+  const rootstore::StoreReader* reader = &heap_store;
+  if (view != nullptr) {
+    service.adopt_view(view);  // O(1): swap onto the mapping, no deep copy
+    reader = view.get();
+  }
   anchord::VerbDispatcher::Backends backends;
   backends.service = &service;
-  backends.store = &store.value();
+  backends.store = reader;
   backends.registry = &registry;
   anchord::AnchordServer server(backends, {}, registry);
 
@@ -1176,6 +1271,10 @@ int main(int argc, char** argv) {
   if (command == "feed-status") return cmd_feed_status(rest_argc, rest_argv);
   if (command == "metrics") return cmd_metrics(rest_argc, rest_argv);
   if (command == "daemon") return cmd_daemon(rest_argc, rest_argv);
+  if (command == "snapshot-write") {
+    return cmd_snapshot_write(rest_argc, rest_argv);
+  }
+  if (command == "snapshot-info") return cmd_snapshot_info(rest_argc, rest_argv);
   if (command == "compile-store") {
     return cmd_compile_store(rest_argc, rest_argv);
   }
