@@ -48,6 +48,7 @@ TrustDaemon::TrustDaemon(TrustDaemonConfig config) : config_(config) {
     backends.service = config_.service;
     backends.store = config_.store;
     backends.feed = config_.feed;
+    backends.feed_source = config_.feed_source;
     dispatcher_.emplace(backends);
   }
 }
@@ -245,6 +246,11 @@ Response TrustDaemon::execute_fallback(const Request& request,
       // without one the verb is simply not served.
       response.kind = chain::ErrorKind::kUnavailable;
       response.detail = "verify-batch: requires an attached VerifyService";
+      return response;
+    }
+    case Verb::kFeedFetch: {
+      response.kind = chain::ErrorKind::kUnavailable;
+      response.detail = "feed-fetch: requires an attached VerifyService";
       return response;
     }
   }

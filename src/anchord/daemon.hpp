@@ -47,6 +47,8 @@ struct TrustDaemonConfig {
   chain::VerifyService* service = nullptr;
   // RSF client behind the feed-status verb; null answers kUnavailable.
   rsf::RsfClient* feed = nullptr;
+  // Feed served by the feed-fetch verb; null answers kUnavailable.
+  const rsf::Feed* feed_source = nullptr;
   // Per-call marshalled-size limit; requests or responses whose encoded
   // frame exceeds it fail closed as kMalformedRequest / are truncated to a
   // diagnostic, mirroring the codec cap a real transport enforces.

@@ -1,5 +1,6 @@
 #include "anchord/dispatch.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace anchor::anchord {
@@ -72,6 +73,8 @@ Response VerbDispatcher::dispatch(const Request& request,
       return do_feed_status(request);
     case Verb::kVerifyBatch:
       return do_verify_batch(request);
+    case Verb::kFeedFetch:
+      return do_feed_fetch(request);
   }
   return fail(request, chain::ErrorKind::kMalformedRequest, "unknown verb");
 }
@@ -192,6 +195,44 @@ Response VerbDispatcher::do_metrics(const Request& request,
   Response response = base_response(request);
   response.ok = true;
   response.detail = registry.expose();
+  response.stats.epoch = backends_.service->epoch();
+  return response;
+}
+
+Response VerbDispatcher::do_feed_fetch(const Request& request) {
+  if (backends_.feed_source == nullptr) {
+    return fail(request, chain::ErrorKind::kUnavailable,
+                "feed-fetch: no feed attached to this daemon");
+  }
+  // Server-side serving bounds: however greedy the query, the response
+  // must fit a single wire frame (net::kMaxFrameBytes). The snapshot byte
+  // budget leaves ample headroom for tree head, proofs, deltas, and frame
+  // headers; a poller whose range is clamped simply polls again from its
+  // new pin. A single snapshot larger than the whole budget cannot be
+  // paginated — fail closed rather than emit an undecodable frame.
+  constexpr std::uint32_t kMaxSnapshotsPerResponse = 512;
+  constexpr std::uint64_t kSnapshotByteBudget = net::kMaxFrameBytes / 2;
+  rsf::FeedFetchQuery query = request.feed_query;
+  query.max_snapshots = std::min(query.max_snapshots, kMaxSnapshotsPerResponse);
+  query.max_bytes = query.max_bytes == 0
+                        ? kSnapshotByteBudget
+                        : std::min(query.max_bytes, kSnapshotByteBudget);
+  auto fetched = backends_.feed_source->feed_fetch(query);
+  if (!fetched) {
+    return fail(request, chain::ErrorKind::kUnavailable,
+                "feed-fetch: " + fetched.error());
+  }
+  rsf::FeedFetch feed = std::move(fetched).take();
+  if (feed.wire_size(/*include_payloads=*/true) > net::kMaxFrameBytes - 1024) {
+    return fail(request, chain::ErrorKind::kOverloaded,
+                "feed-fetch: snapshot range exceeds the frame budget; fetch "
+                "the oversized snapshot out of band");
+  }
+  Response response = base_response(request);
+  response.ok = true;
+  response.feed = std::move(feed);
+  response.stats.chain_len =
+      static_cast<std::uint32_t>(response.feed.snapshots.size());
   response.stats.epoch = backends_.service->epoch();
   return response;
 }

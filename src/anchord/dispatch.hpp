@@ -24,6 +24,10 @@ class VerbDispatcher {
     // StoreReader works — a live RootStore or an mmap-backed StoreView.
     const rootstore::StoreReader* store = nullptr;
     rsf::RsfClient* feed = nullptr;                  // kFeedStatus; optional
+    // kFeedFetch: the feed this daemon publishes (or re-serves) to
+    // downstream pollers. Optional; Feed is internally synchronized, so
+    // concurrent dispatches and a concurrent publisher are safe.
+    const rsf::Feed* feed_source = nullptr;
     metrics::Registry* registry = nullptr;           // default: global()
   };
 
@@ -43,6 +47,7 @@ class VerbDispatcher {
   Response do_evaluate_gccs(const Request& request);
   Response do_metrics(const Request& request, metrics::Registry& registry);
   Response do_feed_status(const Request& request);
+  Response do_feed_fetch(const Request& request);
 
   Backends backends_;
 };

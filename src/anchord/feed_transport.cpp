@@ -1,0 +1,50 @@
+#include "anchord/feed_transport.hpp"
+
+#include "util/simsig.hpp"
+
+namespace anchor::anchord {
+
+WireFeedTransport::WireFeedTransport(AnchordClient& client,
+                                     std::string publisher)
+    : client_(client),
+      publisher_(std::move(publisher)),
+      key_id_(SimSig::keygen("rsf-feed-" + publisher_).key_id) {}
+
+Result<rsf::FeedFetch> WireFeedTransport::feed_fetch(
+    const rsf::FeedFetchQuery& query) {
+  Request request;
+  request.verb = Verb::kFeedFetch;
+  request.feed_query = query;
+  auto response = client_.call(std::move(request));
+  if (!response) return err(response.error());
+  if (!response.value().ok) {
+    return err(response.value().detail.empty()
+                   ? "feed-fetch: daemon refused the request"
+                   : response.value().detail);
+  }
+  return std::move(response.value().feed);
+}
+
+Result<std::uint64_t> WireFeedTransport::head_sequence() {
+  rsf::FeedFetchQuery probe;
+  probe.max_snapshots = 0;  // tree head only
+  auto fetched = feed_fetch(probe);
+  if (!fetched) return err(fetched.error());
+  return fetched.value().sth.tree_size;
+}
+
+Result<std::vector<rsf::Snapshot>> WireFeedTransport::fetch_since(
+    std::uint64_t /*after_sequence*/) {
+  return err(
+      "feed-fetch transport serves only the authenticated Merkle path; "
+      "use PollPath::kAuto");
+}
+
+Result<std::string> WireFeedTransport::fetch_delta(
+    std::uint64_t /*sequence*/) {
+  return err(
+      "feed-fetch transport carries deltas inline; "
+      "use PollPath::kAuto");
+}
+
+}  // namespace anchor::anchord

@@ -1,0 +1,48 @@
+// rsf::FeedTransport over the anchord wire protocol: turns a connected
+// AnchordClient into the transport an RsfClient polls, so one anchord
+// instance can fan the authenticated feed out to downstream pollers
+// (DESIGN.md "Authenticated feed distribution").
+//
+// Only the Merkle poll path is served. head_sequence() is answered with a
+// tree-head-only probe (max_snapshots = 0), which is what keeps a
+// no-change poll O(1) bytes on the wire; fetch_since/fetch_delta — the
+// legacy unauthenticated path — deliberately err so a misconfigured
+// RsfClient pinned to PollPath::kLegacy fails loudly instead of silently
+// trusting unproven snapshots from a remote daemon.
+#pragma once
+
+#include <string>
+
+#include "anchord/client.hpp"
+#include "rsf/transport.hpp"
+
+namespace anchor::anchord {
+
+class WireFeedTransport : public rsf::FeedTransport {
+ public:
+  // `client` must outlive the transport; same single-thread contract as
+  // AnchordClient itself. `publisher` names the upstream feed — the
+  // poller's key registry derives the expected signing key from it out of
+  // band, exactly as with a local transport, so the daemon in the middle
+  // holds no trust: tampering shows up as a signature or proof failure.
+  WireFeedTransport(AnchordClient& client, std::string publisher);
+
+  const std::string& name() const override { return publisher_; }
+  const Bytes& key_id() const override { return key_id_; }
+
+  bool supports_feed_fetch() const override { return true; }
+  Result<rsf::FeedFetch> feed_fetch(
+      const rsf::FeedFetchQuery& query) override;
+  Result<std::uint64_t> head_sequence() override;
+
+  Result<std::vector<rsf::Snapshot>> fetch_since(
+      std::uint64_t after_sequence) override;
+  Result<std::string> fetch_delta(std::uint64_t sequence) override;
+
+ private:
+  AnchordClient& client_;
+  std::string publisher_;
+  Bytes key_id_;
+};
+
+}  // namespace anchor::anchord

@@ -170,6 +170,8 @@ AnchordServer::AnchordServer(VerbDispatcher::Backends backends,
                                    {{"verb", "feed-status"}})),
       m_req_batch_(registry.counter("anchor_anchord_requests_total",
                                     {{"verb", "verify-batch"}})),
+      m_req_feedfetch_(registry.counter("anchor_anchord_requests_total",
+                                        {{"verb", "feed-fetch"}})),
       m_overloads_(registry.counter("anchor_anchord_overloads_total")),
       m_timeouts_(registry.counter("anchor_anchord_timeouts_total")),
       m_malformed_(registry.counter("anchor_anchord_malformed_total")),
@@ -321,6 +323,7 @@ void AnchordServer::admit(Session& session, Request request) {
     case Verb::kMetrics: m_req_metrics_.add(); break;
     case Verb::kFeedStatus: m_req_feed_.add(); break;
     case Verb::kVerifyBatch: m_req_batch_.add(); break;
+    case Verb::kFeedFetch: m_req_feedfetch_.add(); break;
   }
   const auto deadline =
       config_.request_timeout_ms > 0

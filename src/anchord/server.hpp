@@ -120,6 +120,7 @@ class AnchordServer {
   metrics::Counter& m_req_metrics_;
   metrics::Counter& m_req_feed_;
   metrics::Counter& m_req_batch_;
+  metrics::Counter& m_req_feedfetch_;
   metrics::Counter& m_overloads_;
   metrics::Counter& m_timeouts_;
   metrics::Counter& m_malformed_;

@@ -41,6 +41,36 @@ void put_list(Bytes& out, const std::vector<Bytes>& items) {
   for (const Bytes& item : items) put_blob(out, item);
 }
 
+void put_hash(Bytes& out, const ctlog::Hash& hash) {
+  out.insert(out.end(), hash.begin(), hash.end());
+}
+
+void put_hashes(Bytes& out, const std::vector<ctlog::Hash>& hashes) {
+  put_u32(out, static_cast<std::uint32_t>(hashes.size()));
+  for (const ctlog::Hash& hash : hashes) put_hash(out, hash);
+}
+
+void put_feed_fetch(Bytes& out, const rsf::FeedFetch& feed) {
+  put_u64(out, feed.sth.tree_size);
+  put_hash(out, feed.sth.root_hash);
+  put_i64(out, feed.sth.published_at);
+  put_blob(out, feed.sth.signature);
+  put_hashes(out, feed.consistency);
+  put_hashes(out, feed.inclusion);
+  put_u32(out, static_cast<std::uint32_t>(feed.snapshots.size()));
+  for (const rsf::Snapshot& snap : feed.snapshots) {
+    put_u64(out, snap.sequence);
+    put_i64(out, snap.published_at);
+    put_str(out, snap.annotation);
+    put_str(out, snap.payload);
+    put_str(out, snap.payload_hash);
+    put_str(out, snap.prev_hash);
+    put_blob(out, snap.signature);
+  }
+  put_u32(out, static_cast<std::uint32_t>(feed.deltas.size()));
+  for (const std::string& delta : feed.deltas) put_str(out, delta);
+}
+
 // --- decoding -------------------------------------------------------------
 
 // Forward-only cursor over a payload. Every get_* fails sticky: once
@@ -109,12 +139,32 @@ struct Cursor {
     return items;
   }
 
+  ctlog::Hash get_hash() {
+    ctlog::Hash hash{};
+    if (!take(hash.size())) return hash;
+    std::copy_n(data.data() + pos, hash.size(), hash.begin());
+    pos += hash.size();
+    return hash;
+  }
+
+  std::vector<ctlog::Hash> get_hashes() {
+    const std::uint32_t count = get_u32();
+    std::vector<ctlog::Hash> hashes;
+    // Each node is 32 raw bytes; cap the reservation by what could fit.
+    hashes.reserve(std::min<std::size_t>(
+        count, (data.size() - pos) / sizeof(ctlog::Hash) + 1));
+    for (std::uint32_t i = 0; i < count && !failed; ++i) {
+      hashes.push_back(get_hash());
+    }
+    return hashes;
+  }
+
   bool done() const { return !failed && pos == data.size(); }
 };
 
 bool valid_verb(std::uint8_t v) {
   return v >= static_cast<std::uint8_t>(Verb::kVerify) &&
-         v <= static_cast<std::uint8_t>(Verb::kVerifyBatch);
+         v <= static_cast<std::uint8_t>(Verb::kFeedFetch);
 }
 
 }  // namespace
@@ -126,6 +176,7 @@ const char* to_string(Verb verb) {
     case Verb::kMetrics: return "metrics";
     case Verb::kFeedStatus: return "feed-status";
     case Verb::kVerifyBatch: return "verify-batch";
+    case Verb::kFeedFetch: return "feed-fetch";
   }
   return "unknown";
 }
@@ -153,6 +204,13 @@ net::Message encode_request(const Request& request) {
       put_str(out, entry.hostname);
       put_blob(out, entry.leaf_der);
     }
+  }
+  if (request.verb == Verb::kFeedFetch) {
+    put_u64(out, request.feed_query.from_size);
+    put_u64(out, request.feed_query.to_size);
+    put_u32(out, request.feed_query.max_snapshots);
+    put_u64(out, request.feed_query.max_bytes);
+    put_u8(out, request.feed_query.want_deltas ? 1 : 0);
   }
   return message;
 }
@@ -184,6 +242,7 @@ net::Message encode_response(const Response& response) {
       put_str(out, verdict.detail);
     }
   }
+  if (response.verb == Verb::kFeedFetch) put_feed_fetch(out, response.feed);
   return message;
 }
 
@@ -219,6 +278,17 @@ Result<Request> decode_request(net::MsgType type, BytesView payload) {
       entry.leaf_der = cur.get_blob();
       request.batch.push_back(std::move(entry));
     }
+  }
+  if (request.verb == Verb::kFeedFetch) {
+    request.feed_query.from_size = cur.get_u64();
+    request.feed_query.to_size = cur.get_u64();
+    request.feed_query.max_snapshots = cur.get_u32();
+    request.feed_query.max_bytes = cur.get_u64();
+    const std::uint8_t feed_flags = cur.get_u8();
+    if (!cur.failed && feed_flags > 1) {
+      return err("anchord: feed-fetch flags byte must be 0 or 1");
+    }
+    request.feed_query.want_deltas = (feed_flags & 1) != 0;
   }
   if (cur.failed) return err("anchord: truncated request payload");
   if (!cur.done()) return err("anchord: trailing bytes after request");
@@ -280,6 +350,37 @@ Result<Response> decode_response(net::MsgType type, BytesView payload) {
       verdict.facts_encoded = cur.get_u64();
       verdict.detail = cur.get_str();
       response.batch.push_back(std::move(verdict));
+    }
+  }
+  if (response.verb == Verb::kFeedFetch) {
+    rsf::FeedFetch& feed = response.feed;
+    feed.sth.tree_size = cur.get_u64();
+    feed.sth.root_hash = cur.get_hash();
+    feed.sth.published_at = cur.get_i64();
+    feed.sth.signature = cur.get_blob();
+    feed.consistency = cur.get_hashes();
+    feed.inclusion = cur.get_hashes();
+    const std::uint32_t snap_count = cur.get_u32();
+    // Each snapshot needs at least its fixed fields (16B) plus five length
+    // prefixes; cap the reservation accordingly against a lying count.
+    feed.snapshots.reserve(
+        std::min<std::size_t>(snap_count, (cur.data.size() - cur.pos) / 36 + 1));
+    for (std::uint32_t i = 0; i < snap_count && !cur.failed; ++i) {
+      rsf::Snapshot snap;
+      snap.sequence = cur.get_u64();
+      snap.published_at = cur.get_i64();
+      snap.annotation = cur.get_str();
+      snap.payload = cur.get_str();
+      snap.payload_hash = cur.get_str();
+      snap.prev_hash = cur.get_str();
+      snap.signature = cur.get_blob();
+      feed.snapshots.push_back(std::move(snap));
+    }
+    const std::uint32_t delta_count = cur.get_u32();
+    feed.deltas.reserve(
+        std::min<std::size_t>(delta_count, (cur.data.size() - cur.pos) / 4 + 1));
+    for (std::uint32_t i = 0; i < delta_count && !cur.failed; ++i) {
+      feed.deltas.push_back(cur.get_str());
     }
   }
   if (cur.failed) return err("anchord: truncated response payload");

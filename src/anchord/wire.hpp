@@ -36,6 +36,7 @@
 
 #include "chain/error.hpp"
 #include "net/transport.hpp"
+#include "rsf/feed.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
 
@@ -47,6 +48,7 @@ enum class Verb : std::uint8_t {
   kMetrics = 3,       // registry text exposition as the response detail
   kFeedStatus = 4,    // RSF client liveness summary as the response detail
   kVerifyBatch = 5,   // N verify chains in one frame, one interning arena
+  kFeedFetch = 6,     // Merkle tree head + proofs + snapshot range (RSF)
 };
 
 const char* to_string(Verb verb);
@@ -80,6 +82,10 @@ struct Request {
   // the byte layout of every other verb is exactly what it was before the
   // batch verb existed.
   std::vector<BatchEntry> batch;
+  // kFeedFetch only, same trailing-section rule as `batch`: the poller's
+  // feed-fetch query, encoded as u64 from_size, u64 to_size,
+  // u32 max_snapshots, u64 max_bytes, u8 flags (bit 0: want_deltas).
+  rsf::FeedFetchQuery feed_query;
 
   bool operator==(const Request&) const = default;
 };
@@ -123,6 +129,13 @@ struct Response {
   // u64 gccs_evaluated, u64 facts_encoded, str detail). Other verbs keep
   // their original byte layout.
   std::vector<BatchVerdict> batch;
+  // kFeedFetch only, same trailing-section rule: signed tree head (u64
+  // tree_size, 32 raw root bytes, i64 published_at, blob signature), the
+  // consistency and inclusion proofs (u32 count + 32 raw bytes per node),
+  // the snapshot range (u32 count + per snapshot: u64 sequence, i64
+  // published_at, str annotation, str payload, str payload_hash,
+  // str prev_hash, blob signature), and the delta list (u32 count + str).
+  rsf::FeedFetch feed;
 
   bool operator==(const Response&) const = default;
 };

@@ -138,11 +138,16 @@ bool verify_consistency(std::uint64_t from_size, std::uint64_t to_size,
                         const Hash& from_root, const Hash& to_root,
                         const std::vector<Hash>& proof) {
   if (from_size > to_size) return false;
-  if (from_size == to_size) return proof.empty() && from_root == to_root;
   if (from_size == 0) {
-    // Any tree is consistent with the empty tree; no proof required.
-    return proof.empty() && from_root == empty_tree_hash();
+    // Any tree is consistent with the empty tree; no proof required. The
+    // empty tree has exactly one root, so the claimed from_root (and, when
+    // to_size is also 0, the claimed to_root) must BE that root — checking
+    // from_root == to_root alone would bless an arbitrary "root" for the
+    // empty tree.
+    if (!proof.empty() || from_root != empty_tree_hash()) return false;
+    return to_size != 0 || to_root == empty_tree_hash();
   }
+  if (from_size == to_size) return proof.empty() && from_root == to_root;
   if (proof.empty()) return false;
 
   std::uint64_t fn = from_size - 1;

@@ -120,6 +120,10 @@ void RsfClient::bind_metrics(metrics::Registry& registry,
   m_.retries = &registry.counter("anchor_rsf_retries_total", feed);
   m_.quarantine_skips =
       &registry.counter("anchor_rsf_quarantine_skips_total", feed);
+  m_.proof_failures =
+      &registry.counter("anchor_rsf_proof_failures_total", feed);
+  m_.verified_no_change =
+      &registry.counter("anchor_rsf_verified_no_change_total", feed);
   m_.bytes_fetched = &registry.counter("anchor_rsf_bytes_fetched_total", feed);
   m_.bytes_discarded =
       &registry.counter("anchor_rsf_bytes_discarded_total", feed);
@@ -159,6 +163,9 @@ void RsfClient::publish_metrics(PollOutcome outcome) {
   drain(m_.retries, stats_.retries, exported_.retries);
   drain(m_.quarantine_skips, stats_.quarantine_skips,
         exported_.quarantine_skips);
+  drain(m_.proof_failures, stats_.proof_failures, exported_.proof_failures);
+  drain(m_.verified_no_change, stats_.verified_no_change,
+        exported_.verified_no_change);
   drain(m_.bytes_fetched, stats_.bytes_fetched, exported_.bytes_fetched);
   drain(m_.bytes_discarded, stats_.bytes_discarded, exported_.bytes_discarded);
   drain(m_.transport_errors, stats_.transport_errors_total(),
@@ -217,6 +224,7 @@ std::size_t RsfClient::finish_poll(PollOutcome outcome, std::int64_t now,
 std::size_t RsfClient::fail_poll(TransportErrorKind kind,
                                  std::uint64_t sequence, std::int64_t now) {
   ++stats_.transport_errors[static_cast<std::size_t>(kind)];
+  if (kind == TransportErrorKind::kRollback) rollback_suspect_ = true;
   if (sequence != 0) note_verify_failure(sequence, now);
   return finish_poll(PollOutcome::kFailure, now, 0);
 }
@@ -262,7 +270,13 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
   ++stats_.polls;
   if (first_poll_ < 0) first_poll_ = now;
   prune_quarantine(now);
+  if (poll_path_ == PollPath::kAuto && transport_->supports_feed_fetch()) {
+    return poll_merkle(now);
+  }
+  return poll_legacy(now);
+}
 
+std::size_t RsfClient::poll_legacy(std::int64_t now) {
   auto head = transport_->head_sequence();
   if (!head) {
     return fail_poll(TransportErrorKind::kUnreachable, 0, now);
@@ -273,6 +287,13 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
     return fail_poll(TransportErrorKind::kRollback, 0, now);
   }
   if (head.value() == last_sequence_) {
+    if (rollback_suspect_ && last_sequence_ > 0) {
+      // The transport attempted a rollback earlier; a bare sequence match
+      // is exactly what a continued replay of our own head looks like, so
+      // it must not reset backoff or refresh last-contact. Only a strictly
+      // newer verified run clears the suspicion on this path.
+      return fail_poll(TransportErrorKind::kRollback, 0, now);
+    }
     return finish_poll(PollOutcome::kSuccess, now, 0);  // nothing new
   }
   if (is_quarantined(head.value(), now)) {
@@ -302,7 +323,117 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
     // head sequence land it in quarantine.
     return fail_poll(classify(fault), run.back().sequence, now);
   }
+  return adopt_verified_run(run, nullptr, now);
+}
 
+std::size_t RsfClient::poll_merkle(std::int64_t now) {
+  FeedFetchQuery query;
+  query.from_size = last_sequence_;
+  query.want_deltas = (mode_ == Transport::kDelta);
+  auto fetched = transport_->feed_fetch(query);
+  if (!fetched) {
+    return fail_poll(TransportErrorKind::kUnreachable, 0, now);
+  }
+  FeedFetch ff = std::move(fetched).take();
+  const SignedTreeHead& sth = ff.sth;
+
+  // Authentication overhead of this poll: tree head, proofs, snapshot
+  // headers. Body bytes (payloads or deltas) are accounted where they are
+  // consumed, matching the legacy path's convention.
+  std::uint64_t overhead =
+      sth.wire_size() +
+      (ff.consistency.size() + ff.inclusion.size()) * sizeof(ctlog::Hash);
+  for (const Snapshot& snap : ff.snapshots) overhead += snap.wire_size(false);
+  stats_.bytes_fetched += overhead;
+
+  // Nothing is trusted before the tree head's signature verifies.
+  if (!verifier_registry_.verify(BytesView(transport_->key_id()),
+                                 BytesView(sth.transcript()),
+                                 BytesView(sth.signature))) {
+    ++stats_.verify_failures;
+    stats_.bytes_discarded += overhead;
+    return fail_poll(TransportErrorKind::kBadSignature, sth.tree_size, now);
+  }
+  if (sth.tree_size < last_sequence_ ||
+      (sth.tree_size == last_sequence_ && last_sequence_ > 0 &&
+       sth.root_hash != pinned_root_)) {
+    // A signed head below our pin is a replayed historic view; an
+    // equal-size head with a different root is a split view / rewritten
+    // history. Both are rollbacks: never adopt.
+    stats_.bytes_discarded += overhead;
+    return fail_poll(TransportErrorKind::kRollback, 0, now);
+  }
+  if (sth.tree_size == last_sequence_) {
+    // Root-verified no-change: the signed head IS the history we adopted,
+    // so this contact is healthy even right after a rollback attempt.
+    rollback_suspect_ = false;
+    ++stats_.verified_no_change;
+    return finish_poll(PollOutcome::kSuccess, now, 0);
+  }
+  if (is_quarantined(sth.tree_size, now)) {
+    ++stats_.quarantine_skips;
+    stats_.bytes_discarded += overhead;
+    return finish_poll(PollOutcome::kSkip, now, 0);
+  }
+
+  // The served history must provably extend the one we verified. For a
+  // fresh client there is nothing to extend — the RFC requires the empty
+  // proof.
+  const bool consistent =
+      last_sequence_ == 0
+          ? ff.consistency.empty()
+          : ctlog::verify_consistency(last_sequence_, sth.tree_size,
+                                      pinned_root_, sth.root_hash,
+                                      ff.consistency);
+  if (!consistent) {
+    ++stats_.proof_failures;
+    stats_.bytes_discarded += overhead;
+    return fail_poll(TransportErrorKind::kBadProof, sth.tree_size, now);
+  }
+
+  std::vector<Snapshot> run = std::move(ff.snapshots);
+  if (run.empty() || run.front().sequence != last_sequence_ + 1 ||
+      run.back().sequence != sth.tree_size ||
+      run.size() != sth.tree_size - last_sequence_) {
+    // The range does not tile (pin, tree_size]: a truncated or misaligned
+    // delivery.
+    stats_.bytes_discarded += overhead;
+    return fail_poll(TransportErrorKind::kTruncatedRun, 0, now);
+  }
+
+  Feed::RunFault fault = Feed::RunFault::kNone;
+  if (Status s = Feed::verify_run(run, last_hash_,
+                                  BytesView(transport_->key_id()),
+                                  verifier_registry_, &fault);
+      !s) {
+    ++stats_.verify_failures;
+    stats_.bytes_discarded += overhead;
+    return fail_poll(classify(fault), sth.tree_size, now);
+  }
+  // Bind the run to the signed root: the head snapshot's transcript must
+  // be the tree's last leaf (intermediates are bound transitively through
+  // the prev_hash chain inside the transcripts).
+  if (!ctlog::verify_inclusion(
+          ctlog::leaf_hash(BytesView(run.back().transcript())),
+          sth.tree_size - 1, sth.tree_size, ff.inclusion, sth.root_hash)) {
+    ++stats_.proof_failures;
+    stats_.bytes_discarded += overhead;
+    return fail_poll(TransportErrorKind::kBadProof, sth.tree_size, now);
+  }
+
+  const std::size_t applied = adopt_verified_run(
+      run, query.want_deltas ? &ff.deltas : nullptr, now);
+  if (last_sequence_ == sth.tree_size) {
+    // Adoption succeeded: pin the verified head for the next poll's
+    // consistency check.
+    pinned_root_ = sth.root_hash;
+  }
+  return applied;
+}
+
+std::size_t RsfClient::adopt_verified_run(
+    const std::vector<Snapshot>& run,
+    const std::vector<std::string>* inline_deltas, std::int64_t now) {
   const Snapshot& head_snap = run.back();
   bool replica_current = false;
 
@@ -316,15 +447,27 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
     std::uint64_t delta_bytes = 0;
     bool replay_ok = true;
     TransportErrorKind replay_fault = TransportErrorKind::kCorruptDelta;
-    for (const Snapshot& snap : run) {
-      auto delta_text = transport_->fetch_delta(snap.sequence);
-      if (!delta_text) {
-        replay_ok = false;
-        replay_fault = TransportErrorKind::kUnreachable;
-        break;
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      std::string delta_text;
+      if (inline_deltas != nullptr) {
+        if (i >= inline_deltas->size()) {
+          // The response shipped fewer deltas than snapshots.
+          replay_ok = false;
+          replay_fault = TransportErrorKind::kTruncatedRun;
+          break;
+        }
+        delta_text = (*inline_deltas)[i];
+      } else {
+        auto fetched_delta = transport_->fetch_delta(run[i].sequence);
+        if (!fetched_delta) {
+          replay_ok = false;
+          replay_fault = TransportErrorKind::kUnreachable;
+          break;
+        }
+        delta_text = std::move(fetched_delta).take();
       }
-      delta_bytes += delta_text.value().size();
-      auto delta = StoreDelta::deserialize(delta_text.value());
+      delta_bytes += delta_text.size();
+      auto delta = StoreDelta::deserialize(delta_text);
       if (!delta) {
         replay_ok = false;
         break;
@@ -387,6 +530,7 @@ std::size_t RsfClient::poll_now(std::int64_t now) {
   last_hash_ = head_snap.payload_hash;
   last_update_time_ = now;
   stats_.updates_applied += applied;
+  rollback_suspect_ = false;  // a strictly newer run verified end to end
   fail_counts_.clear();
   // A verified successor supersedes any quarantined ancestor: once the
   // client is past a poisoned sequence it will never fetch it again, so

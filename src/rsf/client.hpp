@@ -56,6 +56,8 @@ struct ClientStats {
   std::uint64_t bytes_discarded = 0;  // fetched but thrown away (failed runs)
   std::uint64_t retries = 0;          // backoff-scheduled re-polls
   std::uint64_t quarantine_skips = 0; // polls skipped on a quarantined head
+  std::uint64_t proof_failures = 0;   // Merkle consistency/inclusion rejects
+  std::uint64_t verified_no_change = 0;  // polls settled by tree head alone
   std::size_t quarantine_size = 0;    // currently quarantined sequences
   std::int64_t seconds_stale = 0;     // now - last verified feed contact
   std::array<std::uint64_t, kTransportErrorKindCount> transport_errors{};
@@ -75,6 +77,14 @@ struct ClientStats {
 // and then *verifies the replica against the snapshot's payload hash*,
 // falling back to the full snapshot on any mismatch.
 enum class Transport { kFullSnapshot, kDelta };
+
+// Which poll protocol the client speaks. kAuto uses the Merkle-authenticated
+// feed-fetch path whenever the transport supports it (one RPC per poll:
+// signed tree head + consistency proof + snapshot range, proof-verified
+// before anything is adopted) and falls back to the legacy head-probe +
+// fetch-since path otherwise. kLegacy forces the old path even on capable
+// transports (tests, and deployments mid-migration).
+enum class PollPath { kAuto, kLegacy };
 
 // Retry / quarantine / staleness knobs. All times in seconds (SimClock
 // domain — the client is driven entirely by the `now` its caller passes).
@@ -137,6 +147,9 @@ class RsfClient {
   // primary snapshot.
   void set_local_store(rootstore::RootStore local);
 
+  // See PollPath. Takes effect on the next poll.
+  void set_poll_path(PollPath path) { poll_path_ = path; }
+
   // Invoked with the freshly adopted store at the end of every successful
   // update poll (after the epoch guard). At most one hook; empty clears.
   void set_adoption_hook(AdoptionHook hook) {
@@ -163,6 +176,9 @@ class RsfClient {
 
   const rootstore::RootStore& store() const { return store_; }
   std::uint64_t last_applied_sequence() const { return last_sequence_; }
+  // The Merkle root pinned at the last adoption (meaningful only on the
+  // feed-fetch poll path).
+  const ctlog::Hash& pinned_tree_root() const { return pinned_root_; }
   std::int64_t last_update_time() const { return last_update_time_; }
   std::int64_t next_poll_time() const { return next_poll_; }
   ClientHealth health() const { return health_; }
@@ -174,6 +190,15 @@ class RsfClient {
 
   std::size_t finish_poll(PollOutcome outcome, std::int64_t now,
                           std::size_t applied);
+  std::size_t poll_legacy(std::int64_t now);
+  std::size_t poll_merkle(std::int64_t now);
+  // Replays/adopts an already signature- and chain-verified run. When
+  // `inline_deltas` is non-null (the feed-fetch path ships deltas in the
+  // same response) deltas are taken from it by index; otherwise they are
+  // fetched through the transport per snapshot.
+  std::size_t adopt_verified_run(const std::vector<Snapshot>& run,
+                                 const std::vector<std::string>* inline_deltas,
+                                 std::int64_t now);
   void publish_metrics(PollOutcome outcome);
   std::size_t fail_poll(TransportErrorKind kind, std::uint64_t sequence,
                         std::int64_t now);
@@ -191,6 +216,13 @@ class RsfClient {
   std::int64_t next_poll_ = 0;
   std::uint64_t last_sequence_ = 0;
   std::string last_hash_;
+  ctlog::Hash pinned_root_{};        // tree root at last_sequence_ (merkle path)
+  PollPath poll_path_ = PollPath::kAuto;
+  // Set when the transport attempts a rollback; an equal-sequence head is
+  // then treated as a continued replay (never a healthy poll) until a
+  // strictly newer run — or, on the merkle path, a root-matching tree
+  // head — verifies.
+  bool rollback_suspect_ = false;
   std::int64_t last_update_time_ = -1;
   std::int64_t last_contact_ = -1;   // last verified feed contact
   std::int64_t first_poll_ = -1;     // staleness baseline before any contact
@@ -222,6 +254,8 @@ class RsfClient {
     metrics::Counter* merge_conflicts = nullptr;
     metrics::Counter* retries = nullptr;
     metrics::Counter* quarantine_skips = nullptr;
+    metrics::Counter* proof_failures = nullptr;
+    metrics::Counter* verified_no_change = nullptr;
     metrics::Counter* bytes_fetched = nullptr;
     metrics::Counter* bytes_discarded = nullptr;
     metrics::Counter* transport_errors = nullptr;

@@ -1,6 +1,7 @@
 #include "rsf/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "x509/builder.hpp"
 
@@ -34,6 +35,19 @@ struct Release {
   bool is_incident;
   int incident_index;  // into incidents when is_incident
 };
+
+// Percentile over an unsorted sample set (nearest-rank on the sorted
+// order, index rounded up so small fixtures resolve to the later sample).
+template <typename T>
+T percentile(std::vector<T>& samples, double p) {
+  if (samples.empty()) return T{};
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples.size() - 1)));
+  const auto index = std::min(rank, samples.size() - 1);
+  auto nth = samples.begin() + static_cast<std::ptrdiff_t>(index);
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
 
 }  // namespace
 
@@ -136,6 +150,7 @@ SimReport run_staleness_simulation(const SimConfig& config) {
     double versions_sum = 0;
     double max_staleness = 0;
     std::uint64_t samples = 0;
+    std::vector<double> staleness_samples;  // daily, for percentiles
   };
   std::vector<DerivState> derivatives;
   std::uint64_t derivative_index = 0;
@@ -262,6 +277,7 @@ SimReport run_staleness_simulation(const SimConfig& config) {
         d.staleness_sum += staleness_days;
         d.versions_sum += versions_behind;
         d.max_staleness = std::max(d.max_staleness, staleness_days);
+        d.staleness_samples.push_back(staleness_days);
         ++d.samples;
       }
     }
@@ -277,6 +293,10 @@ SimReport run_staleness_simulation(const SimConfig& config) {
       metrics.avg_versions_behind =
           derivatives[d].versions_sum / double(derivatives[d].samples);
       metrics.max_staleness_days = derivatives[d].max_staleness;
+      metrics.staleness_p50_days =
+          percentile(derivatives[d].staleness_samples, 0.50);
+      metrics.staleness_p99_days =
+          percentile(derivatives[d].staleness_samples, 0.99);
     }
     std::int64_t window_sum = 0;
     std::int64_t window_max = -1;
@@ -301,6 +321,78 @@ SimReport run_staleness_simulation(const SimConfig& config) {
     }
     report.derivatives.push_back(std::move(metrics));
   }
+  return report;
+}
+
+FleetReport run_fleet_simulation(const FleetConfig& config) {
+  FleetReport report;
+  report.clients = config.num_clients;
+
+  // Stage the publisher: a small real store, one routine release at the
+  // start of the window, then the emergency distrust at its end. The byte
+  // costs below come from actual feed_fetch responses over this feed — the
+  // same objects the anchord wire codec serializes — so the sweep measures
+  // the protocol, not a hand-maintained size model.
+  std::vector<x509::CertPtr> roots = make_roots(8, config.start_time);
+  rootstore::RootStore primary;
+  for (const auto& cert : roots) {
+    (void)primary.add_trusted(cert);
+  }
+  SimSig registry;
+  Feed feed("nss-fleet", registry);
+  feed.publish(primary, config.start_time, "routine");
+  const std::int64_t incident_time = config.start_time + config.lead_time;
+  primary.distrust(roots[0]->fingerprint_hex(), "incident response");
+  feed.publish(primary, incident_time, "emergency distrust");
+
+  // Steady state: the poller is current (from_size == head), so the
+  // response is the signed tree head alone — the O(1) no-change poll.
+  FeedFetchQuery current;
+  current.from_size = feed.head_sequence();
+  auto no_change = feed.feed_fetch(current);
+  report.no_change_poll_bytes =
+      no_change ? no_change.value().wire_size(true) : 0;
+
+  // The post-incident poll: one consistency proof from the pinned size,
+  // the head inclusion proof, and the one-snapshot range (headers + delta
+  // under delta transport, full payload otherwise).
+  FeedFetchQuery catch_up;
+  catch_up.from_size = feed.head_sequence() - 1;
+  catch_up.want_deltas = config.use_delta;
+  auto emergency = feed.feed_fetch(catch_up);
+  report.emergency_poll_bytes =
+      emergency ? emergency.value().wire_size(!config.use_delta) : 0;
+
+  // March each client's poll schedule independently: forked RNG stream,
+  // uniform phase within one interval, then jittered intervals. Every poll
+  // before the incident is a no-change probe; the first poll at or after
+  // it fetches the proof + range, and the client has adopted only once its
+  // verify step completes — adoption percentiles are computed from that
+  // instant, not from the fetch instant.
+  std::vector<std::int64_t> adoption;
+  adoption.reserve(config.num_clients);
+  Rng fleet_rng(config.seed);
+  const std::int64_t interval = std::max<std::int64_t>(1, config.poll_interval);
+  for (std::uint32_t i = 0; i < config.num_clients; ++i) {
+    Rng rng = fleet_rng.fork(i);
+    std::int64_t t = config.start_time +
+                     static_cast<std::int64_t>(
+                         rng.uniform(static_cast<std::uint64_t>(interval)));
+    while (t < incident_time) {
+      ++report.polls_no_change;
+      report.bytes_no_change += report.no_change_poll_bytes;
+      t += std::max<std::int64_t>(1, rng.jittered(interval,
+                                                  config.poll_jitter));
+    }
+    report.bytes_emergency += report.emergency_poll_bytes;
+    adoption.push_back(t + config.verify_latency - incident_time);
+  }
+
+  report.adoption_p50 = percentile(adoption, 0.50);
+  report.adoption_p99 = percentile(adoption, 0.99);
+  report.adoption_max =
+      adoption.empty() ? 0
+                       : *std::max_element(adoption.begin(), adoption.end());
   return report;
 }
 

@@ -71,6 +71,11 @@ struct DerivativeMetrics {
   double max_staleness_days = 0;
   std::int64_t mean_vulnerability_window = -1;  // seconds, over incidents
   std::int64_t max_vulnerability_window = -1;
+  // Distribution of the daily staleness samples (days). The median/tail
+  // split matters because the mean hides the bimodal manual-mirror shape:
+  // freshly synced most days, months behind right before a sync.
+  double staleness_p50_days = 0;
+  double staleness_p99_days = 0;
   // RSF clients only: failure-path accounting from ClientStats.
   std::uint64_t retries = 0;
   std::uint64_t transport_errors = 0;
@@ -85,5 +90,59 @@ struct SimReport {
 };
 
 SimReport run_staleness_simulation(const SimConfig& config);
+
+// ---------------------------------------------------------------------------
+// Fleet-scale feed distribution (experiment E17).
+//
+// Models one publisher fanning the Merkle-authenticated feed out to
+// 10^4..10^6 polling clients and answers the two deployment questions the
+// tree-head design is for: what does steady state cost the publisher
+// (every no-change poll is a tree-head-only probe, O(1) bytes), and how
+// fast does an emergency distrust reach the fleet (one consistency proof +
+// one delta range per client, adopted only after the client's verify
+// step).
+//
+// Clients are not instantiated as RsfClient objects — at 10^6 that would
+// measure the simulator, not the protocol. Instead the per-poll byte costs
+// are taken from real Feed::feed_fetch responses (the same objects the
+// wire codec serializes) and each client is reduced to its poll schedule:
+// phase uniform in one interval, then interval +- jitter per poll, with an
+// independent forked RNG stream per client (stable under reordering and
+// under fleet-size changes).
+struct FleetConfig {
+  std::uint64_t seed = 7;
+  std::uint32_t num_clients = 10000;
+  std::int64_t start_time = 1609459200;  // 2021-01-01
+  std::int64_t poll_interval = 3600;
+  double poll_jitter = 0.1;          // fraction of the interval, per poll
+  // Seconds a client spends verifying the tree-head signature, the
+  // consistency proof, and the snapshot run before the new store becomes
+  // effective. Adoption — and therefore every staleness percentile — is
+  // dated at fetch + verify, never at fetch (a client that has downloaded
+  // but not yet verified an emergency distrust is still vulnerable).
+  std::int64_t verify_latency = 2;
+  // Steady-state window before the emergency release; sized in whole
+  // intervals so the no-change egress is measured over a realistic run.
+  std::int64_t lead_time = 86400;
+  bool use_delta = true;             // delta transport vs full snapshots
+};
+
+struct FleetReport {
+  std::uint32_t clients = 0;
+  // Per-poll costs, measured from real feed_fetch responses.
+  std::size_t no_change_poll_bytes = 0;   // signed tree head alone
+  std::size_t emergency_poll_bytes = 0;   // STH + proofs + range (+ delta)
+  // Publisher egress, summed over the fleet.
+  std::uint64_t polls_no_change = 0;
+  std::uint64_t bytes_no_change = 0;      // over the lead window
+  std::uint64_t bytes_emergency = 0;      // the post-incident fetch wave
+  // Seconds from the emergency publication to client adoption
+  // (fetch instant + verify_latency).
+  std::int64_t adoption_p50 = 0;
+  std::int64_t adoption_p99 = 0;          // time to 99% fleet adoption
+  std::int64_t adoption_max = 0;
+};
+
+FleetReport run_fleet_simulation(const FleetConfig& config);
 
 }  // namespace anchor::rsf

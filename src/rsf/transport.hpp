@@ -33,8 +33,9 @@ enum class TransportErrorKind : int {
   kCorruptDelta = 3,   // delta text damaged in flight
   kBadSignature = 4,   // snapshot signature bytes flipped
   kRollback = 5,       // replay of an older feed state (stale-head)
+  kBadProof = 6,       // Merkle consistency/inclusion proof rejected
 };
-inline constexpr std::size_t kTransportErrorKindCount = 6;
+inline constexpr std::size_t kTransportErrorKindCount = 7;
 
 const char* to_string(TransportErrorKind kind);
 
@@ -56,6 +57,15 @@ class FeedTransport {
 
   // Serialized StoreDelta for `sequence` (see Feed::fetch_delta).
   virtual Result<std::string> fetch_delta(std::uint64_t sequence) = 0;
+
+  // Merkle-authenticated poll path (Feed::feed_fetch). Transports that
+  // support it let the client verify consistency proofs before adopting
+  // anything; legacy transports keep the sequence-number poll path.
+  virtual bool supports_feed_fetch() const { return false; }
+  virtual Result<FeedFetch> feed_fetch(const FeedFetchQuery& query) {
+    (void)query;
+    return err("transport: feed-fetch not supported");
+  }
 };
 
 // The perfect wire: pass-through to an in-process Feed. Never fails.
@@ -74,6 +84,10 @@ class DirectTransport : public FeedTransport {
   Result<std::string> fetch_delta(std::uint64_t sequence) override {
     return feed_.fetch_delta(sequence);
   }
+  bool supports_feed_fetch() const override { return true; }
+  Result<FeedFetch> feed_fetch(const FeedFetchQuery& query) override {
+    return feed_.feed_fetch(query);
+  }
 
  private:
   const Feed& feed_;
@@ -87,10 +101,12 @@ struct FaultProfile {
   double corrupt_delta = 0;    // flip a byte in a fetched delta
   double flip_signature = 0;   // flip a byte in one snapshot signature
   double rollback = 0;         // serve a replay of an older feed state
+  double corrupt_proof = 0;    // flip a bit in a Merkle proof node
 
   bool any() const {
     return unreachable > 0 || truncate_run > 0 || corrupt_payload > 0 ||
-           corrupt_delta > 0 || flip_signature > 0 || rollback > 0;
+           corrupt_delta > 0 || flip_signature > 0 || rollback > 0 ||
+           corrupt_proof > 0;
   }
 
   static FaultProfile loss(double p);        // unreachable only
@@ -117,6 +133,10 @@ class FaultyTransport : public FeedTransport {
   }
   Result<std::vector<Snapshot>> fetch_since(std::uint64_t after) override;
   Result<std::string> fetch_delta(std::uint64_t sequence) override;
+  bool supports_feed_fetch() const override {
+    return inner_.supports_feed_fetch();
+  }
+  Result<FeedFetch> feed_fetch(const FeedFetchQuery& query) override;
 
   // Live reconfiguration: a sweep (or a "faults clear" test phase) swaps
   // profiles without disturbing the client's accumulated state.

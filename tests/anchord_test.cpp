@@ -469,6 +469,217 @@ TEST(AnchordServer, BatchAndSingleVerbsInterleaveOnOneSession) {
   EXPECT_TRUE(r1.value().ok);
 }
 
+// --- the feed-fetch verb --------------------------------------------------
+
+TEST(AnchordWire, FeedFetchRequestAndResponseRoundTripThroughCodec) {
+  Request request;
+  request.correlation_id = 21;
+  request.verb = Verb::kFeedFetch;
+  request.feed_query.from_size = 7;
+  request.feed_query.to_size = 12;
+  request.feed_query.max_snapshots = 3;
+  request.feed_query.max_bytes = 65536;
+  request.feed_query.want_deltas = true;
+  auto decoded = decode_request(encode_request(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), request);
+
+  Response response;
+  response.correlation_id = 21;
+  response.verb = Verb::kFeedFetch;
+  response.ok = true;
+  response.feed.sth.tree_size = 12;
+  response.feed.sth.root_hash.fill(0x5c);
+  response.feed.sth.published_at = -7;  // i64 field must carry sign
+  response.feed.sth.signature = Bytes{0x01, 0x02, 0x03};
+  response.feed.consistency.resize(2);
+  response.feed.consistency[0].fill(0xaa);
+  response.feed.consistency[1].fill(0xbb);
+  response.feed.inclusion.resize(1);
+  response.feed.inclusion[0].fill(0xcc);
+  rsf::Snapshot snap;
+  snap.sequence = 12;
+  snap.published_at = 1700000000;
+  snap.annotation = "emergency distrust";
+  snap.payload = "payload-bytes";
+  snap.payload_hash = "abcd";
+  snap.prev_hash = "ef01";
+  snap.signature = Bytes{0x09};
+  response.feed.snapshots = {snap, rsf::Snapshot{}};
+  response.feed.deltas = {"delta-one", ""};
+  auto round = decode_response(encode_response(response));
+  ASSERT_TRUE(round.ok()) << round.error();
+  EXPECT_EQ(round.value(), response);
+
+  // Strictness: an undefined query flag bit must reject, not be ignored —
+  // the byte is the LAST field of a kFeedFetch request.
+  net::Message bad_flags = encode_request(request);
+  bad_flags.payload.back() = 0x02;
+  EXPECT_FALSE(decode_request(bad_flags).ok());
+
+  // Truncated feed section and trailing bytes after it are both errors.
+  net::Message truncated = encode_response(response);
+  truncated.payload.pop_back();
+  EXPECT_FALSE(decode_response(truncated).ok());
+  net::Message trailing = encode_response(response);
+  trailing.payload.push_back(0x00);
+  EXPECT_FALSE(decode_response(trailing).ok());
+
+  // The feed section exists only for the feed-fetch verb: a non-empty
+  // feed on another verb must not perturb that verb's byte layout.
+  Response other;
+  other.verb = Verb::kMetrics;
+  other.feed = response.feed;
+  Response plain;
+  plain.verb = Verb::kMetrics;
+  EXPECT_EQ(encode_response(other).payload, encode_response(plain).payload);
+}
+
+// Second server sharing a Harness's service, with a publisher Feed wired
+// to the feed-fetch verb.
+struct FeedServerScope {
+  VerbDispatcher::Backends backends;
+  ConduitPair pair = make_memory_conduit();
+  AnchordServer server;
+  std::thread serve;
+
+  static VerbDispatcher::Backends with_feed(const Harness& h,
+                                            const rsf::Feed& feed) {
+    VerbDispatcher::Backends b = h.backends;
+    b.feed_source = &feed;
+    return b;
+  }
+
+  FeedServerScope(Harness& h, const rsf::Feed& feed)
+      : backends(with_feed(h, feed)),
+        server(backends, {}, h.registry),
+        serve([this] { server.serve(*pair.second); }) {}
+
+  ~FeedServerScope() {
+    pair.first->close();
+    serve.join();
+  }
+
+  Conduit& client_end() { return *pair.first; }
+};
+
+// Acceptance: a feed-fetch served over the wire is byte-identical to
+// direct dispatch — tree head, proofs, snapshots, deltas and all.
+TEST(AnchordServer, FeedFetchVerdictsMatchDirectDispatchByteForByte) {
+  SimSig feed_sigs;
+  rsf::Feed feed("nss", feed_sigs);
+  Harness h;
+  feed.publish(h.pki.store, 100, "r1");
+  feed.publish(h.pki.store, 200, "r2");
+
+  FeedServerScope scope(h, feed);
+  AnchordClient client(scope.client_end());
+  VerbDispatcher direct(scope.backends);
+
+  Request request;
+  request.verb = Verb::kFeedFetch;
+  request.feed_query.from_size = 0;
+  request.feed_query.want_deltas = true;
+  auto wire = client.call(request);
+  ASSERT_TRUE(wire.ok()) << wire.error();
+  EXPECT_TRUE(wire.value().ok);
+  EXPECT_EQ(wire.value().feed.sth.tree_size, 2u);
+  EXPECT_EQ(wire.value().feed.snapshots.size(), 2u);
+  EXPECT_EQ(wire.value().feed.deltas.size(), 2u);
+  EXPECT_EQ(wire.value().stats.chain_len, 2u);
+
+  Request mirror = request;
+  mirror.correlation_id = wire.value().correlation_id;
+  Response direct_response = direct.dispatch(mirror);
+  EXPECT_EQ(encode_response(wire.value()).payload,
+            encode_response(direct_response).payload)
+      << "wire and direct feed-fetch responses diverge";
+
+  // The at-head probe (tree head alone) must also match byte for byte.
+  Request probe;
+  probe.verb = Verb::kFeedFetch;
+  probe.feed_query.from_size = 2;
+  auto wire_probe = client.call(probe);
+  ASSERT_TRUE(wire_probe.ok()) << wire_probe.error();
+  EXPECT_TRUE(wire_probe.value().feed.snapshots.empty());
+  Request probe_mirror = probe;
+  probe_mirror.correlation_id = wire_probe.value().correlation_id;
+  EXPECT_EQ(encode_response(wire_probe.value()).payload,
+            encode_response(direct.dispatch(probe_mirror)).payload);
+
+  // Counted under its own verb label.
+  EXPECT_EQ(h.registry
+                .counter("anchor_anchord_requests_total",
+                         {{"verb", "feed-fetch"}})
+                .value(),
+            2u);
+}
+
+TEST(AnchordServer, FeedFetchWithoutFeedIsUnavailable) {
+  Harness h;
+  AnchordClient client(h.client_end());
+  Request request;
+  request.verb = Verb::kFeedFetch;
+  auto response = client.call(request);
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().kind, ErrorKind::kUnavailable);
+}
+
+TEST(AnchordServer, FeedFetchTornFramesByteByByte) {
+  SimSig feed_sigs;
+  rsf::Feed feed("nss", feed_sigs);
+  Harness h;
+  feed.publish(h.pki.store, 100, "r1");
+
+  FeedServerScope scope(h, feed);
+  AnchordClient client(scope.client_end());
+  Request request;
+  request.verb = Verb::kFeedFetch;
+  request.correlation_id = 9;
+  const Bytes frame = net::encode_frame(encode_request(request));
+  for (std::uint8_t byte : frame) {
+    ASSERT_TRUE(scope.client_end().write(BytesView(&byte, 1)));
+  }
+  auto response = client.receive(9);
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_TRUE(response.value().ok);
+  EXPECT_EQ(response.value().feed.sth.tree_size, 1u);
+  EXPECT_EQ(response.value().feed.snapshots.size(), 1u);
+}
+
+// A single snapshot that cannot fit one wire frame must fail closed with
+// an explicit kOverloaded — never emit an undecodable frame — and leave
+// the session serving.
+TEST(AnchordServer, OversizedFeedFetchFailsClosed) {
+  SimSig feed_sigs;
+  rsf::Feed feed("nss", feed_sigs);
+  Harness h;
+  // The annotation rides the snapshot onto the wire; 2 MiB of it exceeds
+  // the 1 MiB frame cap no matter how small the store payload is.
+  feed.publish(h.pki.store, 100, std::string(2 * net::kMaxFrameBytes, 'a'));
+
+  FeedServerScope scope(h, feed);
+  AnchordClient client(scope.client_end());
+  Request request;
+  request.verb = Verb::kFeedFetch;
+  request.feed_query.from_size = 0;
+  auto response = client.call(request);
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().kind, ErrorKind::kOverloaded);
+  EXPECT_NE(response.value().detail.find("frame budget"), std::string::npos);
+
+  // The session survived: an at-head probe (tree head alone) still serves.
+  Request probe;
+  probe.verb = Verb::kFeedFetch;
+  probe.feed_query.from_size = 1;
+  auto alive = client.call(probe);
+  ASSERT_TRUE(alive.ok()) << alive.error();
+  EXPECT_TRUE(alive.value().ok);
+  EXPECT_EQ(alive.value().feed.sth.tree_size, 1u);
+}
+
 // --- session robustness ---------------------------------------------------
 
 TEST(AnchordServer, TornFramesByteByByte) {

@@ -1,0 +1,212 @@
+// Property tests for the RFC 6962/9162 proof verifiers, written against
+// the edge cases the RSF feed's authenticated poll path leans on: a poller
+// pinned at size 0 must only accept the empty proof, equal sizes must only
+// accept equal roots with an empty proof, a shrunk tree must never verify,
+// and any single-bit damage to a proof must reject. The first test is the
+// regression for a guard-ordering bug where from_size == to_size was
+// checked before from_size == 0, so verify_consistency(0, 0, X, X, {})
+// accepted ARBITRARY equal roots — a forged "empty history" a malicious
+// feed could bootstrap a fresh client from.
+#include "ctlog/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace anchor::ctlog {
+namespace {
+
+constexpr std::uint64_t kMaxTree = 64;
+constexpr std::uint64_t kSeed = 0xfeedc0de;
+
+Bytes entry(std::uint64_t i) {
+  return to_bytes("consistency-entry-" + std::to_string(i));
+}
+
+// Tree of kMaxTree leaves plus every historic root, built once.
+struct TreeFixture {
+  MerkleTree tree;
+  std::vector<Hash> roots;  // roots[k] = root at size k (roots[0] = empty)
+
+  TreeFixture() {
+    roots.push_back(empty_tree_hash());
+    for (std::uint64_t i = 0; i < kMaxTree; ++i) {
+      tree.append(BytesView(entry(i)));
+      roots.push_back(tree.root());
+    }
+  }
+};
+
+const TreeFixture& fixture() {
+  static const TreeFixture f;
+  return f;
+}
+
+TEST(ConsistencyEdges, FromSizeZeroAcceptsOnlyTheEmptyTreeRoot) {
+  const auto& f = fixture();
+  Hash garbage;
+  garbage.fill(0xaa);
+
+  // The regression: equal garbage roots at (0, 0) must NOT verify — the
+  // only root of the empty tree is SHA-256 of the empty string.
+  EXPECT_FALSE(verify_consistency(0, 0, garbage, garbage, {}));
+  EXPECT_TRUE(
+      verify_consistency(0, 0, empty_tree_hash(), empty_tree_hash(), {}));
+
+  // Growing from the empty tree: empty proof, and the from-root must still
+  // be the canonical empty-tree hash.
+  for (std::uint64_t to = 1; to <= kMaxTree; ++to) {
+    EXPECT_TRUE(
+        verify_consistency(0, to, empty_tree_hash(), f.roots[to], {}))
+        << "to=" << to;
+    EXPECT_FALSE(verify_consistency(0, to, garbage, f.roots[to], {}))
+        << "to=" << to;
+  }
+
+  // RFC 6962: the proof FROM the empty tree is the empty proof. A
+  // non-empty proof is malformed even when everything else matches.
+  EXPECT_FALSE(verify_consistency(
+      0, 0, empty_tree_hash(), empty_tree_hash(), {f.roots[3]}));
+  EXPECT_FALSE(verify_consistency(0, 5, empty_tree_hash(), f.roots[5],
+                                  {f.roots[3]}));
+}
+
+TEST(ConsistencyEdges, EqualSizesAcceptOnlyEqualRootsWithEmptyProof) {
+  const auto& f = fixture();
+  for (std::uint64_t n = 1; n <= kMaxTree; ++n) {
+    EXPECT_TRUE(verify_consistency(n, n, f.roots[n], f.roots[n], {}))
+        << "n=" << n;
+    // Any proof nodes at equal sizes are malformed, even with equal roots.
+    EXPECT_FALSE(
+        verify_consistency(n, n, f.roots[n], f.roots[n], {f.roots[1]}))
+        << "n=" << n;
+  }
+  // Equal sizes, different roots: a split view, never consistent.
+  EXPECT_FALSE(verify_consistency(8, 8, f.roots[8], f.roots[7], {}));
+}
+
+TEST(ConsistencyEdges, ShrunkenTreeNeverVerifies) {
+  const auto& f = fixture();
+  for (std::uint64_t from = 1; from <= kMaxTree; ++from) {
+    for (std::uint64_t to : {from - 1, from / 2, std::uint64_t{0}}) {
+      if (to >= from) continue;
+      EXPECT_FALSE(verify_consistency(from, to, f.roots[from], f.roots[to],
+                                      {}))
+          << from << " -> " << to;
+      // Not even with the legitimate forward proof offered in reverse.
+      EXPECT_FALSE(verify_consistency(
+          from, to, f.roots[from], f.roots[to],
+          f.tree.consistency_proof(std::min(from, to), std::max(from, to))))
+          << from << " -> " << to;
+    }
+  }
+}
+
+TEST(ConsistencyProperty, EveryPairUpToSixtyFourVerifies) {
+  const auto& f = fixture();
+  for (std::uint64_t from = 1; from <= kMaxTree; ++from) {
+    for (std::uint64_t to = from; to <= kMaxTree; ++to) {
+      std::vector<Hash> proof = f.tree.consistency_proof(from, to);
+      EXPECT_TRUE(
+          verify_consistency(from, to, f.roots[from], f.roots[to], proof))
+          << from << " -> " << to;
+    }
+  }
+}
+
+TEST(ConsistencyProperty, SingleBitFlippedProofsAllReject) {
+  const auto& f = fixture();
+  Rng rng(kSeed);
+  for (std::uint64_t from = 1; from <= kMaxTree; ++from) {
+    for (std::uint64_t to = from + 1; to <= kMaxTree; ++to) {
+      std::vector<Hash> proof = f.tree.consistency_proof(from, to);
+      // One random bit per node: every node position must be load-bearing.
+      for (std::size_t node = 0; node < proof.size(); ++node) {
+        std::vector<Hash> damaged = proof;
+        damaged[node][rng.uniform(sizeof(Hash))] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform(8));
+        EXPECT_FALSE(verify_consistency(from, to, f.roots[from], f.roots[to],
+                                        damaged))
+            << from << " -> " << to << " node " << node;
+      }
+    }
+  }
+}
+
+TEST(ConsistencyProperty, TruncatedAndPaddedProofsReject) {
+  const auto& f = fixture();
+  for (std::uint64_t from = 1; from <= kMaxTree; ++from) {
+    for (std::uint64_t to = from + 1; to <= kMaxTree; ++to) {
+      std::vector<Hash> proof = f.tree.consistency_proof(from, to);
+      if (!proof.empty()) {
+        std::vector<Hash> truncated(proof.begin(), proof.end() - 1);
+        EXPECT_FALSE(verify_consistency(from, to, f.roots[from], f.roots[to],
+                                        truncated))
+            << from << " -> " << to;
+      }
+      std::vector<Hash> padded = proof;
+      padded.push_back(f.roots[1]);
+      EXPECT_FALSE(
+          verify_consistency(from, to, f.roots[from], f.roots[to], padded))
+          << from << " -> " << to;
+    }
+  }
+}
+
+TEST(ConsistencyProperty, RandomTreesRoundTripAcrossGrowth) {
+  // Random-content trees (not the shared fixture): grow in random steps,
+  // proving each hop from the previously pinned size — exactly the
+  // RsfClient poll pattern.
+  Rng rng(kSeed ^ 0x5eed);
+  for (int round = 0; round < 20; ++round) {
+    MerkleTree tree;
+    std::uint64_t pinned = 0;
+    Hash pinned_root = empty_tree_hash();
+    while (tree.size() < 200) {
+      const std::uint64_t grow = 1 + rng.uniform(37);
+      for (std::uint64_t i = 0; i < grow; ++i) {
+        tree.append(BytesView(rng.random_bytes(1 + rng.uniform(64))));
+      }
+      std::vector<Hash> proof =
+          pinned == 0 ? std::vector<Hash>{}
+                      : tree.consistency_proof(pinned, tree.size());
+      ASSERT_TRUE(verify_consistency(pinned, tree.size(), pinned_root,
+                                     tree.root(), proof));
+      pinned = tree.size();
+      pinned_root = tree.root();
+    }
+  }
+}
+
+TEST(InclusionProperty, EveryIndexUpToSixtyFourVerifiesAndDamageRejects) {
+  const auto& f = fixture();
+  Rng rng(kSeed ^ 0x1234);
+  for (std::uint64_t size = 1; size <= kMaxTree; ++size) {
+    for (std::uint64_t index = 0; index < size; ++index) {
+      std::vector<Hash> proof = f.tree.inclusion_proof(index, size);
+      const Hash& leaf = f.tree.leaf(index);
+      EXPECT_TRUE(verify_inclusion(leaf, index, size, proof, f.roots[size]))
+          << index << " in " << size;
+      // Out-of-range index.
+      EXPECT_FALSE(
+          verify_inclusion(leaf, index + size, size, proof, f.roots[size]));
+      // A flipped bit in the leaf or any proof node rejects.
+      Hash bad_leaf = leaf;
+      bad_leaf[rng.uniform(sizeof(Hash))] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(8));
+      EXPECT_FALSE(
+          verify_inclusion(bad_leaf, index, size, proof, f.roots[size]));
+      for (std::size_t node = 0; node < proof.size(); ++node) {
+        std::vector<Hash> damaged = proof;
+        damaged[node][rng.uniform(sizeof(Hash))] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform(8));
+        EXPECT_FALSE(
+            verify_inclusion(leaf, index, size, damaged, f.roots[size]))
+            << index << " in " << size << " node " << node;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anchor::ctlog

@@ -410,6 +410,12 @@ TEST(RsfClient, SignedButUnparsablePayloadIsAParseFailureNotAVerifyFailure) {
   Feed feed("nss", registry);
   feed.publish(store_with({"A"}), 1, "r1");
   RsfClient client(feed, 3600);
+  // The fixture edits a published snapshot in place, which the Merkle poll
+  // path rejects as a proof failure before the payload is ever parsed
+  // (published history cannot be rewritten). The parse-vs-verify
+  // classification under test lives on the shared adoption path; pin the
+  // legacy poll so the fixture can reach it.
+  client.set_poll_path(PollPath::kLegacy);
   EXPECT_EQ(client.poll_now(10), 1u);
 
   // The publisher ships garbage, but signs it properly: recompute the

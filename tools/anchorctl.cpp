@@ -21,6 +21,13 @@
 //                                 head, integrity, staleness and the
 //                                 healthy/degraded/stale classification a
 //                                 polling client would report
+//   anchorctl feed-fetch <dir> [--from N] [--transport memory|unix]
+//                                 authenticated poll over the anchord wire:
+//                                 re-serve the feed directory through an
+//                                 in-process daemon, fetch {signed tree
+//                                 head, consistency + inclusion proofs,
+//                                 snapshot range} from the pinned size N,
+//                                 and verify all three before reporting
 //   anchorctl metrics <store.txt> <chain.pem> --host <h> --time <iso8601>
 //                                 [--usage TLS|S/MIME] [--repeat N]
 //                                 [--threads N] [--feed <dir> --now <iso8601>]
@@ -81,7 +88,9 @@
 #include <vector>
 
 #include "anchord/client.hpp"
+#include "anchord/feed_transport.hpp"
 #include "anchord/server.hpp"
+#include "ctlog/merkle.hpp"
 #include "chain/service.hpp"
 #include "chain/verifier.hpp"
 #include "core/executor.hpp"
@@ -124,6 +133,7 @@ int usage() {
                "  feed-verify <dir>\n"
                "  feed-apply <dir> <out-store.txt>\n"
                "  feed-status <dir> --now <iso8601> [--stale-after <sec>]\n"
+               "  feed-fetch <dir> [--from N] [--transport memory|unix]\n"
                "  metrics <store.txt> <chain.pem> --host <h> --time <t>"
                " [--usage TLS|S/MIME] [--repeat N] [--threads N]"
                " [--feed <dir> --now <iso8601>]\n"
@@ -823,6 +833,141 @@ int cmd_feed_status(int argc, char** argv) {
   return integrity.ok() && health != rsf::ClientHealth::kStale ? 0 : 1;
 }
 
+// Speaks the authenticated feed-fetch verb to an in-process anchord that
+// re-serves the feed directory: load + restore the run into an rsf::Feed,
+// stand up a daemon on a memory or socketpair conduit, issue one wire
+// feed-fetch from the poller's pinned size, then verify everything the
+// frame carried — tree-head signature, consistency proof against the
+// locally rebuilt tree, inclusion proof for the served head — exactly as
+// a downstream RsfClient would before adopting.
+int cmd_feed_fetch(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::string dir = argv[0];
+  auto name = feed_name_of(dir);
+  if (!name) {
+    std::fprintf(stderr, "error: %s\n", name.error().c_str());
+    return 1;
+  }
+  auto run = load_feed(dir);
+  if (!run) {
+    std::fprintf(stderr, "error: %s\n", run.error().c_str());
+    return 1;
+  }
+  if (run.value().empty()) {
+    std::fprintf(stderr, "error: feed is empty\n");
+    return 1;
+  }
+  const std::uint64_t from = std::strtoull(
+      flag_value(argc, argv, "--from", "0").c_str(), nullptr, 10);
+
+  SimSig sig_registry;
+  rsf::Feed feed(name.value(), sig_registry);
+  if (Status restored = feed.restore(std::move(run).take()); !restored.ok()) {
+    std::fprintf(stderr, "error: %s\n", restored.error().c_str());
+    return 1;
+  }
+
+  // Minimal daemon: an empty store satisfies the dispatcher's service
+  // requirement; only the feed-fetch verb is exercised here.
+  rootstore::RootStore empty_store;
+  SimSig no_keys;
+  metrics::Registry registry;
+  chain::VerifyService service(empty_store, no_keys, {}, registry);
+  anchord::VerbDispatcher::Backends backends;
+  backends.service = &service;
+  backends.store = &empty_store;
+  backends.feed_source = &feed;
+  backends.registry = &registry;
+  anchord::AnchordServer server(backends, {}, registry);
+
+  anchord::ConduitPair conduits;
+  const std::string transport =
+      flag_value(argc, argv, "--transport", "memory");
+  if (transport == "unix") {
+    auto pair = anchord::make_socketpair_conduit();
+    if (!pair.ok()) {
+      std::fprintf(stderr, "error: %s\n", pair.error().c_str());
+      return 1;
+    }
+    conduits = std::move(pair).take();
+  } else {
+    conduits = anchord::make_memory_conduit();
+  }
+  std::thread serve([&] { server.serve(*conduits.second); });
+  int code = 0;
+  {
+    anchord::AnchordClient client(*conduits.first);
+    anchord::WireFeedTransport wire(client, name.value());
+    rsf::FeedFetchQuery query;
+    query.from_size = from;
+    auto fetched = wire.feed_fetch(query);
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "error: %s\n", fetched.error().c_str());
+      code = 1;
+    } else {
+      const rsf::FeedFetch& ff = fetched.value();
+      std::printf("feed            : %s\n", name.value().c_str());
+      std::printf("tree size       : %llu\n",
+                  static_cast<unsigned long long>(ff.sth.tree_size));
+      std::printf("root hash       : %s\n",
+                  to_hex(BytesView(ff.sth.root_hash.data(),
+                                   ff.sth.root_hash.size()))
+                      .c_str());
+      std::printf("published       : %s\n",
+                  format_iso8601(ff.sth.published_at).c_str());
+      const bool sth_ok = sig_registry.verify(
+          BytesView(feed.key_id()), BytesView(ff.sth.transcript()),
+          BytesView(ff.sth.signature));
+      std::printf("head signature  : %s\n", sth_ok ? "OK" : "FAILED");
+
+      bool proofs_ok = sth_ok;
+      if (from > 0) {
+        // The poller's side of the exchange: its pinned root comes from
+        // its own history; here the locally rebuilt tree stands in.
+        ctlog::MerkleTree local;
+        for (std::uint64_t seq = 1; seq <= from; ++seq) {
+          const rsf::Snapshot* snap = feed.at(seq);
+          if (snap == nullptr) break;
+          local.append(BytesView(snap->transcript()));
+        }
+        const bool consistent =
+            local.size() == from &&
+            ctlog::verify_consistency(from, ff.sth.tree_size, local.root(),
+                                      ff.sth.root_hash, ff.consistency);
+        std::printf("consistency     : %s (%zu node(s), from size %llu)\n",
+                    consistent ? "OK" : "FAILED", ff.consistency.size(),
+                    static_cast<unsigned long long>(from));
+        proofs_ok = proofs_ok && consistent;
+      }
+      if (!ff.snapshots.empty()) {
+        const rsf::Snapshot& served_head = ff.snapshots.back();
+        const bool included = ctlog::verify_inclusion(
+            ctlog::leaf_hash(BytesView(served_head.transcript())),
+            served_head.sequence - 1, ff.sth.tree_size, ff.inclusion,
+            ff.sth.root_hash);
+        std::printf("inclusion       : %s (head seq %llu, %zu node(s))\n",
+                    included ? "OK" : "FAILED",
+                    static_cast<unsigned long long>(served_head.sequence),
+                    ff.inclusion.size());
+        proofs_ok = proofs_ok && included;
+        std::printf("snapshots       : %zu (seq %llu..%llu)\n",
+                    ff.snapshots.size(),
+                    static_cast<unsigned long long>(
+                        ff.snapshots.front().sequence),
+                    static_cast<unsigned long long>(served_head.sequence));
+      } else {
+        std::printf("snapshots       : 0 (poller is current)\n");
+      }
+      std::printf("wire bytes      : %zu (headers only: %zu)\n",
+                  ff.wire_size(true), ff.wire_size(false));
+      code = proofs_ok ? 0 : 1;
+    }
+  }
+  conduits.first->close();
+  serve.join();
+  return code;
+}
+
 // Adapts a file-based feed directory (already loaded into memory) to the
 // FeedTransport interface, so `anchorctl metrics` can run a *real*
 // RsfClient poll — populating the same anchor_rsf_* series a deployed
@@ -1269,6 +1414,7 @@ int main(int argc, char** argv) {
   if (command == "feed-verify") return cmd_feed_verify(rest_argc, rest_argv);
   if (command == "feed-apply") return cmd_feed_apply(rest_argc, rest_argv);
   if (command == "feed-status") return cmd_feed_status(rest_argc, rest_argv);
+  if (command == "feed-fetch") return cmd_feed_fetch(rest_argc, rest_argv);
   if (command == "metrics") return cmd_metrics(rest_argc, rest_argv);
   if (command == "daemon") return cmd_daemon(rest_argc, rest_argv);
   if (command == "snapshot-write") {
