@@ -16,11 +16,83 @@
 // The pairwise rsf::merge results show that GCC-carrying merges preserve
 // exactly those constraint-level disparities (merged GCC counts,
 // gcc-divergent roots) while a binary merge would flatten them.
+// Appended below: the cross-sign resurrection census — the same corpus
+// chains plus adversarial cross-sign DAGs verified under the tree-walk
+// baseline (graph_distrust = false) and the graph search, counting leaves
+// a distrusted-but-cross-signed CA would silently resurrect.
 #include <cstdio>
 #include <string>
 
+#include "chain/verifier.hpp"
 #include "corpus/census.hpp"
 #include "corpus/corpus.hpp"
+#include "corpus/crosssign.hpp"
+#include "incidents/incidents.hpp"
+
+namespace {
+
+// Verifies every leaf of a cross-sign universe twice — graph semantics on
+// and off — and tallies the verdict pairs.
+struct ResurrectionCensus {
+  std::size_t leaves = 0;
+  std::size_t both_accept = 0;
+  std::size_t both_reject = 0;
+  std::size_t resurrected = 0;     // tree accepts, graph rejects (the bane)
+  std::size_t graph_only = 0;      // graph accepts, tree rejects (must be 0)
+};
+
+void census_leaf(const anchor::chain::ChainVerifier& verifier,
+                 const anchor::x509::CertPtr& leaf,
+                 const anchor::chain::CertificatePool& pool,
+                 anchor::chain::VerifyOptions options,
+                 ResurrectionCensus& census) {
+  options.graph_distrust = false;
+  bool tree = verifier.verify(leaf, pool, options).ok;
+  options.graph_distrust = true;
+  bool graph = verifier.verify(leaf, pool, options).ok;
+  ++census.leaves;
+  if (tree && graph) ++census.both_accept;
+  if (!tree && !graph) ++census.both_reject;
+  if (tree && !graph) ++census.resurrected;
+  if (!tree && graph) ++census.graph_only;
+}
+
+ResurrectionCensus run_resurrection_census() {
+  ResurrectionCensus census;
+
+  // Adversarial DAGs: several seeds, each guaranteeing at least one live
+  // cross-sign into a distrusted root.
+  for (std::uint64_t seed : {3, 9, 17, 29, 41}) {
+    anchor::corpus::CrossSignConfig config;
+    config.seed = seed;
+    config.num_roots = 4 + static_cast<int>(seed % 3);
+    config.distrusted_roots = 1 + static_cast<int>(seed % 2);
+    config.num_cas = 6;
+    config.extra_cross_signs = 5;
+    config.num_leaves = 12;
+    anchor::corpus::CrossSignDag dag =
+        anchor::corpus::make_cross_sign_dag(config);
+    anchor::chain::ChainVerifier verifier(dag.store, dag.signatures);
+    for (std::size_t i = 0; i < dag.leaves.size(); ++i) {
+      anchor::chain::VerifyOptions options;
+      options.time = config.validation_time();
+      options.hostname = dag.leaf_domains[i];
+      options.max_paths = 4096;
+      census_leaf(verifier, dag.leaves[i], dag.pool, options, census);
+    }
+  }
+
+  // The executable incident: the 2021-style resurrection scenario.
+  anchor::incidents::Incident incident = anchor::incidents::make_cross_sign();
+  anchor::chain::ChainVerifier verifier(incident.store, incident.signatures);
+  for (const auto& test_case : incident.cases) {
+    census_leaf(verifier, test_case.leaf, incident.pool, test_case.options,
+                census);
+  }
+  return census;
+}
+
+}  // namespace
 
 int main() {
   anchor::corpus::CorpusConfig config;
@@ -77,5 +149,24 @@ int main() {
   ok = ok && root_level_total > 0;
   std::printf("\noverall: %s\n", ok ? "DISPARITIES OBSERVED (both classes)"
                                     : "VACUOUS CENSUS");
-  return ok ? 0 : 1;
+
+  ResurrectionCensus census = run_resurrection_census();
+  std::printf("\n=== cross-sign resurrection census (graph vs tree walk) "
+              "===\n");
+  std::printf("leaves verified twice: %zu\n", census.leaves);
+  std::printf("%-44s %8zu\n", "accepted by both semantics", census.both_accept);
+  std::printf("%-44s %8zu\n", "rejected by both semantics", census.both_reject);
+  std::printf("%-44s %8zu\n",
+              "resurrected (tree accepts, graph rejects)", census.resurrected);
+  std::printf("%-44s %8zu\n",
+              "graph-only accepts (must be zero)", census.graph_only);
+
+  // Gates: the graph is a strict tightening (never accepts what the tree
+  // walk rejects), and the corpus exercises the bane shape at least once.
+  bool graph_ok = census.graph_only == 0 && census.resurrected > 0 &&
+                  census.both_accept > 0;
+  std::printf("\ngraph-vs-tree shape: %s\n",
+              graph_ok ? "HOLDS (strict tightening, bane paths caught)"
+                       : "VIOLATED");
+  return (ok && graph_ok) ? 0 : 1;
 }

@@ -16,11 +16,22 @@
 // Shape to reproduce: removal breaks all still-valid service; retention
 // accepts everything the primary rejects; the GCC matches the primary
 // exactly.
+// Experiment E18 (appended below) — compressed revocation over the RSF:
+// CRLite-style filter cascade vs the OneCRL-equivalent push list vs the
+// revocation-GCC subsumption construction, on the same revoked population:
+// serialized sizes, per-chain verification cost, three-way verdict
+// agreement, and the fleet-wide wave cost of shipping one revocation
+// update through the RSF delta transport (E17's propagation model).
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "chain/verifier.hpp"
 #include "incidents/incidents.hpp"
 #include "incidents/listings.hpp"
+#include "revocation/crlite.hpp"
+#include "revocation/revocation.hpp"
+#include "rsf/delta.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 #include "x509/builder.hpp"
@@ -118,6 +129,209 @@ Score score(const chain::ChainVerifier& verifier, const Workload& workload,
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// E18: compressed revocation vs push list vs GCC subsumption.
+
+struct E18Leaf {
+  x509::CertPtr leaf;
+  std::string host;
+  bool revoked;
+};
+
+int run_e18() {
+  constexpr std::size_t kIntermediates = 8;
+  constexpr std::size_t kRevokedPer = 25;
+  constexpr std::size_t kValidPer = 225;
+
+  SimSig sigs;
+  std::uint64_t serial = 1;
+
+  SimKeyPair root_key = SimSig::keygen("E18 Revocation Root");
+  x509::CertPtr root =
+      x509::CertificateBuilder()
+          .serial(serial++)
+          .subject(x509::DistinguishedName::make("E18 Revocation Root",
+                                                 "E18 Trust"))
+          .issuer(x509::DistinguishedName::make("E18 Revocation Root",
+                                                "E18 Trust"))
+          .validity(unix_date(2005, 1, 1), unix_date(2035, 1, 1))
+          .public_key(root_key.key_id)
+          .ca(std::nullopt)
+          .sign(root_key)
+          .take();
+  sigs.register_key(root_key);
+
+  rootstore::RootStore store;
+  (void)store.add_trusted(root);
+  chain::CertificatePool pool;
+
+  revocation::CompressedRevocationSet::Builder crlite_builder;
+  auto onecrl = std::make_shared<revocation::OneCrl>();
+  std::vector<std::string> revoked_hashes;
+  std::vector<E18Leaf> population;
+
+  std::int64_t not_before = unix_date(2023, 1, 1);
+  for (std::size_t i = 0; i < kIntermediates; ++i) {
+    std::string name = "E18 Issuing CA " + std::to_string(i);
+    SimKeyPair ca_key = SimSig::keygen(name);
+    x509::CertPtr ca_cert =
+        x509::CertificateBuilder()
+            .serial(serial++)
+            .subject(x509::DistinguishedName::make(name, "E18 Trust"))
+            .issuer(root->subject())
+            .validity(unix_date(2008, 1, 1), unix_date(2033, 1, 1))
+            .public_key(ca_key.key_id)
+            .ca(0)
+            .sign(root_key)
+            .take();
+    sigs.register_key(ca_key);
+    pool.add(ca_cert);
+    crlite_builder.enroll(*ca_cert);
+
+    for (std::size_t j = 0; j < kRevokedPer + kValidPer; ++j) {
+      bool revoked = j < kRevokedPer;
+      std::string host = "e18-" + std::to_string(i) + "-" +
+                         std::to_string(j) + ".example.com";
+      SimKeyPair key = SimSig::keygen("leaf-" + host);
+      x509::KeyUsage ku;
+      ku.set(x509::KeyUsageBit::kDigitalSignature);
+      x509::CertPtr leaf =
+          x509::CertificateBuilder()
+              .serial(serial++)
+              .subject(x509::DistinguishedName::make(host))
+              .issuer(ca_cert->subject())
+              .validity(not_before, not_before + 398 * 86400)
+              .public_key(key.key_id)
+              .key_usage(ku)
+              .dns_names({host})
+              .extended_key_usage({x509::oids::kp_server_auth()})
+              .sign(ca_key)
+              .take();
+      if (revoked) {
+        crlite_builder.add_revoked(*ca_cert, *leaf);
+        onecrl->block(*leaf);
+        revoked_hashes.push_back(leaf->fingerprint_hex());
+      } else {
+        crlite_builder.add_valid(*ca_cert, *leaf);
+      }
+      population.push_back({std::move(leaf), std::move(host), revoked});
+    }
+  }
+
+  auto built = crlite_builder.build();
+  if (!built.ok()) {
+    std::printf("E18: CRLite build failed: %s\n", built.error().c_str());
+    return 1;
+  }
+  auto crlite = std::make_shared<revocation::CompressedRevocationSet>(
+      std::move(built.value()));
+
+  auto gcc = revocation::revocation_gcc(
+      "e18-revocations", *root, revoked_hashes,
+      "E18: OneCRL-equivalent revocation expressed as a GCC");
+  if (!gcc.ok()) {
+    std::printf("E18: revocation_gcc failed: %s\n", gcc.error().c_str());
+    return 1;
+  }
+  rootstore::RootStore gcc_store;
+  (void)gcc_store.add_trusted(root);
+  gcc_store.attach_gcc(gcc.value());
+
+  std::printf("\n=== E18: compressed revocation vs push list vs GCC ===\n");
+  std::printf("population: %zu issuing CAs x %zu leaves (%zu revoked, "
+              "%zu known-valid)\n\n",
+              kIntermediates, kRevokedPer + kValidPer,
+              kIntermediates * kRevokedPer, kIntermediates * kValidPer);
+
+  std::printf("%-34s %12s\n", "mechanism", "bytes");
+  std::printf("%-34s %12zu  (%zu cascade levels, filter payload %zu B)\n",
+              "CRLite cascade (serialized)", crlite->size_bytes(),
+              crlite->level_count(), crlite->filter_bytes());
+  std::printf("%-34s %12zu  (%zu entries)\n",
+              "OneCRL-equivalent list", onecrl->serialize().size(),
+              onecrl->size());
+  std::printf("%-34s %12zu  (datalog source)\n",
+              "revocation GCC (subsumption)", gcc.value().source().size());
+
+  // Per-chain verification cost, each mechanism registered as the sole
+  // revocation source (the GCC variant pays at the root instead).
+  chain::VerifyOptions base;
+  base.time = unix_date(2023, 9, 1);
+
+  auto timed = [&](const chain::ChainVerifier& verifier, bool run_gccs,
+                   std::vector<bool>& verdicts) {
+    verdicts.clear();
+    verdicts.reserve(population.size());
+    auto start = std::chrono::steady_clock::now();
+    for (const E18Leaf& item : population) {
+      chain::VerifyOptions options = base;
+      options.hostname = item.host;
+      options.run_gccs = run_gccs;
+      verdicts.push_back(verifier.verify(item.leaf, pool, options).ok);
+    }
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                   .count()) /
+           static_cast<double>(population.size());
+  };
+
+  chain::ChainVerifier crlite_verifier(store, sigs);
+  crlite_verifier.add_revocation_source(crlite);
+  chain::ChainVerifier onecrl_verifier(store, sigs);
+  onecrl_verifier.add_revocation_source(onecrl);
+  chain::ChainVerifier gcc_verifier(gcc_store, sigs);
+
+  std::vector<bool> crlite_verdicts, onecrl_verdicts, gcc_verdicts;
+  double crlite_ns = timed(crlite_verifier, false, crlite_verdicts);
+  double onecrl_ns = timed(onecrl_verifier, false, onecrl_verdicts);
+  double gcc_ns = timed(gcc_verifier, true, gcc_verdicts);
+
+  std::printf("\n%-34s %14s\n", "mechanism", "verify ns/chain");
+  std::printf("%-34s %14.0f\n", "CRLite cascade lookup", crlite_ns);
+  std::printf("%-34s %14.0f\n", "OneCRL-equivalent list lookup", onecrl_ns);
+  std::printf("%-34s %14.0f\n", "revocation GCC at the root", gcc_ns);
+
+  // Three-way agreement, and each mechanism against ground truth.
+  bool agree = true;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    bool expect = !population[i].revoked;
+    if (crlite_verdicts[i] != expect || onecrl_verdicts[i] != expect ||
+        gcc_verdicts[i] != expect) {
+      agree = false;
+      break;
+    }
+  }
+  std::printf("\nthree-way verdict agreement (vs ground truth): %s\n",
+              agree ? "HOLDS" : "VIOLATED");
+
+  // Fleet wave cost: the bytes one revocation update puts on the wire per
+  // client. CRLite and the GCC ride the RSF delta transport (E17's model);
+  // the OneCRL-equivalent list is its own out-of-band push payload.
+  rsf::StoreDelta filter_delta;
+  filter_delta.set_filter = crlite;
+  rsf::StoreDelta gcc_delta;
+  gcc_delta.attach_gccs.push_back(gcc.value());
+  std::size_t filter_wire = filter_delta.serialize().size();
+  std::size_t gcc_wire = gcc_delta.serialize().size();
+  std::size_t list_wire = onecrl->serialize().size();
+
+  std::printf("\nwave propagation (one revocation update, bytes/client on "
+              "the wire):\n");
+  std::printf("%-34s %12s %14s %14s %14s\n", "mechanism", "bytes/client",
+              "fleet 10^4", "fleet 10^5", "fleet 10^6");
+  auto wave_row = [](const char* name, std::size_t per_client) {
+    std::printf("%-34s %12zu %13.1fMB %13.1fMB %13.1fMB\n", name, per_client,
+                per_client * 1e4 / 1e6, per_client * 1e5 / 1e6,
+                per_client * 1e6 / 1e6);
+  };
+  wave_row("CRLite filter via RSF delta", filter_wire);
+  wave_row("revocation GCC via RSF delta", gcc_wire);
+  wave_row("OneCRL-equivalent push list", list_wire);
+
+  return agree ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
@@ -165,5 +379,7 @@ int main() {
   std::printf("  removal breaks every still-valid chain (denial of service),\n"
               "  retention accepts every distrusted chain (exposure),\n"
               "  the GCC derivative matches the primary exactly.\n");
-  return shape ? 0 : 1;
+
+  int e18 = run_e18();
+  return (shape && e18 == 0) ? 0 : 1;
 }

@@ -102,7 +102,7 @@ int main() {
     std::printf("%-22s -> %s", host.c_str(),
                 result.ok ? "ACCEPTED" : "REJECTED");
     if (!result.ok && !result.rejected_paths.empty()) {
-      std::printf("  (%s)", result.rejected_paths[0].c_str());
+      std::printf("  (%s)", chain::to_string(result.rejected_paths[0]).c_str());
     } else if (!result.ok) {
       std::printf("  (%s)", result.error.c_str());
     }

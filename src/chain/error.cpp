@@ -18,6 +18,7 @@ const char* to_string(ErrorKind kind) {
     case ErrorKind::kTimeout: return "timeout";
     case ErrorKind::kUnavailable: return "unavailable";
     case ErrorKind::kInternal: return "internal";
+    case ErrorKind::kDistrusted: return "distrusted";
   }
   return "internal";
 }

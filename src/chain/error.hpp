@@ -28,9 +28,12 @@ enum class ErrorKind : std::uint8_t {
   kTimeout = 11,             // serving layer: request expired before execution
   kUnavailable = 12,         // verb target not configured (e.g. no feed)
   kInternal = 13,
+  // Appended (stable wire numbering): the path crosses a logical CA with an
+  // explicitly distrusted certificate — the cross-sign bane case.
+  kDistrusted = 14,
 };
 
-inline constexpr std::size_t kErrorKindCount = 14;
+inline constexpr std::size_t kErrorKindCount = 15;
 
 const char* to_string(ErrorKind kind);
 

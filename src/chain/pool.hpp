@@ -1,31 +1,14 @@
 // Certificate pool: the bag of candidate intermediates available during
 // path construction (what a TLS server sends alongside its leaf, plus any
-// cached intermediates). Indexed by subject DN for issuer lookups.
+// cached intermediates). Since the cross-signing redesign the pool *is* the
+// certificate graph — same add/by_subject/size surface, plus logical-CA
+// nodes keyed by (subject DN, SPKI). See graph.hpp.
 #pragma once
 
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "x509/certificate.hpp"
+#include "chain/graph.hpp"
 
 namespace anchor::chain {
 
-class CertificatePool {
- public:
-  void add(x509::CertPtr cert);
-  void add_all(const std::vector<x509::CertPtr>& certs);
-
-  // Certificates whose subject DN renders equal to `subject` — candidate
-  // issuers for a certificate with that issuer DN.
-  const std::vector<x509::CertPtr>& by_subject(
-      const x509::DistinguishedName& subject) const;
-
-  std::size_t size() const { return size_; }
-
- private:
-  std::unordered_map<std::string, std::vector<x509::CertPtr>> by_subject_;
-  std::size_t size_ = 0;
-};
+using CertificatePool = CertificateGraph;
 
 }  // namespace anchor::chain

@@ -181,6 +181,9 @@ void VerifyService::attach_hook(const std::shared_ptr<Snapshot>& snapshot) {
 std::shared_ptr<const VerifyService::Snapshot> VerifyService::build_snapshot() {
   auto snapshot = std::make_shared<Snapshot>(store_, scheme_, registry_);
   attach_hook(snapshot);
+  for (const auto& source : revocation_sources_) {
+    snapshot->verifier.add_revocation_source(source);
+  }
   return snapshot;
 }
 
@@ -237,7 +240,38 @@ void VerifyService::adopt_view(
   auto fresh =
       std::make_shared<Snapshot>(std::move(view), effective, scheme_, registry_);
   attach_hook(fresh);
+  for (const auto& source : revocation_sources_) {
+    fresh->verifier.add_revocation_source(source);
+  }
   publish(std::move(fresh), std::move(lock));
+}
+
+void VerifyService::add_revocation_source(
+    std::shared_ptr<const revocation::Provider> provider) {
+  if (provider == nullptr) return;
+  std::unique_lock<std::mutex> lock(store_mu_);
+  revocation_sources_.push_back(std::move(provider));
+  const std::uint64_t prior = snapshot_->epoch;
+  if (snapshot_->view != nullptr) {
+    // Republish the same view with the new source attached. The epoch still
+    // advances: revocation answers changed, so verdicts computed under the
+    // prior snapshot must not be replayed against this one. (The GCC
+    // verdict cache would in fact stay sound — GCCs never see revocation —
+    // but a non-aliasing epoch keeps the invariant simple: one published
+    // snapshot, one epoch.)
+    auto view = snapshot_->view;
+    auto fresh =
+        std::make_shared<Snapshot>(std::move(view), prior + 1, scheme_,
+                                   registry_);
+    attach_hook(fresh);
+    for (const auto& source : revocation_sources_) {
+      fresh->verifier.add_revocation_source(source);
+    }
+    publish(std::move(fresh), std::move(lock));
+    return;
+  }
+  store_.advance_epoch_past(prior);
+  publish(build_snapshot(), std::move(lock));
 }
 
 VerifyResult VerifyService::verify_on(const Snapshot& snapshot,

@@ -151,6 +151,16 @@ class VerifyService {
   // never alias the predecessor in the verdict cache.
   void adopt_view(std::shared_ptr<const rootstore::snapshot::StoreView> view);
 
+  // Registers a revocation source on the service. The source is applied to
+  // the verifier of every subsequently published snapshot — including the
+  // one this call republishes immediately, so registration takes effect
+  // without waiting for the next mutation. Sources registered here are
+  // service-local and compose with the store-distributed filter
+  // (StoreReader::revocation_filter()), which the ChainVerifier registers
+  // on its own.
+  void add_revocation_source(
+      std::shared_ptr<const revocation::Provider> provider);
+
   // Epoch of the currently-published snapshot.
   std::uint64_t epoch() const;
 
@@ -196,6 +206,10 @@ class VerifyService {
   rootstore::RootStore& store_;
   const SignatureScheme& scheme_;
   ServiceConfig config_;
+
+  // Applied (in registration order) to every snapshot's verifier at build
+  // time; guarded by store_mu_ like the snapshot itself.
+  std::vector<std::shared_ptr<const revocation::Provider>> revocation_sources_;
 
   // Guards the live store and snapshot publication; never held while a
   // verification is running.

@@ -1,7 +1,10 @@
 #include "chain/verifier.hpp"
 
+#include <functional>
+#include <set>
 #include <unordered_set>
 
+#include "revocation/crlite.hpp"
 #include "x509/oids.hpp"
 
 namespace anchor::chain {
@@ -24,6 +27,11 @@ ChainVerifier::ChainVerifier(const rootstore::StoreReader& store,
     if (!v.allowed) verdict.failed_gcc = v.failed_gcc;
     return v.allowed;
   };
+  // The store-distributed compressed revocation filter (delivered through
+  // RSF snapshots/deltas) is a revocation source like any other.
+  if (auto filter = store.revocation_filter()) {
+    revocation_.push_back(std::move(filter));
+  }
 }
 
 struct ChainVerifier::SearchState {
@@ -68,16 +76,35 @@ std::optional<Fault> check_leaf(const x509::Certificate& leaf,
   return std::nullopt;
 }
 
-std::string path_label(const core::Chain& chain) {
-  std::string out;
+// Records a reached-and-rejected path structurally and pins the first
+// classified fault as the result kind.
+void record_rejection(VerifyResult& result, const core::Chain& chain,
+                      const Fault& why) {
+  if (result.kind == ErrorKind::kOk) result.kind = why.kind;
+  RejectedPath rejected;
+  rejected.kind = why.kind;
+  rejected.detail = why.detail;
+  rejected.fingerprints.reserve(chain.size());
+  rejected.subjects.reserve(chain.size());
   for (const auto& cert : chain) {
-    if (!out.empty()) out += " <- ";
-    out += cert->subject().common_name();
+    rejected.fingerprints.push_back(cert->fingerprint_hex());
+    rejected.subjects.push_back(cert->subject().common_name());
   }
-  return out;
+  result.rejected_paths.push_back(std::move(rejected));
 }
 
 }  // namespace
+
+std::string to_string(const RejectedPath& path) {
+  std::string out;
+  for (const auto& subject : path.subjects) {
+    if (!out.empty()) out += " <- ";
+    out += subject;
+  }
+  out += " | ";
+  out += path.detail;
+  return out;
+}
 
 std::optional<Fault> ChainVerifier::check_link(
     const x509::Certificate& child, const x509::Certificate& issuer,
@@ -119,16 +146,16 @@ std::optional<Fault> ChainVerifier::check_link(
                      "' does not verify under '" +
                      issuer.subject().common_name() + "'");
   }
-  // Push-based revocation (CRLSet/OneCRL), applied per link now that the
-  // issuer — and thus its SPKI — is known.
-  if (crlset_ != nullptr &&
-      crlset_->is_revoked(child, BytesView(issuer.public_key()))) {
-    return fault(ErrorKind::kRevoked, "'" + child.subject().common_name() +
-                                          "' is revoked (CRLSet)");
-  }
-  if (onecrl_ != nullptr && onecrl_->is_revoked(child)) {
-    return fault(ErrorKind::kRevoked, "'" + child.subject().common_name() +
-                                          "' is revoked (OneCRL)");
+  // Registered revocation sources (CRLSet, OneCRL, the RSF-delivered
+  // compressed filter, ...), applied per link now that the issuer — and
+  // thus its SPKI — is known. Any positive answer rejects the link.
+  for (const auto& provider : revocation_) {
+    if (provider->check(child, BytesView(issuer.public_key())) ==
+        revocation::RevocationStatus::kRevoked) {
+      return fault(ErrorKind::kRevoked, "'" + child.subject().common_name() +
+                                            "' is revoked (" +
+                                            provider->name() + ")");
+    }
   }
   return std::nullopt;
 }
@@ -183,8 +210,18 @@ std::optional<Fault> ChainVerifier::check_at_root(
 
 bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
                            VerifyResult& result) const {
+  if (result.truncated) return false;
   // Copy, not reference: recursive extension reallocates state.path.
   const x509::CertPtr current = state.path.back();
+
+  // Exhausting the candidate-path budget stops the whole search: the
+  // accept-if-any semantics only holds over the paths actually tried, so
+  // the truncation is surfaced rather than silently narrowing the claim.
+  auto out_of_budget = [&]() {
+    if (result.paths_explored < options.max_paths) return false;
+    result.truncated = true;
+    return true;
+  };
 
   // Option 1: terminate at a trusted root that issued `current` (respecting
   // the depth bound on the completed chain).
@@ -192,20 +229,17 @@ bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
     if (state.path.size() >= options.max_depth) break;
     if (!(entry->cert->subject() == current->issuer())) continue;
     if (entry->cert->fingerprint() == current->fingerprint()) continue;
+    if (out_of_budget()) return false;
     ++result.paths_explored;
     core::Chain candidate = state.path;
     candidate.push_back(entry->cert);
     if (auto link = check_link(*current, *entry->cert, state.path.size() - 1,
                                options)) {
-      if (result.kind == ErrorKind::kOk) result.kind = link->kind;
-      result.rejected_paths.push_back(path_label(candidate) + " | " +
-                                      link->detail);
+      record_rejection(result, candidate, *link);
       continue;
     }
     if (auto root_check = check_at_root(candidate, *entry, options, result)) {
-      if (result.kind == ErrorKind::kOk) result.kind = root_check->kind;
-      result.rejected_paths.push_back(path_label(candidate) + " | " +
-                                      root_check->detail);
+      record_rejection(result, candidate, *root_check);
       continue;  // the paper's "continue building" loop
     }
     result.ok = true;
@@ -218,6 +252,7 @@ bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
   if (const rootstore::RootEntry* entry =
           store_.find(current->fingerprint_hex());
       entry != nullptr && state.path.size() > 1) {
+    if (out_of_budget()) return false;
     ++result.paths_explored;
     auto root_check = check_at_root(state.path, *entry, options, result);
     if (!root_check) {
@@ -225,29 +260,51 @@ bool ChainVerifier::extend(SearchState& state, const VerifyOptions& options,
       result.chain = state.path;
       return true;
     }
-    if (result.kind == ErrorKind::kOk) result.kind = root_check->kind;
-    result.rejected_paths.push_back(path_label(state.path) + " | " +
-                                    root_check->detail);
+    record_rejection(result, state.path, *root_check);
   }
 
-  // Option 3: extend through an untrusted intermediate from the pool.
+  // Option 3: extend through untrusted issuers from the pool, one logical
+  // CA (graph node) at a time so cross-signed certificates are alternate
+  // edges into the same node.
   if (state.path.size() >= options.max_depth) return false;
-  for (const x509::CertPtr& candidate :
-       state.pool->by_subject(current->issuer())) {
-    const std::string hash = candidate->fingerprint_hex();
-    if (state.visited.contains(hash)) continue;
-    if (auto link = check_link(*current, *candidate, state.path.size() - 1,
-                               options)) {
-      // Not a rejected *path* (the search just doesn't go this way), but
-      // still the first classified fault if nothing better turns up.
-      if (result.kind == ErrorKind::kOk) result.kind = link->kind;
-      continue;
+  for (const GraphNode* node :
+       state.pool->nodes_for_subject(current->issuer())) {
+    if (options.graph_distrust) {
+      // The bane check: if *any* certificate of this logical CA is
+      // explicitly distrusted, trust in the CA's key was withdrawn and no
+      // cross-signed sibling may resurrect it — every path through the
+      // node is rejected, structurally, without descending.
+      if (const x509::CertPtr* bad = distrusted_member(*node, store_)) {
+        core::Chain candidate = state.path;
+        candidate.push_back(*bad);
+        record_rejection(
+            result, candidate,
+            Fault{ErrorKind::kDistrusted,
+                  "distrusted CA '" + (*bad)->subject().common_name() +
+                      "': certificate " +
+                      (*bad)->fingerprint_hex().substr(0, 16) +
+                      "... is explicitly distrusted; a cross-sign cannot "
+                      "resurrect it"});
+        continue;
+      }
     }
-    state.visited.insert(hash);
-    state.path.push_back(candidate);
-    if (extend(state, options, result)) return true;
-    state.path.pop_back();
-    state.visited.erase(hash);
+    for (const x509::CertPtr& candidate : node->certs) {
+      const std::string hash = candidate->fingerprint_hex();
+      if (state.visited.contains(hash)) continue;
+      if (auto link = check_link(*current, *candidate, state.path.size() - 1,
+                                 options)) {
+        // Not a rejected *path* (the search just doesn't go this way), but
+        // still the first classified fault if nothing better turns up.
+        if (result.kind == ErrorKind::kOk) result.kind = link->kind;
+        continue;
+      }
+      state.visited.insert(hash);
+      state.path.push_back(candidate);
+      if (extend(state, options, result)) return true;
+      state.path.pop_back();
+      state.visited.erase(hash);
+      if (result.truncated) return false;
+    }
   }
   return false;
 }
@@ -267,9 +324,15 @@ VerifyResult ChainVerifier::verify(const x509::CertPtr& leaf,
   state.pool = &pool;
   if (!extend(state, options, result)) {
     if (result.error.empty()) {
-      result.error = result.rejected_paths.empty()
-                         ? "no path to a trusted root"
-                         : "all candidate paths rejected";
+      if (result.truncated) {
+        result.error = "path budget exhausted (max_paths = " +
+                       std::to_string(options.max_paths) +
+                       ") before an accepted path";
+      } else {
+        result.error = result.rejected_paths.empty()
+                           ? "no path to a trusted root"
+                           : "all candidate paths rejected";
+      }
     }
     // extend() recorded the first classified rejection's kind; a search
     // that never hit a classifiable fault is kNoPath.
@@ -278,6 +341,62 @@ VerifyResult ChainVerifier::verify(const x509::CertPtr& leaf,
     result.kind = ErrorKind::kOk;
   }
   return result;
+}
+
+std::vector<std::vector<std::string>> ChainVerifier::enumerate_paths(
+    const x509::CertPtr& leaf, const CertificatePool& pool,
+    std::size_t max_depth, std::size_t max_paths) const {
+  std::vector<std::vector<std::string>> out;
+  std::set<std::vector<std::string>> seen;
+  core::Chain path;
+  path.push_back(leaf);
+  std::unordered_set<std::string> visited;
+  visited.insert(leaf->fingerprint_hex());
+
+  auto fingerprints = [](const core::Chain& chain) {
+    std::vector<std::string> fps;
+    fps.reserve(chain.size());
+    for (const auto& cert : chain) fps.push_back(cert->fingerprint_hex());
+    return fps;
+  };
+  auto emit = [&](const core::Chain& chain) {
+    auto fps = fingerprints(chain);
+    if (seen.insert(fps).second) out.push_back(std::move(fps));
+  };
+
+  std::function<void()> dfs = [&]() {
+    if (out.size() >= max_paths) return;
+    const x509::CertPtr current = path.back();
+    if (path.size() < max_depth) {
+      for (const rootstore::RootEntry* entry : store_.trusted()) {
+        if (!(entry->cert->subject() == current->issuer())) continue;
+        if (entry->cert->fingerprint() == current->fingerprint()) continue;
+        core::Chain candidate = path;
+        candidate.push_back(entry->cert);
+        emit(candidate);
+        if (out.size() >= max_paths) return;
+      }
+    }
+    if (path.size() > 1 && store_.find(current->fingerprint_hex()) != nullptr) {
+      emit(path);
+      if (out.size() >= max_paths) return;
+    }
+    if (path.size() >= max_depth) return;
+    for (const GraphNode* node : pool.nodes_for_subject(current->issuer())) {
+      for (const x509::CertPtr& candidate : node->certs) {
+        const std::string hash = candidate->fingerprint_hex();
+        if (visited.contains(hash)) continue;
+        visited.insert(hash);
+        path.push_back(candidate);
+        dfs();
+        path.pop_back();
+        visited.erase(hash);
+        if (out.size() >= max_paths) return;
+      }
+    }
+  };
+  dfs();
+  return out;
 }
 
 }  // namespace anchor::chain

@@ -4,18 +4,25 @@
 // building."
 //
 // The verifier performs depth-first path construction from the leaf toward
-// the trusted roots, applying RFC 5280-style checks along the way:
-// validity window, basicConstraints.cA, pathLenConstraint, keyCertSign,
-// name constraints over the leaf's DNS names, EKU fit for the requested
-// usage, and signature verification. When a candidate path terminates in a
-// trusted root it additionally applies the root store's systematic
-// metadata (date-usage cutoffs, EV bit) and then executes all attached
-// GCCs; any failure rejects that path and the search continues — exactly
-// the "reject or continue building" loop the paper prescribes.
+// the trusted roots over the certificate *graph* (graph.hpp): candidate
+// issuers are logical CAs keyed by (subject DN, SPKI), so cross-signed
+// certificates are alternate edges into one node and the search enumerates
+// every leaf→root path across cross-signs — bounded by max_depth and
+// max_paths, cycle-safe via per-certificate visited tracking. Each link
+// gets RFC 5280-style checks (validity window, basicConstraints.cA,
+// pathLenConstraint, keyCertSign, signature, registered revocation
+// sources); each completed path gets the root store's systematic metadata
+// (date-usage cutoffs, EV bit), name constraints, and the root's GCCs. The
+// verdict is accept-if-any-path; every path that was reached and rejected
+// is recorded structurally as a RejectedPath. A logical CA containing an
+// explicitly distrusted certificate poisons all paths through it — the
+// cross-signing bane case (a distrusted root resurrected via a
+// cross-sign) is rejected with kDistrusted instead of silently re-trusted.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,7 +30,7 @@
 #include "chain/error.hpp"
 #include "chain/pool.hpp"
 #include "core/executor.hpp"
-#include "revocation/revocation.hpp"
+#include "revocation/provider.hpp"
 #include "rootstore/store.hpp"
 #include "util/simsig.hpp"
 
@@ -39,8 +46,14 @@ struct VerifyOptions {
   Usage usage = Usage::kTls;
   bool require_ev = false;      // demand an EV chain (leaf EV + root EV bit)
   std::size_t max_depth = 8;    // maximum certificates in a path
+  std::size_t max_paths = 64;   // candidate-path budget across cross-signs
   bool check_signatures = true; // disable only in parsing-only benchmarks
   bool run_gccs = true;         // the ablation switch for E9
+  // The bane-case ablation switch: false reverts to the pre-graph tree
+  // walk that never checks pooled certificates against the distrusted set
+  // — the baseline the incident scenario and bench_disparity census run
+  // against. Production semantics is true.
+  bool graph_distrust = true;
   // Chain-external facts for GCC evaluation (SCT timestamps, client
   // version, validation instant — the Chrome Root Store constraint
   // vocabulary; see rootstore/constraint_compile.hpp). Must outlive the
@@ -48,6 +61,21 @@ struct VerifyOptions {
   // constraints.
   const core::FactSet* gcc_context = nullptr;
 };
+
+// A candidate path that was reached and rejected, recorded structurally:
+// callers branch on `kind`, render via to_string() for humans, and match
+// paths by fingerprint — substring-matching free-form diagnostics is gone.
+struct RejectedPath {
+  std::vector<std::string> fingerprints;  // hex, leaf-first
+  std::vector<std::string> subjects;      // common names, parallel
+  ErrorKind kind = ErrorKind::kInternal;
+  std::string detail;
+
+  bool operator==(const RejectedPath&) const = default;
+};
+
+// Legacy rendering: "Leaf CN <- Int CN <- Root CN | detail".
+std::string to_string(const RejectedPath& path);
 
 struct VerifyResult {
   bool ok = false;
@@ -57,11 +85,13 @@ struct VerifyResult {
   // *first* rejection — matching `error`'s "first fatal diagnostic" rule.
   ErrorKind kind = ErrorKind::kOk;
   std::string error;            // first fatal diagnostic (when !ok)
-  // Diagnostics: every candidate path that reached a trusted root but was
-  // rejected, with the reason ("gcc:<name>", "tls-distrust-after", ...).
-  std::vector<std::string> rejected_paths;
+  // Diagnostics: every candidate path that was reached and rejected — at a
+  // trusted root (metadata/GCC/link failures) or at a poisoned logical CA
+  // (kDistrusted).
+  std::vector<RejectedPath> rejected_paths;
   core::GccVerdict gcc_verdict; // aggregate over executed GCCs
   std::size_t paths_explored = 0;
+  bool truncated = false;       // search stopped at the max_paths budget
 };
 
 // Hook interface for GCC execution placement (user-agent vs platform
@@ -79,20 +109,33 @@ class ChainVerifier {
   // mmap-backed snapshot StoreView; verdicts are byte-identical either way
   // (the StoreReader ordering contract). `scheme` must outlive the verifier
   // and have every issuing key registered (the corpus generator does this).
+  // A store-distributed revocation filter (store.revocation_filter()) is
+  // registered as a revocation source automatically.
   ChainVerifier(const rootstore::StoreReader& store,
                 const SignatureScheme& scheme);
 
   // Overrides GCC execution placement.
   void set_gcc_hook(GccHook hook) { gcc_hook_ = std::move(hook); }
 
-  // Optional push-based revocation sources (CRLSet / OneCRL baselines the
-  // paper's incidents used; see src/revocation). Pointers must outlive the
-  // verifier; nullptr disables the check.
-  void set_crlset(const revocation::CrlSet* crlset) { crlset_ = crlset; }
-  void set_onecrl(const revocation::OneCrl* onecrl) { onecrl_ = onecrl; }
+  // Registers a revocation source consulted on every link during path
+  // construction (revocation/provider.hpp). Sources are checked in
+  // registration order; any kRevoked answer rejects the link. Replaces the
+  // old per-mechanism set_crlset/set_onecrl raw-pointer setters.
+  void add_revocation_source(std::shared_ptr<const revocation::Provider> p) {
+    if (p != nullptr) revocation_.push_back(std::move(p));
+  }
 
   VerifyResult verify(const x509::CertPtr& leaf, const CertificatePool& pool,
                       const VerifyOptions& options) const;
+
+  // Structural path enumeration: every root-terminating candidate path
+  // (leaf-first fingerprint sequences, deduplicated) reachable through the
+  // graph within `max_depth`/`max_paths` — topology only, no RFC 5280 or
+  // signature filtering. The property suite compares this against an
+  // exhaustive reference search over the raw certificate list.
+  std::vector<std::vector<std::string>> enumerate_paths(
+      const x509::CertPtr& leaf, const CertificatePool& pool,
+      std::size_t max_depth = 8, std::size_t max_paths = 1024) const;
 
  private:
   struct SearchState;
@@ -117,8 +160,7 @@ class ChainVerifier {
   const SignatureScheme& scheme_;
   core::GccExecutor executor_;
   GccHook gcc_hook_;
-  const revocation::CrlSet* crlset_ = nullptr;
-  const revocation::OneCrl* onecrl_ = nullptr;
+  std::vector<std::shared_ptr<const revocation::Provider>> revocation_;
 };
 
 }  // namespace anchor::chain

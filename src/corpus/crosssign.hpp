@@ -1,0 +1,57 @@
+// Random cross-sign DAG generator for the graph-verifier property suite.
+// Unlike the calibrated Web-PKI corpus (corpus.hpp), these topologies are
+// deliberately adversarial: every logical CA may hold several certificates
+// (one per issuer that cross-signed it), roots cross-sign each other, and
+// distrusted roots keep live cross-signs from trusted ones — the bane
+// shape. Acyclicity is guaranteed by construction: each logical CA has a
+// distinct rank and a certificate's issuer always has a strictly lower
+// rank, so the issuance relation is a DAG no matter how many cross-signs
+// are drawn. Deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/pool.hpp"
+#include "rootstore/store.hpp"
+#include "util/simsig.hpp"
+#include "x509/certificate.hpp"
+
+namespace anchor::corpus {
+
+struct CrossSignConfig {
+  std::uint64_t seed = 11;
+
+  int num_roots = 4;          // self-signed logical CAs, >= 1
+  // How many of the roots are explicitly distrusted (< num_roots). They are
+  // assigned the highest root ranks so trusted roots may cross-sign them,
+  // and each is guaranteed at least one such cross-sign — every generated
+  // DAG with distrusted_roots > 0 contains a bane path.
+  int distrusted_roots = 1;
+  int num_cas = 5;            // subordinate logical CAs
+  int extra_cross_signs = 4;  // edges beyond the spanning tree
+  int num_leaves = 6;
+
+  std::int64_t not_before = 1577836800;  // 2020-01-01
+  std::int64_t not_after = 1893456000;   // 2030-01-01
+  std::int64_t validation_time() const {
+    return (not_before + not_after) / 2;
+  }
+};
+
+struct CrossSignDag {
+  SimSig signatures;
+  rootstore::RootStore store;  // trusted roots + explicit distrusts
+  chain::CertificatePool pool; // every CA certificate, cross-signs included
+  // Pool contents in insertion order — the raw material for the exhaustive
+  // reference path search the property tests compare against.
+  std::vector<x509::CertPtr> ca_certs;
+  std::vector<x509::CertPtr> root_certs;  // trusted first, then distrusted
+  std::vector<x509::CertPtr> leaves;
+  std::vector<std::string> leaf_domains;  // parallel to `leaves`
+};
+
+CrossSignDag make_cross_sign_dag(const CrossSignConfig& config);
+
+}  // namespace anchor::corpus

@@ -510,6 +510,67 @@ Incident make_symantec() {
   return incident;
 }
 
+// ---------------------------------------------------------------------------
+// Cross-sign resurrection (the Hiller et al. bane case, modelled on the
+// Symantec-era pattern where distrusted hierarchies stayed reachable
+// through cross-signs from still-trusted roots): the store explicitly
+// distrusts a legacy root, but a cross-sign certificate — same subject DN,
+// same SPKI, signed by a trusted bridge root — remains in circulation. A
+// tree walk that only checks the certificates *on* the winning path never
+// sees the distrusted self-signed certificate and accepts; the graph
+// search collapses both certificates into one logical CA, finds it
+// poisoned, and rejects every path through it with kDistrusted.
+Incident make_cross_sign() {
+  MiniPki pki;
+  Incident incident;
+  incident.name = "cross-sign-resurrection";
+  incident.summary =
+      "2021: a distrusted legacy root stays reachable through a cross-sign "
+      "from a trusted bridge root. Negative inclusion must poison the "
+      "logical CA (subject + SPKI), not just the distrusted certificate.";
+
+  auto bridge = pki.make_root("Universal Bridge Root", "Bridge Trust Ltd");
+  auto legacy = pki.make_root("Legacy Commerce Root", "Legacy Trust Inc");
+  auto issuing = pki.make_intermediate("Legacy Commerce Issuing CA", legacy);
+
+  // The cross-sign: the legacy root's subject and key, certified by the
+  // bridge. Same logical CA as `legacy`, different certificate.
+  CertPtr cross = CertificateBuilder()
+                      .serial(pki.serial++)
+                      .subject(legacy.cert->subject())
+                      .issuer(bridge.cert->subject())
+                      .validity(unix_date(2010, 1, 1), unix_date(2033, 1, 1))
+                      .public_key(legacy.key.key_id)
+                      .ca(std::nullopt)
+                      .sign(bridge.key)
+                      .take();
+
+  // A benign cross-signed CA for contrast: trusted via the bridge, never
+  // distrusted — the boon case must keep working.
+  auto modern = pki.make_intermediate("Modern Commerce CA", bridge);
+
+  incident.affected_roots.push_back(legacy.cert->fingerprint_hex());
+  (void)incident.store.add_trusted(bridge.cert);
+  incident.store.distrust(legacy.cert->fingerprint_hex(),
+                          "compromised legacy hierarchy (distrusted 2021)");
+  incident.pool.add(issuing.cert);
+  incident.pool.add(cross);
+  incident.pool.add(legacy.cert);
+  incident.pool.add(modern.cert);
+
+  std::int64_t t = unix_date(2021, 9, 30);
+  incident.cases.push_back(
+      {"leaf under distrusted root via cross-sign (resurrection path)",
+       pki.make_leaf("shop.example.com", issuing, unix_date(2021, 1, 1)),
+       tls_at(t, "shop.example.com"), false});
+  incident.cases.push_back(
+      {"leaf under benign cross-signed CA",
+       pki.make_leaf("modern.example.com", modern, unix_date(2021, 1, 1)),
+       tls_at(t, "modern.example.com"), true});
+  incident.signatures = pki.sigs;
+  return incident;
+}
+
 std::vector<Incident> all_incidents() {
   std::vector<Incident> incidents;
   incidents.push_back(make_turktrust());
@@ -519,6 +580,7 @@ std::vector<Incident> all_incidents() {
   incidents.push_back(make_cnnic());
   incidents.push_back(make_wosign());
   incidents.push_back(make_symantec());
+  incidents.push_back(make_cross_sign());
   return incidents;
 }
 

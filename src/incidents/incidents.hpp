@@ -11,6 +11,9 @@
 //   MCS/CNNIC (2015)    — allowlist of exempted subordinates
 //   WoSign (2016)       — distrust of *new* leaves + revoked backdated SHA-1
 //   Symantec (2018)     — the paper's Listing 2: date cutoff + exemptions
+//   Cross-sign (2021)   — a distrusted root resurrected via a cross-sign
+//                         (the Hiller et al. bane case): rejected by the
+//                         graph search, silently accepted by a tree walk
 //
 // These double as integration tests (tests/incidents_test.cpp) and as the
 // workload for the binary-vs-partial-distrust experiment (E8).
@@ -56,8 +59,16 @@ Incident make_india_cca();
 Incident make_cnnic();
 Incident make_wosign();
 Incident make_symantec();
+// The cross-signing bane case: a root the store explicitly distrusts keeps
+// a live cross-sign from a still-trusted root, so a path to trust exists
+// that never visits the distrusted certificate itself. Production
+// semantics (VerifyOptions::graph_distrust = true) collapses the root and
+// its cross-sign into one poisoned logical CA and rejects with
+// kDistrusted; the pre-graph tree walk (graph_distrust = false) accepts —
+// the disparity bench_disparity censuses.
+Incident make_cross_sign();
 
-// All seven, in chronological order of the underlying events.
+// All eight, in chronological order of the underlying events.
 std::vector<Incident> all_incidents();
 
 }  // namespace anchor::incidents

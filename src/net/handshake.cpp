@@ -123,7 +123,7 @@ HandshakeResult TlsLikeClient::complete(
   if (!verdict.ok) {
     std::string why = verdict.error;
     if (!verdict.rejected_paths.empty()) {
-      why += " [" + verdict.rejected_paths.front() + "]";
+      why += " [" + chain::to_string(verdict.rejected_paths.front()) + "]";
     }
     return fail("handshake: certificate verify failed: " + why);
   }

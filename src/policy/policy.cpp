@@ -10,8 +10,9 @@ namespace anchor::policy {
 const std::string& default_policy() {
   static const std::string kPolicy = R"(% anchor built-in validation policy.
 % Host facts: now/1, hostname/1, hostnameParent/1, hostnameSuffix/1,
-% usage/1, isLeaf/1, trustedRoot/1, issuedBy/2 (signature already verified),
-% plus the standard certificate facts (notBefore, san, isCA, ...).
+% usage/1, isLeaf/1, trustedRoot/1, distrustedCA/1, issuedBy/2 (signature
+% already verified), plus the standard certificate facts (notBefore, san,
+% isCA, ...).
 
 % --- temporal validity ---
 timeValid(C) :- notBefore(C, NB), notAfter(C, NA), now(T), NB <= T, T <= NA.
@@ -35,25 +36,46 @@ kuCertSignOK(C) :- keyUsage(C, "keyCertSign").
 kuCertSignOK(C) :- isCA(C), \+hasKU(C). % absent keyUsage permits signing
 caOK(C) :- isCA(C), kuCertSignOK(C), timeValid(C).
 
-% --- chain construction: up(Leaf, Ancestor, Depth), depth-bounded ---
-up(L, I, 1) :- isLeaf(L), issuedBy(L, I), caOK(I).
-up(L, J, D) :- up(L, I, D1), issuedBy(I, J), caOK(J), D1 < 8, D = D1 + 1.
+% --- depth domain for the bounded recursion (max_depth = 8) ---
+depthDom(1). depthDom(2). depthDom(3). depthDom(4).
+depthDom(5). depthDom(6). depthDom(7). depthDom(8).
 
-% --- pathLenConstraint: at most P CAs strictly between C and the leaf.
-% A CA at depth D has D-1 CAs below it (the leaf is not a CA).
-plenViolated(L) :- up(L, I, D), pathLen(I, P), Dm = D - 1, P < Dm.
+% --- pathLenConstraint, indexed by depth: a CA at depth D has D-1 CAs
+% strictly below it (the leaf is not a CA), so it satisfies pathLen P
+% iff D-1 <= P. Checking it *inside the link relation* (rather than as a
+% global plenViolated/1 over every reachable cert) is what makes the
+% policy path-sensitive: a CA that violates pathLen at depth 3 can still
+% serve a different path at depth 2.
+hasPathLen(C) :- pathLen(C, _).
+plenOkAt(C, D) :- isCA(C), depthDom(D), \+hasPathLen(C).
+plenOkAt(C, D) :- pathLen(C, P), depthDom(D), Dm = D - 1, Dm <= P.
 
-% --- name constraints, applied to the requested hostname ---
+% --- name constraints, applied to the requested hostname. The check is
+% per-certificate (it constrains the hostname, not the path shape), so a
+% violating CA merely fails its own links and alternate paths survive.
 hasPermitted(C) :- permittedDNS(C, _).
 permittedOK(C) :- permittedDNS(C, S), hostnameSuffix(S).
-ncViolated(L) :- up(L, C, _), hasPermitted(C), \+permittedOK(C), hostname(_).
-ncViolated(L) :- up(L, C, _), excludedDNS(C, S), hostnameSuffix(S).
+ncBad(C) :- hasPermitted(C), \+permittedOK(C), hostname(_).
+ncBad(C) :- excludedDNS(C, S), hostnameSuffix(S).
+
+% --- a link is usable at depth D iff the CA is fit, satisfies pathLen at
+% that depth, passes name constraints, and is not explicitly distrusted.
+% distrustedCA/1 is a host fact covering every certificate of a poisoned
+% logical CA (same subject + SPKI as a distrusted cert), so a cross-sign
+% cannot resurrect a distrusted root — the bane case, in the logic.
+linkOK(C, D) :- caOK(C), plenOkAt(C, D), \+ncBad(C), \+distrustedCA(C).
+
+% --- chain construction: upOK(Leaf, Ancestor, Depth). Every link is
+% checked at its actual depth, so each derivation witnesses one concrete
+% valid candidate path — accept-if-any-path, matching the procedural
+% graph search.
+upOK(L, I, 1) :- isLeaf(L), issuedBy(L, I), linkOK(I, 1).
+upOK(L, J, D) :- upOK(L, I, D1), issuedBy(I, J), D1 < 8, D = D1 + 1,
+                 linkOK(J, D).
 
 % --- verdict ---
-violated(L) :- plenViolated(L).
-violated(L) :- ncViolated(L).
 leafOK(L) :- isLeaf(L), timeValid(L), nameOK(L), ekuOK(L).
-accept(L) :- leafOK(L), up(L, R, _), trustedRoot(R), \+violated(L).
+accept(L) :- leafOK(L), upOK(L, R, _), trustedRoot(R).
 )";
   return kPolicy;
 }
@@ -166,6 +188,35 @@ PolicyResult PolicyVerifier::verify(const x509::CertPtr& leaf,
   for (const auto& root : roots) {
     engine.add_fact("trustedRoot", {Value(root->fingerprint_hex())});
     ++result.facts;
+  }
+
+  // Explicit distrust, lifted to the logical-CA level: every certificate
+  // sharing (subject DN, SPKI) with a store-distrusted certificate gets a
+  // distrustedCA fact — the same poisoned-node rule the graph verifier
+  // applies, so a cross-sign cannot resurrect a distrusted root here
+  // either. The impossible "-" fact keeps the predicate total for the
+  // \+distrustedCA negation when nothing is distrusted (same construction
+  // as revocation_gcc).
+  engine.add_fact("distrustedCA", {Value(std::string("-"))});
+  ++result.facts;
+  std::unordered_set<std::string> poisoned_groups;
+  const auto group_key = [](const x509::Certificate& cert) {
+    return cert.subject().to_string() + "|" +
+           to_hex(BytesView(cert.public_key()));
+  };
+  for (const auto& cert : universe) {
+    if (store_.state_of(cert->fingerprint_hex()) ==
+        rootstore::TrustState::kDistrusted) {
+      poisoned_groups.insert(group_key(*cert));
+    }
+  }
+  if (!poisoned_groups.empty()) {
+    for (const auto& cert : universe) {
+      if (poisoned_groups.count(group_key(*cert)) != 0) {
+        engine.add_fact("distrustedCA", {Value(cert->fingerprint_hex())});
+        ++result.facts;
+      }
+    }
   }
 
   // Signature-verified issuance edges (crypto outside the logic, as in

@@ -11,16 +11,18 @@
 // Hammurabi). Chain construction itself happens in the logic via a
 // depth-bounded recursive `up/3` relation.
 //
-// Datalog (no lists) cannot carry per-path state, so constraint checks
-// (pathLen, name constraints) apply to every certificate reachable from the
-// leaf rather than per candidate path. For tree-shaped issuance — one
-// issuer per certificate, which covers the corpus and all incident
-// scenarios — the policy is exact; under cross-signing it is conservative
-// (rejects if ANY path is bad where the procedural verifier would try the
-// next path). This is precisely the expressiveness gap that pushed
-// Hammurabi to Prolog, reproduced here as a measurable artifact
-// (tests/policy_test.cpp differential-tests the two verifiers and pins the
-// divergence to the cross-signed case).
+// Datalog (no lists) cannot carry a path as a term, but it does not need
+// to: the chain relation upOK(Leaf, Ancestor, Depth) checks every link *at
+// its depth* (pathLen via a depth-indexed plenOkAt, name constraints and
+// explicit distrust per certificate), so each derivation witnesses one
+// concrete valid candidate path and `accept` holds iff some path survives
+// — the same accept-if-any-path semantics as the procedural graph
+// verifier, including under cross-signing. Explicit distrust is lifted to
+// the logical-CA level with distrustedCA/1 facts covering every
+// certificate that shares (subject DN, SPKI) with a distrusted one, so
+// the cross-signing bane case is rejected here too
+// (tests/policy_test.cpp differential-tests the two verifiers and pins
+// the agreement, cross-signed cases included).
 #pragma once
 
 #include <string>

@@ -1,0 +1,33 @@
+// Unified revocation provider interface (SoK: Delegation and Revocation,
+// PAPERS.md). Path construction consults any number of registered sources;
+// each classifies a certificate as good, revoked, or outside its coverage.
+// CrlSet, OneCrl and CompressedRevocationSet (crlite.hpp) all implement it,
+// so ChainVerifier carries one `add_revocation_source` entry point instead
+// of one raw-pointer setter per mechanism.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "x509/certificate.hpp"
+
+namespace anchor::revocation {
+
+enum class RevocationStatus : std::uint8_t {
+  kGood = 0,     // covered and not revoked
+  kRevoked = 1,  // positively revoked — reject the link
+  kUnknown = 2,  // outside this source's coverage (e.g. unenrolled issuer)
+};
+
+class Provider {
+ public:
+  virtual ~Provider() = default;
+
+  // Stable short name for diagnostics ("crlset", "onecrl", "crlite").
+  virtual const char* name() const = 0;
+
+  // Classifies `cert` as issued by the CA holding `issuer_spki`. Sources
+  // that key on the issuer DN rather than the SPKI may ignore the latter.
+  virtual RevocationStatus check(const x509::Certificate& cert,
+                                 BytesView issuer_spki) const = 0;
+};
+
+}  // namespace anchor::revocation

@@ -16,13 +16,14 @@
 #include <unordered_set>
 
 #include "core/gcc.hpp"
+#include "revocation/provider.hpp"
 #include "util/result.hpp"
 #include "x509/certificate.hpp"
 
 namespace anchor::revocation {
 
 // Chrome-style CRLSet.
-class CrlSet {
+class CrlSet : public Provider {
  public:
   // Blocks a single certificate by its issuer's SPKI and its serial.
   void block_by_issuer_serial(BytesView issuer_spki, BytesView serial);
@@ -34,6 +35,14 @@ class CrlSet {
 
   // True iff `cert` (issued by `issuer_spki`) is revoked.
   bool is_revoked(const x509::Certificate& cert, BytesView issuer_spki) const;
+
+  // Provider: a CRLSet is a blocklist, so anything not listed is kGood.
+  const char* name() const override { return "crlset"; }
+  RevocationStatus check(const x509::Certificate& cert,
+                         BytesView issuer_spki) const override {
+    return is_revoked(cert, issuer_spki) ? RevocationStatus::kRevoked
+                                         : RevocationStatus::kGood;
+  }
 
   std::size_t size() const {
     return by_issuer_serial_.size() + blocked_spkis_.size();
@@ -49,13 +58,22 @@ class CrlSet {
 };
 
 // Mozilla-style OneCRL: intermediate revocation by issuer name + serial.
-class OneCrl {
+class OneCrl : public Provider {
  public:
   void block(const x509::DistinguishedName& issuer, BytesView serial);
   void block(const x509::Certificate& cert);
 
   bool is_revoked(const x509::Certificate& cert) const;
   std::size_t size() const { return entries_.size(); }
+
+  // Provider: keys on the issuer DN carried by the certificate itself, so
+  // the SPKI argument is ignored. Blocklist semantics — unlisted is kGood.
+  const char* name() const override { return "onecrl"; }
+  RevocationStatus check(const x509::Certificate& cert,
+                         BytesView /*issuer_spki*/) const override {
+    return is_revoked(cert) ? RevocationStatus::kRevoked
+                            : RevocationStatus::kGood;
+  }
 
   std::string serialize() const;
   static Result<OneCrl> deserialize(std::string_view text);

@@ -12,14 +12,14 @@
 //   Header (80 bytes)
 //     magic            "ANCHSNAP"                   8 bytes
 //     endian_tag       0x01020304                   u32
-//     format_version   1                            u16
+//     format_version   2                            u16
 //     header_size      80                           u16
 //     file_size        total bytes incl. header     u64
 //     epoch            RootStore::epoch() at write  u64
 //     trusted_count                                 u32
 //     distrusted_count                              u32
 //     gcc_count                                     u32
-//     reserved         0                            u32
+//     revocation_count 0 or 1 (was reserved in v1)  u32
 //     digest           SHA-256 over the whole file  32 bytes
 //                      with this field zeroed
 //   Section kTrusted    (records in *insertion order* — path search tries
@@ -31,6 +31,10 @@
 //   Section kGccs       (grouped by root hash ascending; attachment order
 //                        within a root — diagnostics name the first failing
 //                        GCC, so per-root order is part of the contract)
+//   Section kRevocation (v2: zero or one record — the store-distributed
+//                        CRLite-style filter's text serialization; always
+//                        framed, possibly empty, so the section order check
+//                        stays unconditional)
 //
 // Each section is framed {kind u32, count u32, body_size u64} and its body
 // opens with a u64 offset table (one entry per record, relative to the end
@@ -47,13 +51,14 @@ namespace anchor::rootstore::snapshot {
 
 inline constexpr char kMagic[8] = {'A', 'N', 'C', 'H', 'S', 'N', 'A', 'P'};
 inline constexpr std::uint32_t kEndianTag = 0x01020304;
-inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::uint16_t kFormatVersion = 2;
 inline constexpr std::uint16_t kHeaderSize = 80;
 
 // Section kinds, in required file order.
 inline constexpr std::uint32_t kSectionTrusted = 1;
 inline constexpr std::uint32_t kSectionDistrusted = 2;
 inline constexpr std::uint32_t kSectionGccs = 3;
+inline constexpr std::uint32_t kSectionRevocation = 4;
 
 // Hard ceilings enforced before any count-driven allocation. The digest
 // authenticates accidental corruption, not hostile files, so a reader
@@ -71,7 +76,7 @@ struct Header {
   std::uint32_t trusted_count;
   std::uint32_t distrusted_count;
   std::uint32_t gcc_count;
-  std::uint32_t reserved;
+  std::uint32_t revocation_count;  // the v1 reserved field, now meaningful
   std::uint8_t digest[32];
 };
 static_assert(sizeof(Header) == kHeaderSize);

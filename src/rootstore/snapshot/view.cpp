@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "revocation/crlite.hpp"
 #include "rootstore/snapshot/writer.hpp"
 #include "util/sha256.hpp"
 
@@ -182,6 +183,10 @@ bool StoreView::load(BytesView bytes, SnapshotError& error) {
       header.gcc_count > kMaxRecords) {
     return fail(ErrorClass::kLimitExceeded, "record count above reader cap");
   }
+  if (header.revocation_count > 1) {
+    return fail(ErrorClass::kMalformed,
+                "snapshot declares more than one revocation filter");
+  }
 
   Cursor cursor(bytes, kHeaderSize);
 
@@ -324,6 +329,24 @@ bool StoreView::load(BytesView bytes, SnapshotError& error) {
     return false;
   }
 
+  if (!section(kSectionRevocation, header.revocation_count, [&](Cursor& c) {
+        std::string text;
+        if (!c.str(text)) {
+          return fail(ErrorClass::kTruncated, "revocation record");
+        }
+        auto filter = revocation::CompressedRevocationSet::deserialize(text);
+        if (!filter) {
+          return fail(ErrorClass::kMalformed,
+                      "revocation filter: " + filter.error());
+        }
+        revocation_filter_ =
+            std::make_shared<const revocation::CompressedRevocationSet>(
+                std::move(filter).take());
+        return true;
+      })) {
+    return false;
+  }
+
   if (cursor.remaining() != 0) {
     return fail(ErrorClass::kMalformed, "bytes after the last section");
   }
@@ -334,6 +357,7 @@ bool StoreView::load(BytesView bytes, SnapshotError& error) {
   info_.trusted_count = header.trusted_count;
   info_.distrusted_count = header.distrusted_count;
   info_.gcc_count = header.gcc_count;
+  info_.revocation_count = header.revocation_count;
   info_.digest_hex =
       to_hex(BytesView(header.digest, Sha256::kDigestSize));
   return true;
@@ -386,6 +410,9 @@ RootStore StoreView::materialize() const {
     for (const core::Gcc& gcc : gccs_by_root_.at(root)) {
       out.attach_gcc(gcc);
     }
+  }
+  if (revocation_filter_ != nullptr) {
+    out.set_revocation_filter(revocation_filter_);
   }
   // The rebuild above used the minimum possible mutation count, so the
   // store's own counter is at or below the snapshot epoch; pin it to

@@ -30,6 +30,7 @@ class StoreView final : public StoreReader {
     std::uint32_t trusted_count = 0;
     std::uint32_t distrusted_count = 0;
     std::uint32_t gcc_count = 0;
+    std::uint32_t revocation_count = 0;
     std::string digest_hex;
     std::string source;  // "mmap:<path>" or "memory"
   };
@@ -61,6 +62,10 @@ class StoreView final : public StoreReader {
   std::size_t distrusted_count() const override { return distrusted_.size(); }
   std::size_t gcc_count() const override { return gcc_total_; }
   std::uint64_t epoch() const override { return info_.epoch; }
+  std::shared_ptr<const revocation::CompressedRevocationSet>
+  revocation_filter() const override {
+    return revocation_filter_;
+  }
 
   const std::unordered_map<std::string, std::string>& distrusted() const {
     return distrusted_;
@@ -89,6 +94,8 @@ class StoreView final : public StoreReader {
   std::unordered_map<std::string, std::string> distrusted_;
   std::unordered_map<std::string, std::vector<core::Gcc>> gccs_by_root_;
   std::size_t gcc_total_ = 0;
+  std::shared_ptr<const revocation::CompressedRevocationSet>
+      revocation_filter_;
 
   Bytes owned_;             // from_bytes mode
   void* map_ = nullptr;     // mmap mode

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "revocation/crlite.hpp"
+
 namespace anchor::rootstore::snapshot {
 
 namespace {
@@ -112,10 +114,21 @@ Bytes write_snapshot(const RootStore& store) {
     }
   }
 
+  // v2: the store-distributed revocation filter, zero or one record. The
+  // section frame is always present so readers validate order
+  // unconditionally.
+  SectionBuilder revocation;
+  if (auto filter = store.revocation_filter()) {
+    Bytes rec;
+    put_str(rec, filter->serialize());
+    revocation.records.push_back(std::move(rec));
+  }
+
   Bytes out(kHeaderSize, 0);
   trusted.emit(out, kSectionTrusted);
   distrusted.emit(out, kSectionDistrusted);
   gccs.emit(out, kSectionGccs);
+  revocation.emit(out, kSectionRevocation);
 
   Header header{};
   std::memcpy(header.magic, kMagic, sizeof kMagic);
@@ -128,6 +141,8 @@ Bytes write_snapshot(const RootStore& store) {
   header.distrusted_count =
       static_cast<std::uint32_t>(distrusted.records.size());
   header.gcc_count = static_cast<std::uint32_t>(gccs.records.size());
+  header.revocation_count =
+      static_cast<std::uint32_t>(revocation.records.size());
   std::memcpy(out.data(), &header, sizeof header);
   reseal(out);
   return out;

@@ -14,6 +14,8 @@
 //   name-b64 <b64>
 //   justification-b64 <b64>            (optional)
 //   source-b64 <b64>
+//   crlite-b64 <b64>                   (optional, at most one: the
+//                                       store-distributed revocation filter)
 //
 // Sections may repeat; ordering is canonical (roots and distrust entries
 // sorted by hash, GCCs by root hash) so stores with equal *content*
@@ -24,6 +26,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "revocation/crlite.hpp"
 #include "util/base64.hpp"
 #include "util/sha256.hpp"
 #include "util/strings.hpp"
@@ -97,6 +100,16 @@ bool RootStore::detach_gcc(const std::string& root_hash_hex,
   return true;
 }
 
+void RootStore::set_revocation_filter(
+    std::shared_ptr<const revocation::CompressedRevocationSet> filter) {
+  const bool same =
+      (filter == nullptr && revocation_filter_ == nullptr) ||
+      (filter != nullptr && revocation_filter_ != nullptr &&
+       *filter == *revocation_filter_);
+  revocation_filter_ = std::move(filter);
+  if (!same) ++epoch_;
+}
+
 TrustState RootStore::state_of(const std::string& hash_hex) const {
   if (trusted_.contains(hash_hex)) return TrustState::kTrusted;
   if (distrusted_.contains(hash_hex)) return TrustState::kDistrusted;
@@ -167,6 +180,11 @@ std::string RootStore::serialize() const {
       out << "source-b64 " << base64_encode(BytesView(to_bytes(gcc.source())))
           << "\n";
     }
+  }
+  if (revocation_filter_ != nullptr) {
+    out << "crlite-b64 "
+        << base64_encode(BytesView(to_bytes(revocation_filter_->serialize())))
+        << "\n";
   }
   return out.str();
 }
@@ -310,6 +328,16 @@ Result<RootStore> RootStore::deserialize(std::string_view text) {
       auto gcc = core::Gcc::create(name, arg, source, justification);
       if (!gcc) return err("root store: " + gcc.error());
       store.attach_gcc(std::move(gcc).take());
+    } else if (keyword == "crlite-b64") {
+      ++i;
+      auto decoded = decode_b64_field(arg);
+      if (!decoded) return err(decoded.error());
+      auto filter =
+          revocation::CompressedRevocationSet::deserialize(decoded.value());
+      if (!filter) return err("root store: " + filter.error());
+      store.set_revocation_filter(
+          std::make_shared<const revocation::CompressedRevocationSet>(
+              std::move(filter).take()));
     } else {
       return err("root store: unknown section '" + keyword + "'");
     }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -20,6 +21,10 @@
 #include "util/metrics.hpp"
 #include "util/result.hpp"
 #include "x509/certificate.hpp"
+
+namespace anchor::revocation {
+class CompressedRevocationSet;
+}  // namespace anchor::revocation
 
 namespace anchor::rootstore {
 
@@ -71,6 +76,17 @@ class StoreReader {
   virtual std::size_t distrusted_count() const = 0;
   virtual std::size_t gcc_count() const = 0;
   virtual std::uint64_t epoch() const = 0;
+
+  // Optional store-distributed compressed revocation filter (CRLite-style,
+  // revocation/crlite.hpp), carried inside serialization/snapshots so RSF
+  // adoption delivers revocation updates alongside trust changes.
+  // ChainVerifier registers a non-null filter as a revocation source
+  // automatically. Defaults to "none" so ad hoc StoreReader fakes in tests
+  // keep compiling.
+  virtual std::shared_ptr<const revocation::CompressedRevocationSet>
+  revocation_filter() const {
+    return nullptr;
+  }
 };
 
 class RootStore : public StoreReader {
@@ -113,6 +129,17 @@ class RootStore : public StoreReader {
   // Removes the named GCC from the given root; returns true (and bumps the
   // epoch) only if it existed.
   bool detach_gcc(const std::string& root_hash_hex, const std::string& name);
+
+  // Attaches (or replaces) the store-distributed compressed revocation
+  // filter; nullptr clears it. Bumps the epoch unless the new filter is
+  // content-identical to the current one — the same redundant-delta-replay
+  // guarantee the other mutators give.
+  void set_revocation_filter(
+      std::shared_ptr<const revocation::CompressedRevocationSet> filter);
+  std::shared_ptr<const revocation::CompressedRevocationSet>
+  revocation_filter() const override {
+    return revocation_filter_;
+  }
 
   // Read-only: all GCC mutation routes through attach_gcc/detach_gcc so
   // the epoch counter below sees every effective change. (A mutable
@@ -158,6 +185,9 @@ class RootStore : public StoreReader {
   std::unordered_map<std::string, std::string> distrusted_;
   std::vector<std::string> distrusted_order_;
   core::GccStore gccs_;
+  // Immutable once built, so copies of the store share one filter.
+  std::shared_ptr<const revocation::CompressedRevocationSet>
+      revocation_filter_;
   std::uint64_t epoch_ = 0;
 };
 

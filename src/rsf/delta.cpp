@@ -65,6 +65,15 @@ StoreDelta StoreDelta::diff(const rootstore::RootStore& from,
       }
     }
   }
+
+  // Revocation filter: replaced wholesale (the cascade is not incremental).
+  auto from_filter = from.revocation_filter();
+  auto to_filter = to.revocation_filter();
+  if (to_filter == nullptr) {
+    if (from_filter != nullptr) delta.clear_filter = true;
+  } else if (from_filter == nullptr || !(*from_filter == *to_filter)) {
+    delta.set_filter = to_filter;
+  }
   return delta;
 }
 
@@ -88,6 +97,8 @@ void StoreDelta::apply(rootstore::RootStore& store) const {
   for (const core::Gcc& gcc : attach_gccs) {
     store.attach_gcc(gcc);
   }
+  if (clear_filter) store.set_revocation_filter(nullptr);
+  if (set_filter != nullptr) store.set_revocation_filter(set_filter);
 }
 
 namespace {
@@ -140,6 +151,10 @@ std::string StoreDelta::serialize() const {
   }
   for (const auto& [root, name] : detach_gccs) {
     out << "detach-gcc " << root << " " << b64(name) << "\n";
+  }
+  if (clear_filter) out << "clear-filter\n";
+  if (set_filter != nullptr) {
+    out << "set-filter-b64 " << b64(set_filter->serialize()) << "\n";
   }
   return out.str();
 }
@@ -270,6 +285,19 @@ Result<StoreDelta> StoreDelta::deserialize(std::string_view text) {
       auto name = unb64(std::string_view(arg).substr(sp + 1));
       if (!name) return err(name.error());
       delta.detach_gccs.emplace_back(arg.substr(0, sp), std::move(name).take());
+    } else if (keyword == "clear-filter") {
+      ++i;
+      delta.clear_filter = true;
+    } else if (keyword == "set-filter-b64") {
+      ++i;
+      auto decoded = unb64(arg);
+      if (!decoded) return err(decoded.error());
+      auto filter =
+          revocation::CompressedRevocationSet::deserialize(decoded.value());
+      if (!filter) return err("delta: " + filter.error());
+      delta.set_filter =
+          std::make_shared<const revocation::CompressedRevocationSet>(
+              std::move(filter).take());
     } else {
       return err("delta: unknown keyword '" + keyword + "'");
     }

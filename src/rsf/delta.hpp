@@ -8,9 +8,11 @@
 // property-tested. bench_rsf_merge reports the bandwidth ratio.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "revocation/crlite.hpp"
 #include "rootstore/store.hpp"
 
 namespace anchor::rsf {
@@ -26,14 +28,22 @@ struct StoreDelta {
   std::vector<std::string> forget;                   // back to unknown
   std::vector<core::Gcc> attach_gccs;
   std::vector<std::pair<std::string, std::string>> detach_gccs;  // root, name
+  // Revocation-filter carriage: at most one of these is meaningful. A
+  // non-null set_filter replaces the store's compressed revocation set
+  // (parsed at deserialize time so apply() cannot fail); clear_filter
+  // removes it.
+  std::shared_ptr<const revocation::CompressedRevocationSet> set_filter;
+  bool clear_filter = false;
 
   bool empty() const {
     return add_trusted.empty() && distrust.empty() && forget.empty() &&
-           attach_gccs.empty() && detach_gccs.empty();
+           attach_gccs.empty() && detach_gccs.empty() &&
+           set_filter == nullptr && !clear_filter;
   }
   std::size_t operations() const {
     return add_trusted.size() + distrust.size() + forget.size() +
-           attach_gccs.size() + detach_gccs.size();
+           attach_gccs.size() + detach_gccs.size() +
+           (set_filter != nullptr ? 1 : 0) + (clear_filter ? 1 : 0);
   }
 
   // Minimal edit script turning `from` into `to`.

@@ -116,6 +116,14 @@ MergeResult merge(const rootstore::RootStore& primary,
     }
   }
 
+  // Revocation filter: the primary's (the feed's) filter is authoritative;
+  // a derivative-local filter survives only when the primary ships none.
+  if (primary.revocation_filter() != nullptr) {
+    result.merged.set_revocation_filter(primary.revocation_filter());
+  } else if (derivative.revocation_filter() != nullptr) {
+    result.merged.set_revocation_filter(derivative.revocation_filter());
+  }
+
   return result;
 }
 

@@ -1,0 +1,427 @@
+// CompressedRevocationSet (CRLite-style filter cascade) suite: the
+// zero-false-positive construction pin over full enrolled serial
+// universes, Provider semantics (kUnknown outside coverage), serialization
+// round trips, store/snapshot carriage, RSF delta delivery through
+// rsf::RsfClient, and a TSan-exercised adoption-while-verifying run that
+// models anchord reacting to a feed update carrying a revocation filter.
+#include "revocation/crlite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chain/service.hpp"
+#include "chain/verifier.hpp"
+#include "rootstore/snapshot/view.hpp"
+#include "rootstore/snapshot/writer.hpp"
+#include "rootstore/store.hpp"
+#include "rsf/client.hpp"
+#include "rsf/delta.hpp"
+#include "rsf/feed.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "x509/builder.hpp"
+#include "x509/oids.hpp"
+
+namespace anchor::revocation {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::DistinguishedName;
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+  }
+  return out;
+}
+
+// Unique 5-byte serial: 4 bytes of counter plus the issuer index, so no
+// (issuer, serial) pair can land on both sides of the revoked/valid split.
+Bytes serial_for(std::size_t issuer, std::size_t i) {
+  return Bytes{static_cast<std::uint8_t>(issuer),
+               static_cast<std::uint8_t>(i >> 24),
+               static_cast<std::uint8_t>(i >> 16),
+               static_cast<std::uint8_t>(i >> 8),
+               static_cast<std::uint8_t>(i)};
+}
+
+// A mini PKI mirroring revocation_test.cpp's fixture, for the Provider and
+// verifier-integration tests.
+struct CrlitePki {
+  SimSig sigs;
+  SimKeyPair root_key = SimSig::keygen("Crlite Root");
+  SimKeyPair int_key = SimSig::keygen("Crlite Int");
+  SimKeyPair other_key = SimSig::keygen("Crlite Other Int");
+  CertPtr root, intermediate, other_intermediate;
+  rootstore::RootStore store;
+  static constexpr std::int64_t kNow = 1700000000;
+
+  CrlitePki() {
+    root = CertificateBuilder()
+               .serial(1)
+               .subject(DistinguishedName::make("Crlite Root", "T"))
+               .issuer(DistinguishedName::make("Crlite Root", "T"))
+               .validity(0, unix_date(2040, 1, 1))
+               .public_key(root_key.key_id)
+               .ca(std::nullopt)
+               .sign(root_key)
+               .take();
+    auto make_int = [&](const std::string& name, const SimKeyPair& key,
+                        std::uint64_t serial) {
+      return CertificateBuilder()
+          .serial(serial)
+          .subject(DistinguishedName::make(name, "T"))
+          .issuer(root->subject())
+          .validity(0, unix_date(2039, 1, 1))
+          .public_key(key.key_id)
+          .ca(0)
+          .sign(root_key)
+          .take();
+    };
+    intermediate = make_int("Crlite Int", int_key, 2);
+    other_intermediate = make_int("Crlite Other Int", other_key, 3);
+    sigs.register_key(root_key);
+    sigs.register_key(int_key);
+    sigs.register_key(other_key);
+    (void)store.add_trusted(root);
+  }
+
+  CertPtr leaf(const std::string& domain, const SimKeyPair& issuer_key,
+               const CertPtr& issuer, std::uint64_t serial) {
+    SimKeyPair key = SimSig::keygen("cleaf" + domain);
+    return CertificateBuilder()
+        .serial(serial)
+        .subject(DistinguishedName::make(domain))
+        .issuer(issuer->subject())
+        .validity(kNow - 86400, kNow + 90 * 86400)
+        .public_key(key.key_id)
+        .dns_names({domain})
+        .extended_key_usage({x509::oids::kp_server_auth()})
+        .sign(issuer_key)
+        .take();
+  }
+
+  chain::VerifyOptions tls(const std::string& host) const {
+    chain::VerifyOptions options;
+    options.time = kNow;
+    options.hostname = host;
+    return options;
+  }
+};
+
+TEST(Crlite, NoFalsePositivesOverEnrolledUniverses) {
+  // Three enrolled issuers, each with its full serial universe declared:
+  // the cascade must answer every single key correctly — zero false
+  // positives and zero false negatives, by construction, not probability.
+  Rng rng(0x5eed);
+  constexpr std::size_t kIssuers = 3;
+  constexpr std::size_t kRevokedPer = 40;
+  constexpr std::size_t kValidPer = 160;
+
+  CompressedRevocationSet::Builder builder;
+  std::vector<Bytes> spkis;
+  for (std::size_t issuer = 0; issuer < kIssuers; ++issuer) {
+    spkis.push_back(random_bytes(rng, 32));
+    for (std::size_t i = 0; i < kRevokedPer + kValidPer; ++i) {
+      if (i < kRevokedPer) {
+        builder.add_revoked(BytesView(spkis[issuer]),
+                            BytesView(serial_for(issuer, i)));
+      } else {
+        builder.add_valid(BytesView(spkis[issuer]),
+                          BytesView(serial_for(issuer, i)));
+      }
+    }
+  }
+  auto built = builder.build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  const CompressedRevocationSet crs = std::move(built).take();
+
+  EXPECT_EQ(crs.enrolled_count(), kIssuers);
+  EXPECT_GE(crs.level_count(), 1u);
+  EXPECT_GT(crs.filter_bytes(), 0u);
+  EXPECT_LT(crs.filter_bytes(), crs.size_bytes());
+
+  for (std::size_t issuer = 0; issuer < kIssuers; ++issuer) {
+    EXPECT_TRUE(crs.is_enrolled(BytesView(spkis[issuer])));
+    for (std::size_t i = 0; i < kRevokedPer + kValidPer; ++i) {
+      EXPECT_EQ(crs.contains(BytesView(spkis[issuer]),
+                             BytesView(serial_for(issuer, i))),
+                i < kRevokedPer)
+          << "issuer " << issuer << " serial " << i;
+    }
+  }
+}
+
+TEST(Crlite, SerializeRoundTrip) {
+  Rng rng(0xabc);
+  CompressedRevocationSet::Builder builder;
+  Bytes spki = random_bytes(rng, 32);
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (i % 5 == 0) {
+      builder.add_revoked(BytesView(spki), BytesView(serial_for(0, i)));
+    } else {
+      builder.add_valid(BytesView(spki), BytesView(serial_for(0, i)));
+    }
+  }
+  const CompressedRevocationSet crs = builder.build().take();
+
+  auto parsed = CompressedRevocationSet::deserialize(crs.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_TRUE(parsed.value() == crs);
+  EXPECT_EQ(parsed.value().serialize(), crs.serialize());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(parsed.value().contains(BytesView(spki),
+                                      BytesView(serial_for(0, i))),
+              i % 5 == 0);
+  }
+
+  EXPECT_FALSE(CompressedRevocationSet::deserialize("garbage").ok());
+  EXPECT_FALSE(CompressedRevocationSet::deserialize("anchor-crlset/v1\n").ok());
+}
+
+TEST(Crlite, BuilderRejectsContradictoryUniverse) {
+  Rng rng(1);
+  Bytes spki = random_bytes(rng, 32);
+  CompressedRevocationSet::Builder builder;
+  builder.add_revoked(BytesView(spki), BytesView(serial_for(0, 7)));
+  builder.add_valid(BytesView(spki), BytesView(serial_for(0, 7)));
+  EXPECT_FALSE(builder.build().ok());
+}
+
+TEST(Crlite, ProviderSemantics) {
+  CrlitePki pki;
+  CertPtr victim = pki.leaf("bad.example.com", pki.int_key, pki.intermediate, 100);
+  CertPtr sibling = pki.leaf("ok.example.com", pki.int_key, pki.intermediate, 101);
+
+  CompressedRevocationSet::Builder builder;
+  builder.add_revoked(*pki.intermediate, *victim);
+  builder.add_valid(*pki.intermediate, *sibling);
+  const CompressedRevocationSet crs = builder.build().take();
+
+  EXPECT_STREQ(crs.name(), "crlite");
+  EXPECT_TRUE(crs.is_enrolled(BytesView(pki.intermediate->public_key())));
+  EXPECT_FALSE(crs.is_enrolled(BytesView(pki.other_intermediate->public_key())));
+
+  EXPECT_EQ(crs.check(*victim, BytesView(pki.intermediate->public_key())),
+            RevocationStatus::kRevoked);
+  EXPECT_EQ(crs.check(*sibling, BytesView(pki.intermediate->public_key())),
+            RevocationStatus::kGood);
+  // Outside coverage: the caller must fall back to other sources.
+  EXPECT_EQ(crs.check(*victim, BytesView(pki.other_intermediate->public_key())),
+            RevocationStatus::kUnknown);
+}
+
+TEST(Crlite, VerifierConsultsRegisteredFilter) {
+  CrlitePki pki;
+  CertPtr victim = pki.leaf("bad.example.com", pki.int_key, pki.intermediate, 100);
+  CertPtr sibling = pki.leaf("ok.example.com", pki.int_key, pki.intermediate, 101);
+  chain::CertificatePool pool;
+  pool.add(pki.intermediate);
+
+  CompressedRevocationSet::Builder builder;
+  builder.add_revoked(*pki.intermediate, *victim);
+  builder.add_valid(*pki.intermediate, *sibling);
+  auto crs = std::make_shared<CompressedRevocationSet>(builder.build().take());
+
+  chain::ChainVerifier verifier(pki.store, pki.sigs);
+  verifier.add_revocation_source(crs);
+  chain::VerifyResult bad =
+      verifier.verify(victim, pool, pki.tls("bad.example.com"));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.kind, chain::ErrorKind::kRevoked);
+  EXPECT_TRUE(verifier.verify(sibling, pool, pki.tls("ok.example.com")).ok);
+}
+
+TEST(Crlite, StoreAndSnapshotCarryTheFilter) {
+  CrlitePki pki;
+  CertPtr victim = pki.leaf("bad.example.com", pki.int_key, pki.intermediate, 100);
+  CompressedRevocationSet::Builder builder;
+  builder.add_revoked(*pki.intermediate, *victim);
+  auto crs = std::make_shared<const CompressedRevocationSet>(
+      builder.build().take());
+
+  pki.store.set_revocation_filter(crs);
+  ASSERT_NE(pki.store.revocation_filter(), nullptr);
+
+  // Text serialization (the RSF snapshot payload) round-trips the filter.
+  auto parsed = rootstore::RootStore::deserialize(pki.store.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_NE(parsed.value().revocation_filter(), nullptr);
+  EXPECT_TRUE(*parsed.value().revocation_filter() == *crs);
+  EXPECT_EQ(parsed.value().serialize(), pki.store.serialize());
+
+  // The mmap snapshot container carries it too, and a view-backed verifier
+  // picks it up without any registration call.
+  Bytes image = rootstore::snapshot::write_snapshot(pki.store);
+  auto opened = rootstore::snapshot::StoreView::from_bytes(std::move(image));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.view->info().revocation_count, 1u);
+  ASSERT_NE(opened.view->revocation_filter(), nullptr);
+  EXPECT_TRUE(*opened.view->revocation_filter() == *crs);
+
+  chain::CertificatePool pool;
+  pool.add(pki.intermediate);
+  chain::ChainVerifier verifier(*opened.view, pki.sigs);
+  chain::VerifyResult rejected =
+      verifier.verify(victim, pool, pki.tls("bad.example.com"));
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.kind, chain::ErrorKind::kRevoked);
+}
+
+TEST(CrliteRsf, DeltaCarriesSetAndClearFilter) {
+  CrlitePki pki;
+  CertPtr victim = pki.leaf("bad.example.com", pki.int_key, pki.intermediate, 100);
+  CompressedRevocationSet::Builder builder;
+  builder.add_revoked(*pki.intermediate, *victim);
+  auto crs = std::make_shared<const CompressedRevocationSet>(
+      builder.build().take());
+
+  rootstore::RootStore before = pki.store;
+  rootstore::RootStore with_filter = pki.store;
+  with_filter.set_revocation_filter(crs);
+  rootstore::RootStore cleared = with_filter;
+  cleared.set_revocation_filter(nullptr);
+
+  rsf::StoreDelta set_delta = rsf::StoreDelta::diff(before, with_filter);
+  ASSERT_NE(set_delta.set_filter, nullptr);
+  EXPECT_FALSE(set_delta.clear_filter);
+  auto set_round = rsf::StoreDelta::deserialize(set_delta.serialize());
+  ASSERT_TRUE(set_round.ok()) << set_round.error();
+  rootstore::RootStore replayed = before;
+  set_round.value().apply(replayed);
+  EXPECT_EQ(replayed.serialize(), with_filter.serialize());
+
+  rsf::StoreDelta clear_delta = rsf::StoreDelta::diff(with_filter, cleared);
+  EXPECT_TRUE(clear_delta.clear_filter);
+  EXPECT_EQ(clear_delta.set_filter, nullptr);
+  clear_delta.apply(replayed);
+  EXPECT_EQ(replayed.serialize(), cleared.serialize());
+}
+
+TEST(CrliteRsf, ClientAdoptsFilterOverDeltaTransport) {
+  CrlitePki pki;
+  CertPtr victim = pki.leaf("bad.example.com", pki.int_key, pki.intermediate, 100);
+  CompressedRevocationSet::Builder builder;
+  builder.add_revoked(*pki.intermediate, *victim);
+  auto crs = std::make_shared<const CompressedRevocationSet>(
+      builder.build().take());
+
+  SimSig registry;
+  rsf::Feed feed("primary", registry);
+  std::int64_t now = 1000;
+  feed.publish(pki.store, now, "seed store");
+
+  rsf::RsfClient client(feed, 3600, rsf::MergePolicy::kPrimaryWins,
+                        rsf::Transport::kDelta);
+  client.poll_now(now + 1);
+  ASSERT_EQ(client.last_applied_sequence(), 1u);
+  EXPECT_EQ(client.store().revocation_filter(), nullptr);
+
+  // The primary ships a revocation update: one delta, no trust changes.
+  rootstore::RootStore next = pki.store;
+  next.set_revocation_filter(crs);
+  feed.publish(next, now + 3600, "enroll crlite filter");
+  client.poll_now(now + 3601);
+  ASSERT_EQ(client.last_applied_sequence(), 2u);
+  ASSERT_NE(client.store().revocation_filter(), nullptr);
+  EXPECT_TRUE(*client.store().revocation_filter() == *crs);
+  EXPECT_GE(client.stats().deltas_applied, 1u);
+  EXPECT_EQ(client.stats().delta_fallbacks, 0u);
+
+  // And withdraws it again.
+  rootstore::RootStore withdrawn = next;
+  withdrawn.set_revocation_filter(nullptr);
+  feed.publish(withdrawn, now + 7200, "clear crlite filter");
+  client.poll_now(now + 7201);
+  ASSERT_EQ(client.last_applied_sequence(), 3u);
+  EXPECT_EQ(client.store().revocation_filter(), nullptr);
+}
+
+// The deployment loop under TSan: reader threads verify through a
+// VerifyService while the RSF client adopts a feed update that carries a
+// revocation filter; the adoption hook publishes the new store as an
+// in-memory snapshot view (anchord's reaction). Before the update the
+// victim chain verifies; after it, it is revoked.
+TEST(CrliteRsf, ConcurrentVerifiesDuringFilterAdoption) {
+  CrlitePki pki;
+  CertPtr victim = pki.leaf("bad.example.com", pki.int_key, pki.intermediate, 100);
+  CertPtr good = pki.leaf("ok.example.com", pki.int_key, pki.intermediate, 101);
+  auto pool = std::make_shared<chain::CertificatePool>();
+  pool->add(pki.intermediate);
+
+  CompressedRevocationSet::Builder builder;
+  builder.add_revoked(*pki.intermediate, *victim);
+  builder.add_valid(*pki.intermediate, *good);
+  auto crs = std::make_shared<const CompressedRevocationSet>(
+      builder.build().take());
+
+  metrics::Registry metrics_registry;
+  chain::ServiceConfig config;
+  config.threads = 2;
+  chain::VerifyService service(pki.store, pki.sigs, config, metrics_registry);
+  EXPECT_TRUE(service.verify(victim, *pool, pki.tls("bad.example.com")).ok);
+
+  SimSig feed_registry;
+  rsf::Feed feed("primary", feed_registry);
+  std::int64_t now = 1000;
+  feed.publish(pki.store, now, "seed store");
+  rootstore::RootStore next = pki.store;
+  next.set_revocation_filter(crs);
+  feed.publish(next, now + 3600, "revocation update");
+
+  rsf::RsfClient client(feed, 3600, rsf::MergePolicy::kPrimaryWins,
+                        rsf::Transport::kDelta);
+  client.set_adoption_hook([&](const rootstore::RootStore& adopted) {
+    Bytes image = rootstore::snapshot::write_snapshot(adopted);
+    auto opened = rootstore::snapshot::StoreView::from_bytes(std::move(image));
+    ASSERT_TRUE(opened.ok());
+    service.adopt_view(opened.view);
+  });
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> verifies{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t]() {
+      const CertPtr& leaf = (t % 2 == 0) ? victim : good;
+      const std::string host =
+          (t % 2 == 0) ? "bad.example.com" : "ok.example.com";
+      while (!stop.load(std::memory_order_relaxed)) {
+        chain::VerifyResult result = service.verify(leaf, *pool, pki.tls(host));
+        // Whatever snapshot the verify raced with, `good` always passes
+        // and `victim` only ever fails as revoked.
+        if (host == "ok.example.com") {
+          EXPECT_TRUE(result.ok);
+        } else if (!result.ok) {
+          EXPECT_EQ(result.kind, chain::ErrorKind::kRevoked);
+        }
+        verifies.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  client.poll_now(now + 1);          // adopt the seed snapshot
+  client.poll_now(now + 3601);       // adopt the filter-carrying update
+  while (verifies.load(std::memory_order_relaxed) < 200) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.join();
+
+  ASSERT_EQ(client.last_applied_sequence(), 2u);
+  chain::VerifyResult final_verdict =
+      service.verify(victim, *pool, pki.tls("bad.example.com"));
+  EXPECT_FALSE(final_verdict.ok);
+  EXPECT_EQ(final_verdict.kind, chain::ErrorKind::kRevoked);
+}
+
+}  // namespace
+}  // namespace anchor::revocation

@@ -83,17 +83,31 @@ INSTANTIATE_TEST_SUITE_P(AllIncidents, IncidentPolicy,
                            return name;
                          });
 
-TEST(Incidents, AllSevenArePresentAndDistinct) {
+TEST(Incidents, AllEightArePresentAndDistinct) {
   auto incidents = all_incidents();
-  ASSERT_EQ(incidents.size(), 7u);
+  ASSERT_EQ(incidents.size(), 8u);
   std::set<std::string> names;
   for (const auto& incident : incidents) {
     names.insert(incident.name);
     EXPECT_FALSE(incident.summary.empty());
     EXPECT_FALSE(incident.affected_roots.empty());
-    EXPECT_GT(incident.store.gccs().total(), 0u);
+    // Every incident ships an enforcement mechanism: a GCC for the policy
+    // incidents, explicit distrust (negative inclusion poisoning the
+    // logical CA) for the cross-sign resurrection.
+    if (incident.name == "cross-sign-resurrection") {
+      bool distrusts_affected_root = false;
+      for (const auto& root : incident.affected_roots) {
+        if (incident.store.state_of(root) ==
+            rootstore::TrustState::kDistrusted) {
+          distrusts_affected_root = true;
+        }
+      }
+      EXPECT_TRUE(distrusts_affected_root);
+    } else {
+      EXPECT_GT(incident.store.gccs().total(), 0u);
+    }
   }
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
 }
 
 TEST(Incidents, WosignConstrainsBothRoots) {

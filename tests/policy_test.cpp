@@ -1,12 +1,14 @@
 // Differential tests between the procedural ChainVerifier and the
-// Hammurabi-style PolicyVerifier (the paper's §3.1 option 3): on
-// tree-shaped PKIs the two must agree on every scenario; the documented
-// divergence under cross-signing is pinned down explicitly.
+// Hammurabi-style PolicyVerifier (the paper's §3.1 option 3): the two must
+// agree on every scenario — tree-shaped and cross-signed alike, now that
+// the policy's depth-indexed upOK relation is path-sensitive — including
+// the cross-sign resurrection bane case.
 #include "policy/policy.hpp"
 
 #include <gtest/gtest.h>
 
 #include "corpus/corpus.hpp"
+#include "incidents/incidents.hpp"
 #include "util/time.hpp"
 #include "x509/builder.hpp"
 #include "x509/oids.hpp"
@@ -233,10 +235,13 @@ TEST(PolicyVerifierTest, CustomPolicyReplacesDefault) {
   EXPECT_FALSE(deny_all.verify(leaf, pki.pool, pki.tls("ok.example.org")).ok);
 }
 
-// The documented divergence: cross-signing. The procedural verifier
-// backtracks to the second path; the set-based Datalog policy rejects if
-// any reachable CA violates a constraint (conservative).
-TEST(PolicyVerifierTest, CrossSigningDivergenceIsConservative) {
+// Cross-signing agreement: the depth-indexed upOK relation checks every
+// link at its actual depth, so the policy tries the clean path even though
+// a constraint-violating CA is reachable via the cross-signed edge — the
+// same accept-if-any-path semantics as the procedural graph search. (This
+// was the documented divergence of the old set-based encoding, which
+// condemned the leaf if ANY reachable CA violated a constraint.)
+TEST(PolicyVerifierTest, CrossSigningAgreement) {
   PolicyPki pki;
   // Cross-sign "Pol Int" under the name-constrained intermediate: the leaf
   // now has two issuer certs for DN "Pol Int": one clean (under root), one
@@ -258,8 +263,26 @@ TEST(PolicyVerifierTest, CrossSigningDivergenceIsConservative) {
   // Procedural: finds the clean path (leaf <- Pol Int <- Root) and accepts.
   EXPECT_TRUE(procedural.verify(leaf, pki.pool, pki.tls("site.example.net")).ok);
   // Datalog policy: the NC intermediate is reachable via the cross-signed
-  // edge and example.net violates its constraint -> conservative reject.
-  EXPECT_FALSE(logical.verify(leaf, pki.pool, pki.tls("site.example.net")).ok);
+  // edge, but the clean path has no violating link at any depth -> accept,
+  // agreeing with the procedural verifier.
+  EXPECT_TRUE(logical.verify(leaf, pki.pool, pki.tls("site.example.net")).ok);
+}
+
+// The bane case, in the logic: a distrusted root with a live cross-sign
+// from a trusted root must stay rejected by both verifiers — the
+// distrustedCA facts poison every certificate of the logical CA.
+TEST(PolicyVerifierTest, CrossSignResurrectionRejectedByBothVerifiers) {
+  incidents::Incident incident = incidents::make_cross_sign();
+  chain::ChainVerifier procedural(incident.store, incident.signatures);
+  PolicyVerifier logical(incident.store, incident.signatures);
+  for (const auto& test_case : incident.cases) {
+    const bool proc =
+        procedural.verify(test_case.leaf, incident.pool, test_case.options).ok;
+    const bool log =
+        logical.verify(test_case.leaf, incident.pool, test_case.options).ok;
+    EXPECT_EQ(proc, test_case.expect_valid) << test_case.label;
+    EXPECT_EQ(log, test_case.expect_valid) << test_case.label;
+  }
 }
 
 // Sweep the shared corpus: on tree-shaped issuance both verifiers agree on

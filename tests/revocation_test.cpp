@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "chain/verifier.hpp"
 #include "core/executor.hpp"
 #include "util/time.hpp"
@@ -142,12 +144,12 @@ TEST(VerifierRevocation, CrlSetBlocksLeafDuringValidation) {
   chain::CertificatePool pool;
   pool.add(pki.intermediate);
 
-  CrlSet crlset;
+  auto crlset = std::make_shared<CrlSet>();
   chain::ChainVerifier verifier(pki.store, pki.sigs);
-  verifier.set_crlset(&crlset);
+  verifier.add_revocation_source(crlset);
   EXPECT_TRUE(verifier.verify(victim, pool, pki.tls("mitm.example.com")).ok);
 
-  crlset.block_by_issuer_serial(*pki.intermediate, *victim);
+  crlset->block_by_issuer_serial(*pki.intermediate, *victim);
   chain::VerifyResult result =
       verifier.verify(victim, pool, pki.tls("mitm.example.com"));
   EXPECT_FALSE(result.ok);
@@ -162,10 +164,10 @@ TEST(VerifierRevocation, OneCrlBlocksIntermediateMidChain) {
   pool.add(pki.intermediate);
   pool.add(pki.bad_intermediate);
 
-  OneCrl onecrl;
-  onecrl.block(*pki.bad_intermediate);
+  auto onecrl = std::make_shared<OneCrl>();
+  onecrl->block(*pki.bad_intermediate);
   chain::ChainVerifier verifier(pki.store, pki.sigs);
-  verifier.set_onecrl(&onecrl);
+  verifier.add_revocation_source(onecrl);
   EXPECT_TRUE(verifier.verify(good, pool, pki.tls("good.example.com")).ok);
   EXPECT_FALSE(verifier.verify(mitm, pool, pki.tls("google.com")).ok);
 }
@@ -181,10 +183,10 @@ TEST(Subsumption, RevocationGccEquivalentToOneCrl) {
   pool.add(pki.bad_intermediate);
 
   // Mechanism A: OneCRL.
-  OneCrl onecrl;
-  onecrl.block(*pki.bad_intermediate);
+  auto onecrl = std::make_shared<OneCrl>();
+  onecrl->block(*pki.bad_intermediate);
   chain::ChainVerifier onecrl_verifier(pki.store, pki.sigs);
-  onecrl_verifier.set_onecrl(&onecrl);
+  onecrl_verifier.add_revocation_source(onecrl);
 
   // Mechanism B: the compiled GCC.
   rootstore::RootStore gcc_store;

@@ -312,7 +312,7 @@ TEST(SnapshotFuzz, ClassifiedRejections) {
   // Future format version.
   {
     auto opened = StoreView::from_bytes(
-        patched(offsetof(Header, format_version), std::uint16_t{2}));
+        patched(offsetof(Header, format_version), std::uint16_t{3}));
     ASSERT_FALSE(opened.ok());
     EXPECT_EQ(opened.error.cls, ErrorClass::kBadVersion);
   }

@@ -9,7 +9,11 @@
 //   anchorctl store-hash <store.txt>             canonical content hash
 //   anchorctl store-diff <old.txt> <new.txt>     RSF delta between stores
 //   anchorctl verify <store.txt> <chain.pem> --host <h> --time <iso8601>
-//                                 [--usage TLS|S/MIME]
+//                                 [--usage TLS|S/MIME] [--crlset <f>]
+//                                 [--onecrl <f>] [--crlite <f>]
+//                                 the three optional flags register
+//                                 serialized revocation sets as unified
+//                                 revocation::Provider sources
 //   anchorctl serve-stats <store.txt> <chain.pem> --host <h> --time <t>
 //                                 [--usage TLS|S/MIME] [--threads N]
 //                                 [--repeat N]     run the chain through a
@@ -58,6 +62,15 @@
 //                                 its header facts (epoch, counts, digest);
 //                                 a rejected image prints the classified
 //                                 error (truncated, checksum-mismatch, ...)
+//   anchorctl crlite-build <spec.txt> <out.crlite>
+//                                 build a CRLite-style filter cascade from
+//                                 a spec of `enroll <spki-hex>`,
+//                                 `revoked <spki-hex> <serial-hex>` and
+//                                 `valid <spki-hex> <serial-hex>` lines,
+//                                 then print its shape
+//   anchorctl crlite-info <filter.crlite>
+//                                 parse a serialized filter and print
+//                                 levels, enrollment and sizes
 //   anchorctl compile-store <store.textproto> [--out <store.txt>]
 //                                 [--roots <roots.pem>] [--prefix crs]
 //                                 parse a Chrome Root Store textproto
@@ -98,6 +111,8 @@
 #include "datalog/engine.hpp"
 #include "rootstore/chromeproto.hpp"
 #include "rootstore/constraint_compile.hpp"
+#include "revocation/crlite.hpp"
+#include "revocation/revocation.hpp"
 #include "rootstore/snapshot/view.hpp"
 #include "rootstore/snapshot/writer.hpp"
 #include "rootstore/store.hpp"
@@ -126,7 +141,8 @@ int usage() {
                "  store-hash <store.txt>\n"
                "  store-diff <old.txt> <new.txt>\n"
                "  verify <store.txt> <chain.pem> --host <h> --time <iso8601>"
-               " [--usage TLS|S/MIME]\n"
+               " [--usage TLS|S/MIME]"
+               " [--crlset <f>] [--onecrl <f>] [--crlite <f>]\n"
                "  serve-stats <store.txt> <chain.pem> --host <h> --time <t>"
                " [--usage TLS|S/MIME] [--threads N] [--repeat N]\n"
                "  feed-publish <dir> <store.txt> --time <iso8601> [--note s]\n"
@@ -138,11 +154,14 @@ int usage() {
                " [--usage TLS|S/MIME] [--repeat N] [--threads N]"
                " [--feed <dir> --now <iso8601>]\n"
                "  daemon <store.txt> <verb> [chain.pem] [--host <h>]"
-               " [--time <t>] [--usage TLS|S/MIME] [--transport memory|unix]\n"
+               " [--time <t>] [--usage TLS|S/MIME] [--transport memory|unix]"
+               " [--crlset <f>] [--onecrl <f>] [--crlite <f>]\n"
                "      verb: verify | evaluate-gccs | metrics | feed-status\n"
                "  daemon --snapshot <store.snap> <verb> [...]\n"
                "  snapshot-write <store.txt> <out.snap>\n"
                "  snapshot-info <store.snap>\n"
+               "  crlite-build <spec.txt> <out.crlite>\n"
+               "  crlite-info <filter.crlite>\n"
                "  compile-store <store.textproto> [--out <store.txt>]"
                " [--roots <roots.pem>] [--prefix crs]\n");
   return 2;
@@ -430,6 +449,40 @@ int cmd_store_diff(int argc, char** argv) {
   return 0;
 }
 
+// Loads the revocation sources named by --crlset / --onecrl / --crlite
+// into `out` as unified Provider handles. Absent flags are skipped; an
+// unreadable or unparseable file is reported and fails the command.
+bool load_revocation_flags(
+    int argc, char** argv,
+    std::vector<std::shared_ptr<const revocation::Provider>>& out) {
+  const auto load = [&](const char* flag,
+                        auto deserialize) -> bool {
+    const std::string path = flag_value(argc, argv, flag, "");
+    if (path.empty()) return true;
+    auto text = read_file(path);
+    if (!text) {
+      std::fprintf(stderr, "error: %s\n", text.error().c_str());
+      return false;
+    }
+    auto parsed = deserialize(text.value());
+    if (!parsed) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   parsed.error().c_str());
+      return false;
+    }
+    using Parsed = std::decay_t<decltype(parsed.value())>;
+    out.push_back(std::make_shared<Parsed>(std::move(parsed).take()));
+    return true;
+  };
+  return load("--crlset",
+              [](std::string_view t) { return revocation::CrlSet::deserialize(t); }) &&
+         load("--onecrl",
+              [](std::string_view t) { return revocation::OneCrl::deserialize(t); }) &&
+         load("--crlite", [](std::string_view t) {
+           return revocation::CompressedRevocationSet::deserialize(t);
+         });
+}
+
 int cmd_verify(int argc, char** argv) {
   if (argc < 2) return usage();
   auto store = load_store(argv[0]);
@@ -457,6 +510,9 @@ int cmd_verify(int argc, char** argv) {
   }
   SimSig no_keys;
   chain::ChainVerifier verifier(store.value(), no_keys);
+  std::vector<std::shared_ptr<const revocation::Provider>> sources;
+  if (!load_revocation_flags(argc, argv, sources)) return 1;
+  for (const auto& source : sources) verifier.add_revocation_source(source);
   chain::VerifyResult result =
       verifier.verify(chain.value()[0], *pool, options);
   if (result.ok) {
@@ -467,7 +523,8 @@ int cmd_verify(int argc, char** argv) {
   std::printf("INVALID (%s): %s\n", chain::to_string(result.kind),
               result.error.c_str());
   for (const auto& rejected : result.rejected_paths) {
-    std::printf("  tried: %s\n", rejected.c_str());
+    std::printf("  tried [%s]: %s\n", chain::to_string(rejected.kind),
+                chain::to_string(rejected).c_str());
   }
   // Scripts branch on the taxonomy, not on scraping the message.
   return chain::exit_code(result.kind);
@@ -1013,6 +1070,7 @@ void print_snapshot_info(const rootstore::snapshot::StoreView& view) {
   std::printf("trusted        : %u\n", info.trusted_count);
   std::printf("distrusted     : %u\n", info.distrusted_count);
   std::printf("gccs           : %u\n", info.gcc_count);
+  std::printf("revocation     : %u filter(s)\n", info.revocation_count);
   std::printf("digest         : %s\n", info.digest_hex.c_str());
 }
 
@@ -1051,6 +1109,87 @@ int cmd_snapshot_info(int argc, char** argv) {
     return 1;
   }
   print_snapshot_info(*opened.view);
+  return 0;
+}
+
+void print_crlite_info(const revocation::CompressedRevocationSet& filter) {
+  std::printf("levels         : %zu\n", filter.level_count());
+  std::printf("enrolled CAs   : %zu\n", filter.enrolled_count());
+  std::printf("filter bytes   : %zu\n", filter.filter_bytes());
+  std::printf("total bytes    : %zu\n", filter.size_bytes());
+}
+
+// Builds a filter cascade from a plain-text spec: one directive per line,
+// `enroll <spki-hex>`, `revoked <spki-hex> <serial-hex>`, or
+// `valid <spki-hex> <serial-hex>`; '#' starts a comment.
+int cmd_crlite_build(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "error: %s\n", text.error().c_str());
+    return 1;
+  }
+  revocation::CompressedRevocationSet::Builder builder;
+  std::size_t line_no = 0;
+  for (const std::string& raw : split(text.value(), '\n')) {
+    ++line_no;
+    const std::string line = std::string(trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> parts = split(line, ' ');
+    const auto bad = [&](const char* why) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", argv[0], line_no, why);
+      return 1;
+    };
+    Bytes spki;
+    if (parts.size() >= 2 && !from_hex(parts[1], spki)) {
+      return bad("malformed spki hex");
+    }
+    if (parts[0] == "enroll" && parts.size() == 2) {
+      builder.enroll(BytesView(spki));
+      continue;
+    }
+    Bytes serial;
+    if (parts.size() == 3 && !from_hex(parts[2], serial)) {
+      return bad("malformed serial hex");
+    }
+    if (parts[0] == "revoked" && parts.size() == 3) {
+      builder.add_revoked(BytesView(spki), BytesView(serial));
+    } else if (parts[0] == "valid" && parts.size() == 3) {
+      builder.add_valid(BytesView(spki), BytesView(serial));
+    } else {
+      return bad("expected enroll/revoked/valid directive");
+    }
+  }
+  auto built = builder.build();
+  if (!built) {
+    std::fprintf(stderr, "error: %s\n", built.error().c_str());
+    return 1;
+  }
+  std::ofstream out(argv[1], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[1]);
+    return 1;
+  }
+  out << built.value().serialize();
+  out.close();
+  std::printf("wrote          : %s\n", argv[1]);
+  print_crlite_info(built.value());
+  return 0;
+}
+
+int cmd_crlite_info(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "error: %s\n", text.error().c_str());
+    return 1;
+  }
+  auto filter = revocation::CompressedRevocationSet::deserialize(text.value());
+  if (!filter) {
+    std::printf("REJECTED: %s\n", filter.error().c_str());
+    return 1;
+  }
+  print_crlite_info(filter.value());
   return 0;
 }
 
@@ -1153,6 +1292,9 @@ int cmd_daemon(int argc, char** argv) {
     service.adopt_view(view);  // O(1): swap onto the mapping, no deep copy
     reader = view.get();
   }
+  std::vector<std::shared_ptr<const revocation::Provider>> sources;
+  if (!load_revocation_flags(argc, argv, sources)) return 1;
+  for (const auto& source : sources) service.add_revocation_source(source);
   anchord::VerbDispatcher::Backends backends;
   backends.service = &service;
   backends.store = reader;
@@ -1421,6 +1563,8 @@ int main(int argc, char** argv) {
     return cmd_snapshot_write(rest_argc, rest_argv);
   }
   if (command == "snapshot-info") return cmd_snapshot_info(rest_argc, rest_argv);
+  if (command == "crlite-build") return cmd_crlite_build(rest_argc, rest_argv);
+  if (command == "crlite-info") return cmd_crlite_info(rest_argc, rest_argv);
   if (command == "compile-store") {
     return cmd_compile_store(rest_argc, rest_argv);
   }
